@@ -1,0 +1,69 @@
+"""E2 — §5.2: "little time was spent in the WorkflowFilter,
+WorkflowServlet or WorkflowBean.  Instead, the response time was mainly
+determined by the number of database read and write accesses."
+
+Regenerates the per-component breakdown of every operation in the mix
+and asserts the dominance ordering the paper reports:
+DB ≫ messaging > filter/servlet/bean CPU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.requests import build_fixture
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    fixture = build_fixture()
+    return fixture, {
+        name: fixture.measure(name) for name in fixture.OPERATION_MIX
+    }
+
+
+def test_e2_component_breakdown_table(measurements, report, benchmark):
+    fixture, measured = measurements
+    rows = []
+    for name, (__, cost) in measured.items():
+        breakdown = cost.breakdown()
+        share = (
+            100.0 * breakdown["database"] / breakdown["total"]
+            if breakdown["total"]
+            else 0.0
+        )
+        rows.append(
+            [
+                name,
+                f"{breakdown['database']:.1f}",
+                f"{breakdown['messaging']:.1f}",
+                f"{breakdown['web_cpu']:.2f}",
+                f"{breakdown['overhead']:.0f}",
+                f"{share:.0f}%",
+            ]
+        )
+    report(
+        "E2  response-time breakdown per component (ms)",
+        ["operation", "database", "messaging", "filter+servlet+bean",
+         "fixed", "db share of total"],
+        rows,
+    )
+    for name in (
+        "start_workflow_request",
+        "complete_instance_request",
+        "authorize_request",
+    ):
+        __, cost = measured[name]
+        # The paper's two dominance claims.
+        assert cost.db_ms > 10 * cost.web_cpu_ms, name
+        assert cost.db_ms > cost.messaging_ms, name
+    for name, (__, cost) in measured.items():
+        assert cost.web_cpu_ms < 0.02 * cost.total_ms, name
+
+    # Wall-clock: the engine-check path that produces the DB accesses.
+    workflow = fixture.lab.engine.start_workflow("protein_creation")
+
+    def check():
+        fixture.lab.engine.check_workflow(workflow["workflow_id"])
+
+    benchmark(check)

@@ -1,0 +1,85 @@
+"""F7 — the WorkflowFilter's request-handling modes, counted and timed.
+
+Drives a request suite through the filter and reports how many requests
+took each of Fig. 7's paths — (a) preprocess+forward / deny, (b) full
+processing, (c) postprocess — plus the pass-through path for
+non-workflow-related requests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.persistence import save_pattern
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@pytest.fixture(scope="module")
+def wired():
+    app = build_expdb()
+    engine = install_workflow_support(app)
+    add_experiment_type(app.db, "A", [Column("reading", ColumnType.REAL)])
+    add_sample_type(app.db, "SA", [])
+    declare_experiment_io(app.db, "A", "SA", "output")
+    pattern = (
+        PatternBuilder("flow").task("a", experiment_type="A").build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    return app, engine, app.container.context["workflow_filter"]
+
+
+def drive_suite(app) -> None:
+    # pass-through: reads and plain-table writes
+    app.get("/user", action="read", table="A")
+    app.get("/user", action="list")
+    app.post("/user", action="insert", table="Project", v_name="p")
+    # mode a (allowed): workflow-relevant writes
+    app.post("/user", action="insert", table="A", v_reading="0.5")
+    app.post("/user", action="insert", table="Sample", v_type_name="SA")
+    # mode a (denied): engine-owned column write
+    app.post(
+        "/user",
+        action="update",
+        table="Experiment",
+        c_type_name="A",
+        v_wf_state="completed",
+    )
+    # mode b: explicit workflow actions
+    app.post("/user", workflow_action="start", pattern="flow")
+    app.get("/user", workflow_action="list")
+
+
+def test_f7_mode_distribution(wired, report, benchmark):
+    app, engine, filter_ = wired
+    filter_.stats.reset()
+    drive_suite(app)
+    stats = filter_.stats
+    rows = [
+        ["pass-through (not workflow-related)", stats.passed_through],
+        ["(a) preprocessed then forwarded", stats.preprocessed - stats.denied],
+        ["(a) denied before the original servlet", stats.denied],
+        ["(b) processed by the WorkflowServlet", stats.processed],
+        ["(c) responses postprocessed", stats.postprocessed],
+    ]
+    report("F7  request routing through the WorkflowFilter", ["path", "requests"], rows)
+    assert stats.passed_through == 3
+    assert stats.preprocessed == 3
+    assert stats.denied == 1
+    assert stats.processed == 2
+    # Only the successful mode-(a) requests get postprocessed.
+    assert stats.postprocessed == 2
+
+    benchmark(lambda: app.get("/user", action="read", table="A"))
+
+
+def test_f7_mode_b_wallclock(wired, benchmark):
+    app, __, ___ = wired
+    benchmark(lambda: app.get("/user", workflow_action="list"))

@@ -1,0 +1,91 @@
+"""A3 — ablation: output-forwarding policies (§4.2's design discussion).
+
+"One extreme would send the output of all completed instances and let
+the agent of the destination decide which one to take.  This might
+overwhelm the receiver.  The other extreme lets Exp-WF pick a single
+instance as the output provider.  ...  Our solution is a compromise
+forwarding outputs from all 'successfully' completed source instances."
+
+This bench quantifies the three policies on a fan-in workload with mixed
+instance success: how many candidate inputs the destination agent must
+choose among under each policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.workloads.generator import build_synthetic_lab
+
+INSTANCE_COUNTS = [4, 8, 16]
+SUCCESS_RATIO = 0.5  # half the instances are declared successful
+
+
+def build_fanin(total_instances: int):
+    lab = build_synthetic_lab(stages=2)
+    builder = (
+        PatternBuilder(f"fanin-{total_instances}")
+        .task("src", experiment_type="Stage0",
+              default_instances=total_instances)
+        .task("dst", experiment_type="Stage1")
+        .flow("src", "dst")
+        .data("src", "dst", sample_type="Mat0")
+    )
+    pattern = builder.build(db=lab.app.db)
+    from repro.core.persistence import save_pattern
+
+    save_pattern(lab.app.db, pattern)
+    workflow = lab.engine.start_workflow(pattern.name)
+    workflow_id = workflow["workflow_id"]
+    view = lab.engine.workflow_view(workflow_id)
+    successes = int(total_instances * SUCCESS_RATIO)
+    for index, instance in enumerate(view.tasks["src"].instances):
+        lab.engine.complete_instance(
+            instance.experiment_id,
+            success=index < successes,
+            outputs=[
+                {
+                    "sample_type": "Mat0",
+                    "name": f"out-{index}",
+                    "quality": round(0.5 + 0.03 * index, 2),
+                }
+            ],
+        )
+    return lab, workflow_id
+
+
+def test_a3_forwarding_policy_table(report, benchmark):
+    rows = []
+    for total in INSTANCE_COUNTS:
+        lab, workflow_id = build_fanin(total)
+        # Paper policy: all *successful* outputs.
+        forwarded = lab.engine.collect_available_inputs(workflow_id, "dst")
+        all_outputs = total  # the "overwhelm the receiver" extreme
+        single_best = 1  # the automated-quality-control extreme
+        rows.append(
+            [
+                total,
+                all_outputs,
+                len(forwarded),
+                single_best,
+            ]
+        )
+        # The compromise sits strictly between the extremes.
+        assert single_best < len(forwarded) < all_outputs
+        assert len(forwarded) == int(total * SUCCESS_RATIO)
+    report(
+        "A3  candidate inputs offered to the destination agent",
+        [
+            "source instances",
+            "all outputs (extreme 1)",
+            "successful only (Exp-WF)",
+            "single best (extreme 2)",
+        ],
+        rows,
+    )
+
+    lab, workflow_id = build_fanin(INSTANCE_COUNTS[-1])
+    benchmark(
+        lambda: lab.engine.collect_available_inputs(workflow_id, "dst")
+    )

@@ -1,0 +1,71 @@
+"""E3 — §5.2: "a simple insert into an experiment related table can
+trigger several database reads in order to check whether this
+modification changes any task or workflow state."
+
+Regenerates the read-amplification series: the number of DB reads
+triggered by one completing insert, as a function of the workflow's
+fan-out (how many destination tasks must be re-checked).  The paper
+reports the effect qualitatively; the reproduced series must grow
+monotonically with fan-out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import build_synthetic_lab
+
+FANOUTS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def fanout_series():
+    series = []
+    for width in FANOUTS:
+        lab = build_synthetic_lab(stages=3)
+        pattern = lab.fanout_pattern(width)
+        workflow = lab.engine.start_workflow(pattern.name)
+        view = lab.engine.workflow_view(workflow["workflow_id"])
+        source = view.tasks["source"].instances[0]
+        snapshot = lab.app.db.stats.snapshot()
+        lab.engine.complete_instance(
+            source.experiment_id,
+            success=True,
+            outputs=[{"sample_type": "Mat0", "name": f"m-{width}"}],
+        )
+        delta = lab.app.db.stats.snapshot().delta(snapshot)
+        series.append((width, delta.reads, delta.writes))
+    return series
+
+
+def test_e3_insert_amplification_series(fanout_series, report, benchmark):
+    rows = [
+        [width, reads, writes, f"{reads / max(1, writes):.1f}x"]
+        for width, reads, writes in fanout_series
+    ]
+    report(
+        "E3  DB accesses triggered by one completing insert vs fan-out",
+        ["fan-out", "reads triggered", "writes", "read/write ratio"],
+        rows,
+    )
+    reads = [r for __, r, ___ in fanout_series]
+    # "Several" reads even at fan-out 1, growing with fan-out.
+    assert reads[0] >= 5
+    assert all(a <= b for a, b in zip(reads, reads[1:]))
+    assert reads[-1] > 2 * reads[0]
+
+    # Wall-clock of the amplified insert path at the largest fan-out.
+    lab = build_synthetic_lab(stages=3)
+    pattern = lab.fanout_pattern(FANOUTS[-1])
+
+    def complete_one():
+        workflow = lab.engine.start_workflow(pattern.name)
+        view = lab.engine.workflow_view(workflow["workflow_id"])
+        source = view.tasks["source"].instances[0]
+        lab.engine.complete_instance(
+            source.experiment_id,
+            success=True,
+            outputs=[{"sample_type": "Mat0", "name": "m"}],
+        )
+
+    benchmark.pedantic(complete_one, rounds=5, iterations=1)

@@ -1,0 +1,64 @@
+"""E1 — §5.2: "Response times vary from 400 ms to 2000 ms."
+
+Regenerates the paper's response-time evaluation: the standard mix of
+workflow and non-workflow related requests, each reported with its
+modeled end-to-end latency (operation counts × calibrated per-operation
+costs) alongside pytest-benchmark's wall-clock numbers for the pure
+in-process execution.
+
+Expected shape (asserted): every operation falls within 400–2000 ms
+(±2.5% calibration slack at the floor), reads at the bottom of the band,
+workflow instantiation at the top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.requests import build_fixture
+
+
+@pytest.fixture(scope="module")
+def mix():
+    fixture = build_fixture(journal_path=None)
+    measurements = {
+        name: fixture.measure(name) for name in fixture.OPERATION_MIX
+    }
+    return fixture, measurements
+
+
+def test_e1_response_time_table(mix, report, benchmark):
+    fixture, measurements = mix
+    rows = []
+    for name, (response, cost) in measurements.items():
+        breakdown = cost.breakdown()
+        rows.append(
+            [
+                name,
+                response.status,
+                cost.db_reads,
+                cost.db_writes,
+                cost.messages_sent,
+                f"{breakdown['total']:.1f}",
+            ]
+        )
+        assert response.ok
+        assert 390.0 <= cost.total_ms <= 2000.0, (name, cost.total_ms)
+    report(
+        "E1  response times per operation (paper: 400-2000 ms)",
+        ["operation", "status", "db reads", "db writes", "msgs", "modeled ms"],
+        rows,
+    )
+    totals = [cost.total_ms for __, cost in measurements.values()]
+    assert min(totals) < 500 and max(totals) > 1200  # band is spanned
+
+    # Wall-clock for the cheapest representative request.
+    operation = fixture.build_operation("read_experiments")
+    benchmark(operation)
+
+
+def test_e1_workflow_instantiation_wallclock(mix, benchmark):
+    fixture, __ = mix
+    operation = fixture.build_operation("start_workflow_request")
+    result = benchmark.pedantic(operation, rounds=5, iterations=1)
+    assert result.ok

@@ -1,0 +1,59 @@
+"""F4 — the execution-model state machines as an executable artifact.
+
+Prints the three transition tables of Fig. 4 / §4.2 exactly as
+implemented (the correctness of each table is pinned transition-by-
+transition in tests/core/test_states.py) and benchmarks the state-
+machine hot path the engine exercises on every instance decision.
+"""
+
+from __future__ import annotations
+
+from repro.core.states import (
+    BASIC_MODEL,
+    TASK_INSTANCE_MODEL,
+    TASK_MODEL,
+    Event,
+    instance_machine,
+    task_machine,
+)
+
+
+def table_rows(table) -> list[list[str]]:
+    rows = []
+    for (state, event), target in table.items():
+        rows.append([str(state.value), str(event.value), str(target.value)])
+    return rows
+
+
+def test_f4_transition_tables(report, benchmark):
+    for title, table in [
+        ("F4  basic execution model", BASIC_MODEL),
+        ("F4  task execution model (extended)", TASK_MODEL),
+        ("F4  task instance execution model (extended)", TASK_INSTANCE_MODEL),
+    ]:
+        report(title, ["state", "event", "next state"], table_rows(table))
+    assert len(BASIC_MODEL) == 8
+    assert len(TASK_MODEL) == 10
+    assert len(TASK_INSTANCE_MODEL) == 6
+
+    def instance_lifecycle():
+        machine = instance_machine()
+        machine.apply(Event.DELEGATE)
+        machine.apply(Event.START)
+        machine.apply(Event.COMPLETE)
+
+    benchmark(instance_lifecycle)
+
+
+def test_f4_task_lifecycle_throughput(benchmark):
+    def task_lifecycle_with_restart():
+        machine = task_machine()
+        machine.apply(Event.BECOME_ELIGIBLE)
+        machine.apply(Event.ACTIVATE)
+        machine.apply(Event.COMPLETE)
+        machine.apply(Event.RESTART)
+        machine.apply(Event.BECOME_ELIGIBLE)
+        machine.apply(Event.ACTIVATE)
+        machine.apply(Event.ABORT)
+
+    benchmark(task_lifecycle_with_restart)

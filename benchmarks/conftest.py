@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one row/table of the paper's
+evaluation (see DESIGN.md §5).  Tables are printed through
+``print_table`` with capture disabled, so ``pytest benchmarks/
+--benchmark-only`` shows both the reproduced evaluation tables and
+pytest-benchmark's wall-clock statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a formatted table even under pytest's output capture."""
+
+    def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+        widths = [
+            max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+            if rows
+            else len(str(headers[i]))
+            for i in range(len(headers))
+        ]
+
+        def fmt(cells) -> str:
+            return "  ".join(
+                str(cell).ljust(width) for cell, width in zip(cells, widths)
+            )
+
+        with capsys.disabled():
+            print(f"\n--- {title} ---")
+            print(fmt(headers))
+            print(fmt(["-" * width for width in widths]))
+            for row in rows:
+                print(fmt(row))
+
+    return print_table

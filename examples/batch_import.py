@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Workflow support for non-web clients via aspects (§7 future work).
+
+A batch importer — think a script migrating plate-reader output into the
+LIMS — talks to the ``TableBean`` directly, bypassing the web tier and
+therefore the WorkflowFilter.  The paper's conclusions propose
+aspect-oriented programming for exactly this case; this example runs the
+implemented version:
+
+1. Exp-WF is woven around the bean's ``insert``/``update``/``delete``;
+2. the importer loads a CSV batch of legacy experiments (allowed —
+   postprocessing re-checks workflows after each write);
+3. its attempt to "fix" a workflow-managed experiment's state column is
+   vetoed before it reaches the database;
+4. unweaving detaches Exp-WF again, leaving the bean untouched.
+
+Run with::
+
+    python examples/batch_import.py
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.aspects import AdviceVeto, install_aspect_workflow_support
+from repro.core.persistence import save_pattern
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import add_experiment_type
+
+LEGACY_CSV = """\
+enzyme,status,notes
+EcoRI,done,imported from plate reader 1
+BamHI,done,imported from plate reader 1
+HindIII,failed,imported from plate reader 2
+"""
+
+
+def main() -> None:
+    app = build_expdb()
+    engine = install_workflow_support(app)
+    add_experiment_type(
+        app.db, "Digestion", [Column("enzyme", ColumnType.TEXT)]
+    )
+    pattern = (
+        PatternBuilder("digest_flow")
+        .task("digest", experiment_type="Digestion")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    workflow = engine.start_workflow("digest_flow")
+    for request in engine.pending_authorizations():
+        engine.respond_authorization(request["auth_id"], True, "pi")
+    managed = engine.workflow_view(workflow["workflow_id"]).tasks[
+        "digest"
+    ].instances[0]
+    print(f"workflow experiment under engine control: "
+          f"#{managed.experiment_id} ({managed.state})")
+
+    print("\n== weaving Exp-WF around the TableBean ==")
+    weaver = install_aspect_workflow_support(app.bean, engine)
+
+    print("== importing the legacy batch (allowed, postprocessed) ==")
+    checks_before = engine.check_count
+    for record in csv.DictReader(io.StringIO(LEGACY_CSV)):
+        row = app.bean.insert("Digestion", record)
+        print(f"   imported experiment #{row['experiment_id']} "
+              f"({row['enzyme']}, {row['status']})")
+    print(f"   workflow re-checks triggered by the import: "
+          f"{engine.check_count - checks_before}")
+
+    print("== importer tries to 'fix' the managed experiment ==")
+    try:
+        app.bean.update(
+            "Experiment",
+            {"experiment_id": managed.experiment_id},
+            {"wf_state": "completed"},
+        )
+    except AdviceVeto as veto:
+        print(f"   VETOED: {veto}")
+    try:
+        app.bean.delete(
+            "Digestion", {"experiment_id": managed.experiment_id}
+        )
+    except AdviceVeto as veto:
+        print(f"   VETOED: {veto}")
+    still_there = app.db.get("Experiment", managed.experiment_id)
+    print(f"   managed experiment untouched: wf_state={still_there['wf_state']}")
+
+    print("\n== unweaving: the bean is exactly as before ==")
+    removed = weaver.unweave_all()
+    print(f"   removed {removed} advice weave(s)")
+    affected = app.bean.update(
+        "Experiment",
+        {"experiment_id": managed.experiment_id},
+        {"notes": "direct write works again"},
+    )
+    print(f"   direct write after unweave affected {affected} row(s)")
+    assert app.db.count("Digestion") == 4  # 1 managed + 3 imported
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Durability: a lab server that crashes mid-workflow and carries on.
+
+The paper's persistence choices — experiment state in the relational
+database, agent traffic over *persistent* messages ("message delivery is
+guaranteed even if communication partners are not connected all the
+time") — exist precisely so that a lab server crash loses nothing.
+This example stages that story:
+
+1. boot a lab over a database WAL and a broker journal;
+2. start a workflow; the dispatch is journalled, then the server
+   "crashes" before any robot picks it up;
+3. reboot from the same files: the workflow is still running, the
+   dispatch is still queued; the robot (reconnecting) does the work;
+4. crash *again* with the robot's result sitting unconsumed in the
+   manager's queue; the third boot applies it and finishes;
+5. finally, compact the database WAL with a checkpoint.
+
+Run with::
+
+    python examples/durable_lab.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.agents import (
+    AgentManager,
+    EmailTransport,
+    LiquidHandlingRobotAgent,
+    run_until_quiescent,
+)
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.persistence import authorize_agent, register_agent, save_pattern
+from repro.core.spec import AgentSpec
+from repro.messaging import MessageBroker
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+def boot(wal_path, journal_path, first_boot: bool):
+    """(Re)start the lab server over its durable files."""
+    app = build_expdb(wal_path=wal_path, install_schema=first_boot)
+    broker = MessageBroker(journal_path=journal_path)
+    manager = AgentManager(app.db, broker, email=EmailTransport())
+    engine = install_workflow_support(
+        app, dispatcher=manager, install_datamodel=first_boot
+    )
+    manager.attach_engine(engine)
+    if first_boot:
+        add_experiment_type(app.db, "Assay", [])
+        add_sample_type(app.db, "Readout", [])
+        declare_experiment_io(app.db, "Assay", "Readout", "output")
+        register_agent(app.db, AgentSpec("assay-bot", "robot"))
+        authorize_agent(app.db, "assay-bot", "Assay")
+        pattern = (
+            PatternBuilder("durable_assay")
+            .task("assay", experiment_type="Assay")
+            .build(db=app.db)
+        )
+        save_pattern(app.db, pattern)
+    robot = LiquidHandlingRobotAgent(
+        AgentSpec("assay-bot-client", "robot", queue="agent.assay-bot"),
+        broker,
+        produces=[{"sample_type": "Readout", "name_prefix": "readout"}],
+    )
+    return app, broker, manager, engine, robot
+
+
+def crash(app, broker) -> None:
+    """Drop everything on the floor (only the durable files survive)."""
+    app.db.close()
+    broker.close()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_path = Path(tmp) / "lims.wal"
+        journal_path = Path(tmp) / "broker.journal"
+
+        print("== boot 1: start a workflow, crash before the robot runs ==")
+        app, broker, manager, engine, robot = boot(
+            wal_path, journal_path, first_boot=True
+        )
+        workflow = engine.start_workflow("durable_assay")
+        workflow_id = workflow["workflow_id"]
+        for request in engine.pending_authorizations():
+            engine.respond_authorization(request["auth_id"], True, "pi")
+        print(f"   dispatched; queue depth = "
+              f"{broker.queue_depth('agent.assay-bot')}")
+        crash(app, broker)
+
+        print("== boot 2: recover; the robot finds its queued work ==")
+        app, broker, manager, engine, robot = boot(
+            wal_path, journal_path, first_boot=False
+        )
+        view = engine.workflow_view(workflow_id)
+        print(f"   recovered workflow status: {view.status}, "
+              f"assay task: {view.tasks['assay'].state}")
+        robot.run_until_idle()  # robot works; result queued for manager
+        print("   robot done; crash again before the manager pumps")
+        crash(app, broker)
+
+        print("== boot 3: recover; the result is applied ==")
+        app, broker, manager, engine, robot = boot(
+            wal_path, journal_path, first_boot=False
+        )
+        run_until_quiescent(manager, [robot])
+        view = engine.workflow_view(workflow_id)
+        print(f"   workflow status: {view.status}")
+        readouts = app.db.select("Sample")
+        print(f"   readouts: {[row['name'] for row in readouts]}")
+        assert view.status == "completed"
+        assert len(readouts) == 1  # nothing lost, nothing duplicated
+
+        size_before = wal_path.stat().st_size
+        records = app.db.checkpoint()
+        print(f"== checkpoint: WAL {size_before} -> "
+              f"{wal_path.stat().st_size} bytes ({records} records) ==")
+        crash(app, broker)
+
+        app, broker, manager, engine, robot = boot(
+            wal_path, journal_path, first_boot=False
+        )
+        print(f"   post-checkpoint boot sees status: "
+              f"{engine.workflow_view(workflow_id).status}")
+        assert engine.workflow_view(workflow_id).status == "completed"
+
+
+if __name__ == "__main__":
+    main()

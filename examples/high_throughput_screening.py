@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""High-throughput screening: multiple task instances and backtracking.
+
+The motivating scenario of §4.2: experiments fail in the wet lab, many
+are run in parallel, only the best results flow on, and researchers
+backtrack to improve quality.  This example drives a flaky screening
+campaign:
+
+1. a `prepare` task runs **4 parallel instances** on a robot with a 35%
+   failure rate — some abort, the survivors' plates flow on;
+2. the technician spawns **extra instances** when too few succeeded;
+3. the `screen` task consumes the successful plates and scores them;
+4. unhappy with the score, the researcher **restarts** `prepare`
+   (backtracking) — superseding the old instances while keeping them as
+   history — and the second pass produces a better screen.
+
+Run with::
+
+    python examples/high_throughput_screening.py
+"""
+
+from __future__ import annotations
+
+from repro.agents import (
+    AgentManager,
+    AnalysisProgramAgent,
+    EmailTransport,
+    LiquidHandlingRobotAgent,
+    run_until_quiescent,
+)
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.persistence import authorize_agent, register_agent, save_pattern
+from repro.core.spec import AgentSpec
+from repro.messaging import MessageBroker
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+MIN_GOOD_PLATES = 3
+
+
+def build_campaign(seed: int = 21):
+    app = build_expdb()
+    broker = MessageBroker()
+    manager = AgentManager(app.db, broker, email=EmailTransport())
+    engine = install_workflow_support(app, dispatcher=manager)
+    manager.attach_engine(engine)
+
+    add_experiment_type(
+        app.db, "Preparation", [Column("wells", ColumnType.INTEGER)]
+    )
+    add_experiment_type(
+        app.db, "Screening", [Column("score", ColumnType.REAL)]
+    )
+    add_sample_type(app.db, "Plate", [])
+    declare_experiment_io(app.db, "Preparation", "Plate", "output")
+    declare_experiment_io(app.db, "Screening", "Plate", "input")
+
+    prep_spec = AgentSpec("prep-bot", "robot")
+    register_agent(app.db, prep_spec)
+    authorize_agent(app.db, "prep-bot", "Preparation")
+    prep_robot = LiquidHandlingRobotAgent(
+        prep_spec,
+        broker,
+        produces=[{"sample_type": "Plate", "name_prefix": "plate"}],
+        failure_rate=0.35,
+        seed=seed,
+        result_fields={"wells": 96},
+    )
+
+    screen_spec = AgentSpec("screen-prog", "program")
+    register_agent(app.db, screen_spec)
+    authorize_agent(app.db, "screen-prog", "Screening")
+    screener = AnalysisProgramAgent(
+        screen_spec,
+        broker,
+        compute=lambda plates: {
+            "score": round(
+                sum(p.get("quality") or 0 for p in plates)
+                / max(1, len(plates)),
+                4,
+            )
+        },
+    )
+
+    pattern = (
+        PatternBuilder("screening_campaign")
+        .task("prepare", experiment_type="Preparation", default_instances=4)
+        .task("screen", experiment_type="Screening")
+        .flow("prepare", "screen")
+        .data("prepare", "screen", sample_type="Plate")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    agents = [prep_robot, screener]
+    return app, engine, manager, agents
+
+
+def main() -> None:
+    app, engine, manager, agents = build_campaign()
+    workflow = engine.start_workflow("screening_campaign")
+    workflow_id = workflow["workflow_id"]
+    run_until_quiescent(manager, agents)
+
+    def prepare_view():
+        return engine.workflow_view(workflow_id).tasks["prepare"]
+
+    print("== pass 1: 4 parallel preparation instances, flaky robot ==")
+    task = prepare_view()
+    print(f"  completed={task.completed_instances} "
+          f"aborted={task.aborted_instances}")
+
+    # Spawn extra instances until enough plates succeeded (§4.2: users
+    # may create additional instances when results are unsatisfying).
+    spawned = 0
+    while prepare_view().completed_instances < MIN_GOOD_PLATES:
+        if prepare_view().state != "active":
+            break  # task decided itself; restart below if needed
+        engine.spawn_instance(workflow_id, "prepare")
+        spawned += 1
+        run_until_quiescent(manager, agents)
+    print(f"  spawned {spawned} extra instance(s); "
+          f"now {prepare_view().completed_instances} good plates")
+
+    # Authorize & run the screen.
+    for request in engine.pending_authorizations():
+        engine.respond_authorization(request["auth_id"], True, "researcher")
+    run_until_quiescent(manager, agents)
+
+    view = engine.workflow_view(workflow_id)
+    screen_exp = view.tasks["screen"].instances[0]
+    first_score = app.db.get("Screening", screen_exp.experiment_id)["score"]
+    print(f"  screen score (pass 1): {first_score}")
+
+    print("== backtracking: restart 'prepare' for a better pass ==")
+    engine.restart_task(workflow_id, "prepare")
+    run_until_quiescent(manager, agents)
+    while prepare_view().completed_instances < MIN_GOOD_PLATES:
+        if prepare_view().state != "active":
+            break
+        engine.spawn_instance(workflow_id, "prepare")
+        run_until_quiescent(manager, agents)
+    for request in engine.pending_authorizations():
+        engine.respond_authorization(request["auth_id"], True, "researcher")
+    run_until_quiescent(manager, agents)
+
+    view = engine.workflow_view(workflow_id)
+    screen_exp = view.tasks["screen"].instances[0]
+    second_score = app.db.get("Screening", screen_exp.experiment_id)["score"]
+    print(f"  screen score (pass 2): {second_score}")
+
+    history = app.db.select("Experiment", order_by="experiment_id")
+    superseded = [row for row in history if not row["wf_current"]]
+    print(f"== history preserved: {len(history)} experiments total, "
+          f"{len(superseded)} superseded by the restart ==")
+    print(f"final workflow status: {view.status}")
+    assert view.status == "completed"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Exp-DB as a plain web LIMS, then the filter integration made visible.
+
+Part 1 drives the original LIMS through its four generic web operations
+(read / insert / update / delete) — the pre-workflow Exp-DB experience.
+
+Part 2 installs Exp-WF and shows the servlet filter's three modes at
+work on the very same URLs: pass-through for reads, a denied write that
+would corrupt engine state, a workflow action processed entirely by the
+filter, and a postprocessed insert carrying workflow notices.
+
+Run with::
+
+    python examples/lims_browser.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.persistence import save_pattern
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+def show(label: str, response) -> None:
+    print(f"  {label}: HTTP {response.status}")
+    for line in response.body.splitlines():
+        if line.strip():
+            print(f"      | {line.strip()[:76]}")
+            break
+
+
+def main() -> None:
+    print("== part 1: the plain LIMS ==")
+    app = build_expdb()
+    add_experiment_type(
+        app.db,
+        "Crystallization",
+        [Column("temperature", ColumnType.REAL),
+         Column("buffer", ColumnType.TEXT)],
+    )
+    add_sample_type(app.db, "Crystal", [])
+    declare_experiment_io(app.db, "Crystallization", "Crystal", "output")
+
+    show("list tables", app.get("/user", action="list"))
+    show(
+        "generated insert form",
+        app.get("/user", action="form", table="Crystallization"),
+    )
+    show(
+        "insert (split into Experiment + Crystallization)",
+        app.post(
+            "/user",
+            action="insert",
+            table="Crystallization",
+            v_temperature="4.0",
+            v_buffer="HEPES",
+            v_notes="first attempt",
+        ),
+    )
+    show(
+        "read (merged parent/child record)",
+        app.get("/user", action="read", table="Crystallization",
+                c_buffer="HEPES"),
+    )
+    show(
+        "update (columns routed to their owners)",
+        app.post(
+            "/user",
+            action="update",
+            table="Crystallization",
+            c_buffer="HEPES",
+            v_temperature="18.0",
+            v_status="done",
+        ),
+    )
+
+    print("\n== part 2: Exp-WF attached through the descriptor ==")
+    engine = install_workflow_support(app)
+    pattern = (
+        PatternBuilder("crystal_flow")
+        .task("crystallize", experiment_type="Crystallization")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    filter_ = app.container.context["workflow_filter"]
+
+    show(
+        "mode -: read passes through untouched",
+        app.get("/user", action="read", table="Crystallization"),
+    )
+    show(
+        "mode b: workflow action handled by the filter (bypasses LIMS)",
+        app.post("/user", workflow_action="start", pattern="crystal_flow"),
+    )
+    show(
+        "mode a: engine-owned column write DENIED",
+        app.post(
+            "/user",
+            action="update",
+            table="Experiment",
+            c_type_name="Crystallization",
+            v_wf_state="completed",
+        ),
+    )
+    response = app.post(
+        "/user",
+        action="insert",
+        table="Crystallization",
+        v_temperature="20.0",
+        v_buffer="TRIS",
+    )
+    show("mode c: insert postprocessed (workflow re-checked)", response)
+    print(f"      | workflow events attached: "
+          f"{len(response.attributes.get('workflow_events', []))}")
+
+    print(f"\n  filter statistics: {filter_.stats}")
+    view = engine.workflow_view(1)
+    print(f"  workflow #1 status: {view.status}; "
+          f"crystallize={view.tasks['crystallize'].state}")
+
+
+if __name__ == "__main__":
+    main()

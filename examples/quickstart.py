@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Quickstart: add workflow support to a web LIMS in a few lines.
+
+Builds an Exp-DB instance, attaches Exp-WF through the deployment
+descriptor (no LIMS component is modified), defines a two-step workflow,
+runs it with a simulated robot, and prints every state change.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.agents import (
+    AgentManager,
+    EmailTransport,
+    LiquidHandlingRobotAgent,
+    run_until_quiescent,
+)
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.persistence import authorize_agent, register_agent, save_pattern
+from repro.core.spec import AgentSpec
+from repro.messaging import MessageBroker
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+def main() -> None:
+    # 1. A plain Exp-DB LIMS — three tiers, no workflow knowledge.
+    app = build_expdb()
+
+    # 2. Attach Exp-WF: broker + agent manager + engine, wired purely
+    #    through the deployment descriptor.
+    broker = MessageBroker()
+    manager = AgentManager(app.db, broker, email=EmailTransport())
+    engine = install_workflow_support(app, dispatcher=manager)
+    manager.attach_engine(engine)
+
+    # 3. The lab registers its experiment and sample types (Fig. 2's
+    #    extension mechanism — TableBean and friends stay unchanged).
+    add_experiment_type(
+        app.db, "Growth", [Column("od600", ColumnType.REAL)],
+        description="grow a bacterial culture",
+    )
+    add_experiment_type(
+        app.db, "Assay", [Column("activity", ColumnType.REAL)],
+        description="assay the culture",
+    )
+    add_sample_type(app.db, "Culture", [])
+    declare_experiment_io(app.db, "Growth", "Culture", "output")
+    declare_experiment_io(app.db, "Assay", "Culture", "input")
+
+    # 4. A robot that performs Growth experiments; Assay stays human.
+    spec = AgentSpec("growth-bot", "robot")
+    register_agent(app.db, spec)
+    authorize_agent(app.db, "growth-bot", "Growth")
+    robot = LiquidHandlingRobotAgent(
+        spec,
+        broker,
+        produces=[{"sample_type": "Culture", "name_prefix": "culture"}],
+        result_fields={"od600": lambda rng: round(rng.uniform(0.4, 1.2), 3)},
+    )
+
+    # 5. Define and store the workflow pattern.
+    pattern = (
+        PatternBuilder("grow_then_assay")
+        .task("grow", experiment_type="Growth", default_instances=2)
+        .task("assay", experiment_type="Assay")
+        .flow("grow", "assay")
+        .data("grow", "assay", sample_type="Culture")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+
+    # Print the engine's event stream as it happens.
+    engine.events.subscribe(
+        lambda event: print(f"  [{event.sequence:3d}] {event.kind}: {event.payload}")
+    )
+
+    # 6. Start a run-through and let the robot work.
+    print("== starting workflow ==")
+    workflow = engine.start_workflow("grow_then_assay")
+    run_until_quiescent(manager, [robot])
+
+    # 7. The final task is authorization-gated (§4.2); the PI approves
+    #    through the web interface.
+    print("== approving the final task ==")
+    for request in engine.pending_authorizations():
+        response = app.post(
+            "/user",
+            workflow_action="authorize",
+            auth_id=str(request["auth_id"]),
+            approve="true",
+            by="the-pi",
+        )
+        assert response.ok
+
+    # 8. The assay is performed by a human through the web interface.
+    print("== human enters assay results via the web ==")
+    view = engine.workflow_view(workflow["workflow_id"])
+    for instance in view.tasks["assay"].instances:
+        response = app.post(
+            "/user",
+            workflow_action="complete_instance",
+            experiment_id=str(instance.experiment_id),
+            success="true",
+            r_activity="0.87",
+        )
+        assert response.ok
+
+    final = engine.workflow_view(workflow["workflow_id"])
+    print(f"\nworkflow status: {final.status}")
+    for task in final.tasks.values():
+        print(
+            f"  {task.name:8s} {task.state:10s} "
+            f"({task.completed_instances}/{len(task.instances)} instances ok)"
+        )
+    cultures = app.db.select("Sample")
+    print(f"cultures produced: {[row['name'] for row in cultures]}")
+    assert final.status == "completed"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Exp-WF — workflow support for laboratory information systems.
+
+A from-scratch Python reproduction of the ICDE 2006 paper by Gabor and
+Kemme.  The package is organised in layers that mirror the paper's system:
+
+``repro.minidb``
+    An in-process relational database engine (the PostgreSQL analog):
+    typed schemas, constraints, indexes, transactions and a write-ahead
+    log with crash recovery.
+
+``repro.weblims``
+    The Exp-DB LIMS analog: a WSGI-style web container with servlet
+    filters, a generic metadata-driven table interface (``TableBean``),
+    HTML templating, and the core laboratory data model.
+
+``repro.messaging``
+    A persistent, asynchronous message broker (the OpenJMS analog) used
+    for agent communication.
+
+``repro.xmlbridge``
+    Relational-to-XML and XML-to-relational translation (the NeT/CoT
+    analog) used as the generic agent data-interchange format.
+
+``repro.agents``
+    The software-agent framework: a template agent class plus simulated
+    robot, human-technician and analysis-program agents.
+
+``repro.core``
+    Exp-WF itself: the workflow specification model, the two-level
+    execution model with multiple task instances, the condition
+    language, the workflow engine (``WorkflowBean``), the servlet filter
+    integration (``WorkflowFilter``/``WorkflowServlet``) and the
+    workflow data model.
+
+``repro.workloads``
+    Workload generators and the calibrated latency cost model used by
+    the benchmark harness to regenerate the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

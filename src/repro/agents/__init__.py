@@ -1,0 +1,42 @@
+"""agents — the software-agent framework (§5.1.2).
+
+"In order to automate experiment execution, the workflow manager
+requires a framework for registering and communicating with the external
+systems that will perform the experiments.  Exp-WF uses software agents
+that act as wrappers for the external systems."
+
+* :class:`~repro.agents.base.TemplateAgent` — "a template agent class
+  that provides all necessary messaging functionality ... simplifying
+  the creation of a customized agent for an external instrument";
+* :class:`~repro.agents.robot.LiquidHandlingRobotAgent` — the simulated
+  liquid-handling robot; its only customisation is the CSV input/output
+  format, exactly as in the paper;
+* :class:`~repro.agents.human.HumanTechnicianAgent` — humans are
+  "informed via email, and must then enter the results via the web
+  interface";
+* :class:`~repro.agents.program.AnalysisProgramAgent` — a deterministic
+  analysis program (the BLAST stand-in);
+* :class:`~repro.agents.manager.AgentManager` — chooses agents, extracts
+  task input from the database as XML, sends/receives the persistent
+  messages, and applies agent results back through the WorkflowBean.
+"""
+
+from repro.agents.base import AgentResult, TemplateAgent
+from repro.agents.human import HumanTechnicianAgent
+from repro.agents.mailbox import Email, EmailTransport
+from repro.agents.manager import AgentManager
+from repro.agents.program import AnalysisProgramAgent
+from repro.agents.robot import LiquidHandlingRobotAgent
+from repro.agents.runtime import run_until_quiescent
+
+__all__ = [
+    "TemplateAgent",
+    "AgentResult",
+    "AgentManager",
+    "LiquidHandlingRobotAgent",
+    "HumanTechnicianAgent",
+    "AnalysisProgramAgent",
+    "EmailTransport",
+    "Email",
+    "run_until_quiescent",
+]

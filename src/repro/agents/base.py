@@ -1,0 +1,196 @@
+"""The template agent class.
+
+"Exp-WF provides a template agent class that provides all necessary
+messaging functionality and provides several other helpful methods
+including default message handling procedures, simplifying the creation
+of a customized agent for an external instrument."
+
+A concrete agent customises two hooks:
+
+* :meth:`translate_input` — XML task-input document → the external
+  system's native format (the robot's is CSV);
+* :meth:`execute` — run the external system against the native input and
+  return an :class:`AgentResult` (success flag, output samples, chosen
+  inputs, result values).
+
+Everything else — queue consumption, acknowledgement, result
+serialisation, abort handling, default handling of unknown messages — is
+inherited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agents.protocol import TaskResult, build_result_xml
+from repro.core.dispatch import (
+    ENGINE_QUEUE,
+    KIND_ABORT,
+    KIND_AUTH_REQUEST,
+    KIND_DISPATCH,
+    KIND_RESULT,
+    KIND_STARTED,
+)
+from repro.core.spec import AgentSpec
+from repro.errors import AgentError
+from repro.messaging.broker import MessageBroker
+from repro.messaging.client import Connection
+from repro.messaging.message import Message
+from repro.xmlbridge import RelationalDocument
+
+
+@dataclass
+class AgentResult:
+    """What an agent reports after executing one task instance."""
+
+    success: bool
+    outputs: list[dict[str, Any]] = field(default_factory=list)
+    chosen_input_ids: list[int] = field(default_factory=list)
+    result_values: dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+
+
+class TemplateAgent:
+    """Base class wiring an external system to the message broker."""
+
+    kind = "program"
+
+    def __init__(self, spec: AgentSpec, broker: MessageBroker) -> None:
+        if spec.kind != self.kind:
+            raise AgentError(
+                f"agent spec {spec.name!r} has kind {spec.kind!r}, this "
+                f"class implements {self.kind!r}"
+            )
+        self.spec = spec
+        self.connection = Connection(broker)
+        self.consumer = self.connection.create_consumer(spec.queue)
+        self.producer = self.connection.create_producer(ENGINE_QUEUE)
+        #: experiment ids currently being worked on (abort bookkeeping).
+        self.in_progress: set[int] = set()
+        #: experiment ids whose abort arrived before/while executing.
+        self.aborted: set[int] = set()
+        #: (message kind, error text) pairs for diagnostics.
+        self.errors: list[tuple[str, str]] = []
+        self.handled_count = 0
+
+    # ------------------------------------------------------------------
+    # Message pump
+    # ------------------------------------------------------------------
+
+    def step(self, timeout: float = 0.0) -> bool:
+        """Handle one message; returns whether one was handled."""
+        message = self.consumer.receive(timeout=timeout)
+        if message is None:
+            return False
+        try:
+            self.handle_message(message)
+        except AgentError as error:
+            self._record_failure(message, error)
+        self.consumer.ack(message)
+        self.handled_count += 1
+        return True
+
+    def run_until_idle(self, limit: int = 1000) -> int:
+        """Drain the agent's queue; returns how many messages ran."""
+        handled = 0
+        while handled < limit and self.step():
+            handled += 1
+        return handled
+
+    def handle_message(self, message: Message) -> None:
+        """Default message dispatch by the ``kind`` header."""
+        kind = message.headers.get("kind")
+        if kind == KIND_DISPATCH:
+            self._handle_dispatch(message)
+        elif kind == KIND_ABORT:
+            self.on_abort(int(message.headers["experiment_id"]))
+        elif kind == KIND_AUTH_REQUEST:
+            self.on_authorization_request(message)
+        else:
+            self.on_unknown(message)
+
+    def _handle_dispatch(self, message: Message) -> None:
+        experiment_id = int(message.headers["experiment_id"])
+        if experiment_id in self.aborted:
+            self.aborted.discard(experiment_id)
+            return  # abort overtook the dispatch; do nothing
+        document = RelationalDocument.from_xml(message.body)
+        self.in_progress.add(experiment_id)
+        self.producer.send(
+            "",
+            headers={"kind": KIND_STARTED, "experiment_id": experiment_id},
+        )
+        try:
+            native = self.translate_input(document)
+            result = self.execute(experiment_id, native)
+        finally:
+            self.in_progress.discard(experiment_id)
+        if experiment_id in self.aborted:
+            self.aborted.discard(experiment_id)
+            return  # the engine aborted us mid-run; results are moot
+        self.send_result(experiment_id, result)
+
+    def send_result(self, experiment_id: int, result: AgentResult) -> None:
+        """Serialise and send a task result to the workflow manager."""
+        body = build_result_xml(
+            TaskResult(
+                experiment_id=experiment_id,
+                success=result.success,
+                outputs=result.outputs,
+                chosen_input_ids=result.chosen_input_ids,
+                result_values=result.result_values,
+                note=result.note,
+            )
+        )
+        self.producer.send(
+            body,
+            headers={
+                "kind": KIND_RESULT,
+                "experiment_id": experiment_id,
+                "agent": self.spec.name,
+            },
+        )
+
+    def _record_failure(self, message: Message, error: AgentError) -> None:
+        kind = message.headers.get("kind", "?")
+        self.errors.append((kind, str(error)))
+        if kind == KIND_DISPATCH and "experiment_id" in message.headers:
+            # The external system failed: report an unsuccessful instance
+            # rather than leaving the engine waiting forever.
+            self.send_result(
+                int(message.headers["experiment_id"]),
+                AgentResult(success=False, note=str(error)),
+            )
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete agents
+    # ------------------------------------------------------------------
+
+    def translate_input(self, document: RelationalDocument) -> Any:
+        """XML → native format.  Default: hand over the document itself."""
+        return document
+
+    def execute(self, experiment_id: int, native: Any) -> AgentResult:
+        """Run the wrapped external system.  Must be overridden."""
+        raise AgentError(
+            f"agent {self.spec.name!r} does not implement execute()"
+        )
+
+    def on_abort(self, experiment_id: int) -> None:
+        """Default abort handling: remember it and stop caring."""
+        self.aborted.add(experiment_id)
+        self.in_progress.discard(experiment_id)
+
+    def on_authorization_request(self, message: Message) -> None:
+        """Default: ignore (humans override to notify their mailbox)."""
+
+    def on_unknown(self, message: Message) -> None:
+        """Default handling for unrecognised message kinds."""
+        self.errors.append(
+            ("unknown", f"unhandled message kind {message.headers.get('kind')!r}")
+        )
+
+    def close(self) -> None:
+        """Disconnect from the broker (unacked messages are requeued)."""
+        self.connection.close()

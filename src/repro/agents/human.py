@@ -1,0 +1,98 @@
+"""The human-technician agent.
+
+Humans do not auto-execute: "A human being is informed via email, and
+must then enter the results via the web interface."  This agent's
+dispatch handling therefore only notifies the technician's mailbox and
+parks the work; the actual results arrive through Exp-DB's web layer
+(the WorkflowServlet's ``complete_instance`` action), which the examples
+and tests drive explicitly.
+
+Authorization requests are likewise surfaced by email; the technician
+answers through the web interface or — to demonstrate the pure-messaging
+path — via :meth:`respond_authorization`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.agents.base import TemplateAgent
+from repro.agents.mailbox import EmailTransport
+from repro.core.dispatch import KIND_AUTH_RESPONSE
+from repro.core.spec import AgentSpec
+from repro.messaging.broker import MessageBroker
+from repro.messaging.message import Message
+from repro.xmlbridge import RelationalDocument
+
+
+class HumanTechnicianAgent(TemplateAgent):
+    """A technician reachable by email, acting through the web UI."""
+
+    kind = "human"
+
+    def __init__(
+        self,
+        spec: AgentSpec,
+        broker: MessageBroker,
+        email: EmailTransport,
+    ) -> None:
+        super().__init__(spec, broker)
+        self.email = email
+        #: experiment_id → parsed task-input document, awaiting the human.
+        self.worklist: dict[int, RelationalDocument] = {}
+        #: pending authorization request headers.
+        self.authorization_requests: list[dict[str, Any]] = []
+
+    def _handle_dispatch(self, message: Message) -> None:
+        experiment_id = int(message.headers["experiment_id"])
+        if experiment_id in self.aborted:
+            self.aborted.discard(experiment_id)
+            return
+        document = RelationalDocument.from_xml(message.body)
+        self.worklist[experiment_id] = document
+        self.email.send(
+            self.spec.contact or self.spec.name,
+            subject=f"[Exp-WF] experiment {experiment_id} assigned to you",
+            body=(
+                f"Task {message.headers.get('task')!r} of workflow "
+                f"{message.headers.get('workflow_id')} needs to be performed "
+                f"(experiment {experiment_id}).  Enter the results via the "
+                "web interface when done."
+            ),
+        )
+
+    def on_abort(self, experiment_id: int) -> None:
+        super().on_abort(experiment_id)
+        if experiment_id in self.worklist:
+            del self.worklist[experiment_id]
+            self.email.send(
+                self.spec.contact or self.spec.name,
+                subject=f"[Exp-WF] experiment {experiment_id} cancelled",
+                body=f"Experiment {experiment_id} was aborted; disregard it.",
+            )
+
+    def on_authorization_request(self, message: Message) -> None:
+        self.authorization_requests.append(dict(message.headers))
+        # The AgentManager already emailed the contact; nothing more to
+        # do until the human decides.
+
+    def respond_authorization(self, auth_id: int, approve: bool) -> None:
+        """Answer an authorization request over the message bus."""
+        self.authorization_requests = [
+            request
+            for request in self.authorization_requests
+            if int(request.get("auth_id", -1)) != auth_id
+        ]
+        self.producer.send(
+            "",
+            headers={
+                "kind": KIND_AUTH_RESPONSE,
+                "auth_id": auth_id,
+                "approve": True if approve else False,
+                "agent": self.spec.name,
+            },
+        )
+
+    def take_work(self, experiment_id: int) -> RelationalDocument:
+        """Remove and return a parked task (the human starts working)."""
+        return self.worklist.pop(experiment_id)

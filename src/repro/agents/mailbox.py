@@ -1,0 +1,52 @@
+"""A simulated email transport.
+
+The paper's human integration path: "A human being is informed via
+email, and must then enter the results via the web interface."  This
+module provides the email side: an in-process transport that records
+messages per address, with read/unread tracking so tests and examples
+can drive the human-in-the-loop protocol deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Email:
+    """One delivered email."""
+
+    to: str
+    subject: str
+    body: str
+    read: bool = False
+
+
+@dataclass
+class EmailTransport:
+    """Delivers and stores emails keyed by recipient address."""
+
+    _inboxes: dict[str, list[Email]] = field(default_factory=dict)
+    sent_count: int = 0
+
+    def send(self, to: str, subject: str, body: str) -> Email:
+        """Deliver one email."""
+        email = Email(to=to, subject=subject, body=body)
+        self._inboxes.setdefault(to, []).append(email)
+        self.sent_count += 1
+        return email
+
+    def inbox(self, address: str) -> list[Email]:
+        """All emails ever delivered to ``address``."""
+        return list(self._inboxes.get(address, ()))
+
+    def unread(self, address: str) -> list[Email]:
+        """Unread emails for ``address`` (marks nothing)."""
+        return [e for e in self._inboxes.get(address, ()) if not e.read]
+
+    def take_unread(self, address: str) -> list[Email]:
+        """Return unread emails for ``address``, marking them read."""
+        emails = self.unread(address)
+        for email in emails:
+            email.read = True
+        return emails

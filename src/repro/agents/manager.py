@@ -1,0 +1,276 @@
+"""The AgentManager (§5.2): the bridge between engine and agents.
+
+Responsibilities, verbatim from the paper: "(1) choosing an appropriate
+agent for a task, (2) extracting the relevant input information from the
+database, (3) sending messages to the agent (e.g., containing task input
+data or abort notifications), (4) handling messages coming from the
+agents (e.g., containing output data or notifications as that the agent
+has started a given task instance), and (5) extracting output
+information and sending it to the WorkflowBean for insertion into the
+database."
+
+The manager implements the engine's :class:`~repro.core.dispatch.Dispatcher`
+protocol on the outbound side, and :meth:`pump` on the inbound side —
+consuming the persistent ``workflow.manager`` queue and applying agent
+messages through the WorkflowBean.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.agents.protocol import parse_result_xml
+from repro.core.dispatch import (
+    ENGINE_QUEUE,
+    KIND_ABORT,
+    KIND_AUTH_REQUEST,
+    KIND_AUTH_RESPONSE,
+    KIND_DISPATCH,
+    KIND_RESULT,
+    KIND_STARTED,
+)
+from repro.core.persistence import agents_for_type
+from repro.errors import AgentFormatError, DispatchError, ReproError
+from repro.messaging.broker import MessageBroker
+from repro.messaging.client import Connection, Producer
+from repro.minidb.engine import Database
+from repro.minidb.predicates import EQ
+from repro.xmlbridge import RelationalDocument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.agents.mailbox import EmailTransport
+    from repro.core.engine import WorkflowBean
+
+
+class AgentManager:
+    """Outbound dispatcher + inbound message pump."""
+
+    def __init__(
+        self,
+        db: Database,
+        broker: MessageBroker,
+        email: "EmailTransport | None" = None,
+    ) -> None:
+        self.db = db
+        self.broker = broker
+        self.email = email
+        self.engine: "WorkflowBean | None" = None
+        self._connection = Connection(broker)
+        self._consumer = self._connection.create_consumer(ENGINE_QUEUE)
+        self._producers: dict[str, Producer] = {}
+        self._round_robin: dict[str, int] = {}
+        self.dispatch_count = 0
+        self.result_count = 0
+
+    def attach_engine(self, engine: "WorkflowBean") -> None:
+        """Wire the engine (done once at application assembly)."""
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # Dispatcher protocol (engine → agents)
+    # ------------------------------------------------------------------
+
+    def choose_agent(self, experiment_type: str | None) -> dict | None:
+        """Round-robin among the agents authorized for the type."""
+        if experiment_type is None:
+            return None
+        agents = agents_for_type(self.db, experiment_type)
+        if not agents:
+            return None
+        index = self._round_robin.get(experiment_type, 0)
+        self._round_robin[experiment_type] = (index + 1) % len(agents)
+        return agents[index % len(agents)]
+
+    def dispatch_instance(
+        self,
+        agent: dict,
+        workflow: dict[str, Any],
+        task_name: str,
+        experiment: dict[str, Any],
+        available_inputs: list[dict[str, Any]],
+    ) -> None:
+        """Extract the task input as XML and send it to the agent."""
+        document = self.build_task_input(
+            workflow, task_name, experiment, available_inputs
+        )
+        self._producer_for(agent["queue"]).send(
+            document.to_xml(),
+            headers={
+                "kind": KIND_DISPATCH,
+                "experiment_id": experiment["experiment_id"],
+                "workflow_id": workflow["workflow_id"],
+                "task": task_name,
+                "experiment_type": experiment["type_name"],
+                "agent": agent["name"],
+            },
+        )
+        self.dispatch_count += 1
+
+    def build_task_input(
+        self,
+        workflow: dict[str, Any],
+        task_name: str,
+        experiment: dict[str, Any],
+        available_inputs: list[dict[str, Any]],
+    ) -> RelationalDocument:
+        """The generic XML task-input document (the NeT/CoT step).
+
+        Contains the (merged) experiment record and every candidate
+        input sample, grouped under its most specific type table so the
+        reverse mapping stays lossless.
+        """
+        document = RelationalDocument(
+            "task-input",
+            kind="dispatch",
+            experiment_id=str(experiment["experiment_id"]),
+            workflow_id=str(workflow["workflow_id"]),
+            task=task_name,
+        )
+        experiment_table = self._experiment_table(experiment["type_name"])
+        merged = self._merged_experiment(experiment)
+        document.add_table_from_db(self.db, experiment_table, [merged])
+        samples_by_table: dict[str, list[dict[str, Any]]] = {}
+        for sample in available_inputs:
+            table = self._sample_table(sample["type_name"])
+            samples_by_table.setdefault(table, []).append(sample)
+        for table, samples in samples_by_table.items():
+            document.add_table_from_db(self.db, table, samples)
+        return document
+
+    def send_abort(self, agent: dict, experiment_id: int) -> None:
+        self._producer_for(agent["queue"]).send(
+            "",
+            headers={"kind": KIND_ABORT, "experiment_id": experiment_id},
+        )
+
+    def notify_authorization(
+        self,
+        agent: dict | None,
+        auth_id: int,
+        workflow: dict[str, Any],
+        task_name: str,
+        kind: str,
+    ) -> None:
+        """Route an authorization request to a human agent.
+
+        With no suitable agent the request simply waits in the database
+        for a decision through the web interface.
+        """
+        if agent is None:
+            return
+        self._producer_for(agent["queue"]).send(
+            "",
+            headers={
+                "kind": KIND_AUTH_REQUEST,
+                "auth_id": auth_id,
+                "workflow_id": workflow["workflow_id"],
+                "task": task_name,
+                "authorization_kind": kind,
+            },
+        )
+        if self.email is not None and agent.get("contact"):
+            self.email.send(
+                agent["contact"],
+                subject=f"[Exp-WF] authorization needed: task {task_name!r}",
+                body=(
+                    f"Workflow {workflow['workflow_id']} requests {kind} "
+                    f"authorization for task {task_name!r} "
+                    f"(request #{auth_id})."
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Inbound pump (agents → engine)
+    # ------------------------------------------------------------------
+
+    def pump(self, limit: int = 1000) -> int:
+        """Apply queued agent messages through the engine.
+
+        Returns the number of messages processed.  Malformed messages
+        are acknowledged and recorded as events — a poison message must
+        not wedge the whole queue.
+        """
+        if self.engine is None:
+            raise DispatchError("AgentManager has no engine attached")
+        processed = 0
+        while processed < limit:
+            message = self._consumer.receive(timeout=0.0)
+            if message is None:
+                break
+            try:
+                self._apply(message)
+            except (ReproError, KeyError, ValueError) as error:
+                # Any library-level failure while applying a message —
+                # bad XML, workflow-state conflicts, schema mismatches in
+                # reported values — rejects that one message; the pump
+                # itself must never die on poison input.
+                self.engine.events.emit(
+                    "message.rejected",
+                    message_kind=message.headers.get("kind"),
+                    error=str(error),
+                )
+            self._consumer.ack(message)
+            processed += 1
+        return processed
+
+    def _apply(self, message) -> None:
+        assert self.engine is not None
+        kind = message.headers.get("kind")
+        if kind == KIND_STARTED:
+            self.engine.instance_started(int(message.headers["experiment_id"]))
+        elif kind == KIND_RESULT:
+            result = parse_result_xml(message.body)
+            self.engine.complete_instance(
+                result.experiment_id,
+                success=result.success,
+                outputs=result.outputs,
+                chosen_input_ids=result.chosen_input_ids,
+                result_values=result.result_values or None,
+            )
+            self.result_count += 1
+        elif kind == KIND_AUTH_RESPONSE:
+            self.engine.respond_authorization(
+                int(message.headers["auth_id"]),
+                message.headers.get("approve") in (True, "true", "True"),
+                decided_by=message.headers.get("agent", ""),
+            )
+        else:
+            raise AgentFormatError(f"unknown inbound message kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _producer_for(self, queue: str) -> Producer:
+        producer = self._producers.get(queue)
+        if producer is None:
+            producer = self._connection.create_producer(queue)
+            self._producers[queue] = producer
+        return producer
+
+    def _experiment_table(self, type_name: str | None) -> str:
+        if type_name is not None:
+            row = self.db.select_one("ExperimentType", EQ("type_name", type_name))
+            if row is not None and self.db.has_table(row["table_name"]):
+                return row["table_name"]
+        return "Experiment"
+
+    def _sample_table(self, type_name: str) -> str:
+        row = self.db.select_one("SampleType", EQ("type_name", type_name))
+        if row is not None and self.db.has_table(row["table_name"]):
+            return row["table_name"]
+        return "Sample"
+
+    def _merged_experiment(self, experiment: dict[str, Any]) -> dict[str, Any]:
+        table = self._experiment_table(experiment["type_name"])
+        if table == "Experiment":
+            return dict(experiment)
+        child = self.db.get(table, experiment["experiment_id"])
+        merged = dict(experiment)
+        if child is not None:
+            merged.update(child)
+        return merged
+
+    def close(self) -> None:
+        """Disconnect from the broker."""
+        self._connection.close()

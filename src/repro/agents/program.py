@@ -1,0 +1,87 @@
+"""The analysis-program agent (the BLAST stand-in).
+
+Scientific workflows feed wet-lab outputs into compute programs.  This
+agent wraps such a program: deterministic, never flaky, scoring its
+inputs with an injectable function.  The default scorer mimics a
+sequence-analysis tool: the score improves with input quality and the
+number of inputs considered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.agents.base import AgentResult, TemplateAgent
+from repro.core.spec import AgentSpec
+from repro.messaging.broker import MessageBroker
+from repro.xmlbridge import RelationalDocument
+
+#: Signature of an analysis function: samples in, result columns out.
+ComputeFunction = Callable[[list[dict[str, Any]]], dict[str, Any]]
+
+
+def default_compute(samples: list[dict[str, Any]]) -> dict[str, Any]:
+    """A BLAST-flavoured scorer: mean input quality, damped by count."""
+    qualities = [s["quality"] for s in samples if s.get("quality") is not None]
+    if not qualities:
+        return {"score": 0.0}
+    mean = sum(qualities) / len(qualities)
+    score = round(mean * (1.0 - 0.5 ** len(qualities)) + 0.5 * mean, 4)
+    return {"score": min(1.0, score)}
+
+
+class AnalysisProgramAgent(TemplateAgent):
+    """Wraps a compute program invoked on the forwarded input samples."""
+
+    kind = "program"
+
+    def __init__(
+        self,
+        spec: AgentSpec,
+        broker: MessageBroker,
+        compute: ComputeFunction | None = None,
+        produces: list[dict[str, Any]] | None = None,
+        require_inputs: bool = True,
+    ) -> None:
+        super().__init__(spec, broker)
+        self.compute = compute or default_compute
+        self.produces = produces or []
+        self.require_inputs = require_inputs
+        self.runs = 0
+
+    def translate_input(
+        self, document: RelationalDocument
+    ) -> list[dict[str, Any]]:
+        """Native format of a program: the list of input sample records."""
+        samples = []
+        for table in document.tables():
+            for row in document.rows(table):
+                if "sample_id" in row:
+                    samples.append(row)
+        return samples
+
+    def execute(
+        self, experiment_id: int, native: list[dict[str, Any]]
+    ) -> AgentResult:
+        self.runs += 1
+        if self.require_inputs and not native:
+            return AgentResult(success=False, note="no input data to analyse")
+        result_values = self.compute(native)
+        score = next(iter(result_values.values()), None)
+        outputs = []
+        for spec in self.produces:
+            outputs.append(
+                {
+                    "sample_type": spec["sample_type"],
+                    "name": f"{spec.get('name_prefix', 'result')}-{experiment_id}",
+                    "quality": float(score) if isinstance(score, (int, float)) else None,
+                    "values": dict(spec.get("values", {})),
+                }
+            )
+        return AgentResult(
+            success=True,
+            outputs=outputs,
+            chosen_input_ids=[row["sample_id"] for row in native],
+            result_values=result_values,
+            note=f"analysed {len(native)} sample(s)",
+        )

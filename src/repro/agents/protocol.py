@@ -1,0 +1,167 @@
+"""The XML result protocol between agents and the workflow manager.
+
+Task *input* travels as a :class:`~repro.xmlbridge.RelationalDocument`
+(real relational rows).  Task *results* are different: they describe
+samples that do not exist yet, the chosen inputs, and updates to the
+experiment record — so they get their own document shape::
+
+    <task-result experiment-id="42" success="true">
+      <chosen-input sample-id="7"/>
+      <output sample-type="PcrProduct" name="pcr-42-a" quality="0.93">
+        <value column="length" type="integer">1200</value>
+      </output>
+      <result-value column="cycles" type="integer">30</result-value>
+      <note>optional free text</note>
+    </task-result>
+
+Values carry minidb type names so the engine can re-type them without
+guessing.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import AgentFormatError
+from repro.minidb.types import ColumnType, from_wire, to_wire
+
+#: Python type → minidb type name, for encoding result values.
+_PYTHON_TO_TYPE = {
+    bool: ColumnType.BOOLEAN,  # must precede int (bool is an int subclass)
+    int: ColumnType.INTEGER,
+    float: ColumnType.REAL,
+    str: ColumnType.TEXT,
+}
+
+
+def _type_of(value: Any) -> ColumnType:
+    for python_type, column_type in _PYTHON_TO_TYPE.items():
+        if type(value) is python_type:
+            return column_type
+    import datetime
+
+    if isinstance(value, datetime.datetime):
+        return ColumnType.TIMESTAMP
+    raise AgentFormatError(
+        f"cannot encode result value of type {type(value).__name__}"
+    )
+
+
+@dataclass
+class TaskResult:
+    """Parsed contents of a task-result document."""
+
+    experiment_id: int
+    success: bool
+    outputs: list[dict[str, Any]] = field(default_factory=list)
+    chosen_input_ids: list[int] = field(default_factory=list)
+    result_values: dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+
+
+def build_result_xml(result: TaskResult) -> str:
+    """Serialise a :class:`TaskResult` for the message body."""
+    root = ET.Element(
+        "task-result",
+        {
+            "experiment-id": str(result.experiment_id),
+            "success": "true" if result.success else "false",
+        },
+    )
+    for sample_id in result.chosen_input_ids:
+        ET.SubElement(root, "chosen-input", {"sample-id": str(sample_id)})
+    for output in result.outputs:
+        attrs = {"sample-type": output["sample_type"]}
+        for key in ("name", "description"):
+            if output.get(key) is not None:
+                attrs[key] = str(output[key])
+        if output.get("quality") is not None:
+            attrs["quality"] = repr(float(output["quality"]))
+        output_element = ET.SubElement(root, "output", attrs)
+        for column, value in output.get("values", {}).items():
+            _append_value(output_element, "value", column, value)
+    for column, value in result.result_values.items():
+        _append_value(root, "result-value", column, value)
+    if result.note:
+        note = ET.SubElement(root, "note")
+        note.text = result.note
+    return ET.tostring(root, encoding="unicode")
+
+
+def _append_value(parent: ET.Element, tag: str, column: str, value: Any) -> None:
+    if value is None:
+        ET.SubElement(parent, tag, {"column": column, "null": "true"})
+        return
+    column_type = _type_of(value)
+    element = ET.SubElement(
+        parent, tag, {"column": column, "type": column_type.value}
+    )
+    element.text = str(to_wire(value, column_type))
+
+
+def parse_result_xml(xml_text: str) -> TaskResult:
+    """Parse a task-result document (raises on malformed input)."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as error:
+        raise AgentFormatError(f"malformed task-result XML: {error}") from None
+    if root.tag != "task-result":
+        raise AgentFormatError(
+            f"expected <task-result>, got <{root.tag}>"
+        )
+    try:
+        experiment_id = int(root.get("experiment-id", ""))
+    except ValueError:
+        raise AgentFormatError("task-result lacks a numeric experiment-id") from None
+    result = TaskResult(
+        experiment_id=experiment_id,
+        success=root.get("success") == "true",
+    )
+    for element in root.findall("chosen-input"):
+        try:
+            result.chosen_input_ids.append(int(element.get("sample-id", "")))
+        except ValueError:
+            raise AgentFormatError("chosen-input lacks a numeric sample-id") from None
+    for element in root.findall("output"):
+        sample_type = element.get("sample-type")
+        if not sample_type:
+            raise AgentFormatError("output element lacks a sample-type")
+        output: dict[str, Any] = {"sample_type": sample_type}
+        if element.get("name") is not None:
+            output["name"] = element.get("name")
+        if element.get("description") is not None:
+            output["description"] = element.get("description")
+        if element.get("quality") is not None:
+            output["quality"] = float(element.get("quality"))
+        values = {}
+        for value_element in element.findall("value"):
+            column, value = _parse_value(value_element)
+            values[column] = value
+        if values:
+            output["values"] = values
+        result.outputs.append(output)
+    for element in root.findall("result-value"):
+        column, value = _parse_value(element)
+        result.result_values[column] = value
+    note = root.find("note")
+    if note is not None and note.text:
+        result.note = note.text
+    return result
+
+
+def _parse_value(element: ET.Element) -> tuple[str, Any]:
+    column = element.get("column")
+    if not column:
+        raise AgentFormatError("value element lacks a column name")
+    if element.get("null") == "true":
+        return column, None
+    type_name = element.get("type")
+    try:
+        column_type = ColumnType(type_name)
+    except ValueError:
+        raise AgentFormatError(
+            f"value for {column!r} has unknown type {type_name!r}"
+        ) from None
+    return column, from_wire(element.text or "", column_type)

@@ -1,0 +1,43 @@
+"""Deterministic execution of the asynchronous agent system.
+
+In production the agents and the AgentManager each run their own message
+loops (possibly on different machines — "the agent could run on this
+specific PC").  For tests, examples and benchmarks we need the same
+system to run deterministically in one process: ``run_until_quiescent``
+alternates the manager's pump and every agent's queue drain until a full
+round moves no message, i.e. the system reached a fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.agents.base import TemplateAgent
+from repro.agents.manager import AgentManager
+from repro.errors import AgentError
+
+
+def run_until_quiescent(
+    manager: AgentManager,
+    agents: Iterable[TemplateAgent],
+    max_rounds: int = 1000,
+) -> int:
+    """Drive manager and agents until no messages flow; returns the count.
+
+    Raises :class:`AgentError` if the system keeps producing messages
+    for ``max_rounds`` rounds (a routing loop — better to fail loudly
+    than spin forever).
+    """
+    agent_list = list(agents)
+    total = 0
+    for __ in range(max_rounds):
+        moved = manager.pump()
+        for agent in agent_list:
+            moved += agent.run_until_idle()
+        total += moved
+        if moved == 0:
+            return total
+    raise AgentError(
+        f"agent system did not quiesce within {max_rounds} rounds "
+        f"({total} messages moved)"
+    )

@@ -1,0 +1,209 @@
+"""Aspect-oriented interception — the paper's future work, implemented.
+
+§7: "We are currently investigating whether aspect-oriented programming
+can replace filter technology in case of systems that are not
+web-based.  An aspect-oriented programming language like AspectJ allows
+the specification of precise interceptor points, e.g., when a
+particular method of an object is called.  This is similar to filters
+but provides more alternatives as to where to intercept calls."
+
+This module provides that alternative integration path: instead of (or
+in addition to) intercepting HTTP requests, *advice* is woven around
+method calls on arbitrary Python objects — typically the ``TableBean``,
+so that programs talking to the LIMS directly (batch importers,
+notebooks, scripts) get the same workflow validation and state tracking
+as web users, with the target object completely unaware.
+
+Model:
+
+* a **pointcut** selects join points: (object, method-name pattern);
+* **advice** runs around matched calls: ``before`` may veto the call by
+  raising, ``after_returning`` observes the result, ``after_raising``
+  observes failures;
+* the :class:`AspectWeaver` installs and removes advice without
+  touching the target class — instances are woven individually, and
+  unweaving restores the original bound methods exactly.
+
+``install_aspect_workflow_support`` packages the Exp-WF aspect: it
+weaves the WorkflowBean's preprocessing and postprocessing around a
+TableBean's ``insert``/``update``/``delete`` — the direct-call analog of
+the WorkflowFilter's modes (a) and (c).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WorkflowError
+
+
+class AdviceVeto(WorkflowError):
+    """Raised by ``before`` advice to block the intercepted call."""
+
+
+@dataclass
+class Advice:
+    """Callbacks woven around a join point.
+
+    Each receives a :class:`JoinPoint`; ``after_returning`` additionally
+    receives the result, ``after_raising`` the exception.
+    """
+
+    before: Callable[["JoinPoint"], None] | None = None
+    after_returning: Callable[["JoinPoint", Any], None] | None = None
+    after_raising: Callable[["JoinPoint", BaseException], None] | None = None
+
+
+@dataclass
+class JoinPoint:
+    """One intercepted call: target, method, arguments."""
+
+    target: Any
+    method: str
+    args: tuple
+    kwargs: dict
+
+
+@dataclass
+class _Weave:
+    target: Any
+    method: str
+    original: Callable
+
+
+@dataclass
+class AspectWeaver:
+    """Installs advice on object instances; fully reversible."""
+
+    _weaves: list[_Weave] = field(default_factory=list)
+    #: (method name, 'call'|'return'|'raise') tuples, for diagnostics.
+    trace: list[tuple[str, str]] = field(default_factory=list)
+
+    def weave(self, target: Any, method_pattern: str, advice: Advice) -> int:
+        """Wrap every matching public method of ``target``.
+
+        ``method_pattern`` is an fnmatch pattern (``insert``, ``*``,
+        ``{insert,update}`` is not supported — weave twice instead).
+        Returns the number of methods woven.
+        """
+        woven = 0
+        for name in dir(target):
+            if name.startswith("_"):
+                continue
+            if not fnmatch.fnmatch(name, method_pattern):
+                continue
+            bound = getattr(target, name)
+            if not callable(bound):
+                continue
+            self._weave_one(target, name, bound, advice)
+            woven += 1
+        return woven
+
+    def _weave_one(
+        self, target: Any, name: str, original: Callable, advice: Advice
+    ) -> None:
+        weaver = self
+
+        @functools.wraps(original)
+        def woven(*args: Any, **kwargs: Any) -> Any:
+            join_point = JoinPoint(
+                target=target, method=name, args=args, kwargs=kwargs
+            )
+            weaver.trace.append((name, "call"))
+            if advice.before is not None:
+                advice.before(join_point)
+            try:
+                result = original(*args, **kwargs)
+            except BaseException as error:
+                weaver.trace.append((name, "raise"))
+                if advice.after_raising is not None:
+                    advice.after_raising(join_point, error)
+                raise
+            weaver.trace.append((name, "return"))
+            if advice.after_returning is not None:
+                advice.after_returning(join_point, result)
+            return result
+
+        object.__setattr__(target, name, woven)
+        self._weaves.append(_Weave(target=target, method=name, original=original))
+
+    def unweave_all(self) -> int:
+        """Remove every installed weave, restoring original methods."""
+        removed = 0
+        for weave in reversed(self._weaves):
+            try:
+                delattr(weave.target, weave.method)
+            except AttributeError:  # pragma: no cover - instance dict only
+                pass
+            removed += 1
+        self._weaves.clear()
+        return removed
+
+
+def install_aspect_workflow_support(bean, engine) -> AspectWeaver:
+    """Weave Exp-WF around a TableBean for non-web clients.
+
+    The direct-call analog of the WorkflowFilter:
+
+    * **before** ``insert``/``update``/``delete`` — the engine validates
+      the action (mode a); a veto raises :class:`AdviceVeto` and the
+      call never reaches the bean;
+    * **after returning** — the engine re-checks running workflows
+      (mode c), exactly as it does for successful web requests.
+
+    Returns the weaver (call ``unweave_all`` to detach Exp-WF again —
+    the bean itself is never modified).
+    """
+
+    def table_of(join_point: JoinPoint) -> str | None:
+        if join_point.args:
+            return join_point.args[0]
+        return join_point.kwargs.get("table")
+
+    def payload_of(join_point: JoinPoint) -> dict:
+        # insert(table, values) / update(table, criteria, changes) /
+        # delete(table, criteria): validate against what the action
+        # writes (values/changes) or selects (criteria for deletes).
+        positional = join_point.args[1:]
+        if join_point.method == "update":
+            if len(positional) >= 2:
+                return dict(positional[1])
+            return dict(join_point.kwargs.get("changes", {}))
+        if positional:
+            return dict(positional[0])
+        return dict(
+            join_point.kwargs.get("values")
+            or join_point.kwargs.get("criteria")
+            or {}
+        )
+
+    def before(join_point: JoinPoint) -> None:
+        table = table_of(join_point)
+        if table is None:
+            return
+        allowed, reason = engine.validate_user_action(
+            table, join_point.method, payload_of(join_point)
+        )
+        if not allowed:
+            engine.events.emit(
+                "request.denied",
+                table=table,
+                action=join_point.method,
+                reason=reason,
+                via="aspect",
+            )
+            raise AdviceVeto(f"workflow manager denied {join_point.method}: {reason}")
+
+    def after_returning(join_point: JoinPoint, result: Any) -> None:
+        table = table_of(join_point)
+        if table is not None:
+            engine.on_data_change(table, {"result": result})
+
+    weaver = AspectWeaver()
+    advice = Advice(before=before, after_returning=after_returning)
+    for method in ("insert", "update", "delete"):
+        weaver.weave(bean, method, advice)
+    return weaver

@@ -1,0 +1,97 @@
+"""A fluent builder for workflow patterns.
+
+The builder is the recommended way to define patterns: it applies the
+§4.2 rule that final tasks require authorization automatically, and runs
+full validation at :meth:`build` time::
+
+    pattern = (
+        PatternBuilder("protein_creation")
+        .task("pcr", experiment_type="Pcr", default_instances=2)
+        .task("digestion", experiment_type="Digestion")
+        .task("ligation", experiment_type="Ligation")
+        .flow("pcr", "ligation")
+        .flow("digestion", "ligation")
+        .data("pcr", "ligation", sample_type="PcrProduct")
+        .build(db=db)
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.spec import TaskDef, TransitionDef, WorkflowPattern
+from repro.core.validation import validate_pattern
+from repro.minidb.engine import Database
+
+
+class PatternBuilder:
+    """Accumulates tasks and transitions, then validates and builds."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self._pattern = WorkflowPattern(name=name, description=description)
+
+    def task(
+        self,
+        name: str,
+        experiment_type: str | None = None,
+        subworkflow: str | None = None,
+        default_instances: int = 1,
+        requires_authorization: bool = False,
+        description: str = "",
+    ) -> "PatternBuilder":
+        """Add a task bound to an experiment type or a sub-workflow."""
+        self._pattern.add_task(
+            TaskDef(
+                name=name,
+                experiment_type=experiment_type,
+                subworkflow=subworkflow,
+                default_instances=default_instances,
+                requires_authorization=requires_authorization,
+                description=description,
+            )
+        )
+        return self
+
+    def flow(
+        self, source: str, target: str, condition: str | None = None
+    ) -> "PatternBuilder":
+        """Add a control-flow transition (optionally conditional)."""
+        self._pattern.add_transition(
+            TransitionDef(source=source, target=target, condition=condition)
+        )
+        return self
+
+    def data(
+        self,
+        source: str,
+        target: str,
+        sample_type: str,
+        condition: str | None = None,
+    ) -> "PatternBuilder":
+        """Add a data transition carrying ``sample_type``."""
+        self._pattern.add_transition(
+            TransitionDef(
+                source=source,
+                target=target,
+                condition=condition,
+                sample_type=sample_type,
+            )
+        )
+        return self
+
+    def build(
+        self,
+        db: Database | None = None,
+        registry: Mapping[str, WorkflowPattern] | None = None,
+    ) -> WorkflowPattern:
+        """Finalise: enforce final-task authorization, validate, return.
+
+        §4.2: "the final task of a workflow now requires authorization to
+        be performed" — the builder turns the flag on rather than making
+        every caller remember to.
+        """
+        for name in self._pattern.final_tasks():
+            self._pattern.task(name).requires_authorization = True
+        validate_pattern(self._pattern, db=db, registry=registry)
+        return self._pattern

@@ -1,0 +1,449 @@
+"""The transition condition language.
+
+Transitions "may be labeled with conditions which allows the modeling of
+iterative loops or branching.  A condition will be evaluated once the
+destination task is considered for execution."  Conditions are small
+boolean expressions over the source task's results, e.g.::
+
+    output.colonies > 10 and experiment.status == 'ok'
+    not (output.concentration < 0.8) or task.completed_instances >= 3
+
+Grammar (precedence low→high: ``or``, ``and``, ``not``, comparison,
+additive, multiplicative, unary minus)::
+
+    expr     := or_expr
+    or_expr  := and_expr ("or" and_expr)*
+    and_expr := unary ("and" unary)*
+    unary    := "not" unary | comparison
+    compare  := additive (("=="|"!="|"<="|">="|"<"|">") additive)?
+    additive := multiplicative (("+"|"-") multiplicative)*
+    multi    := operand (("*"|"/") operand)*
+    operand  := "-" operand | NUMBER | STRING | "true" | "false" | "null"
+              | IDENT ("." IDENT)* | "(" expr ")"
+
+Arithmetic is numeric-only; division by zero, NULL operands and type
+mismatches raise :class:`ConditionError` — which the engine records and
+treats as *condition not satisfied*, never silent misrouting.
+
+Identifiers resolve against a nested dict context; a missing name or an
+ill-typed comparison raises :class:`ConditionError` (the engine treats an
+erroring condition as *not satisfied* and records the failure — errors
+never pass silently into routing decisions).
+
+:meth:`Condition.unparse` produces a canonical string that reparses to an
+equivalent AST — the property the test suite verifies with hypothesis.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConditionError
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\""),
+    ("OP", r"==|!=|<=|>=|<|>"),
+    ("ARITH", r"[+\-*/]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*"),
+    ("SKIP", r"[ \t\r\n]+"),
+]
+_TOKENIZER = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC)
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "null"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKENIZER.match(source, position)
+        if match is None:
+            raise ConditionError(
+                f"unexpected character {source[position]!r} at {position} "
+                f"in condition {source!r}"
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "IDENT" and text in _KEYWORDS:
+            kind = text.upper()
+        if kind != "SKIP":
+            tokens.append(_Token(kind, text, position))
+        position = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _Literal(_Node):
+    value: Any
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        return self.value
+
+    def unparse(self) -> str:
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class _Lookup(_Node):
+    path: tuple[str, ...]
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        value: Any = context
+        for part in self.path:
+            if isinstance(value, dict) and part in value:
+                value = value[part]
+            else:
+                raise ConditionError(
+                    f"unknown name {'.'.join(self.path)!r} in condition context"
+                )
+        return value
+
+    def unparse(self) -> str:
+        return ".".join(self.path)
+
+
+def _require_number(value: Any, operator: str) -> float | int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConditionError(
+            f"arithmetic {operator!r} needs numbers, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class _Arithmetic(_Node):
+    operator: str  # + - * /
+    left: _Node
+    right: _Node
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        left = _require_number(self.left.evaluate(context), self.operator)
+        right = _require_number(self.right.evaluate(context), self.operator)
+        if self.operator == "+":
+            return left + right
+        if self.operator == "-":
+            return left - right
+        if self.operator == "*":
+            return left * right
+        if right == 0:
+            raise ConditionError("division by zero in condition")
+        return left / right
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.operator} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class _Negate(_Node):
+    operand: _Node
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        return -_require_number(self.operand.evaluate(context), "-")
+
+    def unparse(self) -> str:
+        return f"(-{self.operand.unparse()})"
+
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ORDERING_OPS = {"<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class _Comparison(_Node):
+    operator: str
+    left: _Node
+    right: _Node
+
+    def evaluate(self, context: dict[str, Any]) -> bool:
+        left = self.left.evaluate(context)
+        right = self.right.evaluate(context)
+        if self.operator in _ORDERING_OPS:
+            if left is None or right is None:
+                raise ConditionError(
+                    f"cannot order NULL with {self.operator!r}"
+                )
+            numeric = isinstance(left, (int, float)) and isinstance(
+                right, (int, float)
+            )
+            same_type = type(left) is type(right)
+            if not numeric and not same_type:
+                raise ConditionError(
+                    f"cannot compare {type(left).__name__} with "
+                    f"{type(right).__name__} using {self.operator!r}"
+                )
+            if isinstance(left, bool) != isinstance(right, bool):
+                raise ConditionError(
+                    f"cannot order boolean against number with "
+                    f"{self.operator!r}"
+                )
+        return _COMPARATORS[self.operator](left, right)
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} {self.operator} {self.right.unparse()}"
+
+
+@dataclass(frozen=True)
+class _Not(_Node):
+    operand: _Node
+
+    def evaluate(self, context: dict[str, Any]) -> bool:
+        return not _truthy(self.operand.evaluate(context), "not")
+
+    def unparse(self) -> str:
+        return f"not ({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class _BoolOp(_Node):
+    operator: str  # "and" | "or"
+    operands: tuple[_Node, ...]
+
+    def evaluate(self, context: dict[str, Any]) -> bool:
+        if self.operator == "and":
+            return all(
+                _truthy(op.evaluate(context), "and") for op in self.operands
+            )
+        return any(_truthy(op.evaluate(context), "or") for op in self.operands)
+
+    def unparse(self) -> str:
+        joined = f" {self.operator} ".join(
+            f"({op.unparse()})" for op in self.operands
+        )
+        return joined
+
+
+def _truthy(value: Any, operator: str) -> bool:
+    """Boolean contexts accept booleans only — no silent coercion."""
+    if isinstance(value, bool):
+        return value
+    raise ConditionError(
+        f"{operator!r} needs a boolean operand, got {type(value).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.position = 0
+
+    def peek(self) -> _Token | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ConditionError(f"unexpected end of condition {self.source!r}")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise ConditionError(
+                f"expected {kind} at position {token.position} in "
+                f"condition {self.source!r}, got {token.text!r}"
+            )
+        return token
+
+    def parse(self) -> _Node:
+        node = self.parse_or()
+        leftover = self.peek()
+        if leftover is not None:
+            raise ConditionError(
+                f"unexpected {leftover.text!r} at position "
+                f"{leftover.position} in condition {self.source!r}"
+            )
+        return node
+
+    def parse_or(self) -> _Node:
+        operands = [self.parse_and()]
+        while self.peek() is not None and self.peek().kind == "OR":
+            self.next()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return _BoolOp("or", tuple(operands))
+
+    def parse_and(self) -> _Node:
+        operands = [self.parse_unary()]
+        while self.peek() is not None and self.peek().kind == "AND":
+            self.next()
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return _BoolOp("and", tuple(operands))
+
+    def parse_unary(self) -> _Node:
+        token = self.peek()
+        if token is not None and token.kind == "NOT":
+            self.next()
+            return _Not(self.parse_unary())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> _Node:
+        left = self.parse_additive()
+        token = self.peek()
+        if token is not None and token.kind == "OP":
+            self.next()
+            right = self.parse_additive()
+            return _Comparison(token.text, left, right)
+        return left
+
+    def parse_additive(self) -> _Node:
+        node = self.parse_multiplicative()
+        while (
+            self.peek() is not None
+            and self.peek().kind == "ARITH"
+            and self.peek().text in "+-"
+        ):
+            operator = self.next().text
+            node = _Arithmetic(operator, node, self.parse_multiplicative())
+        return node
+
+    def parse_multiplicative(self) -> _Node:
+        node = self.parse_operand()
+        while (
+            self.peek() is not None
+            and self.peek().kind == "ARITH"
+            and self.peek().text in "*/"
+        ):
+            operator = self.next().text
+            node = _Arithmetic(operator, node, self.parse_operand())
+        return node
+
+    def parse_operand(self) -> _Node:
+        token = self.next()
+        if token.kind == "ARITH" and token.text == "-":
+            return _Negate(self.parse_operand())
+        if token.kind == "NUMBER":
+            if "." in token.text:
+                return _Literal(float(token.text))
+            return _Literal(int(token.text))
+        if token.kind == "STRING":
+            body = token.text[1:-1]
+            unescaped = re.sub(r"\\(.)", r"\1", body)
+            return _Literal(unescaped)
+        if token.kind == "TRUE":
+            return _Literal(True)
+        if token.kind == "FALSE":
+            return _Literal(False)
+        if token.kind == "NULL":
+            return _Literal(None)
+        if token.kind == "IDENT":
+            return _Lookup(tuple(token.text.split(".")))
+        if token.kind == "LPAREN":
+            node = self.parse_or()
+            self.expect("RPAREN")
+            return node
+        raise ConditionError(
+            f"unexpected {token.text!r} at position {token.position} in "
+            f"condition {self.source!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Public interface
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """A parsed transition condition."""
+
+    def __init__(self, source: str) -> None:
+        if not source or not source.strip():
+            raise ConditionError("empty condition")
+        self.source = source
+        self._ast = _Parser(_tokenize(source), source).parse()
+
+    def evaluate(self, context: dict[str, Any]) -> bool:
+        """Evaluate against ``context``; the result must be boolean."""
+        result = self._ast.evaluate(context)
+        if not isinstance(result, bool):
+            raise ConditionError(
+                f"condition {self.source!r} evaluated to "
+                f"{type(result).__name__}, expected boolean"
+            )
+        return result
+
+    def unparse(self) -> str:
+        """A canonical rendering that reparses to an equivalent AST."""
+        return self._ast.unparse()
+
+    def names(self) -> set[str]:
+        """All dotted names the condition references (for validation)."""
+        names: set[str] = set()
+
+        def walk(node: _Node) -> None:
+            if isinstance(node, _Lookup):
+                names.add(".".join(node.path))
+            elif isinstance(node, (_Comparison, _Arithmetic)):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, (_Not, _Negate)):
+                walk(node.operand)
+            elif isinstance(node, _BoolOp):
+                for operand in node.operands:
+                    walk(operand)
+
+        walk(self._ast)
+        return names
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Condition) and self._ast == other._ast
+
+    def __hash__(self) -> int:
+        return hash(self.unparse())
+
+    def __repr__(self) -> str:
+        return f"Condition({self.source!r})"

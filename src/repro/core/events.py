@@ -1,0 +1,77 @@
+"""The workflow engine's observable event stream.
+
+Every state change, dispatch and authorization decision the engine makes
+is emitted as an :class:`Event`.  The stream serves three consumers:
+
+* the **web layer** — the WorkflowFilter turns events raised during a
+  request into user-visible notices appended to the response ("the
+  workflow manager may modify the response sent back to the user with
+  details about its own actions");
+* the **test suite** — assertions about engine behaviour read like
+  ``log.of_kind("task.state") == [...]``;
+* the **benchmark harness** — event counts feed the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Event:
+    """One engine occurrence."""
+
+    kind: str
+    payload: dict[str, Any]
+    sequence: int
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+
+@dataclass
+class EventLog:
+    """Append-only event log with subscriber callbacks."""
+
+    events: list[Event] = field(default_factory=list)
+    _subscribers: list[Callable[[Event], None]] = field(default_factory=list)
+    _next_sequence: int = 1
+
+    def emit(self, kind: str, **payload: Any) -> Event:
+        """Record an event and notify subscribers."""
+        event = Event(kind=kind, payload=payload, sequence=self._next_sequence)
+        self._next_sequence += 1
+        self.events.append(event)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Register a callback invoked for every future event."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        """Remove a previously registered callback (idempotent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """All events of one kind, in emission order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def since(self, sequence: int) -> list[Event]:
+        """Events emitted after ``sequence`` (exclusive)."""
+        return [event for event in self.events if event.sequence > sequence]
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the most recent event (0 when empty)."""
+        return self.events[-1].sequence if self.events else 0
+
+    def clear(self) -> None:
+        """Drop recorded events (subscribers stay registered)."""
+        self.events.clear()

@@ -1,0 +1,131 @@
+"""Read-only runtime views of workflows, tasks and instances.
+
+The database is the source of truth for all execution state (that is
+what makes the response-time profile DB-dominated, as the paper
+measures); these dataclasses are the convenient in-memory projection the
+web layer, the examples and the tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.minidb.engine import Database
+from repro.minidb.predicates import AND, EQ
+
+
+@dataclass
+class InstanceView:
+    """One task instance = one (extended) Experiment row."""
+
+    experiment_id: int
+    state: str
+    success: bool | None
+    agent_id: int | None
+    experiment: dict[str, Any]
+
+    @property
+    def decided(self) -> bool:
+        """Whether the instance reached a terminal state."""
+        return self.state in ("completed", "aborted")
+
+
+@dataclass
+class TaskView:
+    """One task of a workflow instance with its current instances."""
+
+    wftask_id: int
+    name: str
+    state: str
+    default_instances: int
+    requires_authorization: bool
+    experiment_type: str | None
+    subworkflow: str | None
+    child_workflow_id: int | None
+    instances: list[InstanceView] = field(default_factory=list)
+
+    @property
+    def completed_instances(self) -> int:
+        return sum(1 for i in self.instances if i.state == "completed")
+
+    @property
+    def aborted_instances(self) -> int:
+        return sum(1 for i in self.instances if i.state == "aborted")
+
+    @property
+    def undecided_instances(self) -> int:
+        return sum(1 for i in self.instances if not i.decided)
+
+
+@dataclass
+class WorkflowView:
+    """A full workflow instance snapshot."""
+
+    workflow_id: int
+    pattern_name: str
+    name: str | None
+    status: str
+    project_id: int | None
+    parent_workflow_id: int | None
+    tasks: dict[str, TaskView] = field(default_factory=dict)
+
+    def task(self, name: str) -> TaskView:
+        return self.tasks[name]
+
+
+def load_instance_views(db: Database, wftask_id: int) -> list[InstanceView]:
+    """Current (non-superseded) instances of one task, oldest first."""
+    rows = db.select(
+        "Experiment",
+        AND(EQ("wftask_id", wftask_id), EQ("wf_current", True)),
+        order_by="experiment_id",
+    )
+    return [
+        InstanceView(
+            experiment_id=row["experiment_id"],
+            state=row["wf_state"],
+            success=row["wf_success"],
+            agent_id=row["agent_id"],
+            experiment=row,
+        )
+        for row in rows
+    ]
+
+
+def load_workflow_view(db: Database, workflow_id: int) -> WorkflowView:
+    """Snapshot a workflow instance with all tasks and instances."""
+    workflow = db.get("Workflow", workflow_id)
+    if workflow is None:
+        from repro.errors import InstanceError
+
+        raise InstanceError(f"no workflow with id {workflow_id}")
+    pattern = db.get("WorkflowPattern", workflow["pattern_id"])
+    view = WorkflowView(
+        workflow_id=workflow_id,
+        pattern_name=pattern["name"] if pattern else "?",
+        name=workflow["name"],
+        status=workflow["status"],
+        project_id=workflow["project_id"],
+        parent_workflow_id=workflow["parent_workflow_id"],
+    )
+    for task_row in db.select(
+        "WFTask", EQ("workflow_id", workflow_id), order_by="wftask_id"
+    ):
+        wfp_task = db.get("WFPTask", task_row["wfp_task_id"])
+        subworkflow = None
+        if wfp_task["subpattern_id"] is not None:
+            child_pattern = db.get("WorkflowPattern", wfp_task["subpattern_id"])
+            subworkflow = child_pattern["name"] if child_pattern else None
+        view.tasks[wfp_task["name"]] = TaskView(
+            wftask_id=task_row["wftask_id"],
+            name=wfp_task["name"],
+            state=task_row["state"],
+            default_instances=wfp_task["default_instances"],
+            requires_authorization=bool(wfp_task["requires_authorization"]),
+            experiment_type=wfp_task["experiment_type"],
+            subworkflow=subworkflow,
+            child_workflow_id=task_row["child_workflow_id"],
+            instances=load_instance_views(db, task_row["wftask_id"]),
+        )
+    return view

@@ -1,0 +1,163 @@
+"""The execution-model state machines (Fig. 4 and §4.2).
+
+Three machines are defined, all variations of the basic model:
+
+**Basic model** (one instance per task): created → unreachable |
+eligible; eligible → aborted (authorization denied) | delegated;
+delegated → aborted | active; active → aborted | completed.
+
+**Task execution model** (extended, §4.2): describes the state of *all*
+instances of a task together.  It "moves from eligible directly to
+active without a delegated state which only exists for task instances".
+A task aborts only if every instance aborts, completes otherwise.
+Restart ("backtracking") sends a terminal task back for re-evaluation.
+
+**Task instance execution model** (extended): "contains all the states
+of the basic execution model except of unreachable and eligible, since
+they have already been determined for the task itself."
+
+States are string enums (persisted verbatim in the database); machines
+are transition tables consulted through :class:`StateMachine`, which is
+the *only* way engine code mutates a state — guaranteeing no illegal
+transition can ever be recorded.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import IllegalTransitionError
+
+
+class TaskState(str, enum.Enum):
+    """States of tasks (and of basic-model task instances)."""
+
+    CREATED = "created"
+    UNREACHABLE = "unreachable"
+    ELIGIBLE = "eligible"
+    DELEGATED = "delegated"
+    ACTIVE = "active"
+    ABORTED = "aborted"
+    COMPLETED = "completed"
+
+
+class InstanceState(str, enum.Enum):
+    """States of task instances in the extended model."""
+
+    CREATED = "created"
+    DELEGATED = "delegated"
+    ACTIVE = "active"
+    ABORTED = "aborted"
+    COMPLETED = "completed"
+
+
+#: Events shared across the machines.
+class Event(str, enum.Enum):
+    BECOME_UNREACHABLE = "become_unreachable"
+    BECOME_ELIGIBLE = "become_eligible"
+    DENY = "deny_authorization"
+    DELEGATE = "delegate"
+    ACTIVATE = "activate"
+    START = "start"
+    COMPLETE = "complete"
+    ABORT = "abort"
+    RESTART = "restart"
+
+
+#: Fig. 4 — the basic execution model (single instance per task).
+BASIC_MODEL: dict[tuple[str, str], str] = {
+    (TaskState.CREATED, Event.BECOME_UNREACHABLE): TaskState.UNREACHABLE,
+    (TaskState.CREATED, Event.BECOME_ELIGIBLE): TaskState.ELIGIBLE,
+    (TaskState.ELIGIBLE, Event.DENY): TaskState.ABORTED,
+    (TaskState.ELIGIBLE, Event.DELEGATE): TaskState.DELEGATED,
+    (TaskState.DELEGATED, Event.ABORT): TaskState.ABORTED,
+    (TaskState.DELEGATED, Event.START): TaskState.ACTIVE,
+    (TaskState.ACTIVE, Event.ABORT): TaskState.ABORTED,
+    (TaskState.ACTIVE, Event.COMPLETE): TaskState.COMPLETED,
+}
+
+#: §4.2 — the task execution model: eligible goes directly to active;
+#: terminal (and unreachable) tasks may be restarted, which sends them
+#: back to created for re-evaluation of their eligibility requirements.
+TASK_MODEL: dict[tuple[str, str], str] = {
+    (TaskState.CREATED, Event.BECOME_UNREACHABLE): TaskState.UNREACHABLE,
+    (TaskState.CREATED, Event.BECOME_ELIGIBLE): TaskState.ELIGIBLE,
+    (TaskState.ELIGIBLE, Event.DENY): TaskState.ABORTED,
+    (TaskState.ELIGIBLE, Event.ACTIVATE): TaskState.ACTIVE,
+    # Eligibility can be revoked before activation when an upstream task
+    # is restarted and its outputs disappear.
+    (TaskState.ELIGIBLE, Event.RESTART): TaskState.CREATED,
+    (TaskState.ACTIVE, Event.ABORT): TaskState.ABORTED,
+    (TaskState.ACTIVE, Event.COMPLETE): TaskState.COMPLETED,
+    (TaskState.ABORTED, Event.RESTART): TaskState.CREATED,
+    (TaskState.COMPLETED, Event.RESTART): TaskState.CREATED,
+    (TaskState.UNREACHABLE, Event.RESTART): TaskState.CREATED,
+}
+
+#: §4.2 — the task instance execution model: no unreachable/eligible.
+TASK_INSTANCE_MODEL: dict[tuple[str, str], str] = {
+    (InstanceState.CREATED, Event.DELEGATE): InstanceState.DELEGATED,
+    (InstanceState.CREATED, Event.ABORT): InstanceState.ABORTED,
+    (InstanceState.DELEGATED, Event.ABORT): InstanceState.ABORTED,
+    (InstanceState.DELEGATED, Event.START): InstanceState.ACTIVE,
+    (InstanceState.ACTIVE, Event.ABORT): InstanceState.ABORTED,
+    (InstanceState.ACTIVE, Event.COMPLETE): InstanceState.COMPLETED,
+}
+
+#: Terminal states (absorbing except via the explicit restart event).
+TERMINAL_TASK_STATES = frozenset(
+    {TaskState.ABORTED, TaskState.COMPLETED}
+)
+TERMINAL_INSTANCE_STATES = frozenset(
+    {InstanceState.ABORTED, InstanceState.COMPLETED}
+)
+
+
+class StateMachine:
+    """A current state plus a transition table; the sole mutation path."""
+
+    def __init__(
+        self,
+        table: dict[tuple[str, str], str],
+        initial: str,
+        name: str = "state-machine",
+    ) -> None:
+        self.table = table
+        self.state = initial
+        self.name = name
+        self.history: list[tuple[str, str]] = []  # (event, new state)
+
+    def can_apply(self, event: str) -> bool:
+        """Whether ``event`` is legal in the current state."""
+        return (self.state, event) in self.table
+
+    def apply(self, event: str) -> str:
+        """Apply ``event``; returns the new state or raises."""
+        try:
+            new_state = self.table[(self.state, event)]
+        except KeyError:
+            raise IllegalTransitionError(
+                self.name, str(self.state), str(event)
+            ) from None
+        self.state = new_state
+        self.history.append((str(event), str(new_state)))
+        return new_state
+
+    def legal_events(self) -> list[str]:
+        """Events applicable in the current state."""
+        return [event for (state, event) in self.table if state == self.state]
+
+
+def basic_machine() -> StateMachine:
+    """A fresh basic-model machine (starts in ``created``)."""
+    return StateMachine(BASIC_MODEL, TaskState.CREATED, "basic-model")
+
+
+def task_machine(initial: str = TaskState.CREATED) -> StateMachine:
+    """A fresh task-level machine (extended model)."""
+    return StateMachine(TASK_MODEL, initial, "task-model")
+
+
+def instance_machine(initial: str = InstanceState.CREATED) -> StateMachine:
+    """A fresh task-instance machine (extended model)."""
+    return StateMachine(TASK_INSTANCE_MODEL, initial, "task-instance-model")

@@ -1,0 +1,217 @@
+"""Exception hierarchy shared by every Exp-WF subpackage.
+
+All library errors derive from :class:`ReproError` so that applications can
+catch everything the library raises with a single ``except`` clause, while
+each subsystem (database, web tier, messaging, workflow engine, agents)
+exposes a dedicated subtree for finer-grained handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the Exp-WF exception hierarchy."""
+
+
+# ---------------------------------------------------------------------------
+# minidb — relational engine substrate
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Root of all relational-engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """A table/column definition is invalid or inconsistent."""
+
+
+class UnknownTableError(SchemaError):
+    """A statement referenced a table that does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.table_name = name
+
+
+class UnknownColumnError(SchemaError):
+    """A statement referenced a column that does not exist."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"unknown column {column!r} in table {table!r}")
+        self.table_name = table
+        self.column_name = column
+
+
+class TypeMismatchError(DatabaseError):
+    """A value could not be coerced to its column's declared type."""
+
+
+class ConstraintError(DatabaseError):
+    """Root of all integrity-constraint violations."""
+
+
+class PrimaryKeyError(ConstraintError):
+    """A primary-key uniqueness or presence constraint was violated."""
+
+
+class ForeignKeyError(ConstraintError):
+    """A foreign-key reference could not be satisfied."""
+
+
+class NotNullError(ConstraintError):
+    """A required (NOT NULL) column was left empty."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction usage (nested begin, commit without begin, ...)."""
+
+
+class RecoveryError(DatabaseError):
+    """The write-ahead log could not be replayed."""
+
+
+# ---------------------------------------------------------------------------
+# weblims — 3-tier web LIMS substrate
+# ---------------------------------------------------------------------------
+
+
+class WebError(ReproError):
+    """Root of all web-tier errors."""
+
+
+class RoutingError(WebError):
+    """No servlet is mapped to the requested path."""
+
+
+class FilterError(WebError):
+    """A servlet filter failed or was misconfigured."""
+
+
+class TemplateError(WebError):
+    """A template ("JSP") could not be rendered."""
+
+
+class SessionError(WebError):
+    """Invalid session usage (expired or unknown session id)."""
+
+
+class BadRequestError(WebError):
+    """The client request was malformed (missing parameter, bad value)."""
+
+
+# ---------------------------------------------------------------------------
+# messaging — persistent JMS-analog broker
+# ---------------------------------------------------------------------------
+
+
+class MessagingError(ReproError):
+    """Root of all messaging errors."""
+
+
+class UnknownQueueError(MessagingError):
+    """A producer or consumer referenced an undeclared queue."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown queue: {name!r}")
+        self.queue_name = name
+
+
+class ConnectionClosedError(MessagingError):
+    """An operation was attempted on a closed connection."""
+
+
+class AcknowledgeError(MessagingError):
+    """A consumer acknowledged a message it does not hold."""
+
+
+class JournalError(MessagingError):
+    """The broker journal is corrupt or unreadable."""
+
+
+# ---------------------------------------------------------------------------
+# xmlbridge — relational <-> XML translation
+# ---------------------------------------------------------------------------
+
+
+class XmlBridgeError(ReproError):
+    """Root of all relational<->XML translation errors."""
+
+
+class XmlExtractionError(XmlBridgeError):
+    """Relational data could not be rendered as XML."""
+
+
+class XmlTranslationError(XmlBridgeError):
+    """An XML document could not be mapped back to relational rows."""
+
+
+# ---------------------------------------------------------------------------
+# core — the Exp-WF workflow module
+# ---------------------------------------------------------------------------
+
+
+class WorkflowError(ReproError):
+    """Root of all workflow-module errors."""
+
+
+class SpecificationError(WorkflowError):
+    """A workflow pattern definition is invalid."""
+
+
+class ConditionError(WorkflowError):
+    """A transition condition failed to parse or evaluate."""
+
+
+class IllegalTransitionError(WorkflowError):
+    """A state machine was asked to make a transition Fig. 4 forbids."""
+
+    def __init__(self, machine: str, current: str, event: str) -> None:
+        super().__init__(
+            f"illegal transition in {machine}: cannot apply {event!r} "
+            f"in state {current!r}"
+        )
+        self.machine = machine
+        self.current = current
+        self.event = event
+
+
+class EligibilityError(WorkflowError):
+    """A task was activated although its eligibility rules do not hold."""
+
+
+class AuthorizationError(WorkflowError):
+    """An authorization decision was missing, duplicated, or unauthorized."""
+
+
+class DispatchError(WorkflowError):
+    """A task instance could not be handed to any agent."""
+
+
+class InstanceError(WorkflowError):
+    """Invalid operation on a workflow or task instance."""
+
+
+# ---------------------------------------------------------------------------
+# agents — external-system wrappers
+# ---------------------------------------------------------------------------
+
+
+class AgentError(ReproError):
+    """Root of all agent-framework errors."""
+
+
+class AgentFormatError(AgentError):
+    """An agent could not translate between XML and its native format."""
+
+
+class AgentExecutionError(AgentError):
+    """The wrapped external system failed while running a task."""
+
+
+class UnknownAgentError(AgentError):
+    """A message referenced an agent that is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown agent: {name!r}")
+        self.agent_name = name

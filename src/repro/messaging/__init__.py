@@ -1,0 +1,32 @@
+"""messaging — the persistent, asynchronous message broker (OpenJMS analog).
+
+The paper's agent framework "uses persistent messages for agent
+communication ... message delivery is guaranteed even if communication
+partners are not connected all the time".  This package provides exactly
+that contract, from scratch:
+
+* named point-to-point **queues** (the JMS queue model the paper uses),
+* **persistent delivery**: every send is journalled to disk before the
+  producer returns; a broker restarted over the same journal re-offers
+  every unacknowledged message,
+* **at-least-once** consumption with explicit acknowledgements; messages
+  abandoned by a crashed/closed consumer are redelivered with the
+  ``redelivered`` flag set,
+* blocking and non-blocking receives, safe across threads.
+
+Entry points: :class:`~repro.messaging.broker.MessageBroker` and
+:class:`~repro.messaging.client.Connection`.
+"""
+
+from repro.messaging.broker import BrokerStats, MessageBroker
+from repro.messaging.client import Connection, Consumer, Producer
+from repro.messaging.message import Message
+
+__all__ = [
+    "MessageBroker",
+    "BrokerStats",
+    "Connection",
+    "Producer",
+    "Consumer",
+    "Message",
+]

@@ -1,0 +1,218 @@
+"""The message broker: queues, delivery, acknowledgement, redelivery.
+
+The broker is the process-wide hub; producers and consumers talk to it
+through :mod:`repro.messaging.client`.  All state transitions happen under
+one lock, with a condition variable to support blocking receives from
+agent threads.
+
+Delivery contract (matching what the paper relies on from OpenJMS):
+
+* ``send`` journals the message before returning — a crash after ``send``
+  never loses it;
+* a message handed to a consumer stays *in flight* until acked; closing
+  the consumer (or replaying the journal after a crash) returns in-flight
+  messages to the front of their queue for redelivery;
+* acknowledging journals the ack, after which the message is gone for
+  good.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import AcknowledgeError, UnknownQueueError
+from repro.messaging.journal import BrokerJournal
+from repro.messaging.message import Message
+
+
+@dataclass
+class BrokerStats:
+    """Operation counters used by the benchmark cost model."""
+
+    sends: int = 0
+    persistent_sends: int = 0
+    deliveries: int = 0
+    redeliveries: int = 0
+    acks: int = 0
+    per_queue_sends: dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.sends = 0
+        self.persistent_sends = 0
+        self.deliveries = 0
+        self.redeliveries = 0
+        self.acks = 0
+        self.per_queue_sends.clear()
+
+
+class MessageBroker:
+    """A point-to-point message broker with optional durability."""
+
+    def __init__(self, journal_path: str | os.PathLike[str] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._queues: dict[str, deque[Message]] = {}
+        self._in_flight: dict[int, Message] = {}
+        self._next_id = 1
+        self.stats = BrokerStats()
+        self._journal: BrokerJournal | None = None
+        if journal_path is not None:
+            self._journal = BrokerJournal(journal_path)
+            self._recover()
+
+    @property
+    def persistent(self) -> bool:
+        """Whether sends are journalled to disk."""
+        return self._journal is not None
+
+    def _recover(self) -> None:
+        assert self._journal is not None
+        queues, outstanding, next_id = self._journal.replay()
+        for name in queues:
+            self._queues.setdefault(name, deque())
+        for message in outstanding:
+            self._queues.setdefault(message.queue, deque()).append(message)
+        self._next_id = next_id
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+
+    def declare_queue(self, name: str) -> None:
+        """Create a queue if it does not already exist (idempotent)."""
+        with self._lock:
+            if name in self._queues:
+                return
+            self._queues[name] = deque()
+            if self._journal is not None:
+                self._journal.append({"type": "declare", "queue": name})
+
+    def queue_names(self) -> list[str]:
+        """All declared queues."""
+        with self._lock:
+            return list(self._queues)
+
+    def queue_depth(self, name: str) -> int:
+        """Messages waiting (not in flight) on ``name``."""
+        with self._lock:
+            return len(self._queue(name))
+
+    def in_flight_count(self) -> int:
+        """Messages delivered but not yet acknowledged, broker-wide."""
+        with self._lock:
+            return len(self._in_flight)
+
+    def _queue(self, name: str) -> deque[Message]:
+        try:
+            return self._queues[name]
+        except KeyError:
+            raise UnknownQueueError(name) from None
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def send(self, queue: str, body: str, headers: dict | None = None) -> Message:
+        """Enqueue a message; durable before return when persistent."""
+        with self._available:
+            target = self._queue(queue)
+            message = Message(
+                queue=queue,
+                body=body,
+                headers=dict(headers or {}),
+                message_id=self._next_id,
+            )
+            self._next_id += 1
+            if self._journal is not None:
+                self._journal.append({"type": "send", "message": message.to_wire()})
+                self.stats.persistent_sends += 1
+            target.append(message)
+            self.stats.sends += 1
+            self.stats.per_queue_sends[queue] = (
+                self.stats.per_queue_sends.get(queue, 0) + 1
+            )
+            self._available.notify_all()
+            return message
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
+    def receive(self, queue: str, timeout: float | None = 0.0) -> Message | None:
+        """Take the next message off ``queue``.
+
+        ``timeout=0`` polls without blocking; ``timeout=None`` blocks until
+        a message arrives; a positive timeout blocks up to that many
+        seconds.  Returns ``None`` when nothing arrived in time.  The
+        message stays in flight until :meth:`ack` or :meth:`requeue`.
+        """
+        deadline: float | None
+        if timeout in (None, 0.0) or timeout == 0:
+            deadline = None
+        else:
+            deadline = timeout
+        with self._available:
+            target = self._queue(queue)
+            if not target and timeout == 0.0:
+                return None
+            while not target:
+                if timeout == 0.0:
+                    return None
+                if not self._available.wait(timeout=deadline):
+                    return None
+                target = self._queue(queue)
+            message = target.popleft()
+            message.delivery_count += 1
+            self._in_flight[message.message_id] = message
+            self.stats.deliveries += 1
+            if message.redelivered:
+                self.stats.redeliveries += 1
+            return message
+
+    def ack(self, message: Message) -> None:
+        """Acknowledge a delivered message, removing it permanently."""
+        with self._lock:
+            if message.message_id not in self._in_flight:
+                raise AcknowledgeError(
+                    f"message {message.message_id} is not in flight"
+                )
+            del self._in_flight[message.message_id]
+            if self._journal is not None:
+                self._journal.append(
+                    {
+                        "type": "ack",
+                        "queue": message.queue,
+                        "message_id": message.message_id,
+                    }
+                )
+            self.stats.acks += 1
+
+    def requeue(self, message: Message) -> None:
+        """Return an in-flight message to the front of its queue."""
+        with self._available:
+            if message.message_id not in self._in_flight:
+                raise AcknowledgeError(
+                    f"message {message.message_id} is not in flight"
+                )
+            del self._in_flight[message.message_id]
+            self._queue(message.queue).appendleft(message)
+            self._available.notify_all()
+
+    def requeue_all_in_flight(self) -> int:
+        """Return every in-flight message to its queue (consumer crash)."""
+        with self._available:
+            messages = sorted(self._in_flight.values(), key=lambda m: m.message_id)
+            self._in_flight.clear()
+            for message in reversed(messages):
+                self._queue(message.queue).appendleft(message)
+            if messages:
+                self._available.notify_all()
+            return len(messages)
+
+    def close(self) -> None:
+        """Release the journal handle."""
+        if self._journal is not None:
+            self._journal.close()

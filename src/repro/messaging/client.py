@@ -1,0 +1,126 @@
+"""JMS-style client objects: connections, producers, consumers.
+
+An agent holds a :class:`Connection` to the broker; through it, it creates
+a :class:`Producer` for the queues it writes (e.g. the workflow manager's
+inbound queue) and a :class:`Consumer` for its own queue.  Closing a
+consumer returns its unacknowledged messages to the queue, which is how
+the "partners are not connected all the time" guarantee is exercised.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AcknowledgeError, ConnectionClosedError
+from repro.messaging.broker import MessageBroker
+from repro.messaging.message import Message
+
+
+class Connection:
+    """A client's handle on the broker; factory for producers/consumers."""
+
+    def __init__(self, broker: MessageBroker) -> None:
+        self._broker = broker
+        self._consumers: list[Consumer] = []
+        self._closed = False
+
+    def create_producer(self, queue: str) -> "Producer":
+        """A producer bound to ``queue`` (declares it if necessary)."""
+        self._ensure_open()
+        self._broker.declare_queue(queue)
+        return Producer(self, self._broker, queue)
+
+    def create_consumer(self, queue: str) -> "Consumer":
+        """A consumer bound to ``queue`` (declares it if necessary)."""
+        self._ensure_open()
+        self._broker.declare_queue(queue)
+        consumer = Consumer(self, self._broker, queue)
+        self._consumers.append(consumer)
+        return consumer
+
+    def close(self) -> None:
+        """Close the connection and all of its consumers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for consumer in list(self._consumers):
+            consumer.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+
+
+class Producer:
+    """Sends messages to one queue."""
+
+    def __init__(
+        self, connection: Connection, broker: MessageBroker, queue: str
+    ) -> None:
+        self._connection = connection
+        self._broker = broker
+        self.queue = queue
+
+    def send(self, body: str, headers: dict | None = None) -> Message:
+        """Send one message; durable before return on a persistent broker."""
+        self._connection._ensure_open()
+        return self._broker.send(self.queue, body, headers)
+
+
+class Consumer:
+    """Receives (and must acknowledge) messages from one queue."""
+
+    def __init__(
+        self, connection: Connection, broker: MessageBroker, queue: str
+    ) -> None:
+        self._connection = connection
+        self._broker = broker
+        self.queue = queue
+        self._unacked: dict[int, Message] = {}
+        self._closed = False
+
+    def receive(self, timeout: float | None = 0.0) -> Message | None:
+        """Next message, or ``None`` on timeout.  See broker.receive."""
+        if self._closed:
+            raise ConnectionClosedError("consumer is closed")
+        message = self._broker.receive(self.queue, timeout)
+        if message is not None:
+            self._unacked[message.message_id] = message
+        return message
+
+    def ack(self, message: Message) -> None:
+        """Acknowledge a message this consumer received."""
+        if message.message_id not in self._unacked:
+            raise AcknowledgeError(
+                f"message {message.message_id} was not received by this consumer"
+            )
+        self._broker.ack(message)
+        del self._unacked[message.message_id]
+
+    def drain(self) -> list[Message]:
+        """Receive-and-ack everything currently queued (convenience)."""
+        messages = []
+        while True:
+            message = self.receive(timeout=0.0)
+            if message is None:
+                return messages
+            self.ack(message)
+            messages.append(message)
+
+    @property
+    def unacked_count(self) -> int:
+        """Messages received but not yet acknowledged."""
+        return len(self._unacked)
+
+    def close(self) -> None:
+        """Close the consumer, requeueing unacked messages (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for message in sorted(
+            self._unacked.values(), key=lambda m: m.message_id, reverse=True
+        ):
+            self._broker.requeue(message)
+        self._unacked.clear()

@@ -1,0 +1,90 @@
+"""Durable journal for the message broker.
+
+Same JSON-lines discipline as the minidb WAL: every record is flushed and
+fsync'd before the operation that produced it returns.  Replay rebuilds
+the set of *outstanding* messages: everything sent but not acknowledged —
+including messages that were in flight to a consumer when the broker
+died — reappears in its queue in send order.
+
+Record shapes::
+
+    {"type": "declare", "queue": "agent.robot-1"}
+    {"type": "send", "message": {...}}
+    {"type": "ack", "queue": "agent.robot-1", "message_id": 17}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import JournalError
+from repro.messaging.message import Message
+
+
+class BrokerJournal:
+    """Append-only journal with crash-tolerant replay."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably append one record."""
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def replay(self) -> tuple[list[str], list[Message], int]:
+        """Rebuild state: (declared queues, outstanding messages, next id).
+
+        A torn final line is discarded (the send never completed); any
+        other corruption raises :class:`JournalError`.
+        """
+        queues: list[str] = []
+        outstanding: dict[int, Message] = {}
+        next_id = 1
+        if not self.path.exists():
+            return queues, [], next_id
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for line_number, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if line_number == len(lines) - 1:
+                    break
+                raise JournalError(
+                    f"corrupt journal record at {self.path}:{line_number + 1}"
+                ) from None
+            kind = record.get("type")
+            if kind == "declare":
+                if record["queue"] not in queues:
+                    queues.append(record["queue"])
+            elif kind == "send":
+                message = Message.from_wire(record["message"])
+                outstanding[message.message_id] = message
+                next_id = max(next_id, message.message_id + 1)
+            elif kind == "ack":
+                outstanding.pop(record["message_id"], None)
+            else:
+                raise JournalError(
+                    f"unknown journal record type {kind!r} at "
+                    f"{self.path}:{line_number + 1}"
+                )
+        ordered = [outstanding[mid] for mid in sorted(outstanding)]
+        return queues, ordered, next_id
+
+    def close(self) -> None:
+        """Release the file handle (reopened lazily on next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

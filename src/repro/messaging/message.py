@@ -1,0 +1,53 @@
+"""The message object exchanged between the workflow manager and agents.
+
+Bodies are text (in practice: the XML documents produced by
+``repro.xmlbridge``); headers are a flat string→scalar dict used for
+routing metadata (message type, task id, agent name, ...), mirroring JMS
+message properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Message:
+    """One queued message.
+
+    ``message_id`` is assigned by the broker (monotonic per broker, stable
+    across journal replay).  ``delivery_count`` counts how many times the
+    message has been handed to a consumer; ``redelivered`` is true from
+    the second delivery on, as in JMS.
+    """
+
+    queue: str
+    body: str
+    headers: dict[str, Any] = field(default_factory=dict)
+    message_id: int = 0
+    delivery_count: int = 0
+
+    @property
+    def redelivered(self) -> bool:
+        """Whether this delivery is a retry of an earlier, unacked one."""
+        return self.delivery_count > 1
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-friendly representation for the journal."""
+        return {
+            "queue": self.queue,
+            "body": self.body,
+            "headers": self.headers,
+            "message_id": self.message_id,
+        }
+
+    @staticmethod
+    def from_wire(record: dict[str, Any]) -> "Message":
+        """Rebuild a message from :meth:`to_wire` output."""
+        return Message(
+            queue=record["queue"],
+            body=record["body"],
+            headers=dict(record["headers"]),
+            message_id=record["message_id"],
+        )

@@ -1,0 +1,58 @@
+"""minidb — the in-process relational engine underpinning Exp-DB.
+
+The original Exp-DB stores everything in PostgreSQL.  minidb provides the
+subset of relational functionality the LIMS and the workflow module
+actually rely on, implemented from scratch:
+
+* typed schemas with primary keys, foreign keys, NOT NULL and defaults,
+* table inheritance (experiment-type child tables share the parent key),
+* predicate-based queries with hash and ordered secondary indexes,
+* transactions with rollback,
+* a JSON-lines write-ahead log and crash recovery,
+* per-operation read/write statistics (the quantity the paper's
+  performance evaluation is expressed in).
+
+The public entry point is :class:`~repro.minidb.engine.Database`.
+"""
+
+from repro.minidb.engine import Database
+from repro.minidb.predicates import (
+    AND,
+    EQ,
+    GE,
+    GT,
+    IN,
+    IS_NULL,
+    LE,
+    LIKE,
+    LT,
+    NE,
+    NOT,
+    OR,
+    Predicate,
+)
+from repro.minidb.schema import Column, ForeignKey, TableSchema
+from repro.minidb.stats import DatabaseStats
+from repro.minidb.types import ColumnType
+
+__all__ = [
+    "Database",
+    "DatabaseStats",
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "TableSchema",
+    "Predicate",
+    "EQ",
+    "NE",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "IN",
+    "LIKE",
+    "IS_NULL",
+    "AND",
+    "OR",
+    "NOT",
+]

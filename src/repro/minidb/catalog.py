@@ -1,0 +1,127 @@
+"""The system catalog: every table's schema, heap and indexes.
+
+The catalog also maintains the referential graph needed for constraint
+checking: for each table, which foreign keys point *at* it (referrers) and
+which child tables inherit from it (Exp-DB-style table inheritance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError, UnknownTableError
+from repro.minidb.index import HashIndex, OrderedIndex
+from repro.minidb.schema import ForeignKey, TableSchema
+from repro.minidb.table import Heap
+
+
+@dataclass
+class TableEntry:
+    """Everything the engine keeps for one table."""
+
+    schema: TableSchema
+    heap: Heap = field(default_factory=Heap)
+    pk_index: HashIndex | None = None
+    hash_indexes: dict[str, HashIndex] = field(default_factory=dict)
+    ordered_indexes: dict[str, OrderedIndex] = field(default_factory=dict)
+    autoincrement_next: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pk_index is None:
+            self.pk_index = HashIndex(self.schema.primary_key, unique=True)
+
+
+class Catalog:
+    """Name → :class:`TableEntry` mapping plus the referential graph."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        # table -> list of (referring table name, foreign key on it)
+        self._referrers: dict[str, list[tuple[str, ForeignKey]]] = {}
+        # parent table -> child table names (inheritance)
+        self._children: dict[str, list[str]] = {}
+
+    # -- lookup --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def entry(self, name: str) -> TableEntry:
+        """The catalog entry for ``name`` (raises if unknown)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def table_names(self) -> list[str]:
+        """All table names in creation order."""
+        return list(self._tables)
+
+    def referrers(self, name: str) -> list[tuple[str, ForeignKey]]:
+        """Tables holding a foreign key that references ``name``."""
+        return list(self._referrers.get(name, ()))
+
+    def children(self, name: str) -> list[str]:
+        """Child tables inheriting from ``name``."""
+        return list(self._children.get(name, ()))
+
+    # -- DDL -----------------------------------------------------------------
+
+    def add_table(self, schema: TableSchema) -> TableEntry:
+        """Register a new table, validating its referential links."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        if schema.parent is not None:
+            parent_entry = self.entry(schema.parent)
+            if parent_entry.schema.primary_key != schema.primary_key:
+                raise SchemaError(
+                    f"child table {schema.name!r} must declare the parent "
+                    f"primary key {parent_entry.schema.primary_key}"
+                )
+        for foreign in schema.foreign_keys:
+            referenced = self.entry(foreign.ref_table)
+            if tuple(foreign.ref_columns) != referenced.schema.primary_key:
+                raise SchemaError(
+                    f"foreign key on {schema.name!r} must reference the "
+                    f"primary key of {foreign.ref_table!r} "
+                    f"({referenced.schema.primary_key})"
+                )
+        entry = TableEntry(schema=schema)
+        self._tables[schema.name] = entry
+        for foreign in schema.foreign_keys:
+            self._referrers.setdefault(foreign.ref_table, []).append(
+                (schema.name, foreign)
+            )
+        if schema.parent is not None:
+            self._children.setdefault(schema.parent, []).append(schema.name)
+        return entry
+
+    def remove_table(self, name: str) -> None:
+        """Unregister a table; fails while anything still references it."""
+        entry = self.entry(name)
+        remaining = [
+            referrer
+            for referrer, _ in self._referrers.get(name, ())
+            if referrer != name and referrer in self._tables
+        ]
+        if remaining:
+            raise SchemaError(
+                f"cannot drop {name!r}: referenced by {sorted(set(remaining))}"
+            )
+        if self._children.get(name):
+            raise SchemaError(
+                f"cannot drop {name!r}: it has child tables "
+                f"{self._children[name]}"
+            )
+        del self._tables[name]
+        self._referrers.pop(name, None)
+        for referrer_list in self._referrers.values():
+            referrer_list[:] = [
+                (referrer, foreign)
+                for referrer, foreign in referrer_list
+                if referrer != name
+            ]
+        if entry.schema.parent is not None:
+            siblings = self._children.get(entry.schema.parent, [])
+            if name in siblings:
+                siblings.remove(name)

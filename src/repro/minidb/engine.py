@@ -1,0 +1,1009 @@
+"""The minidb database engine: DDL, DML, constraints, planning, recovery.
+
+:class:`Database` is the single public entry point.  It glues together the
+catalog (schemas, heaps, indexes), the transaction manager (atomicity),
+the write-ahead log (durability) and the statistics collector (the
+read/write accounting the paper's evaluation is phrased in).
+
+Usage::
+
+    db = Database()                      # in-memory
+    db = Database("/var/lib/lims.wal")   # durable, recovers on open
+
+    db.create_table(TableSchema(...))
+    db.insert("Experiment", {"name": "pcr-7", ...})
+    rows = db.select("Experiment", EQ("project_id", 3))
+    with db.transaction():
+        db.update(...)
+        db.delete(...)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Iterator, Sequence
+
+from repro.errors import (
+    ConstraintError,
+    ForeignKeyError,
+    NotNullError,
+    PrimaryKeyError,
+    RecoveryError,
+    SchemaError,
+    TransactionError,
+)
+from repro.minidb.catalog import Catalog, TableEntry
+from repro.minidb.index import HashIndex, OrderedIndex
+from repro.minidb.predicates import GE, GT, IN, LE, LT, Predicate
+from repro.minidb.schema import TableSchema
+from repro.minidb.stats import DatabaseStats
+from repro.minidb.transactions import (
+    TransactionManager,
+    UndoDelete,
+    UndoEntry,
+    UndoInsert,
+    UndoUpdate,
+)
+from repro.minidb.types import coerce, from_wire, to_wire
+from repro.minidb.wal import WriteAheadLog
+
+_MISSING = object()
+
+
+class Database:
+    """An in-process relational database with optional durability."""
+
+    def __init__(self, wal_path: str | os.PathLike[str] | None = None) -> None:
+        self._catalog = Catalog()
+        self._txn = TransactionManager()
+        self.stats = DatabaseStats()
+        self._wal: WriteAheadLog | None = None
+        if wal_path is not None:
+            self._wal = WriteAheadLog(wal_path)
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        """Create a table.  Not allowed inside a transaction."""
+        self._forbid_in_transaction("create_table")
+        self._catalog.add_table(schema)
+        self._log({"type": "create_table", "schema": schema.describe()})
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table (fails if referenced by other tables)."""
+        self._forbid_in_transaction("drop_table")
+        self._catalog.remove_table(name)
+        self._log({"type": "drop_table", "table": name})
+
+    def create_index(
+        self, table: str, columns: Sequence[str], unique: bool = False
+    ) -> str:
+        """Create a hash index over ``columns``; returns the index name."""
+        self._forbid_in_transaction("create_index")
+        entry = self._catalog.entry(table)
+        entry.schema.validate_column_names(columns)
+        name = self._index_name(table, columns)
+        if name in entry.hash_indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        index = HashIndex(tuple(columns), unique=unique)
+        index.rebuild(entry.heap.scan())
+        if unique:
+            self._verify_unique(entry, index, columns)
+        entry.hash_indexes[name] = index
+        self._log(
+            {
+                "type": "create_index",
+                "table": table,
+                "columns": list(columns),
+                "unique": unique,
+                "ordered": False,
+            }
+        )
+        return name
+
+    def create_ordered_index(self, table: str, column: str) -> str:
+        """Create a sorted index on one column (enables range scans)."""
+        self._forbid_in_transaction("create_ordered_index")
+        entry = self._catalog.entry(table)
+        entry.schema.validate_column_names([column])
+        name = self._index_name(table, [column]) + "__ordered"
+        if name in entry.ordered_indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        index = OrderedIndex(column)
+        index.rebuild(entry.heap.scan())
+        entry.ordered_indexes[name] = index
+        self._log(
+            {
+                "type": "create_index",
+                "table": table,
+                "columns": [column],
+                "unique": False,
+                "ordered": True,
+            }
+        )
+        return name
+
+    def add_column(self, table: str, column) -> None:
+        """ALTER TABLE ADD COLUMN: extend ``table`` with one new column.
+
+        Existing rows are backfilled with the column default (which must
+        be NULL-compatible with the column's nullability).  This is the
+        mechanism Exp-WF uses to extend the ``Experiment`` table with its
+        workflow pointers — the only modification the paper makes to the
+        original data model.
+        """
+        self._forbid_in_transaction("add_column")
+        entry = self._catalog.entry(table)
+        schema = entry.schema
+        if schema.has_column(column.name):
+            raise SchemaError(
+                f"table {table!r} already has a column {column.name!r}"
+            )
+        backfill = column.resolve_default()
+        if backfill is None and not column.nullable:
+            raise SchemaError(
+                f"cannot add NOT NULL column {column.name!r} without a "
+                "default to backfill existing rows"
+            )
+        backfill = coerce(backfill, column.type, f"{table}.{column.name}")
+        new_schema = TableSchema(
+            name=schema.name,
+            columns=[*schema.columns, column],
+            primary_key=schema.primary_key,
+            foreign_keys=list(schema.foreign_keys),
+            parent=schema.parent,
+            autoincrement=schema.autoincrement,
+        )
+        entry.schema = new_schema
+        for __, row in entry.heap.scan():
+            row[column.name] = backfill
+        self._log(
+            {
+                "type": "add_column",
+                "table": table,
+                "column": {
+                    "name": column.name,
+                    "type": column.type.value,
+                    "nullable": column.nullable,
+                    "default": None if callable(column.default) else column.default,
+                },
+            }
+        )
+
+    @staticmethod
+    def _index_name(table: str, columns: Sequence[str]) -> str:
+        return f"{table}__{'_'.join(columns)}"
+
+    @staticmethod
+    def _verify_unique(
+        entry: TableEntry, index: HashIndex, columns: Sequence[str]
+    ) -> None:
+        for __, row in entry.heap.scan():
+            key = index.key_of(row)
+            if index.count_key(key) > 1:
+                raise ConstraintError(
+                    f"cannot create unique index on {entry.schema.name!r}"
+                    f"{tuple(columns)}: duplicate key {key!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def tables(self) -> list[str]:
+        """All table names in creation order."""
+        return self._catalog.table_names()
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table called ``name`` exists."""
+        return name in self._catalog
+
+    def schema(self, name: str) -> TableSchema:
+        """The schema of table ``name``."""
+        return self._catalog.entry(name).schema
+
+    def row_count(self, name: str) -> int:
+        """Number of rows currently in table ``name``."""
+        return len(self._catalog.entry(name).heap)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open an explicit transaction."""
+        self._txn.begin()
+
+    def commit(self) -> None:
+        """Commit the open transaction, making it durable."""
+        redo = self._txn.take_commit()
+        if redo:
+            self._log({"type": "txn", "ops": redo})
+
+    def rollback(self) -> None:
+        """Abort the open transaction, undoing all of its changes."""
+        for entry in self._txn.take_rollback():
+            self._apply_undo(entry)
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[None]:
+        """``with db.transaction():`` — commit on success, rollback on error."""
+        self.begin()
+        try:
+            yield
+        except BaseException:
+            self.rollback()
+            raise
+        self.commit()
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is open."""
+        return self._txn.active
+
+    def _forbid_in_transaction(self, operation: str) -> None:
+        if self._txn.active:
+            raise TransactionError(f"{operation} is not allowed in a transaction")
+
+    @contextlib.contextmanager
+    def _statement(self) -> Iterator[None]:
+        """Run one DML statement, autocommitting if no transaction is open."""
+        if self._txn.active:
+            yield
+            return
+        self._txn.begin()
+        try:
+            yield
+        except BaseException:
+            for entry in self._txn.take_rollback():
+                self._apply_undo(entry)
+            raise
+        redo = self._txn.take_commit()
+        if redo:
+            self._log({"type": "txn", "ops": redo})
+
+    # ------------------------------------------------------------------
+    # DML — insert
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, values: dict[str, Any]) -> dict[str, Any]:
+        """Insert one row; returns the stored row (defaults filled in)."""
+        entry = self._catalog.entry(table)
+        with self._statement():
+            row = self._materialise_row(entry, values)
+            self._check_primary_key(entry, row)
+            self._check_parent(entry, row)
+            self._check_foreign_keys(entry, row)
+            rowid = self._store(entry, row)
+            self._txn.record(
+                UndoInsert(table, rowid),
+                {"op": "insert", "table": table, "row": self._wire_row(entry, row)},
+            )
+            self.stats.record_write(table)
+        return dict(row)
+
+    def _materialise_row(
+        self, entry: TableEntry, values: dict[str, Any]
+    ) -> dict[str, Any]:
+        schema = entry.schema
+        schema.validate_column_names(values)
+        row: dict[str, Any] = {}
+        for column in schema.columns:
+            value = values.get(column.name, _MISSING)
+            if value is _MISSING:
+                if column.name == schema.autoincrement:
+                    value = None
+                else:
+                    value = column.resolve_default()
+            if value is None and column.name == schema.autoincrement:
+                value = entry.autoincrement_next
+                entry.autoincrement_next += 1
+            value = coerce(value, column.type, f"{schema.name}.{column.name}")
+            if value is None and not column.nullable:
+                raise NotNullError(
+                    f"column {schema.name}.{column.name} may not be NULL"
+                )
+            row[column.name] = value
+        if schema.autoincrement is not None:
+            provided = row[schema.autoincrement]
+            if provided is not None and provided >= entry.autoincrement_next:
+                entry.autoincrement_next = provided + 1
+        return row
+
+    def _check_primary_key(self, entry: TableEntry, row: dict[str, Any]) -> None:
+        schema = entry.schema
+        key = entry.pk_index.key_of(row)
+        if any(part is None for part in key):
+            raise PrimaryKeyError(
+                f"primary key of {schema.name!r} may not contain NULL"
+            )
+        self.stats.record_index_lookup()
+        if entry.pk_index.contains_key(key):
+            raise PrimaryKeyError(
+                f"duplicate primary key {key!r} in table {schema.name!r}"
+            )
+
+    def _check_parent(self, entry: TableEntry, row: dict[str, Any]) -> None:
+        """Child tables require a matching parent row (table inheritance)."""
+        schema = entry.schema
+        if schema.parent is None:
+            return
+        parent = self._catalog.entry(schema.parent)
+        key = tuple(row[column] for column in schema.primary_key)
+        self.stats.record_read(schema.parent)
+        self.stats.record_index_lookup()
+        if not parent.pk_index.contains_key(key):
+            raise ForeignKeyError(
+                f"no parent row in {schema.parent!r} for child "
+                f"{schema.name!r} key {key!r}"
+            )
+
+    def _check_foreign_keys(self, entry: TableEntry, row: dict[str, Any]) -> None:
+        for foreign in entry.schema.foreign_keys:
+            key = tuple(row[column] for column in foreign.columns)
+            if any(part is None for part in key):
+                continue  # NULL foreign keys are unconstrained, as in SQL
+            referenced = self._catalog.entry(foreign.ref_table)
+            self.stats.record_read(foreign.ref_table)
+            self.stats.record_index_lookup()
+            if not referenced.pk_index.contains_key(key):
+                raise ForeignKeyError(
+                    f"{entry.schema.name}.{foreign.columns} = {key!r} has no "
+                    f"match in {foreign.ref_table!r}"
+                )
+
+    def _store(self, entry: TableEntry, row: dict[str, Any]) -> int:
+        rowid = entry.heap.insert(row)
+        entry.pk_index.add(rowid, row)
+        for index in entry.hash_indexes.values():
+            index.add(rowid, row)
+        for ordered in entry.ordered_indexes.values():
+            ordered.add(rowid, row)
+        return rowid
+
+    # ------------------------------------------------------------------
+    # DML — select
+    # ------------------------------------------------------------------
+
+    def select(
+        self,
+        table: str,
+        where: Predicate | None = None,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Return copies of every row matching ``where``.
+
+        ``order_by`` sorts by one column (NULLs first); ``limit`` caps the
+        result after sorting; ``columns`` projects the result to the
+        named columns (the full row by default).  The ``order_by``
+        column does not need to appear in the projection.
+        """
+        entry = self._catalog.entry(table)
+        if where is not None:
+            entry.schema.validate_column_names(where.columns())
+        if order_by is not None:
+            entry.schema.validate_column_names([order_by])
+        if columns is not None:
+            entry.schema.validate_column_names(columns)
+        self.stats.record_read(table)
+        rows = [dict(row) for row in self._matching_rows(entry, where)]
+        if order_by is not None:
+            rows.sort(key=_order_key(order_by), reverse=descending)
+        if limit is not None:
+            rows = rows[:limit]
+        if columns is not None:
+            rows = [{name: row[name] for name in columns} for row in rows]
+        return rows
+
+    def select_one(
+        self, table: str, where: Predicate | None = None
+    ) -> dict[str, Any] | None:
+        """The first matching row, or ``None``."""
+        rows = self.select(table, where, limit=1)
+        return rows[0] if rows else None
+
+    def get(self, table: str, *key: Any) -> dict[str, Any] | None:
+        """Primary-key lookup; returns the row or ``None``."""
+        entry = self._catalog.entry(table)
+        if len(key) != len(entry.schema.primary_key):
+            raise ConstraintError(
+                f"table {table!r} has a {len(entry.schema.primary_key)}-column "
+                f"primary key, got {len(key)} values"
+            )
+        self.stats.record_read(table)
+        self.stats.record_index_lookup()
+        rowids = entry.pk_index.lookup(tuple(key))
+        if not rowids:
+            return None
+        return dict(entry.heap.get(next(iter(rowids))))
+
+    def count(self, table: str, where: Predicate | None = None) -> int:
+        """Number of rows matching ``where``."""
+        entry = self._catalog.entry(table)
+        if where is None:
+            self.stats.record_read(table)
+            return len(entry.heap)
+        entry.schema.validate_column_names(where.columns())
+        self.stats.record_read(table)
+        return sum(1 for __ in self._matching_rows(entry, where))
+
+    def select_with_parent(
+        self,
+        table: str,
+        where: Predicate | None = None,
+    ) -> list[dict[str, Any]]:
+        """Select from a child table, merging inherited parent columns.
+
+        Reproduces TableBean's behaviour for experiment-type tables: a read
+        on ``PCR`` performs reads on both ``PCR`` and ``Experiment`` and
+        returns one merged record per child row.  Child columns win on name
+        clashes.  Works recursively up a multi-level parent chain.
+        """
+        entry = self._catalog.entry(table)
+        child_rows = self.select(table, where)
+        chain: list[TableEntry] = []
+        current = entry
+        while current.schema.parent is not None:
+            current = self._catalog.entry(current.schema.parent)
+            chain.append(current)
+        merged_rows = []
+        for child_row in child_rows:
+            merged: dict[str, Any] = {}
+            key = tuple(child_row[column] for column in entry.schema.primary_key)
+            for ancestor in reversed(chain):
+                self.stats.record_read(ancestor.schema.name)
+                self.stats.record_index_lookup()
+                rowids = ancestor.pk_index.lookup(key)
+                if rowids:
+                    merged.update(ancestor.heap.get(next(iter(rowids))))
+            merged.update(child_row)
+            merged_rows.append(merged)
+        return merged_rows
+
+    def _matching_rows(
+        self, entry: TableEntry, where: Predicate | None
+    ) -> Iterator[dict[str, Any]]:
+        rowids = self._plan(entry, where)
+        if rowids is None:
+            self.stats.record_scan(len(entry.heap))
+            for __, row in entry.heap.scan():
+                if where is None or where.matches(row):
+                    yield row
+        else:
+            self.stats.record_scan(len(rowids))
+            for rowid in rowids:
+                row = entry.heap.get(rowid)
+                if where is None or where.matches(row):
+                    yield row
+
+    def _plan(
+        self, entry: TableEntry, where: Predicate | None
+    ) -> list[int] | None:
+        """Pick an access path: PK index, secondary index, range, or scan."""
+        rowids, __ = self._plan_with_info(entry, where)
+        return rowids
+
+    def _plan_with_info(
+        self, entry: TableEntry, where: Predicate | None
+    ) -> tuple[list[int] | None, dict[str, Any]]:
+        """The planner proper: candidate rowids plus the chosen path."""
+        if where is None:
+            return None, {"access": "full_scan", "columns": None}
+        bindings = where.equality_bindings()
+        if bindings:
+            pk_columns = entry.schema.primary_key
+            if all(column in bindings for column in pk_columns):
+                self.stats.record_index_lookup()
+                key = tuple(bindings[column] for column in pk_columns)
+                return sorted(entry.pk_index.lookup(key)), {
+                    "access": "pk_lookup",
+                    "columns": list(pk_columns),
+                }
+            for index in entry.hash_indexes.values():
+                if all(column in bindings for column in index.columns):
+                    self.stats.record_index_lookup()
+                    key = tuple(bindings[column] for column in index.columns)
+                    return sorted(index.lookup(key)), {
+                        "access": "hash_index",
+                        "columns": list(index.columns),
+                    }
+        if isinstance(where, IN):
+            index = self._hash_index_on(entry, (where.column,))
+            if index is not None:
+                self.stats.record_index_lookup()
+                rowids: set[int] = set()
+                for value in where.values:
+                    rowids.update(index.lookup((value,)))
+                return sorted(rowids), {
+                    "access": "in_index",
+                    "columns": [where.column],
+                }
+        if isinstance(where, (LT, LE, GT, GE)):
+            for ordered in entry.ordered_indexes.values():
+                if ordered.column == where.column:
+                    self.stats.record_index_lookup()
+                    info = {"access": "range_scan", "columns": [where.column]}
+                    if isinstance(where, LT):
+                        return (
+                            list(ordered.range(high=where.value, include_high=False)),
+                            info,
+                        )
+                    if isinstance(where, LE):
+                        return list(ordered.range(high=where.value)), info
+                    if isinstance(where, GT):
+                        return (
+                            list(ordered.range(low=where.value, include_low=False)),
+                            info,
+                        )
+                    return list(ordered.range(low=where.value)), info
+        return None, {"access": "full_scan", "columns": None}
+
+    def explain(
+        self, table: str, where: Predicate | None = None
+    ) -> dict[str, Any]:
+        """Describe how a SELECT over ``where`` would be executed.
+
+        Returns ``access`` (``pk_lookup`` / ``hash_index`` / ``in_index``
+        / ``range_scan`` / ``full_scan``), the ``columns`` the chosen
+        index covers, and ``candidate_rows`` the path would touch before
+        post-filtering.
+        """
+        entry = self._catalog.entry(table)
+        if where is not None:
+            entry.schema.validate_column_names(where.columns())
+        rowids, info = self._plan_with_info(entry, where)
+        info["candidate_rows"] = (
+            len(entry.heap) if rowids is None else len(rowids)
+        )
+        return info
+
+    def _hash_index_on(
+        self, entry: TableEntry, columns: tuple[str, ...]
+    ) -> HashIndex | None:
+        """The PK or secondary hash index exactly covering ``columns``."""
+        if entry.schema.primary_key == columns:
+            return entry.pk_index
+        for index in entry.hash_indexes.values():
+            if index.columns == columns:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # DML — update
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        table: str,
+        where: Predicate | None,
+        changes: dict[str, Any],
+    ) -> int:
+        """Update matching rows; returns the number of rows changed.
+
+        Primary-key columns may not be updated (Exp-DB never rewrites
+        experiment ids, and immutable keys keep the referential graph
+        simple and cheap to maintain).
+        """
+        entry = self._catalog.entry(table)
+        schema = entry.schema
+        schema.validate_column_names(changes)
+        if where is not None:
+            schema.validate_column_names(where.columns())
+        for column in changes:
+            if column in schema.primary_key:
+                raise ConstraintError(
+                    f"primary key column {schema.name}.{column} cannot be updated"
+                )
+        coerced = {
+            name: coerce(value, schema.column(name).type, f"{schema.name}.{name}")
+            for name, value in changes.items()
+        }
+        for name, value in coerced.items():
+            if value is None and not schema.column(name).nullable:
+                raise NotNullError(f"column {schema.name}.{name} may not be NULL")
+
+        self.stats.record_read(table)  # locating the target rows is a read
+        targets = []
+        rowids = self._plan(entry, where)
+        if rowids is None:
+            self.stats.record_scan(len(entry.heap))
+            for rowid, row in entry.heap.scan():
+                if where is None or where.matches(row):
+                    targets.append(rowid)
+        else:
+            self.stats.record_scan(len(rowids))
+            for rowid in rowids:
+                if where is None or where.matches(entry.heap.get(rowid)):
+                    targets.append(rowid)
+
+        changed = 0
+        with self._statement():
+            for rowid in targets:
+                old_row = dict(entry.heap.get(rowid))
+                new_row = dict(old_row)
+                new_row.update(coerced)
+                if new_row == old_row:
+                    continue
+                self._check_changed_foreign_keys(entry, old_row, new_row)
+                self._replace(entry, rowid, old_row, new_row)
+                self._txn.record(
+                    UndoUpdate(table, rowid, old_row),
+                    {
+                        "op": "update",
+                        "table": table,
+                        "pk": list(
+                            to_wire(new_row[c], schema.column(c).type)
+                            for c in schema.primary_key
+                        ),
+                        "row": self._wire_row(entry, new_row),
+                    },
+                )
+                self.stats.record_write(table)
+                changed += 1
+        return changed
+
+    def _check_changed_foreign_keys(
+        self,
+        entry: TableEntry,
+        old_row: dict[str, Any],
+        new_row: dict[str, Any],
+    ) -> None:
+        for foreign in entry.schema.foreign_keys:
+            old_key = tuple(old_row[column] for column in foreign.columns)
+            new_key = tuple(new_row[column] for column in foreign.columns)
+            if old_key == new_key or any(part is None for part in new_key):
+                continue
+            referenced = self._catalog.entry(foreign.ref_table)
+            self.stats.record_read(foreign.ref_table)
+            self.stats.record_index_lookup()
+            if not referenced.pk_index.contains_key(new_key):
+                raise ForeignKeyError(
+                    f"{entry.schema.name}.{foreign.columns} = {new_key!r} has "
+                    f"no match in {foreign.ref_table!r}"
+                )
+
+    def _replace(
+        self,
+        entry: TableEntry,
+        rowid: int,
+        old_row: dict[str, Any],
+        new_row: dict[str, Any],
+    ) -> None:
+        entry.pk_index.remove(rowid, old_row)
+        for index in entry.hash_indexes.values():
+            index.remove(rowid, old_row)
+        for ordered in entry.ordered_indexes.values():
+            ordered.remove(rowid, old_row)
+        entry.heap.replace(rowid, new_row)
+        entry.pk_index.add(rowid, new_row)
+        for index in entry.hash_indexes.values():
+            index.add(rowid, new_row)
+        for ordered in entry.ordered_indexes.values():
+            ordered.add(rowid, new_row)
+
+    # ------------------------------------------------------------------
+    # DML — delete
+    # ------------------------------------------------------------------
+
+    def delete(self, table: str, where: Predicate | None) -> int:
+        """Delete matching rows; returns the number of rows removed.
+
+        Deleting a parent row cascades to inheritance children; foreign
+        keys honour their declared ``on_delete`` action.
+        """
+        entry = self._catalog.entry(table)
+        if where is not None:
+            entry.schema.validate_column_names(where.columns())
+        self.stats.record_read(table)
+        targets: list[int] = []
+        rowids = self._plan(entry, where)
+        if rowids is None:
+            self.stats.record_scan(len(entry.heap))
+            for rowid, row in entry.heap.scan():
+                if where is None or where.matches(row):
+                    targets.append(rowid)
+        else:
+            self.stats.record_scan(len(rowids))
+            for rowid in rowids:
+                if where is None or where.matches(entry.heap.get(rowid)):
+                    targets.append(rowid)
+        deleted = 0
+        with self._statement():
+            for rowid in targets:
+                if not entry.heap.contains(rowid):
+                    continue  # already removed by a cascade in this statement
+                deleted += self._delete_row(entry, rowid)
+        return deleted
+
+    def _delete_row(self, entry: TableEntry, rowid: int) -> int:
+        table = entry.schema.name
+        row = dict(entry.heap.get(rowid))
+        key = entry.pk_index.key_of(row)
+
+        # Inheritance children share the PK: cascade to them first.
+        deleted = 0
+        for child_name in self._catalog.children(table):
+            child = self._catalog.entry(child_name)
+            self.stats.record_read(child_name)
+            self.stats.record_index_lookup()
+            for child_rowid in sorted(child.pk_index.lookup(key)):
+                deleted += self._delete_row(child, child_rowid)
+
+        # Referential actions.
+        for referrer_name, foreign in self._catalog.referrers(table):
+            referrer = self._catalog.entry(referrer_name)
+            self.stats.record_read(referrer_name)
+            matches = self._referencing_rowids(referrer, foreign, key)
+            if not matches:
+                continue
+            if foreign.on_delete == "restrict":
+                raise ForeignKeyError(
+                    f"cannot delete {table!r} key {key!r}: referenced by "
+                    f"{referrer_name!r}"
+                )
+            for referencing_rowid in matches:
+                if referrer.heap.contains(referencing_rowid):
+                    deleted += self._delete_row(referrer, referencing_rowid)
+
+        if not entry.heap.contains(rowid):
+            return deleted  # removed transitively by a cycle of cascades
+        row = dict(entry.heap.get(rowid))
+        entry.heap.delete(rowid)
+        entry.pk_index.remove(rowid, row)
+        for index in entry.hash_indexes.values():
+            index.remove(rowid, row)
+        for ordered in entry.ordered_indexes.values():
+            ordered.remove(rowid, row)
+        self._txn.record(
+            UndoDelete(table, rowid, row),
+            {
+                "op": "delete",
+                "table": table,
+                "pk": [
+                    to_wire(row[c], entry.schema.column(c).type)
+                    for c in entry.schema.primary_key
+                ],
+            },
+        )
+        self.stats.record_write(table)
+        return deleted + 1
+
+    def _referencing_rowids(
+        self,
+        referrer: TableEntry,
+        foreign,
+        key: tuple[Any, ...],
+    ) -> list[int]:
+        """Rowids in ``referrer`` whose FK columns equal ``key``."""
+        for index in referrer.hash_indexes.values():
+            if index.columns == tuple(foreign.columns):
+                self.stats.record_index_lookup()
+                return sorted(index.lookup(key))
+        matches = []
+        self.stats.record_scan(len(referrer.heap))
+        for rowid, row in referrer.heap.scan():
+            if tuple(row.get(column) for column in foreign.columns) == key:
+                matches.append(rowid)
+        return matches
+
+    # ------------------------------------------------------------------
+    # Undo / redo plumbing
+    # ------------------------------------------------------------------
+
+    def _apply_undo(self, undo: UndoEntry) -> None:
+        entry = self._catalog.entry(undo.table)
+        if isinstance(undo, UndoInsert):
+            row = entry.heap.get(undo.rowid)
+            entry.heap.delete(undo.rowid)
+            entry.pk_index.remove(undo.rowid, row)
+            for index in entry.hash_indexes.values():
+                index.remove(undo.rowid, row)
+            for ordered in entry.ordered_indexes.values():
+                ordered.remove(undo.rowid, row)
+        elif isinstance(undo, UndoUpdate):
+            current = dict(entry.heap.get(undo.rowid))
+            self._replace(entry, undo.rowid, current, dict(undo.old_row))
+        elif isinstance(undo, UndoDelete):
+            entry.heap.insert_at(undo.rowid, dict(undo.old_row))
+            entry.pk_index.add(undo.rowid, undo.old_row)
+            for index in entry.hash_indexes.values():
+                index.add(undo.rowid, undo.old_row)
+            for ordered in entry.ordered_indexes.values():
+                ordered.add(undo.rowid, undo.old_row)
+        else:  # pragma: no cover - closed union
+            raise TransactionError(f"unknown undo entry {undo!r}")
+
+    def _wire_row(self, entry: TableEntry, row: dict[str, Any]) -> dict[str, Any]:
+        schema = entry.schema
+        return {
+            name: to_wire(value, schema.column(name).type)
+            for name, value in row.items()
+        }
+
+    def _unwire_row(self, entry: TableEntry, row: dict[str, Any]) -> dict[str, Any]:
+        schema = entry.schema
+        return {
+            name: from_wire(value, schema.column(name).type)
+            for name, value in row.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _log(self, record: dict[str, Any]) -> None:
+        if self._wal is not None and not self._recovering:
+            self._wal.append(record)
+
+    _recovering = False
+
+    def _recover(self) -> None:
+        """Replay the WAL to rebuild state after (re)opening the database."""
+        assert self._wal is not None
+        self._recovering = True
+        try:
+            for record in self._wal.replay():
+                kind = record["type"]
+                if kind == "create_table":
+                    self._catalog.add_table(
+                        TableSchema.from_description(record["schema"])
+                    )
+                elif kind == "drop_table":
+                    self._catalog.remove_table(record["table"])
+                elif kind == "create_index":
+                    if record["ordered"]:
+                        self.create_ordered_index(
+                            record["table"], record["columns"][0]
+                        )
+                    else:
+                        self.create_index(
+                            record["table"], record["columns"], record["unique"]
+                        )
+                elif kind == "add_column":
+                    from repro.minidb.schema import Column
+                    from repro.minidb.types import ColumnType
+
+                    spec = record["column"]
+                    self.add_column(
+                        record["table"],
+                        Column(
+                            name=spec["name"],
+                            type=ColumnType(spec["type"]),
+                            nullable=spec["nullable"],
+                            default=spec["default"],
+                        ),
+                    )
+                elif kind == "autoincrement":
+                    entry = self._catalog.entry(record["table"])
+                    entry.autoincrement_next = max(
+                        entry.autoincrement_next, record["next"]
+                    )
+                elif kind == "txn":
+                    for op in record["ops"]:
+                        self._replay_op(op)
+                else:
+                    raise RecoveryError(f"unknown WAL record type {kind!r}")
+        finally:
+            self._recovering = False
+        self.stats.reset()
+
+    def _replay_op(self, op: dict[str, Any]) -> None:
+        entry = self._catalog.entry(op["table"])
+        schema = entry.schema
+        if op["op"] == "insert":
+            row = self._unwire_row(entry, op["row"])
+            self._store(entry, row)
+            if schema.autoincrement is not None:
+                value = row.get(schema.autoincrement)
+                if value is not None and value >= entry.autoincrement_next:
+                    entry.autoincrement_next = value + 1
+            return
+        key = tuple(
+            from_wire(value, schema.column(column).type)
+            for column, value in zip(schema.primary_key, op["pk"])
+        )
+        rowids = entry.pk_index.lookup(key)
+        if not rowids:
+            raise RecoveryError(
+                f"WAL references missing row {key!r} in {op['table']!r}"
+            )
+        rowid = next(iter(rowids))
+        if op["op"] == "update":
+            old_row = dict(entry.heap.get(rowid))
+            self._replace(entry, rowid, old_row, self._unwire_row(entry, op["row"]))
+        elif op["op"] == "delete":
+            row = dict(entry.heap.get(rowid))
+            entry.heap.delete(rowid)
+            entry.pk_index.remove(rowid, row)
+            for index in entry.hash_indexes.values():
+                index.remove(rowid, row)
+            for ordered in entry.ordered_indexes.values():
+                ordered.remove(rowid, row)
+        else:
+            raise RecoveryError(f"unknown WAL op {op['op']!r}")
+
+    def checkpoint(self) -> int:
+        """Compact the WAL into a snapshot of the current state.
+
+        The log is atomically replaced by: the DDL for every table and
+        index, the autoincrement positions, and one transaction holding
+        every live row.  Replaying the new log reproduces exactly the
+        current database, so recovery time stops growing with history.
+        Returns the number of records in the compacted log.
+        """
+        self._forbid_in_transaction("checkpoint")
+        if self._wal is None:
+            raise TransactionError("checkpoint requires a WAL-backed database")
+        records: list[dict[str, Any]] = []
+        for name in self._catalog.table_names():
+            entry = self._catalog.entry(name)
+            records.append(
+                {"type": "create_table", "schema": entry.schema.describe()}
+            )
+            for index in entry.hash_indexes.values():
+                records.append(
+                    {
+                        "type": "create_index",
+                        "table": name,
+                        "columns": list(index.columns),
+                        "unique": index.unique,
+                        "ordered": False,
+                    }
+                )
+            for ordered in entry.ordered_indexes.values():
+                records.append(
+                    {
+                        "type": "create_index",
+                        "table": name,
+                        "columns": [ordered.column],
+                        "unique": False,
+                        "ordered": True,
+                    }
+                )
+            if entry.schema.autoincrement is not None:
+                records.append(
+                    {
+                        "type": "autoincrement",
+                        "table": name,
+                        "next": entry.autoincrement_next,
+                    }
+                )
+        ops: list[dict[str, Any]] = []
+        for name in self._catalog.table_names():
+            entry = self._catalog.entry(name)
+            for __, row in entry.heap.scan():
+                ops.append(
+                    {
+                        "op": "insert",
+                        "table": name,
+                        "row": self._wire_row(entry, row),
+                    }
+                )
+        if ops:
+            records.append({"type": "txn", "ops": ops})
+        self._wal.rewrite(records)
+        return len(records)
+
+    def close(self) -> None:
+        """Flush and release the WAL file handle."""
+        if self._wal is not None:
+            self._wal.close()
+
+
+def _order_key(column: str):
+    """Sort key for ORDER BY: NULLs first, then natural ordering."""
+
+    def key(row: dict[str, Any]) -> tuple[bool, Any]:
+        value = row[column]
+        if value is None:
+            return (False, 0)
+        return (True, value)
+
+    return key

@@ -1,0 +1,142 @@
+"""Secondary indexes for minidb.
+
+Two flavours are provided:
+
+* :class:`HashIndex` — equality lookups; backs primary keys, foreign-key
+  checks and the planner's equality-binding fast path.
+* :class:`OrderedIndex` — range lookups over a sorted key list; used by the
+  engine when a query's predicate is a single range comparison on an
+  indexed column.
+
+Index keys are tuples of column values.  ``None`` components are permitted
+(NULL-able indexed columns) but a key containing ``None`` is never returned
+by lookups, matching SQL comparison semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+
+def _key_has_null(key: tuple[Any, ...]) -> bool:
+    return any(part is None for part in key)
+
+
+class HashIndex:
+    """Maps key tuples to the set of rowids holding them."""
+
+    def __init__(self, columns: tuple[str, ...], unique: bool = False) -> None:
+        self.columns = columns
+        self.unique = unique
+        self._buckets: dict[tuple[Any, ...], set[int]] = {}
+
+    def key_of(self, row: dict[str, Any]) -> tuple[Any, ...]:
+        """Extract this index's key tuple from a row."""
+        return tuple(row.get(column) for column in self.columns)
+
+    def add(self, rowid: int, row: dict[str, Any]) -> None:
+        """Register ``row`` (stored at ``rowid``) in the index."""
+        self._buckets.setdefault(self.key_of(row), set()).add(rowid)
+
+    def remove(self, rowid: int, row: dict[str, Any]) -> None:
+        """Unregister ``row`` from the index."""
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(rowid)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key: tuple[Any, ...]) -> set[int]:
+        """Rowids whose key equals ``key`` (empty for NULL-bearing keys)."""
+        if _key_has_null(key):
+            return set()
+        return set(self._buckets.get(key, ()))
+
+    def contains_key(self, key: tuple[Any, ...]) -> bool:
+        """Whether any row carries ``key`` (NULL keys never match)."""
+        if _key_has_null(key):
+            return False
+        return key in self._buckets
+
+    def count_key(self, key: tuple[Any, ...]) -> int:
+        """Number of rows carrying ``key``."""
+        if _key_has_null(key):
+            return 0
+        return len(self._buckets.get(key, ()))
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def rebuild(self, rows: Iterable[tuple[int, dict[str, Any]]]) -> None:
+        """Rebuild from scratch over ``(rowid, row)`` pairs."""
+        self.clear()
+        for rowid, row in rows:
+            self.add(rowid, row)
+
+
+class OrderedIndex:
+    """A sorted single-column index supporting range scans.
+
+    NULL values are excluded from the sort order entirely (they can never
+    satisfy a range predicate).
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._keys: list[Any] = []
+        self._rowids: list[int] = []
+
+    def add(self, rowid: int, row: dict[str, Any]) -> None:
+        value = row.get(self.column)
+        if value is None:
+            return
+        position = bisect.bisect_right(self._keys, value)
+        self._keys.insert(position, value)
+        self._rowids.insert(position, rowid)
+
+    def remove(self, rowid: int, row: dict[str, Any]) -> None:
+        value = row.get(self.column)
+        if value is None:
+            return
+        left = bisect.bisect_left(self._keys, value)
+        right = bisect.bisect_right(self._keys, value)
+        for position in range(left, right):
+            if self._rowids[position] == rowid:
+                del self._keys[position]
+                del self._rowids[position]
+                return
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield rowids with ``low <(=) key <(=) high`` in key order."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif include_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        for position in range(start, stop):
+            yield self._rowids[position]
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._rowids.clear()
+
+    def rebuild(self, rows: Iterable[tuple[int, dict[str, Any]]]) -> None:
+        self.clear()
+        for rowid, row in rows:
+            self.add(rowid, row)

@@ -1,0 +1,280 @@
+"""Structured query predicates for minidb.
+
+Exp-DB's web interface lets a user supply "search criteria" against one
+table; the workflow engine issues the same kind of criteria internally when
+it checks task eligibility.  Predicates are small composable trees built
+with module-level constructors::
+
+    from repro.minidb import EQ, GT, AND
+
+    criteria = AND(EQ("project_id", 7), GT("concentration", 0.8))
+    rows = db.select("Experiment", criteria)
+
+Each predicate can report the columns it touches (for validation), test a
+row, and — for the engine's planner — expose equality bindings usable with
+a hash index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+
+class Predicate:
+    """Base class for all predicates."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        """Whether ``row`` satisfies the predicate."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """All column names referenced by the predicate tree."""
+        raise NotImplementedError
+
+    def equality_bindings(self) -> dict[str, Any]:
+        """Column→value pairs that must hold with equality for a match.
+
+        Only bindings that are *necessary* (conjunctive) are returned, so
+        the planner may serve the query from a hash index on any subset of
+        them and post-filter with :meth:`matches`.
+        """
+        return {}
+
+    # Composition sugar ----------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AND(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return OR(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return NOT(self)
+
+
+def _is_comparable(left: Any, right: Any) -> bool:
+    """Whether ``left`` and ``right`` can be ordered against each other.
+
+    SQL comparisons with NULL are never true; minidb mirrors that by
+    treating ``None`` on either side as incomparable.
+    """
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return type(left) is type(right)
+
+
+@dataclass(frozen=True)
+class _Comparison(Predicate):
+    column: str
+    value: Any
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+class EQ(_Comparison):
+    """``column == value`` (never true against NULL)."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        if current is None or self.value is None:
+            return False
+        return current == self.value
+
+    def equality_bindings(self) -> dict[str, Any]:
+        return {self.column: self.value}
+
+
+class NE(_Comparison):
+    """``column != value`` (never true against NULL)."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        if current is None or self.value is None:
+            return False
+        return current != self.value
+
+
+class LT(_Comparison):
+    """``column < value``."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return _is_comparable(current, self.value) and current < self.value
+
+
+class LE(_Comparison):
+    """``column <= value``."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return _is_comparable(current, self.value) and current <= self.value
+
+
+class GT(_Comparison):
+    """``column > value``."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return _is_comparable(current, self.value) and current > self.value
+
+
+class GE(_Comparison):
+    """``column >= value``."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return _is_comparable(current, self.value) and current >= self.value
+
+
+@dataclass(frozen=True)
+class IN(Predicate):
+    """``column IN values``."""
+
+    column: str
+    values: tuple[Any, ...]
+
+    def __init__(self, column: str, values: Sequence[Any]) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        if current is None:
+            return False
+        return current in self.values
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class LIKE(Predicate):
+    """SQL-style pattern match where ``%`` matches any run of characters.
+
+    Only TEXT values match; NULL and non-string values never do.
+    """
+
+    column: str
+    pattern: str
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        if not isinstance(current, str):
+            return False
+        return _like(current, self.pattern)
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+def _like(text: str, pattern: str) -> bool:
+    """Match ``text`` against a ``%``-wildcard pattern (greedy backtracking)."""
+    parts = pattern.split("%")
+    if len(parts) == 1:
+        return text == pattern
+    head, *middle, tail = parts
+    if not text.startswith(head):
+        return False
+    if not text.endswith(tail):
+        return False
+    position = len(head)
+    end_limit = len(text) - len(tail)
+    for part in middle:
+        if not part:
+            continue
+        found = text.find(part, position, end_limit)
+        if found == -1:
+            return False
+        position = found + len(part)
+    return position <= end_limit
+
+
+@dataclass(frozen=True)
+class IS_NULL(Predicate):
+    """``column IS NULL``."""
+
+    column: str
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return row.get(self.column) is None
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+class AND(Predicate):
+    """Conjunction of two or more predicates."""
+
+    def __init__(self, *operands: Predicate) -> None:
+        if len(operands) < 2:
+            raise ValueError("AND needs at least two operands")
+        self.operands = tuple(operands)
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return all(op.matches(row) for op in self.operands)
+
+    def columns(self) -> set[str]:
+        return set().union(*(op.columns() for op in self.operands))
+
+    def equality_bindings(self) -> dict[str, Any]:
+        bindings: dict[str, Any] = {}
+        for op in self.operands:
+            for column, value in op.equality_bindings().items():
+                # Conflicting equality constraints can never match, but
+                # correctness is preserved by just keeping the first one:
+                # the post-filter rejects every row anyway.
+                bindings.setdefault(column, value)
+        return bindings
+
+    def __repr__(self) -> str:
+        return f"AND{self.operands!r}"
+
+
+class OR(Predicate):
+    """Disjunction of two or more predicates."""
+
+    def __init__(self, *operands: Predicate) -> None:
+        if len(operands) < 2:
+            raise ValueError("OR needs at least two operands")
+        self.operands = tuple(operands)
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return any(op.matches(row) for op in self.operands)
+
+    def columns(self) -> set[str]:
+        return set().union(*(op.columns() for op in self.operands))
+
+    def __repr__(self) -> str:
+        return f"OR{self.operands!r}"
+
+
+@dataclass(frozen=True)
+class NOT(Predicate):
+    """Negation. NULL semantics: ``NOT`` of a non-match is a match."""
+
+    operand: Predicate
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return not self.operand.matches(row)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+def by_key(key_columns: Sequence[str], key_values: Sequence[Any]) -> Predicate:
+    """Build an equality predicate over a (composite) key."""
+    pairs: Iterator[Predicate] = (
+        EQ(column, value) for column, value in zip(key_columns, key_values)
+    )
+    predicates = list(pairs)
+    if not predicates:
+        raise ValueError("by_key needs at least one column")
+    if len(predicates) == 1:
+        return predicates[0]
+    return AND(*predicates)

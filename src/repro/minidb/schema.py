@@ -1,0 +1,212 @@
+"""Table schemas: columns, keys, foreign keys and table inheritance.
+
+The inheritance facility mirrors Exp-DB's experiment-type tables: a child
+table (e.g. ``PCR``) declares ``parent="Experiment"`` and *inherits the
+parent's primary key*.  The engine then guarantees that every child row has
+a matching parent row, and offers joined reads that merge the two — exactly
+the behaviour the paper's ``TableBean`` implements on top of PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.minidb.types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single typed column.
+
+    ``default`` may be a plain value or a zero-argument callable evaluated
+    at insert time (e.g. ``datetime.now`` for creation dates).
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+    def resolve_default(self) -> Any:
+        """Return the default value, calling it if it is a factory."""
+        if callable(self.default):
+            return self.default()
+        return self.default
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint from ``columns`` to ``ref_table.ref_columns``.
+
+    ``on_delete`` is one of ``"restrict"`` (default: deleting a referenced
+    row fails) or ``"cascade"`` (referencing rows are deleted too).
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+    on_delete: str = "restrict"
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise SchemaError(
+                "foreign key column count mismatch: "
+                f"{self.columns} -> {self.ref_table}{self.ref_columns}"
+            )
+        if not self.columns:
+            raise SchemaError("foreign key needs at least one column")
+        if self.on_delete not in ("restrict", "cascade"):
+            raise SchemaError(f"unsupported on_delete action: {self.on_delete!r}")
+
+
+def fk(
+    columns: str | Sequence[str],
+    ref_table: str,
+    ref_columns: str | Sequence[str],
+    on_delete: str = "restrict",
+) -> ForeignKey:
+    """Convenience constructor accepting single column names or sequences."""
+    cols = (columns,) if isinstance(columns, str) else tuple(columns)
+    refs = (ref_columns,) if isinstance(ref_columns, str) else tuple(ref_columns)
+    return ForeignKey(cols, ref_table, refs, on_delete)
+
+
+@dataclass
+class TableSchema:
+    """The full definition of one table.
+
+    ``parent`` names the parent table in an Exp-DB-style inheritance
+    hierarchy; a child table must declare the same primary-key columns as
+    the parent, and the engine adds an implicit cascade foreign key from
+    the child PK to the parent PK.
+    """
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...]
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    parent: str | None = None
+    autoincrement: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid table name: {self.name!r}")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} has no columns")
+        names = [c.name for c in self.columns]
+        self._columns_by_name = {c.name: c for c in self.columns}
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"table {self.name!r} has duplicate columns: {sorted(duplicates)}"
+            )
+        if not self.primary_key:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        self.primary_key = tuple(self.primary_key)
+        for pk_col in self.primary_key:
+            if pk_col not in names:
+                raise UnknownColumnError(self.name, pk_col)
+        for foreign in self.foreign_keys:
+            for col in foreign.columns:
+                if col not in names:
+                    raise UnknownColumnError(self.name, col)
+        if self.autoincrement is not None:
+            if self.autoincrement not in names:
+                raise UnknownColumnError(self.name, self.autoincrement)
+            column = self.column(self.autoincrement)
+            if column.type is not ColumnType.INTEGER:
+                raise SchemaError(
+                    f"autoincrement column {self.autoincrement!r} in table "
+                    f"{self.name!r} must be INTEGER"
+                )
+
+    # -- lookup helpers ----------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        """Return the column definition for ``name``."""
+        try:
+            return self._columns_by_name[name]
+        except KeyError:
+            raise UnknownColumnError(self.name, name) from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table defines a column called ``name``."""
+        return name in self._columns_by_name
+
+    def column_names(self) -> list[str]:
+        """All column names in definition order."""
+        return [c.name for c in self.columns]
+
+    def validate_column_names(self, names: Iterable[str]) -> None:
+        """Raise :class:`UnknownColumnError` for any unknown name."""
+        for name in names:
+            if name not in self._columns_by_name:
+                raise UnknownColumnError(self.name, name)
+
+    def pk_tuple(self, row: dict[str, Any]) -> tuple[Any, ...]:
+        """Extract the primary-key value tuple from a row dict."""
+        return tuple(row[c] for c in self.primary_key)
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly description of the schema (used by the WAL)."""
+        return {
+            "name": self.name,
+            "columns": [
+                {
+                    "name": c.name,
+                    "type": c.type.value,
+                    "nullable": c.nullable,
+                    # Callable defaults cannot be persisted; they only ever
+                    # matter at insert time, which happens before the WAL
+                    # record is written, so dropping them is safe.
+                    "default": None if callable(c.default) else c.default,
+                }
+                for c in self.columns
+            ],
+            "primary_key": list(self.primary_key),
+            "foreign_keys": [
+                {
+                    "columns": list(f.columns),
+                    "ref_table": f.ref_table,
+                    "ref_columns": list(f.ref_columns),
+                    "on_delete": f.on_delete,
+                }
+                for f in self.foreign_keys
+            ],
+            "parent": self.parent,
+            "autoincrement": self.autoincrement,
+        }
+
+    @staticmethod
+    def from_description(description: dict[str, Any]) -> "TableSchema":
+        """Rebuild a schema from :meth:`describe` output (WAL replay)."""
+        return TableSchema(
+            name=description["name"],
+            columns=[
+                Column(
+                    name=c["name"],
+                    type=ColumnType(c["type"]),
+                    nullable=c["nullable"],
+                    default=c["default"],
+                )
+                for c in description["columns"]
+            ],
+            primary_key=tuple(description["primary_key"]),
+            foreign_keys=[
+                ForeignKey(
+                    columns=tuple(f["columns"]),
+                    ref_table=f["ref_table"],
+                    ref_columns=tuple(f["ref_columns"]),
+                    on_delete=f["on_delete"],
+                )
+                for f in description["foreign_keys"]
+            ],
+            parent=description["parent"],
+            autoincrement=description["autoincrement"],
+        )

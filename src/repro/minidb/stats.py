@@ -1,0 +1,96 @@
+"""Read/write accounting for the database engine.
+
+The paper's performance evaluation is expressed almost entirely in terms
+of *database read and write accesses* ("a simple insert into an experiment
+related table can trigger several database reads ...").  minidb therefore
+counts every logical access at the statement level:
+
+* each ``select`` (including the engine's own constraint-check lookups,
+  which PostgreSQL would also execute as reads) increments ``reads``;
+* each ``insert`` / ``update`` / ``delete`` statement increments
+  ``writes`` once per affected table.
+
+Counters are kept globally and per table, and can be snapshotted so the
+benchmark harness can attribute accesses to a single request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StatsSnapshot:
+    """An immutable view of the counters at one point in time."""
+
+    reads: int
+    writes: int
+    rows_scanned: int
+    index_lookups: int
+    per_table_reads: dict[str, int]
+    per_table_writes: dict[str, int]
+
+    def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """Counters accumulated since ``earlier``."""
+        return StatsSnapshot(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            rows_scanned=self.rows_scanned - earlier.rows_scanned,
+            index_lookups=self.index_lookups - earlier.index_lookups,
+            per_table_reads={
+                table: count - earlier.per_table_reads.get(table, 0)
+                for table, count in self.per_table_reads.items()
+                if count - earlier.per_table_reads.get(table, 0)
+            },
+            per_table_writes={
+                table: count - earlier.per_table_writes.get(table, 0)
+                for table, count in self.per_table_writes.items()
+                if count - earlier.per_table_writes.get(table, 0)
+            },
+        )
+
+
+@dataclass
+class DatabaseStats:
+    """Mutable counters owned by one :class:`~repro.minidb.engine.Database`."""
+
+    reads: int = 0
+    writes: int = 0
+    rows_scanned: int = 0
+    index_lookups: int = 0
+    per_table_reads: dict[str, int] = field(default_factory=dict)
+    per_table_writes: dict[str, int] = field(default_factory=dict)
+
+    def record_read(self, table: str) -> None:
+        self.reads += 1
+        self.per_table_reads[table] = self.per_table_reads.get(table, 0) + 1
+
+    def record_write(self, table: str) -> None:
+        self.writes += 1
+        self.per_table_writes[table] = self.per_table_writes.get(table, 0) + 1
+
+    def record_scan(self, row_count: int) -> None:
+        self.rows_scanned += row_count
+
+    def record_index_lookup(self) -> None:
+        self.index_lookups += 1
+
+    def snapshot(self) -> StatsSnapshot:
+        """Copy the current counters into an immutable snapshot."""
+        return StatsSnapshot(
+            reads=self.reads,
+            writes=self.writes,
+            rows_scanned=self.rows_scanned,
+            index_lookups=self.index_lookups,
+            per_table_reads=dict(self.per_table_reads),
+            per_table_writes=dict(self.per_table_writes),
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.reads = 0
+        self.writes = 0
+        self.rows_scanned = 0
+        self.index_lookups = 0
+        self.per_table_reads.clear()
+        self.per_table_writes.clear()

@@ -1,0 +1,68 @@
+"""Heap storage for one minidb table.
+
+Rows live in an insertion-ordered dict keyed by a monotonically increasing
+*rowid*.  The heap itself enforces nothing; typing, constraints and index
+maintenance are the engine's job.  Keeping the heap dumb makes the undo log
+trivial: every mutation is reversible given (rowid, old_row).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class Heap:
+    """Insertion-ordered row storage with stable rowids."""
+
+    def __init__(self) -> None:
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_rowid = 1
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def insert(self, row: dict[str, Any]) -> int:
+        """Store a new row, returning its rowid."""
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        return rowid
+
+    def insert_at(self, rowid: int, row: dict[str, Any]) -> None:
+        """Re-insert a row at a specific rowid (undo of a delete)."""
+        if rowid in self._rows:
+            raise KeyError(f"rowid {rowid} already occupied")
+        self._rows[rowid] = row
+        if rowid >= self._next_rowid:
+            self._next_rowid = rowid + 1
+
+    def get(self, rowid: int) -> dict[str, Any]:
+        """Fetch the row stored at ``rowid``."""
+        return self._rows[rowid]
+
+    def contains(self, rowid: int) -> bool:
+        """Whether ``rowid`` currently holds a row."""
+        return rowid in self._rows
+
+    def replace(self, rowid: int, row: dict[str, Any]) -> dict[str, Any]:
+        """Overwrite the row at ``rowid``; returns the previous row."""
+        old = self._rows[rowid]
+        self._rows[rowid] = row
+        return old
+
+    def delete(self, rowid: int) -> dict[str, Any]:
+        """Remove and return the row at ``rowid``."""
+        return self._rows.pop(rowid)
+
+    def scan(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate ``(rowid, row)`` pairs in insertion order.
+
+        The snapshot via ``list`` makes it safe to mutate while iterating —
+        the workflow engine deletes rows found by its own scans.
+        """
+        return iter(list(self._rows.items()))
+
+    def clear(self) -> None:
+        """Drop every row (used by DROP TABLE and recovery)."""
+        self._rows.clear()
+        self._next_rowid = 1

@@ -1,0 +1,103 @@
+"""Transactions for minidb: an undo log plus a redo buffer.
+
+minidb runs single-threaded within one request (the web container
+serialises handler execution per worker), so the transaction machinery is
+about *atomicity*, not isolation:
+
+* every mutation appends an **undo entry**; ``rollback`` replays the undo
+  entries in reverse through the engine, restoring heap and indexes;
+* every mutation also appends a **redo operation**; ``commit`` hands the
+  redo batch to the write-ahead log as one atomic record.
+
+Outside an explicit transaction the engine runs in autocommit mode: each
+statement forms its own single-operation transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TransactionError
+
+
+@dataclass(frozen=True)
+class UndoInsert:
+    """Reverse of an insert: remove the row again."""
+
+    table: str
+    rowid: int
+
+
+@dataclass(frozen=True)
+class UndoUpdate:
+    """Reverse of an update: restore the previous row image."""
+
+    table: str
+    rowid: int
+    old_row: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class UndoDelete:
+    """Reverse of a delete: put the old row back at its rowid."""
+
+    table: str
+    rowid: int
+    old_row: dict[str, Any]
+
+
+UndoEntry = UndoInsert | UndoUpdate | UndoDelete
+
+
+@dataclass
+class Transaction:
+    """One open transaction's undo entries and redo operations."""
+
+    undo: list[UndoEntry] = field(default_factory=list)
+    redo: list[dict[str, Any]] = field(default_factory=list)
+
+
+class TransactionManager:
+    """Tracks the (at most one) open transaction of a Database."""
+
+    def __init__(self) -> None:
+        self._current: Transaction | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether an explicit transaction is open."""
+        return self._current is not None
+
+    def begin(self) -> None:
+        """Open an explicit transaction."""
+        if self._current is not None:
+            raise TransactionError("transaction already in progress")
+        self._current = Transaction()
+
+    def record(self, undo: UndoEntry, redo: dict[str, Any]) -> None:
+        """Log one mutation into the open transaction.
+
+        Must only be called while a transaction is open (the engine opens
+        an implicit one for autocommit statements).
+        """
+        if self._current is None:
+            raise TransactionError("no transaction in progress")
+        self._current.undo.append(undo)
+        self._current.redo.append(redo)
+
+    def take_commit(self) -> list[dict[str, Any]]:
+        """Close the transaction, returning its redo batch for the WAL."""
+        if self._current is None:
+            raise TransactionError("commit without begin")
+        redo = self._current.redo
+        self._current = None
+        return redo
+
+    def take_rollback(self) -> list[UndoEntry]:
+        """Close the transaction, returning undo entries in reverse order."""
+        if self._current is None:
+            raise TransactionError("rollback without begin")
+        undo = list(reversed(self._current.undo))
+        self._current = None
+        return undo

@@ -1,0 +1,104 @@
+"""Write-ahead log for minidb.
+
+Each committed transaction (and each DDL statement) is appended to a
+JSON-lines file, flushed and fsync'd before the commit returns.  On open,
+a Database replays the log to rebuild its state — this is also how crash
+recovery is exercised in the tests: kill the Database object, reopen the
+file, and the committed (and only the committed) state reappears.
+
+Record shapes::
+
+    {"type": "create_table", "schema": {...}}
+    {"type": "drop_table", "table": "PCR"}
+    {"type": "create_index", "table": "...", "columns": [...],
+     "unique": false, "ordered": false}
+    {"type": "txn", "ops": [{"op": "insert"|"update"|"delete", ...}, ...]}
+
+A torn trailing line (simulated crash mid-append) is tolerated and
+discarded; corruption anywhere else raises :class:`RecoveryError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import RecoveryError
+
+
+class WriteAheadLog:
+    """Durable JSON-lines log with atomic append semantics."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self) -> Iterator[dict[str, Any]]:
+        """Yield every intact record currently in the log."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for line_number, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if line_number == len(lines) - 1:
+                    # Torn final write from a crash: ignore, the
+                    # transaction never committed.
+                    return
+                raise RecoveryError(
+                    f"corrupt WAL record at {self.path}:{line_number + 1}"
+                ) from None
+            if not isinstance(record, dict) or "type" not in record:
+                raise RecoveryError(
+                    f"malformed WAL record at {self.path}:{line_number + 1}"
+                )
+            yield record
+
+    # -- append -------------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably append one record."""
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Release the file handle (reopened lazily on next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def truncate(self) -> None:
+        """Erase the log (used after a checkpoint rewrite)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    def rewrite(self, records: Iterator[dict[str, Any]] | list) -> None:
+        """Atomically replace the log with a fresh record sequence.
+
+        Used by checkpointing: the new log is written to a side file,
+        fsync'd, then swapped in with ``os.replace`` so a crash during
+        the rewrite leaves either the old or the new log intact — never
+        a torn mixture.
+        """
+        self.close()
+        side_path = self.path.with_suffix(self.path.suffix + ".ckpt")
+        with side_path.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(side_path, self.path)

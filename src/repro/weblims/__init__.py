@@ -1,0 +1,38 @@
+"""weblims — the Exp-DB LIMS analog: a 3-tier web application substrate.
+
+The paper's Exp-DB runs on Apache Tomcat: JSP pages (view), the
+``UserRequestServlet`` (controller) and the generic ``TableBean`` (model)
+over PostgreSQL.  This package rebuilds that stack in-process:
+
+* :mod:`~repro.weblims.http` — request/response objects,
+* :mod:`~repro.weblims.container` — the web container with **servlet
+  filters configured through a deployment descriptor** (the mechanism
+  Exp-WF's non-intrusive integration rests on),
+* :mod:`~repro.weblims.templates` — the "JSP" template renderer,
+* :mod:`~repro.weblims.tablebean` — the generic, metadata-driven table
+  interface,
+* :mod:`~repro.weblims.userservlet` — the controller handling the four
+  basic operations (read / insert / update / delete),
+* :mod:`~repro.weblims.schema_setup` — the core laboratory data model of
+  Fig. 2 plus the experiment-/sample-type extension mechanism,
+* :mod:`~repro.weblims.app` — wiring for a complete Exp-DB instance.
+"""
+
+from repro.weblims.app import ExpDB, build_expdb
+from repro.weblims.container import DeploymentDescriptor, WebContainer
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Filter, FilterChain, Servlet
+from repro.weblims.tablebean import TableBean
+
+__all__ = [
+    "ExpDB",
+    "build_expdb",
+    "WebContainer",
+    "DeploymentDescriptor",
+    "HttpRequest",
+    "HttpResponse",
+    "Servlet",
+    "Filter",
+    "FilterChain",
+    "TableBean",
+]

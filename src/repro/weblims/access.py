@@ -1,0 +1,126 @@
+"""Role-based access control as a servlet filter.
+
+The Exp-DB line of work includes fine-granularity access control for
+3-tier LIMS (Li, Naeem, Kemme, IDEAS 2005 — reference [20] of the
+paper).  This module provides the filter-technology version of it,
+mainly to demonstrate the composability the deployment-descriptor
+mechanism buys: the AccessControlFilter is declared *before* the
+WorkflowFilter on the same URL patterns, and the two compose without
+knowing about each other — authentication/authorization runs first,
+workflow interception second.
+
+Model:
+
+* a session carries a user; users have roles
+  (:class:`AccessPolicy.assign`);
+* rules grant ``(role, table pattern, actions)``; actions are the
+  generic operations plus ``workflow`` for WorkflowServlet actions;
+* the default is deny for writes, allow for reads (a lab's natural
+  posture: everyone browses, only authorized roles modify).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Filter, FilterChain
+
+#: Actions considered reads (allowed by default).
+READ_ACTIONS = frozenset({"read", "list", "form"})
+
+
+@dataclass(frozen=True)
+class AccessRule:
+    """One grant: ``role`` may perform ``actions`` on ``table_pattern``."""
+
+    role: str
+    table_pattern: str
+    actions: frozenset[str]
+
+    def permits(self, roles: set[str], table: str | None, action: str) -> bool:
+        if self.role not in roles:
+            return False
+        if action not in self.actions and "*" not in self.actions:
+            return False
+        if table is None:
+            return True
+        return fnmatch.fnmatch(table, self.table_pattern)
+
+
+@dataclass
+class AccessPolicy:
+    """User→roles assignments plus the grant rules."""
+
+    _roles: dict[str, set[str]] = field(default_factory=dict)
+    _rules: list[AccessRule] = field(default_factory=list)
+    allow_anonymous_reads: bool = True
+
+    def assign(self, user: str, *roles: str) -> None:
+        """Give ``user`` one or more roles."""
+        self._roles.setdefault(user, set()).update(roles)
+
+    def grant(self, role: str, table_pattern: str, *actions: str) -> None:
+        """Allow ``role`` to perform ``actions`` on matching tables."""
+        self._rules.append(
+            AccessRule(role, table_pattern, frozenset(actions))
+        )
+
+    def roles_of(self, user: str | None) -> set[str]:
+        if user is None:
+            return set()
+        return set(self._roles.get(user, ()))
+
+    def permits(self, user: str | None, table: str | None, action: str) -> bool:
+        """The access decision for one request."""
+        if action in READ_ACTIONS and self.allow_anonymous_reads:
+            return True
+        roles = self.roles_of(user)
+        return any(rule.permits(roles, table, action) for rule in self._rules)
+
+
+class AccessControlFilter(Filter):
+    """Denies requests the policy does not permit (401/403)."""
+
+    name = "AccessControlFilter"
+
+    def __init__(self, policy: AccessPolicy) -> None:
+        self.policy = policy
+        self.denied_count = 0
+
+    def do_filter(
+        self, request: HttpRequest, chain: FilterChain
+    ) -> HttpResponse:
+        user = request.attributes.get("user") or request.headers.get("x-user")
+        action = (
+            "workflow"
+            if request.param("workflow_action") is not None
+            else request.param("action", "list")
+        )
+        table = request.param("table")
+        if not self.policy.permits(user, table, action):
+            self.denied_count += 1
+            status = 401 if user is None else 403
+            return HttpResponse.error(
+                status,
+                f"user {user or '<anonymous>'} may not perform "
+                f"{action!r} on {table or 'this resource'}",
+            )
+        request.attributes["user"] = user
+        return chain.proceed(request)
+
+
+def install_access_control(expdb, policy: AccessPolicy) -> AccessControlFilter:
+    """Register the access filter ahead of everything on ``/user``/``/api``.
+
+    Declaration order is invocation order, so installing access control
+    *before* workflow support makes authentication run first; installing
+    it after still works — the filters are independent — but then denied
+    users would already have been workflow-validated.
+    """
+    filter_ = AccessControlFilter(policy)
+    expdb.container.descriptor.add_filter(
+        filter_, "/user", "/user/*", "/api", "/api/*", "/workflow", "/workflow/*"
+    )
+    return filter_

@@ -1,0 +1,201 @@
+"""The web container: routing, filter chains, sessions, instrumentation.
+
+The :class:`DeploymentDescriptor` plays the role of Tomcat's ``web.xml``:
+it declares servlets with their path mappings and filters with their URL
+patterns.  "Filter-resource associations are defined in the web
+application's deployment description file, making it simple for users to
+apply the technology to any additional components they may add" — adding
+Exp-WF to an Exp-DB instance is literally two descriptor calls, with no
+change to any registered servlet.
+
+URL patterns support three forms, matching the servlet spec subset the
+paper needs: exact (``/user``), path prefix (``/user/*`` — also matches
+``/user``), and match-all (``/*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError, RoutingError, WebError
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Filter, FilterChain, Servlet
+from repro.weblims.session import Session, SessionManager
+
+
+def pattern_matches(pattern: str, path: str) -> bool:
+    """Servlet-spec style URL pattern matching (exact / prefix / all)."""
+    if pattern == "/*":
+        return True
+    if pattern.endswith("/*"):
+        prefix = pattern[:-2]
+        return path == prefix or path.startswith(prefix + "/")
+    return path == pattern
+
+
+@dataclass
+class _FilterMapping:
+    filter: Filter
+    patterns: list[str]
+
+
+@dataclass
+class ContainerStats:
+    """Request-level counters for the evaluation harness."""
+
+    requests: int = 0
+    filter_invocations: int = 0
+    servlet_invocations: int = 0
+    internal_forwards: int = 0
+    errors: int = 0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.filter_invocations = 0
+        self.servlet_invocations = 0
+        self.internal_forwards = 0
+        self.errors = 0
+
+
+class DeploymentDescriptor:
+    """Declarative wiring of servlets and filters (the ``web.xml`` analog)."""
+
+    def __init__(self) -> None:
+        self._servlets: dict[str, Servlet] = {}
+        self._servlet_mappings: list[tuple[str, str]] = []  # (pattern, name)
+        self._filter_mappings: list[_FilterMapping] = []
+
+    def add_servlet(self, servlet: Servlet, *patterns: str) -> None:
+        """Register a servlet under one or more URL patterns."""
+        if not patterns:
+            raise WebError(f"servlet {servlet.name!r} needs at least one pattern")
+        if servlet.name in self._servlets:
+            raise WebError(f"servlet {servlet.name!r} already declared")
+        self._servlets[servlet.name] = servlet
+        for pattern in patterns:
+            self._servlet_mappings.append((pattern, servlet.name))
+
+    def add_filter(self, filter_: Filter, *patterns: str) -> None:
+        """Register a filter for one or more URL patterns.
+
+        Declaration order is invocation order, as in the servlet spec.
+        """
+        if not patterns:
+            raise WebError(f"filter {filter_.name!r} needs at least one pattern")
+        self._filter_mappings.append(_FilterMapping(filter_, list(patterns)))
+
+    def servlet_for(self, path: str) -> Servlet:
+        """Resolve the servlet mapped to ``path`` (first match wins)."""
+        for pattern, name in self._servlet_mappings:
+            if pattern_matches(pattern, path):
+                return self._servlets[name]
+        raise RoutingError(f"no servlet mapped to {path!r}")
+
+    def filters_for(self, path: str) -> list[Filter]:
+        """Filters applicable to ``path`` in declaration order."""
+        return [
+            mapping.filter
+            for mapping in self._filter_mappings
+            if any(pattern_matches(pattern, path) for pattern in mapping.patterns)
+        ]
+
+    def servlet_names(self) -> list[str]:
+        return list(self._servlets)
+
+    def filter_names(self) -> list[str]:
+        return [mapping.filter.name for mapping in self._filter_mappings]
+
+
+class WebContainer:
+    """Executes requests through the filter chain to the mapped servlet."""
+
+    def __init__(self, descriptor: DeploymentDescriptor | None = None) -> None:
+        self.descriptor = descriptor or DeploymentDescriptor()
+        self.sessions = SessionManager()
+        self.stats = ContainerStats()
+        #: Application-scoped attribute space (ServletContext analog);
+        #: Exp-DB stores shared beans here so servlets and filters find
+        #: them without compile-time coupling.
+        self.context: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Run one client request through filters and servlet.
+
+        Library errors surface as proper HTTP error responses — a web
+        container never lets an application exception escape to the
+        transport.
+        """
+        self.stats.requests += 1
+        try:
+            return self._execute(request, apply_filters=True)
+        except RoutingError as error:
+            self.stats.errors += 1
+            return HttpResponse.error(404, str(error))
+        except WebError as error:
+            self.stats.errors += 1
+            return HttpResponse.error(400, str(error))
+        except ReproError as error:
+            # A library error no servlet translated: the container's
+            # last line of defence is a 500, never a leaked exception.
+            self.stats.errors += 1
+            return HttpResponse.error(500, str(error))
+
+    def forward(
+        self, request: HttpRequest, path: str, apply_filters: bool = True
+    ) -> HttpResponse:
+        """Internal forward to another resource (RequestDispatcher analog).
+
+        Per the paper, "a filter can also intercept requests and
+        responses forwarded within the application", so forwards run the
+        filter chain by default.
+        """
+        self.stats.internal_forwards += 1
+        forwarded = HttpRequest(
+            method=request.method,
+            path=path,
+            params=dict(request.params),
+            headers=dict(request.headers),
+            session_id=request.session_id,
+            attributes=request.attributes,  # shared, as in the servlet API
+        )
+        forwarded.attributes["forwarded_from"] = request.path
+        return self._execute(forwarded, apply_filters=apply_filters)
+
+    def _execute(self, request: HttpRequest, apply_filters: bool) -> HttpResponse:
+        servlet = self.descriptor.servlet_for(request.path)
+        filters = (
+            self.descriptor.filters_for(request.path) if apply_filters else []
+        )
+
+        def terminal(final_request: HttpRequest) -> HttpResponse:
+            self.stats.servlet_invocations += 1
+            return servlet.service(final_request, self)
+
+        chain = FilterChain(
+            filters,
+            terminal,
+            on_filter_invoked=lambda __: self._count_filter(),
+        )
+        return chain.proceed(request)
+
+    def _count_filter(self) -> None:
+        self.stats.filter_invocations += 1
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def session_for(
+        self, request: HttpRequest, create: bool = False, user: str | None = None
+    ) -> Session | None:
+        """Resolve (or lazily create) the session for a request."""
+        session = self.sessions.resolve(request.session_id)
+        if session is None and create:
+            session = self.sessions.create(user=user)
+            request.session_id = session.session_id
+        return session

@@ -1,0 +1,112 @@
+"""Schema-driven web forms.
+
+Exp-DB "retrieves the schema information for that table, and generates a
+corresponding web-form" for inserts; the same machinery parses the posted
+form back into a typed row.  Empty fields become NULL; autoincrement
+primary keys are omitted from insert forms because the system assigns
+them.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any
+
+from repro.errors import BadRequestError, TypeMismatchError
+from repro.minidb.schema import TableSchema
+from repro.minidb.types import ColumnType, coerce
+
+#: HTML input type used per column type.
+_INPUT_TYPES = {
+    ColumnType.INTEGER: "number",
+    ColumnType.REAL: "number",
+    ColumnType.TEXT: "text",
+    ColumnType.BOOLEAN: "checkbox",
+    ColumnType.TIMESTAMP: "datetime-local",
+}
+
+
+def render_insert_form(
+    schema: TableSchema,
+    action: str,
+    value_prefix: str = "v_",
+    hidden: dict[str, str] | None = None,
+) -> str:
+    """Generate an HTML insert form for ``schema``.
+
+    Field names carry ``value_prefix`` so the controller can split them
+    from routing parameters.  ``hidden`` adds fixed hidden inputs
+    (action/table routing fields).
+    """
+    skip = {schema.autoincrement} if schema.autoincrement else set()
+    return render_form_for_columns(
+        schema.columns, action, value_prefix, hidden, skip
+    )
+
+
+def render_form_for_columns(
+    columns,
+    action: str,
+    value_prefix: str = "v_",
+    hidden: dict[str, str] | None = None,
+    skip: set[str] | frozenset[str] = frozenset(),
+) -> str:
+    """Generate an insert form over an explicit column list.
+
+    Used for type tables, where the form spans child plus inherited
+    parent columns and the shared key is system-assigned (``skip``).
+    """
+    lines = [f'<form method="post" action="{html.escape(action, quote=True)}">']
+    for name, value in (hidden or {}).items():
+        lines.append(
+            f'<input type="hidden" name="{html.escape(name, quote=True)}" '
+            f'value="{html.escape(value, quote=True)}"/>'
+        )
+    for column in columns:
+        if column.name in skip:
+            continue  # the system assigns these
+        label = html.escape(column.name)
+        field = html.escape(value_prefix + column.name, quote=True)
+        input_type = _INPUT_TYPES[column.type]
+        required = "" if column.nullable else " required"
+        step = ' step="any"' if column.type is ColumnType.REAL else ""
+        lines.append(
+            f'<label>{label} <input type="{input_type}" name="{field}"'
+            f"{step}{required}/></label>"
+        )
+    lines.append('<input type="submit" value="Insert"/>')
+    lines.append("</form>")
+    return "\n".join(lines)
+
+
+def parse_typed_values(
+    schema: TableSchema, raw_values: dict[str, str]
+) -> dict[str, Any]:
+    """Convert posted string fields into a typed row for ``schema``.
+
+    Unknown fields raise; empty strings become NULL.  Type errors are
+    reported as :class:`BadRequestError` so the controller can answer
+    with a 400 instead of a stack trace.
+    """
+    typed: dict[str, Any] = {}
+    for name, raw in raw_values.items():
+        if not schema.has_column(name):
+            raise BadRequestError(
+                f"table {schema.name!r} has no column {name!r}"
+            )
+        column = schema.column(name)
+        if raw == "":
+            typed[name] = None
+            continue
+        try:
+            typed[name] = coerce(raw, column.type, f"{schema.name}.{name}")
+        except TypeMismatchError as error:
+            raise BadRequestError(str(error)) from None
+    return typed
+
+
+def parse_criteria(
+    schema: TableSchema, raw_criteria: dict[str, str]
+) -> dict[str, Any]:
+    """Convert search-criteria fields into typed equality bindings."""
+    return parse_typed_values(schema, raw_criteria)

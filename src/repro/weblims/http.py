@@ -1,0 +1,99 @@
+"""HTTP request and response objects for the web container.
+
+Requests and responses are plain mutable objects: servlet filters are
+*allowed* to inspect and modify both — that capability is what the whole
+Exp-WF integration is built on — so nothing here is frozen.
+
+``attributes`` on both objects mirror the servlet API's request
+attributes: a server-side scratch space that filters and servlets use to
+pass structured data to each other without touching the client-visible
+parts (the workflow filter stores its routing verdict there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class HttpRequest:
+    """An incoming request as seen by filters and servlets."""
+
+    method: str
+    path: str
+    params: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    session_id: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """A single parameter value, or ``default``."""
+        return self.params.get(name, default)
+
+    def require_param(self, name: str) -> str:
+        """A parameter that must be present; raises BadRequestError."""
+        from repro.errors import BadRequestError
+
+        value = self.params.get(name)
+        if value is None or value == "":
+            raise BadRequestError(f"missing required parameter {name!r}")
+        return value
+
+    def params_with_prefix(self, prefix: str) -> dict[str, str]:
+        """All parameters whose name starts with ``prefix``, prefix stripped.
+
+        The user servlet encodes search criteria as ``c_<column>`` and
+        insert values as ``v_<column>``; this is the decoder for that
+        convention.
+        """
+        return {
+            name[len(prefix):]: value
+            for name, value in self.params.items()
+            if name.startswith(prefix) and len(name) > len(prefix)
+        }
+
+
+@dataclass
+class HttpResponse:
+    """An outgoing response; filters may rewrite any part of it."""
+
+    status: int = 200
+    body: str = ""
+    content_type: str = "text/html"
+    headers: dict[str, str] = field(default_factory=dict)
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status signals success (2xx)."""
+        return 200 <= self.status < 300
+
+    @staticmethod
+    def html(body: str, status: int = 200) -> "HttpResponse":
+        """A successful HTML response."""
+        return HttpResponse(status=status, body=body)
+
+    @staticmethod
+    def error(status: int, message: str) -> "HttpResponse":
+        """An error response with a plain-text body."""
+        return HttpResponse(
+            status=status, body=message, content_type="text/plain"
+        )
+
+    @staticmethod
+    def denied(message: str) -> "HttpResponse":
+        """A 403 used by the workflow filter to reject invalid actions."""
+        return HttpResponse.error(403, message)
+
+    def append_notice(self, notice: str) -> None:
+        """Attach a workflow-manager notice to the user-visible body.
+
+        Mirrors the paper's "the workflow manager may modify the response
+        sent back to the user with details about its own actions".
+        """
+        self.body += f"\n<div class=\"workflow-notice\">{notice}</div>"
+        self.attributes.setdefault("workflow_notices", []).append(notice)

@@ -1,0 +1,253 @@
+"""The core Exp-DB data model (Fig. 2) and its extension mechanism.
+
+The core tables define the general framework; each research group extends
+them with experiment-type and sample-type child tables that inherit the
+parent primary key.  ``ExperimentType`` / ``SampleType`` record the names
+of those child tables so the generic components (TableBean, web forms,
+the workflow engine) can discover them at runtime — "it allows Exp-DB to
+dynamically identify a table name as being an experiment type".
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Sequence
+
+from repro.errors import SchemaError
+from repro.minidb.engine import Database
+from repro.minidb.schema import Column, TableSchema, fk
+from repro.minidb.types import ColumnType
+
+#: Names of the core tables, in creation order.
+CORE_TABLES = (
+    "Project",
+    "ExperimentType",
+    "SampleType",
+    "Experiment",
+    "Sample",
+    "ExperimentTypeIO",
+    "ExperimentIO",
+)
+
+
+def _now() -> datetime.datetime:
+    return datetime.datetime.now()
+
+
+def install_core_schema(db: Database) -> None:
+    """Create the seven core tables of Fig. 2 plus their access indexes."""
+    db.create_table(
+        TableSchema(
+            name="Project",
+            columns=[
+                Column("project_id", ColumnType.INTEGER, nullable=False),
+                Column("name", ColumnType.TEXT, nullable=False),
+                Column("description", ColumnType.TEXT),
+                Column("created", ColumnType.TIMESTAMP, default=_now),
+            ],
+            primary_key=("project_id",),
+            autoincrement="project_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="ExperimentType",
+            columns=[
+                Column("type_name", ColumnType.TEXT, nullable=False),
+                Column("table_name", ColumnType.TEXT, nullable=False),
+                Column("description", ColumnType.TEXT),
+            ],
+            primary_key=("type_name",),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="SampleType",
+            columns=[
+                Column("type_name", ColumnType.TEXT, nullable=False),
+                Column("table_name", ColumnType.TEXT, nullable=False),
+                Column("description", ColumnType.TEXT),
+            ],
+            primary_key=("type_name",),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="Experiment",
+            columns=[
+                Column("experiment_id", ColumnType.INTEGER, nullable=False),
+                Column("project_id", ColumnType.INTEGER),
+                Column("type_name", ColumnType.TEXT, nullable=False),
+                Column("created", ColumnType.TIMESTAMP, default=_now),
+                Column("status", ColumnType.TEXT, default="new"),
+                Column("notes", ColumnType.TEXT),
+            ],
+            primary_key=("experiment_id",),
+            foreign_keys=[
+                fk("project_id", "Project", "project_id"),
+                fk("type_name", "ExperimentType", "type_name"),
+            ],
+            autoincrement="experiment_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="Sample",
+            columns=[
+                Column("sample_id", ColumnType.INTEGER, nullable=False),
+                Column("type_name", ColumnType.TEXT, nullable=False),
+                Column("name", ColumnType.TEXT),
+                Column("created", ColumnType.TIMESTAMP, default=_now),
+                Column("quality", ColumnType.REAL),
+                Column("description", ColumnType.TEXT),
+            ],
+            primary_key=("sample_id",),
+            foreign_keys=[fk("type_name", "SampleType", "type_name")],
+            autoincrement="sample_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="ExperimentTypeIO",
+            columns=[
+                Column("etio_id", ColumnType.INTEGER, nullable=False),
+                Column("experiment_type", ColumnType.TEXT, nullable=False),
+                Column("sample_type", ColumnType.TEXT, nullable=False),
+                Column("direction", ColumnType.TEXT, nullable=False),
+                Column("required", ColumnType.BOOLEAN, default=True),
+            ],
+            primary_key=("etio_id",),
+            foreign_keys=[
+                fk("experiment_type", "ExperimentType", "type_name"),
+                fk("sample_type", "SampleType", "type_name"),
+            ],
+            autoincrement="etio_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="ExperimentIO",
+            columns=[
+                Column("eio_id", ColumnType.INTEGER, nullable=False),
+                Column("experiment_id", ColumnType.INTEGER, nullable=False),
+                Column("sample_id", ColumnType.INTEGER, nullable=False),
+                Column("etio_id", ColumnType.INTEGER, nullable=False),
+            ],
+            primary_key=("eio_id",),
+            foreign_keys=[
+                fk("experiment_id", "Experiment", "experiment_id", "cascade"),
+                fk("sample_id", "Sample", "sample_id"),
+                fk("etio_id", "ExperimentTypeIO", "etio_id"),
+            ],
+            autoincrement="eio_id",
+        )
+    )
+    # Access-path indexes for the lookups the LIMS and the workflow
+    # engine issue constantly.
+    db.create_index("Experiment", ["project_id"])
+    db.create_index("Experiment", ["type_name"])
+    db.create_index("ExperimentIO", ["experiment_id"])
+    db.create_index("ExperimentIO", ["sample_id"])
+    db.create_index("ExperimentIO", ["etio_id"])
+    db.create_index("ExperimentTypeIO", ["experiment_type"])
+    db.create_index("Sample", ["type_name"])
+
+
+def add_experiment_type(
+    db: Database,
+    type_name: str,
+    columns: Sequence[Column] = (),
+    description: str = "",
+) -> None:
+    """Register a new experiment type with its dedicated child table.
+
+    Creates a table named ``type_name`` inheriting ``Experiment``'s
+    primary key, and records it in ``ExperimentType`` so the generic
+    components can discover it — the paper's example types are ``Pcr``
+    and ``Digestion``.
+    """
+    _ensure_extension_table_name(db, type_name)
+    db.create_table(
+        TableSchema(
+            name=type_name,
+            columns=[
+                Column("experiment_id", ColumnType.INTEGER, nullable=False),
+                *columns,
+            ],
+            primary_key=("experiment_id",),
+            parent="Experiment",
+        )
+    )
+    db.insert(
+        "ExperimentType",
+        {
+            "type_name": type_name,
+            "table_name": type_name,
+            "description": description,
+        },
+    )
+
+
+def add_sample_type(
+    db: Database,
+    type_name: str,
+    columns: Sequence[Column] = (),
+    description: str = "",
+) -> None:
+    """Register a new sample type with its dedicated child table."""
+    _ensure_extension_table_name(db, type_name)
+    db.create_table(
+        TableSchema(
+            name=type_name,
+            columns=[
+                Column("sample_id", ColumnType.INTEGER, nullable=False),
+                *columns,
+            ],
+            primary_key=("sample_id",),
+            parent="Sample",
+        )
+    )
+    db.insert(
+        "SampleType",
+        {
+            "type_name": type_name,
+            "table_name": type_name,
+            "description": description,
+        },
+    )
+
+
+def declare_experiment_io(
+    db: Database,
+    experiment_type: str,
+    sample_type: str,
+    direction: str,
+    required: bool = True,
+) -> dict:
+    """Declare that ``experiment_type`` consumes/produces ``sample_type``.
+
+    ``direction`` is ``"input"`` or ``"output"``.  Returns the stored
+    ``ExperimentTypeIO`` row; its ``etio_id`` is what ``ExperimentIO``
+    entries reference, ensuring "only input and output samples of the
+    correct type are stored".
+    """
+    if direction not in ("input", "output"):
+        raise SchemaError(f"direction must be input or output, got {direction!r}")
+    return db.insert(
+        "ExperimentTypeIO",
+        {
+            "experiment_type": experiment_type,
+            "sample_type": sample_type,
+            "direction": direction,
+            "required": required,
+        },
+    )
+
+
+def _ensure_extension_table_name(db: Database, type_name: str) -> None:
+    if type_name in CORE_TABLES:
+        raise SchemaError(
+            f"{type_name!r} is a core table name and cannot be a type table"
+        )
+    if db.has_table(type_name):
+        raise SchemaError(f"table {type_name!r} already exists")

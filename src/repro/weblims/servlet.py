@@ -1,0 +1,111 @@
+"""Servlet and filter abstractions — the container's extension points.
+
+A :class:`Servlet` is a request handler mapped to a path.  A
+:class:`Filter` wraps servlet invocations: the container builds a
+:class:`FilterChain` of every filter whose URL pattern matches the
+request, in deployment-descriptor order, with the servlet itself as the
+terminal element.  Each filter decides whether to pass the request on
+(``chain.proceed``), modify it first, short-circuit with its own
+response, or post-process the response on the way back out — exactly the
+three integration modes of the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import FilterError
+from repro.weblims.http import HttpRequest, HttpResponse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.weblims.container import WebContainer
+
+
+class Servlet:
+    """Base class for request handlers.
+
+    Subclasses override :meth:`do_get` / :meth:`do_post` (or
+    :meth:`service` directly for method-agnostic handlers).
+    """
+
+    #: Name used in deployment descriptors and diagnostics.
+    name = "servlet"
+
+    def service(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        """Dispatch on HTTP method; override for custom behaviour."""
+        if request.method == "GET":
+            return self.do_get(request, container)
+        if request.method == "POST":
+            return self.do_post(request, container)
+        return HttpResponse.error(405, f"method {request.method} not allowed")
+
+    def do_get(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        return HttpResponse.error(405, "GET not supported")
+
+    def do_post(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        return HttpResponse.error(405, "POST not supported")
+
+
+class Filter:
+    """Base class for servlet filters.
+
+    ``do_filter`` receives the request and the remaining chain.  The
+    default implementation is a transparent pass-through; real filters
+    override it.  Filters are registered against URL patterns in the
+    deployment descriptor, never wired into servlet code — that is what
+    makes the workflow integration non-intrusive.
+    """
+
+    #: Name used in deployment descriptors and diagnostics.
+    name = "filter"
+
+    def do_filter(
+        self, request: HttpRequest, chain: "FilterChain"
+    ) -> HttpResponse:
+        return chain.proceed(request)
+
+
+class FilterChain:
+    """The remaining filters (then the servlet) for one request.
+
+    Built per-request by the container.  Calling :meth:`proceed` hands
+    the (possibly modified) request to the next element; the returned
+    response travels back through the earlier filters in reverse order,
+    giving each a chance to post-process it.
+    """
+
+    def __init__(
+        self,
+        filters: list[Filter],
+        terminal: Callable[[HttpRequest], HttpResponse],
+        on_filter_invoked: Callable[[Filter], None] | None = None,
+    ) -> None:
+        self._filters = filters
+        self._terminal = terminal
+        self._position = 0
+        self._on_filter_invoked = on_filter_invoked
+
+    def proceed(self, request: HttpRequest) -> HttpResponse:
+        """Invoke the next filter, or the servlet if none remain."""
+        if self._position > len(self._filters):
+            raise FilterError("filter chain proceeded past its end")
+        if self._position == len(self._filters):
+            self._position += 1
+            return self._terminal(request)
+        current = self._filters[self._position]
+        self._position += 1
+        if self._on_filter_invoked is not None:
+            self._on_filter_invoked(current)
+        response = current.do_filter(request, self)
+        if not isinstance(response, HttpResponse):
+            raise FilterError(
+                f"filter {current.name!r} returned {type(response).__name__}, "
+                "expected HttpResponse"
+            )
+        return response

@@ -1,0 +1,71 @@
+"""Server-side sessions for the web container.
+
+Exp-DB users are logged-in scientists; the workflow module needs to know
+*who* performs an action (e.g. which human agent answered an
+authorization request).  Sessions carry that identity plus arbitrary
+attributes, keyed by an opaque id the client echoes back (the cookie
+analog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SessionError
+
+
+@dataclass
+class Session:
+    """One user's server-side state."""
+
+    session_id: str
+    user: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    invalidated: bool = False
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.attributes.get(name, default)
+
+    def set(self, name: str, value: Any) -> None:
+        self.attributes[name] = value
+
+
+class SessionManager:
+    """Creates and resolves sessions for the container."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, Session] = {}
+        self._next_id = 1
+
+    def create(self, user: str | None = None) -> Session:
+        """Create a fresh session, optionally bound to a user name."""
+        session = Session(session_id=f"sess-{self._next_id}", user=user)
+        self._next_id += 1
+        self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """Resolve an existing session; raises for unknown/invalidated ids."""
+        session = self._sessions.get(session_id)
+        if session is None or session.invalidated:
+            raise SessionError(f"unknown or expired session {session_id!r}")
+        return session
+
+    def resolve(self, session_id: str | None) -> Session | None:
+        """Like :meth:`get` but returns ``None`` instead of raising."""
+        if session_id is None:
+            return None
+        session = self._sessions.get(session_id)
+        if session is None or session.invalidated:
+            return None
+        return session
+
+    def invalidate(self, session_id: str) -> None:
+        """Log a session out."""
+        session = self.get(session_id)
+        session.invalidated = True
+
+    def active_count(self) -> int:
+        """Number of live sessions."""
+        return sum(1 for s in self._sessions.values() if not s.invalidated)

@@ -1,0 +1,280 @@
+"""TableBean — the single, generic model interface to every table.
+
+Reproduces §3.2 of the paper: "The TableBean functions as a single,
+generic interface to all the tables in the database.  It provides methods
+for querying, inserting, updating, and deleting data from a table.  In
+order to handle non-trivial relationships between tables ... TableBean
+checks available meta-information as can be found in the ExperimentType,
+ExperimentTypeIO and SampleType tables."
+
+Concretely: a read on ``PCR`` first discovers (via ``ExperimentType``)
+that PCR is an experiment-type table, then reads both ``PCR`` and
+``Experiment`` and returns merged records.  Inserts into a type table are
+split into a parent insert (assigning the shared key) plus a child
+insert, inside one transaction.  "When adding new experiment or sample
+types to the data model, TableBean remains unchanged."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BadRequestError, UnknownTableError
+from repro.minidb.engine import Database
+from repro.minidb.predicates import EQ, IN, Predicate, by_key
+from repro.minidb.schema import TableSchema
+
+
+class TableBean:
+    """Generic, metadata-driven access to all Exp-DB tables."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+
+    # ------------------------------------------------------------------
+    # Metadata discovery
+    # ------------------------------------------------------------------
+
+    def experiment_type_of(self, table: str) -> str | None:
+        """The experiment type registered for ``table``, if any.
+
+        This is a real database read — the paper counts these metadata
+        lookups among the accesses that dominate response time.
+        """
+        row = self.db.select_one("ExperimentType", EQ("table_name", table))
+        return row["type_name"] if row else None
+
+    def sample_type_of(self, table: str) -> str | None:
+        """The sample type registered for ``table``, if any."""
+        row = self.db.select_one("SampleType", EQ("table_name", table))
+        return row["type_name"] if row else None
+
+    def combined_schema(self, table: str) -> list:
+        """Columns of ``table`` including inherited parent columns.
+
+        Used for form generation over type tables: the user fills in the
+        child-specific fields and the shared parent fields in one form.
+        """
+        schema = self.db.schema(table)
+        columns = list(schema.columns)
+        seen = {column.name for column in columns}
+        parent_name = schema.parent
+        while parent_name is not None:
+            parent_schema = self.db.schema(parent_name)
+            for column in parent_schema.columns:
+                if column.name not in seen:
+                    columns.append(column)
+                    seen.add(column.name)
+            parent_name = parent_schema.parent
+        return columns
+
+    def _schema(self, table: str) -> TableSchema:
+        if not self.db.has_table(table):
+            raise UnknownTableError(table)
+        return self.db.schema(table)
+
+    def _parent_chain(self, table: str) -> list[TableSchema]:
+        """Schemas from ``table``'s parent up to the root (may be empty)."""
+        chain = []
+        parent_name = self._schema(table).parent
+        while parent_name is not None:
+            parent_schema = self.db.schema(parent_name)
+            chain.append(parent_schema)
+            parent_name = parent_schema.parent
+        return chain
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+
+    def read(
+        self, table: str, criteria: dict[str, Any] | None = None
+    ) -> list[dict[str, Any]]:
+        """Rows of ``table`` matching equality ``criteria``.
+
+        Type tables are merged with their parent (so a read on ``PCR``
+        reads ``PCR`` and ``Experiment``); criteria may reference child
+        or inherited columns.
+        """
+        schema = self._schema(table)
+        if schema.parent is None:
+            predicate = self._criteria_predicate(schema, criteria)
+            return self.db.select(table, predicate)
+        merged = self.db.select_with_parent(table)
+        if not criteria:
+            return merged
+        self._validate_merged_criteria(table, criteria)
+        return [
+            row
+            for row in merged
+            if all(row.get(column) == value for column, value in criteria.items())
+        ]
+
+    def _validate_merged_criteria(
+        self, table: str, criteria: dict[str, Any]
+    ) -> None:
+        known = {column.name for column in self.combined_schema(table)}
+        unknown = set(criteria) - known
+        if unknown:
+            raise BadRequestError(
+                f"table {table!r} has no columns {sorted(unknown)}"
+            )
+
+    @staticmethod
+    def _criteria_predicate(
+        schema: TableSchema, criteria: dict[str, Any] | None
+    ) -> Predicate | None:
+        if not criteria:
+            return None
+        schema.validate_column_names(criteria)
+        return by_key(list(criteria), list(criteria.values()))
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, values: dict[str, Any]) -> dict[str, Any]:
+        """Insert a row, splitting parent/child parts for type tables.
+
+        For an experiment-type table the ``Experiment`` row is created
+        first (assigning ``experiment_id``), then the child row under the
+        same key, atomically.  The returned dict is the merged record.
+        The ``type_name`` metadata column is filled in automatically.
+        """
+        schema = self._schema(table)
+        chain = self._parent_chain(table)
+        if not chain:
+            return self.db.insert(table, values)
+
+        root = chain[-1]
+        own_columns = {column.name for column in schema.columns}
+        known = {column.name for column in self.combined_schema(table)}
+        unknown = set(values) - known
+        if unknown:
+            raise BadRequestError(
+                f"table {table!r} has no columns {sorted(unknown)}"
+            )
+        child_values = {
+            name: value for name, value in values.items() if name in own_columns
+        }
+        parent_values = {
+            name: value
+            for name, value in values.items()
+            if name not in own_columns
+        }
+        type_name = self._registered_type_name(table, root.name)
+        if type_name is not None and root.has_column("type_name"):
+            parent_values.setdefault("type_name", type_name)
+
+        with self.db.transaction():
+            parent_row = self.db.insert(root.name, parent_values)
+            for key_column in root.primary_key:
+                child_values[key_column] = parent_row[key_column]
+            # Multi-level chains insert each intermediate level too.
+            for intermediate in reversed(chain[:-1]):
+                self.db.insert(
+                    intermediate.name,
+                    {c: child_values[c] for c in root.primary_key},
+                )
+            child_row = self.db.insert(table, child_values)
+        merged = dict(parent_row)
+        merged.update(child_row)
+        return merged
+
+    def _registered_type_name(self, table: str, root: str) -> str | None:
+        if root == "Experiment":
+            return self.experiment_type_of(table)
+        if root == "Sample":
+            return self.sample_type_of(table)
+        return None
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        table: str,
+        criteria: dict[str, Any],
+        changes: dict[str, Any],
+    ) -> int:
+        """Update rows matching ``criteria``; returns the affected count.
+
+        For type tables, changes are routed to the table that owns each
+        column (child-specific columns to the child, shared columns to
+        the parent), matched through the shared primary key.
+        """
+        if not criteria:
+            raise BadRequestError("update requires search criteria")
+        schema = self._schema(table)
+        chain = self._parent_chain(table)
+        if not chain:
+            predicate = self._criteria_predicate(schema, criteria)
+            return self.db.update(table, predicate, changes)
+
+        targets = self.read(table, criteria)
+        if not targets:
+            return 0
+        key_columns = schema.primary_key
+        own_columns = {column.name for column in schema.columns}
+        child_changes = {
+            name: value for name, value in changes.items() if name in own_columns
+        }
+        remaining = {
+            name: value
+            for name, value in changes.items()
+            if name not in own_columns
+        }
+        with self.db.transaction():
+            for row in targets:
+                key = [row[column] for column in key_columns]
+                predicate = by_key(list(key_columns), key)
+                if child_changes:
+                    self.db.update(table, predicate, child_changes)
+                pending = dict(remaining)
+                for ancestor in chain:
+                    owned = {
+                        name: value
+                        for name, value in pending.items()
+                        if ancestor.has_column(name)
+                    }
+                    if owned:
+                        self.db.update(ancestor.name, predicate, owned)
+                        for name in owned:
+                            del pending[name]
+                if pending:
+                    raise BadRequestError(
+                        f"table {table!r} has no columns {sorted(pending)}"
+                    )
+        return len(targets)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, table: str, criteria: dict[str, Any]) -> int:
+        """Delete rows matching ``criteria``; returns the affected count.
+
+        Deleting from a type table removes the *root* record, which
+        cascades down the inheritance chain — a PCR experiment is gone
+        from both ``PCR`` and ``Experiment``.
+        """
+        if not criteria:
+            raise BadRequestError("delete requires search criteria")
+        schema = self._schema(table)
+        chain = self._parent_chain(table)
+        if not chain:
+            predicate = self._criteria_predicate(schema, criteria)
+            return self.db.delete(table, predicate)
+        targets = self.read(table, criteria)
+        if not targets:
+            return 0
+        root = chain[-1]
+        key_columns = root.primary_key
+        keys = [row[key_columns[0]] for row in targets]
+        if len(key_columns) == 1:
+            predicate: Predicate = IN(key_columns[0], keys)
+        else:  # pragma: no cover - core schema uses single-column keys
+            raise BadRequestError("composite-key type tables are unsupported")
+        self.db.delete(root.name, predicate)
+        return len(targets)

@@ -1,0 +1,228 @@
+"""A small server-page template engine — the JSP analog.
+
+Exp-DB's view layer is JSP; pages receive a model (dict) from the
+controller and render HTML.  The engine here supports the constructs the
+LIMS pages actually use:
+
+* ``{{ expr }}`` — HTML-escaped interpolation of a dotted lookup
+  (``{{ row.name }}``, indexable into dicts and attributes),
+* ``{{! expr }}`` — raw (unescaped) interpolation, for pre-rendered
+  fragments like generated forms,
+* ``{% for item in expr %} ... {% endfor %}`` — iteration (with
+  ``loop.index`` available inside, 1-based),
+* ``{% if expr %} ... {% else %} ... {% endif %}`` — truthiness tests,
+  with ``not expr`` supported.
+
+Templates are compiled once into a node tree and are reusable across
+requests.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from typing import Any
+
+from repro.errors import TemplateError
+
+_TOKEN = re.compile(r"({{.*?}}|{%.*?%})", re.DOTALL)
+
+
+def _resolve(expression: str, context: dict[str, Any]) -> Any:
+    """Resolve a dotted lookup like ``row.name`` against the context."""
+    expression = expression.strip()
+    negate = False
+    if expression.startswith("not "):
+        negate = True
+        expression = expression[4:].strip()
+    parts = expression.split(".")
+    if not parts or not parts[0]:
+        raise TemplateError(f"empty expression: {expression!r}")
+    if parts[0] not in context:
+        raise TemplateError(f"unknown template variable {parts[0]!r}")
+    value: Any = context[parts[0]]
+    for part in parts[1:]:
+        if isinstance(value, dict):
+            if part not in value:
+                raise TemplateError(
+                    f"missing key {part!r} while resolving {expression!r}"
+                )
+            value = value[part]
+        elif hasattr(value, part):
+            value = getattr(value, part)
+        else:
+            raise TemplateError(
+                f"cannot resolve {part!r} while resolving {expression!r}"
+            )
+    if negate:
+        return not value
+    return value
+
+
+class _Node:
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        raise NotImplementedError
+
+
+class _Text(_Node):
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        out.append(self.text)
+
+
+class _Interpolation(_Node):
+    def __init__(self, expression: str, raw: bool) -> None:
+        self.expression = expression
+        self.raw = raw
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        value = _resolve(self.expression, context)
+        text = "" if value is None else str(value)
+        out.append(text if self.raw else html.escape(text, quote=True))
+
+
+class _For(_Node):
+    def __init__(self, variable: str, expression: str, body: list[_Node]) -> None:
+        self.variable = variable
+        self.expression = expression
+        self.body = body
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        iterable = _resolve(self.expression, context)
+        if iterable is None:
+            return
+        inner = dict(context)
+        for index, item in enumerate(iterable, start=1):
+            inner[self.variable] = item
+            inner["loop"] = {"index": index}
+            for node in self.body:
+                node.render(inner, out)
+
+
+class _If(_Node):
+    def __init__(
+        self,
+        expression: str,
+        then_body: list[_Node],
+        else_body: list[_Node],
+    ) -> None:
+        self.expression = expression
+        self.then_body = then_body
+        self.else_body = else_body
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        branch = self.then_body if _resolve(self.expression, context) else self.else_body
+        for node in branch:
+            node.render(context, out)
+
+
+class Template:
+    """A compiled template; :meth:`render` is reentrant."""
+
+    def __init__(self, source: str, name: str = "<template>") -> None:
+        self.name = name
+        tokens = [piece for piece in _TOKEN.split(source) if piece]
+        self._nodes, remaining = self._parse(tokens, 0, ())
+        if remaining != len(tokens):
+            raise TemplateError(f"{name}: unbalanced block tags")
+
+    def _parse(
+        self, tokens: list[str], position: int, until: tuple[str, ...]
+    ) -> tuple[list[_Node], int]:
+        nodes: list[_Node] = []
+        while position < len(tokens):
+            token = tokens[position]
+            if token.startswith("{{"):
+                inner = token[2:-2]
+                raw = inner.startswith("!")
+                nodes.append(_Interpolation(inner[1:] if raw else inner, raw))
+                position += 1
+            elif token.startswith("{%"):
+                directive = token[2:-2].strip()
+                keyword = directive.split(None, 1)[0] if directive else ""
+                if keyword in until:
+                    return nodes, position
+                if keyword == "for":
+                    match = re.fullmatch(
+                        r"for\s+(\w+)\s+in\s+(.+)", directive
+                    )
+                    if not match:
+                        raise TemplateError(
+                            f"{self.name}: bad for directive {directive!r}"
+                        )
+                    body, position = self._parse(
+                        tokens, position + 1, ("endfor",)
+                    )
+                    self._expect(tokens, position, "endfor")
+                    nodes.append(_For(match.group(1), match.group(2), body))
+                    position += 1
+                elif keyword == "if":
+                    expression = directive[2:].strip()
+                    then_body, position = self._parse(
+                        tokens, position + 1, ("else", "endif")
+                    )
+                    else_body: list[_Node] = []
+                    if self._directive_at(tokens, position) == "else":
+                        else_body, position = self._parse(
+                            tokens, position + 1, ("endif",)
+                        )
+                    self._expect(tokens, position, "endif")
+                    nodes.append(_If(expression, then_body, else_body))
+                    position += 1
+                else:
+                    raise TemplateError(
+                        f"{self.name}: unknown directive {directive!r}"
+                    )
+            else:
+                nodes.append(_Text(token))
+                position += 1
+        if until:
+            raise TemplateError(
+                f"{self.name}: missing closing tag, expected one of {until}"
+            )
+        return nodes, position
+
+    def _directive_at(self, tokens: list[str], position: int) -> str | None:
+        if position >= len(tokens):
+            return None
+        token = tokens[position]
+        if not token.startswith("{%"):
+            return None
+        return token[2:-2].strip().split(None, 1)[0]
+
+    def _expect(self, tokens: list[str], position: int, keyword: str) -> None:
+        if self._directive_at(tokens, position) != keyword:
+            raise TemplateError(f"{self.name}: expected {{% {keyword} %}}")
+
+    def render(self, context: dict[str, Any] | None = None) -> str:
+        """Render with ``context`` as the variable namespace."""
+        out: list[str] = []
+        for node in self._nodes:
+            node.render(dict(context or {}), out)
+        return "".join(out)
+
+
+class TemplateRegistry:
+    """Named templates — the application's set of "JSP pages"."""
+
+    def __init__(self) -> None:
+        self._templates: dict[str, Template] = {}
+
+    def register(self, name: str, source: str) -> Template:
+        """Compile and store a template under ``name``."""
+        template = Template(source, name=name)
+        self._templates[name] = template
+        return template
+
+    def render(self, name: str, context: dict[str, Any] | None = None) -> str:
+        """Render the template registered as ``name``."""
+        try:
+            template = self._templates[name]
+        except KeyError:
+            raise TemplateError(f"unknown template {name!r}") from None
+        return template.render(context)
+
+    def names(self) -> list[str]:
+        return list(self._templates)

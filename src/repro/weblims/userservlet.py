@@ -1,0 +1,250 @@
+"""UserRequestServlet — the Exp-DB controller.
+
+"It handles all incoming requests from the JSP pages.  It calls the
+JavaBean TableBean (model) if necessary, and then redirects the response
+to the JSP responsible for returning a new web-page to the client."
+
+The servlet exposes the four generic operations of §3.2 through the
+``action`` parameter:
+
+=========  =====================================================
+action     parameters
+=========  =====================================================
+list       —                      (lists all tables)
+form       table                  (generated insert web-form)
+read       table, ``c_<col>``...  (search criteria)
+insert     table, ``v_<col>``...  (new record values)
+update     table, ``c_<col>``..., ``v_<col>``...
+delete     table, ``c_<col>``...
+=========  =====================================================
+
+Besides the rendered HTML, the servlet records *structured* results in
+``response.attributes`` (action, table, rows, affected count).  That is
+the hook the WorkflowFilter's postprocessing mode uses to observe what a
+request actually did without parsing HTML.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    BadRequestError,
+    ConstraintError,
+    DatabaseError,
+    TypeMismatchError,
+    UnknownTableError,
+)
+from repro.minidb.types import coerce
+from repro.weblims.forms import render_form_for_columns
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Servlet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.weblims.container import WebContainer
+
+
+class UserRequestServlet(Servlet):
+    """The MVC controller of Exp-DB."""
+
+    name = "UserRequestServlet"
+
+    def service(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        if request.method not in ("GET", "POST"):
+            return HttpResponse.error(
+                405, f"method {request.method} not allowed"
+            )
+        bean = container.context["table_bean"]
+        templates = container.context["templates"]
+        action = request.param("action", "list")
+        try:
+            handler = getattr(self, f"_do_{action}", None)
+            if handler is None:
+                raise BadRequestError(f"unknown action {action!r}")
+            response = handler(request, bean, templates)
+        except (BadRequestError, UnknownTableError) as error:
+            response = self._error_page(templates, 400, str(error))
+        except (ConstraintError, TypeMismatchError) as error:
+            response = self._error_page(templates, 409, str(error))
+        except DatabaseError as error:
+            response = self._error_page(templates, 500, str(error))
+        response.attributes.setdefault("action", action)
+        response.attributes.setdefault("table", request.param("table"))
+        return response
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def _do_list(self, request, bean, templates) -> HttpResponse:
+        tables = bean.db.tables()
+        body = templates.render("tables", {"tables": tables})
+        response = HttpResponse.html(body)
+        response.attributes["tables"] = tables
+        return response
+
+    def _do_form(self, request, bean, templates) -> HttpResponse:
+        table = request.require_param("table")
+        schema = bean.db.schema(table)
+        # Type tables present one combined form (child + inherited parent
+        # fields); the shared key is assigned by the system, so every key
+        # column is skipped alongside the root's autoincrement column.
+        columns = bean.combined_schema(table)
+        skip = set(schema.primary_key) if schema.parent else (
+            {schema.autoincrement} if schema.autoincrement else set()
+        )
+        form_html = render_form_for_columns(
+            columns,
+            action=request.path,
+            hidden={"action": "insert", "table": table},
+            skip=skip,
+        )
+        body = templates.render("form", {"table": table, "form": form_html})
+        return HttpResponse.html(body)
+
+    def _do_read(self, request, bean, templates) -> HttpResponse:
+        table = request.require_param("table")
+        criteria = self._typed_params(bean, table, request, "c_")
+        rows = bean.read(table, criteria)
+        rows = self._order_and_limit(bean, table, request, rows)
+        columns = sorted({column for row in rows for column in row})
+        body = templates.render(
+            "results",
+            {
+                "table": table,
+                "columns": columns,
+                "rows": [[_display(row.get(c)) for c in columns] for row in rows],
+                "count": len(rows),
+            },
+        )
+        response = HttpResponse.html(body)
+        response.attributes["rows"] = rows
+        response.attributes["criteria"] = criteria
+        return response
+
+    def _do_insert(self, request, bean, templates) -> HttpResponse:
+        table = request.require_param("table")
+        values = self._typed_params(bean, table, request, "v_")
+        row = bean.insert(table, values)
+        body = templates.render(
+            "confirm",
+            {"table": table, "message": "record inserted", "affected": 1},
+        )
+        response = HttpResponse.html(body)
+        response.attributes["row"] = row
+        response.attributes["affected"] = 1
+        return response
+
+    def _do_update(self, request, bean, templates) -> HttpResponse:
+        table = request.require_param("table")
+        criteria = self._typed_params(bean, table, request, "c_")
+        changes = self._typed_params(bean, table, request, "v_")
+        if not changes:
+            raise BadRequestError("update requires at least one v_ value")
+        affected = bean.update(table, criteria, changes)
+        body = templates.render(
+            "confirm",
+            {"table": table, "message": "records updated", "affected": affected},
+        )
+        response = HttpResponse.html(body)
+        response.attributes["affected"] = affected
+        response.attributes["criteria"] = criteria
+        response.attributes["changes"] = changes
+        return response
+
+    def _do_delete(self, request, bean, templates) -> HttpResponse:
+        table = request.require_param("table")
+        criteria = self._typed_params(bean, table, request, "c_")
+        affected = bean.delete(table, criteria)
+        body = templates.render(
+            "confirm",
+            {"table": table, "message": "records deleted", "affected": affected},
+        )
+        response = HttpResponse.html(body)
+        response.attributes["affected"] = affected
+        response.attributes["criteria"] = criteria
+        return response
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _typed_params(
+        bean, table: str, request: HttpRequest, prefix: str
+    ) -> dict[str, Any]:
+        """Parse ``prefix``-named parameters into typed column values.
+
+        Columns are resolved against the combined (child + inherited)
+        schema so forms over type tables can set parent fields too.
+        """
+        raw = request.params_with_prefix(prefix)
+        if not raw:
+            return {}
+        columns = {column.name: column for column in bean.combined_schema(table)}
+        typed: dict[str, Any] = {}
+        for name, value in raw.items():
+            column = columns.get(name)
+            if column is None:
+                raise BadRequestError(f"table {table!r} has no column {name!r}")
+            if value == "":
+                typed[name] = None
+                continue
+            try:
+                typed[name] = coerce(value, column.type, f"{table}.{name}")
+            except TypeMismatchError as error:
+                raise BadRequestError(str(error)) from None
+        return typed
+
+    @staticmethod
+    def _order_and_limit(
+        bean, table: str, request: HttpRequest, rows: list[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Apply optional ``order_by``/``desc``/``limit`` parameters.
+
+        Sorting happens over the already-merged records so type tables
+        can be ordered by inherited parent columns too; NULLs sort
+        first, as in the engine's ORDER BY.
+        """
+        order_by = request.param("order_by")
+        if order_by is not None:
+            known = {column.name for column in bean.combined_schema(table)}
+            if order_by not in known:
+                raise BadRequestError(
+                    f"table {table!r} has no column {order_by!r}"
+                )
+            descending = (request.param("desc", "false") or "").lower() == "true"
+            rows = sorted(
+                rows,
+                key=lambda row: (
+                    row.get(order_by) is not None,
+                    row.get(order_by) if row.get(order_by) is not None else 0,
+                ),
+                reverse=descending,
+            )
+        limit = request.param("limit")
+        if limit is not None:
+            try:
+                count = int(limit)
+            except ValueError:
+                raise BadRequestError(f"bad limit {limit!r}") from None
+            if count < 0:
+                raise BadRequestError("limit must be >= 0")
+            rows = rows[:count]
+        return rows
+
+    @staticmethod
+    def _error_page(templates, status: int, message: str) -> HttpResponse:
+        body = templates.render("error", {"status": status, "message": message})
+        response = HttpResponse.html(body, status=status)
+        response.attributes["error"] = message
+        return response
+
+
+def _display(value: Any) -> str:
+    """Human-readable cell text for the results page."""
+    if value is None:
+        return ""
+    return str(value)

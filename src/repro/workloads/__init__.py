@@ -1,0 +1,30 @@
+"""workloads — evaluation support for the benchmark harness.
+
+* :mod:`~repro.workloads.costmodel` — the calibrated latency model that
+  converts operation counts (DB reads/writes, persistent sends, emails,
+  filter/servlet invocations) into modeled response times, reproducing
+  the shape of the paper's §5.2 evaluation on a simulator substrate;
+* :mod:`~repro.workloads.protein` — the protein-creation workflow of
+  Fig. 1, fully wired with robot/program/human agents;
+* :mod:`~repro.workloads.generator` — synthetic labs, patterns and
+  agent fleets with parameterisable topology (fan-out, chain length,
+  failure rates) for the ablation benchmarks;
+* :mod:`~repro.workloads.requests` — the standard request mix behind
+  the paper's "various workflow and non-workflow related requests".
+"""
+
+from repro.workloads.costmodel import CostModel, RequestCost, measure_request
+from repro.workloads.generator import SyntheticLab
+from repro.workloads.protein import ProteinLab, build_protein_lab
+from repro.workloads.requests import EvaluationFixture, build_fixture
+
+__all__ = [
+    "CostModel",
+    "RequestCost",
+    "measure_request",
+    "SyntheticLab",
+    "ProteinLab",
+    "build_protein_lab",
+    "EvaluationFixture",
+    "build_fixture",
+]

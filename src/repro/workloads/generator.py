@@ -1,0 +1,220 @@
+"""Synthetic labs with parameterisable topology.
+
+The ablation benchmarks need workflows whose shape is a knob: chain
+length, join fan-in, default instance counts, robot failure rates.
+:class:`SyntheticLab` provides a lab with ``stages`` generic experiment
+types (``Stage0`` … ``StageN``), each consuming the previous stage's
+material sample type and producing its own, plus pattern factories for
+the standard shapes:
+
+* :meth:`chain_pattern` — ``Stage0 → Stage1 → … → StageK``;
+* :meth:`fanout_pattern` — one source, ``width`` parallel middle tasks,
+  one joining sink (the E3 insert-amplification workload);
+* :meth:`retry_pattern` — a single-stage pattern whose task carries a
+  default instance count, run against failing robots (the A2
+  multi-instance ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents import (
+    AgentManager,
+    EmailTransport,
+    LiquidHandlingRobotAgent,
+    TemplateAgent,
+    run_until_quiescent,
+)
+from repro.core import PatternBuilder, WorkflowBean, install_workflow_support
+from repro.core.persistence import authorize_agent, register_agent, save_pattern
+from repro.core.spec import AgentSpec, WorkflowPattern
+from repro.messaging import MessageBroker
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import ExpDB, build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@dataclass
+class SyntheticLab:
+    """A generic lab whose workflow topology is parameterisable."""
+
+    app: ExpDB
+    engine: WorkflowBean
+    broker: MessageBroker
+    manager: AgentManager
+    email: EmailTransport
+    stages: int
+    seed: int
+    agents: list[TemplateAgent] = field(default_factory=list)
+    _pattern_counter: int = 0
+
+    # ------------------------------------------------------------------
+    # Pattern factories
+    # ------------------------------------------------------------------
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._pattern_counter += 1
+        return f"{prefix}-{self._pattern_counter}"
+
+    def chain_pattern(
+        self,
+        length: int,
+        default_instances: int = 1,
+        name: str | None = None,
+    ) -> WorkflowPattern:
+        """A linear pipeline over the first ``length`` stages."""
+        if not 1 <= length <= self.stages:
+            raise ValueError(f"length must be in [1, {self.stages}]")
+        builder = PatternBuilder(name or self._fresh_name("chain"))
+        for index in range(length):
+            builder.task(
+                f"t{index}",
+                experiment_type=f"Stage{index}",
+                default_instances=default_instances,
+            )
+        for index in range(length - 1):
+            builder.flow(f"t{index}", f"t{index + 1}")
+            builder.data(
+                f"t{index}", f"t{index + 1}", sample_type=f"Mat{index}"
+            )
+        pattern = builder.build(db=self.app.db)
+        save_pattern(self.app.db, pattern)
+        return pattern
+
+    def fanout_pattern(
+        self, width: int, name: str | None = None
+    ) -> WorkflowPattern:
+        """Source → ``width`` parallel Stage1 tasks → joining Stage2 sink."""
+        if self.stages < 3:
+            raise ValueError("fanout_pattern needs a lab with >= 3 stages")
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        builder = PatternBuilder(name or self._fresh_name("fanout"))
+        builder.task("source", experiment_type="Stage0")
+        for index in range(width):
+            builder.task(f"mid{index}", experiment_type="Stage1")
+            builder.flow("source", f"mid{index}")
+            builder.data("source", f"mid{index}", sample_type="Mat0")
+        builder.task("sink", experiment_type="Stage2")
+        for index in range(width):
+            builder.flow(f"mid{index}", "sink")
+            builder.data(f"mid{index}", "sink", sample_type="Mat1")
+        pattern = builder.build(db=self.app.db)
+        save_pattern(self.app.db, pattern)
+        return pattern
+
+    def retry_pattern(
+        self, default_instances: int, name: str | None = None
+    ) -> WorkflowPattern:
+        """One Stage0 task with ``default_instances`` parallel instances."""
+        builder = PatternBuilder(name or self._fresh_name("retry"))
+        builder.task(
+            "only",
+            experiment_type="Stage0",
+            default_instances=default_instances,
+        )
+        pattern = builder.build(db=self.app.db)
+        save_pattern(self.app.db, pattern)
+        return pattern
+
+    # ------------------------------------------------------------------
+    # Execution helpers
+    # ------------------------------------------------------------------
+
+    def run_messages(self) -> int:
+        """Drive the agent system to quiescence."""
+        return run_until_quiescent(self.manager, self.agents)
+
+    def run_to_completion(self, workflow_id: int, max_rounds: int = 100) -> str:
+        """Pump and auto-approve until the workflow finishes."""
+        for __ in range(max_rounds):
+            self.run_messages()
+            workflow = self.app.db.get("Workflow", workflow_id)
+            if workflow["status"] != "running":
+                return workflow["status"]
+            pending = self.engine.pending_authorizations()
+            if pending:
+                for request in pending:
+                    self.engine.respond_authorization(
+                        request["auth_id"], True, decided_by="auto"
+                    )
+            else:
+                self.run_messages()
+                workflow = self.app.db.get("Workflow", workflow_id)
+                if workflow["status"] != "running":
+                    return workflow["status"]
+        return self.app.db.get("Workflow", workflow_id)["status"]
+
+
+def build_synthetic_lab(
+    stages: int = 4,
+    seed: int = 11,
+    failure_rate: float = 0.0,
+    stock_samples: int = 3,
+    robots_per_stage: int = 1,
+) -> SyntheticLab:
+    """Assemble a synthetic lab with ``stages`` experiment types."""
+    app = build_expdb()
+    broker = MessageBroker()
+    email = EmailTransport()
+    manager = AgentManager(app.db, broker, email=email)
+    engine = install_workflow_support(app, dispatcher=manager)
+    manager.attach_engine(engine)
+    lab = SyntheticLab(
+        app=app,
+        engine=engine,
+        broker=broker,
+        manager=manager,
+        email=email,
+        stages=stages,
+        seed=seed,
+    )
+
+    add_sample_type(app.db, "RawMat", [Column("purity", ColumnType.REAL)])
+    for index in range(stages):
+        add_experiment_type(
+            app.db,
+            f"Stage{index}",
+            [Column("reading", ColumnType.REAL)],
+        )
+        add_sample_type(app.db, f"Mat{index}", [])
+        input_type = "RawMat" if index == 0 else f"Mat{index - 1}"
+        declare_experiment_io(app.db, f"Stage{index}", input_type, "input")
+        declare_experiment_io(app.db, f"Stage{index}", f"Mat{index}", "output")
+
+    for index in range(stock_samples):
+        row = app.db.insert(
+            "Sample",
+            {
+                "type_name": "RawMat",
+                "name": f"raw-{index + 1}",
+                "quality": 0.8 + 0.05 * (index % 3),
+            },
+        )
+        app.db.insert("RawMat", {"sample_id": row["sample_id"], "purity": 0.95})
+
+    for index in range(stages):
+        for robot_index in range(robots_per_stage):
+            name = f"robot-s{index}-{robot_index}"
+            spec = AgentSpec(name, "robot")
+            register_agent(app.db, spec)
+            authorize_agent(app.db, name, f"Stage{index}")
+            lab.agents.append(
+                LiquidHandlingRobotAgent(
+                    spec,
+                    broker,
+                    produces=[{"sample_type": f"Mat{index}"}],
+                    failure_rate=failure_rate,
+                    seed=seed + index,
+                    result_fields={
+                        "reading": (lambda rng: round(rng.uniform(0, 1), 4))
+                    },
+                )
+            )
+    return lab

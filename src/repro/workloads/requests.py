@@ -1,0 +1,185 @@
+"""The standard request mix behind the paper's evaluation (§5.2).
+
+"We evaluated the performance of the system for various operations
+including various workflow and non-workflow related requests."  The
+:class:`EvaluationFixture` prepares a protein lab and exposes one
+operation per row of the E1 table, each issuing a real HTTP request
+through the web container (so filters, servlets and the engine all run).
+
+Operations needing state (an undecided instance, a pending
+authorization) split into an unmeasured *prepare* step and the measured
+request itself, so the reported cost is that of the single user request,
+exactly as the paper measures response times.
+
+==============================  ==============================================
+operation                       what it exercises
+==============================  ==============================================
+``read_experiments``            non-workflow read (filter passes through)
+``read_type_table``             non-workflow read over a type table (merged)
+``insert_stock_sample``         workflow-relevant insert (pre+postprocess)
+``insert_standalone_experiment``insert into an experiment-type table: the
+                                paper's "simple insert ... can trigger
+                                several database reads" case
+``start_workflow_request``      mode-(b) processing: instantiation + initial
+                                dispatches over the persistent queue
+``complete_instance_request``   mode-(b): a human enters results via the web
+                                interface, triggering eligibility checks and
+                                downstream dispatch
+``authorize_request``           mode-(b): an authorization decision that
+                                activates the gated task
+==============================  ==============================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.weblims.http import HttpResponse
+from repro.workloads.costmodel import CostModel, RequestCost, measure_request
+from repro.workloads.protein import ProteinLab, build_protein_lab
+
+Operation = Callable[[], HttpResponse]
+
+
+@dataclass
+class EvaluationFixture:
+    """A protein lab plus the standard operation mix."""
+
+    lab: ProteinLab
+    model: CostModel
+
+    #: The operations reported in the E1 response-time table.
+    OPERATION_MIX = (
+        "read_experiments",
+        "read_type_table",
+        "insert_stock_sample",
+        "insert_standalone_experiment",
+        "start_workflow_request",
+        "complete_instance_request",
+        "authorize_request",
+    )
+
+    # ------------------------------------------------------------------
+    # Operation factories: prepare state (unmeasured), return the thunk
+    # ------------------------------------------------------------------
+
+    def build_operation(self, name: str) -> Operation:
+        """Prepare any needed state and return the measurable request."""
+        factory = getattr(self, f"op_{name}", None)
+        if factory is None:
+            raise ValueError(f"unknown operation {name!r}")
+        return factory()
+
+    def op_read_experiments(self) -> Operation:
+        """GET all experiments (non-workflow read)."""
+        return lambda: self.lab.app.get(
+            "/user", action="read", table="Experiment"
+        )
+
+    def op_read_type_table(self) -> Operation:
+        """GET a type table (merged parent/child read)."""
+        return lambda: self.lab.app.get("/user", action="read", table="Pcr")
+
+    def op_insert_stock_sample(self) -> Operation:
+        """POST a new stock sample (workflow-relevant table)."""
+        return lambda: self.lab.app.post(
+            "/user",
+            action="insert",
+            table="Sample",
+            v_type_name="Primer",
+            v_name="extra-primer",
+            v_quality="0.88",
+        )
+
+    def op_insert_standalone_experiment(self) -> Operation:
+        """POST an experiment-type insert outside any workflow."""
+        return lambda: self.lab.app.post(
+            "/user",
+            action="insert",
+            table="Digestion",
+            v_enzyme="BamHI",
+            v_status="done",
+        )
+
+    def op_start_workflow_request(self) -> Operation:
+        """POST a workflow instantiation (filter mode b)."""
+        return lambda: self.lab.app.post(
+            "/user",
+            workflow_action="start",
+            pattern="protein_creation",
+        )
+
+    def op_complete_instance_request(self) -> Operation:
+        """POST human-entered results for a waiting instance (mode b)."""
+        workflow = self.lab.engine.start_workflow("protein_creation")
+        view = self.lab.engine.workflow_view(workflow["workflow_id"])
+        undecided = [
+            instance
+            for instance in view.tasks["pcr"].instances
+            if not instance.decided
+        ]
+        target = undecided[0].experiment_id
+        outputs = json.dumps(
+            [{"sample_type": "PcrProduct", "name": "web-pcr", "quality": 0.9}]
+        )
+        return lambda: self.lab.app.post(
+            "/user",
+            workflow_action="complete_instance",
+            experiment_id=str(target),
+            success="true",
+            outputs=outputs,
+        )
+
+    def op_authorize_request(self) -> Operation:
+        """POST an authorization decision (mode b)."""
+        workflow = self.lab.engine.start_workflow("protein_creation")
+        self.lab.run_messages()
+        pending = self.lab.engine.pending_authorizations(
+            workflow["workflow_id"]
+        )
+        if not pending:  # pragma: no cover - protein flow always gates
+            pending = self.lab.engine.pending_authorizations()
+        auth_id = pending[0]["auth_id"]
+        return lambda: self.lab.app.post(
+            "/user",
+            workflow_action="authorize",
+            auth_id=str(auth_id),
+            approve="true",
+            by="fixture",
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def measure(self, operation_name: str) -> tuple[HttpResponse, RequestCost]:
+        """Run one named operation under the cost model (prep excluded)."""
+        operation = self.build_operation(operation_name)
+        return measure_request(
+            self.lab.app.db,
+            self.lab.app.container,
+            self.lab.broker,
+            operation,
+            model=self.model,
+            email_counter=lambda: self.lab.email.sent_count,
+            engine_events=lambda: self.lab.engine.check_count,
+        )
+
+    def measure_mix(self) -> dict[str, tuple[HttpResponse, RequestCost]]:
+        """Measure every operation in the mix once."""
+        return {name: self.measure(name) for name in self.OPERATION_MIX}
+
+
+def build_fixture(
+    seed: int = 7,
+    colonies: int = 25,
+    model: CostModel | None = None,
+    journal_path: str | None = None,
+) -> EvaluationFixture:
+    """A fresh evaluation fixture over a protein lab."""
+    lab = build_protein_lab(
+        seed=seed, colonies=colonies, journal_path=journal_path
+    )
+    return EvaluationFixture(lab=lab, model=model or CostModel())

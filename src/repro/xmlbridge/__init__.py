@@ -1,0 +1,20 @@
+"""xmlbridge — relational <-> XML translation (the NeT/CoT analog).
+
+The paper uses a modified version of NeT & CoT [19] "to automatically
+extract task input data from the relational database and represent it in
+a general XML format, and similarly to translate XML data back into the
+relational format".  This package provides that generic transfer format:
+
+* :class:`RelationalDocument` assembles rows from any number of tables
+  into one typed XML document (attributes carry the column types so the
+  reverse mapping is lossless);
+* the reverse mapping validates each row against the live database
+  schema before handing it back as plain dicts.
+
+Agents never see relational rows directly — they receive and return these
+XML documents and translate them to/from their proprietary formats.
+"""
+
+from repro.xmlbridge.document import RelationalDocument
+
+__all__ = ["RelationalDocument"]

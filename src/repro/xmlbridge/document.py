@@ -1,0 +1,221 @@
+"""Typed XML documents carrying relational rows between system boundaries.
+
+Document shape::
+
+    <task-input kind="dispatch" task-instance="42">
+      <table name="Experiment">
+        <row>
+          <column name="experiment_id" type="integer">17</column>
+          <column name="name" type="text">pcr-17</column>
+          <column name="score" type="real" null="true"/>
+        </row>
+      </table>
+      <table name="Sample"> ... </table>
+    </task-input>
+
+Every ``<column>`` element records the minidb column type, making the
+relational→XML→relational roundtrip lossless, including NULLs and
+timestamps.  Root attributes are free-form strings used for routing
+metadata (task ids, message kinds, ...).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Iterable
+
+from repro.errors import XmlExtractionError, XmlTranslationError
+from repro.minidb.engine import Database
+from repro.minidb.schema import TableSchema
+from repro.minidb.types import ColumnType, from_wire, to_wire
+
+
+class RelationalDocument:
+    """An ordered collection of (table, rows) destined for XML transfer."""
+
+    def __init__(self, root_tag: str = "document", **attributes: str) -> None:
+        if not root_tag or not root_tag.replace("-", "").replace("_", "").isalnum():
+            raise XmlExtractionError(f"invalid root tag: {root_tag!r}")
+        self.root_tag = root_tag
+        self.attributes: dict[str, str] = {
+            key.replace("_", "-"): str(value) for key, value in attributes.items()
+        }
+        # table name -> (schema snapshot {column: type}, list of rows)
+        self._tables: dict[str, tuple[dict[str, ColumnType], list[dict[str, Any]]]]
+        self._tables = {}
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add_rows(
+        self,
+        schema: TableSchema,
+        rows: Iterable[dict[str, Any]],
+        extra_columns: dict[str, ColumnType] | None = None,
+    ) -> None:
+        """Append rows belonging to ``schema``'s table.
+
+        ``extra_columns`` types any columns beyond the schema — used for
+        merged parent/child reads where the child row carries inherited
+        parent columns.
+        """
+        types = {column.name: column.type for column in schema.columns}
+        if extra_columns:
+            types.update(extra_columns)
+        existing_types, existing_rows = self._tables.get(schema.name, (types, []))
+        existing_types.update(types)
+        for row in rows:
+            for column in row:
+                if column not in existing_types:
+                    raise XmlExtractionError(
+                        f"row for table {schema.name!r} carries untyped "
+                        f"column {column!r}"
+                    )
+            existing_rows.append(dict(row))
+        self._tables[schema.name] = (existing_types, existing_rows)
+
+    def add_table_from_db(
+        self, db: Database, table: str, rows: Iterable[dict[str, Any]]
+    ) -> None:
+        """Append rows typed via the live schema (merging parent columns)."""
+        schema = db.schema(table)
+        extra: dict[str, ColumnType] = {}
+        parent_name = schema.parent
+        while parent_name is not None:
+            parent_schema = db.schema(parent_name)
+            for column in parent_schema.columns:
+                extra.setdefault(column.name, column.type)
+            parent_name = parent_schema.parent
+        self.add_rows(schema, rows, extra_columns=extra)
+
+    def tables(self) -> list[str]:
+        """Table names present in the document, in insertion order."""
+        return list(self._tables)
+
+    def rows(self, table: str) -> list[dict[str, Any]]:
+        """The rows stored for ``table`` (copies)."""
+        if table not in self._tables:
+            return []
+        return [dict(row) for row in self._tables[table][1]]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        """Render the document as an XML string."""
+        root = ET.Element(self.root_tag, dict(self.attributes))
+        for table_name, (types, rows) in self._tables.items():
+            table_element = ET.SubElement(root, "table", {"name": table_name})
+            for row in rows:
+                row_element = ET.SubElement(table_element, "row")
+                for column, value in row.items():
+                    column_type = types[column]
+                    attrs = {"name": column, "type": column_type.value}
+                    if value is None:
+                        attrs["null"] = "true"
+                        ET.SubElement(row_element, "column", attrs)
+                        continue
+                    column_element = ET.SubElement(row_element, "column", attrs)
+                    column_element.text = str(to_wire(value, column_type))
+        return ET.tostring(root, encoding="unicode")
+
+    @staticmethod
+    def from_xml(xml_text: str) -> "RelationalDocument":
+        """Parse a document produced by :meth:`to_xml` (or by an agent)."""
+        try:
+            root = ET.fromstring(xml_text)
+        except ET.ParseError as error:
+            raise XmlTranslationError(f"malformed XML: {error}") from None
+        document = RelationalDocument.__new__(RelationalDocument)
+        document.root_tag = root.tag
+        document.attributes = dict(root.attrib)
+        document._tables = {}
+        for table_element in root.findall("table"):
+            table_name = table_element.get("name")
+            if not table_name:
+                raise XmlTranslationError("<table> element without name")
+            types: dict[str, ColumnType] = {}
+            rows: list[dict[str, Any]] = []
+            for row_element in table_element.findall("row"):
+                row: dict[str, Any] = {}
+                for column_element in row_element.findall("column"):
+                    column = column_element.get("name")
+                    type_name = column_element.get("type")
+                    if not column or not type_name:
+                        raise XmlTranslationError(
+                            f"<column> in table {table_name!r} missing "
+                            "name or type"
+                        )
+                    try:
+                        column_type = ColumnType(type_name)
+                    except ValueError:
+                        raise XmlTranslationError(
+                            f"unknown column type {type_name!r} in table "
+                            f"{table_name!r}"
+                        ) from None
+                    types[column] = column_type
+                    if column_element.get("null") == "true":
+                        row[column] = None
+                    else:
+                        text = column_element.text or ""
+                        try:
+                            row[column] = from_wire(text, column_type)
+                        except Exception as error:
+                            raise XmlTranslationError(
+                                f"bad value for {table_name}.{column}: {error}"
+                            ) from None
+                rows.append(row)
+            if table_name in document._tables:
+                existing_types, existing_rows = document._tables[table_name]
+                existing_types.update(types)
+                existing_rows.extend(rows)
+            else:
+                document._tables[table_name] = (types, rows)
+        return document
+
+    # ------------------------------------------------------------------
+    # Applying back to the database
+    # ------------------------------------------------------------------
+
+    def validate_against(self, db: Database) -> None:
+        """Check every row fits the live schema (tables/columns exist)."""
+        for table_name, (__, rows) in self._tables.items():
+            if not db.has_table(table_name):
+                raise XmlTranslationError(
+                    f"document references unknown table {table_name!r}"
+                )
+            schema = db.schema(table_name)
+            known = set(schema.column_names())
+            parent_name = schema.parent
+            while parent_name is not None:
+                parent_schema = db.schema(parent_name)
+                known.update(parent_schema.column_names())
+                parent_name = parent_schema.parent
+            for row in rows:
+                unknown = set(row) - known
+                if unknown:
+                    raise XmlTranslationError(
+                        f"document row for {table_name!r} has unknown "
+                        f"columns {sorted(unknown)}"
+                    )
+
+    def insert_into(self, db: Database, table: str) -> list[dict[str, Any]]:
+        """Insert this document's rows for ``table``, returning stored rows.
+
+        Columns not belonging to ``table`` itself (inherited parent
+        columns echoed back by an agent) are dropped, mirroring how the
+        original system's translator writes each table separately.
+        """
+        schema = db.schema(table)
+        own_columns = set(schema.column_names())
+        inserted = []
+        for row in self.rows(table):
+            trimmed = {
+                column: value
+                for column, value in row.items()
+                if column in own_columns
+            }
+            inserted.append(db.insert(table, trimmed))
+        return inserted

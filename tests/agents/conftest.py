@@ -1,0 +1,77 @@
+"""Fixtures for agent-framework tests: a full lab with messaging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.agents import AgentManager, EmailTransport
+from repro.core import PatternBuilder, WorkflowBean, install_workflow_support
+from repro.core.persistence import authorize_agent, register_agent, save_pattern
+from repro.core.spec import AgentSpec
+from repro.messaging import MessageBroker
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import ExpDB, build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@dataclass
+class MessagingLab:
+    app: ExpDB
+    engine: WorkflowBean
+    broker: MessageBroker
+    manager: AgentManager
+    email: EmailTransport
+    agents: list = field(default_factory=list)
+
+    @property
+    def db(self):
+        return self.app.db
+
+    def register(self, agent, *types):
+        register_agent(self.db, agent.spec)
+        for experiment_type in types:
+            authorize_agent(self.db, agent.spec.name, experiment_type)
+        self.agents.append(agent)
+        return agent
+
+    def define(self, builder: PatternBuilder):
+        pattern = builder.build(db=self.db)
+        save_pattern(self.db, pattern)
+        return pattern
+
+    def run(self):
+        from repro.agents import run_until_quiescent
+
+        return run_until_quiescent(self.manager, self.agents)
+
+
+@pytest.fixture
+def msg_lab() -> MessagingLab:
+    app = build_expdb()
+    broker = MessageBroker()
+    email = EmailTransport()
+    manager = AgentManager(app.db, broker, email=email)
+    engine = install_workflow_support(app, dispatcher=manager)
+    manager.attach_engine(engine)
+    add_experiment_type(app.db, "A", [Column("reading", ColumnType.REAL)])
+    add_experiment_type(app.db, "B", [])
+    add_sample_type(app.db, "SA", [])
+    add_sample_type(app.db, "SB", [])
+    declare_experiment_io(app.db, "A", "SB", "input")
+    declare_experiment_io(app.db, "A", "SA", "output")
+    declare_experiment_io(app.db, "B", "SA", "input")
+    return MessagingLab(
+        app=app, engine=engine, broker=broker, manager=manager, email=email
+    )
+
+
+@pytest.fixture
+def robot_spec():
+    return AgentSpec("test-robot", "robot")

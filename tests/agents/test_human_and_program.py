@@ -1,0 +1,154 @@
+"""Human technician and analysis-program agents."""
+
+from __future__ import annotations
+
+import json
+
+from repro.agents import AnalysisProgramAgent, HumanTechnicianAgent
+from repro.agents.program import default_compute
+from repro.core import PatternBuilder
+from repro.core.spec import AgentSpec
+
+
+class TestHumanTechnician:
+    def make_human(self, msg_lab):
+        spec = AgentSpec("tech", "human", contact="tech@lab")
+        return msg_lab.register(
+            HumanTechnicianAgent(spec, msg_lab.broker, msg_lab.email), "A"
+        )
+
+    def test_dispatch_notifies_by_email_and_parks_work(self, msg_lab):
+        human = self.make_human(msg_lab)
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        workflow = msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+        msg_lab.run()
+        # The human has mail and a worklist entry; the instance waits.
+        inbox = msg_lab.email.inbox("tech@lab")
+        assert any("assigned to you" in mail.subject for mail in inbox)
+        assert len(human.worklist) == 1
+        view = msg_lab.engine.workflow_view(workflow["workflow_id"])
+        assert view.tasks["a"].instances[0].state == "delegated"
+
+    def test_human_enters_results_via_web_interface(self, msg_lab):
+        human = self.make_human(msg_lab)
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        workflow = msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+        msg_lab.run()
+        experiment_id = next(iter(human.worklist))
+        human.take_work(experiment_id)
+        response = msg_lab.app.post(
+            "/user",
+            workflow_action="complete_instance",
+            experiment_id=str(experiment_id),
+            success="true",
+            outputs=json.dumps([{"sample_type": "SA", "name": "by-hand"}]),
+            r_reading="0.6",
+        )
+        assert response.status == 200
+        view = msg_lab.engine.workflow_view(workflow["workflow_id"])
+        assert view.tasks["a"].state == "completed"
+        assert msg_lab.db.get("A", experiment_id)["reading"] == 0.6
+
+    def test_abort_clears_worklist_with_notification(self, msg_lab):
+        human = self.make_human(msg_lab)
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        workflow = msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+        msg_lab.run()
+        experiment_id = next(iter(human.worklist))
+        msg_lab.engine.abort_instance(experiment_id)
+        msg_lab.run()
+        assert experiment_id not in human.worklist
+        assert any(
+            "cancelled" in mail.subject
+            for mail in msg_lab.email.inbox("tech@lab")
+        )
+
+    def test_authorization_response_over_message_bus(self, msg_lab):
+        from repro.core.persistence import authorize_agent
+
+        human = self.make_human(msg_lab)
+        authorize_agent(msg_lab.db, "tech", "B")  # human may authorize B too
+        msg_lab.define(
+            PatternBuilder("gate").task(
+                "a", experiment_type="A", requires_authorization=True
+            )
+        )
+        msg_lab.engine.start_workflow("gate")
+        msg_lab.run()
+        assert human.authorization_requests
+        auth_id = int(human.authorization_requests[0]["auth_id"])
+        human.respond_authorization(auth_id, True)
+        msg_lab.run()
+        assert msg_lab.engine.pending_authorizations() == []
+        stored = msg_lab.db.get("WFAuthorization", auth_id)
+        assert stored["status"] == "granted"
+        assert stored["decided_by"] == "tech"
+
+
+class TestAnalysisProgram:
+    def test_default_compute_improves_with_quality_and_count(self):
+        low = default_compute([{"quality": 0.2}])
+        high = default_compute([{"quality": 0.9}])
+        assert high["score"] > low["score"]
+        one = default_compute([{"quality": 0.8}])
+        two = default_compute([{"quality": 0.8}, {"quality": 0.8}])
+        assert two["score"] > one["score"]
+
+    def test_no_inputs_fails_when_required(self, msg_lab):
+        agent = AnalysisProgramAgent(
+            AgentSpec("prog", "program"), msg_lab.broker
+        )
+        result = agent.execute(1, [])
+        assert result.success is False
+
+    def test_no_inputs_ok_when_not_required(self, msg_lab):
+        agent = AnalysisProgramAgent(
+            AgentSpec("prog", "program"),
+            msg_lab.broker,
+            require_inputs=False,
+        )
+        result = agent.execute(1, [])
+        assert result.success is True
+
+    def test_custom_compute_function(self, msg_lab):
+        agent = AnalysisProgramAgent(
+            AgentSpec("prog", "program"),
+            msg_lab.broker,
+            compute=lambda samples: {"hits": len(samples)},
+        )
+        result = agent.execute(1, [{"sample_id": 1}, {"sample_id": 2}])
+        assert result.result_values == {"hits": 2}
+        assert result.chosen_input_ids == [1, 2]
+
+    def test_program_over_messaging(self, msg_lab):
+        msg_lab.db.insert(
+            "Sample", {"type_name": "SB", "name": "in", "quality": 0.9}
+        )
+        msg_lab.db.insert("SB", {"sample_id": 1})
+        msg_lab.register(
+            AnalysisProgramAgent(
+                AgentSpec("blast", "program"),
+                msg_lab.broker,
+                # Map the score onto the experiment type's real column.
+                compute=lambda samples: {
+                    "reading": default_compute(samples)["score"]
+                },
+                produces=[{"sample_type": "SA", "name_prefix": "hit"}],
+            ),
+            "A",
+        )
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        workflow = msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+        msg_lab.run()
+        view = msg_lab.engine.workflow_view(workflow["workflow_id"])
+        assert view.tasks["a"].state == "completed"
+        produced = msg_lab.db.select("Sample", order_by="sample_id")[-1]
+        assert produced["type_name"] == "SA"

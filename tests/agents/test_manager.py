@@ -1,0 +1,176 @@
+"""The AgentManager: choice, dispatch, input extraction, inbound pump."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import LiquidHandlingRobotAgent
+from repro.core import PatternBuilder
+from repro.core.dispatch import ENGINE_QUEUE, KIND_DISPATCH, KIND_RESULT
+from repro.core.spec import AgentSpec
+from repro.errors import DispatchError
+from repro.messaging import Connection
+from repro.xmlbridge import RelationalDocument
+
+
+class TestAgentChoice:
+    def test_round_robin_across_authorized_agents(self, msg_lab):
+        for name in ("bot-1", "bot-2"):
+            msg_lab.register(
+                LiquidHandlingRobotAgent(
+                    AgentSpec(name, "robot"),
+                    msg_lab.broker,
+                    produces=[{"sample_type": "SA"}],
+                ),
+                "A",
+            )
+        picks = [msg_lab.manager.choose_agent("A")["name"] for __ in range(4)]
+        assert picks == ["bot-1", "bot-2", "bot-1", "bot-2"]
+
+    def test_no_agent_returns_none(self, msg_lab):
+        assert msg_lab.manager.choose_agent("A") is None
+        assert msg_lab.manager.choose_agent(None) is None
+
+
+class TestTaskInputExtraction:
+    def test_document_contains_experiment_and_inputs(self, msg_lab):
+        msg_lab.register(
+            LiquidHandlingRobotAgent(
+                AgentSpec("bot", "robot"),
+                msg_lab.broker,
+                produces=[{"sample_type": "SA"}],
+            ),
+            "A",
+        )
+        # Stock SB sample is a required input of A.
+        msg_lab.db.insert(
+            "Sample", {"type_name": "SB", "name": "stock", "quality": 0.8}
+        )
+        msg_lab.db.insert("SB", {"sample_id": 1})
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+
+        # Inspect the robot's queue before the robot consumes it.
+        connection = Connection(msg_lab.broker)
+        consumer = connection.create_consumer("agent.bot")
+        message = consumer.receive()
+        assert message.headers["kind"] == KIND_DISPATCH
+        document = RelationalDocument.from_xml(message.body)
+        assert "A" in document.tables()  # the experiment record
+        assert "SB" in document.tables()  # candidate stock input
+        experiment_row = document.rows("A")[0]
+        assert experiment_row["type_name"] == "A"
+        sample_row = document.rows("SB")[0]
+        assert sample_row["name"] == "stock"
+
+    def test_dispatch_headers(self, msg_lab):
+        msg_lab.register(
+            LiquidHandlingRobotAgent(
+                AgentSpec("bot", "robot"),
+                msg_lab.broker,
+                produces=[{"sample_type": "SA"}],
+            ),
+            "A",
+        )
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        workflow = msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+        consumer = Connection(msg_lab.broker).create_consumer("agent.bot")
+        message = consumer.receive()
+        assert message.headers["workflow_id"] == workflow["workflow_id"]
+        assert message.headers["task"] == "a"
+        assert message.headers["experiment_type"] == "A"
+        assert message.headers["agent"] == "bot"
+
+
+class TestInboundPump:
+    def test_pump_without_engine_rejected(self, msg_lab):
+        from repro.agents import AgentManager
+
+        orphan = AgentManager(msg_lab.db, msg_lab.broker)
+        with pytest.raises(DispatchError):
+            orphan.pump()
+
+    def test_poison_message_recorded_not_fatal(self, msg_lab):
+        producer = Connection(msg_lab.broker).create_producer(ENGINE_QUEUE)
+        producer.send("<garbage", headers={"kind": KIND_RESULT})
+        producer.send("", headers={"kind": "mystery.kind"})
+        processed = msg_lab.manager.pump()
+        assert processed == 2
+        rejected = msg_lab.engine.events.of_kind("message.rejected")
+        assert len(rejected) == 2
+        # The queue is drained; nothing is stuck.
+        assert msg_lab.broker.queue_depth(ENGINE_QUEUE) == 0
+
+    def test_result_with_unknown_result_column_rejected_not_fatal(self, msg_lab):
+        """An agent reporting values for a nonexistent column is a
+        schema-level (database) error — it must reject that message and
+        roll back cleanly, never wedge the pump or corrupt state."""
+        robot = msg_lab.register(
+            LiquidHandlingRobotAgent(
+                AgentSpec("bot", "robot"),
+                msg_lab.broker,
+                produces=[{"sample_type": "SA"}],
+                result_fields={"no_such_column": 1},
+            ),
+            "A",
+        )
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        workflow = msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+        msg_lab.run()
+        rejected = msg_lab.engine.events.of_kind("message.rejected")
+        assert rejected and "no_such_column" in rejected[-1]["error"]
+        assert msg_lab.broker.queue_depth(ENGINE_QUEUE) == 0
+        # The failed result rolled back atomically: no orphan samples.
+        view = msg_lab.engine.workflow_view(workflow["workflow_id"])
+        assert view.tasks["a"].instances[0].state == "active"
+        assert msg_lab.db.count("Sample") == 0
+        del robot
+
+    def test_stale_result_after_restart_tolerated(self, msg_lab):
+        """A robot's result arriving after the task was restarted is
+        acknowledged and recorded as stale, never an error."""
+        robot = msg_lab.register(
+            LiquidHandlingRobotAgent(
+                AgentSpec("bot", "robot"),
+                msg_lab.broker,
+                produces=[{"sample_type": "SA"}],
+            ),
+            "A",
+        )
+        msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
+        workflow = msg_lab.engine.start_workflow("p")
+        for request in msg_lab.engine.pending_authorizations():
+            msg_lab.engine.respond_authorization(request["auth_id"], True)
+        # Robot executes and sends its result...
+        robot.run_until_idle()
+        # ...but the user restarts the task before the manager pumps.
+        msg_lab.engine.restart_task(workflow["workflow_id"], "a")
+        msg_lab.manager.pump()
+        stale = msg_lab.engine.events.of_kind("message.stale")
+        assert stale
+        assert msg_lab.broker.queue_depth(ENGINE_QUEUE) == 0
+
+
+class TestEmailNotifications:
+    def test_authorization_email_sent_to_human_contact(self, msg_lab):
+        from repro.core.persistence import authorize_agent, register_agent
+
+        register_agent(
+            msg_lab.db, AgentSpec("pi", "human", contact="pi@lab.example")
+        )
+        authorize_agent(msg_lab.db, "pi", "A")
+        msg_lab.define(
+            PatternBuilder("p").task(
+                "a", experiment_type="A", requires_authorization=True
+            )
+        )
+        msg_lab.engine.start_workflow("p")
+        inbox = msg_lab.email.inbox("pi@lab.example")
+        assert len(inbox) == 1
+        assert "authorization" in inbox[0].subject

@@ -1,0 +1,117 @@
+"""The XML task-result protocol between agents and the manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.protocol import TaskResult, build_result_xml, parse_result_xml
+from repro.errors import AgentFormatError
+
+
+def roundtrip(result: TaskResult) -> TaskResult:
+    return parse_result_xml(build_result_xml(result))
+
+
+class TestRoundtrip:
+    def test_minimal_failure_result(self):
+        result = roundtrip(TaskResult(experiment_id=7, success=False))
+        assert result.experiment_id == 7
+        assert result.success is False
+        assert result.outputs == []
+        assert result.chosen_input_ids == []
+
+    def test_full_result(self):
+        original = TaskResult(
+            experiment_id=42,
+            success=True,
+            outputs=[
+                {
+                    "sample_type": "PcrProduct",
+                    "name": "pcr-42",
+                    "quality": 0.93,
+                    "values": {"length_bp": 1200, "pure": True},
+                },
+                {"sample_type": "Colony"},
+            ],
+            chosen_input_ids=[3, 9],
+            result_values={"cycles": 30, "ratio": 2.5, "label": "ok"},
+            note="all good",
+        )
+        result = roundtrip(original)
+        assert result.experiment_id == 42
+        assert result.success is True
+        assert result.chosen_input_ids == [3, 9]
+        assert result.outputs[0]["quality"] == 0.93
+        assert result.outputs[0]["values"] == {"length_bp": 1200, "pure": True}
+        assert result.outputs[1] == {"sample_type": "Colony"}
+        assert result.result_values == {
+            "cycles": 30,
+            "ratio": 2.5,
+            "label": "ok",
+        }
+        assert result.note == "all good"
+
+    def test_null_values_roundtrip(self):
+        original = TaskResult(
+            experiment_id=1,
+            success=True,
+            result_values={"maybe": None},
+        )
+        assert roundtrip(original).result_values == {"maybe": None}
+
+    def test_boolean_encoded_as_boolean_not_integer(self):
+        original = TaskResult(
+            experiment_id=1, success=True, result_values={"flag": True}
+        )
+        value = roundtrip(original).result_values["flag"]
+        assert value is True
+
+    def test_special_characters(self):
+        original = TaskResult(
+            experiment_id=1,
+            success=True,
+            result_values={"label": "<&>'\""},
+            note="a <note> & more",
+        )
+        result = roundtrip(original)
+        assert result.result_values["label"] == "<&>'\""
+        assert result.note == "a <note> & more"
+
+
+class TestParsingErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(AgentFormatError):
+            parse_result_xml("<task-result")
+
+    def test_wrong_root(self):
+        with pytest.raises(AgentFormatError):
+            parse_result_xml("<other/>")
+
+    def test_missing_experiment_id(self):
+        with pytest.raises(AgentFormatError):
+            parse_result_xml('<task-result success="true"/>')
+
+    def test_output_without_sample_type(self):
+        with pytest.raises(AgentFormatError):
+            parse_result_xml(
+                '<task-result experiment-id="1" success="true">'
+                "<output/></task-result>"
+            )
+
+    def test_unknown_value_type(self):
+        with pytest.raises(AgentFormatError):
+            parse_result_xml(
+                '<task-result experiment-id="1" success="true">'
+                '<result-value column="x" type="blob">z</result-value>'
+                "</task-result>"
+            )
+
+    def test_unencodable_python_value_rejected(self):
+        with pytest.raises(AgentFormatError):
+            build_result_xml(
+                TaskResult(
+                    experiment_id=1,
+                    success=True,
+                    result_values={"bad": object()},
+                )
+            )

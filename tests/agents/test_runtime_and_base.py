@@ -1,0 +1,133 @@
+"""The template agent's message pump and the quiescence runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AgentManager, TemplateAgent
+from repro.agents.base import AgentResult
+from repro.agents.runtime import run_until_quiescent
+from repro.core.dispatch import ENGINE_QUEUE, KIND_ABORT, KIND_DISPATCH
+from repro.core.spec import AgentSpec
+from repro.errors import AgentError
+from repro.messaging import Connection, MessageBroker
+from repro.xmlbridge import RelationalDocument
+
+
+def dispatch_message(broker, queue, experiment_id=1):
+    producer = Connection(broker).create_producer(queue)
+    body = RelationalDocument("task-input", experiment_id=str(experiment_id)).to_xml()
+    producer.send(
+        body,
+        headers={"kind": KIND_DISPATCH, "experiment_id": experiment_id},
+    )
+    return producer
+
+
+class EchoAgent(TemplateAgent):
+    kind = "program"
+
+    def execute(self, experiment_id, native):
+        return AgentResult(success=True, note=f"did {experiment_id}")
+
+
+class BrokenAgent(TemplateAgent):
+    kind = "program"
+
+    def execute(self, experiment_id, native):
+        raise AgentError("machine on fire")
+
+
+class TestTemplateAgent:
+    def test_unimplemented_execute_reports_failure(self):
+        broker = MessageBroker()
+        agent = TemplateAgent(AgentSpec("base", "program"), broker)
+        dispatch_message(broker, "agent.base")
+        agent.step()
+        # The dispatch failed but was converted into a failure result.
+        consumer = Connection(broker).create_consumer(ENGINE_QUEUE)
+        kinds = [m.headers["kind"] for m in consumer.drain()]
+        assert "task.result" in kinds
+        assert agent.errors
+
+    def test_started_then_result_sent(self):
+        broker = MessageBroker()
+        agent = EchoAgent(AgentSpec("echo", "program"), broker)
+        dispatch_message(broker, "agent.echo", experiment_id=7)
+        agent.step()
+        consumer = Connection(broker).create_consumer(ENGINE_QUEUE)
+        kinds = [m.headers["kind"] for m in consumer.drain()]
+        assert kinds == ["task.started", "task.result"]
+
+    def test_agent_failure_sends_unsuccessful_result(self):
+        broker = MessageBroker()
+        agent = BrokenAgent(AgentSpec("broken", "program"), broker)
+        dispatch_message(broker, "agent.broken", experiment_id=3)
+        agent.step()
+        consumer = Connection(broker).create_consumer(ENGINE_QUEUE)
+        messages = consumer.drain()
+        result = [m for m in messages if m.headers["kind"] == "task.result"]
+        assert result
+        from repro.agents.protocol import parse_result_xml
+
+        parsed = parse_result_xml(result[0].body)
+        assert parsed.success is False
+        assert "machine on fire" in parsed.note
+
+    def test_abort_before_dispatch_suppresses_work(self):
+        broker = MessageBroker()
+        agent = EchoAgent(AgentSpec("echo", "program"), broker)
+        producer = Connection(broker).create_producer("agent.echo")
+        producer.send("", headers={"kind": KIND_ABORT, "experiment_id": 9})
+        dispatch_message(broker, "agent.echo", experiment_id=9)
+        agent.run_until_idle()
+        consumer = Connection(broker).create_consumer(ENGINE_QUEUE)
+        assert consumer.drain() == []  # neither started nor result
+
+    def test_unknown_message_recorded(self):
+        broker = MessageBroker()
+        agent = EchoAgent(AgentSpec("echo", "program"), broker)
+        Connection(broker).create_producer("agent.echo").send(
+            "", headers={"kind": "mystery"}
+        )
+        agent.step()
+        assert agent.errors and agent.errors[0][0] == "unknown"
+
+    def test_step_returns_false_when_idle(self):
+        broker = MessageBroker()
+        agent = EchoAgent(AgentSpec("echo", "program"), broker)
+        assert agent.step() is False
+
+    def test_close_requeues(self):
+        broker = MessageBroker()
+        agent = EchoAgent(AgentSpec("echo", "program"), broker)
+        dispatch_message(broker, "agent.echo")
+        agent.close()
+        assert broker.queue_depth("agent.echo") == 1
+
+
+class TestRunUntilQuiescent:
+    def test_raises_on_livelock(self, msg_lab):
+        """Two agents ping-ponging messages forever must be detected."""
+
+        class PingAgent(TemplateAgent):
+            kind = "program"
+
+            def __init__(self, spec, broker, peer_queue):
+                super().__init__(spec, broker)
+                self.peer = self.connection.create_producer(peer_queue)
+
+            def on_unknown(self, message):
+                self.peer.send("", headers={"kind": "ping"})
+
+        broker = msg_lab.broker
+        ping = PingAgent(AgentSpec("ping", "program"), broker, "agent.pong")
+        pong = PingAgent(AgentSpec("pong", "program"), broker, "agent.ping")
+        Connection(broker).create_producer("agent.ping").send(
+            "", headers={"kind": "ping"}
+        )
+        with pytest.raises(AgentError, match="did not quiesce"):
+            run_until_quiescent(msg_lab.manager, [ping, pong], max_rounds=5)
+
+    def test_returns_total_messages_moved(self, msg_lab):
+        assert run_until_quiescent(msg_lab.manager, []) == 0

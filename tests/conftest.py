@@ -1,0 +1,68 @@
+"""Shared fixtures for the Exp-WF test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minidb import Column, ColumnType, Database, TableSchema
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    """An empty in-memory database."""
+    return Database()
+
+
+@pytest.fixture
+def people_db() -> Database:
+    """A database with a simple generic table for CRUD tests."""
+    database = Database()
+    database.create_table(
+        TableSchema(
+            name="Person",
+            columns=[
+                Column("person_id", ColumnType.INTEGER, nullable=False),
+                Column("name", ColumnType.TEXT, nullable=False),
+                Column("age", ColumnType.INTEGER),
+                Column("email", ColumnType.TEXT),
+                Column("active", ColumnType.BOOLEAN, default=True),
+            ],
+            primary_key=("person_id",),
+            autoincrement="person_id",
+        )
+    )
+    return database
+
+
+@pytest.fixture
+def expdb():
+    """A fresh Exp-DB web application with the core schema."""
+    return build_expdb()
+
+
+@pytest.fixture
+def lab_app(expdb):
+    """Exp-DB with one experiment type and one sample type registered."""
+    add_experiment_type(
+        expdb.db,
+        "Pcr",
+        [
+            Column("cycles", ColumnType.INTEGER),
+            Column("polymerase", ColumnType.TEXT),
+        ],
+        description="PCR amplification",
+    )
+    add_sample_type(
+        expdb.db,
+        "Primer",
+        [Column("sequence", ColumnType.TEXT)],
+        description="PCR primer",
+    )
+    declare_experiment_io(expdb.db, "Pcr", "Primer", "input")
+    return expdb

@@ -1,0 +1,88 @@
+"""Fixtures for workflow-engine tests.
+
+``wf_lab`` is a minimal lab driven in *manual mode*: no agents are
+registered, so instances are delegated without dispatch and completed
+directly through the engine API — isolating engine semantics from the
+messaging layer (covered separately in tests/agents and
+tests/integration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import PatternBuilder, WorkflowBean
+from repro.core.datamodel import install_workflow_datamodel
+from repro.core.persistence import save_pattern
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import ExpDB, build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@dataclass
+class WorkflowLab:
+    app: ExpDB
+    engine: WorkflowBean
+
+    @property
+    def db(self):
+        return self.app.db
+
+    def define(self, builder: PatternBuilder):
+        pattern = builder.build(db=self.db)
+        save_pattern(self.db, pattern)
+        return pattern
+
+    def state_of(self, workflow_id: int, task: str) -> str:
+        return self.engine.workflow_view(workflow_id).tasks[task].state
+
+    def instances_of(self, workflow_id: int, task: str):
+        return self.engine.workflow_view(workflow_id).tasks[task].instances
+
+    def complete_all(
+        self, workflow_id: int, task: str, success: bool = True, **kwargs
+    ) -> int:
+        """Complete every undecided instance of a task; returns count."""
+        done = 0
+        for instance in self.instances_of(workflow_id, task):
+            if not instance.decided:
+                self.engine.complete_instance(
+                    instance.experiment_id, success=success, **kwargs
+                )
+                done += 1
+        return done
+
+    def approve_pending(self, workflow_id: int | None = None) -> int:
+        approved = 0
+        for request in self.engine.pending_authorizations(workflow_id):
+            self.engine.respond_authorization(request["auth_id"], True, "test")
+            approved += 1
+        return approved
+
+
+@pytest.fixture
+def wf_lab() -> WorkflowLab:
+    app = build_expdb()
+    install_workflow_datamodel(app.db)
+    for type_name in ("A", "B", "C", "D"):
+        add_experiment_type(
+            app.db, type_name, [Column("reading", ColumnType.REAL)]
+        )
+    for sample_type in ("SA", "SB", "SC"):
+        add_sample_type(app.db, sample_type, [])
+    declare_experiment_io(app.db, "A", "SA", "output")
+    declare_experiment_io(app.db, "B", "SA", "input")
+    declare_experiment_io(app.db, "B", "SB", "output")
+    declare_experiment_io(app.db, "C", "SB", "input")
+    declare_experiment_io(app.db, "C", "SC", "output")
+    declare_experiment_io(app.db, "D", "SC", "input")
+    declare_experiment_io(app.db, "A", "SC", "input")  # stock input for A
+    engine = WorkflowBean(app.db)
+    return WorkflowLab(app=app, engine=engine)

@@ -1,0 +1,172 @@
+"""Aspect-oriented interception (§7 future work, implemented)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.core.aspects import (
+    Advice,
+    AdviceVeto,
+    AspectWeaver,
+    install_aspect_workflow_support,
+)
+
+
+class Target:
+    """A plain object to weave."""
+
+    def __init__(self) -> None:
+        self.calls = []
+
+    def work(self, x: int) -> int:
+        self.calls.append(x)
+        return x * 2
+
+    def fail(self) -> None:
+        raise ValueError("boom")
+
+    def other(self) -> str:
+        return "other"
+
+
+class TestWeaver:
+    def test_before_and_after_run_around_call(self):
+        target = Target()
+        seen = []
+        weaver = AspectWeaver()
+        weaver.weave(
+            target,
+            "work",
+            Advice(
+                before=lambda jp: seen.append(("before", jp.method, jp.args)),
+                after_returning=lambda jp, r: seen.append(("after", r)),
+            ),
+        )
+        assert target.work(3) == 6
+        assert seen == [("before", "work", (3,)), ("after", 6)]
+        assert target.calls == [3]  # the original ran exactly once
+
+    def test_before_can_veto(self):
+        target = Target()
+        weaver = AspectWeaver()
+
+        def veto(jp):
+            raise AdviceVeto("not allowed")
+
+        weaver.weave(target, "work", Advice(before=veto))
+        with pytest.raises(AdviceVeto):
+            target.work(1)
+        assert target.calls == []  # never reached the original
+
+    def test_after_raising_observes_exceptions(self):
+        target = Target()
+        seen = []
+        weaver = AspectWeaver()
+        weaver.weave(
+            target,
+            "fail",
+            Advice(after_raising=lambda jp, e: seen.append(type(e).__name__)),
+        )
+        with pytest.raises(ValueError):
+            target.fail()
+        assert seen == ["ValueError"]
+
+    def test_pattern_selects_methods(self):
+        target = Target()
+        weaver = AspectWeaver()
+        woven = weaver.weave(target, "w*", Advice())
+        assert woven == 1  # only work(); fail/other untouched
+        assert target.other() == "other"
+        assert ("other", "call") not in weaver.trace
+
+    def test_unweave_restores_original(self):
+        target = Target()
+        weaver = AspectWeaver()
+        weaver.weave(target, "work", Advice(before=lambda jp: None))
+        assert weaver.unweave_all() == 1
+        target.work(5)
+        assert weaver.trace == []  # no interception any more
+        assert target.calls == [5]  # original behaviour restored
+
+    def test_trace_records_lifecycle(self):
+        target = Target()
+        weaver = AspectWeaver()
+        weaver.weave(target, "*", Advice())
+        target.work(1)
+        with pytest.raises(ValueError):
+            target.fail()
+        assert ("work", "return") in weaver.trace
+        assert ("fail", "raise") in weaver.trace
+
+
+class TestAspectWorkflowSupport:
+    """The Exp-WF aspect: workflow support for non-web clients."""
+
+    @pytest.fixture
+    def woven_lab(self, wf_lab):
+        wf_lab.define(
+            PatternBuilder("flow")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .flow("a", "b")
+        )
+        weaver = install_aspect_workflow_support(wf_lab.app.bean, wf_lab.engine)
+        return wf_lab, weaver
+
+    def test_direct_bean_write_to_engine_columns_vetoed(self, woven_lab):
+        lab, __ = woven_lab
+        lab.engine.start_workflow("flow")
+        with pytest.raises(AdviceVeto, match="denied"):
+            lab.app.bean.update(
+                "Experiment",
+                {"type_name": "A"},
+                {"wf_state": "completed"},
+            )
+        denied = lab.engine.events.of_kind("request.denied")
+        assert denied and denied[-1]["via"] == "aspect"
+
+    def test_direct_delete_of_workflow_experiment_vetoed(self, woven_lab):
+        lab, __ = woven_lab
+        workflow = lab.engine.start_workflow("flow")
+        experiment_id = lab.instances_of(
+            workflow["workflow_id"], "a"
+        )[0].experiment_id
+        with pytest.raises(AdviceVeto):
+            lab.app.bean.delete("A", {"experiment_id": experiment_id})
+        assert lab.db.get("Experiment", experiment_id) is not None
+
+    def test_harmless_direct_writes_pass_and_postprocess(self, woven_lab):
+        lab, __ = woven_lab
+        lab.engine.start_workflow("flow")
+        checks_before = lab.engine.check_count
+        row = lab.app.bean.insert("A", {"reading": 0.1})
+        assert row["experiment_id"]
+        # Postprocessing re-checked the running workflow (mode c analog).
+        assert lab.engine.check_count > checks_before
+
+    def test_unweave_detaches_workflow_support(self, woven_lab):
+        lab, weaver = woven_lab
+        lab.engine.start_workflow("flow")
+        weaver.unweave_all()
+        # The same dangerous write now reaches the bean unchecked —
+        # Exp-WF is fully detached, the bean was never modified.
+        affected = lab.app.bean.update(
+            "Experiment", {"type_name": "A"}, {"notes": "direct"}
+        )
+        assert affected >= 1
+
+    def test_aspect_and_filter_give_same_verdicts(self, woven_lab):
+        """The two integration paths (HTTP filter, method aspect) apply
+        identical validation — the paper's point that aspects are
+        'similar to filters'."""
+        lab, __ = woven_lab
+        lab.engine.start_workflow("flow")
+        allowed, reason = lab.engine.validate_user_action(
+            "Experiment", "update", {"wf_state": "x"}
+        )
+        assert not allowed
+        with pytest.raises(AdviceVeto, match=reason.split(" ")[0]):
+            lab.app.bean.update(
+                "Experiment", {"type_name": "A"}, {"wf_state": "x"}
+            )

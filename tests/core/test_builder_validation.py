@@ -1,0 +1,215 @@
+"""Pattern builder and static validation rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.core.validation import validate_pattern
+from repro.errors import SpecificationError
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+def simple_builder(name="p"):
+    return (
+        PatternBuilder(name)
+        .task("first", experiment_type="A")
+        .task("last", experiment_type="B")
+        .flow("first", "last")
+    )
+
+
+class TestBuilder:
+    def test_build_produces_valid_pattern(self):
+        pattern = simple_builder().build()
+        assert set(pattern.tasks) == {"first", "last"}
+
+    def test_final_task_authorization_enforced_automatically(self):
+        """§4.2: the final task requires authorization."""
+        pattern = simple_builder().build()
+        assert pattern.task("last").requires_authorization
+        assert not pattern.task("first").requires_authorization
+
+    def test_fluent_chaining_returns_builder(self):
+        builder = PatternBuilder("x")
+        assert builder.task("t", experiment_type="T") is builder
+        assert builder.flow is not None
+
+
+class TestStructuralValidation:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(SpecificationError, match="no tasks"):
+            PatternBuilder("empty").build()
+
+    def test_unreachable_task_rejected(self):
+        builder = (
+            PatternBuilder("p")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .task("island1", experiment_type="C")
+            .task("island2", experiment_type="D")
+            .flow("a", "b")
+            # island1 <-> island2 form a disconnected component where
+            # each has incoming edges, hence neither is "initial".
+            .flow("island1", "island2", condition="x == 1")
+            .flow("island2", "island1", condition="x == 2")
+        )
+        with pytest.raises(SpecificationError, match="not.*reachable|reachable"):
+            builder.build()
+
+    def test_all_tasks_with_incoming_rejected(self):
+        builder = (
+            PatternBuilder("cycle")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .flow("a", "b", condition="x == 1")
+            .flow("b", "a", condition="x == 2")
+        )
+        with pytest.raises(SpecificationError, match="no initial task"):
+            builder.build()
+
+    def test_unconditional_cycle_rejected(self):
+        builder = (
+            PatternBuilder("p")
+            .task("start", experiment_type="S")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .task("end", experiment_type="E")
+            .flow("start", "a")
+            .flow("a", "b")
+            .flow("b", "a")
+            .flow("b", "end")
+        )
+        with pytest.raises(SpecificationError, match="unconditional cycle"):
+            builder.build()
+
+    def test_conditional_cycle_allowed(self):
+        """Iterative loops are modeled with conditions (§4.1)."""
+        pattern = (
+            PatternBuilder("loop")
+            .task("start", experiment_type="S")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .task("end", experiment_type="E")
+            .flow("start", "a")
+            .flow("a", "b")
+            .flow("b", "a", condition="output.quality < 0.5")
+            .flow("b", "end", condition="output.quality >= 0.5")
+            .build()
+        )
+        assert pattern is not None
+
+    def test_hand_built_pattern_without_final_auth_rejected(self):
+        from repro.core.spec import TaskDef, TransitionDef, WorkflowPattern
+
+        pattern = WorkflowPattern("manual")
+        pattern.add_task(TaskDef("only", experiment_type="A"))
+        with pytest.raises(SpecificationError, match="authorization"):
+            validate_pattern(pattern)
+
+
+class TestDatabaseBackedValidation:
+    @pytest.fixture
+    def typed_app(self, expdb):
+        add_experiment_type(expdb.db, "A", [])
+        add_experiment_type(expdb.db, "B", [])
+        add_sample_type(expdb.db, "S", [])
+        declare_experiment_io(expdb.db, "A", "S", "output")
+        declare_experiment_io(expdb.db, "B", "S", "input")
+        return expdb
+
+    def test_registered_types_accepted(self, typed_app):
+        pattern = (
+            PatternBuilder("p")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .flow("a", "b")
+            .data("a", "b", sample_type="S")
+            .build(db=typed_app.db)
+        )
+        assert pattern is not None
+
+    def test_unregistered_experiment_type_rejected(self, typed_app):
+        builder = (
+            PatternBuilder("p")
+            .task("a", experiment_type="Ghost")
+            .task("b", experiment_type="B")
+            .flow("a", "b")
+        )
+        with pytest.raises(SpecificationError, match="unregistered"):
+            builder.build(db=typed_app.db)
+
+    def test_data_transition_without_output_declaration_rejected(
+        self, typed_app
+    ):
+        add_sample_type(typed_app.db, "Undeclared", [])
+        builder = (
+            PatternBuilder("p")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .flow("a", "b")
+            .data("a", "b", sample_type="Undeclared")
+        )
+        with pytest.raises(SpecificationError, match="ExperimentTypeIO"):
+            builder.build(db=typed_app.db)
+
+    def test_data_transition_without_input_declaration_rejected(
+        self, typed_app
+    ):
+        add_experiment_type(typed_app.db, "C", [])
+        declare_experiment_io(typed_app.db, "C", "S", "output")
+        builder = (
+            PatternBuilder("p")
+            .task("c", experiment_type="C")
+            .task("a", experiment_type="A")  # A does not *input* S
+            .flow("c", "a")
+            .data("c", "a", sample_type="S")
+        )
+        with pytest.raises(SpecificationError, match="input"):
+            builder.build(db=typed_app.db)
+
+
+class TestSubworkflowValidation:
+    def make_child(self):
+        return (
+            PatternBuilder("child")
+            .task("inner", experiment_type="X")
+            .build()
+        )
+
+    def test_known_subworkflow_accepted(self):
+        child = self.make_child()
+        pattern = (
+            PatternBuilder("parent")
+            .task("sub", subworkflow="child")
+            .build(registry={"child": child})
+        )
+        assert pattern.task("sub").is_subworkflow
+
+    def test_unknown_subworkflow_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown sub-workflow"):
+            PatternBuilder("parent").task("sub", subworkflow="ghost").build(
+                registry={}
+            )
+
+    def test_subworkflow_reference_cycle_rejected(self):
+        from repro.core.spec import TaskDef, WorkflowPattern
+
+        a = WorkflowPattern("a")
+        a.add_task(TaskDef("to_b", subworkflow="b", requires_authorization=True))
+        b = WorkflowPattern("b")
+        b.add_task(TaskDef("to_a", subworkflow="a", requires_authorization=True))
+        with pytest.raises(SpecificationError, match="cycle"):
+            validate_pattern(a, registry={"a": a, "b": b})
+
+    def test_self_reference_rejected(self):
+        from repro.core.spec import TaskDef, WorkflowPattern
+
+        a = WorkflowPattern("a")
+        a.add_task(TaskDef("to_a", subworkflow="a", requires_authorization=True))
+        with pytest.raises(SpecificationError, match="cycle"):
+            validate_pattern(a, registry={"a": a})

@@ -1,0 +1,115 @@
+"""Cancelling a whole workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.errors import InstanceError
+
+
+@pytest.fixture
+def running(wf_lab):
+    wf_lab.define(
+        PatternBuilder("cancellable")
+        .task("a", experiment_type="A", default_instances=2)
+        .task("b", experiment_type="B")
+        .flow("a", "b")
+    )
+    workflow = wf_lab.engine.start_workflow("cancellable")
+    return wf_lab, workflow["workflow_id"]
+
+
+class TestCancel:
+    def test_cancel_aborts_everything(self, running):
+        lab, workflow_id = running
+        lab.engine.cancel_workflow(workflow_id, by="pi")
+        view = lab.engine.workflow_view(workflow_id)
+        assert view.status == "aborted"
+        assert view.tasks["a"].state == "aborted"
+        assert all(i.state == "aborted" for i in view.tasks["a"].instances)
+        assert view.tasks["b"].state in ("created", "unreachable")
+        events = lab.engine.events.of_kind("workflow.cancelled")
+        assert events[-1]["by"] == "pi"
+
+    def test_cancel_clears_pending_authorizations(self, running):
+        lab, workflow_id = running
+        lab.complete_all(workflow_id, "a")
+        assert lab.engine.pending_authorizations(workflow_id)
+        lab.engine.cancel_workflow(workflow_id)
+        assert lab.engine.pending_authorizations(workflow_id) == []
+
+    def test_eligible_gated_task_denied_on_cancel(self, running):
+        lab, workflow_id = running
+        lab.complete_all(workflow_id, "a")
+        assert lab.state_of(workflow_id, "b") == "eligible"
+        lab.engine.cancel_workflow(workflow_id)
+        assert lab.state_of(workflow_id, "b") == "aborted"
+
+    def test_double_cancel_rejected(self, running):
+        lab, workflow_id = running
+        lab.engine.cancel_workflow(workflow_id)
+        with pytest.raises(InstanceError, match="already"):
+            lab.engine.cancel_workflow(workflow_id)
+
+    def test_unknown_workflow_rejected(self, running):
+        lab, __ = running
+        with pytest.raises(InstanceError):
+            lab.engine.cancel_workflow(9999)
+
+    def test_restart_reopens_cancelled_workflow(self, running):
+        lab, workflow_id = running
+        lab.engine.cancel_workflow(workflow_id)
+        lab.engine.restart_task(workflow_id, "a")
+        view = lab.engine.workflow_view(workflow_id)
+        assert view.status == "running"
+        assert view.tasks["a"].state == "active"
+
+    def test_cancel_over_the_web(self, running):
+        lab, workflow_id = running
+        # Wire the servlet path for this lab's engine.
+        from repro.core.filter import (
+            WORKFLOW_TEMPLATES,
+            WorkflowServlet,
+        )
+
+        servlet = WorkflowServlet(lab.engine)
+        for name, source in WORKFLOW_TEMPLATES.items():
+            if name not in lab.app.templates.names():
+                lab.app.templates.register(name, source)
+        lab.app.container.descriptor.add_servlet(servlet, "/workflow")
+        response = lab.app.post(
+            "/workflow",
+            action="cancel",
+            workflow_id=str(workflow_id),
+            by="web-user",
+        )
+        assert response.status == 200
+        assert lab.engine.workflow_view(workflow_id).status == "aborted"
+
+
+class TestCancelWithSubworkflow:
+    def test_cancel_cascades_into_child(self, wf_lab):
+        from repro.core.persistence import save_pattern
+
+        child = wf_lab.define(
+            PatternBuilder("child").task("inner", experiment_type="B")
+        )
+        parent = (
+            PatternBuilder("parent")
+            .task("before", experiment_type="A")
+            .task("nested", subworkflow="child")
+            .flow("before", "nested")
+            .build(db=wf_lab.db, registry={"child": child})
+        )
+        save_pattern(wf_lab.db, parent)
+        workflow = wf_lab.engine.start_workflow("parent")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "before")
+        wf_lab.approve_pending()  # start the nested task / child workflow
+        child_id = wf_lab.engine.workflow_view(workflow_id).tasks[
+            "nested"
+        ].child_workflow_id
+        assert child_id is not None
+        wf_lab.engine.cancel_workflow(workflow_id)
+        assert wf_lab.engine.workflow_view(child_id).status == "aborted"

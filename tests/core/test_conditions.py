@@ -1,0 +1,146 @@
+"""The transition condition language: parsing and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import Condition
+from repro.errors import ConditionError
+
+CONTEXT = {
+    "output": {"colonies": 25, "concentration": 0.8, "label": "good"},
+    "experiment": {"status": "ok", "cycles": 30},
+    "task": {"completed_instances": 2, "aborted_instances": 1},
+    "flag": True,
+}
+
+
+def true(source: str) -> bool:
+    return Condition(source).evaluate(CONTEXT)
+
+
+class TestComparisons:
+    def test_numeric(self):
+        assert true("output.colonies >= 20")
+        assert true("output.colonies > 24")
+        assert not true("output.colonies < 20")
+        assert true("output.colonies == 25")
+        assert true("output.colonies != 24")
+
+    def test_float_int_mix(self):
+        assert true("output.concentration >= 0.8")
+        assert true("output.concentration < 1")
+
+    def test_string_equality(self):
+        assert true("experiment.status == 'ok'")
+        assert not true("experiment.status == 'bad'")
+
+    def test_string_ordering(self):
+        assert true("output.label < 'zzz'")
+
+    def test_double_quoted_strings(self):
+        assert true('experiment.status == "ok"')
+
+    def test_literal_booleans_and_null(self):
+        assert true("flag == true")
+        assert not true("flag == false")
+        assert not true("output.label == null")
+
+    def test_bare_boolean_lookup(self):
+        assert true("flag")
+
+    def test_escaped_quote_in_string(self):
+        condition = Condition(r"output.label == 'go\'od'")
+        assert not condition.evaluate(CONTEXT)
+
+
+class TestBooleanOperators:
+    def test_and(self):
+        assert true("output.colonies > 20 and experiment.status == 'ok'")
+        assert not true("output.colonies > 20 and experiment.status == 'bad'")
+
+    def test_or(self):
+        assert true("output.colonies > 99 or experiment.cycles == 30")
+
+    def test_not(self):
+        assert true("not (output.colonies < 20)")
+        assert not true("not flag")
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        # false and false or true  ==  (false and false) or true
+        assert true("flag == false and flag == false or flag")
+
+    def test_parentheses_override(self):
+        assert not true("flag == false and (flag == false or flag)")
+
+    def test_chained_not(self):
+        assert true("not not flag")
+
+
+class TestErrors:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConditionError, match="unknown name"):
+            true("ghost.column > 1")
+
+    def test_type_confusion_raises(self):
+        with pytest.raises(ConditionError):
+            true("output.label > 5")
+
+    def test_null_ordering_raises(self):
+        with pytest.raises(ConditionError):
+            Condition("x > 5").evaluate({"x": None})
+
+    def test_non_boolean_result_raises(self):
+        with pytest.raises(ConditionError):
+            true("output.colonies")
+
+    def test_non_boolean_and_operand_raises(self):
+        with pytest.raises(ConditionError):
+            true("output.colonies and flag")
+
+    def test_empty_condition_rejected(self):
+        with pytest.raises(ConditionError):
+            Condition("   ")
+
+    def test_syntax_errors_rejected(self):
+        for bad in ["a >", "( a == 1", "a == 1 )", "a === 1", "1 2", "and"]:
+            with pytest.raises(ConditionError):
+                Condition(bad)
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ConditionError):
+            Condition("a @ b")
+
+    def test_boolean_number_ordering_rejected(self):
+        with pytest.raises(ConditionError):
+            Condition("flag > 0").evaluate(CONTEXT)
+
+
+class TestIntrospection:
+    def test_names_collection(self):
+        condition = Condition(
+            "output.colonies > 1 and not (experiment.status == 'x' or flag)"
+        )
+        assert condition.names() == {
+            "output.colonies",
+            "experiment.status",
+            "flag",
+        }
+
+    def test_unparse_reparses_equivalent(self):
+        sources = [
+            "output.colonies >= 20",
+            "a == 1 and b == 2 or not c",
+            "not (x.y.z < 0.5)",
+            "s == 'hel\\'lo'",
+            "t == null or u == true",
+        ]
+        for source in sources:
+            condition = Condition(source)
+            reparsed = Condition(condition.unparse())
+            assert reparsed == condition
+
+    def test_equality_and_hash(self):
+        assert Condition("a == 1") == Condition("a==1")
+        assert hash(Condition("a == 1")) == hash(Condition("a==1"))
+        assert Condition("a == 1") != Condition("a == 2")

@@ -1,0 +1,128 @@
+"""Arithmetic in transition conditions (language extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import Condition
+from repro.errors import ConditionError
+
+CONTEXT = {
+    "output": {"yield_mg": 12.0, "volume": 4.0, "count": 7},
+    "experiment": {"input_mg": 20.0},
+}
+
+
+def true(source: str) -> bool:
+    return Condition(source).evaluate(CONTEXT)
+
+
+class TestArithmetic:
+    def test_division_in_condition(self):
+        assert true("output.yield_mg / experiment.input_mg >= 0.5")
+        assert not true("output.yield_mg / experiment.input_mg >= 0.7")
+
+    def test_addition_and_subtraction(self):
+        assert true("output.yield_mg + output.volume == 16.0")
+        assert true("output.yield_mg - output.volume > 7")
+
+    def test_multiplication(self):
+        assert true("output.volume * 3 == 12")
+
+    def test_precedence_mul_over_add(self):
+        assert true("2 + 3 * 4 == 14")
+        assert true("(2 + 3) * 4 == 20")
+
+    def test_left_associativity(self):
+        assert true("10 - 3 - 2 == 5")
+        assert true("12 / 3 / 2 == 2")
+
+    def test_unary_minus(self):
+        assert true("-output.volume == -4")
+        assert true("0 - -3 == 3")
+        assert true("-2 * -2 == 4")
+
+    def test_arithmetic_on_both_sides(self):
+        assert true("output.yield_mg / 2 > output.volume + 1")
+
+    def test_integer_literal_arithmetic(self):
+        assert true("output.count * 2 + 1 == 15")
+
+
+class TestArithmeticErrors:
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ConditionError, match="division by zero"):
+            true("output.yield_mg / 0 > 1")
+
+    def test_division_by_zero_variable_raises(self):
+        with pytest.raises(ConditionError, match="division by zero"):
+            Condition("a / b > 1").evaluate({"a": 1, "b": 0})
+
+    def test_arithmetic_on_strings_raises(self):
+        with pytest.raises(ConditionError, match="needs numbers"):
+            Condition("a + b == 'ab'").evaluate({"a": "a", "b": "b"})
+
+    def test_arithmetic_on_booleans_raises(self):
+        with pytest.raises(ConditionError, match="needs numbers"):
+            Condition("a + 1 == 2").evaluate({"a": True})
+
+    def test_arithmetic_on_null_raises(self):
+        with pytest.raises(ConditionError):
+            Condition("a * 2 > 1").evaluate({"a": None})
+
+    def test_dangling_operator_rejected(self):
+        for bad in ["a +", "* a", "a + * b", "a -"]:
+            with pytest.raises(ConditionError):
+                Condition(bad)
+
+    def test_bare_arithmetic_is_not_boolean(self):
+        with pytest.raises(ConditionError, match="expected boolean"):
+            true("output.count + 1")
+
+
+class TestUnparseWithArithmetic:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a / b >= 0.5",
+            "2 + 3 * 4 == 14",
+            "-x < 0",
+            "(a + b) * (c - d) != 0",
+            "a - -b == 3",
+        ],
+    )
+    def test_unparse_fixpoint(self, source):
+        condition = Condition(source)
+        canonical = condition.unparse()
+        reparsed = Condition(canonical)
+        assert reparsed == condition
+        assert reparsed.unparse() == canonical
+
+    def test_names_include_arithmetic_operands(self):
+        condition = Condition("a.x / b.y + -c.z > 1")
+        assert condition.names() == {"a.x", "b.y", "c.z"}
+
+
+class TestEngineUsesArithmeticConditions:
+    def test_yield_ratio_branch(self, wf_lab):
+        from repro.core import PatternBuilder
+
+        wf_lab.define(
+            PatternBuilder("ratio")
+            .task("produce", experiment_type="A")
+            .task("good", experiment_type="B")
+            .task("bad", experiment_type="C")
+            .flow("produce", "good",
+                  condition="output.quality * 2 >= 1.5")
+            .flow("produce", "bad",
+                  condition="output.quality * 2 < 1.5")
+        )
+        workflow = wf_lab.engine.start_workflow("ratio")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(
+            workflow_id,
+            "produce",
+            outputs=[{"sample_type": "SA", "quality": 0.9}],
+        )
+        assert wf_lab.state_of(workflow_id, "good") == "eligible"
+        assert wf_lab.state_of(workflow_id, "bad") == "unreachable"

@@ -1,0 +1,130 @@
+"""Property-based tests for the condition language."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import Condition
+from repro.errors import ConditionError
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {"and", "or", "not", "true", "false", "null"}
+)
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(str),
+    st.floats(min_value=0, max_value=100, allow_nan=False).map(
+        lambda f: f"{f:.3f}"
+    ),
+    st.just("true"),
+    st.just("false"),
+    st.just("null"),
+    st.text(
+        alphabet="abcdefg XYZ_", max_size=8
+    ).map(lambda s: "'" + s + "'"),
+)
+
+comparison_ops = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+
+
+arithmetic_ops = st.sampled_from(["+", "-", "*", "/"])
+
+
+@st.composite
+def numeric_terms(draw, depth=2):
+    """Generate arithmetic operand strings (numbers, names, arithmetic)."""
+    if depth == 0:
+        return draw(
+            st.one_of(
+                identifiers,
+                st.integers(min_value=0, max_value=999).map(str),
+                st.floats(min_value=0, max_value=9, allow_nan=False).map(
+                    lambda f: f"{f:.2f}"
+                ),
+            )
+        )
+    kind = draw(st.sampled_from(["leaf", "binary", "neg", "paren"]))
+    if kind == "leaf":
+        return draw(numeric_terms(depth=0))
+    if kind == "neg":
+        return "-" + draw(numeric_terms(depth=depth - 1))
+    if kind == "paren":
+        return "(" + draw(numeric_terms(depth=depth - 1)) + ")"
+    left = draw(numeric_terms(depth=depth - 1))
+    right = draw(numeric_terms(depth=depth - 1))
+    return f"{left} {draw(arithmetic_ops)} {right}"
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """Generate syntactically valid condition strings."""
+    if depth == 0:
+        use_arithmetic = draw(st.booleans())
+        if use_arithmetic:
+            left = draw(numeric_terms())
+            right = draw(numeric_terms())
+        else:
+            left = draw(st.one_of(identifiers, literals))
+            right = draw(literals)
+        op = draw(comparison_ops)
+        return f"{left} {op} {right}"
+    kind = draw(st.sampled_from(["cmp", "and", "or", "not", "paren"]))
+    if kind == "cmp":
+        return draw(expressions(depth=0))
+    if kind == "not":
+        return "not " + draw(expressions(depth=depth - 1))
+    if kind == "paren":
+        return "(" + draw(expressions(depth=depth - 1)) + ")"
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    return f"{left} {kind} {right}"
+
+
+@given(source=expressions())
+@settings(max_examples=150, deadline=None)
+def test_generated_expressions_always_parse(source):
+    Condition(source)
+
+
+@given(source=expressions())
+@settings(max_examples=150, deadline=None)
+def test_unparse_fixpoint(source):
+    """parse → unparse → parse yields an equivalent AST, and a second
+    unparse yields the identical string (canonical form is a fixpoint)."""
+    condition = Condition(source)
+    canonical = condition.unparse()
+    reparsed = Condition(canonical)
+    assert reparsed == condition
+    assert reparsed.unparse() == canonical
+
+
+@given(
+    source=expressions(),
+    context_value=st.one_of(
+        st.integers(min_value=-100, max_value=100),
+        st.booleans(),
+        st.text(max_size=5),
+        st.none(),
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_evaluation_is_total(source, context_value):
+    """Evaluation either returns a bool or raises ConditionError —
+    never any other exception type."""
+    condition = Condition(source)
+    context = {name.split(".")[0]: context_value for name in condition.names()}
+    try:
+        result = condition.evaluate(context)
+    except ConditionError:
+        return
+    assert isinstance(result, bool)
+
+
+@given(source=expressions())
+@settings(max_examples=100, deadline=None)
+def test_names_are_parseable_identifiers(source):
+    condition = Condition(source)
+    for name in condition.names():
+        for part in name.split("."):
+            assert part.isidentifier()

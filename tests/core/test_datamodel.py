@@ -1,0 +1,91 @@
+"""The Fig. 5 workflow data model and the non-intrusiveness claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datamodel import (
+    EXPERIMENT_EXTENSION_COLUMNS,
+    WORKFLOW_TABLES,
+    install_workflow_datamodel,
+)
+from repro.weblims.schema_setup import CORE_TABLES
+
+
+@pytest.fixture
+def wf_db(expdb):
+    modified = install_workflow_datamodel(expdb.db)
+    return expdb.db, modified
+
+
+class TestNonIntrusiveness:
+    def test_only_experiment_table_modified(self, expdb):
+        """The paper's headline integration claim, verified literally:
+        installing the workflow data model modifies exactly one
+        pre-existing table — Experiment."""
+        schemas_before = {
+            name: list(expdb.db.schema(name).column_names())
+            for name in expdb.db.tables()
+        }
+        modified = install_workflow_datamodel(expdb.db)
+        assert modified == ["Experiment"]
+        for name, columns_before in schemas_before.items():
+            columns_after = expdb.db.schema(name).column_names()
+            if name == "Experiment":
+                assert columns_after != columns_before
+            else:
+                assert columns_after == columns_before, name
+
+    def test_experiment_gains_exactly_the_declared_columns(self, wf_db):
+        db, __ = wf_db
+        columns = set(db.schema("Experiment").column_names())
+        for extension in EXPERIMENT_EXTENSION_COLUMNS:
+            assert extension in columns
+
+    def test_existing_experiments_unaffected_by_extension(self, expdb):
+        from repro.weblims.schema_setup import add_experiment_type
+
+        add_experiment_type(expdb.db, "Pre", [])
+        row = expdb.bean.insert("Pre", {"notes": "before workflow support"})
+        install_workflow_datamodel(expdb.db)
+        after = expdb.db.get("Experiment", row["experiment_id"])
+        assert after["notes"] == "before workflow support"
+        assert after["workflow_id"] is None
+        assert after["wf_current"] is True  # backfilled default
+
+
+class TestWorkflowTables:
+    def test_all_workflow_tables_created(self, wf_db):
+        db, __ = wf_db
+        for table in WORKFLOW_TABLES:
+            assert db.has_table(table), table
+
+    def test_no_name_collision_with_core(self):
+        assert not (set(WORKFLOW_TABLES) & set(CORE_TABLES))
+
+    def test_wfptask_references(self, wf_db):
+        db, __ = wf_db
+        targets = {f.ref_table for f in db.schema("WFPTask").foreign_keys}
+        assert targets == {"WorkflowPattern", "ExperimentType"}
+
+    def test_wfptransition_references_tasks(self, wf_db):
+        db, __ = wf_db
+        targets = {
+            f.ref_table for f in db.schema("WFPTransition").foreign_keys
+        }
+        assert "WFPTask" in targets
+        assert "SampleType" in targets
+
+    def test_exptype2agent_links(self, wf_db):
+        db, __ = wf_db
+        targets = {
+            f.ref_table for f in db.schema("ExpType2Agent").foreign_keys
+        }
+        assert targets == {"ExperimentType", "Agent"}
+
+    def test_legaltransition_references_types(self, wf_db):
+        db, __ = wf_db
+        targets = {
+            f.ref_table for f in db.schema("LegalTransition").foreign_keys
+        }
+        assert targets == {"ExperimentType"}

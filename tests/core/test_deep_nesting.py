@@ -1,0 +1,100 @@
+"""Sub-workflows nested three levels deep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.core.persistence import save_pattern
+
+
+@pytest.fixture
+def three_levels(wf_lab):
+    level3 = wf_lab.define(
+        PatternBuilder("level3").task("leaf", experiment_type="C")
+    )
+    level2 = (
+        PatternBuilder("level2")
+        .task("mid", experiment_type="B")
+        .task("inner", subworkflow="level3")
+        .flow("mid", "inner")
+        .build(db=wf_lab.db, registry={"level3": level3})
+    )
+    save_pattern(wf_lab.db, level2)
+    level1 = (
+        PatternBuilder("level1")
+        .task("top", experiment_type="A")
+        .task("nested", subworkflow="level2")
+        .flow("top", "nested")
+        .build(db=wf_lab.db, registry={"level2": level2, "level3": level3})
+    )
+    save_pattern(wf_lab.db, level1)
+    return wf_lab
+
+
+def child_of(lab, workflow_id, task_name):
+    return lab.engine.workflow_view(workflow_id).tasks[
+        task_name
+    ].child_workflow_id
+
+
+class TestThreeLevelNesting:
+    def drive(self, lab):
+        root = lab.engine.start_workflow("level1")
+        root_id = root["workflow_id"]
+        lab.complete_all(root_id, "top")
+        lab.approve_pending(root_id)  # start level2
+        mid_id = child_of(lab, root_id, "nested")
+        lab.complete_all(mid_id, "mid")
+        lab.approve_pending(mid_id)  # start level3
+        leaf_id = child_of(lab, mid_id, "inner")
+        lab.approve_pending(leaf_id)  # leaf is final in level3
+        lab.complete_all(leaf_id, "leaf")
+        return root_id, mid_id, leaf_id
+
+    def test_completion_bubbles_up_through_every_level(self, three_levels):
+        lab = three_levels
+        root_id, mid_id, leaf_id = self.drive(lab)
+        assert lab.engine.workflow_view(leaf_id).status == "completed"
+        assert lab.engine.workflow_view(mid_id).status == "completed"
+        assert lab.engine.workflow_view(root_id).status == "completed"
+
+    def test_parent_chain_recorded(self, three_levels):
+        lab = three_levels
+        root_id, mid_id, leaf_id = self.drive(lab)
+        leaf = lab.engine.workflow_view(leaf_id)
+        mid = lab.engine.workflow_view(mid_id)
+        assert leaf.parent_workflow_id == mid_id
+        assert mid.parent_workflow_id == root_id
+
+    def test_leaf_abort_cascades_to_the_root(self, three_levels):
+        lab = three_levels
+        root = lab.engine.start_workflow("level1")
+        root_id = root["workflow_id"]
+        lab.complete_all(root_id, "top")
+        lab.approve_pending(root_id)
+        mid_id = child_of(lab, root_id, "nested")
+        lab.complete_all(mid_id, "mid")
+        lab.approve_pending(mid_id)
+        leaf_id = child_of(lab, mid_id, "inner")
+        lab.approve_pending(leaf_id)
+        lab.complete_all(leaf_id, "leaf", success=False)
+        assert lab.engine.workflow_view(leaf_id).status == "aborted"
+        assert lab.engine.workflow_view(mid_id).status == "aborted"
+        assert lab.engine.workflow_view(root_id).status == "aborted"
+
+    def test_cancel_at_root_reaches_the_leaf(self, three_levels):
+        lab = three_levels
+        root = lab.engine.start_workflow("level1")
+        root_id = root["workflow_id"]
+        lab.complete_all(root_id, "top")
+        lab.approve_pending(root_id)
+        mid_id = child_of(lab, root_id, "nested")
+        lab.complete_all(mid_id, "mid")
+        lab.approve_pending(mid_id)
+        leaf_id = child_of(lab, mid_id, "inner")
+        lab.approve_pending(leaf_id)
+        lab.engine.cancel_workflow(root_id, by="pi")
+        assert lab.engine.workflow_view(root_id).status == "aborted"
+        assert lab.engine.workflow_view(mid_id).status == "aborted"
+        assert lab.engine.workflow_view(leaf_id).status == "aborted"

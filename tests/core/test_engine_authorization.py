@@ -1,0 +1,124 @@
+"""Authorization gates: requests, decisions, denial semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.core.persistence import authorize_agent, register_agent
+from repro.core.spec import AgentSpec
+from repro.errors import AuthorizationError
+
+
+def gated(lab):
+    return lab.define(
+        PatternBuilder("gated")
+        .task("first", experiment_type="A", requires_authorization=True)
+        .task("last", experiment_type="B")
+        .flow("first", "last")
+    )
+
+
+class TestRequests:
+    def test_gated_task_parks_eligible(self, wf_lab):
+        gated(wf_lab)
+        workflow = wf_lab.engine.start_workflow("gated")
+        assert wf_lab.state_of(workflow["workflow_id"], "first") == "eligible"
+
+    def test_request_created_once(self, wf_lab):
+        gated(wf_lab)
+        workflow = wf_lab.engine.start_workflow("gated")
+        # Repeated checks must not duplicate the pending request.
+        wf_lab.engine.check_workflow(workflow["workflow_id"])
+        wf_lab.engine.check_workflow(workflow["workflow_id"])
+        assert len(wf_lab.engine.pending_authorizations()) == 1
+
+    def test_final_task_request_kind_is_final(self, wf_lab):
+        gated(wf_lab)
+        workflow = wf_lab.engine.start_workflow("gated")
+        workflow_id = workflow["workflow_id"]
+        requests = wf_lab.engine.pending_authorizations(workflow_id)
+        assert requests[0]["kind"] == "start"
+        wf_lab.engine.respond_authorization(requests[0]["auth_id"], True)
+        wf_lab.complete_all(workflow_id, "first")
+        final_requests = wf_lab.engine.pending_authorizations(workflow_id)
+        assert final_requests[0]["kind"] == "final"
+
+    def test_authorizer_prefers_human_agent_for_type(self, wf_lab):
+        register_agent(wf_lab.db, AgentSpec("bot", "robot"))
+        authorize_agent(wf_lab.db, "bot", "A")
+        register_agent(
+            wf_lab.db, AgentSpec("alice", "human", contact="alice@lab")
+        )
+        authorize_agent(wf_lab.db, "alice", "A")
+        gated(wf_lab)
+        wf_lab.engine.start_workflow("gated")
+        request = wf_lab.engine.pending_authorizations()[0]
+        agent = wf_lab.db.get("Agent", request["agent_id"])
+        assert agent["name"] == "alice"
+
+    def test_request_without_any_agent_waits_in_db(self, wf_lab):
+        gated(wf_lab)
+        wf_lab.engine.start_workflow("gated")
+        request = wf_lab.engine.pending_authorizations()[0]
+        assert request["agent_id"] is None  # decided via the web UI later
+
+
+class TestDecisions:
+    def test_grant_activates(self, wf_lab):
+        gated(wf_lab)
+        workflow = wf_lab.engine.start_workflow("gated")
+        request = wf_lab.engine.pending_authorizations()[0]
+        wf_lab.engine.respond_authorization(request["auth_id"], True, "pi")
+        assert wf_lab.state_of(workflow["workflow_id"], "first") == "active"
+        stored = wf_lab.db.get("WFAuthorization", request["auth_id"])
+        assert stored["status"] == "granted"
+        assert stored["decided_by"] == "pi"
+
+    def test_denial_aborts_task_and_cascade(self, wf_lab):
+        gated(wf_lab)
+        workflow = wf_lab.engine.start_workflow("gated")
+        workflow_id = workflow["workflow_id"]
+        request = wf_lab.engine.pending_authorizations()[0]
+        wf_lab.engine.respond_authorization(request["auth_id"], False, "pi")
+        assert wf_lab.state_of(workflow_id, "first") == "aborted"
+        assert wf_lab.state_of(workflow_id, "last") == "unreachable"
+        assert wf_lab.engine.workflow_view(workflow_id).status == "aborted"
+
+    def test_double_decision_rejected(self, wf_lab):
+        gated(wf_lab)
+        wf_lab.engine.start_workflow("gated")
+        request = wf_lab.engine.pending_authorizations()[0]
+        wf_lab.engine.respond_authorization(request["auth_id"], True)
+        with pytest.raises(AuthorizationError, match="already"):
+            wf_lab.engine.respond_authorization(request["auth_id"], False)
+
+    def test_unknown_request_rejected(self, wf_lab):
+        with pytest.raises(AuthorizationError):
+            wf_lab.engine.respond_authorization(12345, True)
+
+    def test_events_emitted(self, wf_lab):
+        gated(wf_lab)
+        wf_lab.engine.start_workflow("gated")
+        assert wf_lab.engine.events.of_kind("authorization.requested")
+        request = wf_lab.engine.pending_authorizations()[0]
+        wf_lab.engine.respond_authorization(request["auth_id"], True, "pi")
+        decided = wf_lab.engine.events.of_kind("authorization.decided")
+        assert decided[-1]["approved"] is True
+
+
+class TestTerminationControl:
+    def test_final_task_gates_workflow_termination(self, wf_lab):
+        """§4.2: 'the final task of a workflow now requires authorization
+        to be performed' — even without an explicit flag."""
+        wf_lab.define(
+            PatternBuilder("auto_gate")
+            .task("only", experiment_type="A")
+        )
+        workflow = wf_lab.engine.start_workflow("auto_gate")
+        workflow_id = workflow["workflow_id"]
+        assert wf_lab.state_of(workflow_id, "only") == "eligible"
+        assert wf_lab.engine.workflow_view(workflow_id).status == "running"
+        wf_lab.approve_pending()
+        wf_lab.complete_all(workflow_id, "only")
+        assert wf_lab.engine.workflow_view(workflow_id).status == "completed"

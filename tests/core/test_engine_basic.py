@@ -1,0 +1,216 @@
+"""WorkflowBean basics: instantiation, eligibility, completion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.errors import InstanceError, SpecificationError
+
+
+def chain(lab, name="chain", instances=1):
+    return lab.define(
+        PatternBuilder(name)
+        .task("a", experiment_type="A", default_instances=instances)
+        .task("b", experiment_type="B")
+        .flow("a", "b")
+    )
+
+
+class TestInstantiation:
+    def test_start_creates_rows_and_activates_initial(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        assert workflow["status"] == "running"
+        assert wf_lab.state_of(workflow["workflow_id"], "a") == "active"
+        assert wf_lab.state_of(workflow["workflow_id"], "b") == "created"
+
+    def test_default_instances_spawned(self, wf_lab):
+        chain(wf_lab, instances=3)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instances = wf_lab.instances_of(workflow["workflow_id"], "a")
+        assert len(instances) == 3
+        assert all(i.state == "delegated" for i in instances)
+
+    def test_instance_rows_live_in_experiment_table(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        experiments = wf_lab.db.select("Experiment")
+        assert len(experiments) == 1
+        assert experiments[0]["workflow_id"] == workflow["workflow_id"]
+        assert experiments[0]["type_name"] == "A"
+        # The child type table row is created alongside.
+        assert wf_lab.db.count("A") == 1
+
+    def test_unknown_pattern_rejected(self, wf_lab):
+        with pytest.raises(SpecificationError):
+            wf_lab.engine.start_workflow("ghost")
+
+    def test_multiple_independent_instances(self, wf_lab):
+        chain(wf_lab)
+        first = wf_lab.engine.start_workflow("chain")
+        second = wf_lab.engine.start_workflow("chain")
+        wf_lab.complete_all(first["workflow_id"], "a")
+        assert wf_lab.state_of(first["workflow_id"], "a") == "completed"
+        assert wf_lab.state_of(second["workflow_id"], "a") == "active"
+
+    def test_project_binding(self, wf_lab):
+        project = wf_lab.db.insert("Project", {"name": "crystals"})
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow(
+            "chain", project_id=project["project_id"]
+        )
+        experiment = wf_lab.db.select("Experiment")[0]
+        assert experiment["project_id"] == project["project_id"]
+        assert workflow["project_id"] == project["project_id"]
+
+
+class TestProgression:
+    def test_completion_unlocks_destination(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        wf_lab.complete_all(workflow["workflow_id"], "a")
+        # b is final => requires authorization => parked eligible.
+        assert wf_lab.state_of(workflow["workflow_id"], "b") == "eligible"
+        wf_lab.approve_pending()
+        assert wf_lab.state_of(workflow["workflow_id"], "b") == "active"
+
+    def test_workflow_completes_when_final_task_does(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "a")
+        wf_lab.approve_pending()
+        wf_lab.complete_all(workflow_id, "b")
+        assert wf_lab.engine.workflow_view(workflow_id).status == "completed"
+
+    def test_failed_instance_aborts_single_instance_task(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "a", success=False)
+        assert wf_lab.state_of(workflow_id, "a") == "aborted"
+        # Downstream becomes unreachable; workflow aborts.
+        assert wf_lab.state_of(workflow_id, "b") == "unreachable"
+        assert wf_lab.engine.workflow_view(workflow_id).status == "aborted"
+
+    def test_join_waits_for_all_sources(self, wf_lab):
+        wf_lab.define(
+            PatternBuilder("join")
+            .task("left", experiment_type="A")
+            .task("right", experiment_type="B")
+            .task("sink", experiment_type="C")
+            .flow("left", "sink")
+            .flow("right", "sink")
+        )
+        workflow = wf_lab.engine.start_workflow("join")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "left")
+        assert wf_lab.state_of(workflow_id, "sink") == "created"
+        wf_lab.complete_all(workflow_id, "right")
+        assert wf_lab.state_of(workflow_id, "sink") == "eligible"
+
+    def test_results_recorded_in_type_table(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instance = wf_lab.instances_of(workflow["workflow_id"], "a")[0]
+        wf_lab.engine.complete_instance(
+            instance.experiment_id,
+            success=True,
+            result_values={"reading": 0.42, "notes": "fine"},
+        )
+        child = wf_lab.db.get("A", instance.experiment_id)
+        assert child["reading"] == 0.42
+        parent = wf_lab.db.get("Experiment", instance.experiment_id)
+        assert parent["notes"] == "fine"
+        assert parent["status"] == "done"
+
+    def test_outputs_create_samples_and_io_links(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instance = wf_lab.instances_of(workflow["workflow_id"], "a")[0]
+        wf_lab.engine.complete_instance(
+            instance.experiment_id,
+            success=True,
+            outputs=[{"sample_type": "SA", "name": "out-1", "quality": 0.9}],
+        )
+        samples = wf_lab.db.select("Sample")
+        assert len(samples) == 1
+        assert samples[0]["type_name"] == "SA"
+        links = wf_lab.db.select("ExperimentIO")
+        assert len(links) == 1
+        assert links[0]["experiment_id"] == instance.experiment_id
+
+    def test_undeclared_output_type_rejected(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instance = wf_lab.instances_of(workflow["workflow_id"], "a")[0]
+        with pytest.raises(InstanceError, match="does not declare"):
+            wf_lab.engine.complete_instance(
+                instance.experiment_id,
+                success=True,
+                outputs=[{"sample_type": "SB"}],  # A outputs SA, not SB
+            )
+
+    def test_workflow_column_in_results_rejected(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instance = wf_lab.instances_of(workflow["workflow_id"], "a")[0]
+        with pytest.raises(InstanceError, match="workflow column"):
+            wf_lab.engine.complete_instance(
+                instance.experiment_id,
+                success=True,
+                result_values={"wf_state": "completed"},
+            )
+
+
+class TestInstanceLifecycleGuards:
+    def test_started_then_completed(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instance = wf_lab.instances_of(workflow["workflow_id"], "a")[0]
+        wf_lab.engine.instance_started(instance.experiment_id)
+        assert (
+            wf_lab.instances_of(workflow["workflow_id"], "a")[0].state
+            == "active"
+        )
+        wf_lab.engine.complete_instance(instance.experiment_id, success=True)
+
+    def test_stale_start_is_ignored(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instance = wf_lab.instances_of(workflow["workflow_id"], "a")[0]
+        wf_lab.engine.complete_instance(instance.experiment_id, success=True)
+        wf_lab.engine.instance_started(instance.experiment_id)  # no raise
+        stale = wf_lab.engine.events.of_kind("message.stale")
+        assert stale and stale[-1]["experiment_id"] == instance.experiment_id
+
+    def test_stale_result_is_ignored(self, wf_lab):
+        chain(wf_lab)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instance = wf_lab.instances_of(workflow["workflow_id"], "a")[0]
+        wf_lab.engine.complete_instance(instance.experiment_id, success=True)
+        wf_lab.engine.complete_instance(instance.experiment_id, success=False)
+        # First decision stands.
+        assert (
+            wf_lab.instances_of(workflow["workflow_id"], "a")[0].state
+            == "completed"
+        )
+
+    def test_non_workflow_experiment_rejected(self, wf_lab):
+        standalone = wf_lab.app.bean.insert("A", {})
+        with pytest.raises(InstanceError):
+            wf_lab.engine.complete_instance(
+                standalone["experiment_id"], success=True
+            )
+
+    def test_abort_instance(self, wf_lab):
+        chain(wf_lab, instances=2)
+        workflow = wf_lab.engine.start_workflow("chain")
+        instances = wf_lab.instances_of(workflow["workflow_id"], "a")
+        wf_lab.engine.abort_instance(instances[0].experiment_id)
+        refreshed = wf_lab.instances_of(workflow["workflow_id"], "a")
+        assert refreshed[0].state == "aborted"
+        assert refreshed[0].success is False
+        # Task remains active while the second instance is undecided.
+        assert wf_lab.state_of(workflow["workflow_id"], "a") == "active"

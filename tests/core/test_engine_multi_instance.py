@@ -1,0 +1,211 @@
+"""§4.2: multiple task instances — the paper's model extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.errors import InstanceError
+
+
+def multi(lab, defaults=3):
+    return lab.define(
+        PatternBuilder("multi")
+        .task("work", experiment_type="A", default_instances=defaults)
+        .task("next", experiment_type="B")
+        .flow("work", "next")
+        .data("work", "next", sample_type="SA")
+    )
+
+
+class TestTaskLevelSemantics:
+    def test_task_active_while_any_instance_undecided(self, wf_lab):
+        multi(wf_lab)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        instances = wf_lab.instances_of(workflow_id, "work")
+        wf_lab.engine.complete_instance(instances[0].experiment_id, success=True)
+        wf_lab.engine.complete_instance(instances[1].experiment_id, success=False)
+        assert wf_lab.state_of(workflow_id, "work") == "active"
+
+    def test_task_completes_with_at_least_one_success(self, wf_lab):
+        multi(wf_lab)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        instances = wf_lab.instances_of(workflow_id, "work")
+        wf_lab.engine.complete_instance(instances[0].experiment_id, success=False)
+        wf_lab.engine.complete_instance(instances[1].experiment_id, success=False)
+        wf_lab.engine.complete_instance(instances[2].experiment_id, success=True)
+        assert wf_lab.state_of(workflow_id, "work") == "completed"
+
+    def test_task_aborts_only_when_all_instances_abort(self, wf_lab):
+        multi(wf_lab)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        for instance in wf_lab.instances_of(workflow_id, "work"):
+            wf_lab.engine.complete_instance(
+                instance.experiment_id, success=False
+            )
+        assert wf_lab.state_of(workflow_id, "work") == "aborted"
+        assert wf_lab.state_of(workflow_id, "next") == "unreachable"
+
+
+class TestEarlyEligibility:
+    def test_destination_eligible_at_default_count_before_task_finishes(
+        self, wf_lab
+    ):
+        """'begin any tasks without undue delay': once the default number
+        of source instances completed, the destination may start even
+        though further instances are still running."""
+        multi(wf_lab, defaults=2)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        # Spawn a third instance, then complete only the default two.
+        wf_lab.engine.spawn_instance(workflow_id, "work")
+        instances = wf_lab.instances_of(workflow_id, "work")
+        assert len(instances) == 3
+        wf_lab.engine.complete_instance(instances[0].experiment_id, success=True)
+        wf_lab.engine.complete_instance(instances[1].experiment_id, success=True)
+        assert wf_lab.state_of(workflow_id, "work") == "active"  # one open
+        assert wf_lab.state_of(workflow_id, "next") == "eligible"
+
+    def test_failed_instances_do_not_count_toward_default(self, wf_lab):
+        """While the source is still active, only *successful* instances
+        count toward its default number for early destination start."""
+        multi(wf_lab, defaults=2)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.engine.spawn_instance(workflow_id, "work")  # keep task open
+        instances = wf_lab.instances_of(workflow_id, "work")
+        wf_lab.engine.complete_instance(instances[0].experiment_id, success=False)
+        wf_lab.engine.complete_instance(instances[1].experiment_id, success=True)
+        assert wf_lab.state_of(workflow_id, "work") == "active"
+        assert wf_lab.state_of(workflow_id, "next") == "created"
+
+    def test_source_completion_with_few_successes_still_unlocks(self, wf_lab):
+        """Once every instance is decided the task completes (>=1 success)
+        and the destination becomes eligible even below the default count
+        — completion dominates the default-count gate."""
+        multi(wf_lab, defaults=2)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        instances = wf_lab.instances_of(workflow_id, "work")
+        wf_lab.engine.complete_instance(instances[0].experiment_id, success=False)
+        wf_lab.engine.complete_instance(instances[1].experiment_id, success=True)
+        assert wf_lab.state_of(workflow_id, "work") == "completed"
+        assert wf_lab.state_of(workflow_id, "next") == "eligible"
+
+
+class TestUserSpawnedInstances:
+    def test_spawn_while_active(self, wf_lab):
+        multi(wf_lab)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        spawned = wf_lab.engine.spawn_instance(workflow_id, "work")
+        assert spawned["wf_state"] == "delegated"
+        assert len(wf_lab.instances_of(workflow_id, "work")) == 4
+
+    def test_spawn_on_inactive_task_rejected(self, wf_lab):
+        multi(wf_lab)
+        workflow = wf_lab.engine.start_workflow("multi")
+        with pytest.raises(InstanceError, match="active"):
+            wf_lab.engine.spawn_instance(workflow["workflow_id"], "next")
+
+    def test_spawned_instance_keeps_task_open(self, wf_lab):
+        """A retry spawned after all defaults failed keeps the task alive
+        until it is decided — the failure-retry workflow of §4.2."""
+        multi(wf_lab, defaults=1)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        first = wf_lab.instances_of(workflow_id, "work")[0]
+        retry = wf_lab.engine.spawn_instance(workflow_id, "work")
+        wf_lab.engine.complete_instance(first.experiment_id, success=False)
+        assert wf_lab.state_of(workflow_id, "work") == "active"
+        wf_lab.engine.complete_instance(retry["experiment_id"], success=True)
+        assert wf_lab.state_of(workflow_id, "work") == "completed"
+
+
+class TestOutputForwarding:
+    def test_only_successful_outputs_forwarded(self, wf_lab):
+        """'forwarding outputs from all successfully completed source
+        instances to the destination task'."""
+        multi(wf_lab, defaults=3)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        instances = wf_lab.instances_of(workflow_id, "work")
+        wf_lab.engine.complete_instance(
+            instances[0].experiment_id,
+            success=True,
+            outputs=[{"sample_type": "SA", "name": "good-1", "quality": 0.9}],
+        )
+        wf_lab.engine.complete_instance(
+            instances[1].experiment_id,
+            success=False,
+            outputs=[{"sample_type": "SA", "name": "bad", "quality": 0.1}],
+        )
+        wf_lab.engine.complete_instance(
+            instances[2].experiment_id,
+            success=True,
+            outputs=[{"sample_type": "SA", "name": "good-2", "quality": 0.8}],
+        )
+        available = wf_lab.engine.collect_available_inputs(workflow_id, "next")
+        names = {sample["name"] for sample in available}
+        assert names == {"good-1", "good-2"}
+
+    def test_chosen_inputs_recorded(self, wf_lab):
+        multi(wf_lab, defaults=1)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        source = wf_lab.instances_of(workflow_id, "work")[0]
+        wf_lab.engine.complete_instance(
+            source.experiment_id,
+            success=True,
+            outputs=[{"sample_type": "SA", "name": "o", "quality": 0.9}],
+        )
+        wf_lab.approve_pending()
+        sample_id = wf_lab.db.select("Sample")[0]["sample_id"]
+        destination = wf_lab.instances_of(workflow_id, "next")[0]
+        wf_lab.engine.complete_instance(
+            destination.experiment_id,
+            success=True,
+            chosen_input_ids=[sample_id],
+        )
+        links = wf_lab.db.select("ExperimentIO")
+        input_links = [
+            link
+            for link in links
+            if link["experiment_id"] == destination.experiment_id
+        ]
+        assert [link["sample_id"] for link in input_links] == [sample_id]
+
+    def test_wrong_direction_input_rejected(self, wf_lab):
+        multi(wf_lab, defaults=1)
+        workflow = wf_lab.engine.start_workflow("multi")
+        workflow_id = workflow["workflow_id"]
+        source = wf_lab.instances_of(workflow_id, "work")[0]
+        # SB is not an input of A.
+        sample = wf_lab.db.insert("Sample", {"type_name": "SB"})
+        with pytest.raises(InstanceError, match="input"):
+            wf_lab.engine.complete_instance(
+                source.experiment_id,
+                success=True,
+                chosen_input_ids=[sample["sample_id"]],
+            )
+
+    def test_stock_samples_offered_for_uncovered_input_types(self, wf_lab):
+        """'tasks can have input objects not being produced by source
+        tasks' — stock samples of required input types are offered."""
+        wf_lab.define(
+            PatternBuilder("stocked").task("solo", experiment_type="A")
+        )
+        stock = wf_lab.db.insert(
+            "Sample", {"type_name": "SC", "name": "stock-sc", "quality": 1.0}
+        )
+        workflow = wf_lab.engine.start_workflow("stocked")
+        wf_lab.approve_pending()
+        available = wf_lab.engine.collect_available_inputs(
+            workflow["workflow_id"], "solo"
+        )
+        assert [sample["sample_id"] for sample in available] == [
+            stock["sample_id"]
+        ]

@@ -1,0 +1,164 @@
+"""Property-based tests over the workflow engine.
+
+Random chain workflows driven by random outcome tapes must preserve the
+§4.2 invariants regardless of interleaving:
+
+* task states and transitions always come from the Fig. 4 task model;
+* a task is completed iff all current instances are decided and at
+  least one completed; aborted iff all aborted;
+* a finished workflow has every final task decided;
+* terminal instance states are never overwritten.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PatternBuilder, WorkflowBean
+from repro.core.datamodel import install_workflow_datamodel
+from repro.core.persistence import save_pattern
+from repro.core.states import TASK_MODEL, TaskState
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+MAX_STAGES = 4
+
+
+def build_lab(length: int, instances: list[int]) -> tuple:
+    app = build_expdb()
+    install_workflow_datamodel(app.db)
+    for index in range(length):
+        add_experiment_type(
+            app.db, f"T{index}", [Column("v", ColumnType.REAL)]
+        )
+        add_sample_type(app.db, f"M{index}", [])
+        declare_experiment_io(app.db, f"T{index}", f"M{index}", "output")
+        if index:
+            declare_experiment_io(app.db, f"T{index}", f"M{index - 1}", "input")
+    builder = PatternBuilder("prop")
+    for index in range(length):
+        builder.task(
+            f"t{index}",
+            experiment_type=f"T{index}",
+            default_instances=instances[index],
+        )
+    for index in range(length - 1):
+        builder.flow(f"t{index}", f"t{index + 1}")
+        builder.data(f"t{index}", f"t{index + 1}", sample_type=f"M{index}")
+    pattern = builder.build(db=app.db)
+    save_pattern(app.db, pattern)
+    engine = WorkflowBean(app.db)
+    return app, engine
+
+
+@st.composite
+def scenario(draw):
+    length = draw(st.integers(min_value=1, max_value=MAX_STAGES))
+    instances = [
+        draw(st.integers(min_value=1, max_value=3)) for __ in range(length)
+    ]
+    outcome_tape = draw(
+        st.lists(st.booleans(), min_size=sum(instances), max_size=25)
+    )
+    approve_tape = draw(st.lists(st.booleans(), min_size=5, max_size=10))
+    return length, instances, outcome_tape, approve_tape
+
+
+def undecided_instances(engine, workflow_id):
+    result = []
+    view = engine.workflow_view(workflow_id)
+    for task in view.tasks.values():
+        for instance in task.instances:
+            if not instance.decided:
+                result.append(instance.experiment_id)
+    return result
+
+
+@given(data=scenario())
+@settings(max_examples=40, deadline=None)
+def test_chain_execution_invariants(data):
+    length, instances, outcome_tape, approve_tape = data
+    app, engine = build_lab(length, instances)
+    workflow = engine.start_workflow("prop")
+    workflow_id = workflow["workflow_id"]
+
+    outcomes = iter(outcome_tape)
+    approvals = iter(approve_tape)
+    for __ in range(60):  # bounded driver loop
+        pending = engine.pending_authorizations(workflow_id)
+        if pending:
+            approve = next(approvals, True)
+            engine.respond_authorization(pending[0]["auth_id"], approve)
+            continue
+        open_instances = undecided_instances(engine, workflow_id)
+        if not open_instances:
+            break
+        success = next(outcomes, True)
+        task_type = app.db.get("Experiment", open_instances[0])["type_name"]
+        outputs = (
+            [{"sample_type": f"M{task_type[1:]}", "quality": 0.5}]
+            if success
+            else []
+        )
+        engine.complete_instance(
+            open_instances[0], success=success, outputs=outputs
+        )
+
+    view = engine.workflow_view(workflow_id)
+    valid_states = {state.value for state in TaskState} - {"delegated"}
+    for task in view.tasks.values():
+        # I1: states always from the task model.
+        assert task.state in valid_states
+        decided = [i for i in task.instances if i.decided]
+        completed = [i for i in task.instances if i.state == "completed"]
+        # I2/I3: completion/abort semantics.
+        if task.state == "completed":
+            assert completed
+            assert len(decided) == len(task.instances)
+        if task.state == "aborted" and task.instances:
+            assert not completed
+            assert len(decided) == len(task.instances)
+        if task.state == "active":
+            assert any(not i.decided for i in task.instances)
+
+    # I4: a finished workflow has its final task decided.
+    if view.status != "running":
+        final = view.tasks[f"t{length - 1}"]
+        assert final.state in ("completed", "aborted", "unreachable")
+
+    # I5: every recorded task transition is legal in the task model.
+    for event in engine.events.of_kind("task.state"):
+        legal_targets = {
+            str(target.value)
+            for (source, event_name), target in TASK_MODEL.items()
+            if str(event_name.value) == event["event"]
+        }
+        assert event["state"] in legal_targets
+
+
+@given(
+    successes=st.lists(st.booleans(), min_size=2, max_size=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_single_task_outcome_matches_instance_votes(successes):
+    """For one task with n instances, the task outcome is exactly
+    'completed iff any instance succeeded'."""
+    app, engine = build_lab(1, [len(successes)])
+    workflow = engine.start_workflow("prop")
+    workflow_id = workflow["workflow_id"]
+    for request in engine.pending_authorizations(workflow_id):
+        engine.respond_authorization(request["auth_id"], True)
+    view = engine.workflow_view(workflow_id)
+    for instance, success in zip(view.tasks["t0"].instances, successes):
+        engine.complete_instance(instance.experiment_id, success=success)
+    final = engine.workflow_view(workflow_id)
+    expected = "completed" if any(successes) else "aborted"
+    assert final.tasks["t0"].state == expected
+    assert final.status == expected

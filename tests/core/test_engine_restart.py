@@ -1,0 +1,189 @@
+"""§4.2 backtracking: restart semantics and cascades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.errors import InstanceError
+
+
+def pipeline(lab):
+    return lab.define(
+        PatternBuilder("pipe")
+        .task("a", experiment_type="A")
+        .task("b", experiment_type="B")
+        .task("c", experiment_type="C")
+        .flow("a", "b")
+        .flow("b", "c")
+    )
+
+
+def run_to_completion(lab, workflow_id):
+    for task in ("a", "b"):
+        lab.complete_all(workflow_id, task)
+    lab.approve_pending()
+    lab.complete_all(workflow_id, "c")
+
+
+class TestRestartBasics:
+    def test_restart_completed_task_reruns_it(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        run_to_completion(wf_lab, workflow_id)
+        assert wf_lab.engine.workflow_view(workflow_id).status == "completed"
+
+        wf_lab.engine.restart_task(workflow_id, "b")
+        assert wf_lab.state_of(workflow_id, "b") == "active"  # re-spawned
+        assert wf_lab.state_of(workflow_id, "c") == "created"  # cascaded
+        assert wf_lab.state_of(workflow_id, "a") == "completed"  # upstream kept
+        assert wf_lab.engine.workflow_view(workflow_id).status == "running"
+
+    def test_restart_aborted_task(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "a", success=False)
+        assert wf_lab.state_of(workflow_id, "a") == "aborted"
+        wf_lab.engine.restart_task(workflow_id, "a")
+        assert wf_lab.state_of(workflow_id, "a") == "active"
+
+    def test_restart_unreachable_task_reevaluates(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "a", success=False)
+        assert wf_lab.state_of(workflow_id, "b") == "unreachable"
+        # Restarting b alone re-evaluates: a is still aborted, so b goes
+        # straight back to unreachable.
+        wf_lab.engine.restart_task(workflow_id, "b")
+        assert wf_lab.state_of(workflow_id, "b") == "unreachable"
+
+    def test_restart_cascade_can_be_disabled(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        run_to_completion(wf_lab, workflow_id)
+        wf_lab.engine.restart_task(workflow_id, "b", cascade=False)
+        assert wf_lab.state_of(workflow_id, "b") == "active"
+        assert wf_lab.state_of(workflow_id, "c") == "completed"  # untouched
+
+
+class TestInstanceSupersession:
+    def test_old_instances_kept_as_history(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "a")
+        old = wf_lab.db.select("Experiment")
+        wf_lab.engine.restart_task(workflow_id, "a")
+        # Old row still exists, no longer current; a fresh one is current.
+        rows = wf_lab.db.select("Experiment", order_by="experiment_id")
+        assert len(rows) == len(old) + 1
+        assert rows[0]["wf_current"] is False
+        assert rows[-1]["wf_current"] is True
+
+    def test_current_instance_view_excludes_superseded(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(workflow_id, "a")
+        wf_lab.engine.restart_task(workflow_id, "a")
+        instances = wf_lab.instances_of(workflow_id, "a")
+        assert len(instances) == 1
+        assert instances[0].state == "delegated"
+
+    def test_undecided_instances_aborted_on_restart(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        running = wf_lab.instances_of(workflow_id, "a")[0]
+        wf_lab.engine.restart_task(workflow_id, "a")
+        old_row = wf_lab.db.get("Experiment", running.experiment_id)
+        assert old_row["wf_state"] == "aborted"
+        assert old_row["wf_current"] is False
+
+    def test_superseded_instance_cannot_be_completed(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        stale = wf_lab.instances_of(workflow_id, "a")[0]
+        wf_lab.engine.restart_task(workflow_id, "a")
+        # A late result for the superseded instance is a stale message,
+        # recorded and ignored.
+        wf_lab.engine.complete_instance(stale.experiment_id, success=True)
+        assert wf_lab.engine.events.of_kind("message.stale")
+
+    def test_outputs_of_superseded_instances_not_forwarded(self, wf_lab):
+        wf_lab.define(
+            PatternBuilder("fwd")
+            .task("src", experiment_type="A")
+            .task("dst", experiment_type="B")
+            .flow("src", "dst")
+            .data("src", "dst", sample_type="SA")
+        )
+        workflow = wf_lab.engine.start_workflow("fwd")
+        workflow_id = workflow["workflow_id"]
+        wf_lab.complete_all(
+            workflow_id,
+            "src",
+            outputs=[{"sample_type": "SA", "name": "old-output"}],
+        )
+        wf_lab.engine.restart_task(workflow_id, "src")
+        wf_lab.complete_all(
+            workflow_id,
+            "src",
+            outputs=[{"sample_type": "SA", "name": "new-output"}],
+        )
+        available = wf_lab.engine.collect_available_inputs(workflow_id, "dst")
+        assert {s["name"] for s in available} == {"new-output"}
+
+
+class TestAuthorizationInteraction:
+    def test_restart_cancels_stale_authorizations(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        run_to_completion(wf_lab, workflow_id)
+        wf_lab.engine.restart_task(workflow_id, "c", cascade=False)
+        # c needs fresh approval: the old grant was cancelled.
+        assert wf_lab.state_of(workflow_id, "c") == "eligible"
+        pending = wf_lab.engine.pending_authorizations(workflow_id)
+        assert len(pending) == 1
+        wf_lab.engine.respond_authorization(pending[0]["auth_id"], True)
+        assert wf_lab.state_of(workflow_id, "c") == "active"
+
+    def test_restarting_finished_workflow_reopens_it(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        run_to_completion(wf_lab, workflow_id)
+        wf_lab.engine.restart_task(workflow_id, "c", cascade=False)
+        assert wf_lab.engine.workflow_view(workflow_id).status == "running"
+        wf_lab.approve_pending()
+        wf_lab.complete_all(workflow_id, "c")
+        assert wf_lab.engine.workflow_view(workflow_id).status == "completed"
+
+    def test_restart_emits_event_with_cascade_list(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        workflow_id = workflow["workflow_id"]
+        run_to_completion(wf_lab, workflow_id)
+        wf_lab.engine.restart_task(workflow_id, "a")
+        events = wf_lab.engine.events.of_kind("task.restarted")
+        assert events[-1]["task"] == "a"
+        assert set(events[-1]["cascade"]) == {"b", "c"}
+
+    def test_restart_unknown_task_rejected(self, wf_lab):
+        pipeline(wf_lab)
+        workflow = wf_lab.engine.start_workflow("pipe")
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            wf_lab.engine.restart_task(workflow["workflow_id"], "ghost")
+
+    def test_restart_unknown_workflow_rejected(self, wf_lab):
+        pipeline(wf_lab)
+        with pytest.raises(InstanceError):
+            wf_lab.engine.restart_task(999, "a")

@@ -1,0 +1,67 @@
+"""The engine event log."""
+
+from __future__ import annotations
+
+from repro.core.events import EventLog
+
+
+class TestEventLog:
+    def test_emit_assigns_sequence(self):
+        log = EventLog()
+        first = log.emit("a", x=1)
+        second = log.emit("b", y=2)
+        assert first.sequence == 1
+        assert second.sequence == 2
+
+    def test_payload_access(self):
+        log = EventLog()
+        event = log.emit("kind", value=42)
+        assert event["value"] == 42
+        assert event.get("missing") is None
+        assert event.get("missing", "d") == "d"
+
+    def test_of_kind_filters_in_order(self):
+        log = EventLog()
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        log.emit("a", n=3)
+        assert [e["n"] for e in log.of_kind("a")] == [1, 3]
+
+    def test_since_excludes_boundary(self):
+        log = EventLog()
+        log.emit("a")
+        marker = log.last_sequence
+        log.emit("b")
+        log.emit("c")
+        assert [e.kind for e in log.since(marker)] == ["b", "c"]
+
+    def test_last_sequence_on_empty(self):
+        assert EventLog().last_sequence == 0
+
+    def test_subscribers_notified(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("x")
+        log.emit("y")
+        assert [e.kind for e in seen] == ["x", "y"]
+
+    def test_unsubscribe(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.unsubscribe(seen.append)
+        log.emit("x")
+        assert seen == []
+        log.unsubscribe(seen.append)  # idempotent
+
+    def test_clear_keeps_subscribers_and_sequence(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("a")
+        log.clear()
+        assert log.events == []
+        event = log.emit("b")
+        assert event.sequence == 2  # sequence is never reused
+        assert [e.kind for e in seen] == ["a", "b"]

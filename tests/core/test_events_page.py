@@ -1,0 +1,81 @@
+"""The workflow monitoring (events) page."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.persistence import save_pattern
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import add_experiment_type
+
+
+@pytest.fixture
+def monitored():
+    app = build_expdb()
+    engine = install_workflow_support(app)
+    add_experiment_type(app.db, "A", [])
+    add_experiment_type(app.db, "B", [])
+    pattern = (
+        PatternBuilder("mon")
+        .task("a", experiment_type="A")
+        .task("b", experiment_type="B")
+        .flow("a", "b")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    return app, engine
+
+
+class TestEventsPage:
+    def test_full_stream(self, monitored):
+        app, engine = monitored
+        engine.start_workflow("mon")
+        response = app.get("/workflow", action="events")
+        assert response.status == 200
+        kinds = {event.kind for event in response.attributes["events"]}
+        assert "workflow.started" in kinds
+        assert "task.state" in kinds
+        assert "workflow.started" in response.body
+
+    def test_filter_by_kind(self, monitored):
+        app, engine = monitored
+        engine.start_workflow("mon")
+        response = app.get("/workflow", action="events", kind="task.state")
+        assert response.attributes["events"]
+        assert all(
+            event.kind == "task.state"
+            for event in response.attributes["events"]
+        )
+
+    def test_filter_by_workflow(self, monitored):
+        app, engine = monitored
+        first = engine.start_workflow("mon")
+        second = engine.start_workflow("mon")
+        response = app.get(
+            "/workflow",
+            action="events",
+            workflow_id=str(second["workflow_id"]),
+            kind="workflow.started",
+        )
+        events = response.attributes["events"]
+        assert len(events) == 1
+        assert events[0]["workflow_id"] == second["workflow_id"]
+        del first
+
+    def test_incremental_polling_with_since(self, monitored):
+        app, engine = monitored
+        engine.start_workflow("mon")
+        first = app.get("/workflow", action="events")
+        marker = first.attributes["last_sequence"]
+        # Nothing new yet:
+        empty = app.get("/workflow", action="events", since=str(marker))
+        assert empty.attributes["events"] == []
+        assert empty.attributes["last_sequence"] == marker
+        # New activity shows up after the marker only.
+        engine.start_workflow("mon")
+        fresh = app.get("/workflow", action="events", since=str(marker))
+        assert fresh.attributes["events"]
+        assert all(
+            event.sequence > marker for event in fresh.attributes["events"]
+        )

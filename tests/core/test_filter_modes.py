@@ -1,0 +1,264 @@
+"""F7: the WorkflowFilter's three request-handling modes.
+
+(a) preprocess-then-forward-or-deny, (b) full processing bypassing the
+original destination, (c) postprocessing of the response — plus the
+pass-through path for non-workflow-related requests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.persistence import save_pattern
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@pytest.fixture
+def wired():
+    """Exp-DB with Exp-WF installed via the deployment descriptor."""
+    app = build_expdb()
+    engine = install_workflow_support(app)
+    add_experiment_type(app.db, "A", [Column("reading", ColumnType.REAL)])
+    add_experiment_type(app.db, "B", [])
+    add_sample_type(app.db, "SA", [])
+    declare_experiment_io(app.db, "A", "SA", "output")
+    declare_experiment_io(app.db, "B", "SA", "input")
+    pattern = (
+        PatternBuilder("flow")
+        .task("a", experiment_type="A")
+        .task("b", experiment_type="B")
+        .flow("a", "b")
+        .data("a", "b", sample_type="SA")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    filter_ = app.container.context["workflow_filter"]
+    return app, engine, filter_
+
+
+class TestInstallation:
+    def test_descriptor_only_integration(self, wired):
+        """Exp-WF appears in the descriptor; Exp-DB components untouched."""
+        app, __, ___ = wired
+        descriptor = app.container.descriptor
+        assert "WorkflowServlet" in descriptor.servlet_names()
+        assert "WorkflowFilter" in descriptor.filter_names()
+        # The original servlet registration is unchanged.
+        assert "UserRequestServlet" in descriptor.servlet_names()
+
+    def test_workflow_servlet_reachable_directly(self, wired):
+        app, __, ___ = wired
+        response = app.post("/workflow", action="list")
+        assert response.status == 200
+        assert response.attributes["workflows"] == []
+
+
+class TestPassThrough:
+    def test_reads_not_intercepted(self, wired):
+        app, __, filter_ = wired
+        app.get("/user", action="read", table="A")
+        assert filter_.stats.passed_through == 1
+        assert filter_.stats.preprocessed == 0
+
+    def test_list_and_form_not_intercepted(self, wired):
+        app, __, filter_ = wired
+        app.get("/user", action="list")
+        app.get("/user", action="form", table="A")
+        assert filter_.stats.passed_through == 2
+
+    def test_insert_into_plain_table_not_intercepted(self, wired):
+        app, __, filter_ = wired
+        app.post("/user", action="insert", table="Project", v_name="p")
+        assert filter_.stats.passed_through == 1
+
+
+class TestModeAPreprocess:
+    def test_relevant_insert_is_preprocessed_and_forwarded(self, wired):
+        app, __, filter_ = wired
+        response = app.post(
+            "/user", action="insert", table="A", v_reading="0.5"
+        )
+        assert response.status == 200
+        assert filter_.stats.preprocessed == 1
+        assert filter_.stats.denied == 0
+        assert app.db.count("A") == 1
+
+    def test_direct_write_to_engine_columns_denied(self, wired):
+        app, engine, filter_ = wired
+        workflow = engine.start_workflow("flow")
+        response = app.post(
+            "/user",
+            action="update",
+            table="Experiment",
+            c_type_name="A",
+            v_wf_state="completed",
+        )
+        assert response.status == 403
+        assert "workflow engine" in response.body
+        assert filter_.stats.denied == 1
+        # The instance is untouched.
+        view = engine.workflow_view(workflow["workflow_id"])
+        assert view.tasks["a"].instances[0].state == "delegated"
+
+    def test_delete_of_running_workflow_experiment_denied(self, wired):
+        app, engine, filter_ = wired
+        workflow = engine.start_workflow("flow")
+        experiment_id = engine.workflow_view(workflow["workflow_id"]).tasks[
+            "a"
+        ].instances[0].experiment_id
+        response = app.post(
+            "/user",
+            action="delete",
+            table="Experiment",
+            c_experiment_id=str(experiment_id),
+        )
+        assert response.status == 403
+        assert app.db.get("Experiment", experiment_id) is not None
+
+    def test_delete_of_non_workflow_experiment_allowed(self, wired):
+        app, __, ___ = wired
+        app.post("/user", action="insert", table="A", v_reading="1.0")
+        response = app.post(
+            "/user", action="delete", table="A", c_reading="1.0"
+        )
+        assert response.status == 200
+        assert app.db.count("A") == 0
+
+    def test_denied_request_emits_event(self, wired):
+        app, engine, __ = wired
+        engine.start_workflow("flow")
+        app.post(
+            "/user",
+            action="update",
+            table="Experiment",
+            c_type_name="A",
+            v_workflow_id="7",
+        )
+        denied = engine.events.of_kind("request.denied")
+        assert denied and denied[-1]["table"] == "Experiment"
+
+
+class TestModeBProcess:
+    def test_workflow_action_bypasses_user_servlet(self, wired):
+        app, engine, filter_ = wired
+        before = app.container.stats.servlet_invocations
+        response = app.post(
+            "/user", workflow_action="start", pattern="flow"
+        )
+        assert response.status == 200
+        assert filter_.stats.processed == 1
+        # The UserRequestServlet never ran: the filter handled it whole.
+        assert app.container.stats.servlet_invocations == before
+        assert engine.list_workflows()
+
+    def test_workflow_status_via_mode_b(self, wired):
+        app, engine, __ = wired
+        workflow = engine.start_workflow("flow")
+        response = app.get(
+            "/user",
+            workflow_action="status",
+            workflow_id=str(workflow["workflow_id"]),
+        )
+        assert response.status == 200
+        assert "Workflow" in response.body
+
+    def test_complete_instance_via_web(self, wired):
+        app, engine, __ = wired
+        workflow = engine.start_workflow("flow")
+        workflow_id = workflow["workflow_id"]
+        experiment_id = engine.workflow_view(workflow_id).tasks["a"].instances[
+            0
+        ].experiment_id
+        outputs = json.dumps([{"sample_type": "SA", "name": "web-out"}])
+        response = app.post(
+            "/user",
+            workflow_action="complete_instance",
+            experiment_id=str(experiment_id),
+            success="true",
+            outputs=outputs,
+            r_reading="0.7",
+        )
+        assert response.status == 200
+        view = engine.workflow_view(workflow_id)
+        assert view.tasks["a"].state == "completed"
+        assert app.db.get("A", experiment_id)["reading"] == 0.7
+
+    def test_bad_workflow_action_is_400(self, wired):
+        app, __, ___ = wired
+        response = app.post("/user", workflow_action="explode")
+        assert response.status == 400
+
+    def test_workflow_error_is_409(self, wired):
+        app, engine, __ = wired
+        workflow = engine.start_workflow("flow")
+        response = app.post(
+            "/user",
+            workflow_action="spawn",
+            workflow_id=str(workflow["workflow_id"]),
+            task="b",  # not active yet
+        )
+        assert response.status == 409
+
+
+class TestModeCPostprocess:
+    def test_successful_change_triggers_recheck_and_notice(self, wired):
+        """A user entering experiment data makes the workflow progress,
+        and the response carries the workflow manager's notices."""
+        app, engine, filter_ = wired
+        workflow = engine.start_workflow("flow")
+        workflow_id = workflow["workflow_id"]
+        experiment_id = engine.workflow_view(workflow_id).tasks["a"].instances[
+            0
+        ].experiment_id
+        # Complete the instance through the engine, then touch a relevant
+        # table through the web: postprocessing must re-check workflows.
+        engine.complete_instance(experiment_id, success=True)
+        response = app.post(
+            "/user",
+            action="insert",
+            table="Sample",
+            v_type_name="SA",
+            v_name="stock",
+        )
+        assert response.status == 200
+        assert filter_.stats.postprocessed >= 1
+        assert "workflow_events" in response.attributes
+
+    def test_failed_request_not_postprocessed(self, wired):
+        """Only successful user actions need postprocessing."""
+        app, __, filter_ = wired
+        response = app.post(
+            "/user", action="insert", table="A", v_reading="not-a-number"
+        )
+        assert response.status == 400
+        assert filter_.stats.postprocessed == 0
+
+    def test_notices_appended_to_body(self, wired):
+        app, engine, __ = wired
+        workflow = engine.start_workflow("flow")
+        workflow_id = workflow["workflow_id"]
+        experiment_id = engine.workflow_view(workflow_id).tasks["a"].instances[
+            0
+        ].experiment_id
+        outputs = json.dumps([{"sample_type": "SA", "name": "o"}])
+        response = app.post(
+            "/user",
+            workflow_action="complete_instance",
+            experiment_id=str(experiment_id),
+            success="true",
+            outputs=outputs,
+        )
+        # Mode (b) responses come from the WorkflowServlet itself; now a
+        # mode (c) request shows appended notices when state changed.
+        app.post("/user", action="insert", table="A", v_reading="0.1")
+        assert response.status == 200

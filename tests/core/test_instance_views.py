@@ -1,0 +1,73 @@
+"""Read-only runtime views (core.instance)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.core.instance import load_workflow_view
+from repro.errors import InstanceError
+
+
+@pytest.fixture
+def running(wf_lab):
+    wf_lab.define(
+        PatternBuilder("viewed")
+        .task("a", experiment_type="A", default_instances=2)
+        .task("b", experiment_type="B")
+        .flow("a", "b")
+    )
+    workflow = wf_lab.engine.start_workflow("viewed")
+    return wf_lab, workflow["workflow_id"]
+
+
+class TestWorkflowView:
+    def test_snapshot_fields(self, running):
+        lab, workflow_id = running
+        view = load_workflow_view(lab.db, workflow_id)
+        assert view.workflow_id == workflow_id
+        assert view.pattern_name == "viewed"
+        assert view.status == "running"
+        assert set(view.tasks) == {"a", "b"}
+        assert view.task("a").experiment_type == "A"
+
+    def test_instance_counts(self, running):
+        lab, workflow_id = running
+        instances = load_workflow_view(lab.db, workflow_id).task("a").instances
+        assert len(instances) == 2
+        lab.engine.complete_instance(instances[0].experiment_id, success=True)
+        lab.engine.complete_instance(instances[1].experiment_id, success=False)
+        task = load_workflow_view(lab.db, workflow_id).task("a")
+        assert task.completed_instances == 1
+        assert task.aborted_instances == 1
+        assert task.undecided_instances == 0
+
+    def test_instance_view_decided_flag(self, running):
+        lab, workflow_id = running
+        instance = load_workflow_view(lab.db, workflow_id).task("a").instances[0]
+        assert not instance.decided
+        lab.engine.complete_instance(instance.experiment_id, success=True)
+        refreshed = load_workflow_view(lab.db, workflow_id).task("a").instances[0]
+        assert refreshed.decided
+        assert refreshed.success is True
+
+    def test_unknown_workflow_rejected(self, running):
+        lab, __ = running
+        with pytest.raises(InstanceError):
+            load_workflow_view(lab.db, 9999)
+
+    def test_view_is_a_snapshot_not_live(self, running):
+        lab, workflow_id = running
+        view = load_workflow_view(lab.db, workflow_id)
+        lab.complete_all(workflow_id, "a")
+        # The old snapshot is unchanged; a fresh one reflects reality.
+        assert view.task("a").state == "active"
+        assert load_workflow_view(lab.db, workflow_id).task("a").state == (
+            "completed"
+        )
+
+    def test_default_and_authorization_metadata(self, running):
+        lab, workflow_id = running
+        view = load_workflow_view(lab.db, workflow_id)
+        assert view.task("a").default_instances == 2
+        assert view.task("b").requires_authorization  # final task

@@ -1,0 +1,76 @@
+"""LegalTransition queries: the experiment-type ordering facts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.core.datamodel import install_workflow_datamodel
+from repro.core.persistence import (
+    legal_sources,
+    legal_targets,
+    save_pattern,
+)
+from repro.weblims.schema_setup import add_experiment_type
+
+
+@pytest.fixture
+def typed(expdb):
+    install_workflow_datamodel(expdb.db)
+    for name in ("A", "B", "C"):
+        add_experiment_type(expdb.db, name, [])
+    return expdb
+
+
+class TestLegalTransitionQueries:
+    def test_targets_derived_from_pattern(self, typed):
+        pattern = (
+            PatternBuilder("p")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .task("c", experiment_type="C")
+            .flow("a", "b")
+            .flow("b", "c")
+            .build(db=typed.db)
+        )
+        save_pattern(typed.db, pattern)
+        assert legal_targets(typed.db, "A") == ["B"]
+        assert legal_targets(typed.db, "B") == ["C"]
+        assert legal_targets(typed.db, "C") == []
+
+    def test_sources_are_the_inverse(self, typed):
+        pattern = (
+            PatternBuilder("p")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .flow("a", "b")
+            .build(db=typed.db)
+        )
+        save_pattern(typed.db, pattern)
+        assert legal_sources(typed.db, "B") == ["A"]
+        assert legal_sources(typed.db, "A") == []
+
+    def test_multiple_patterns_merge_without_duplicates(self, typed):
+        for name in ("one", "two"):
+            pattern = (
+                PatternBuilder(name)
+                .task("a", experiment_type="A")
+                .task("b", experiment_type="B")
+                .flow("a", "b")
+                .build(db=typed.db)
+            )
+            save_pattern(typed.db, pattern)
+        assert legal_targets(typed.db, "A") == ["B"]
+
+    def test_branching_records_both_targets(self, typed):
+        pattern = (
+            PatternBuilder("branch")
+            .task("a", experiment_type="A")
+            .task("b", experiment_type="B")
+            .task("c", experiment_type="C")
+            .flow("a", "b", condition="x == 1")
+            .flow("a", "c", condition="x == 2")
+            .build(db=typed.db)
+        )
+        save_pattern(typed.db, pattern)
+        assert set(legal_targets(typed.db, "A")) == {"B", "C"}

@@ -1,0 +1,159 @@
+"""Defining workflow patterns through the web interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import install_workflow_support
+from repro.core.persistence import load_pattern, pattern_from_dict, pattern_to_dict
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@pytest.fixture
+def wired():
+    app = build_expdb()
+    engine = install_workflow_support(app)
+    add_experiment_type(app.db, "A", [Column("reading", ColumnType.REAL)])
+    add_experiment_type(app.db, "B", [])
+    add_sample_type(app.db, "SA", [])
+    declare_experiment_io(app.db, "A", "SA", "output")
+    declare_experiment_io(app.db, "B", "SA", "input")
+    return app, engine
+
+
+PATTERN_JSON = {
+    "name": "web_defined",
+    "description": "defined through the browser",
+    "tasks": [
+        {"name": "first", "experiment_type": "A", "default_instances": 2},
+        {"name": "second", "experiment_type": "B"},
+    ],
+    "transitions": [
+        {"source": "first", "target": "second"},
+        {"source": "first", "target": "second", "sample_type": "SA"},
+    ],
+}
+
+
+class TestDefine:
+    def test_define_and_run(self, wired):
+        app, engine = wired
+        response = app.post(
+            "/workflow",
+            action="define",
+            pattern_json=json.dumps(PATTERN_JSON),
+        )
+        assert response.status == 200
+        assert response.attributes["pattern_id"]
+        # Final-task authorization applied automatically.
+        stored = load_pattern(app.db, "web_defined")
+        assert stored.task("second").requires_authorization
+        assert stored.task("first").default_instances == 2
+        # The freshly defined pattern is immediately runnable.
+        workflow = engine.start_workflow("web_defined")
+        view = engine.workflow_view(workflow["workflow_id"])
+        assert view.tasks["first"].state == "active"
+
+    def test_define_via_filter_mode_b(self, wired):
+        """Also reachable through /user with workflow_action (mode b)."""
+        app, __ = wired
+        response = app.post(
+            "/user",
+            workflow_action="define",
+            pattern_json=json.dumps(PATTERN_JSON),
+        )
+        assert response.status == 200
+
+    def test_bad_json_is_400(self, wired):
+        app, __ = wired
+        response = app.post(
+            "/workflow", action="define", pattern_json="{broken"
+        )
+        assert response.status == 400
+
+    def test_invalid_pattern_is_409(self, wired):
+        app, __ = wired
+        bad = dict(PATTERN_JSON, name="bad", tasks=[
+            {"name": "only", "experiment_type": "Unregistered"},
+        ], transitions=[])
+        response = app.post(
+            "/workflow", action="define", pattern_json=json.dumps(bad)
+        )
+        assert response.status == 409
+        assert "Unregistered" in response.body
+
+    def test_duplicate_name_is_409(self, wired):
+        app, __ = wired
+        app.post(
+            "/workflow", action="define",
+            pattern_json=json.dumps(PATTERN_JSON),
+        )
+        response = app.post(
+            "/workflow", action="define",
+            pattern_json=json.dumps(PATTERN_JSON),
+        )
+        assert response.status == 409
+
+    def test_event_emitted(self, wired):
+        app, engine = wired
+        app.post(
+            "/workflow", action="define",
+            pattern_json=json.dumps(PATTERN_JSON),
+        )
+        defined = engine.events.of_kind("pattern.defined")
+        assert defined and defined[-1]["pattern"] == "web_defined"
+
+
+class TestPatternsExport:
+    def test_list_patterns(self, wired):
+        app, __ = wired
+        app.post(
+            "/workflow", action="define",
+            pattern_json=json.dumps(PATTERN_JSON),
+        )
+        response = app.get("/workflow", action="patterns")
+        assert response.status == 200
+        assert [p["name"] for p in response.attributes["patterns"]] == [
+            "web_defined"
+        ]
+
+    def test_export_roundtrip(self, wired):
+        """define → export → re-import under a new name → identical."""
+        app, __ = wired
+        app.post(
+            "/workflow", action="define",
+            pattern_json=json.dumps(PATTERN_JSON),
+        )
+        response = app.get("/workflow", action="patterns", name="web_defined")
+        exported = json.loads(response.body)
+        assert exported["name"] == "web_defined"
+        exported["name"] = "copy"
+        second = app.post(
+            "/workflow", action="define", pattern_json=json.dumps(exported)
+        )
+        assert second.status == 200
+        assert pattern_to_dict(load_pattern(app.db, "copy"))["tasks"] == (
+            pattern_to_dict(load_pattern(app.db, "web_defined"))["tasks"]
+        )
+
+
+class TestDictRoundtrip:
+    def test_to_dict_from_dict_identity(self):
+        pattern = pattern_from_dict(PATTERN_JSON)
+        rebuilt = pattern_from_dict(pattern_to_dict(pattern))
+        assert pattern_to_dict(rebuilt) == pattern_to_dict(pattern)
+
+    def test_from_dict_requires_name(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            pattern_from_dict({"tasks": []})

@@ -1,0 +1,151 @@
+"""Pattern and agent persistence (Fig. 5 tables in use)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatternBuilder
+from repro.core.datamodel import install_workflow_datamodel
+from repro.core.persistence import (
+    agents_for_type,
+    authorize_agent,
+    load_pattern,
+    pattern_registry,
+    register_agent,
+    save_pattern,
+)
+from repro.core.spec import AgentSpec
+from repro.errors import SpecificationError, UnknownAgentError
+from repro.minidb.predicates import EQ
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@pytest.fixture
+def wf_app(expdb):
+    install_workflow_datamodel(expdb.db)
+    add_experiment_type(expdb.db, "A", [])
+    add_experiment_type(expdb.db, "B", [])
+    add_sample_type(expdb.db, "S", [])
+    declare_experiment_io(expdb.db, "A", "S", "output")
+    declare_experiment_io(expdb.db, "B", "S", "input")
+    return expdb
+
+
+def build_pattern(db, name="p"):
+    return (
+        PatternBuilder(name, description="demo")
+        .task("a", experiment_type="A", default_instances=3)
+        .task("b", experiment_type="B")
+        .flow("a", "b", condition="output.quality >= 0.5")
+        .data("a", "b", sample_type="S")
+        .build(db=db)
+    )
+
+
+class TestPatternRoundtrip:
+    def test_save_and_load_identical_structure(self, wf_app):
+        pattern = build_pattern(wf_app.db)
+        save_pattern(wf_app.db, pattern)
+        loaded = load_pattern(wf_app.db, "p")
+        assert set(loaded.tasks) == set(pattern.tasks)
+        assert loaded.task("a").default_instances == 3
+        assert loaded.task("b").requires_authorization  # final task
+        assert len(loaded.transitions) == 2
+        conditions = {t.condition for t in loaded.transitions}
+        assert "output.quality >= 0.5" in conditions
+        data = [t for t in loaded.transitions if t.is_data]
+        assert data[0].sample_type == "S"
+
+    def test_duplicate_name_rejected(self, wf_app):
+        save_pattern(wf_app.db, build_pattern(wf_app.db))
+        with pytest.raises(SpecificationError, match="already stored"):
+            save_pattern(wf_app.db, build_pattern(wf_app.db))
+
+    def test_save_failure_is_atomic(self, wf_app):
+        """A pattern referencing an unsaved sub-workflow leaves nothing."""
+        parent = (
+            PatternBuilder("parent")
+            .task("sub", subworkflow="missing_child")
+            .build()
+        )
+        with pytest.raises(SpecificationError):
+            save_pattern(wf_app.db, parent)
+        assert wf_app.db.count("WorkflowPattern") == 0
+        assert wf_app.db.count("WFPTask") == 0
+
+    def test_load_unknown_pattern_rejected(self, wf_app):
+        with pytest.raises(SpecificationError):
+            load_pattern(wf_app.db, "ghost")
+
+    def test_subworkflow_roundtrip(self, wf_app):
+        child = (
+            PatternBuilder("child").task("inner", experiment_type="A").build()
+        )
+        save_pattern(wf_app.db, child)
+        parent = (
+            PatternBuilder("parent")
+            .task("start", experiment_type="A")
+            .task("sub", subworkflow="child")
+            .flow("start", "sub")
+            .build(registry={"child": child})
+        )
+        save_pattern(wf_app.db, parent)
+        loaded = load_pattern(wf_app.db, "parent")
+        assert loaded.task("sub").subworkflow == "child"
+
+    def test_registry_loads_everything(self, wf_app):
+        save_pattern(wf_app.db, build_pattern(wf_app.db, "one"))
+        child = (
+            PatternBuilder("two").task("x", experiment_type="A").build()
+        )
+        save_pattern(wf_app.db, child)
+        registry = pattern_registry(wf_app.db)
+        assert set(registry) == {"one", "two"}
+
+
+class TestLegalTransitions:
+    def test_derived_from_control_flow(self, wf_app):
+        save_pattern(wf_app.db, build_pattern(wf_app.db))
+        rows = wf_app.db.select("LegalTransition")
+        assert [(r["source_type"], r["target_type"]) for r in rows] == [
+            ("A", "B")
+        ]
+
+    def test_not_duplicated_across_patterns(self, wf_app):
+        save_pattern(wf_app.db, build_pattern(wf_app.db, "one"))
+        save_pattern(wf_app.db, build_pattern(wf_app.db, "two"))
+        assert wf_app.db.count("LegalTransition") == 1
+
+
+class TestAgents:
+    def test_register_and_lookup(self, wf_app):
+        register_agent(wf_app.db, AgentSpec("robo", "robot", contact="bay-3"))
+        authorize_agent(wf_app.db, "robo", "A")
+        agents = agents_for_type(wf_app.db, "A")
+        assert [a["name"] for a in agents] == ["robo"]
+        assert agents[0]["queue"] == "agent.robo"
+
+    def test_duplicate_agent_rejected(self, wf_app):
+        register_agent(wf_app.db, AgentSpec("robo", "robot"))
+        with pytest.raises(SpecificationError):
+            register_agent(wf_app.db, AgentSpec("robo", "robot"))
+
+    def test_authorize_unknown_agent_rejected(self, wf_app):
+        with pytest.raises(UnknownAgentError):
+            authorize_agent(wf_app.db, "ghost", "A")
+
+    def test_multiple_agents_ordered_stably(self, wf_app):
+        for name in ("first", "second"):
+            register_agent(wf_app.db, AgentSpec(name, "robot"))
+            authorize_agent(wf_app.db, name, "A")
+        assert [a["name"] for a in agents_for_type(wf_app.db, "A")] == [
+            "first",
+            "second",
+        ]
+
+    def test_no_agents_for_unmapped_type(self, wf_app):
+        assert agents_for_type(wf_app.db, "B") == []

@@ -1,0 +1,119 @@
+"""The specification model: tasks, transitions, patterns, agents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import AgentSpec, TaskDef, TransitionDef, WorkflowPattern
+from repro.errors import SpecificationError
+
+
+class TestTaskDef:
+    def test_experiment_type_task(self):
+        task = TaskDef("pcr", experiment_type="Pcr")
+        assert not task.is_subworkflow
+        assert task.default_instances == 1
+
+    def test_subworkflow_task(self):
+        task = TaskDef("prod", subworkflow="protein_production")
+        assert task.is_subworkflow
+
+    def test_exactly_one_binding_required(self):
+        with pytest.raises(SpecificationError):
+            TaskDef("both", experiment_type="X", subworkflow="Y")
+        with pytest.raises(SpecificationError):
+            TaskDef("neither")
+
+    def test_default_instances_positive(self):
+        with pytest.raises(SpecificationError):
+            TaskDef("t", experiment_type="X", default_instances=0)
+
+    def test_subworkflow_single_instance_only(self):
+        with pytest.raises(SpecificationError):
+            TaskDef("t", subworkflow="S", default_instances=2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskDef("", experiment_type="X")
+
+
+class TestTransitionDef:
+    def test_control_transition(self):
+        transition = TransitionDef("a", "b")
+        assert not transition.is_data
+        assert transition.parsed_condition is None
+
+    def test_data_transition(self):
+        transition = TransitionDef("a", "b", sample_type="Product")
+        assert transition.is_data
+
+    def test_condition_parsed_at_definition(self):
+        transition = TransitionDef("a", "b", condition="output.x > 1")
+        assert transition.parsed_condition is not None
+
+    def test_bad_condition_rejected_at_definition(self):
+        from repro.errors import ConditionError
+
+        with pytest.raises(ConditionError):
+            TransitionDef("a", "b", condition="output.x >")
+
+    def test_self_transition_rejected(self):
+        """§4.2: repetition is multiple instances, not self-loops."""
+        with pytest.raises(SpecificationError, match="self-transition"):
+            TransitionDef("a", "a")
+
+
+class TestAgentSpec:
+    def test_default_queue_derived_from_name(self):
+        spec = AgentSpec("robo", "robot")
+        assert spec.queue == "agent.robo"
+
+    def test_explicit_queue_kept(self):
+        spec = AgentSpec("robo", "robot", queue="custom.q")
+        assert spec.queue == "custom.q"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            AgentSpec("x", "android")
+
+
+class TestWorkflowPattern:
+    @pytest.fixture
+    def pattern(self):
+        p = WorkflowPattern("test")
+        for name in ("a", "b", "c"):
+            p.add_task(TaskDef(name, experiment_type=name.upper()))
+        p.add_transition(TransitionDef("a", "b"))
+        p.add_transition(TransitionDef("a", "c"))
+        p.add_transition(TransitionDef("b", "c"))
+        p.add_transition(TransitionDef("a", "b", sample_type="S"))
+        return p
+
+    def test_duplicate_task_rejected(self, pattern):
+        with pytest.raises(SpecificationError):
+            pattern.add_task(TaskDef("a", experiment_type="A"))
+
+    def test_transition_to_unknown_task_rejected(self, pattern):
+        with pytest.raises(SpecificationError):
+            pattern.add_transition(TransitionDef("a", "ghost"))
+
+    def test_incoming_outgoing(self, pattern):
+        assert len(pattern.incoming("c")) == 2
+        assert len(pattern.outgoing("a")) == 3
+
+    def test_control_sources_distinct(self, pattern):
+        assert pattern.control_sources("b") == ["a"]
+        assert pattern.control_sources("c") == ["a", "b"]
+
+    def test_initial_and_final(self, pattern):
+        assert pattern.initial_tasks() == ["a"]
+        assert pattern.final_tasks() == ["c"]
+
+    def test_data_transitions_between(self, pattern):
+        assert len(pattern.data_transitions_between("a", "b")) == 1
+        assert pattern.data_transitions_between("b", "c") == []
+
+    def test_task_lookup(self, pattern):
+        assert pattern.task("a").experiment_type == "A"
+        with pytest.raises(SpecificationError):
+            pattern.task("ghost")

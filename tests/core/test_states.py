@@ -1,0 +1,193 @@
+"""F4: the execution-model state machines, transition-exact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import (
+    BASIC_MODEL,
+    TASK_INSTANCE_MODEL,
+    TASK_MODEL,
+    Event,
+    InstanceState,
+    TaskState,
+    basic_machine,
+    instance_machine,
+    task_machine,
+)
+from repro.errors import IllegalTransitionError
+
+ALL_EVENTS = list(Event)
+
+
+def reachable_states(table, initial):
+    reached = {initial}
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        for (source, __), target in table.items():
+            if source == state and target not in reached:
+                reached.add(target)
+                frontier.append(target)
+    return reached
+
+
+class TestBasicModelExactTable:
+    """The basic model of Fig. 4, state by state."""
+
+    EXPECTED = {
+        TaskState.CREATED: {
+            Event.BECOME_UNREACHABLE: TaskState.UNREACHABLE,
+            Event.BECOME_ELIGIBLE: TaskState.ELIGIBLE,
+        },
+        TaskState.ELIGIBLE: {
+            Event.DENY: TaskState.ABORTED,
+            Event.DELEGATE: TaskState.DELEGATED,
+        },
+        TaskState.DELEGATED: {
+            Event.ABORT: TaskState.ABORTED,
+            Event.START: TaskState.ACTIVE,
+        },
+        TaskState.ACTIVE: {
+            Event.ABORT: TaskState.ABORTED,
+            Event.COMPLETE: TaskState.COMPLETED,
+        },
+        TaskState.UNREACHABLE: {},
+        TaskState.ABORTED: {},
+        TaskState.COMPLETED: {},
+    }
+
+    @pytest.mark.parametrize("state", list(TaskState))
+    def test_exact_legal_events_per_state(self, state):
+        expected = self.EXPECTED[state]
+        actual = {
+            event: target
+            for (source, event), target in BASIC_MODEL.items()
+            if source == state
+        }
+        assert actual == expected
+
+    def test_every_state_reachable(self):
+        assert reachable_states(BASIC_MODEL, TaskState.CREATED) == set(TaskState)
+
+    def test_terminal_states_absorbing(self):
+        for terminal in (TaskState.ABORTED, TaskState.COMPLETED, TaskState.UNREACHABLE):
+            for event in ALL_EVENTS:
+                assert (terminal, event) not in BASIC_MODEL
+
+
+class TestTaskModel:
+    """The extended task model: no delegated state, restart edges."""
+
+    def test_no_delegated_state(self):
+        states = {source for source, __ in TASK_MODEL} | set(TASK_MODEL.values())
+        assert TaskState.DELEGATED not in states
+
+    def test_eligible_goes_directly_to_active(self):
+        assert TASK_MODEL[(TaskState.ELIGIBLE, Event.ACTIVATE)] is TaskState.ACTIVE
+
+    @pytest.mark.parametrize(
+        "state",
+        [TaskState.ABORTED, TaskState.COMPLETED, TaskState.UNREACHABLE],
+    )
+    def test_restart_from_terminal_states(self, state):
+        assert TASK_MODEL[(state, Event.RESTART)] is TaskState.CREATED
+
+    def test_restart_is_only_exit_from_terminal(self):
+        for state in (TaskState.ABORTED, TaskState.COMPLETED, TaskState.UNREACHABLE):
+            exits = [e for (s, e) in TASK_MODEL if s == state]
+            assert exits == [Event.RESTART]
+
+    def test_authorization_denial_aborts(self):
+        assert TASK_MODEL[(TaskState.ELIGIBLE, Event.DENY)] is TaskState.ABORTED
+
+
+class TestTaskInstanceModel:
+    """No unreachable/eligible — already determined at task level."""
+
+    def test_excluded_states(self):
+        states = {s for s, __ in TASK_INSTANCE_MODEL} | set(
+            TASK_INSTANCE_MODEL.values()
+        )
+        assert "unreachable" not in {str(getattr(s, "value", s)) for s in states}
+        assert "eligible" not in {str(getattr(s, "value", s)) for s in states}
+
+    def test_full_lifecycle(self):
+        machine = instance_machine()
+        assert machine.apply(Event.DELEGATE) is InstanceState.DELEGATED
+        assert machine.apply(Event.START) is InstanceState.ACTIVE
+        assert machine.apply(Event.COMPLETE) is InstanceState.COMPLETED
+
+    def test_abort_possible_from_every_live_state(self):
+        for state in (
+            InstanceState.CREATED,
+            InstanceState.DELEGATED,
+            InstanceState.ACTIVE,
+        ):
+            machine = instance_machine(state)
+            assert machine.apply(Event.ABORT) is InstanceState.ABORTED
+
+    def test_terminal_states_absorbing(self):
+        for terminal in (InstanceState.COMPLETED, InstanceState.ABORTED):
+            for event in ALL_EVENTS:
+                assert (terminal, event) not in TASK_INSTANCE_MODEL
+
+
+class TestStateMachineMechanics:
+    def test_illegal_transition_raises_with_context(self):
+        machine = basic_machine()
+        with pytest.raises(IllegalTransitionError) as excinfo:
+            machine.apply(Event.COMPLETE)
+        assert excinfo.value.machine == "basic-model"
+
+    def test_state_unchanged_after_illegal_event(self):
+        machine = basic_machine()
+        with pytest.raises(IllegalTransitionError):
+            machine.apply(Event.START)
+        assert machine.state is TaskState.CREATED
+
+    def test_history_records_transitions(self):
+        machine = task_machine()
+        machine.apply(Event.BECOME_ELIGIBLE)
+        machine.apply(Event.ACTIVATE)
+        assert len(machine.history) == 2
+
+    def test_can_apply_and_legal_events(self):
+        machine = task_machine()
+        assert machine.can_apply(Event.BECOME_ELIGIBLE)
+        assert not machine.can_apply(Event.COMPLETE)
+        assert set(machine.legal_events()) == {
+            Event.BECOME_ELIGIBLE,
+            Event.BECOME_UNREACHABLE,
+        }
+
+    def test_machine_accepts_string_states(self):
+        """DB rows store plain strings; machines must accept them."""
+        machine = task_machine("eligible")
+        assert machine.apply(Event.ACTIVATE) is TaskState.ACTIVE
+
+
+class TestExhaustiveEnumeration:
+    """Every (state, event) pair either transitions or raises — and the
+    partition matches the model exactly, for all three machines."""
+
+    @pytest.mark.parametrize(
+        "table,states,factory",
+        [
+            (BASIC_MODEL, list(TaskState), basic_machine),
+            (TASK_MODEL, list(TaskState), task_machine),
+            (TASK_INSTANCE_MODEL, list(InstanceState), instance_machine),
+        ],
+        ids=["basic", "task", "instance"],
+    )
+    def test_state_event_partition(self, table, states, factory):
+        from repro.core.states import StateMachine
+
+        for state in states:
+            for event in ALL_EVENTS:
+                machine = StateMachine(table, state, "test")
+                if (state, event) in table:
+                    assert machine.apply(event) == table[(state, event)]
+                else:
+                    with pytest.raises(IllegalTransitionError):
+                        machine.apply(event)

@@ -1,0 +1,205 @@
+"""Attaching Exp-WF to a *different* LIMS — the paper's generality claim.
+
+§1/§7: "We are confident that other web-based LIMS applications could be
+augmented with Exp-WF in a similar fashion" / "workflow management
+capabilities can be integrated in a similar way into other data
+management systems sharing a similar, web-based multi-tier
+architecture."
+
+This test builds exactly that scenario: ``RestLims`` is a REST-flavoured
+LIMS with its own URL scheme (``/lims/<table>/<verb>``) and its own
+parameter conventions — nothing about it matches Exp-DB's servlet.  The
+unmodified WorkflowFilter is attached behind a ten-line *adapter filter*
+that translates the REST shape into the action/table convention the
+workflow module observes.  No component of either system changes; the
+whole integration is two ``add_filter`` lines in the deployment
+descriptor.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.filter import WorkflowFilter, WorkflowServlet
+from repro.core.persistence import save_pattern
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Filter, Servlet
+from repro.weblims.schema_setup import add_experiment_type
+
+
+class RestLims(Servlet):
+    """A REST-flavoured LIMS: /lims/<table>/<verb> with JSON bodies."""
+
+    name = "RestLims"
+
+    def service(self, request, container):
+        bean = container.context["table_bean"]
+        parts = [part for part in request.path.split("/") if part]
+        if len(parts) != 3:
+            return HttpResponse.error(404, "expected /lims/<table>/<verb>")
+        __, table, verb = parts
+        body = json.loads(request.param("body", "{}"))
+        if verb == "query":
+            rows = bean.read(table, body or None)
+            response = HttpResponse.html(json.dumps(len(rows)))
+            response.attributes["rows"] = rows
+            return response
+        if verb == "create":
+            row = bean.insert(table, body)
+            response = HttpResponse.html("created")
+            response.attributes["row"] = row
+            return response
+        if verb == "modify":
+            affected = bean.update(table, body["where"], body["set"])
+            response = HttpResponse.html("modified")
+            response.attributes["affected"] = affected
+            return response
+        if verb == "destroy":
+            affected = bean.delete(table, body)
+            response = HttpResponse.html("destroyed")
+            response.attributes["affected"] = affected
+            return response
+        return HttpResponse.error(404, f"unknown verb {verb!r}")
+
+
+class RestAdapterFilter(Filter):
+    """Translates the REST shape into the convention Exp-WF observes.
+
+    This is the entire per-LIMS integration cost: map URL/verb onto the
+    ``action``/``table``/``values``/``criteria`` request parameters.
+    """
+
+    name = "RestAdapterFilter"
+
+    VERB_TO_ACTION = {
+        "query": "read",
+        "create": "insert",
+        "modify": "update",
+        "destroy": "delete",
+    }
+
+    def do_filter(self, request, chain):
+        parts = [part for part in request.path.split("/") if part]
+        if len(parts) == 3:
+            __, table, verb = parts
+            action = self.VERB_TO_ACTION.get(verb)
+            if action is not None:
+                request.params.setdefault("action", action)
+                request.params.setdefault("table", table)
+                body = request.param("body")
+                if body and action == "insert":
+                    request.params.setdefault("values", body)
+                elif body and action == "delete":
+                    request.params.setdefault("criteria", body)
+                elif body and action == "update":
+                    decoded = json.loads(body)
+                    request.params.setdefault(
+                        "values", json.dumps(decoded.get("set", {}))
+                    )
+                    request.params.setdefault(
+                        "criteria", json.dumps(decoded.get("where", {}))
+                    )
+        return chain.proceed(request)
+
+
+@pytest.fixture
+def rest_lims():
+    """A RestLims instance with Exp-WF attached via descriptor only."""
+    app = build_expdb()  # supplies db/bean/templates; its servlet is unused
+    engine = install_workflow_support(app)  # registers on /user (unused here)
+    add_experiment_type(app.db, "Run", [Column("score", ColumnType.REAL)])
+    pattern = (
+        PatternBuilder("restflow").task("run", experiment_type="Run").build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+
+    # The integration: the REST servlet, the adapter, and the SAME
+    # WorkflowFilter instance re-registered onto the REST URL space.
+    workflow_filter: WorkflowFilter = app.container.context["workflow_filter"]
+    app.container.descriptor.add_servlet(RestLims(), "/lims/*")
+    app.container.descriptor.add_filter(RestAdapterFilter(), "/lims/*")
+    app.container.descriptor.add_filter(workflow_filter, "/lims/*")
+    return app, engine, workflow_filter
+
+
+def rest(app, table, verb, body=None):
+    return app.post(
+        f"/lims/{table}/{verb}",
+        body=json.dumps(body or {}),
+    )
+
+
+class TestRestLimsStandalone:
+    def test_crud_through_the_rest_shape(self, rest_lims):
+        app, __, ___ = rest_lims
+        created = rest(app, "Run", "create", {"score": 0.5})
+        assert created.status == 200
+        assert created.attributes["row"]["type_name"] == "Run"
+        queried = rest(app, "Run", "query", {"score": 0.5})
+        assert len(queried.attributes["rows"]) == 1
+        modified = rest(
+            app, "Run", "modify", {"where": {"score": 0.5}, "set": {"score": 0.9}}
+        )
+        assert modified.attributes["affected"] == 1
+        destroyed = rest(app, "Run", "destroy", {"score": 0.9})
+        assert destroyed.attributes["affected"] == 1
+
+
+class TestWorkflowInterceptionOnRestLims:
+    def test_reads_pass_through(self, rest_lims):
+        app, __, workflow_filter = rest_lims
+        before = workflow_filter.stats.passed_through
+        rest(app, "Run", "query")
+        assert workflow_filter.stats.passed_through == before + 1
+
+    def test_engine_columns_protected_on_the_foreign_lims(self, rest_lims):
+        app, engine, __ = rest_lims
+        engine.start_workflow("restflow")
+        response = rest(
+            app,
+            "Experiment",
+            "modify",
+            {"where": {"type_name": "Run"}, "set": {"wf_state": "completed"}},
+        )
+        assert response.status == 403
+
+    def test_workflow_experiment_delete_denied(self, rest_lims):
+        app, engine, __ = rest_lims
+        workflow = engine.start_workflow("restflow")
+        for request in engine.pending_authorizations():
+            engine.respond_authorization(request["auth_id"], True)
+        experiment_id = engine.workflow_view(workflow["workflow_id"]).tasks[
+            "run"
+        ].instances[0].experiment_id
+        response = rest(
+            app, "Experiment", "destroy", {"experiment_id": experiment_id}
+        )
+        assert response.status == 403
+        assert app.db.get("Experiment", experiment_id) is not None
+
+    def test_postprocessing_recheck_happens_for_rest_writes(self, rest_lims):
+        app, engine, __ = rest_lims
+        engine.start_workflow("restflow")
+        checks_before = engine.check_count
+        response = rest(app, "Run", "create", {"score": 0.3})
+        assert response.status == 200
+        assert engine.check_count > checks_before
+
+    def test_workflow_actions_reachable_through_rest_urls(self, rest_lims):
+        """Mode (b) works too: a workflow_action parameter on any
+        filtered URL is processed whole by the WorkflowServlet."""
+        app, engine, __ = rest_lims
+        response = app.post(
+            "/lims/anything/query",
+            workflow_action="start",
+            pattern="restflow",
+            body="{}",
+        )
+        assert response.status == 200
+        assert engine.list_workflows()

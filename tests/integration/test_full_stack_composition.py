@@ -1,0 +1,137 @@
+"""The full production stack: access control + workflow + API + agents.
+
+Everything the repository provides, composed in one deployment: a
+durable Exp-DB, role-based access control, Exp-WF with a real agent
+fleet over a persistent broker, the JSON API, and the aspect weave for
+a batch client — all attached through public extension points.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.agents import (
+    AgentManager,
+    EmailTransport,
+    LiquidHandlingRobotAgent,
+    run_until_quiescent,
+)
+from repro.core import PatternBuilder, install_workflow_support
+from repro.core.aspects import AdviceVeto, install_aspect_workflow_support
+from repro.core.persistence import authorize_agent, register_agent, save_pattern
+from repro.core.spec import AgentSpec
+from repro.messaging import MessageBroker
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims import build_expdb
+from repro.weblims.access import AccessPolicy, install_access_control
+from repro.weblims.api import install_api
+from repro.weblims.http import HttpRequest
+from repro.weblims.schema_setup import (
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+@pytest.fixture
+def stack(tmp_path):
+    app = build_expdb(wal_path=tmp_path / "lims.wal")
+
+    policy = AccessPolicy()
+    policy.assign("ada", "scientist")
+    policy.grant("scientist", "*", "insert", "update", "delete", "workflow")
+    access = install_access_control(app, policy)
+
+    broker = MessageBroker(tmp_path / "broker.journal")
+    manager = AgentManager(app.db, broker, email=EmailTransport())
+    engine = install_workflow_support(app, dispatcher=manager)
+    manager.attach_engine(engine)
+    install_api(app)
+
+    add_experiment_type(app.db, "Prep", [Column("reading", ColumnType.REAL)])
+    add_sample_type(app.db, "Extract", [])
+    declare_experiment_io(app.db, "Prep", "Extract", "output")
+    register_agent(app.db, AgentSpec("prep-bot", "robot"))
+    authorize_agent(app.db, "prep-bot", "Prep")
+    robot = LiquidHandlingRobotAgent(
+        AgentSpec("prep-bot-client", "robot", queue="agent.prep-bot"),
+        broker,
+        produces=[{"sample_type": "Extract"}],
+    )
+    pattern = (
+        PatternBuilder("full").task("prep", experiment_type="Prep").build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    weaver = install_aspect_workflow_support(app.bean, engine)
+    return app, engine, manager, robot, access, weaver
+
+
+def as_user(app, user, path, **params):
+    request = HttpRequest("POST", path, params=params)
+    request.headers["x-user"] = user
+    return app.handle(request)
+
+
+class TestComposedStack:
+    def test_full_workflow_through_every_layer(self, stack):
+        app, engine, manager, robot, access, __ = stack
+        # Anonymous writes die at layer 1 (access control).
+        anonymous = app.post(
+            "/api", action="insert", table="Prep",
+            values=json.dumps({"reading": 0.1}),
+        )
+        assert anonymous.status == 401
+        assert access.denied_count == 1
+
+        # ada starts a workflow through the API path (mode b).
+        started = as_user(
+            app, "ada", "/api", workflow_action="start", pattern="full"
+        )
+        assert started.status == 200
+        workflow_id = started.attributes["workflow_id"]
+        authorized = as_user(
+            app,
+            "ada",
+            "/workflow",
+            workflow_action="authorize",
+            auth_id=str(engine.pending_authorizations()[0]["auth_id"]),
+            approve="true",
+            by="ada",
+        )
+        assert authorized.status == 200
+        run_until_quiescent(manager, [robot])
+        assert engine.workflow_view(workflow_id).status == "completed"
+
+        # Layer 2 (workflow filter) still guards authorized users.
+        denied = as_user(
+            app,
+            "ada",
+            "/api",
+            action="update",
+            table="Experiment",
+            criteria=json.dumps({"type_name": "Prep"}),
+            values=json.dumps({"wf_state": "aborted"}),
+        )
+        assert denied.status == 403
+
+        # Layer 3 (aspects) guards the non-web path with the same rule.
+        with pytest.raises(AdviceVeto):
+            app.bean.update(
+                "Experiment", {"type_name": "Prep"}, {"wf_state": "aborted"}
+            )
+
+    def test_every_layer_detaches_cleanly(self, stack):
+        app, engine, __, ___, ____, weaver = stack
+        weaver.unweave_all()
+        # Direct bean writes are unguarded again...
+        affected = app.bean.insert("Prep", {"reading": 0.2})
+        assert affected["experiment_id"]
+        # ...while the web layers remain in force.
+        response = app.post(
+            "/api", action="insert", table="Prep",
+            values=json.dumps({"reading": 0.3}),
+        )
+        assert response.status == 401  # still behind access control

@@ -1,0 +1,132 @@
+"""Broker semantics: queues, delivery, acks, redelivery."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import AcknowledgeError, UnknownQueueError
+from repro.messaging import MessageBroker
+
+
+@pytest.fixture
+def broker():
+    b = MessageBroker()
+    b.declare_queue("q")
+    return b
+
+
+class TestQueues:
+    def test_declare_is_idempotent(self, broker):
+        broker.declare_queue("q")
+        assert broker.queue_names() == ["q"]
+
+    def test_unknown_queue_rejected(self, broker):
+        with pytest.raises(UnknownQueueError):
+            broker.send("ghost", "x")
+        with pytest.raises(UnknownQueueError):
+            broker.receive("ghost")
+
+    def test_depth_counts_waiting_only(self, broker):
+        broker.send("q", "a")
+        broker.send("q", "b")
+        assert broker.queue_depth("q") == 2
+        broker.receive("q")
+        assert broker.queue_depth("q") == 1
+        assert broker.in_flight_count() == 1
+
+
+class TestDelivery:
+    def test_fifo_order(self, broker):
+        for body in ("one", "two", "three"):
+            broker.send("q", body)
+        received = [broker.receive("q").body for __ in range(3)]
+        assert received == ["one", "two", "three"]
+
+    def test_receive_empty_returns_none(self, broker):
+        assert broker.receive("q", timeout=0.0) is None
+
+    def test_message_ids_monotonic(self, broker):
+        first = broker.send("q", "a")
+        second = broker.send("q", "b")
+        assert second.message_id > first.message_id
+
+    def test_headers_carried(self, broker):
+        broker.send("q", "body", headers={"kind": "test", "n": 7})
+        message = broker.receive("q")
+        assert message.headers == {"kind": "test", "n": 7}
+
+    def test_blocking_receive_wakes_on_send(self, broker):
+        results = []
+
+        def consume():
+            results.append(broker.receive("q", timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        broker.send("q", "wake")
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results[0].body == "wake"
+
+    def test_timed_receive_gives_up(self, broker):
+        assert broker.receive("q", timeout=0.05) is None
+
+
+class TestAcknowledgement:
+    def test_ack_removes_permanently(self, broker):
+        broker.send("q", "a")
+        message = broker.receive("q")
+        broker.ack(message)
+        assert broker.in_flight_count() == 0
+        assert broker.receive("q") is None
+
+    def test_double_ack_rejected(self, broker):
+        broker.send("q", "a")
+        message = broker.receive("q")
+        broker.ack(message)
+        with pytest.raises(AcknowledgeError):
+            broker.ack(message)
+
+    def test_ack_unreceived_rejected(self, broker):
+        message = broker.send("q", "a")
+        with pytest.raises(AcknowledgeError):
+            broker.ack(message)
+
+    def test_requeue_puts_message_first(self, broker):
+        broker.send("q", "first")
+        broker.send("q", "second")
+        message = broker.receive("q")
+        broker.requeue(message)
+        assert broker.receive("q").body == "first"
+
+    def test_redelivered_flag_set_on_second_delivery(self, broker):
+        broker.send("q", "a")
+        message = broker.receive("q")
+        assert not message.redelivered
+        broker.requeue(message)
+        again = broker.receive("q")
+        assert again.redelivered
+        assert broker.stats.redeliveries == 1
+
+    def test_requeue_all_in_flight_preserves_order(self, broker):
+        for body in ("a", "b", "c"):
+            broker.send("q", body)
+        taken = [broker.receive("q") for __ in range(3)]
+        assert [m.body for m in taken] == ["a", "b", "c"]
+        assert broker.requeue_all_in_flight() == 3
+        assert [broker.receive("q").body for __ in range(3)] == ["a", "b", "c"]
+
+
+class TestStats:
+    def test_counters(self, broker):
+        broker.send("q", "a")
+        broker.send("q", "b")
+        message = broker.receive("q")
+        broker.ack(message)
+        assert broker.stats.sends == 2
+        assert broker.stats.deliveries == 1
+        assert broker.stats.acks == 1
+        assert broker.stats.per_queue_sends == {"q": 2}
+        assert broker.stats.persistent_sends == 0  # no journal

@@ -1,0 +1,121 @@
+"""Connections, producers and consumers (the JMS-style client API)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AcknowledgeError, ConnectionClosedError
+from repro.messaging import Connection, MessageBroker
+
+
+@pytest.fixture
+def broker():
+    return MessageBroker()
+
+
+class TestConnectionLifecycle:
+    def test_producers_declare_queues(self, broker):
+        connection = Connection(broker)
+        connection.create_producer("new-queue")
+        assert "new-queue" in broker.queue_names()
+
+    def test_closed_connection_rejects_factories(self, broker):
+        connection = Connection(broker)
+        connection.close()
+        with pytest.raises(ConnectionClosedError):
+            connection.create_producer("q")
+        with pytest.raises(ConnectionClosedError):
+            connection.create_consumer("q")
+
+    def test_send_on_closed_connection_rejected(self, broker):
+        connection = Connection(broker)
+        producer = connection.create_producer("q")
+        connection.close()
+        with pytest.raises(ConnectionClosedError):
+            producer.send("late")
+
+    def test_close_is_idempotent(self, broker):
+        connection = Connection(broker)
+        connection.close()
+        connection.close()
+
+
+class TestProduceConsume:
+    def test_roundtrip(self, broker):
+        connection = Connection(broker)
+        producer = connection.create_producer("q")
+        consumer = connection.create_consumer("q")
+        producer.send("hello", headers={"k": "v"})
+        message = consumer.receive()
+        assert message.body == "hello"
+        consumer.ack(message)
+        assert consumer.unacked_count == 0
+
+    def test_competing_consumers_split_messages(self, broker):
+        connection = Connection(broker)
+        producer = connection.create_producer("q")
+        consumer_a = connection.create_consumer("q")
+        consumer_b = connection.create_consumer("q")
+        producer.send("1")
+        producer.send("2")
+        first = consumer_a.receive()
+        second = consumer_b.receive()
+        assert {first.body, second.body} == {"1", "2"}
+
+    def test_ack_of_foreign_message_rejected(self, broker):
+        connection = Connection(broker)
+        producer = connection.create_producer("q")
+        consumer_a = connection.create_consumer("q")
+        consumer_b = connection.create_consumer("q")
+        producer.send("x")
+        message = consumer_a.receive()
+        with pytest.raises(AcknowledgeError):
+            consumer_b.ack(message)
+
+    def test_drain(self, broker):
+        connection = Connection(broker)
+        producer = connection.create_producer("q")
+        consumer = connection.create_consumer("q")
+        for index in range(5):
+            producer.send(str(index))
+        drained = consumer.drain()
+        assert [m.body for m in drained] == ["0", "1", "2", "3", "4"]
+        assert broker.in_flight_count() == 0
+
+
+class TestDisconnectedConsumers:
+    def test_messages_wait_for_late_consumer(self, broker):
+        """Delivery guaranteed even if partners are not connected."""
+        producer_conn = Connection(broker)
+        producer = producer_conn.create_producer("agent.robot")
+        producer.send("while-you-were-out")
+
+        consumer_conn = Connection(broker)
+        consumer = consumer_conn.create_consumer("agent.robot")
+        message = consumer.receive()
+        assert message.body == "while-you-were-out"
+
+    def test_closing_consumer_requeues_unacked(self, broker):
+        connection = Connection(broker)
+        producer = connection.create_producer("q")
+        consumer = connection.create_consumer("q")
+        producer.send("a")
+        producer.send("b")
+        consumer.receive()
+        consumer.receive()
+        consumer.close()
+
+        fresh = Connection(broker).create_consumer("q")
+        redelivered = [fresh.receive().body, fresh.receive().body]
+        assert redelivered == ["a", "b"]
+
+    def test_connection_close_cascades_to_consumers(self, broker):
+        connection = Connection(broker)
+        producer = Connection(broker).create_producer("q")
+        consumer = connection.create_consumer("q")
+        producer.send("x")
+        consumer.receive()
+        connection.close()
+        with pytest.raises(ConnectionClosedError):
+            consumer.receive()
+        assert broker.queue_depth("q") == 1  # requeued

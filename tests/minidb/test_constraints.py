@@ -1,0 +1,157 @@
+"""Integrity constraints: PK, NOT NULL, FK actions, inheritance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ForeignKeyError,
+    NotNullError,
+    PrimaryKeyError,
+    SchemaError,
+)
+from repro.minidb import EQ, Column, ColumnType, Database, TableSchema
+from repro.minidb.schema import fk
+
+
+@pytest.fixture
+def linked_db():
+    """Project → Item with restrict FK, Project → Note with cascade FK."""
+    db = Database()
+    db.create_table(
+        TableSchema(
+            name="Proj",
+            columns=[
+                Column("proj_id", ColumnType.INTEGER, nullable=False),
+                Column("title", ColumnType.TEXT, nullable=False),
+            ],
+            primary_key=("proj_id",),
+            autoincrement="proj_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="Item",
+            columns=[
+                Column("item_id", ColumnType.INTEGER, nullable=False),
+                Column("proj_id", ColumnType.INTEGER),
+            ],
+            primary_key=("item_id",),
+            foreign_keys=[fk("proj_id", "Proj", "proj_id")],
+            autoincrement="item_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="Note",
+            columns=[
+                Column("note_id", ColumnType.INTEGER, nullable=False),
+                Column("proj_id", ColumnType.INTEGER),
+            ],
+            primary_key=("note_id",),
+            foreign_keys=[fk("proj_id", "Proj", "proj_id", "cascade")],
+            autoincrement="note_id",
+        )
+    )
+    return db
+
+
+class TestPrimaryKey:
+    def test_duplicate_rejected(self, linked_db):
+        linked_db.insert("Proj", {"proj_id": 1, "title": "a"})
+        with pytest.raises(PrimaryKeyError):
+            linked_db.insert("Proj", {"proj_id": 1, "title": "b"})
+
+    def test_null_pk_rejected(self, people_db=None):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                name="T",
+                columns=[Column("k", ColumnType.TEXT)],
+                primary_key=("k",),
+            )
+        )
+        with pytest.raises(PrimaryKeyError):
+            db.insert("T", {"k": None})
+
+
+class TestNotNull:
+    def test_missing_required_value_rejected(self, linked_db):
+        with pytest.raises(NotNullError):
+            linked_db.insert("Proj", {"title": None})
+
+    def test_update_to_null_rejected(self, linked_db):
+        linked_db.insert("Proj", {"title": "a"})
+        with pytest.raises(NotNullError):
+            linked_db.update("Proj", EQ("proj_id", 1), {"title": None})
+
+
+class TestForeignKeys:
+    def test_insert_with_valid_reference(self, linked_db):
+        project = linked_db.insert("Proj", {"title": "p"})
+        item = linked_db.insert("Item", {"proj_id": project["proj_id"]})
+        assert item["proj_id"] == project["proj_id"]
+
+    def test_insert_with_dangling_reference_rejected(self, linked_db):
+        with pytest.raises(ForeignKeyError):
+            linked_db.insert("Item", {"proj_id": 99})
+
+    def test_null_reference_allowed(self, linked_db):
+        linked_db.insert("Item", {"proj_id": None})
+
+    def test_update_to_dangling_reference_rejected(self, linked_db):
+        linked_db.insert("Proj", {"title": "p"})
+        linked_db.insert("Item", {"proj_id": 1})
+        with pytest.raises(ForeignKeyError):
+            linked_db.update("Item", EQ("item_id", 1), {"proj_id": 42})
+
+    def test_delete_restrict_blocks(self, linked_db):
+        linked_db.insert("Proj", {"title": "p"})
+        linked_db.insert("Item", {"proj_id": 1})
+        with pytest.raises(ForeignKeyError):
+            linked_db.delete("Proj", EQ("proj_id", 1))
+        assert linked_db.count("Proj") == 1
+
+    def test_delete_cascade_removes_referents(self, linked_db):
+        linked_db.insert("Proj", {"title": "p"})
+        linked_db.insert("Note", {"proj_id": 1})
+        linked_db.insert("Note", {"proj_id": 1})
+        deleted = linked_db.delete("Proj", EQ("proj_id", 1))
+        assert deleted == 3  # project + 2 notes
+        assert linked_db.count("Note") == 0
+
+    def test_delete_unreferenced_parent_allowed(self, linked_db):
+        linked_db.insert("Proj", {"title": "p"})
+        assert linked_db.delete("Proj", EQ("proj_id", 1)) == 1
+
+    def test_fk_must_reference_primary_key(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                name="A",
+                columns=[
+                    Column("a_id", ColumnType.INTEGER, nullable=False),
+                    Column("alt", ColumnType.TEXT),
+                ],
+                primary_key=("a_id",),
+            )
+        )
+        with pytest.raises(SchemaError):
+            db.create_table(
+                TableSchema(
+                    name="B",
+                    columns=[
+                        Column("b_id", ColumnType.INTEGER, nullable=False),
+                        Column("a_alt", ColumnType.TEXT),
+                    ],
+                    primary_key=("b_id",),
+                    foreign_keys=[fk("a_alt", "A", "alt")],
+                )
+            )
+
+    def test_drop_referenced_table_rejected(self, linked_db):
+        with pytest.raises(SchemaError):
+            linked_db.drop_table("Proj")
+        linked_db.drop_table("Item")
+        linked_db.drop_table("Note")
+        linked_db.drop_table("Proj")  # now allowed

@@ -1,0 +1,273 @@
+"""Database engine CRUD behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintError, UnknownColumnError, UnknownTableError
+from repro.minidb import EQ, GE, GT, LT, Column, ColumnType, TableSchema
+from repro.minidb.predicates import AND, LIKE
+
+
+class TestInsert:
+    def test_insert_returns_stored_row(self, people_db):
+        row = people_db.insert("Person", {"name": "ada", "age": 36})
+        assert row["person_id"] == 1
+        assert row["name"] == "ada"
+        assert row["active"] is True  # default applied
+
+    def test_autoincrement_assigns_sequential_ids(self, people_db):
+        first = people_db.insert("Person", {"name": "a"})
+        second = people_db.insert("Person", {"name": "b"})
+        assert (first["person_id"], second["person_id"]) == (1, 2)
+
+    def test_explicit_id_bumps_the_counter(self, people_db):
+        people_db.insert("Person", {"person_id": 10, "name": "x"})
+        row = people_db.insert("Person", {"name": "y"})
+        assert row["person_id"] == 11
+
+    def test_unknown_column_rejected(self, people_db):
+        with pytest.raises(UnknownColumnError):
+            people_db.insert("Person", {"name": "a", "ghost": 1})
+
+    def test_unknown_table_rejected(self, people_db):
+        with pytest.raises(UnknownTableError):
+            people_db.insert("Ghost", {"x": 1})
+
+    def test_string_values_coerced(self, people_db):
+        row = people_db.insert("Person", {"name": "a", "age": "44"})
+        assert row["age"] == 44
+
+    def test_returned_row_is_a_copy(self, people_db):
+        row = people_db.insert("Person", {"name": "a"})
+        row["name"] = "mutated"
+        assert people_db.get("Person", 1)["name"] == "a"
+
+
+class TestSelect:
+    @pytest.fixture
+    def filled(self, people_db):
+        for name, age in [("ada", 36), ("alan", 41), ("grace", 85), ("none", None)]:
+            people_db.insert("Person", {"name": name, "age": age})
+        return people_db
+
+    def test_select_all(self, filled):
+        assert len(filled.select("Person")) == 4
+
+    def test_select_with_predicate(self, filled):
+        rows = filled.select("Person", GT("age", 40))
+        assert {row["name"] for row in rows} == {"alan", "grace"}
+
+    def test_select_like(self, filled):
+        rows = filled.select("Person", LIKE("name", "a%"))
+        assert {row["name"] for row in rows} == {"ada", "alan"}
+
+    def test_order_by(self, filled):
+        rows = filled.select("Person", GE("age", 0), order_by="age")
+        assert [row["name"] for row in rows] == ["ada", "alan", "grace"]
+
+    def test_order_by_descending(self, filled):
+        rows = filled.select("Person", order_by="age", descending=True)
+        assert rows[0]["name"] == "grace"
+
+    def test_order_by_puts_nulls_first_ascending(self, filled):
+        rows = filled.select("Person", order_by="age")
+        assert rows[0]["age"] is None
+
+    def test_limit(self, filled):
+        assert len(filled.select("Person", limit=2)) == 2
+
+    def test_select_one(self, filled):
+        assert filled.select_one("Person", EQ("name", "ada"))["age"] == 36
+        assert filled.select_one("Person", EQ("name", "ghost")) is None
+
+    def test_get_by_pk(self, filled):
+        assert filled.get("Person", 2)["name"] == "alan"
+        assert filled.get("Person", 99) is None
+
+    def test_get_wrong_arity_rejected(self, filled):
+        with pytest.raises(ConstraintError):
+            filled.get("Person", 1, 2)
+
+    def test_count(self, filled):
+        assert filled.count("Person") == 4
+        assert filled.count("Person", LT("age", 40)) == 1
+
+    def test_unknown_predicate_column_rejected(self, filled):
+        with pytest.raises(UnknownColumnError):
+            filled.select("Person", EQ("ghost", 1))
+
+    def test_selected_rows_are_copies(self, filled):
+        rows = filled.select("Person", EQ("name", "ada"))
+        rows[0]["name"] = "mutated"
+        assert filled.select_one("Person", EQ("name", "ada")) is not None
+
+
+class TestUpdate:
+    def test_update_changes_matching_rows(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 1})
+        people_db.insert("Person", {"name": "b", "age": 1})
+        changed = people_db.update("Person", EQ("age", 1), {"age": 2})
+        assert changed == 2
+        assert people_db.count("Person", EQ("age", 2)) == 2
+
+    def test_update_returns_zero_when_nothing_matches(self, people_db):
+        assert people_db.update("Person", EQ("age", 99), {"age": 1}) == 0
+
+    def test_noop_update_counts_zero(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 7})
+        assert people_db.update("Person", EQ("age", 7), {"age": 7}) == 0
+
+    def test_primary_key_update_rejected(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        with pytest.raises(ConstraintError, match="primary key"):
+            people_db.update("Person", EQ("name", "a"), {"person_id": 9})
+
+    def test_update_coerces_values(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.update("Person", EQ("name", "a"), {"age": "30"})
+        assert people_db.get("Person", 1)["age"] == 30
+
+    def test_update_none_predicate_touches_all(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.insert("Person", {"name": "b"})
+        assert people_db.update("Person", None, {"age": 5}) == 2
+
+
+class TestDelete:
+    def test_delete_matching(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 1})
+        people_db.insert("Person", {"name": "b", "age": 2})
+        assert people_db.delete("Person", EQ("age", 1)) == 1
+        assert people_db.count("Person") == 1
+
+    def test_delete_all(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.insert("Person", {"name": "b"})
+        assert people_db.delete("Person", None) == 2
+        assert people_db.count("Person") == 0
+
+    def test_delete_nothing(self, people_db):
+        assert people_db.delete("Person", EQ("age", 9)) == 0
+
+
+class TestIndexedAccess:
+    def test_secondary_index_serves_equality(self, people_db):
+        people_db.create_index("Person", ["name"])
+        for index in range(50):
+            people_db.insert("Person", {"name": f"p{index}", "age": index})
+        before = people_db.stats.rows_scanned
+        rows = people_db.select("Person", EQ("name", "p7"))
+        assert [row["age"] for row in rows] == [7]
+        assert people_db.stats.rows_scanned - before <= 1
+
+    def test_ordered_index_serves_ranges(self, people_db):
+        people_db.create_ordered_index("Person", "age")
+        for index in range(20):
+            people_db.insert("Person", {"name": f"p{index}", "age": index})
+        before = people_db.stats.rows_scanned
+        rows = people_db.select("Person", LT("age", 3))
+        assert {row["age"] for row in rows} == {0, 1, 2}
+        assert people_db.stats.rows_scanned - before <= 3
+
+    def test_pk_binding_uses_pk_index(self, people_db):
+        for index in range(30):
+            people_db.insert("Person", {"name": f"p{index}"})
+        before = people_db.stats.rows_scanned
+        rows = people_db.select(
+            "Person", AND(EQ("person_id", 5), EQ("name", "p4"))
+        )
+        assert len(rows) == 1
+        assert people_db.stats.rows_scanned - before <= 1
+
+    def test_index_stays_consistent_after_update_delete(self, people_db):
+        people_db.create_index("Person", ["name"])
+        people_db.insert("Person", {"name": "old"})
+        people_db.update("Person", EQ("name", "old"), {"name": "new"})
+        assert people_db.select("Person", EQ("name", "old")) == []
+        assert len(people_db.select("Person", EQ("name", "new"))) == 1
+        people_db.delete("Person", EQ("name", "new"))
+        assert people_db.select("Person", EQ("name", "new")) == []
+
+    def test_in_predicate_served_by_pk_index(self, people_db):
+        for index in range(40):
+            people_db.insert("Person", {"name": f"p{index}"})
+        from repro.minidb.predicates import IN
+
+        before = people_db.stats.rows_scanned
+        rows = people_db.select(
+            "Person", IN("person_id", [3, 7, 99]), order_by="person_id"
+        )
+        assert [row["person_id"] for row in rows] == [3, 7]
+        assert people_db.stats.rows_scanned - before <= 2
+
+    def test_in_predicate_served_by_secondary_index(self, people_db):
+        people_db.create_index("Person", ["name"])
+        for index in range(40):
+            people_db.insert("Person", {"name": f"p{index}"})
+        from repro.minidb.predicates import IN
+
+        before = people_db.stats.rows_scanned
+        rows = people_db.select("Person", IN("name", ["p1", "p2"]))
+        assert len(rows) == 2
+        assert people_db.stats.rows_scanned - before <= 2
+
+    def test_in_agrees_with_scan(self, people_db):
+        from repro.minidb.predicates import IN
+
+        for index in range(10):
+            people_db.insert("Person", {"name": f"p{index % 3}"})
+        indexed = people_db.select("Person", IN("person_id", [2, 4]))
+        by_scan = [
+            row for row in people_db.select("Person") if row["person_id"] in (2, 4)
+        ]
+        assert indexed == by_scan
+
+    def test_unique_index_rejected_on_duplicates(self, people_db):
+        people_db.insert("Person", {"name": "dup"})
+        people_db.insert("Person", {"name": "dup"})
+        with pytest.raises(ConstraintError):
+            people_db.create_index("Person", ["name"], unique=True)
+
+
+class TestDDL:
+    def test_drop_table(self, people_db):
+        people_db.drop_table("Person")
+        assert not people_db.has_table("Person")
+
+    def test_create_duplicate_rejected(self, people_db):
+        with pytest.raises(Exception):
+            people_db.create_table(
+                TableSchema(
+                    name="Person",
+                    columns=[Column("x", ColumnType.INTEGER, nullable=False)],
+                    primary_key=("x",),
+                )
+            )
+
+    def test_add_column_backfills(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.add_column(
+            "Person", Column("notes", ColumnType.TEXT, default="n/a")
+        )
+        assert people_db.get("Person", 1)["notes"] == "n/a"
+        row = people_db.insert("Person", {"name": "b", "notes": "hello"})
+        assert row["notes"] == "hello"
+
+    def test_add_not_null_column_without_default_rejected(self, people_db):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            people_db.add_column(
+                "Person", Column("req", ColumnType.TEXT, nullable=False)
+            )
+
+    def test_add_duplicate_column_rejected(self, people_db):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            people_db.add_column("Person", Column("name", ColumnType.TEXT))
+
+    def test_tables_listing(self, people_db):
+        assert people_db.tables() == ["Person"]
+        assert people_db.row_count("Person") == 0

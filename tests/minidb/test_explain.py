@@ -1,0 +1,77 @@
+"""EXPLAIN: the planner's access-path decisions, observable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minidb.predicates import AND, EQ, GT, IN, LIKE, NOT
+
+
+@pytest.fixture
+def planned(people_db):
+    people_db.create_index("Person", ["name"])
+    people_db.create_ordered_index("Person", "age")
+    for index in range(20):
+        people_db.insert("Person", {"name": f"p{index}", "age": index})
+    return people_db
+
+
+class TestExplain:
+    def test_pk_lookup(self, planned):
+        plan = planned.explain("Person", EQ("person_id", 5))
+        assert plan["access"] == "pk_lookup"
+        assert plan["columns"] == ["person_id"]
+        assert plan["candidate_rows"] == 1
+
+    def test_hash_index(self, planned):
+        plan = planned.explain("Person", EQ("name", "p3"))
+        assert plan["access"] == "hash_index"
+        assert plan["columns"] == ["name"]
+        assert plan["candidate_rows"] == 1
+
+    def test_pk_preferred_over_secondary(self, planned):
+        plan = planned.explain(
+            "Person", AND(EQ("person_id", 5), EQ("name", "p4"))
+        )
+        assert plan["access"] == "pk_lookup"
+
+    def test_in_index(self, planned):
+        plan = planned.explain("Person", IN("person_id", [1, 2, 99]))
+        assert plan["access"] == "in_index"
+        assert plan["candidate_rows"] == 2  # 99 does not exist
+
+    def test_range_scan(self, planned):
+        plan = planned.explain("Person", GT("age", 15))
+        assert plan["access"] == "range_scan"
+        assert plan["columns"] == ["age"]
+        assert plan["candidate_rows"] == 4
+
+    def test_full_scan_fallbacks(self, planned):
+        assert planned.explain("Person")["access"] == "full_scan"
+        assert (
+            planned.explain("Person", LIKE("name", "p%"))["access"]
+            == "full_scan"
+        )
+        assert (
+            planned.explain("Person", NOT(EQ("name", "x")))["access"]
+            == "full_scan"
+        )
+        plan = planned.explain("Person", GT("person_id", 3))
+        # No ordered index on person_id -> scan.
+        assert plan["access"] == "full_scan"
+        assert plan["candidate_rows"] == 20
+
+    def test_unknown_column_rejected(self, planned):
+        from repro.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            planned.explain("Person", EQ("ghost", 1))
+
+    def test_explain_agrees_with_execution(self, planned):
+        """The candidate count bounds what the executed query scans."""
+        predicate = EQ("name", "p7")
+        plan = planned.explain("Person", predicate)
+        before = planned.stats.rows_scanned
+        planned.select("Person", predicate)
+        scanned = planned.stats.rows_scanned - before
+        assert scanned == plan["candidate_rows"]

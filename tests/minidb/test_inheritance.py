@@ -1,0 +1,146 @@
+"""Exp-DB-style table inheritance (experiment-type child tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ForeignKeyError, SchemaError
+from repro.minidb import EQ, Column, ColumnType, Database, TableSchema
+
+
+@pytest.fixture
+def family_db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            name="Experiment",
+            columns=[
+                Column("experiment_id", ColumnType.INTEGER, nullable=False),
+                Column("kind", ColumnType.TEXT),
+            ],
+            primary_key=("experiment_id",),
+            autoincrement="experiment_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="PCR",
+            columns=[
+                Column("experiment_id", ColumnType.INTEGER, nullable=False),
+                Column("cycles", ColumnType.INTEGER),
+            ],
+            primary_key=("experiment_id",),
+            parent="Experiment",
+        )
+    )
+    return db
+
+
+class TestInheritance:
+    def test_child_requires_parent_row(self, family_db):
+        with pytest.raises(ForeignKeyError):
+            family_db.insert("PCR", {"experiment_id": 1, "cycles": 30})
+
+    def test_child_insert_after_parent(self, family_db):
+        parent = family_db.insert("Experiment", {"kind": "pcr"})
+        family_db.insert(
+            "PCR", {"experiment_id": parent["experiment_id"], "cycles": 30}
+        )
+        assert family_db.count("PCR") == 1
+
+    def test_select_with_parent_merges(self, family_db):
+        parent = family_db.insert("Experiment", {"kind": "pcr"})
+        family_db.insert(
+            "PCR", {"experiment_id": parent["experiment_id"], "cycles": 30}
+        )
+        merged = family_db.select_with_parent("PCR")
+        assert merged == [{"experiment_id": 1, "kind": "pcr", "cycles": 30}]
+
+    def test_select_with_parent_filters_on_child(self, family_db):
+        for cycles in (10, 20):
+            parent = family_db.insert("Experiment", {"kind": "pcr"})
+            family_db.insert(
+                "PCR",
+                {"experiment_id": parent["experiment_id"], "cycles": cycles},
+            )
+        merged = family_db.select_with_parent("PCR", EQ("cycles", 20))
+        assert [row["cycles"] for row in merged] == [20]
+
+    def test_child_column_wins_name_clash(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                name="P",
+                columns=[
+                    Column("id", ColumnType.INTEGER, nullable=False),
+                    Column("label", ColumnType.TEXT, default="parent"),
+                ],
+                primary_key=("id",),
+            )
+        )
+        db.create_table(
+            TableSchema(
+                name="C",
+                columns=[
+                    Column("id", ColumnType.INTEGER, nullable=False),
+                    Column("label", ColumnType.TEXT, default="child"),
+                ],
+                primary_key=("id",),
+                parent="P",
+            )
+        )
+        db.insert("P", {"id": 1})
+        db.insert("C", {"id": 1})
+        assert db.select_with_parent("C")[0]["label"] == "child"
+
+    def test_parent_delete_cascades_to_child(self, family_db):
+        parent = family_db.insert("Experiment", {"kind": "pcr"})
+        family_db.insert("PCR", {"experiment_id": parent["experiment_id"]})
+        family_db.delete("Experiment", EQ("experiment_id", 1))
+        assert family_db.count("PCR") == 0
+        assert family_db.count("Experiment") == 0
+
+    def test_parent_without_child_is_fine(self, family_db):
+        family_db.insert("Experiment", {"kind": "free"})
+        assert family_db.select_with_parent("PCR") == []
+
+    def test_child_pk_must_match_parent_pk(self, family_db):
+        with pytest.raises(SchemaError):
+            family_db.create_table(
+                TableSchema(
+                    name="Bad",
+                    columns=[
+                        Column("other_id", ColumnType.INTEGER, nullable=False)
+                    ],
+                    primary_key=("other_id",),
+                    parent="Experiment",
+                )
+            )
+
+    def test_drop_parent_with_children_rejected(self, family_db):
+        with pytest.raises(SchemaError):
+            family_db.drop_table("Experiment")
+
+    def test_multi_level_chain(self):
+        db = Database()
+        for name, parent in [("A", None), ("B", "A"), ("C", "B")]:
+            db.create_table(
+                TableSchema(
+                    name=name,
+                    columns=[
+                        Column("id", ColumnType.INTEGER, nullable=False),
+                        Column(f"{name.lower()}_val", ColumnType.TEXT),
+                    ],
+                    primary_key=("id",),
+                    parent=parent,
+                )
+            )
+        db.insert("A", {"id": 1, "a_val": "a"})
+        db.insert("B", {"id": 1, "b_val": "b"})
+        db.insert("C", {"id": 1, "c_val": "c"})
+        merged = db.select_with_parent("C")[0]
+        assert merged == {"id": 1, "a_val": "a", "b_val": "b", "c_val": "c"}
+        # Deleting the root cascades through the whole chain.
+        db.delete("A", EQ("id", 1))
+        assert db.count("B") == 0
+        assert db.count("C") == 0

@@ -1,0 +1,51 @@
+"""Property test: LIKE agrees with a regex reference implementation."""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb.predicates import LIKE
+
+text_alphabet = st.text(alphabet="ab%c_ xyz", max_size=12)
+
+
+def reference_like(text: str, pattern: str) -> bool:
+    """Translate the %-pattern to an anchored regex (the oracle)."""
+    parts = pattern.split("%")
+    regex = ".*".join(re.escape(part) for part in parts)
+    return re.fullmatch(regex, text, flags=re.DOTALL) is not None
+
+
+@given(text=text_alphabet, pattern=text_alphabet)
+@settings(max_examples=300, deadline=None)
+def test_like_matches_regex_reference(text, pattern):
+    ours = LIKE("column", pattern).matches({"column": text})
+    oracle = reference_like(text, pattern)
+    assert ours == oracle, (text, pattern)
+
+
+@given(text=text_alphabet)
+@settings(max_examples=100, deadline=None)
+def test_percent_matches_everything(text):
+    assert LIKE("column", "%").matches({"column": text})
+
+
+@given(text=text_alphabet)
+@settings(max_examples=100, deadline=None)
+def test_exact_pattern_matches_only_itself(text):
+    if "%" in text:
+        return
+    assert LIKE("column", text).matches({"column": text})
+    assert not LIKE("column", text + "x").matches({"column": text})
+
+
+@given(prefix=text_alphabet, suffix=text_alphabet)
+@settings(max_examples=100, deadline=None)
+def test_prefix_suffix_pattern(prefix, suffix):
+    if "%" in prefix or "%" in suffix:
+        return
+    text = prefix + "MIDDLE" + suffix
+    assert LIKE("column", prefix + "%" + suffix).matches({"column": text})

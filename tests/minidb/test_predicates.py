@@ -1,0 +1,155 @@
+"""Query predicate semantics, including SQL-style NULL handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minidb.predicates import (
+    AND,
+    EQ,
+    GE,
+    GT,
+    IN,
+    IS_NULL,
+    LE,
+    LIKE,
+    LT,
+    NE,
+    NOT,
+    OR,
+    by_key,
+)
+
+ROW = {"a": 5, "b": "hello", "c": None, "d": 2.5, "e": True}
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert EQ("a", 5).matches(ROW)
+        assert not EQ("a", 6).matches(ROW)
+
+    def test_eq_null_never_matches(self):
+        assert not EQ("c", None).matches(ROW)
+        assert not EQ("c", 5).matches(ROW)
+
+    def test_ne(self):
+        assert NE("a", 6).matches(ROW)
+        assert not NE("a", 5).matches(ROW)
+
+    def test_ne_null_never_matches(self):
+        assert not NE("c", 5).matches(ROW)
+
+    def test_ordering(self):
+        assert LT("a", 6).matches(ROW)
+        assert LE("a", 5).matches(ROW)
+        assert GT("a", 4).matches(ROW)
+        assert GE("a", 5).matches(ROW)
+        assert not LT("a", 5).matches(ROW)
+
+    def test_ordering_against_null_is_false(self):
+        assert not LT("c", 10).matches(ROW)
+        assert not GE("c", 0).matches(ROW)
+
+    def test_cross_type_ordering_is_false(self):
+        assert not LT("b", 10).matches(ROW)  # text vs int
+
+    def test_numeric_mixed_int_float_compares(self):
+        assert GT("d", 2).matches(ROW)
+
+    def test_boolean_vs_number_never_orders(self):
+        assert not GT("e", 0).matches(ROW)
+
+    def test_missing_column_behaves_as_null(self):
+        assert not EQ("ghost", 1).matches(ROW)
+        assert IS_NULL("ghost").matches(ROW)
+
+
+class TestSetAndPattern:
+    def test_in(self):
+        assert IN("a", [1, 5, 9]).matches(ROW)
+        assert not IN("a", [1, 2]).matches(ROW)
+        assert not IN("c", [None]).matches(ROW)
+
+    def test_like_exact(self):
+        assert LIKE("b", "hello").matches(ROW)
+        assert not LIKE("b", "hell").matches(ROW)
+
+    def test_like_wildcards(self):
+        assert LIKE("b", "he%").matches(ROW)
+        assert LIKE("b", "%llo").matches(ROW)
+        assert LIKE("b", "h%o").matches(ROW)
+        assert LIKE("b", "%ell%").matches(ROW)
+        assert LIKE("b", "%").matches(ROW)
+        assert not LIKE("b", "x%").matches(ROW)
+
+    def test_like_multiple_wildcards(self):
+        row = {"s": "abcabc"}
+        assert LIKE("s", "a%c%c").matches(row)
+        assert not LIKE("s", "a%d%c").matches(row)
+
+    def test_like_non_string_is_false(self):
+        assert not LIKE("a", "%").matches(ROW)
+        assert not LIKE("c", "%").matches(ROW)
+
+    def test_is_null(self):
+        assert IS_NULL("c").matches(ROW)
+        assert not IS_NULL("a").matches(ROW)
+
+
+class TestCombinators:
+    def test_and(self):
+        assert AND(EQ("a", 5), GT("d", 2)).matches(ROW)
+        assert not AND(EQ("a", 5), GT("d", 3)).matches(ROW)
+
+    def test_or(self):
+        assert OR(EQ("a", 99), EQ("b", "hello")).matches(ROW)
+        assert not OR(EQ("a", 99), EQ("b", "bye")).matches(ROW)
+
+    def test_not(self):
+        assert NOT(EQ("a", 99)).matches(ROW)
+        assert not NOT(EQ("a", 5)).matches(ROW)
+
+    def test_operator_sugar(self):
+        assert (EQ("a", 5) & GT("d", 2)).matches(ROW)
+        assert (EQ("a", 0) | EQ("a", 5)).matches(ROW)
+        assert (~EQ("a", 0)).matches(ROW)
+
+    def test_and_or_need_two_operands(self):
+        with pytest.raises(ValueError):
+            AND(EQ("a", 1))
+        with pytest.raises(ValueError):
+            OR(EQ("a", 1))
+
+    def test_columns_collection(self):
+        predicate = AND(EQ("a", 1), OR(NOT(EQ("b", "x")), IS_NULL("c")))
+        assert predicate.columns() == {"a", "b", "c"}
+
+
+class TestEqualityBindings:
+    def test_simple_eq_binding(self):
+        assert EQ("a", 5).equality_bindings() == {"a": 5}
+
+    def test_and_merges_bindings(self):
+        predicate = AND(EQ("a", 5), EQ("b", "hello"), GT("d", 1))
+        assert predicate.equality_bindings() == {"a": 5, "b": "hello"}
+
+    def test_or_exposes_no_bindings(self):
+        assert OR(EQ("a", 5), EQ("a", 6)).equality_bindings() == {}
+
+    def test_non_eq_exposes_no_bindings(self):
+        assert GT("a", 1).equality_bindings() == {}
+        assert NOT(EQ("a", 1)).equality_bindings() == {}
+
+    def test_by_key_single(self):
+        predicate = by_key(["a"], [5])
+        assert predicate.matches(ROW)
+        assert predicate.equality_bindings() == {"a": 5}
+
+    def test_by_key_composite(self):
+        predicate = by_key(["a", "b"], [5, "hello"])
+        assert predicate.matches(ROW)
+        assert predicate.equality_bindings() == {"a": 5, "b": "hello"}
+
+    def test_by_key_empty_rejected(self):
+        with pytest.raises(ValueError):
+            by_key([], [])

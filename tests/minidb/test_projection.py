@@ -1,0 +1,49 @@
+"""SELECT projection (``columns=``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownColumnError
+from repro.minidb import EQ
+
+
+@pytest.fixture
+def filled(people_db):
+    for name, age in [("ada", 36), ("alan", 41)]:
+        people_db.insert("Person", {"name": name, "age": age})
+    return people_db
+
+
+class TestProjection:
+    def test_projects_to_named_columns(self, filled):
+        rows = filled.select("Person", columns=["name"])
+        assert rows == [{"name": "ada"}, {"name": "alan"}]
+
+    def test_projection_with_predicate_and_order(self, filled):
+        rows = filled.select(
+            "Person",
+            EQ("age", 41),
+            order_by="age",
+            columns=["name", "age"],
+        )
+        assert rows == [{"name": "alan", "age": 41}]
+
+    def test_order_by_column_outside_projection(self, filled):
+        rows = filled.select(
+            "Person", order_by="age", descending=True, columns=["name"]
+        )
+        assert [row["name"] for row in rows] == ["alan", "ada"]
+
+    def test_unknown_projection_column_rejected(self, filled):
+        with pytest.raises(UnknownColumnError):
+            filled.select("Person", columns=["ghost"])
+
+    def test_empty_projection_yields_empty_dicts(self, filled):
+        rows = filled.select("Person", columns=[])
+        assert rows == [{}, {}]
+
+    def test_projection_rows_are_copies(self, filled):
+        rows = filled.select("Person", columns=["name"])
+        rows[0]["name"] = "mutated"
+        assert filled.get("Person", 1)["name"] == "ada"

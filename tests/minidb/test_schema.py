@@ -1,0 +1,147 @@
+"""Table schema definitions and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.minidb.schema import Column, ForeignKey, TableSchema, fk
+from repro.minidb.types import ColumnType
+
+
+def make_schema(**overrides):
+    base = dict(
+        name="T",
+        columns=[
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("value", ColumnType.TEXT),
+        ],
+        primary_key=("id",),
+    )
+    base.update(overrides)
+    return TableSchema(**base)
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.TEXT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.TEXT)
+
+    def test_callable_default_resolves(self):
+        column = Column("c", ColumnType.INTEGER, default=lambda: 9)
+        assert column.resolve_default() == 9
+
+    def test_plain_default_resolves(self):
+        assert Column("c", ColumnType.INTEGER, default=4).resolve_default() == 4
+
+
+class TestTableSchema:
+    def test_valid_schema_builds(self):
+        schema = make_schema()
+        assert schema.column_names() == ["id", "value"]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            make_schema(
+                columns=[
+                    Column("id", ColumnType.INTEGER),
+                    Column("id", ColumnType.TEXT),
+                ]
+            )
+
+    def test_missing_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(primary_key=())
+
+    def test_unknown_pk_column_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema(primary_key=("nope",))
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(columns=[])
+
+    def test_autoincrement_must_be_integer(self):
+        with pytest.raises(SchemaError):
+            make_schema(
+                columns=[
+                    Column("id", ColumnType.TEXT, nullable=False),
+                ],
+                autoincrement="id",
+            )
+
+    def test_autoincrement_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema(autoincrement="ghost")
+
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.column("value").type is ColumnType.TEXT
+        with pytest.raises(UnknownColumnError):
+            schema.column("ghost")
+        assert schema.has_column("id")
+        assert not schema.has_column("ghost")
+
+    def test_pk_tuple_extraction(self):
+        schema = make_schema()
+        assert schema.pk_tuple({"id": 3, "value": "x"}) == (3,)
+
+    def test_validate_column_names(self):
+        schema = make_schema()
+        schema.validate_column_names(["id", "value"])
+        with pytest.raises(UnknownColumnError):
+            schema.validate_column_names(["ghost"])
+
+
+class TestForeignKey:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a", "b"), "T", ("x",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey((), "T", ())
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a",), "T", ("x",), on_delete="nullify")
+
+    def test_fk_helper_accepts_strings(self):
+        foreign = fk("a", "T", "x", "cascade")
+        assert foreign.columns == ("a",)
+        assert foreign.ref_columns == ("x",)
+        assert foreign.on_delete == "cascade"
+
+    def test_fk_columns_must_exist_on_table(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema(foreign_keys=[fk("ghost", "Other", "id")])
+
+
+class TestDescribeRoundtrip:
+    def test_describe_and_rebuild(self):
+        schema = make_schema(
+            foreign_keys=[fk("value", "Other", "key")],
+            autoincrement="id",
+            parent=None,
+        )
+        rebuilt = TableSchema.from_description(schema.describe())
+        assert rebuilt.name == schema.name
+        assert rebuilt.column_names() == schema.column_names()
+        assert rebuilt.primary_key == schema.primary_key
+        assert rebuilt.autoincrement == schema.autoincrement
+        assert rebuilt.foreign_keys == schema.foreign_keys
+
+    def test_callable_defaults_dropped_in_description(self):
+        schema = make_schema(
+            columns=[
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("stamp", ColumnType.INTEGER, default=lambda: 1),
+            ]
+        )
+        described = schema.describe()
+        stamp = next(c for c in described["columns"] if c["name"] == "stamp")
+        assert stamp["default"] is None

@@ -1,0 +1,78 @@
+"""Read/write accounting — the unit of the paper's evaluation."""
+
+from __future__ import annotations
+
+from repro.minidb import EQ, Column, ColumnType, Database, TableSchema
+from repro.minidb.schema import fk
+
+
+class TestStatsCounting:
+    def test_select_counts_one_read(self, people_db):
+        before = people_db.stats.reads
+        people_db.select("Person")
+        assert people_db.stats.reads == before + 1
+
+    def test_insert_counts_one_write(self, people_db):
+        before = people_db.stats.writes
+        people_db.insert("Person", {"name": "a"})
+        assert people_db.stats.writes == before + 1
+
+    def test_update_counts_read_plus_write_per_row(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.insert("Person", {"name": "b"})
+        snapshot = people_db.stats.snapshot()
+        people_db.update("Person", None, {"age": 1})
+        delta = people_db.stats.snapshot().delta(snapshot)
+        assert delta.reads == 1  # locating the rows
+        assert delta.writes == 2  # one per modified row
+
+    def test_fk_check_counts_as_read_on_referenced_table(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                name="P",
+                columns=[Column("id", ColumnType.INTEGER, nullable=False)],
+                primary_key=("id",),
+            )
+        )
+        db.create_table(
+            TableSchema(
+                name="C",
+                columns=[
+                    Column("id", ColumnType.INTEGER, nullable=False),
+                    Column("p_id", ColumnType.INTEGER),
+                ],
+                primary_key=("id",),
+                foreign_keys=[fk("p_id", "P", "id")],
+            )
+        )
+        db.insert("P", {"id": 1})
+        snapshot = db.stats.snapshot()
+        db.insert("C", {"id": 1, "p_id": 1})
+        delta = db.stats.snapshot().delta(snapshot)
+        assert delta.per_table_reads.get("P", 0) == 1
+        assert delta.per_table_writes.get("C", 0) == 1
+
+    def test_merged_read_counts_both_tables(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 30})
+        snapshot = lab_app.db.stats.snapshot()
+        lab_app.db.select_with_parent("Pcr")
+        delta = lab_app.db.stats.snapshot().delta(snapshot)
+        # The paper's PCR example: reads on both PCR and Experiment.
+        assert delta.per_table_reads.get("Pcr", 0) == 1
+        assert delta.per_table_reads.get("Experiment", 0) == 1
+
+    def test_snapshot_delta_only_reports_changes(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        snapshot = people_db.stats.snapshot()
+        people_db.select("Person")
+        delta = people_db.stats.snapshot().delta(snapshot)
+        assert delta.per_table_writes == {}
+        assert delta.per_table_reads == {"Person": 1}
+
+    def test_reset_zeroes_everything(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.stats.reset()
+        assert people_db.stats.reads == 0
+        assert people_db.stats.writes == 0
+        assert people_db.stats.per_table_reads == {}

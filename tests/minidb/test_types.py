@@ -1,0 +1,135 @@
+"""Column type coercion and wire encoding."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.minidb.types import ColumnType, coerce, from_wire, python_type, to_wire
+
+
+class TestIntegerCoercion:
+    def test_int_passes_through(self):
+        assert coerce(42, ColumnType.INTEGER) == 42
+
+    def test_integral_float_converts(self):
+        assert coerce(42.0, ColumnType.INTEGER) == 42
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(42.5, ColumnType.INTEGER)
+
+    def test_numeric_string_converts(self):
+        assert coerce("17", ColumnType.INTEGER) == 17
+
+    def test_non_numeric_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("seventeen", ColumnType.INTEGER)
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, ColumnType.INTEGER)
+
+    def test_negative(self):
+        assert coerce("-3", ColumnType.INTEGER) == -3
+
+
+class TestRealCoercion:
+    def test_float_passes_through(self):
+        assert coerce(0.5, ColumnType.REAL) == 0.5
+
+    def test_int_converts(self):
+        value = coerce(3, ColumnType.REAL)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_string_converts(self):
+        assert coerce("0.25", ColumnType.REAL) == 0.25
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(False, ColumnType.REAL)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("half", ColumnType.REAL)
+
+
+class TestTextCoercion:
+    def test_string_passes_through(self):
+        assert coerce("hello", ColumnType.TEXT) == "hello"
+
+    def test_number_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(42, ColumnType.TEXT)
+
+    def test_empty_string_allowed(self):
+        assert coerce("", ColumnType.TEXT) == ""
+
+
+class TestBooleanCoercion:
+    def test_bool_passes_through(self):
+        assert coerce(True, ColumnType.BOOLEAN) is True
+
+    def test_zero_one_convert(self):
+        assert coerce(1, ColumnType.BOOLEAN) is True
+        assert coerce(0, ColumnType.BOOLEAN) is False
+
+    def test_other_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(2, ColumnType.BOOLEAN)
+
+    def test_string_literals(self):
+        assert coerce("true", ColumnType.BOOLEAN) is True
+        assert coerce("False", ColumnType.BOOLEAN) is False
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("yes", ColumnType.BOOLEAN)
+
+
+class TestTimestampCoercion:
+    def test_datetime_passes_through(self):
+        now = datetime.datetime(2026, 7, 4, 12, 30, 15, 123456)
+        assert coerce(now, ColumnType.TIMESTAMP) is now
+
+    def test_iso_string_parses(self):
+        parsed = coerce("2026-07-04T12:30:15", ColumnType.TIMESTAMP)
+        assert parsed == datetime.datetime(2026, 7, 4, 12, 30, 15)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("yesterday", ColumnType.TIMESTAMP)
+
+
+class TestNullAndWire:
+    def test_none_passes_through_every_type(self):
+        for column_type in ColumnType:
+            assert coerce(None, column_type) is None
+
+    def test_wire_roundtrip_timestamp(self):
+        stamp = datetime.datetime(2026, 7, 4, 1, 2, 3, 400000)
+        wire = to_wire(stamp, ColumnType.TIMESTAMP)
+        assert isinstance(wire, str)
+        assert from_wire(wire, ColumnType.TIMESTAMP) == stamp
+
+    def test_wire_roundtrip_scalars(self):
+        cases = [
+            (7, ColumnType.INTEGER),
+            (0.125, ColumnType.REAL),
+            ("text", ColumnType.TEXT),
+            (True, ColumnType.BOOLEAN),
+            (None, ColumnType.INTEGER),
+        ]
+        for value, column_type in cases:
+            assert from_wire(to_wire(value, column_type), column_type) == value
+
+    def test_python_type_mapping(self):
+        assert python_type(ColumnType.INTEGER) is int
+        assert python_type(ColumnType.TIMESTAMP) is datetime.datetime
+
+    def test_error_message_includes_context(self):
+        with pytest.raises(TypeMismatchError, match="Person.age"):
+            coerce("x", ColumnType.INTEGER, context="Person.age")

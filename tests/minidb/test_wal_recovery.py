@@ -1,0 +1,145 @@
+"""Write-ahead log durability and crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.minidb import EQ, Column, ColumnType, Database, TableSchema
+
+
+def person_schema() -> TableSchema:
+    return TableSchema(
+        name="Person",
+        columns=[
+            Column("person_id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("age", ColumnType.INTEGER),
+        ],
+        primary_key=("person_id",),
+        autoincrement="person_id",
+    )
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "test.wal"
+
+
+class TestRecovery:
+    def test_committed_rows_survive_reopen(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "ada", "age": 36})
+        db.close()
+
+        reopened = Database(wal_path)
+        assert reopened.select("Person") == [
+            {"person_id": 1, "name": "ada", "age": 36}
+        ]
+
+    def test_updates_and_deletes_replay(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "a"})
+        db.insert("Person", {"name": "b"})
+        db.update("Person", EQ("name", "a"), {"age": 50})
+        db.delete("Person", EQ("name", "b"))
+        db.close()
+
+        reopened = Database(wal_path)
+        assert reopened.select("Person") == [
+            {"person_id": 1, "name": "a", "age": 50}
+        ]
+
+    def test_rolled_back_transaction_not_replayed(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "keep"})
+        db.begin()
+        db.insert("Person", {"name": "discard"})
+        db.rollback()
+        db.close()
+
+        reopened = Database(wal_path)
+        assert [row["name"] for row in reopened.select("Person")] == ["keep"]
+
+    def test_autoincrement_continues_after_recovery(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "a"})
+        db.close()
+
+        reopened = Database(wal_path)
+        row = reopened.insert("Person", {"name": "b"})
+        assert row["person_id"] == 2
+
+    def test_indexes_rebuilt_on_recovery(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.create_index("Person", ["name"])
+        db.insert("Person", {"name": "indexed"})
+        db.close()
+
+        reopened = Database(wal_path)
+        before = reopened.stats.rows_scanned
+        rows = reopened.select("Person", EQ("name", "indexed"))
+        assert len(rows) == 1
+        assert reopened.stats.rows_scanned - before <= 1
+
+    def test_ddl_replay_includes_add_column(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "pre"})
+        db.add_column("Person", Column("notes", ColumnType.TEXT, default="x"))
+        db.insert("Person", {"name": "post", "notes": "real"})
+        db.close()
+
+        reopened = Database(wal_path)
+        rows = {row["name"]: row for row in reopened.select("Person")}
+        assert rows["pre"]["notes"] == "x"
+        assert rows["post"]["notes"] == "real"
+
+    def test_drop_table_replays(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.drop_table("Person")
+        db.close()
+        reopened = Database(wal_path)
+        assert not reopened.has_table("Person")
+
+    def test_torn_final_record_discarded(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "whole"})
+        db.close()
+        with open(wal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "txn", "ops": [{"op": "ins')  # torn write
+
+        reopened = Database(wal_path)
+        assert [row["name"] for row in reopened.select("Person")] == ["whole"]
+
+    def test_corruption_in_the_middle_raises(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "a"})
+        db.close()
+        lines = wal_path.read_text().splitlines()
+        lines.insert(1, "garbage{{{")
+        wal_path.write_text("\n".join(lines) + "\n")
+
+        with pytest.raises(RecoveryError):
+            Database(wal_path)
+
+    def test_stats_reset_after_recovery(self, wal_path):
+        db = Database(wal_path)
+        db.create_table(person_schema())
+        db.insert("Person", {"name": "a"})
+        db.close()
+        reopened = Database(wal_path)
+        assert reopened.stats.reads == 0
+        assert reopened.stats.writes == 0
+
+    def test_fresh_database_without_wal_has_nothing(self, tmp_path):
+        db = Database(tmp_path / "new.wal")
+        assert db.tables() == []

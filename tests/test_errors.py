@@ -1,0 +1,52 @@
+"""The exception hierarchy: catchability contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        exception_types = [
+            obj
+            for obj in vars(errors).values()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        for exception_type in exception_types:
+            assert issubclass(exception_type, errors.ReproError), exception_type
+
+    def test_subsystem_roots(self):
+        assert issubclass(errors.PrimaryKeyError, errors.ConstraintError)
+        assert issubclass(errors.ConstraintError, errors.DatabaseError)
+        assert issubclass(errors.RoutingError, errors.WebError)
+        assert issubclass(errors.UnknownQueueError, errors.MessagingError)
+        assert issubclass(errors.ConditionError, errors.WorkflowError)
+        assert issubclass(errors.IllegalTransitionError, errors.WorkflowError)
+        assert issubclass(errors.AgentFormatError, errors.AgentError)
+        assert issubclass(errors.XmlTranslationError, errors.XmlBridgeError)
+
+    def test_structured_errors_carry_context(self):
+        table_error = errors.UnknownTableError("Pcr")
+        assert table_error.table_name == "Pcr"
+        column_error = errors.UnknownColumnError("Pcr", "cycles")
+        assert (column_error.table_name, column_error.column_name) == (
+            "Pcr",
+            "cycles",
+        )
+        queue_error = errors.UnknownQueueError("agent.x")
+        assert queue_error.queue_name == "agent.x"
+        agent_error = errors.UnknownAgentError("bot")
+        assert agent_error.agent_name == "bot"
+        transition_error = errors.IllegalTransitionError(
+            "task-model", "completed", "activate"
+        )
+        assert transition_error.current == "completed"
+        assert transition_error.event == "activate"
+
+    def test_one_except_clause_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.JournalError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.EligibilityError("x")

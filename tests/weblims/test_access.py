@@ -1,0 +1,166 @@
+"""Role-based access control and filter-chain composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.weblims.access import (
+    AccessControlFilter,
+    AccessPolicy,
+    install_access_control,
+)
+from repro.weblims.http import HttpRequest
+
+
+@pytest.fixture
+def policy():
+    p = AccessPolicy()
+    p.assign("ada", "scientist")
+    p.assign("bob", "technician")
+    p.assign("pi", "scientist", "admin")
+    p.grant("scientist", "Pcr", "insert", "update")
+    p.grant("scientist", "Sample", "insert")
+    p.grant("admin", "*", "*")
+    p.grant("technician", "*", "workflow")
+    return p
+
+
+class TestPolicy:
+    def test_reads_allowed_anonymously_by_default(self, policy):
+        assert policy.permits(None, "Pcr", "read")
+        assert policy.permits(None, None, "list")
+
+    def test_anonymous_writes_denied(self, policy):
+        assert not policy.permits(None, "Pcr", "insert")
+
+    def test_role_grant_scoped_to_table(self, policy):
+        assert policy.permits("ada", "Pcr", "insert")
+        assert not policy.permits("ada", "Project", "insert")
+
+    def test_action_scoping(self, policy):
+        assert policy.permits("ada", "Pcr", "update")
+        assert not policy.permits("ada", "Pcr", "delete")
+
+    def test_wildcard_role(self, policy):
+        assert policy.permits("pi", "Anything", "delete")
+        assert policy.permits("pi", None, "workflow")
+
+    def test_unknown_user_has_no_roles(self, policy):
+        assert not policy.permits("mallory", "Pcr", "insert")
+
+    def test_reads_can_be_locked_down(self):
+        strict = AccessPolicy(allow_anonymous_reads=False)
+        strict.assign("ada", "scientist")
+        strict.grant("scientist", "*", "read")
+        assert not strict.permits(None, "Pcr", "read")
+        assert strict.permits("ada", "Pcr", "read")
+
+
+class TestFilterBehaviour:
+    @pytest.fixture
+    def guarded(self, lab_app, policy):
+        install_access_control(lab_app, policy)
+        return lab_app
+
+    def request(self, app, user=None, **params):
+        request = HttpRequest("POST", "/user", params=params)
+        if user is not None:
+            request.headers["x-user"] = user
+        return app.handle(request)
+
+    def test_anonymous_read_passes(self, guarded):
+        response = guarded.get("/user", action="read", table="Pcr")
+        assert response.status == 200
+
+    def test_anonymous_write_gets_401(self, guarded):
+        response = self.request(
+            guarded, action="insert", table="Pcr", v_cycles="1"
+        )
+        assert response.status == 401
+
+    def test_unauthorized_user_gets_403(self, guarded):
+        response = self.request(
+            guarded, user="bob", action="insert", table="Pcr", v_cycles="1"
+        )
+        assert response.status == 403
+
+    def test_authorized_user_passes(self, guarded):
+        response = self.request(
+            guarded, user="ada", action="insert", table="Pcr", v_cycles="1"
+        )
+        assert response.status == 200
+        assert guarded.db.count("Pcr") == 1
+
+    def test_denied_count(self, guarded, policy):
+        self.request(guarded, action="insert", table="Pcr")
+        self.request(guarded, user="bob", action="insert", table="Pcr")
+        filter_ = next(
+            f
+            for f in (
+                guarded.container.descriptor.filters_for("/user")
+            )
+            if isinstance(f, AccessControlFilter)
+        )
+        assert filter_.denied_count == 2
+
+
+class TestComposedWithWorkflowFilter:
+    @pytest.fixture
+    def full_stack(self, policy):
+        from repro.core import PatternBuilder, install_workflow_support
+        from repro.core.persistence import save_pattern
+        from repro.minidb.schema import Column
+        from repro.minidb.types import ColumnType
+        from repro.weblims import build_expdb
+        from repro.weblims.schema_setup import add_experiment_type
+
+        app = build_expdb()
+        access = install_access_control(app, policy)  # declared FIRST
+        engine = install_workflow_support(app)
+        add_experiment_type(app.db, "Pcr", [Column("cycles", ColumnType.INTEGER)])
+        pattern = (
+            PatternBuilder("flow").task("a", experiment_type="Pcr").build(db=app.db)
+        )
+        save_pattern(app.db, pattern)
+        return app, engine, access
+
+    def request(self, app, user=None, **params):
+        request = HttpRequest("POST", "/user", params=params)
+        if user is not None:
+            request.headers["x-user"] = user
+        return app.handle(request)
+
+    def test_access_runs_before_workflow_filter(self, full_stack):
+        """An anonymous workflow action dies at access control — the
+        WorkflowFilter never sees it."""
+        app, __, access = full_stack
+        workflow_filter = app.container.context["workflow_filter"]
+        before = workflow_filter.stats.processed
+        response = self.request(app, workflow_action="start", pattern="flow")
+        assert response.status == 401
+        assert workflow_filter.stats.processed == before
+        assert access.denied_count == 1
+
+    def test_technician_may_run_workflow_actions(self, full_stack):
+        app, engine, __ = full_stack
+        response = self.request(
+            app, user="bob", workflow_action="start", pattern="flow"
+        )
+        assert response.status == 200
+        assert engine.list_workflows()
+
+    def test_both_filters_can_deny_in_sequence(self, full_stack):
+        """pi passes access control, then the WorkflowFilter denies the
+        engine-owned column write — two independent gates."""
+        app, engine, __ = full_stack
+        self.request(app, user="bob", workflow_action="start", pattern="flow")
+        response = self.request(
+            app,
+            user="pi",
+            action="update",
+            table="Experiment",
+            c_type_name="Pcr",
+            v_wf_state="completed",
+        )
+        assert response.status == 403
+        assert "workflow" in response.body

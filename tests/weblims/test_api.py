@@ -1,0 +1,197 @@
+"""The JSON web-service interface and its workflow interception."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.weblims.api import install_api
+
+
+@pytest.fixture
+def api_app(lab_app):
+    install_api(lab_app)
+    return lab_app
+
+
+def call(app, **params):
+    response = app.post("/api", **params)
+    return response, json.loads(response.body)
+
+
+class TestCrudOverJson:
+    def test_insert_and_read(self, api_app):
+        response, payload = call(
+            api_app,
+            action="insert",
+            table="Pcr",
+            values=json.dumps({"cycles": 30, "polymerase": "Taq"}),
+        )
+        assert response.status == 200
+        assert payload["ok"] is True
+        assert payload["row"]["cycles"] == 30
+        assert payload["row"]["type_name"] == "Pcr"
+
+        __, read_payload = call(
+            api_app,
+            action="read",
+            table="Pcr",
+            criteria=json.dumps({"polymerase": "Taq"}),
+        )
+        assert read_payload["count"] == 1
+        assert read_payload["rows"][0]["cycles"] == 30
+
+    def test_timestamps_serialised_as_iso(self, api_app):
+        call(api_app, action="insert", table="Pcr", values=json.dumps({}))
+        __, payload = call(api_app, action="read", table="Pcr")
+        created = payload["rows"][0]["created"]
+        assert isinstance(created, str) and "T" in created
+
+    def test_update_and_delete(self, api_app):
+        call(
+            api_app,
+            action="insert",
+            table="Pcr",
+            values=json.dumps({"cycles": 30}),
+        )
+        __, update_payload = call(
+            api_app,
+            action="update",
+            table="Pcr",
+            criteria=json.dumps({"cycles": 30}),
+            values=json.dumps({"cycles": 35}),
+        )
+        assert update_payload["affected"] == 1
+        __, delete_payload = call(
+            api_app,
+            action="delete",
+            table="Pcr",
+            criteria=json.dumps({"cycles": 35}),
+        )
+        assert delete_payload["affected"] == 1
+        assert api_app.db.count("Experiment") == 0
+
+    def test_get_read_convenience(self, api_app):
+        response = api_app.get("/api", action="read", table="Project")
+        assert response.status == 200
+        assert json.loads(response.body)["ok"] is True
+
+
+class TestErrorsAsJson:
+    def test_unknown_table_is_400_json(self, api_app):
+        response, payload = call(api_app, action="read", table="Ghost")
+        assert response.status == 400
+        assert payload["ok"] is False
+        assert "Ghost" in payload["error"]
+
+    def test_malformed_json_is_400(self, api_app):
+        response, payload = call(
+            api_app, action="insert", table="Pcr", values="{not json"
+        )
+        assert response.status == 400
+
+    def test_non_object_json_is_400(self, api_app):
+        response, __ = call(
+            api_app, action="insert", table="Pcr", values="[1,2]"
+        )
+        assert response.status == 400
+
+    def test_constraint_violation_is_409(self, api_app):
+        call(
+            api_app,
+            action="insert",
+            table="Project",
+            values=json.dumps({"name": "p"}),
+        )
+        response, payload = call(
+            api_app,
+            action="insert",
+            table="Project",
+            values=json.dumps({"project_id": 1, "name": "dup"}),
+        )
+        assert response.status == 409
+        assert payload["ok"] is False
+
+    def test_update_without_values_is_400(self, api_app):
+        response, __ = call(
+            api_app,
+            action="update",
+            table="Pcr",
+            criteria=json.dumps({"cycles": 1}),
+        )
+        assert response.status == 400
+
+
+class TestWorkflowInterceptionOverApi:
+    """The one-line descriptor change covers programmatic clients too."""
+
+    @pytest.fixture
+    def wired_api(self):
+        from repro.core import PatternBuilder, install_workflow_support
+        from repro.core.persistence import save_pattern
+        from repro.minidb.schema import Column
+        from repro.minidb.types import ColumnType
+        from repro.weblims import build_expdb
+        from repro.weblims.schema_setup import add_experiment_type
+
+        app = build_expdb()
+        engine = install_workflow_support(app)
+        install_api(app)  # filter mapped onto /api/* as well
+        add_experiment_type(
+            app.db, "A", [Column("reading", ColumnType.REAL)]
+        )
+        pattern = (
+            PatternBuilder("flow").task("a", experiment_type="A").build(db=app.db)
+        )
+        save_pattern(app.db, pattern)
+        return app, engine
+
+    def test_engine_column_write_denied_over_api(self, wired_api):
+        app, engine = wired_api
+        engine.start_workflow("flow")
+        response = app.post(
+            "/api",
+            action="update",
+            table="Experiment",
+            criteria=json.dumps({"type_name": "A"}),
+            values=json.dumps({"wf_state": "completed"}),
+        )
+        assert response.status == 403
+
+    def test_delete_of_workflow_experiment_denied_over_api(self, wired_api):
+        app, engine = wired_api
+        workflow = engine.start_workflow("flow")
+        for request in engine.pending_authorizations():
+            engine.respond_authorization(request["auth_id"], True)
+        experiment_id = engine.workflow_view(workflow["workflow_id"]).tasks[
+            "a"
+        ].instances[0].experiment_id
+        response = app.post(
+            "/api",
+            action="delete",
+            table="Experiment",
+            criteria=json.dumps({"experiment_id": experiment_id}),
+        )
+        assert response.status == 403
+        assert app.db.get("Experiment", experiment_id) is not None
+
+    def test_harmless_api_write_passes_and_postprocesses(self, wired_api):
+        app, engine = wired_api
+        engine.start_workflow("flow")
+        checks_before = engine.check_count
+        response = app.post(
+            "/api",
+            action="insert",
+            table="A",
+            values=json.dumps({"reading": 0.4}),
+        )
+        assert response.status == 200
+        assert engine.check_count > checks_before
+
+    def test_api_reads_pass_through(self, wired_api):
+        app, __ = wired_api
+        filter_ = app.container.context["workflow_filter"]
+        before = filter_.stats.passed_through
+        app.get("/api", action="read", table="A")
+        assert filter_.stats.passed_through == before + 1

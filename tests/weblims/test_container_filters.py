@@ -1,0 +1,279 @@
+"""The web container: routing, filter chains, the Fig. 7 mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WebError
+from repro.weblims.container import (
+    DeploymentDescriptor,
+    WebContainer,
+    pattern_matches,
+)
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Filter, FilterChain, Servlet
+
+
+class EchoServlet(Servlet):
+    name = "echo"
+
+    def service(self, request, container):
+        response = HttpResponse.html(f"echo:{request.path}")
+        response.attributes["seen_by_servlet"] = dict(request.attributes)
+        return response
+
+
+class TraceFilter(Filter):
+    """Records request order on the way in, response order on the way out."""
+
+    def __init__(self, label: str, trace: list):
+        self.name = f"trace-{label}"
+        self.label = label
+        self.trace = trace
+
+    def do_filter(self, request, chain):
+        self.trace.append(f"{self.label}:request")
+        response = chain.proceed(request)
+        self.trace.append(f"{self.label}:response")
+        return response
+
+
+class TestPatternMatching:
+    def test_exact(self):
+        assert pattern_matches("/user", "/user")
+        assert not pattern_matches("/user", "/user/extra")
+
+    def test_prefix(self):
+        assert pattern_matches("/user/*", "/user")
+        assert pattern_matches("/user/*", "/user/sub")
+        assert not pattern_matches("/user/*", "/userx")
+
+    def test_match_all(self):
+        assert pattern_matches("/*", "/anything/at/all")
+
+
+class TestRouting:
+    def test_dispatch_to_mapped_servlet(self):
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/echo")
+        container = WebContainer(descriptor)
+        response = container.handle(HttpRequest("GET", "/echo"))
+        assert response.status == 200
+        assert response.body == "echo:/echo"
+
+    def test_unmapped_path_is_404(self):
+        container = WebContainer(DeploymentDescriptor())
+        response = container.handle(HttpRequest("GET", "/nowhere"))
+        assert response.status == 404
+
+    def test_first_matching_pattern_wins(self):
+        class OtherServlet(EchoServlet):
+            name = "other"
+
+            def service(self, request, container):
+                return HttpResponse.html("other")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/a/*")
+        descriptor.add_servlet(OtherServlet(), "/*")
+        container = WebContainer(descriptor)
+        assert container.handle(HttpRequest("GET", "/a/x")).body == "echo:/a/x"
+        assert container.handle(HttpRequest("GET", "/b")).body == "other"
+
+    def test_duplicate_servlet_name_rejected(self):
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/a")
+        with pytest.raises(WebError):
+            descriptor.add_servlet(EchoServlet(), "/b")
+
+    def test_servlet_needs_a_pattern(self):
+        descriptor = DeploymentDescriptor()
+        with pytest.raises(WebError):
+            descriptor.add_servlet(EchoServlet())
+
+
+class TestFilterChains:
+    def build(self, trace):
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/echo", "/echo/*")
+        descriptor.add_filter(TraceFilter("first", trace), "/echo/*", "/echo")
+        descriptor.add_filter(TraceFilter("second", trace), "/*")
+        return WebContainer(descriptor)
+
+    def test_declaration_order_in_reverse_order_out(self):
+        trace: list = []
+        container = self.build(trace)
+        container.handle(HttpRequest("GET", "/echo"))
+        assert trace == [
+            "first:request",
+            "second:request",
+            "second:response",
+            "first:response",
+        ]
+
+    def test_filter_scoped_by_pattern(self):
+        trace: list = []
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/*")
+        descriptor.add_filter(TraceFilter("scoped", trace), "/only/*")
+        container = WebContainer(descriptor)
+        container.handle(HttpRequest("GET", "/other"))
+        assert trace == []
+        container.handle(HttpRequest("GET", "/only/here"))
+        assert trace == ["scoped:request", "scoped:response"]
+
+    def test_filter_can_short_circuit(self):
+        class DenyFilter(Filter):
+            name = "deny"
+
+            def do_filter(self, request, chain):
+                return HttpResponse.denied("no")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/echo")
+        descriptor.add_filter(DenyFilter(), "/echo")
+        container = WebContainer(descriptor)
+        response = container.handle(HttpRequest("GET", "/echo"))
+        assert response.status == 403
+        assert container.stats.servlet_invocations == 0
+
+    def test_filter_can_modify_request_before_servlet(self):
+        class TagFilter(Filter):
+            name = "tag"
+
+            def do_filter(self, request, chain):
+                request.attributes["tagged"] = True
+                return chain.proceed(request)
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/echo")
+        descriptor.add_filter(TagFilter(), "/echo")
+        container = WebContainer(descriptor)
+        response = container.handle(HttpRequest("GET", "/echo"))
+        assert response.attributes["seen_by_servlet"] == {"tagged": True}
+
+    def test_filter_can_modify_response_after_servlet(self):
+        class AppendFilter(Filter):
+            name = "append"
+
+            def do_filter(self, request, chain):
+                response = chain.proceed(request)
+                response.body += "+postprocessed"
+                return response
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/echo")
+        descriptor.add_filter(AppendFilter(), "/echo")
+        container = WebContainer(descriptor)
+        assert container.handle(HttpRequest("GET", "/echo")).body.endswith(
+            "+postprocessed"
+        )
+
+    def test_stats_count_invocations(self):
+        trace: list = []
+        container = self.build(trace)
+        container.handle(HttpRequest("GET", "/echo"))
+        assert container.stats.requests == 1
+        assert container.stats.filter_invocations == 2
+        assert container.stats.servlet_invocations == 1
+
+
+class TestErrorContainment:
+    def test_untranslated_library_error_becomes_500(self):
+        """A ReproError escaping a servlet must surface as HTTP 500,
+        never as a leaked exception."""
+        from repro.errors import DatabaseError
+
+        class FaultyServlet(Servlet):
+            name = "faulty"
+
+            def service(self, request, container):
+                raise DatabaseError("backend exploded")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(FaultyServlet(), "/boom")
+        container = WebContainer(descriptor)
+        response = container.handle(HttpRequest("GET", "/boom"))
+        assert response.status == 500
+        assert "exploded" in response.body
+        assert container.stats.errors == 1
+
+    def test_workflow_start_with_bad_project_is_500_not_crash(self):
+        from repro.core import PatternBuilder, install_workflow_support
+        from repro.core.persistence import save_pattern
+        from repro.weblims import build_expdb
+        from repro.weblims.schema_setup import add_experiment_type
+
+        app = build_expdb()
+        install_workflow_support(app)
+        add_experiment_type(app.db, "A", [])
+        pattern = (
+            PatternBuilder("p").task("a", experiment_type="A").build(db=app.db)
+        )
+        save_pattern(app.db, pattern)
+        response = app.post(
+            "/workflow", action="start", pattern="p", project_id="999"
+        )
+        assert response.status == 500
+        assert app.db.count("Workflow") == 0  # transaction rolled back
+
+
+class TestForward:
+    def test_internal_forward_reaches_other_servlet(self):
+        class ForwardingServlet(Servlet):
+            name = "fwd"
+
+            def service(self, request, container):
+                return container.forward(request, "/echo")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(ForwardingServlet(), "/fwd")
+        descriptor.add_servlet(EchoServlet(), "/echo")
+        container = WebContainer(descriptor)
+        response = container.handle(HttpRequest("GET", "/fwd"))
+        assert response.body == "echo:/echo"
+        assert container.stats.internal_forwards == 1
+
+    def test_forward_runs_filters_by_default(self):
+        """Per the paper: filters also intercept internal forwards."""
+        trace: list = []
+
+        class ForwardingServlet(Servlet):
+            name = "fwd"
+
+            def service(self, request, container):
+                return container.forward(request, "/echo")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(ForwardingServlet(), "/fwd")
+        descriptor.add_servlet(EchoServlet(), "/echo")
+        descriptor.add_filter(TraceFilter("f", trace), "/echo")
+        container = WebContainer(descriptor)
+        container.handle(HttpRequest("GET", "/fwd"))
+        assert trace == ["f:request", "f:response"]
+
+    def test_forward_marks_origin(self):
+        class ForwardingServlet(Servlet):
+            name = "fwd"
+
+            def service(self, request, container):
+                return container.forward(request, "/echo")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(ForwardingServlet(), "/fwd")
+        descriptor.add_servlet(EchoServlet(), "/echo")
+        container = WebContainer(descriptor)
+        response = container.handle(HttpRequest("GET", "/fwd"))
+        assert response.attributes["seen_by_servlet"]["forwarded_from"] == "/fwd"
+
+
+class TestSessions:
+    def test_lazy_session_creation(self):
+        container = WebContainer(DeploymentDescriptor())
+        request = HttpRequest("GET", "/x")
+        assert container.session_for(request) is None
+        session = container.session_for(request, create=True, user="ada")
+        assert session.user == "ada"
+        assert request.session_id == session.session_id
+        # Subsequent resolution finds the same session.
+        assert container.session_for(request) is session

@@ -1,0 +1,90 @@
+"""Schema-driven form generation and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BadRequestError
+from repro.minidb import Column, ColumnType, TableSchema
+from repro.weblims.forms import (
+    parse_criteria,
+    parse_typed_values,
+    render_insert_form,
+)
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        name="Widget",
+        columns=[
+            Column("widget_id", ColumnType.INTEGER, nullable=False),
+            Column("label", ColumnType.TEXT, nullable=False),
+            Column("weight", ColumnType.REAL),
+            Column("active", ColumnType.BOOLEAN),
+        ],
+        primary_key=("widget_id",),
+        autoincrement="widget_id",
+    )
+
+
+class TestRendering:
+    def test_form_has_field_per_column(self, schema):
+        html = render_insert_form(schema, action="/user")
+        assert 'name="v_label"' in html
+        assert 'name="v_weight"' in html
+        assert 'name="v_active"' in html
+
+    def test_autoincrement_key_omitted(self, schema):
+        html = render_insert_form(schema, action="/user")
+        assert "widget_id" not in html
+
+    def test_required_marker_on_not_null(self, schema):
+        html = render_insert_form(schema, action="/user")
+        label_field = next(
+            line for line in html.splitlines() if "v_label" in line
+        )
+        assert "required" in label_field
+        weight_field = next(
+            line for line in html.splitlines() if "v_weight" in line
+        )
+        assert "required" not in weight_field
+
+    def test_input_types_match_column_types(self, schema):
+        html = render_insert_form(schema, action="/user")
+        assert 'type="checkbox" name="v_active"' in html
+        assert 'type="number" name="v_weight"' in html
+
+    def test_hidden_fields_rendered(self, schema):
+        html = render_insert_form(
+            schema, action="/user", hidden={"action": "insert"}
+        )
+        assert 'type="hidden" name="action" value="insert"' in html
+
+    def test_values_escaped(self, schema):
+        html = render_insert_form(
+            schema, action='/user"><script>', hidden={"x": "<&>"}
+        )
+        assert "<script>" not in html
+
+
+class TestParsing:
+    def test_typed_parse(self, schema):
+        values = parse_typed_values(
+            schema, {"label": "x", "weight": "1.5", "active": "true"}
+        )
+        assert values == {"label": "x", "weight": 1.5, "active": True}
+
+    def test_empty_string_is_null(self, schema):
+        assert parse_typed_values(schema, {"weight": ""}) == {"weight": None}
+
+    def test_unknown_field_rejected(self, schema):
+        with pytest.raises(BadRequestError):
+            parse_typed_values(schema, {"ghost": "1"})
+
+    def test_bad_value_is_bad_request(self, schema):
+        with pytest.raises(BadRequestError):
+            parse_typed_values(schema, {"weight": "heavy"})
+
+    def test_parse_criteria_same_rules(self, schema):
+        assert parse_criteria(schema, {"label": "a"}) == {"label": "a"}

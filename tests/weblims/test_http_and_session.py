@@ -1,0 +1,91 @@
+"""HTTP objects and the session manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BadRequestError, SessionError
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.session import SessionManager
+
+
+class TestHttpRequest:
+    def test_method_normalised(self):
+        assert HttpRequest("get", "/x").method == "GET"
+
+    def test_param_helpers(self):
+        request = HttpRequest("GET", "/x", params={"a": "1"})
+        assert request.param("a") == "1"
+        assert request.param("b") is None
+        assert request.param("b", "d") == "d"
+
+    def test_require_param(self):
+        request = HttpRequest("GET", "/x", params={"a": "1", "empty": ""})
+        assert request.require_param("a") == "1"
+        with pytest.raises(BadRequestError):
+            request.require_param("missing")
+        with pytest.raises(BadRequestError):
+            request.require_param("empty")
+
+    def test_params_with_prefix(self):
+        request = HttpRequest(
+            "POST", "/x", params={"v_a": "1", "v_b": "2", "c_a": "3", "v_": "x"}
+        )
+        assert request.params_with_prefix("v_") == {"a": "1", "b": "2"}
+        assert request.params_with_prefix("c_") == {"a": "3"}
+
+
+class TestHttpResponse:
+    def test_ok_range(self):
+        assert HttpResponse(status=200).ok
+        assert HttpResponse(status=204).ok
+        assert not HttpResponse(status=400).ok
+        assert not HttpResponse(status=302).ok
+
+    def test_factories(self):
+        assert HttpResponse.html("x").status == 200
+        error = HttpResponse.error(500, "boom")
+        assert error.status == 500 and error.content_type == "text/plain"
+        assert HttpResponse.denied("no").status == 403
+
+    def test_append_notice(self):
+        response = HttpResponse.html("<body></body>")
+        response.append_notice("task done")
+        response.append_notice("more")
+        assert response.body.count("workflow-notice") == 2
+        assert response.attributes["workflow_notices"] == ["task done", "more"]
+
+
+class TestSessionManager:
+    def test_create_and_resolve(self):
+        manager = SessionManager()
+        session = manager.create(user="ada")
+        assert manager.get(session.session_id) is session
+        assert manager.resolve(session.session_id) is session
+
+    def test_unknown_session(self):
+        manager = SessionManager()
+        with pytest.raises(SessionError):
+            manager.get("ghost")
+        assert manager.resolve("ghost") is None
+        assert manager.resolve(None) is None
+
+    def test_invalidate(self):
+        manager = SessionManager()
+        session = manager.create()
+        manager.invalidate(session.session_id)
+        with pytest.raises(SessionError):
+            manager.get(session.session_id)
+        assert manager.active_count() == 0
+
+    def test_attributes(self):
+        manager = SessionManager()
+        session = manager.create()
+        session.set("cart", [1, 2])
+        assert session.get("cart") == [1, 2]
+        assert session.get("missing", "d") == "d"
+
+    def test_ids_unique(self):
+        manager = SessionManager()
+        ids = {manager.create().session_id for __ in range(10)}
+        assert len(ids) == 10

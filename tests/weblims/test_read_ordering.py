@@ -1,0 +1,76 @@
+"""Read ordering/limit over the HTML and JSON interfaces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.weblims.api import install_api
+
+
+@pytest.fixture
+def filled(lab_app):
+    install_api(lab_app)
+    for cycles in (30, 10, None, 20):
+        lab_app.bean.insert("Pcr", {"cycles": cycles})
+    return lab_app
+
+
+class TestHtmlInterface:
+    def test_order_by_ascending_nulls_first(self, filled):
+        response = filled.get(
+            "/user", action="read", table="Pcr", order_by="cycles"
+        )
+        values = [row["cycles"] for row in response.attributes["rows"]]
+        assert values == [None, 10, 20, 30]
+
+    def test_order_by_descending(self, filled):
+        response = filled.get(
+            "/user", action="read", table="Pcr", order_by="cycles", desc="true"
+        )
+        values = [row["cycles"] for row in response.attributes["rows"]]
+        assert values == [30, 20, 10, None]
+
+    def test_order_by_inherited_parent_column(self, filled):
+        response = filled.get(
+            "/user", action="read", table="Pcr", order_by="experiment_id",
+            desc="true",
+        )
+        ids = [row["experiment_id"] for row in response.attributes["rows"]]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_limit(self, filled):
+        response = filled.get(
+            "/user", action="read", table="Pcr", order_by="cycles", limit="2"
+        )
+        assert len(response.attributes["rows"]) == 2
+
+    def test_unknown_order_column_is_400(self, filled):
+        response = filled.get(
+            "/user", action="read", table="Pcr", order_by="ghost"
+        )
+        assert response.status == 400
+
+    def test_bad_limit_is_400(self, filled):
+        response = filled.get(
+            "/user", action="read", table="Pcr", limit="many"
+        )
+        assert response.status == 400
+        response = filled.get("/user", action="read", table="Pcr", limit="-1")
+        assert response.status == 400
+
+
+class TestJsonInterface:
+    def test_order_and_limit_over_api(self, filled):
+        response = filled.get(
+            "/api",
+            action="read",
+            table="Pcr",
+            order_by="cycles",
+            desc="true",
+            limit="1",
+        )
+        payload = json.loads(response.body)
+        assert payload["count"] == 1
+        assert payload["rows"][0]["cycles"] == 30

@@ -1,0 +1,96 @@
+"""The Fig. 2 core data model and its extension mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims.schema_setup import (
+    CORE_TABLES,
+    add_experiment_type,
+    add_sample_type,
+    declare_experiment_io,
+)
+
+
+class TestCoreSchema:
+    def test_all_core_tables_exist(self, expdb):
+        for table in CORE_TABLES:
+            assert expdb.db.has_table(table), table
+
+    def test_experiment_references_project_and_type(self, expdb):
+        schema = expdb.db.schema("Experiment")
+        targets = {f.ref_table for f in schema.foreign_keys}
+        assert targets == {"Project", "ExperimentType"}
+
+    def test_experimentio_links_all_three(self, expdb):
+        schema = expdb.db.schema("ExperimentIO")
+        targets = {f.ref_table for f in schema.foreign_keys}
+        assert targets == {"Experiment", "Sample", "ExperimentTypeIO"}
+
+    def test_experiment_creation_date_defaults(self, lab_app):
+        row = lab_app.bean.insert("Pcr", {})
+        assert row["created"] is not None
+
+
+class TestTypeExtension:
+    def test_add_experiment_type_registers_metadata(self, expdb):
+        add_experiment_type(expdb.db, "Digestion", [], "cuts DNA")
+        row = expdb.db.get("ExperimentType", "Digestion")
+        assert row["table_name"] == "Digestion"
+        assert row["description"] == "cuts DNA"
+        assert expdb.db.schema("Digestion").parent == "Experiment"
+
+    def test_add_sample_type_registers_metadata(self, expdb):
+        add_sample_type(expdb.db, "Buffer", [])
+        assert expdb.db.get("SampleType", "Buffer") is not None
+        assert expdb.db.schema("Buffer").parent == "Sample"
+
+    def test_core_table_name_collision_rejected(self, expdb):
+        with pytest.raises(SchemaError):
+            add_experiment_type(expdb.db, "Experiment", [])
+
+    def test_duplicate_type_table_rejected(self, lab_app):
+        with pytest.raises(SchemaError):
+            add_experiment_type(lab_app.db, "Pcr", [])
+
+    def test_child_columns_available(self, expdb):
+        add_experiment_type(
+            expdb.db, "Seq", [Column("read_length", ColumnType.INTEGER)]
+        )
+        assert expdb.db.schema("Seq").has_column("read_length")
+
+
+class TestExperimentTypeIO:
+    def test_declare_io(self, lab_app):
+        row = declare_experiment_io(lab_app.db, "Pcr", "Primer", "output")
+        assert row["direction"] == "output"
+        assert row["required"] is True
+
+    def test_bad_direction_rejected(self, lab_app):
+        with pytest.raises(SchemaError):
+            declare_experiment_io(lab_app.db, "Pcr", "Primer", "sideways")
+
+    def test_unknown_types_rejected_by_fk(self, lab_app):
+        from repro.errors import ForeignKeyError
+
+        with pytest.raises(ForeignKeyError):
+            declare_experiment_io(lab_app.db, "Ghost", "Primer", "input")
+
+    def test_experimentio_enforces_etio_reference(self, lab_app):
+        """ExperimentIO rows must reference a declared type-level IO."""
+        from repro.errors import ForeignKeyError
+
+        experiment = lab_app.bean.insert("Pcr", {})
+        sample = lab_app.bean.insert("Primer", {"sequence": "AT"})
+        with pytest.raises(ForeignKeyError):
+            lab_app.db.insert(
+                "ExperimentIO",
+                {
+                    "experiment_id": experiment["experiment_id"],
+                    "sample_id": sample["sample_id"],
+                    "etio_id": 999,
+                },
+            )

@@ -1,0 +1,148 @@
+"""TableBean: the generic metadata-driven model interface (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BadRequestError, UnknownTableError
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.weblims.schema_setup import add_experiment_type, add_sample_type
+
+
+class TestMetadataDiscovery:
+    def test_experiment_type_detection(self, lab_app):
+        assert lab_app.bean.experiment_type_of("Pcr") == "Pcr"
+        assert lab_app.bean.experiment_type_of("Project") is None
+
+    def test_sample_type_detection(self, lab_app):
+        assert lab_app.bean.sample_type_of("Primer") == "Primer"
+        assert lab_app.bean.sample_type_of("Pcr") is None
+
+    def test_combined_schema_merges_parent_columns(self, lab_app):
+        names = [c.name for c in lab_app.bean.combined_schema("Pcr")]
+        assert "cycles" in names  # child
+        assert "created" in names  # inherited from Experiment
+        assert names.index("cycles") < names.index("created")
+
+
+class TestTypeTableInsert:
+    def test_insert_splits_parent_and_child(self, lab_app):
+        row = lab_app.bean.insert("Pcr", {"cycles": 30, "status": "running"})
+        assert row["type_name"] == "Pcr"
+        assert row["cycles"] == 30
+        assert row["status"] == "running"
+        assert lab_app.db.count("Experiment") == 1
+        assert lab_app.db.count("Pcr") == 1
+
+    def test_insert_assigns_shared_key(self, lab_app):
+        row = lab_app.bean.insert("Pcr", {"cycles": 10})
+        child = lab_app.db.get("Pcr", row["experiment_id"])
+        assert child is not None
+
+    def test_insert_unknown_column_rejected_atomically(self, lab_app):
+        with pytest.raises(BadRequestError):
+            lab_app.bean.insert("Pcr", {"cycles": 1, "ghost": 2})
+        assert lab_app.db.count("Experiment") == 0
+
+    def test_plain_table_insert_passthrough(self, lab_app):
+        row = lab_app.bean.insert("Project", {"name": "crystallography"})
+        assert row["project_id"] == 1
+
+
+class TestTypeTableRead:
+    def test_read_merges_parent(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 30})
+        rows = lab_app.bean.read("Pcr")
+        assert rows[0]["cycles"] == 30
+        assert rows[0]["type_name"] == "Pcr"
+
+    def test_read_criteria_on_child_column(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 30})
+        lab_app.bean.insert("Pcr", {"cycles": 35})
+        assert len(lab_app.bean.read("Pcr", {"cycles": 35})) == 1
+
+    def test_read_criteria_on_parent_column(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 30, "status": "done"})
+        lab_app.bean.insert("Pcr", {"cycles": 31})
+        rows = lab_app.bean.read("Pcr", {"status": "done"})
+        assert [row["cycles"] for row in rows] == [30]
+
+    def test_read_unknown_criteria_rejected(self, lab_app):
+        with pytest.raises(BadRequestError):
+            lab_app.bean.read("Pcr", {"ghost": 1})
+
+    def test_read_plain_table(self, lab_app):
+        lab_app.bean.insert("Project", {"name": "p"})
+        assert len(lab_app.bean.read("Project", {"name": "p"})) == 1
+
+    def test_read_unknown_table_rejected(self, lab_app):
+        with pytest.raises(UnknownTableError):
+            lab_app.bean.read("Ghost")
+
+
+class TestTypeTableUpdate:
+    def test_update_routes_columns_to_owners(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 30})
+        affected = lab_app.bean.update(
+            "Pcr", {"cycles": 30}, {"cycles": 35, "status": "done"}
+        )
+        assert affected == 1
+        merged = lab_app.bean.read("Pcr")[0]
+        assert merged["cycles"] == 35
+        assert merged["status"] == "done"
+
+    def test_update_without_criteria_rejected(self, lab_app):
+        with pytest.raises(BadRequestError):
+            lab_app.bean.update("Pcr", {}, {"cycles": 1})
+
+    def test_update_nonmatching_returns_zero(self, lab_app):
+        assert lab_app.bean.update("Pcr", {"cycles": 99}, {"cycles": 1}) == 0
+
+    def test_update_unknown_change_column_rejected(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 30})
+        with pytest.raises(BadRequestError):
+            lab_app.bean.update("Pcr", {"cycles": 30}, {"ghost": 1})
+
+
+class TestTypeTableDelete:
+    def test_delete_removes_both_levels(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 30})
+        assert lab_app.bean.delete("Pcr", {"cycles": 30}) == 1
+        assert lab_app.db.count("Experiment") == 0
+        assert lab_app.db.count("Pcr") == 0
+
+    def test_delete_without_criteria_rejected(self, lab_app):
+        with pytest.raises(BadRequestError):
+            lab_app.bean.delete("Pcr", {})
+
+    def test_delete_by_parent_criteria(self, lab_app):
+        lab_app.bean.insert("Pcr", {"cycles": 1, "notes": "kill"})
+        lab_app.bean.insert("Pcr", {"cycles": 2})
+        assert lab_app.bean.delete("Pcr", {"notes": "kill"}) == 1
+        assert lab_app.db.count("Pcr") == 1
+
+
+class TestSampleTypes:
+    def test_sample_type_insert_and_read(self, lab_app):
+        row = lab_app.bean.insert(
+            "Primer", {"sequence": "ATCG", "quality": 0.9}
+        )
+        assert row["type_name"] == "Primer"
+        merged = lab_app.bean.read("Primer")[0]
+        assert merged["sequence"] == "ATCG"
+        assert merged["quality"] == 0.9
+
+
+class TestGenericityAcrossNewTypes:
+    def test_tablebean_needs_no_change_for_new_types(self, lab_app):
+        """Adding a type at runtime works through the same generic code."""
+        add_experiment_type(
+            lab_app.db,
+            "Digestion",
+            [Column("enzyme", ColumnType.TEXT)],
+        )
+        add_sample_type(lab_app.db, "Enzyme", [])
+        row = lab_app.bean.insert("Digestion", {"enzyme": "EcoRI"})
+        assert row["type_name"] == "Digestion"
+        assert lab_app.bean.read("Digestion", {"enzyme": "EcoRI"})

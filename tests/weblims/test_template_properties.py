@@ -1,0 +1,72 @@
+"""Property tests for the template engine (escaping, totality)."""
+
+from __future__ import annotations
+
+import html
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.weblims.templates import Template
+
+values = st.text(
+    alphabet=string.printable,
+    max_size=30,
+)
+
+
+@given(value=values)
+@settings(max_examples=150, deadline=None)
+def test_interpolation_always_escapes_markup(value):
+    """No interpolated value can inject raw markup into the page."""
+    rendered = Template("<p>{{ v }}</p>").render({"v": value})
+    inner = rendered[len("<p>"):-len("</p>")]
+    assert "<" not in inner
+    assert ">" not in inner
+    # The original value is recoverable by unescaping.
+    assert html.unescape(inner) == value
+
+
+@given(value=values)
+@settings(max_examples=100, deadline=None)
+def test_raw_interpolation_is_verbatim(value):
+    assert Template("{{! v }}").render({"v": value}) == value
+
+
+@given(items=st.lists(st.integers(min_value=0, max_value=999), max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_for_loop_renders_every_item_in_order(items):
+    rendered = Template(
+        "{% for x in items %}[{{ x }}]{% endfor %}"
+    ).render({"items": items})
+    assert rendered == "".join(f"[{item}]" for item in items)
+
+
+@given(
+    flag=st.booleans(),
+    then_text=st.text(alphabet="abc", max_size=5),
+    else_text=st.text(alphabet="xyz", max_size=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_if_selects_exactly_one_branch(flag, then_text, else_text):
+    rendered = Template(
+        "{% if flag %}" + then_text + "{% else %}" + else_text + "{% endif %}"
+    ).render({"flag": flag})
+    assert rendered == (then_text if flag else else_text)
+
+
+@given(text=st.text(alphabet="abc {}%", max_size=25))
+@settings(max_examples=200, deadline=None)
+def test_compilation_is_total(text):
+    """Arbitrary text either compiles or raises TemplateError — never
+    any other exception."""
+    from repro.errors import TemplateError
+
+    try:
+        template = Template(text)
+    except TemplateError:
+        return
+    # If it compiled without directives/variables, it renders verbatim.
+    if "{{" not in text and "{%" not in text:
+        assert template.render({}) == text

@@ -1,0 +1,122 @@
+"""The JSP-analog template engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TemplateError
+from repro.weblims.templates import Template, TemplateRegistry
+
+
+class TestInterpolation:
+    def test_simple_variable(self):
+        assert Template("Hi {{ name }}!").render({"name": "ada"}) == "Hi ada!"
+
+    def test_dotted_dict_lookup(self):
+        template = Template("{{ row.name }}")
+        assert template.render({"row": {"name": "x"}}) == "x"
+
+    def test_attribute_lookup(self):
+        class Obj:
+            field = "attr-value"
+
+        assert Template("{{ o.field }}").render({"o": Obj()}) == "attr-value"
+
+    def test_html_escaping(self):
+        rendered = Template("{{ v }}").render({"v": "<script>&"})
+        assert "<script>" not in rendered
+        assert "&lt;script&gt;" in rendered
+
+    def test_raw_interpolation_skips_escaping(self):
+        rendered = Template("{{! v }}").render({"v": "<b>bold</b>"})
+        assert rendered == "<b>bold</b>"
+
+    def test_none_renders_empty(self):
+        assert Template("[{{ v }}]").render({"v": None}) == "[]"
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{{ ghost }}").render({})
+
+    def test_missing_key_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{{ row.ghost }}").render({"row": {}})
+
+
+class TestForLoops:
+    def test_iteration(self):
+        template = Template("{% for x in items %}[{{ x }}]{% endfor %}")
+        assert template.render({"items": [1, 2, 3]}) == "[1][2][3]"
+
+    def test_loop_index(self):
+        template = Template("{% for x in items %}{{ loop.index }}{% endfor %}")
+        assert template.render({"items": ["a", "b"]}) == "12"
+
+    def test_nested_loops(self):
+        template = Template(
+            "{% for row in grid %}{% for cell in row %}{{ cell }}{% endfor %};{% endfor %}"
+        )
+        assert template.render({"grid": [[1, 2], [3]]}) == "12;3;"
+
+    def test_loop_variable_scoped(self):
+        template = Template("{% for x in items %}{{ x }}{% endfor %}{{ y }}")
+        assert template.render({"items": [1], "y": "z"}) == "1z"
+
+    def test_none_iterable_renders_nothing(self):
+        template = Template("{% for x in items %}x{% endfor %}")
+        assert template.render({"items": None}) == ""
+
+    def test_unbalanced_for_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{% for x in items %}no end")
+
+
+class TestIf:
+    def test_true_branch(self):
+        template = Template("{% if ok %}yes{% endif %}")
+        assert template.render({"ok": True}) == "yes"
+        assert template.render({"ok": False}) == ""
+
+    def test_else_branch(self):
+        template = Template("{% if ok %}yes{% else %}no{% endif %}")
+        assert template.render({"ok": False}) == "no"
+
+    def test_not_expression(self):
+        template = Template("{% if not ok %}inverted{% endif %}")
+        assert template.render({"ok": False}) == "inverted"
+
+    def test_truthiness_of_lists(self):
+        template = Template("{% if items %}full{% else %}empty{% endif %}")
+        assert template.render({"items": []}) == "empty"
+        assert template.render({"items": [1]}) == "full"
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{% while x %}{% endwhile %}")
+
+    def test_missing_endif_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{% if x %}open")
+
+
+class TestRegistry:
+    def test_register_and_render(self):
+        registry = TemplateRegistry()
+        registry.register("page", "Hello {{ who }}")
+        assert registry.render("page", {"who": "world"}) == "Hello world"
+
+    def test_unknown_template_raises(self):
+        registry = TemplateRegistry()
+        with pytest.raises(TemplateError):
+            registry.render("ghost")
+
+    def test_names(self):
+        registry = TemplateRegistry()
+        registry.register("a", "x")
+        registry.register("b", "y")
+        assert registry.names() == ["a", "b"]
+
+    def test_template_reusable_across_renders(self):
+        template = Template("{{ n }}")
+        assert template.render({"n": 1}) == "1"
+        assert template.render({"n": 2}) == "2"

@@ -1,0 +1,137 @@
+"""The UserRequestServlet: the four generic operations over HTTP."""
+
+from __future__ import annotations
+
+
+class TestListAndForms:
+    def test_list_tables(self, lab_app):
+        response = lab_app.get("/user", action="list")
+        assert response.status == 200
+        assert "Experiment" in response.attributes["tables"]
+        assert "Pcr" in response.body
+
+    def test_default_action_is_list(self, lab_app):
+        response = lab_app.get("/user")
+        assert response.attributes["action"] == "list"
+
+    def test_generated_form_contains_fields(self, lab_app):
+        response = lab_app.get("/user", action="form", table="Pcr")
+        assert response.status == 200
+        assert 'name="v_cycles"' in response.body
+        # Autoincrement key is system-assigned, not user-entered.
+        assert 'name="v_experiment_id"' not in response.body
+
+    def test_form_for_unknown_table_is_400(self, lab_app):
+        response = lab_app.get("/user", action="form", table="Ghost")
+        assert response.status == 400
+
+
+class TestInsertReadUpdateDelete:
+    def test_full_crud_cycle(self, lab_app):
+        insert = lab_app.post(
+            "/user",
+            action="insert",
+            table="Pcr",
+            v_cycles="30",
+            v_polymerase="Taq",
+        )
+        assert insert.status == 200
+        assert insert.attributes["row"]["cycles"] == 30
+
+        read = lab_app.get(
+            "/user", action="read", table="Pcr", c_polymerase="Taq"
+        )
+        assert read.status == 200
+        assert len(read.attributes["rows"]) == 1
+
+        update = lab_app.post(
+            "/user",
+            action="update",
+            table="Pcr",
+            c_cycles="30",
+            v_status="done",
+        )
+        assert update.attributes["affected"] == 1
+
+        delete = lab_app.post(
+            "/user", action="delete", table="Pcr", c_polymerase="Taq"
+        )
+        assert delete.attributes["affected"] == 1
+        assert lab_app.db.count("Experiment") == 0
+
+    def test_empty_field_becomes_null(self, lab_app):
+        response = lab_app.post(
+            "/user", action="insert", table="Pcr", v_cycles="", v_polymerase="T"
+        )
+        assert response.attributes["row"]["cycles"] is None
+
+    def test_results_page_renders_cells(self, lab_app):
+        lab_app.post(
+            "/user", action="insert", table="Pcr", v_cycles="42"
+        )
+        response = lab_app.get("/user", action="read", table="Pcr")
+        assert "<td>42</td>" in response.body
+
+    def test_read_criteria_typed_against_schema(self, lab_app):
+        lab_app.post("/user", action="insert", table="Pcr", v_cycles="30")
+        response = lab_app.get(
+            "/user", action="read", table="Pcr", c_cycles="30"
+        )
+        assert len(response.attributes["rows"]) == 1
+
+
+class TestErrorHandling:
+    def test_unknown_action_is_400(self, lab_app):
+        response = lab_app.post("/user", action="explode")
+        assert response.status == 400
+
+    def test_missing_table_is_400(self, lab_app):
+        response = lab_app.get("/user", action="read")
+        assert response.status == 400
+
+    def test_unknown_table_is_400(self, lab_app):
+        response = lab_app.get("/user", action="read", table="Ghost")
+        assert response.status == 400
+        assert "Ghost" in response.body
+
+    def test_bad_typed_value_is_400(self, lab_app):
+        response = lab_app.post(
+            "/user", action="insert", table="Pcr", v_cycles="many"
+        )
+        assert response.status == 400
+
+    def test_unknown_column_is_400(self, lab_app):
+        response = lab_app.post(
+            "/user", action="insert", table="Pcr", v_ghost="1"
+        )
+        assert response.status == 400
+
+    def test_update_without_values_is_400(self, lab_app):
+        response = lab_app.post(
+            "/user", action="update", table="Pcr", c_cycles="1"
+        )
+        assert response.status == 400
+
+    def test_constraint_violation_is_409(self, lab_app):
+        lab_app.post(
+            "/user", action="insert", table="Project", v_name="p"
+        )
+        response = lab_app.post(
+            "/user",
+            action="insert",
+            table="Project",
+            v_project_id="1",
+            v_name="dup",
+        )
+        assert response.status == 409
+
+    def test_error_pages_render_html(self, lab_app):
+        response = lab_app.get("/user", action="read", table="Ghost")
+        assert response.body.startswith("<html>")
+        assert response.attributes["error"]
+
+    def test_unsupported_method(self, lab_app):
+        from repro.weblims.http import HttpRequest
+
+        response = lab_app.handle(HttpRequest("PUT", "/user"))
+        assert response.status == 405

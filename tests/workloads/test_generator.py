@@ -1,0 +1,74 @@
+"""Synthetic lab topologies used by the ablation benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import build_synthetic_lab
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return build_synthetic_lab(stages=4)
+
+
+class TestChain:
+    def test_chain_runs_to_completion(self, lab):
+        pattern = lab.chain_pattern(3)
+        workflow = lab.engine.start_workflow(pattern.name)
+        assert lab.run_to_completion(workflow["workflow_id"]) == "completed"
+
+    def test_chain_length_bounds(self, lab):
+        with pytest.raises(ValueError):
+            lab.chain_pattern(0)
+        with pytest.raises(ValueError):
+            lab.chain_pattern(99)
+
+    def test_chain_data_flows_stage_to_stage(self, lab):
+        pattern = lab.chain_pattern(2)
+        workflow = lab.engine.start_workflow(pattern.name)
+        lab.run_to_completion(workflow["workflow_id"])
+        # Stage0 produced a Mat0 sample consumed downstream.
+        mat0 = lab.app.db.select("Sample")
+        assert any(row["type_name"] == "Mat0" for row in mat0)
+
+
+class TestFanout:
+    def test_fanout_runs_to_completion(self, lab):
+        pattern = lab.fanout_pattern(3)
+        workflow = lab.engine.start_workflow(pattern.name)
+        assert lab.run_to_completion(workflow["workflow_id"]) == "completed"
+        view = lab.engine.workflow_view(workflow["workflow_id"])
+        mids = [t for name, t in view.tasks.items() if name.startswith("mid")]
+        assert len(mids) == 3
+        assert all(task.state == "completed" for task in mids)
+
+    def test_fanout_width_bound(self, lab):
+        with pytest.raises(ValueError):
+            lab.fanout_pattern(0)
+
+    def test_fanout_needs_three_stages(self):
+        small = build_synthetic_lab(stages=2)
+        with pytest.raises(ValueError):
+            small.fanout_pattern(2)
+
+
+class TestRetry:
+    def test_retry_pattern_with_failures(self):
+        flaky = build_synthetic_lab(stages=1, failure_rate=0.5, seed=3)
+        pattern = flaky.retry_pattern(default_instances=6)
+        workflow = flaky.engine.start_workflow(pattern.name)
+        status = flaky.run_to_completion(workflow["workflow_id"])
+        view = flaky.engine.workflow_view(workflow["workflow_id"])
+        task = view.tasks["only"]
+        assert len(task.instances) == 6
+        # With 6 parallel instances at 50% failure, some fail and —
+        # under this seed — at least one succeeds, completing the task.
+        assert status == "completed"
+        assert task.aborted_instances >= 1
+        assert task.completed_instances >= 1
+
+    def test_fresh_pattern_names_unique(self, lab):
+        first = lab.chain_pattern(2)
+        second = lab.chain_pattern(2)
+        assert first.name != second.name

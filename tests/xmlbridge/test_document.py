@@ -1,0 +1,172 @@
+"""Relational <-> XML translation."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.errors import XmlExtractionError, XmlTranslationError
+from repro.minidb import Column, ColumnType, Database, TableSchema
+from repro.xmlbridge import RelationalDocument
+
+
+@pytest.fixture
+def sample_db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            name="Sample",
+            columns=[
+                Column("sample_id", ColumnType.INTEGER, nullable=False),
+                Column("name", ColumnType.TEXT),
+                Column("quality", ColumnType.REAL),
+                Column("created", ColumnType.TIMESTAMP),
+                Column("valid", ColumnType.BOOLEAN),
+            ],
+            primary_key=("sample_id",),
+            autoincrement="sample_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            name="Primer",
+            columns=[
+                Column("sample_id", ColumnType.INTEGER, nullable=False),
+                Column("sequence", ColumnType.TEXT),
+            ],
+            primary_key=("sample_id",),
+            parent="Sample",
+        )
+    )
+    return db
+
+
+class TestRoundtrip:
+    def test_scalar_roundtrip(self, sample_db):
+        row = sample_db.insert(
+            "Sample",
+            {
+                "name": "s1",
+                "quality": 0.75,
+                "created": datetime.datetime(2026, 1, 2, 3, 4, 5),
+                "valid": True,
+            },
+        )
+        document = RelationalDocument("doc")
+        document.add_table_from_db(sample_db, "Sample", [row])
+        parsed = RelationalDocument.from_xml(document.to_xml())
+        assert parsed.rows("Sample") == [row]
+
+    def test_null_roundtrip(self, sample_db):
+        row = sample_db.insert("Sample", {"name": None, "quality": None})
+        document = RelationalDocument("doc")
+        document.add_table_from_db(sample_db, "Sample", [row])
+        parsed = RelationalDocument.from_xml(document.to_xml())
+        assert parsed.rows("Sample")[0]["name"] is None
+
+    def test_merged_child_rows_typed_via_parent_chain(self, sample_db):
+        parent = sample_db.insert("Sample", {"name": "p", "quality": 0.5})
+        sample_db.insert(
+            "Primer", {"sample_id": parent["sample_id"], "sequence": "AT"}
+        )
+        merged = sample_db.select_with_parent("Primer")
+        document = RelationalDocument("doc")
+        document.add_table_from_db(sample_db, "Primer", merged)
+        parsed = RelationalDocument.from_xml(document.to_xml())
+        row = parsed.rows("Primer")[0]
+        assert row["sequence"] == "AT"
+        assert row["quality"] == 0.5
+
+    def test_attributes_roundtrip(self):
+        document = RelationalDocument(
+            "task-input", kind="dispatch", experiment_id="42"
+        )
+        parsed = RelationalDocument.from_xml(document.to_xml())
+        assert parsed.root_tag == "task-input"
+        assert parsed.attributes["kind"] == "dispatch"
+        assert parsed.attributes["experiment-id"] == "42"
+
+    def test_multiple_tables(self, sample_db):
+        row = sample_db.insert("Sample", {"name": "a"})
+        document = RelationalDocument("doc")
+        document.add_table_from_db(sample_db, "Sample", [row])
+        document.add_rows(
+            sample_db.schema("Primer"), [{"sample_id": 1, "sequence": "GG"}]
+        )
+        parsed = RelationalDocument.from_xml(document.to_xml())
+        assert parsed.tables() == ["Sample", "Primer"]
+
+    def test_special_characters_escaped(self, sample_db):
+        row = sample_db.insert("Sample", {"name": "<&>'\""})
+        document = RelationalDocument("doc")
+        document.add_table_from_db(sample_db, "Sample", [row])
+        parsed = RelationalDocument.from_xml(document.to_xml())
+        assert parsed.rows("Sample")[0]["name"] == "<&>'\""
+
+
+class TestValidationAndErrors:
+    def test_untyped_column_rejected_at_build(self, sample_db):
+        document = RelationalDocument("doc")
+        with pytest.raises(XmlExtractionError):
+            document.add_rows(
+                sample_db.schema("Sample"), [{"ghost_column": 1}]
+            )
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(XmlTranslationError):
+            RelationalDocument.from_xml("<oops")
+
+    def test_unknown_type_rejected(self):
+        xml = (
+            '<doc><table name="T"><row>'
+            '<column name="x" type="blob">z</column>'
+            "</row></table></doc>"
+        )
+        with pytest.raises(XmlTranslationError):
+            RelationalDocument.from_xml(xml)
+
+    def test_bad_value_rejected(self):
+        xml = (
+            '<doc><table name="T"><row>'
+            '<column name="x" type="integer">NaNaNaN</column>'
+            "</row></table></doc>"
+        )
+        with pytest.raises(XmlTranslationError):
+            RelationalDocument.from_xml(xml)
+
+    def test_validate_against_unknown_table(self, sample_db):
+        xml = (
+            '<doc><table name="Ghost"><row>'
+            '<column name="x" type="integer">1</column>'
+            "</row></table></doc>"
+        )
+        document = RelationalDocument.from_xml(xml)
+        with pytest.raises(XmlTranslationError):
+            document.validate_against(sample_db)
+
+    def test_validate_against_unknown_column(self, sample_db):
+        xml = (
+            '<doc><table name="Sample"><row>'
+            '<column name="ghost" type="integer">1</column>'
+            "</row></table></doc>"
+        )
+        document = RelationalDocument.from_xml(xml)
+        with pytest.raises(XmlTranslationError):
+            document.validate_against(sample_db)
+
+    def test_invalid_root_tag_rejected(self):
+        with pytest.raises(XmlExtractionError):
+            RelationalDocument("bad tag!")
+
+
+class TestInsertInto:
+    def test_insert_into_trims_foreign_columns(self, sample_db):
+        """Inherited parent columns echoed back by agents are dropped."""
+        parent = sample_db.insert("Sample", {"name": "p", "quality": 0.9})
+        merged = dict(parent)
+        merged["sequence"] = "TTTT"
+        document = RelationalDocument("doc")
+        document.add_table_from_db(sample_db, "Primer", [merged])
+        inserted = document.insert_into(sample_db, "Primer")
+        assert inserted == [{"sample_id": parent["sample_id"], "sequence": "TTTT"}]
