@@ -3,7 +3,10 @@
 Drives a request suite through the filter and reports how many requests
 took each of Fig. 7's paths — (a) preprocess+forward / deny, (b) full
 processing, (c) postprocess — plus the pass-through path for
-non-workflow-related requests.
+non-workflow-related requests.  The mode counts are read back from the
+``repro.obs`` metrics registry (the same numbers a monitoring system
+would scrape from ``/workflow/metrics``) and written to
+``BENCH_filter_modes.json``.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from repro.core import PatternBuilder, install_workflow_support
 from repro.core.persistence import save_pattern
 from repro.minidb.schema import Column
 from repro.minidb.types import ColumnType
+from repro.obs import install_observability
 from repro.weblims import build_expdb
 from repro.weblims.schema_setup import (
     add_experiment_type,
@@ -26,6 +30,7 @@ from repro.weblims.schema_setup import (
 def wired():
     app = build_expdb()
     engine = install_workflow_support(app)
+    hub = install_observability(expdb=app, engine=engine)
     add_experiment_type(app.db, "A", [Column("reading", ColumnType.REAL)])
     add_sample_type(app.db, "SA", [])
     declare_experiment_io(app.db, "A", "SA", "output")
@@ -33,7 +38,7 @@ def wired():
         PatternBuilder("flow").task("a", experiment_type="A").build(db=app.db)
     )
     save_pattern(app.db, pattern)
-    return app, engine, app.container.context["workflow_filter"]
+    return app, engine, app.container.context["workflow_filter"], hub
 
 
 def drive_suite(app) -> None:
@@ -57,29 +62,47 @@ def drive_suite(app) -> None:
     app.get("/user", workflow_action="list")
 
 
-def test_f7_mode_distribution(wired, report, benchmark):
-    app, engine, filter_ = wired
+def test_f7_mode_distribution(wired, report, benchmark, emit_bench):
+    app, engine, filter_, hub = wired
     filter_.stats.reset()
     drive_suite(app)
-    stats = filter_.stats
+    # Read the mode counters back through the registry, as a scrape would.
+    snapshot = hub.registry.snapshot()
+    modes = {
+        series["labels"]["mode"]: int(series["value"])
+        for series in snapshot["workflow_filter_requests_total"]["series"]
+    }
     rows = [
-        ["pass-through (not workflow-related)", stats.passed_through],
-        ["(a) preprocessed then forwarded", stats.preprocessed - stats.denied],
-        ["(a) denied before the original servlet", stats.denied],
-        ["(b) processed by the WorkflowServlet", stats.processed],
-        ["(c) responses postprocessed", stats.postprocessed],
+        ["pass-through (not workflow-related)", modes["passed_through"]],
+        ["(a) preprocessed then forwarded", modes["preprocessed"] - modes["denied"]],
+        ["(a) denied before the original servlet", modes["denied"]],
+        ["(b) processed by the WorkflowServlet", modes["processed"]],
+        ["(c) responses postprocessed", modes["postprocessed"]],
     ]
     report("F7  request routing through the WorkflowFilter", ["path", "requests"], rows)
-    assert stats.passed_through == 3
-    assert stats.preprocessed == 3
-    assert stats.denied == 1
-    assert stats.processed == 2
+    assert modes["passed_through"] == 3
+    assert modes["preprocessed"] == 3
+    assert modes["denied"] == 1
+    assert modes["processed"] == 2
     # Only the successful mode-(a) requests get postprocessed.
-    assert stats.postprocessed == 2
+    assert modes["postprocessed"] == 2
+
+    emit_bench(
+        "filter_modes",
+        {
+            "modes": modes,
+            "http_request_latency_ms": {
+                f"p{int(q * 100)}": hub.registry.family_quantile(
+                    "http_request_latency_ms", q
+                )
+                for q in (0.5, 0.95, 0.99)
+            },
+        },
+    )
 
     benchmark(lambda: app.get("/user", action="read", table="A"))
 
 
 def test_f7_mode_b_wallclock(wired, benchmark):
-    app, __, ___ = wired
+    app, __, ___, ____ = wired
     benchmark(lambda: app.get("/user", workflow_action="list"))

@@ -9,6 +9,11 @@ in-process execution.
 Expected shape (asserted): every operation falls within 400–2000 ms
 (±2.5% calibration slack at the floor), reads at the bottom of the band,
 workflow instantiation at the top.
+
+Every run also writes ``BENCH_response_times.json``: the modeled per-
+operation costs plus the measured latency quantiles (p50/p95/p99),
+per-table DB counters and engine event counts, all sourced from the
+``repro.obs`` metrics registry the lab installs across its tiers.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ def mix():
     return fixture, measurements
 
 
-def test_e1_response_time_table(mix, report, benchmark):
+def test_e1_response_time_table(mix, report, benchmark, emit_bench):
     fixture, measurements = mix
     rows = []
     for name, (response, cost) in measurements.items():
@@ -51,6 +56,37 @@ def test_e1_response_time_table(mix, report, benchmark):
     )
     totals = [cost.total_ms for __, cost in measurements.values()]
     assert min(totals) < 500 and max(totals) > 1200  # band is spanned
+
+    # The trajectory file: measured quantiles straight from the registry.
+    registry = fixture.lab.obs.registry
+    quantiles = {
+        f"p{int(q * 100)}": registry.family_quantile(
+            "http_request_latency_ms", q
+        )
+        for q in (0.5, 0.95, 0.99)
+    }
+    assert quantiles["p50"] > 0.0  # real observations, not defaults
+    snapshot = registry.snapshot()
+    emit_bench(
+        "response_times",
+        {
+            "modeled_ms": {
+                name: cost.breakdown()
+                for name, (__, cost) in measurements.items()
+            },
+            "http_request_latency_ms": quantiles,
+            "metrics": {
+                key: snapshot[key]
+                for key in (
+                    "http_request_latency_ms",
+                    "db_table_reads_total",
+                    "db_table_writes_total",
+                    "engine_events_total",
+                )
+                if key in snapshot
+            },
+        },
+    )
 
     # Wall-clock for the cheapest representative request.
     operation = fixture.build_operation("read_experiments")

@@ -5,11 +5,35 @@ evaluation (see DESIGN.md §5).  Tables are printed through
 ``print_table`` with capture disabled, so ``pytest benchmarks/
 --benchmark-only`` shows both the reproduced evaluation tables and
 pytest-benchmark's wall-clock statistics.
+
+Benches additionally emit machine-readable trajectory files through the
+``emit_bench`` fixture: ``emit_bench("response_times", payload)`` writes
+``benchmarks/BENCH_response_times.json``, with the payload sourced from
+the ``repro.obs`` metrics registry so every run leaves a comparable
+record behind.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+
+@pytest.fixture
+def emit_bench():
+    """Write one ``BENCH_<name>.json`` trajectory file per bench run."""
+
+    def write(name: str, payload: dict) -> Path:
+        path = Path(__file__).parent / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, default=str) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    return write
 
 
 @pytest.fixture

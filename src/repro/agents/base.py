@@ -63,6 +63,10 @@ class TemplateAgent:
                 f"class implements {self.kind!r}"
             )
         self.spec = spec
+        #: Observability hub (set by ``repro.obs.install_observability``).
+        #: When present, message handling runs under a span joined to
+        #: the dispatching trace, and replies carry that context onward.
+        self.obs = None
         self.connection = Connection(broker)
         self.consumer = self.connection.create_consumer(spec.queue)
         self.producer = self.connection.create_producer(ENGINE_QUEUE)
@@ -84,12 +88,33 @@ class TemplateAgent:
         if message is None:
             return False
         try:
-            self.handle_message(message)
+            self._handle_traced(message)
         except AgentError as error:
             self._record_failure(message, error)
         self.consumer.ack(message)
         self.handled_count += 1
         return True
+
+    def _handle_traced(self, message: Message) -> None:
+        """Handle a message under a span joined to its origin trace."""
+        if self.obs is None:
+            self.handle_message(message)
+            return
+        kind = message.headers.get("kind")
+        trace_id, parent_id = self.obs.tracer.extract(message.headers)
+        with self.obs.tracer.span(
+            "agent.handle",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            agent=self.spec.name,
+            kind=kind,
+        ) as span:
+            self.handle_message(message)
+        self.obs.registry.histogram(
+            "agent_turnaround_ms",
+            help="Agent time from delivery to handled, per agent",
+            agent=self.spec.name,
+        ).observe(span.duration_ms or 0.0)
 
     def run_until_idle(self, limit: int = 1000) -> int:
         """Drain the agent's queue; returns how many messages ran."""
@@ -119,7 +144,9 @@ class TemplateAgent:
         self.in_progress.add(experiment_id)
         self.producer.send(
             "",
-            headers={"kind": KIND_STARTED, "experiment_id": experiment_id},
+            headers=self._trace_headers(
+                {"kind": KIND_STARTED, "experiment_id": experiment_id}
+            ),
         )
         try:
             native = self.translate_input(document)
@@ -145,12 +172,20 @@ class TemplateAgent:
         )
         self.producer.send(
             body,
-            headers={
-                "kind": KIND_RESULT,
-                "experiment_id": experiment_id,
-                "agent": self.spec.name,
-            },
+            headers=self._trace_headers(
+                {
+                    "kind": KIND_RESULT,
+                    "experiment_id": experiment_id,
+                    "agent": self.spec.name,
+                }
+            ),
         )
+
+    def _trace_headers(self, headers: dict) -> dict:
+        """Stamp the active trace context onto outbound headers."""
+        if self.obs is not None:
+            self.obs.tracer.inject(headers)
+        return headers
 
     def _record_failure(self, message: Message, error: AgentError) -> None:
         kind = message.headers.get("kind", "?")

@@ -55,6 +55,10 @@ class AgentManager:
         self.broker = broker
         self.email = email
         self.engine: "WorkflowBean | None" = None
+        #: Observability hub (set by ``repro.obs.install_observability``).
+        #: When present, outbound messages carry the active trace
+        #: context and inbound application is timed under a span.
+        self.obs = None
         self._connection = Connection(broker)
         self._consumer = self._connection.create_consumer(ENGINE_QUEUE)
         self._producers: dict[str, Producer] = {}
@@ -95,14 +99,16 @@ class AgentManager:
         )
         self._producer_for(agent["queue"]).send(
             document.to_xml(),
-            headers={
-                "kind": KIND_DISPATCH,
-                "experiment_id": experiment["experiment_id"],
-                "workflow_id": workflow["workflow_id"],
-                "task": task_name,
-                "experiment_type": experiment["type_name"],
-                "agent": agent["name"],
-            },
+            headers=self._trace_headers(
+                {
+                    "kind": KIND_DISPATCH,
+                    "experiment_id": experiment["experiment_id"],
+                    "workflow_id": workflow["workflow_id"],
+                    "task": task_name,
+                    "experiment_type": experiment["type_name"],
+                    "agent": agent["name"],
+                }
+            ),
         )
         self.dispatch_count += 1
 
@@ -140,7 +146,9 @@ class AgentManager:
     def send_abort(self, agent: dict, experiment_id: int) -> None:
         self._producer_for(agent["queue"]).send(
             "",
-            headers={"kind": KIND_ABORT, "experiment_id": experiment_id},
+            headers=self._trace_headers(
+                {"kind": KIND_ABORT, "experiment_id": experiment_id}
+            ),
         )
 
     def notify_authorization(
@@ -160,13 +168,15 @@ class AgentManager:
             return
         self._producer_for(agent["queue"]).send(
             "",
-            headers={
-                "kind": KIND_AUTH_REQUEST,
-                "auth_id": auth_id,
-                "workflow_id": workflow["workflow_id"],
-                "task": task_name,
-                "authorization_kind": kind,
-            },
+            headers=self._trace_headers(
+                {
+                    "kind": KIND_AUTH_REQUEST,
+                    "auth_id": auth_id,
+                    "workflow_id": workflow["workflow_id"],
+                    "task": task_name,
+                    "authorization_kind": kind,
+                }
+            ),
         )
         if self.email is not None and agent.get("contact"):
             self.email.send(
@@ -198,7 +208,7 @@ class AgentManager:
             if message is None:
                 break
             try:
-                self._apply(message)
+                self._apply_traced(message)
             except (ReproError, KeyError, ValueError) as error:
                 # Any library-level failure while applying a message —
                 # bad XML, workflow-state conflicts, schema mismatches in
@@ -212,6 +222,26 @@ class AgentManager:
             self._consumer.ack(message)
             processed += 1
         return processed
+
+    def _apply_traced(self, message) -> None:
+        """Apply one message, under a span joined to its origin trace."""
+        if self.obs is None:
+            self._apply(message)
+            return
+        kind = message.headers.get("kind")
+        trace_id, parent_id = self.obs.tracer.extract(message.headers)
+        with self.obs.tracer.span(
+            "engine.apply_message",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            kind=kind,
+        ) as span:
+            self._apply(message)
+        self.obs.registry.histogram(
+            "engine_apply_ms",
+            help="Engine time applying one inbound agent message",
+            kind=str(kind),
+        ).observe(span.duration_ms or 0.0)
 
     def _apply(self, message) -> None:
         assert self.engine is not None
@@ -240,6 +270,12 @@ class AgentManager:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    def _trace_headers(self, headers: dict[str, Any]) -> dict[str, Any]:
+        """Stamp the active trace context onto outbound headers."""
+        if self.obs is not None:
+            self.obs.tracer.inject(headers)
+        return headers
 
     def _producer_for(self, queue: str) -> Producer:
         producer = self._producers.get(queue)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import fnmatch
 import functools
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -76,18 +77,29 @@ class _Weave:
 
 @dataclass
 class AspectWeaver:
-    """Installs advice on object instances; fully reversible."""
+    """Installs advice on object instances; fully reversible.
+
+    The diagnostic ``trace`` is capped (``trace_capacity``, default
+    256 entries, oldest discarded) so a long-lived woven object cannot
+    leak memory; set it to ``0`` to disable tracing entirely, or to
+    ``None`` for the old unbounded behaviour.
+    """
 
     _weaves: list[_Weave] = field(default_factory=list)
     #: (method name, 'call'|'return'|'raise') tuples, for diagnostics.
     trace: list[tuple[str, str]] = field(default_factory=list)
+    trace_capacity: int | None = 256
+    trace_dropped: int = 0
 
     def weave(self, target: Any, method_pattern: str, advice: Advice) -> int:
-        """Wrap every matching public method of ``target``.
+        """Wrap every matching public *method* of ``target``.
 
         ``method_pattern`` is an fnmatch pattern (``insert``, ``*``,
         ``{insert,update}`` is not supported — weave twice instead).
-        Returns the number of methods woven.
+        Only instance/class methods are join points: arbitrary public
+        callables (stored lambdas, callable attribute objects, nested
+        classes) are not methods and are never wrapped, so ``*`` on a
+        rich object stays safe.  Returns the number of methods woven.
         """
         woven = 0
         for name in dir(target):
@@ -96,11 +108,21 @@ class AspectWeaver:
             if not fnmatch.fnmatch(name, method_pattern):
                 continue
             bound = getattr(target, name)
-            if not callable(bound):
+            if not inspect.ismethod(bound):
                 continue
             self._weave_one(target, name, bound, advice)
             woven += 1
         return woven
+
+    def _trace(self, name: str, phase: str) -> None:
+        if self.trace_capacity == 0:
+            return
+        self.trace.append((name, phase))
+        if self.trace_capacity is not None:
+            overflow = len(self.trace) - self.trace_capacity
+            if overflow > 0:
+                del self.trace[:overflow]
+                self.trace_dropped += overflow
 
     def _weave_one(
         self, target: Any, name: str, original: Callable, advice: Advice
@@ -112,17 +134,17 @@ class AspectWeaver:
             join_point = JoinPoint(
                 target=target, method=name, args=args, kwargs=kwargs
             )
-            weaver.trace.append((name, "call"))
+            weaver._trace(name, "call")
             if advice.before is not None:
                 advice.before(join_point)
             try:
                 result = original(*args, **kwargs)
             except BaseException as error:
-                weaver.trace.append((name, "raise"))
+                weaver._trace(name, "raise")
                 if advice.after_raising is not None:
                     advice.after_raising(join_point, error)
                 raise
-            weaver.trace.append((name, "return"))
+            weaver._trace(name, "return")
             if advice.after_returning is not None:
                 advice.after_returning(join_point, result)
             return result

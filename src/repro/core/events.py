@@ -1,7 +1,7 @@
 """The workflow engine's observable event stream.
 
 Every state change, dispatch and authorization decision the engine makes
-is emitted as an :class:`Event`.  The stream serves three consumers:
+is emitted as an :class:`Event`.  The stream serves four consumers:
 
 * the **web layer** — the WorkflowFilter turns events raised during a
   request into user-visible notices appended to the response ("the
@@ -9,7 +9,18 @@ is emitted as an :class:`Event`.  The stream serves three consumers:
   details about its own actions");
 * the **test suite** — assertions about engine behaviour read like
   ``log.of_kind("task.state") == [...]``;
-* the **benchmark harness** — event counts feed the cost model.
+* the **benchmark harness** — event counts feed the cost model;
+* the **observability layer** (``repro.obs``) — a subscriber mirrors
+  every event into the metrics registry and the active trace.
+
+Sequence-number contract: sequences are monotonically increasing for
+the lifetime of the log and are **never reused**.  :meth:`EventLog.clear`
+drops recorded events but keeps the counter advancing (so ``since()``
+markers taken before a clear stay valid); :meth:`EventLog.reset` is the
+explicit full rewind that also zeroes the counter.
+
+Long-running servers can bound memory with ``capacity``: the log then
+behaves as a ring buffer, silently discarding its oldest events.
 """
 
 from __future__ import annotations
@@ -35,17 +46,32 @@ class Event:
 
 @dataclass
 class EventLog:
-    """Append-only event log with subscriber callbacks."""
+    """Append-only event log with subscriber callbacks.
+
+    ``capacity=None`` (the default) keeps every event; a positive
+    capacity turns the log into a ring buffer of the most recent events
+    (``dropped`` counts the discards).  Subscriber callbacks run
+    synchronously during :meth:`emit`; an exception from one propagates
+    to the emitter and skips the remaining subscribers — observability
+    subscribers are expected to catch their own errors.
+    """
 
     events: list[Event] = field(default_factory=list)
     _subscribers: list[Callable[[Event], None]] = field(default_factory=list)
     _next_sequence: int = 1
+    capacity: int | None = None
+    dropped: int = 0
 
     def emit(self, kind: str, **payload: Any) -> Event:
         """Record an event and notify subscribers."""
         event = Event(kind=kind, payload=payload, sequence=self._next_sequence)
         self._next_sequence += 1
         self.events.append(event)
+        if self.capacity is not None and self.capacity >= 0:
+            overflow = len(self.events) - self.capacity
+            if overflow > 0:
+                del self.events[:overflow]
+                self.dropped += overflow
         for subscriber in list(self._subscribers):
             subscriber(event)
         return event
@@ -60,18 +86,34 @@ class EventLog:
             self._subscribers.remove(callback)
 
     def of_kind(self, kind: str) -> list[Event]:
-        """All events of one kind, in emission order."""
+        """All retained events of one kind, in emission order."""
         return [event for event in self.events if event.kind == kind]
 
     def since(self, sequence: int) -> list[Event]:
-        """Events emitted after ``sequence`` (exclusive)."""
+        """Retained events emitted after ``sequence`` (exclusive)."""
         return [event for event in self.events if event.sequence > sequence]
 
     @property
     def last_sequence(self) -> int:
-        """Sequence number of the most recent event (0 when empty)."""
-        return self.events[-1].sequence if self.events else 0
+        """Sequence number of the most recent *emitted* event.
+
+        Stays accurate across :meth:`clear` and ring-buffer eviction —
+        it reflects what was emitted, not what is retained; 0 only when
+        nothing was ever emitted (or after :meth:`reset`).
+        """
+        return self._next_sequence - 1
 
     def clear(self) -> None:
-        """Drop recorded events (subscribers stay registered)."""
+        """Drop recorded events; sequence numbering continues.
+
+        Subscribers stay registered.  Use :meth:`reset` to also rewind
+        the sequence counter.
+        """
         self.events.clear()
+
+    def reset(self) -> None:
+        """Full rewind: drop events, zero the sequence counter and the
+        drop count (subscribers stay registered)."""
+        self.events.clear()
+        self._next_sequence = 1
+        self.dropped = 0

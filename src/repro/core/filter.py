@@ -31,6 +31,7 @@ touched:
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -45,6 +46,13 @@ from repro.weblims.userservlet import UserRequestServlet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.weblims.container import WebContainer
+
+def _span(hub, name: str, **attributes: Any):
+    """A tracer span when observability is installed, else a no-op."""
+    if hub is None:
+        return nullcontext()
+    return hub.tracer.span(name, **attributes)
+
 
 #: Events worth surfacing to the user as response notices.
 _NOTICE_KINDS = {
@@ -97,10 +105,16 @@ class WorkflowFilter(Filter):
     def do_filter(
         self, request: HttpRequest, chain: FilterChain
     ) -> HttpResponse:
+        hub = self._obs()
         # Mode (b): explicit workflow actions bypass the original target.
         if request.param("workflow_action") is not None:
             self.stats.processed += 1
-            return self.workflow_servlet.service(request, self.container)
+            with _span(
+                hub,
+                "filter.process",
+                workflow_action=request.param("workflow_action"),
+            ):
+                return self.workflow_servlet.service(request, self.container)
 
         action = request.param("action", "list")
         table = request.param("table")
@@ -113,10 +127,11 @@ class WorkflowFilter(Filter):
 
         # Mode (a): preprocess — validate before the original servlet.
         self.stats.preprocessed += 1
-        payload = self._payload_for_validation(request, action, table)
-        allowed, reason = self.engine.validate_user_action(
-            table, action, payload
-        )
+        with _span(hub, "filter.preprocess", table=table, action=action):
+            payload = self._payload_for_validation(request, action, table)
+            allowed, reason = self.engine.validate_user_action(
+                table, action, payload
+            )
         if not allowed:
             self.stats.denied += 1
             self.engine.events.emit(
@@ -129,7 +144,8 @@ class WorkflowFilter(Filter):
         # Mode (c): postprocess successful changes only.
         if response.ok:
             self.stats.postprocessed += 1
-            events = self.engine.on_data_change(table, response.attributes)
+            with _span(hub, "filter.postprocess", table=table, action=action):
+                events = self.engine.on_data_change(table, response.attributes)
             for event in events:
                 render = _NOTICE_KINDS.get(event.kind)
                 if render is not None:
@@ -138,6 +154,12 @@ class WorkflowFilter(Filter):
         return response
 
     # ------------------------------------------------------------------
+
+    def _obs(self):
+        """The observability hub, when one is installed on the container."""
+        if self.container is None:
+            return None
+        return self.container.context.get("obs")
 
     def _is_workflow_relevant(self, action: str, table: str | None) -> bool:
         """Whether the request "might impact the state of a workflow".

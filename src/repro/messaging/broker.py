@@ -58,6 +58,11 @@ class MessageBroker:
         self._in_flight: dict[int, Message] = {}
         self._next_id = 1
         self.stats = BrokerStats()
+        #: Optional observability hook with ``on_send(message,
+        #: persistent)`` / ``on_deliver(message)`` — called under the
+        #: broker lock, so observers must never call back into the
+        #: broker (see ``repro.obs``).
+        self.observer = None
         self._journal: BrokerJournal | None = None
         if journal_path is not None:
             self._journal = BrokerJournal(journal_path)
@@ -134,6 +139,8 @@ class MessageBroker:
             self.stats.per_queue_sends[queue] = (
                 self.stats.per_queue_sends.get(queue, 0) + 1
             )
+            if self.observer is not None:
+                self.observer.on_send(message, self._journal is not None)
             self._available.notify_all()
             return message
 
@@ -170,6 +177,8 @@ class MessageBroker:
             self.stats.deliveries += 1
             if message.redelivered:
                 self.stats.redeliveries += 1
+            if self.observer is not None:
+                self.observer.on_deliver(message)
             return message
 
     def ack(self, message: Message) -> None:

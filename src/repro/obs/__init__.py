@@ -1,0 +1,43 @@
+"""repro.obs — unified observability for the Exp-WF reproduction.
+
+The paper evaluates Exp-WF almost entirely through *observed costs*:
+database read/write amplification per request (§6) and the overhead of
+each WorkflowFilter mode.  The reproduction's instrumentation grew up
+fragmented — ``core/events`` has an engine-local event stream,
+``minidb/stats`` counts DB accesses, the broker and agents keep their
+own counters — and nothing correlated one user request across those
+layers.  This package is the missing correlation layer:
+
+* :mod:`repro.obs.trace` — trace IDs and nested spans with wall-clock
+  durations, propagated through ``HttpRequest.attributes`` and message
+  headers so one experiment submission yields one coherent span tree
+  across filter, engine, broker and agents;
+* :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  histograms with p50/p95/p99 summaries) with a Prometheus-style text
+  exposition;
+* :mod:`repro.obs.hub` — the :class:`ObservabilityHub` that wires the
+  existing instrumentation sources (EventLog, DatabaseStats,
+  BrokerStats, ContainerStats, FilterStats) into one registry, and
+  ``install_observability`` which attaches the hub to a running system.
+"""
+
+from repro.obs.hub import ObservabilityHub, install_observability
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, TraceExporter, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityHub",
+    "Span",
+    "TraceExporter",
+    "Tracer",
+    "install_observability",
+]

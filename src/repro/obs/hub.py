@@ -1,0 +1,292 @@
+"""The ObservabilityHub: one object that sees every tier.
+
+The hub owns a :class:`~repro.obs.trace.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry` and knows how to feed them
+from the instrumentation the system already has:
+
+* the engine's :class:`~repro.core.events.EventLog` — subscribed, every
+  event becomes an ``engine_events_total{kind=...}`` increment *and* a
+  zero-duration span under the active request span, so state
+  transitions show up inside the trace tree;
+* ``DatabaseStats`` / ``BrokerStats`` / ``ContainerStats`` /
+  ``FilterStats`` — mirrored into the registry by pull-time collectors;
+* the broker — an observer hook times every send→delivery interval and
+  records it both as a ``broker_delivery_wait_ms`` histogram and as a
+  ``broker.deliver`` span stitched into the originating trace via the
+  message's propagated headers.
+
+``install_observability`` attaches a hub to a running system (any
+subset of tiers) and registers the ``/workflow/metrics`` exposition
+servlet.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceExporter, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import WorkflowBean
+    from repro.messaging.broker import MessageBroker
+    from repro.weblims.app import ExpDB
+
+
+class _BrokerObserver:
+    """Times send→delivery and stitches deliveries into traces.
+
+    Installed as ``MessageBroker.observer``; called under the broker
+    lock, so it must never call back into the broker.
+    """
+
+    def __init__(self, hub: "ObservabilityHub") -> None:
+        self.hub = hub
+        self._send_times: dict[int, float] = {}
+
+    def on_send(self, message, persistent: bool) -> None:
+        self._send_times[message.message_id] = time.perf_counter()
+        # Cap the pending map: a queue nobody drains must not leak.
+        if len(self._send_times) > 10_000:
+            oldest = min(self._send_times)
+            del self._send_times[oldest]
+
+    def on_deliver(self, message) -> None:
+        sent_at = self._send_times.pop(message.message_id, None)
+        if sent_at is None:  # journal-recovered or redelivered message
+            return
+        wait_ms = (time.perf_counter() - sent_at) * 1000.0
+        registry = self.hub.registry
+        registry.histogram(
+            "broker_delivery_wait_ms",
+            help="Time between send and delivery per queue",
+            queue=message.queue,
+        ).observe(wait_ms)
+        trace_id, parent_id = self.hub.tracer.extract(message.headers)
+        if trace_id is not None:
+            self.hub.tracer.record(
+                "broker.deliver",
+                trace_id=trace_id,
+                parent_id=parent_id,
+                duration_ms=wait_ms,
+                queue=message.queue,
+                message_id=message.message_id,
+                kind=message.headers.get("kind"),
+            )
+
+
+class ObservabilityHub:
+    """Tracer + registry + exporter, with wiring helpers."""
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.tracer = tracer or Tracer()
+        self.registry = registry or MetricsRegistry()
+        self.exporter = TraceExporter(self.tracer)
+        self.broker_observer = _BrokerObserver(self)
+
+    def span(self, name: str, **attributes: Any):
+        """Shorthand for ``hub.tracer.span``."""
+        return self.tracer.span(name, **attributes)
+
+    # ------------------------------------------------------------------
+    # Event stream bridge
+    # ------------------------------------------------------------------
+
+    def on_event(self, event) -> None:
+        """EventLog subscriber: count the event and pin it to the trace.
+
+        Never raises — a metrics problem must not take the engine down.
+        """
+        try:
+            self.registry.counter(
+                "engine_events_total",
+                help="Engine events by kind",
+                kind=event.kind,
+            ).inc()
+            scalars = {
+                key: value
+                for key, value in event.payload.items()
+                if isinstance(value, (str, int, float, bool, type(None)))
+            }
+            self.tracer.annotate(
+                f"event.{event.kind}", sequence=event.sequence, **scalars
+            )
+        except Exception:  # noqa: BLE001 - observability is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # Collector wiring (pull-time mirrors of external counters)
+    # ------------------------------------------------------------------
+
+    def watch_database(self, db) -> None:
+        """Mirror ``DatabaseStats`` (global and per-table) at scrape time."""
+
+        def collect() -> None:
+            stats = db.stats
+            self.registry.counter(
+                "db_reads_total", help="Logical read statements"
+            ).set(stats.reads)
+            self.registry.counter(
+                "db_writes_total", help="Logical write statements"
+            ).set(stats.writes)
+            self.registry.counter(
+                "db_rows_scanned_total", help="Rows scanned"
+            ).set(stats.rows_scanned)
+            self.registry.counter(
+                "db_index_lookups_total", help="Index lookups"
+            ).set(stats.index_lookups)
+            for table, count in stats.per_table_reads.items():
+                self.registry.counter(
+                    "db_table_reads_total",
+                    help="Read statements per table",
+                    table=table,
+                ).set(count)
+            for table, count in stats.per_table_writes.items():
+                self.registry.counter(
+                    "db_table_writes_total",
+                    help="Write statements per table",
+                    table=table,
+                ).set(count)
+
+        self.registry.add_collector(collect)
+
+    def watch_container(self, container) -> None:
+        """Mirror ``ContainerStats`` at scrape time."""
+
+        def collect() -> None:
+            stats = container.stats
+            self.registry.counter(
+                "http_requests_handled_total", help="Requests handled"
+            ).set(stats.requests)
+            self.registry.counter(
+                "http_filter_invocations_total", help="Filter invocations"
+            ).set(stats.filter_invocations)
+            self.registry.counter(
+                "http_servlet_invocations_total", help="Servlet invocations"
+            ).set(stats.servlet_invocations)
+            self.registry.counter(
+                "http_internal_forwards_total", help="Internal forwards"
+            ).set(stats.internal_forwards)
+            self.registry.counter(
+                "http_errors_total", help="Requests answered with an error"
+            ).set(stats.errors)
+
+        self.registry.add_collector(collect)
+
+    def watch_filter(self, workflow_filter) -> None:
+        """Mirror ``FilterStats`` (the Fig. 7 mode counters)."""
+
+        def collect() -> None:
+            stats = workflow_filter.stats
+            for mode, count in (
+                ("passed_through", stats.passed_through),
+                ("preprocessed", stats.preprocessed),
+                ("denied", stats.denied),
+                ("processed", stats.processed),
+                ("postprocessed", stats.postprocessed),
+            ):
+                self.registry.counter(
+                    "workflow_filter_requests_total",
+                    help="WorkflowFilter requests per handling mode",
+                    mode=mode,
+                ).set(count)
+
+        self.registry.add_collector(collect)
+
+    def watch_engine(self, engine: "WorkflowBean") -> None:
+        """Subscribe to the event stream and mirror the check counter."""
+        engine.events.subscribe(self.on_event)
+
+        def collect() -> None:
+            self.registry.counter(
+                "engine_checks_total", help="check_workflow evaluations"
+            ).set(engine.check_count)
+
+        self.registry.add_collector(collect)
+
+    def watch_broker(self, broker: "MessageBroker") -> None:
+        """Install the delivery observer and mirror ``BrokerStats``."""
+        broker.observer = self.broker_observer
+
+        def collect() -> None:
+            stats = broker.stats
+            self.registry.counter(
+                "broker_sends_total", help="Messages sent"
+            ).set(stats.sends)
+            self.registry.counter(
+                "broker_persistent_sends_total", help="Journalled sends"
+            ).set(stats.persistent_sends)
+            self.registry.counter(
+                "broker_deliveries_total", help="Messages delivered"
+            ).set(stats.deliveries)
+            self.registry.counter(
+                "broker_redeliveries_total", help="Redeliveries"
+            ).set(stats.redeliveries)
+            self.registry.counter(
+                "broker_acks_total", help="Acknowledgements"
+            ).set(stats.acks)
+            for queue, count in stats.per_queue_sends.items():
+                self.registry.counter(
+                    "broker_queue_sends_total",
+                    help="Sends per queue",
+                    queue=queue,
+                ).set(count)
+            for queue in broker.queue_names():
+                self.registry.gauge(
+                    "broker_queue_depth",
+                    help="Messages waiting per queue",
+                    queue=queue,
+                ).set(broker.queue_depth(queue))
+            self.registry.gauge(
+                "broker_in_flight", help="Delivered but unacked messages"
+            ).set(broker.in_flight_count())
+
+        self.registry.add_collector(collect)
+
+
+def install_observability(
+    expdb: "ExpDB | None" = None,
+    engine: "WorkflowBean | None" = None,
+    broker: "MessageBroker | None" = None,
+    manager=None,
+    agents: Iterable[Any] = (),
+    hub: ObservabilityHub | None = None,
+) -> ObservabilityHub:
+    """Attach observability to a running system (any subset of tiers).
+
+    * ``expdb`` — the web container gets per-request root spans and the
+      latency histogram, plus the ``/workflow/metrics`` servlet;
+    * ``engine`` — event-stream subscription and check-count mirror;
+    * ``broker`` — delivery timing and trace stitching;
+    * ``manager`` / ``agents`` — trace propagation through dispatches,
+      pump application spans and agent turnaround histograms.
+
+    Returns the hub (created fresh unless one is passed in).
+    """
+    hub = hub or ObservabilityHub()
+    if expdb is not None:
+        from repro.weblims.metricsservlet import MetricsServlet
+
+        expdb.container.context["obs"] = hub
+        hub.watch_container(expdb.container)
+        hub.watch_database(expdb.db)
+        workflow_filter = expdb.container.context.get("workflow_filter")
+        if workflow_filter is not None:
+            hub.watch_filter(workflow_filter)
+        descriptor = expdb.container.descriptor
+        if "MetricsServlet" not in descriptor.servlet_names():
+            descriptor.add_servlet(MetricsServlet(hub), "/workflow/metrics")
+    if engine is not None:
+        hub.watch_engine(engine)
+    if broker is not None:
+        hub.watch_broker(broker)
+    if manager is not None:
+        manager.obs = hub
+    for agent in agents:
+        agent.obs = hub
+    return hub

@@ -1,0 +1,265 @@
+"""The metrics registry: counters, gauges, histograms, text exposition.
+
+Metric families are identified by name; each family holds one child per
+distinct label set (``http_request_latency_ms{path="/user"}`` and
+``...{path="/workflow"}`` are two children of one family).  Histograms
+keep a bounded reservoir of observations and report p50/p95/p99
+summaries — exactly the quantities the paper's evaluation tables are
+built from.
+
+Two consumption paths:
+
+* :meth:`MetricsRegistry.render` — a Prometheus-style text exposition
+  (served at ``GET /workflow/metrics`` by the MetricsServlet);
+* :meth:`MetricsRegistry.snapshot` — a JSON-friendly dict tree (written
+  as ``BENCH_*.json`` trajectory files by the benchmark harness).
+
+*Collectors* bridge the pull model: callbacks registered with
+:meth:`MetricsRegistry.add_collector` run right before every render or
+snapshot and copy externally-owned counters (``DatabaseStats``,
+``BrokerStats``, ``ContainerStats``, ``FilterStats``) into the registry.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Quantiles reported by every histogram summary.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite — used by collectors mirroring an external
+        monotone counter (e.g. ``DatabaseStats.reads``)."""
+        self.value = float(value)
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Observations with count/sum and a bounded quantile reservoir."""
+
+    reservoir_size: int = 4096
+    count: int = 0
+    sum: float = 0.0
+    _reservoir: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += float(value)
+        self._reservoir.append(float(value))
+        overflow = len(self._reservoir) - self.reservoir_size
+        if overflow > 0:
+            # Drop the oldest observations: recent behaviour is what a
+            # scrape should describe.
+            del self._reservoir[:overflow]
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (nearest-rank) of retained observations."""
+        return _nearest_rank(self._reservoir, q)
+
+    def summary(self) -> dict[str, float]:
+        """count, sum and the standard quantiles, JSON-friendly."""
+        result: dict[str, float] = {"count": float(self.count), "sum": self.sum}
+        for q in SUMMARY_QUANTILES:
+            result[f"p{int(q * 100)}"] = self.quantile(q)
+        return result
+
+
+def _nearest_rank(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass
+class _Family:
+    name: str
+    kind: str  # 'counter' | 'gauge' | 'histogram'
+    help: str
+    children: dict[_LabelKey, Any] = field(default_factory=dict)
+
+    def aggregate_quantile(self, q: float) -> float:
+        """Quantile over every child's reservoir (histograms only)."""
+        merged: list[float] = []
+        for child in self.children.values():
+            merged.extend(child._reservoir)
+        return _nearest_rank(merged, q)
+
+
+class MetricsRegistry:
+    """Process-wide metric store with lazy family/child creation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (create-on-first-use)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self._child(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._child(name, "gauge", help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "", **labels: Any) -> Histogram:
+        return self._child(name, "histogram", help, labels, Histogram)
+
+    def _child(self, name, kind, help, labels, factory):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(name, kind, help)
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            if help and not family.help:
+                family.help = help
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = factory()
+            return child
+
+    def family_quantile(self, name: str, q: float) -> float:
+        """Aggregate quantile across every label set of a histogram."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family.kind != "histogram":
+                return 0.0
+            return family.aggregate_quantile(q)
+
+    # ------------------------------------------------------------------
+    # Collectors (pull-time bridges from external counters)
+    # ------------------------------------------------------------------
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run before every render/snapshot."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            try:
+                collector()
+            except Exception:  # noqa: BLE001 - a broken collector must
+                pass  # never take the exposition endpoint down
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every metric."""
+        self.collect()
+        lines: list[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                if family.help:
+                    lines.append(f"# HELP {name} {family.help}")
+                exposition_kind = (
+                    "summary" if family.kind == "histogram" else family.kind
+                )
+                lines.append(f"# TYPE {name} {exposition_kind}")
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    if family.kind == "histogram":
+                        for q in SUMMARY_QUANTILES:
+                            label_str = _render_labels(
+                                key, (("quantile", f"{q}"),)
+                            )
+                            lines.append(
+                                f"{name}{label_str} {child.quantile(q):.6f}"
+                            )
+                        lines.append(
+                            f"{name}_count{_render_labels(key)} {child.count}"
+                        )
+                        lines.append(
+                            f"{name}_sum{_render_labels(key)} {child.sum:.6f}"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{_render_labels(key)} {child.value:g}"
+                        )
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, Any]:
+        """The registry as a JSON-friendly dict tree.
+
+        ``{metric name: {kind, help, series: [{labels, value|summary}]}}``
+        """
+        self.collect()
+        result: dict[str, Any] = {}
+        with self._lock:
+            for name, family in self._families.items():
+                series = []
+                for key, child in family.children.items():
+                    entry: dict[str, Any] = {"labels": dict(key)}
+                    if family.kind == "histogram":
+                        entry["summary"] = child.summary()
+                    else:
+                        entry["value"] = child.value
+                    series.append(entry)
+                result[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "series": series,
+                }
+        return result
+
+    def reset(self) -> None:
+        """Drop every family (collectors stay registered)."""
+        with self._lock:
+            self._families.clear()

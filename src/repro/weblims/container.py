@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ReproError, RoutingError, WebError
+from repro.obs.trace import PARENT_SPAN_KEY, TRACE_ID_KEY
 from repro.weblims.http import HttpRequest, HttpResponse
 from repro.weblims.servlet import Filter, FilterChain, Servlet
 from repro.weblims.session import Session, SessionManager
@@ -32,6 +33,23 @@ def pattern_matches(pattern: str, path: str) -> bool:
         prefix = pattern[:-2]
         return path == prefix or path.startswith(prefix + "/")
     return path == pattern
+
+
+def pattern_specificity(pattern: str, path: str) -> int:
+    """How specifically ``pattern`` matches ``path`` (higher wins).
+
+    The servlet spec resolves overlapping mappings most-specific-first:
+    an exact match beats any prefix match, a longer prefix beats a
+    shorter one, ``/*`` beats nothing.  This is what lets an exact
+    ``/workflow/metrics`` mapping coexist with ``/workflow/*``.
+    """
+    if not pattern_matches(pattern, path):
+        return -1
+    if pattern == "/*":
+        return 0
+    if pattern.endswith("/*"):
+        return 1 + len(pattern) - 2
+    return 1 + len(path) + 1  # exact: longer than any prefix can score
 
 
 @dataclass
@@ -86,11 +104,20 @@ class DeploymentDescriptor:
         self._filter_mappings.append(_FilterMapping(filter_, list(patterns)))
 
     def servlet_for(self, path: str) -> Servlet:
-        """Resolve the servlet mapped to ``path`` (first match wins)."""
+        """Resolve the servlet mapped to ``path``.
+
+        Most specific pattern wins (exact > longest prefix > ``/*``);
+        declaration order breaks ties.
+        """
+        best: str | None = None
+        best_score = -1
         for pattern, name in self._servlet_mappings:
-            if pattern_matches(pattern, path):
-                return self._servlets[name]
-        raise RoutingError(f"no servlet mapped to {path!r}")
+            score = pattern_specificity(pattern, path)
+            if score > best_score:
+                best, best_score = name, score
+        if best is None:
+            raise RoutingError(f"no servlet mapped to {path!r}")
+        return self._servlets[best]
 
     def filters_for(self, path: str) -> list[Filter]:
         """Filters applicable to ``path`` in declaration order."""
@@ -129,8 +156,42 @@ class WebContainer:
         Library errors surface as proper HTTP error responses — a web
         container never lets an application exception escape to the
         transport.
+
+        With an observability hub in the context (``context["obs"]``)
+        every request runs under a span — the root of a fresh trace, or
+        a child when the caller already holds one open (so several
+        requests of one experiment submission share a trace) — and its
+        duration feeds the ``http_request_latency_ms`` histogram.
         """
         self.stats.requests += 1
+        hub = self.context.get("obs")
+        if hub is None:
+            return self._handle_guarded(request)
+        span = hub.tracer.start_span(
+            "http.request", path=request.path, method=request.method
+        )
+        # Expose the trace context to servlets/filters downstream.
+        request.attributes[TRACE_ID_KEY] = span.trace_id
+        request.attributes[PARENT_SPAN_KEY] = span.span_id
+        try:
+            response = self._handle_guarded(request)
+        finally:
+            hub.tracer.end_span(span)
+        span.attributes["status"] = response.status
+        hub.registry.histogram(
+            "http_request_latency_ms",
+            help="Wall-clock request latency per path",
+            path=request.path,
+        ).observe(span.duration_ms or 0.0)
+        hub.registry.counter(
+            "http_requests_total",
+            help="Requests per path and status",
+            path=request.path,
+            status=response.status,
+        ).inc()
+        return response
+
+    def _handle_guarded(self, request: HttpRequest) -> HttpResponse:
         try:
             return self._execute(request, apply_filters=True)
         except RoutingError as error:

@@ -1,0 +1,41 @@
+"""The metrics exposition servlet (``GET /workflow/metrics``).
+
+Serves the observability hub's registry as a Prometheus-style text
+exposition.  Registered by ``repro.obs.install_observability`` under the
+exact pattern ``/workflow/metrics`` — the deployment descriptor's
+most-specific-match rule lets it coexist with the WorkflowServlet's
+``/workflow/*`` prefix mapping, exactly how a real container resolves
+overlapping ``web.xml`` patterns.
+
+The hub is duck-typed (anything with a ``registry.render()``) so this
+module needs no runtime dependency on :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Servlet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hub import ObservabilityHub
+    from repro.weblims.container import WebContainer
+
+
+class MetricsServlet(Servlet):
+    """Text exposition of every registered metric."""
+
+    name = "MetricsServlet"
+
+    def __init__(self, hub: "ObservabilityHub") -> None:
+        self.hub = hub
+
+    def do_get(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        return HttpResponse(
+            status=200,
+            body=self.hub.registry.render(),
+            content_type="text/plain; version=0.0.4",
+        )

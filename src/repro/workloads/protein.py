@@ -40,6 +40,7 @@ from repro.core.persistence import authorize_agent, register_agent, save_pattern
 from repro.core.spec import AgentSpec
 from repro.messaging import MessageBroker
 from repro.minidb.schema import Column
+from repro.obs import ObservabilityHub, install_observability
 from repro.minidb.types import ColumnType
 from repro.weblims import ExpDB, build_expdb
 from repro.weblims.schema_setup import (
@@ -109,6 +110,8 @@ class ProteinLab:
     email: EmailTransport
     agents: list[TemplateAgent] = field(default_factory=list)
     technician: HumanTechnicianAgent | None = None
+    #: Unified tracing + metrics across every tier (repro.obs).
+    obs: ObservabilityHub | None = None
 
     def run_messages(self) -> int:
         """Drive the asynchronous system to quiescence."""
@@ -354,13 +357,16 @@ def build_protein_lab(
     colonies: int | None = 25,
     wal_path: str | None = None,
     journal_path: str | None = None,
+    observability: bool = True,
 ) -> ProteinLab:
     """Assemble the complete protein lab.
 
     ``colonies=25`` (the default) takes the PCR-screening branch;
     ``colonies=10`` takes miniprep; ``colonies=None`` lets the seeded
     RNG decide.  ``failure_rate`` injects robot failures to exercise
-    retries and multi-instance behaviour.
+    retries and multi-instance behaviour.  ``observability`` installs
+    the ``repro.obs`` hub across every tier (``lab.obs``), including
+    the ``/workflow/metrics`` exposition endpoint.
     """
     app = build_expdb(wal_path=wal_path)
     broker = MessageBroker(journal_path=journal_path)
@@ -379,4 +385,12 @@ def build_protein_lab(
     seed_stock_samples(app)
     build_protein_patterns(app)
     build_protein_agents(lab, seed=seed, failure_rate=failure_rate, colonies=colonies)
+    if observability:
+        lab.obs = install_observability(
+            expdb=app,
+            engine=engine,
+            broker=broker,
+            manager=manager,
+            agents=lab.agents,
+        )
     return lab

@@ -99,6 +99,40 @@ class TestWeaver:
         assert ("work", "return") in weaver.trace
         assert ("fail", "raise") in weaver.trace
 
+    def test_star_pattern_skips_non_method_callables(self):
+        target = Target()
+        # Public callables that are NOT methods: a stored lambda, a
+        # callable object, a nested class, a plain data attribute.
+        target.hook = lambda: "lambda"
+        target.runner = Target  # a class is callable too
+        target.payload = {"k": "v"}
+        weaver = AspectWeaver()
+        woven = weaver.weave(target, "*", Advice())
+        assert woven == 3  # work, fail, other — nothing else
+        assert target.hook() == "lambda"
+        assert ("hook", "call") not in weaver.trace
+        assert target.work(2) == 4
+        assert ("work", "call") in weaver.trace
+
+    def test_trace_is_bounded(self):
+        target = Target()
+        weaver = AspectWeaver(trace_capacity=4)
+        weaver.weave(target, "work", Advice())
+        for n in range(5):
+            target.work(n)
+        # 5 calls -> 10 entries, capped at the 4 most recent.
+        assert len(weaver.trace) == 4
+        assert weaver.trace_dropped == 6
+        assert weaver.trace[-2:] == [("work", "call"), ("work", "return")]
+
+    def test_trace_capacity_zero_disables_tracing(self):
+        target = Target()
+        weaver = AspectWeaver(trace_capacity=0)
+        weaver.weave(target, "work", Advice())
+        target.work(1)
+        assert weaver.trace == []
+        assert weaver.trace_dropped == 0
+
 
 class TestAspectWorkflowSupport:
     """The Exp-WF aspect: workflow support for non-web clients."""

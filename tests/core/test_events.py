@@ -65,3 +65,98 @@ class TestEventLog:
         event = log.emit("b")
         assert event.sequence == 2  # sequence is never reused
         assert [e.kind for e in seen] == ["a", "b"]
+
+    def test_last_sequence_survives_clear(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.clear()
+        # The contract: last_sequence reports the last *emitted* event,
+        # so a since() cursor taken before clear() stays valid.
+        assert log.last_sequence == 2
+        log.emit("c")
+        assert log.last_sequence == 3
+
+    def test_since_and_of_kind_after_clear(self):
+        log = EventLog()
+        log.emit("a")
+        marker = log.last_sequence
+        log.emit("b")
+        log.clear()
+        log.emit("a", n=1)
+        assert [e.kind for e in log.since(marker)] == ["a"]
+        assert [e["n"] for e in log.of_kind("a")] == [1]
+
+    def test_reset_rewinds_sequence(self):
+        log = EventLog(capacity=2)
+        for __ in range(3):
+            log.emit("a")
+        log.reset()
+        assert log.events == []
+        assert log.dropped == 0
+        assert log.last_sequence == 0
+        assert log.emit("b").sequence == 1
+
+
+class TestEventLogCapacity:
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for __ in range(1000):
+            log.emit("a")
+        assert len(log.events) == 1000
+        assert log.dropped == 0
+
+    def test_ring_buffer_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for n in range(1, 6):
+            log.emit("a", n=n)
+        assert [e["n"] for e in log.events] == [3, 4, 5]
+        assert log.dropped == 2
+        # Sequence numbers are global, not per-buffer.
+        assert [e.sequence for e in log.events] == [3, 4, 5]
+        assert log.last_sequence == 5
+
+    def test_subscribers_still_see_evicted_events(self):
+        log = EventLog(capacity=1)
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("a")
+        log.emit("b")
+        assert [e.kind for e in seen] == ["a", "b"]
+
+
+class TestSubscriberEdgeCases:
+    def test_unsubscribe_during_dispatch(self):
+        log = EventLog()
+        seen = []
+
+        def once(event):
+            seen.append(event.kind)
+            log.unsubscribe(once)
+
+        log.subscribe(once)
+        log.subscribe(lambda e: seen.append("tail:" + e.kind))
+        log.emit("x")
+        log.emit("y")
+        # `once` saw only the first event; the other subscriber saw both.
+        assert seen == ["x", "tail:x", "tail:y"]
+
+    def test_subscriber_raising_skips_the_rest_but_keeps_the_event(self):
+        log = EventLog()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("subscriber bug")
+
+        log.subscribe(broken)
+        log.subscribe(lambda e: seen.append(e.kind))
+        try:
+            log.emit("x")
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - documents the contract
+            raise AssertionError("subscriber exceptions propagate")
+        # The event was recorded before dispatch; later subscribers were
+        # skipped (documented contract: observers must catch their own).
+        assert [e.kind for e in log.events] == ["x"]
+        assert seen == []

@@ -1,0 +1,139 @@
+"""Acceptance: one experiment submission, one coherent trace.
+
+Submits an experiment through the web container of a fully wired
+protein lab and asserts that a single trace ID links spans from every
+tier — the WorkflowFilter in all three Fig. 7 modes, engine state
+transitions, broker deliveries, and agent execution — and that the
+``/workflow/metrics`` endpoint exposes the corresponding metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TraceExporter
+from repro.workloads.protein import build_protein_lab
+
+
+@pytest.fixture(scope="module")
+def submission():
+    lab = build_protein_lab()
+    hub = lab.obs
+    with hub.tracer.span("experiment.submission") as root:
+        insert = lab.app.post(
+            "/user", action="insert", table="Pcr", v_cycles="30"
+        )
+        start = lab.app.post(
+            "/user", workflow_action="start", pattern="protein_creation"
+        )
+        lab.run_messages()
+    assert insert.ok
+    assert start.ok
+    return lab, hub, root
+
+
+class TestSingleTrace:
+    def test_one_trace_links_every_tier(self, submission):
+        lab, hub, root = submission
+        spans = hub.tracer.spans_for(root.trace_id)
+        names = {span.name for span in spans}
+        # Web tier: both requests under the submission root.
+        assert names >= {"experiment.submission", "http.request"}
+        # WorkflowFilter, all three Fig. 7 modes.
+        assert names >= {
+            "filter.preprocess",   # (a) the insert was validated
+            "filter.process",      # (b) workflow_action=start
+            "filter.postprocess",  # (c) the response was postprocessed
+        }
+        # Engine state transitions arrive as event annotations.
+        assert names >= {
+            "event.workflow.started",
+            "event.task.state",
+            "event.instance.state",
+        }
+        # Messaging and agent tiers, stitched via message headers.
+        assert names >= {
+            "broker.deliver",
+            "engine.apply_message",
+            "agent.handle",
+        }
+        assert {span.trace_id for span in spans} == {root.trace_id}
+
+    def test_http_requests_are_children_of_the_submission(self, submission):
+        __, hub, root = submission
+        requests = [
+            span
+            for span in hub.tracer.spans_for(root.trace_id)
+            if span.name == "http.request"
+        ]
+        assert len(requests) == 2
+        assert all(span.parent_id == root.span_id for span in requests)
+        assert all(span.attributes["status"] == 200 for span in requests)
+
+    def test_agent_work_carries_remote_parents(self, submission):
+        __, hub, root = submission
+        handled = [
+            span
+            for span in hub.tracer.spans_for(root.trace_id)
+            if span.name == "agent.handle"
+        ]
+        assert handled
+        assert all(span.remote_parent for span in handled)
+        assert all(span.duration_ms is not None for span in handled)
+
+    def test_agents_actually_progressed_the_workflow(self, submission):
+        lab, __, ___ = submission
+        completed = lab.engine.events.of_kind("task.state")
+        assert any(
+            event["state"] == "completed" for event in completed
+        ), "no task completed — the traced run did no real work"
+
+    def test_exporter_builds_one_tree_from_the_root(self, submission):
+        __, hub, root = submission
+        [tree] = TraceExporter(hub.tracer).tree(root.trace_id)
+        assert tree["name"] == "experiment.submission"
+        assert tree["children"], "root span has no children in the export"
+
+
+class TestMetricsEndpoint:
+    def test_exposition_has_latency_quantiles(self, submission):
+        lab, __, ___ = submission
+        response = lab.app.get("/workflow/metrics")
+        assert response.ok
+        assert response.content_type.startswith("text/plain")
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'quantile="{quantile}"' in response.body
+        assert 'http_request_latency_ms{path="/user",quantile="0.5"}' in (
+            response.body
+        )
+        assert 'http_request_latency_ms_count{path="/user"}' in response.body
+
+    def test_exposition_has_per_table_db_counters(self, submission):
+        lab, __, ___ = submission
+        body = lab.app.get("/workflow/metrics").body
+        assert 'db_table_reads_total{table="Workflow"}' in body
+        assert 'db_table_writes_total{table="Experiment"}' in body
+        assert "db_reads_total" in body
+        assert "db_writes_total" in body
+
+    def test_exposition_has_engine_event_counts(self, submission):
+        lab, hub, __ = submission
+        body = lab.app.get("/workflow/metrics").body
+        assert 'engine_events_total{kind="workflow.started"} 1' in body
+        assert 'engine_events_total{kind="task.state"}' in body
+
+    def test_registry_quantiles_are_positive(self, submission):
+        __, hub, ___ = submission
+        for quantile in (0.5, 0.95, 0.99):
+            assert (
+                hub.registry.family_quantile("http_request_latency_ms", quantile)
+                > 0.0
+            )
+
+    def test_broker_and_agent_metrics_recorded(self, submission):
+        __, hub, ___ = submission
+        snapshot = hub.registry.snapshot()
+        assert snapshot["broker_deliveries_total"]["series"][0]["value"] > 0
+        turnarounds = snapshot["agent_turnaround_ms"]["series"]
+        assert turnarounds
+        assert all(series["summary"]["count"] > 0 for series in turnarounds)

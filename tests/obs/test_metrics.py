@@ -1,0 +1,123 @@
+"""Metrics registry: instruments, quantiles, exposition, collectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("reads_total", table="Experiment")
+        b = registry.counter("reads_total", table="Experiment")
+        c = registry.counter("reads_total", table="Sample")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("x")
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_quantiles_nearest_rank(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.quantile(0.5) == 50.0
+        assert histogram.quantile(0.95) == 95.0
+        assert histogram.quantile(0.99) == 99.0
+        assert histogram.count == 100
+        assert histogram.sum == sum(range(1, 101))
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_reservoir_is_bounded_but_count_is_not(self):
+        histogram = Histogram(reservoir_size=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        # Only the most recent observations remain for quantiles.
+        assert histogram.quantile(0.5) >= 90.0
+
+    def test_summary_keys(self):
+        histogram = Histogram()
+        histogram.observe(3.0)
+        assert set(histogram.summary()) == {"count", "sum", "p50", "p95", "p99"}
+
+    def test_family_quantile_aggregates_across_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency_ms", path="/a").observe(1.0)
+        registry.histogram("latency_ms", path="/b").observe(9.0)
+        assert registry.family_quantile("latency_ms", 0.99) == 9.0
+        assert registry.family_quantile("latency_ms", 0.5) == 1.0
+        assert registry.family_quantile("missing", 0.5) == 0.0
+
+
+class TestExposition:
+    def test_render_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("reads_total", help="reads", table="T").inc(3)
+        registry.gauge("depth", queue="q").set(2)
+        text = registry.render()
+        assert "# HELP reads_total reads" in text
+        assert "# TYPE reads_total counter" in text
+        assert 'reads_total{table="T"} 3' in text
+        assert 'depth{queue="q"} 2' in text
+
+    def test_render_histogram_as_summary_with_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("latency_ms", path="/user").observe(value)
+        text = registry.render()
+        assert "# TYPE latency_ms summary" in text
+        assert 'latency_ms{path="/user",quantile="0.5"} 2.000000' in text
+        assert 'latency_ms_count{path="/user"} 3' in text
+        assert 'latency_ms_sum{path="/user"} 6.000000' in text
+
+    def test_collectors_run_at_render_and_snapshot(self):
+        registry = MetricsRegistry()
+        source = {"value": 1}
+        registry.add_collector(
+            lambda: registry.counter("mirrored_total").set(source["value"])
+        )
+        assert "mirrored_total 1" in registry.render()
+        source["value"] = 7
+        snapshot = registry.snapshot()
+        assert snapshot["mirrored_total"]["series"][0]["value"] == 7
+
+    def test_broken_collector_does_not_break_exposition(self):
+        registry = MetricsRegistry()
+        registry.add_collector(lambda: 1 / 0)
+        registry.counter("ok_total").inc()
+        assert "ok_total 1" in registry.render()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", unit="ms").observe(5.0)
+        snapshot = registry.snapshot()
+        [series] = snapshot["h"]["series"]
+        assert series["labels"] == {"unit": "ms"}
+        assert series["summary"]["count"] == 1.0
+        assert series["summary"]["p50"] == 5.0

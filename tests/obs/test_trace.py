@@ -1,0 +1,129 @@
+"""Tracer: nesting, propagation, ring bound, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    PARENT_SPAN_KEY,
+    TRACE_ID_KEY,
+    TraceExporter,
+    Tracer,
+)
+
+
+class TestSpans:
+    def test_root_span_starts_a_trace(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            assert span.trace_id
+            assert span.parent_id is None
+            assert not span.finished
+        assert span.finished
+        assert span.duration_ms >= 0.0
+
+    def test_nested_spans_share_trace_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert tracer.current_span() is None
+
+    def test_sibling_spans_after_exit_parent_to_outer(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second") as second:
+                assert second.parent_id == outer.span_id
+
+    def test_exception_closes_span_with_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        [span] = tracer.finished_spans()
+        assert span.error == "ValueError: boom"
+        assert tracer.current_span() is None
+
+    def test_annotate_requires_active_span(self):
+        tracer = Tracer()
+        assert tracer.annotate("event.lost") is None
+        with tracer.span("root") as root:
+            marker = tracer.annotate("event.kept", state="active")
+        assert marker.trace_id == root.trace_id
+        assert marker.parent_id == root.span_id
+        assert marker.duration_ms == 0.0
+
+    def test_capacity_bounds_archive(self):
+        tracer = Tracer(capacity=5)
+        for index in range(9):
+            with tracer.span(f"s{index}"):
+                pass
+        spans = tracer.finished_spans()
+        assert len(spans) == 5
+        assert tracer.dropped == 4
+        assert [span.name for span in spans] == [
+            "s4", "s5", "s6", "s7", "s8",
+        ]
+
+
+class TestPropagation:
+    def test_inject_then_extract_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("request") as span:
+            headers = tracer.inject({"kind": "task.dispatch"})
+        assert headers[TRACE_ID_KEY] == span.trace_id
+        assert headers[PARENT_SPAN_KEY] == span.span_id
+        trace_id, parent_id = Tracer.extract(headers)
+        assert (trace_id, parent_id) == (span.trace_id, span.span_id)
+
+    def test_inject_without_active_span_is_noop(self):
+        tracer = Tracer()
+        assert tracer.inject({}) == {}
+        assert Tracer.extract({}) == (None, None)
+
+    def test_remote_parent_joins_the_originating_trace(self):
+        tracer = Tracer()
+        with tracer.span("sender") as sender:
+            headers = tracer.inject({})
+        trace_id, parent_id = Tracer.extract(headers)
+        with tracer.span(
+            "consumer", trace_id=trace_id, parent_id=parent_id
+        ) as consumer:
+            assert consumer.trace_id == sender.trace_id
+            assert consumer.remote_parent
+        assert {s.name for s in tracer.spans_for(sender.trace_id)} == {
+            "sender",
+            "consumer",
+        }
+
+
+class TestExporter:
+    def test_tree_nests_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                tracer.annotate("event.mark")
+        trace_id = tracer.trace_ids()[0]
+        [root] = TraceExporter(tracer).tree(trace_id)
+        assert root["name"] == "root"
+        [child] = root["children"]
+        assert child["name"] == "child"
+        assert [grandchild["name"] for grandchild in child["children"]] == [
+            "event.mark"
+        ]
+
+    def test_dump_writes_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", experiment=7):
+            pass
+        trace_id = tracer.trace_ids()[0]
+        path = tmp_path / "trace.json"
+        TraceExporter(tracer).dump(trace_id, path)
+        data = json.loads(path.read_text())
+        assert data["trace_id"] == trace_id
+        assert data["spans"][0]["attributes"] == {"experiment": 7}

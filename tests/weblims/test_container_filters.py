@@ -91,6 +91,44 @@ class TestRouting:
         with pytest.raises(WebError):
             descriptor.add_servlet(EchoServlet())
 
+    def test_exact_mapping_beats_earlier_prefix(self):
+        """Servlet-spec resolution: an exact pattern wins over a prefix
+        pattern that was declared first — what lets ``/workflow/metrics``
+        coexist with the WorkflowServlet's ``/workflow/*``."""
+
+        class MetricsLike(EchoServlet):
+            name = "metrics"
+
+            def service(self, request, container):
+                return HttpResponse.html("metrics")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/workflow/*")
+        descriptor.add_servlet(MetricsLike(), "/workflow/metrics")
+        container = WebContainer(descriptor)
+        assert (
+            container.handle(HttpRequest("GET", "/workflow/metrics")).body
+            == "metrics"
+        )
+        assert (
+            container.handle(HttpRequest("GET", "/workflow/start")).body
+            == "echo:/workflow/start"
+        )
+
+    def test_longer_prefix_beats_shorter(self):
+        class DeepServlet(EchoServlet):
+            name = "deep"
+
+            def service(self, request, container):
+                return HttpResponse.html("deep")
+
+        descriptor = DeploymentDescriptor()
+        descriptor.add_servlet(EchoServlet(), "/a/*")
+        descriptor.add_servlet(DeepServlet(), "/a/b/*")
+        container = WebContainer(descriptor)
+        assert container.handle(HttpRequest("GET", "/a/b/c")).body == "deep"
+        assert container.handle(HttpRequest("GET", "/a/x")).body == "echo:/a/x"
+
 
 class TestFilterChains:
     def build(self, trace):
