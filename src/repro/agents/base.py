@@ -20,6 +20,7 @@ inherited.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -77,6 +78,8 @@ class TemplateAgent:
         #: (message kind, error text) pairs for diagnostics.
         self.errors: list[tuple[str, str]] = []
         self.handled_count = 0
+        #: Wall-clock time of the last :meth:`step` call (health probe).
+        self.last_poll: float | None = None
 
     # ------------------------------------------------------------------
     # Message pump
@@ -84,6 +87,7 @@ class TemplateAgent:
 
     def step(self, timeout: float = 0.0) -> bool:
         """Handle one message; returns whether one was handled."""
+        self.last_poll = time.time()
         message = self.consumer.receive(timeout=timeout)
         if message is None:
             return False

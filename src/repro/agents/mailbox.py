@@ -50,3 +50,17 @@ class EmailTransport:
         for email in emails:
             email.read = True
         return emails
+
+    def addresses(self) -> list[str]:
+        """Every address that has ever received an email."""
+        return list(self._inboxes)
+
+    def unread_count(self, address: str | None = None) -> int:
+        """Unread emails for one address, or across all inboxes."""
+        if address is not None:
+            return len(self.unread(address))
+        return sum(len(self.unread(a)) for a in self._inboxes)
+
+    def depths(self) -> dict[str, int]:
+        """Unread count per address (the mailbox-depth gauge source)."""
+        return {address: len(self.unread(address)) for address in self._inboxes}

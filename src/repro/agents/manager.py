@@ -17,6 +17,7 @@ messages through the WorkflowBean.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any
 
 from repro.agents.protocol import parse_result_xml
@@ -65,6 +66,8 @@ class AgentManager:
         self._round_robin: dict[str, int] = {}
         self.dispatch_count = 0
         self.result_count = 0
+        #: Wall-clock time of the last :meth:`pump` call (health probe).
+        self.last_pump: float | None = None
 
     def attach_engine(self, engine: "WorkflowBean") -> None:
         """Wire the engine (done once at application assembly)."""
@@ -111,6 +114,16 @@ class AgentManager:
             ),
         )
         self.dispatch_count += 1
+        if self.obs is not None:
+            self.obs.audit_record(
+                "agent.dispatch",
+                actor=agent["name"],
+                workflow_id=workflow["workflow_id"],
+                experiment_id=experiment["experiment_id"],
+                task=task_name,
+                queue=agent["queue"],
+                experiment_type=experiment["type_name"],
+            )
 
     def build_task_input(
         self,
@@ -202,6 +215,7 @@ class AgentManager:
         """
         if self.engine is None:
             raise DispatchError("AgentManager has no engine attached")
+        self.last_pump = time.time()
         processed = 0
         while processed < limit:
             message = self._consumer.receive(timeout=0.0)
@@ -237,6 +251,18 @@ class AgentManager:
             kind=kind,
         ) as span:
             self._apply(message)
+            # Inside the span so the ack row carries the message's trace.
+            self.obs.audit_record(
+                "agent.ack",
+                actor=str(message.headers.get("agent", "")) or None,
+                experiment_id=self._maybe_int(
+                    message.headers.get("experiment_id")
+                ),
+                workflow_id=self._maybe_int(message.headers.get("workflow_id")),
+                task=message.headers.get("task"),
+                message_kind=kind,
+                message_id=message.message_id,
+            )
         self.obs.registry.histogram(
             "engine_apply_ms",
             help="Engine time applying one inbound agent message",
@@ -276,6 +302,13 @@ class AgentManager:
         if self.obs is not None:
             self.obs.tracer.inject(headers)
         return headers
+
+    @staticmethod
+    def _maybe_int(value: Any) -> int | None:
+        try:
+            return None if value is None else int(value)
+        except (TypeError, ValueError):
+            return None
 
     def _producer_for(self, queue: str) -> Producer:
         producer = self._producers.get(queue)

@@ -452,6 +452,8 @@ class WorkflowBean:
         self.events.emit(
             "authorization.decided",
             auth_id=auth_id,
+            workflow_id=request["workflow_id"],
+            wftask_id=request["wftask_id"],
             approved=approve,
             decided_by=decided_by,
         )
@@ -666,6 +668,14 @@ class WorkflowBean:
         self._apply_instance_event(
             experiment, Event.COMPLETE if success else Event.ABORT
         )
+        self.events.emit(
+            "instance.result",
+            experiment_id=experiment_id,
+            workflow_id=experiment["workflow_id"],
+            wftask_id=experiment["wftask_id"],
+            agent_id=experiment["agent_id"],
+            success=success,
+        )
         self._after_instance_decided(experiment)
 
     @_synchronized
@@ -799,7 +809,11 @@ class WorkflowBean:
 
     @_synchronized
     def restart_task(
-        self, workflow_id: int, task_name: str, cascade: bool = True
+        self,
+        workflow_id: int,
+        task_name: str,
+        cascade: bool = True,
+        by: str = "",
     ) -> None:
         """Backtrack: re-run ``task_name`` (and, by default, everything
         downstream of it).
@@ -833,6 +847,7 @@ class WorkflowBean:
             "task.restarted",
             workflow_id=workflow_id,
             task=task_name,
+            by=by,
             cascade=[n for n in to_restart if n != task_name],
         )
         self.check_workflow(workflow_id)
@@ -1400,6 +1415,8 @@ class WorkflowBean:
             "instance.state",
             experiment_id=experiment["experiment_id"],
             workflow_id=experiment["workflow_id"],
+            wftask_id=experiment["wftask_id"],
+            agent_id=experiment["agent_id"],
             event=str(event.value),
             state=str(state_value),
         )

@@ -114,6 +114,12 @@ class WorkflowFilter(Filter):
                 "filter.process",
                 workflow_action=request.param("workflow_action"),
             ):
+                self._audit(
+                    hub,
+                    mode="process",
+                    action=request.param("workflow_action"),
+                    path=request.path,
+                )
                 return self.workflow_servlet.service(request, self.container)
 
         action = request.param("action", "list")
@@ -137,7 +143,18 @@ class WorkflowFilter(Filter):
             self.engine.events.emit(
                 "request.denied", table=table, action=action, reason=reason
             )
+            self._audit(
+                hub,
+                mode="deny",
+                action=action,
+                table=table,
+                reason=reason,
+                path=request.path,
+            )
             return HttpResponse.denied(f"workflow manager denied request: {reason}")
+        self._audit(
+            hub, mode="preprocess", action=action, table=table, path=request.path
+        )
 
         response = chain.proceed(request)
 
@@ -160,6 +177,16 @@ class WorkflowFilter(Filter):
         if self.container is None:
             return None
         return self.container.context.get("obs")
+
+    @staticmethod
+    def _audit(hub, mode: str, **fields) -> None:
+        """Record a Fig. 7 routing decision in the durable audit trail.
+
+        Pass-throughs are deliberately not audited — they are the
+        workflow-irrelevant bulk of the traffic.
+        """
+        if hub is not None:
+            hub.audit_record("filter.decision", mode=mode, **fields)
 
     def _is_workflow_relevant(self, action: str, table: str | None) -> bool:
         """Whether the request "might impact the state of a workflow".

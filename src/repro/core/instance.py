@@ -24,6 +24,8 @@ class InstanceView:
     success: bool | None
     agent_id: int | None
     experiment: dict[str, Any]
+    #: False for instances superseded by a restart (history views only).
+    current: bool = True
 
     @property
     def decided(self) -> bool:
@@ -88,6 +90,25 @@ def load_instance_views(db: Database, wftask_id: int) -> list[InstanceView]:
             success=row["wf_success"],
             agent_id=row["agent_id"],
             experiment=row,
+        )
+        for row in rows
+    ]
+
+
+def load_instance_history(db: Database, wftask_id: int) -> list[InstanceView]:
+    """Every instance a task ever had, including ones a backtrack
+    superseded — the provenance view the audit timeline pairs with."""
+    rows = db.select(
+        "Experiment", EQ("wftask_id", wftask_id), order_by="experiment_id"
+    )
+    return [
+        InstanceView(
+            experiment_id=row["experiment_id"],
+            state=row["wf_state"],
+            success=row["wf_success"],
+            agent_id=row["agent_id"],
+            experiment=row,
+            current=bool(row["wf_current"]),
         )
         for row in rows
     ]

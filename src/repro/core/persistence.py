@@ -302,6 +302,16 @@ def authorize_agent(db: Database, agent_name: str, experiment_type: str) -> dict
     )
 
 
+def registered_agents(db: Database) -> list[dict]:
+    """Every registered agent row, in registration order.
+
+    The health endpoint uses this to enumerate agents the database
+    knows about, independent of which ones have live processes wired
+    into the observability hub.
+    """
+    return db.select("Agent", order_by="agent_id")
+
+
 def agents_for_type(db: Database, experiment_type: str) -> list[dict]:
     """Agent rows authorized for ``experiment_type`` (stable order)."""
     links = db.select(

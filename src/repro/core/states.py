@@ -161,3 +161,23 @@ def task_machine(initial: str = TaskState.CREATED) -> StateMachine:
 def instance_machine(initial: str = InstanceState.CREATED) -> StateMachine:
     """A fresh task-instance machine (extended model)."""
     return StateMachine(TASK_INSTANCE_MODEL, initial, "task-instance-model")
+
+
+def transition_catalog() -> dict[str, list[tuple[str, str, str]]]:
+    """Every legal transition per machine, as plain string triples.
+
+    ``{machine: [(state, event, new_state), ...]}`` — the reference the
+    audit verifier and documentation build from, decoupled from the enum
+    types the engine uses internally.
+    """
+    catalog: dict[str, list[tuple[str, str, str]]] = {}
+    for name, table in (
+        ("basic-model", BASIC_MODEL),
+        ("task-model", TASK_MODEL),
+        ("task-instance-model", TASK_INSTANCE_MODEL),
+    ):
+        catalog[name] = [
+            (str(state.value), str(event.value), str(target.value))
+            for (state, event), target in table.items()
+        ]
+    return catalog

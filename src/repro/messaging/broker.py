@@ -110,6 +110,27 @@ class MessageBroker:
         with self._lock:
             return len(self._in_flight)
 
+    def journal_info(self) -> dict[str, object]:
+        """Durability status of the broker's journal.
+
+        ``backlog`` is the number of unacknowledged messages a replay of
+        the journal would restore — queued plus in-flight — i.e. the
+        work a restarted broker would hand back out.
+        """
+        with self._lock:
+            if self._journal is None:
+                return {"enabled": False, "backlog": 0}
+            backlog = sum(len(q) for q in self._queues.values()) + len(
+                self._in_flight
+            )
+            return {
+                "enabled": True,
+                "path": str(self._journal.path),
+                "appended_records": self._journal.appended_records,
+                "size_bytes": self._journal.size_bytes(),
+                "backlog": backlog,
+            }
+
     def _queue(self, name: str) -> deque[Message]:
         try:
             return self._queues[name]

@@ -31,6 +31,8 @@ class BrokerJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = None
+        #: Records durably appended through this handle's lifetime.
+        self.appended_records = 0
 
     def append(self, record: dict[str, Any]) -> None:
         """Durably append one record."""
@@ -39,6 +41,14 @@ class BrokerJournal:
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        self.appended_records += 1
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the journal (0 when it does not exist)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
 
     def replay(self) -> tuple[list[str], list[Message], int]:
         """Rebuild state: (declared queues, outstanding messages, next id).

@@ -210,6 +210,23 @@ class Database:
         """Number of rows currently in table ``name``."""
         return len(self._catalog.entry(name).heap)
 
+    def wal_info(self) -> dict[str, object]:
+        """Durability status: whether a WAL is attached, and its shape.
+
+        ``appended_records`` counts appends through this Database's
+        lifetime (it restarts at 0 on reopen — replayed records were
+        appended by the *previous* incarnation); ``size_bytes`` is the
+        on-disk log size, which a :meth:`checkpoint` shrinks.
+        """
+        if self._wal is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "path": str(self._wal.path),
+            "appended_records": self._wal.appended,
+            "size_bytes": self._wal.size_bytes(),
+        }
+
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------

@@ -35,6 +35,8 @@ class WriteAheadLog:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = None
+        #: Records durably appended through this handle's lifetime.
+        self.appended = 0
 
     # -- replay -------------------------------------------------------------
 
@@ -73,6 +75,14 @@ class WriteAheadLog:
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        self.appended += 1
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log (0 when it does not exist)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
 
     def close(self) -> None:
         """Release the file handle (reopened lazily on next append)."""

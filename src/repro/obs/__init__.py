@@ -15,13 +15,35 @@ layers.  This package is the missing correlation layer:
 * :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
   histograms with p50/p95/p99 summaries) with a Prometheus-style text
   exposition;
+* :mod:`repro.obs.log` — structured JSON logging: trace-correlated,
+  level-filtered, ring-buffered and streamable;
+* :mod:`repro.obs.audit` — the durable provenance trail: a ``WFAudit``
+  table written through the same transaction/WAL path as engine state,
+  recording every task/instance transition, authorization decision,
+  restart, dispatch/ack and filter-mode decision, queryable as a
+  timeline via ``GET /workflow/audit``;
 * :mod:`repro.obs.hub` — the :class:`ObservabilityHub` that wires the
   existing instrumentation sources (EventLog, DatabaseStats,
-  BrokerStats, ContainerStats, FilterStats) into one registry, and
-  ``install_observability`` which attaches the hub to a running system.
+  BrokerStats, ContainerStats, FilterStats) into one registry plus the
+  log and audit stores, aggregates per-component health for
+  ``GET /workflow/health``, and ``install_observability`` which
+  attaches the hub to a running system (idempotently).
 """
 
+from repro.obs.audit import (
+    AUDIT_TABLE,
+    AuditStore,
+    decode_record,
+    install_audit_schema,
+    verify_timeline,
+)
 from repro.obs.hub import ObservabilityHub, install_observability
+from repro.obs.log import (
+    LEVELS,
+    BoundLogger,
+    LogRecord,
+    StructuredLog,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,13 +53,22 @@ from repro.obs.metrics import (
 from repro.obs.trace import Span, TraceExporter, Tracer
 
 __all__ = [
+    "AUDIT_TABLE",
+    "AuditStore",
+    "BoundLogger",
     "Counter",
     "Gauge",
     "Histogram",
+    "LEVELS",
+    "LogRecord",
     "MetricsRegistry",
     "ObservabilityHub",
     "Span",
+    "StructuredLog",
     "TraceExporter",
     "Tracer",
+    "decode_record",
+    "install_audit_schema",
     "install_observability",
+    "verify_timeline",
 ]

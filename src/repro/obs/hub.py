@@ -1,8 +1,10 @@
 """The ObservabilityHub: one object that sees every tier.
 
-The hub owns a :class:`~repro.obs.trace.Tracer` and a
-:class:`~repro.obs.metrics.MetricsRegistry` and knows how to feed them
-from the instrumentation the system already has:
+The hub owns a :class:`~repro.obs.trace.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.log.StructuredLog` and (when an engine is wired) an
+:class:`~repro.obs.audit.AuditStore`, and knows how to feed them from
+the instrumentation the system already has:
 
 * the engine's :class:`~repro.core.events.EventLog` — subscribed, every
   event becomes an ``engine_events_total{kind=...}`` increment *and* a
@@ -13,24 +15,33 @@ from the instrumentation the system already has:
 * the broker — an observer hook times every send→delivery interval and
   records it both as a ``broker_delivery_wait_ms`` histogram and as a
   ``broker.deliver`` span stitched into the originating trace via the
-  message's propagated headers.
+  message's propagated headers;
+* liveness data — every ``watch_*`` call also registers a health
+  provider, aggregated by :meth:`ObservabilityHub.health_report` and
+  served at ``GET /workflow/health``.
 
 ``install_observability`` attaches a hub to a running system (any
-subset of tiers) and registers the ``/workflow/metrics`` exposition
-servlet.
+subset of tiers) and registers the ``/workflow/metrics``,
+``/workflow/audit`` and ``/workflow/health`` servlets.  Installation is
+idempotent per hub: watching the same object twice never double-wraps a
+hook, double-subscribes the event stream or duplicates a collector, and
+re-installing on an ``expdb`` that already carries a hub reuses that
+hub instead of stacking a second one.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
+from repro.obs.log import StructuredLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceExporter, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import WorkflowBean
     from repro.messaging.broker import MessageBroker
+    from repro.obs.audit import AuditStore
     from repro.weblims.app import ExpDB
 
 
@@ -77,21 +88,41 @@ class _BrokerObserver:
 
 
 class ObservabilityHub:
-    """Tracer + registry + exporter, with wiring helpers."""
+    """Tracer + registry + log + audit + exporter, with wiring helpers."""
 
     def __init__(
         self,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        log: StructuredLog | None = None,
     ) -> None:
         self.tracer = tracer or Tracer()
         self.registry = registry or MetricsRegistry()
+        self.log = log or StructuredLog(tracer=self.tracer)
         self.exporter = TraceExporter(self.tracer)
         self.broker_observer = _BrokerObserver(self)
+        #: Durable provenance store (set by :meth:`install_audit`).
+        self.audit: "AuditStore | None" = None
+        #: Guards against double-wiring the same object into this hub.
+        self._watched: set[tuple[str, int]] = set()
+        #: Health providers by component name, registered by ``watch_*``.
+        self._health: dict[str, Callable[[], dict[str, Any]]] = {}
+        #: (agent, broker) pairs feeding the per-agent health component.
+        self._agents: list[tuple[Any, Any]] = []
+        self.log.subscribe(self._count_log_record)
+        self.registry.add_collector(self._collect_self)
 
     def span(self, name: str, **attributes: Any):
         """Shorthand for ``hub.tracer.span``."""
         return self.tracer.span(name, **attributes)
+
+    def _once(self, role: str, target: Any) -> bool:
+        """Whether ``target`` still needs wiring for ``role`` on this hub."""
+        key = (role, id(target))
+        if key in self._watched:
+            return False
+        self._watched.add(key)
+        return True
 
     # ------------------------------------------------------------------
     # Event stream bridge
@@ -120,11 +151,128 @@ class ObservabilityHub:
             pass
 
     # ------------------------------------------------------------------
+    # Structured log + audit plumbing
+    # ------------------------------------------------------------------
+
+    def _count_log_record(self, record) -> None:
+        try:
+            self.registry.counter(
+                "log_records_total",
+                help="Structured log records by level",
+                level=record.level,
+            ).inc()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _collect_self(self) -> None:
+        """Mirror the hub's own ring-buffer drop counters."""
+        self.registry.counter(
+            "trace_spans_dropped_total",
+            help="Finished spans evicted from the tracer ring",
+        ).set(self.tracer.dropped)
+        self.registry.counter(
+            "log_records_dropped_total",
+            help="Log records evicted from the ring buffer",
+        ).set(self.log.dropped)
+
+    def install_audit(self, engine: "WorkflowBean") -> "AuditStore":
+        """Create (or reuse) the durable audit store over ``engine.db``
+        and subscribe it to the engine's event stream."""
+        from repro.obs.audit import AuditStore, install_audit_schema
+
+        if self.audit is None or self.audit.db is not engine.db:
+            install_audit_schema(engine.db)
+            self.audit = AuditStore(
+                engine.db,
+                tracer=self.tracer,
+                log=self.log.logger("audit"),
+            )
+        if self._once("audit-events", engine):
+            engine.events.subscribe(self.audit.on_event)
+        return self.audit
+
+    def audit_record(self, kind: str, **fields: Any) -> None:
+        """Write one audit row if a store is attached; never raises."""
+        if self.audit is None:
+            return
+        try:
+            self.audit.record(kind, **fields)
+        except Exception:  # noqa: BLE001 - auditing is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def register_health(
+        self, component: str, provider: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Register (or replace) a component's health provider."""
+        self._health[component] = provider
+
+    def health_report(self) -> dict[str, Any]:
+        """Aggregate every component's health into one readiness report.
+
+        Overall status is ``ok`` only when every component reports
+        ``ok``; a provider that raises is reported as ``error`` rather
+        than failing the endpoint.
+        """
+        components: dict[str, Any] = {}
+        overall = "ok"
+        for name, provider in self._health.items():
+            try:
+                info = provider()
+            except Exception as error:  # noqa: BLE001 - report, don't die
+                info = {"status": "error", "error": str(error)}
+            if info.get("status", "ok") != "ok":
+                overall = "degraded"
+            components[name] = info
+        return {
+            "status": overall,
+            "generated_at": time.time(),
+            "components": components,
+        }
+
+    def _agents_health(self) -> dict[str, Any]:
+        agents: dict[str, Any] = {}
+        status = "ok"
+        now = time.time()
+        for agent, broker in self._agents:
+            spec = agent.spec
+            last_poll = getattr(agent, "last_poll", None)
+            depth = None
+            if broker is not None:
+                try:
+                    depth = broker.queue_depth(spec.queue)
+                except Exception:  # noqa: BLE001 - queue may not exist yet
+                    depth = None
+            agent_status = "ok"
+            if last_poll is None and depth:
+                # Messages are waiting but the agent never polled.
+                agent_status = "stale"
+                status = "degraded"
+            agents[spec.name] = {
+                "status": agent_status,
+                "kind": spec.kind,
+                "queue": spec.queue,
+                "queue_depth": depth,
+                "last_poll_age_s": (
+                    None if last_poll is None else now - last_poll
+                ),
+                "handled": agent.handled_count,
+                "errors": len(agent.errors),
+                "in_progress": len(agent.in_progress),
+            }
+        return {"status": status, "agents": agents}
+
+    # ------------------------------------------------------------------
     # Collector wiring (pull-time mirrors of external counters)
     # ------------------------------------------------------------------
 
     def watch_database(self, db) -> None:
         """Mirror ``DatabaseStats`` (global and per-table) at scrape time."""
+        if not self._once("database", db):
+            return
 
         def collect() -> None:
             stats = db.stats
@@ -155,8 +303,22 @@ class ObservabilityHub:
 
         self.registry.add_collector(collect)
 
+        def health() -> dict[str, Any]:
+            info: dict[str, Any] = {
+                "status": "ok",
+                "tables": len(db.tables()),
+                "reads": db.stats.reads,
+                "writes": db.stats.writes,
+            }
+            info["wal"] = db.wal_info()
+            return info
+
+        self.register_health("database", health)
+
     def watch_container(self, container) -> None:
         """Mirror ``ContainerStats`` at scrape time."""
+        if not self._once("container", container):
+            return
 
         def collect() -> None:
             stats = container.stats
@@ -178,8 +340,21 @@ class ObservabilityHub:
 
         self.registry.add_collector(collect)
 
+        def health() -> dict[str, Any]:
+            stats = container.stats
+            return {
+                "status": "ok",
+                "requests": stats.requests,
+                "errors": stats.errors,
+                "servlets": len(container.descriptor.servlet_names()),
+            }
+
+        self.register_health("container", health)
+
     def watch_filter(self, workflow_filter) -> None:
         """Mirror ``FilterStats`` (the Fig. 7 mode counters)."""
+        if not self._once("filter", workflow_filter):
+            return
 
         def collect() -> None:
             stats = workflow_filter.stats
@@ -194,24 +369,57 @@ class ObservabilityHub:
                     "workflow_filter_requests_total",
                     help="WorkflowFilter requests per handling mode",
                     mode=mode,
+                )
+                self.registry.counter(
+                    "workflow_filter_requests_total",
+                    help="WorkflowFilter requests per handling mode",
+                    mode=mode,
                 ).set(count)
 
         self.registry.add_collector(collect)
 
     def watch_engine(self, engine: "WorkflowBean") -> None:
         """Subscribe to the event stream and mirror the check counter."""
+        if not self._once("engine", engine):
+            return
         engine.events.subscribe(self.on_event)
 
         def collect() -> None:
             self.registry.counter(
                 "engine_checks_total", help="check_workflow evaluations"
             ).set(engine.check_count)
+            self.registry.counter(
+                "engine_events_dropped_total",
+                help="Events evicted from the EventLog ring buffer",
+            ).set(engine.events.dropped)
 
         self.registry.add_collector(collect)
+
+        def health() -> dict[str, Any]:
+            from repro.minidb.predicates import EQ
+
+            info: dict[str, Any] = {
+                "status": "ok",
+                "checks": engine.check_count,
+                "last_event_sequence": engine.events.last_sequence,
+                "events_dropped": engine.events.dropped,
+            }
+            if engine.db.has_table("Workflow"):
+                info["running_workflows"] = engine.db.count(
+                    "Workflow", EQ("status", "running")
+                )
+            if self.audit is not None:
+                info["audit_records"] = self.audit.count()
+                info["audit_write_errors"] = self.audit.write_errors
+            return info
+
+        self.register_health("engine", health)
 
     def watch_broker(self, broker: "MessageBroker") -> None:
         """Install the delivery observer and mirror ``BrokerStats``."""
         broker.observer = self.broker_observer
+        if not self._once("broker", broker):
+            return
 
         def collect() -> None:
             stats = broker.stats
@@ -245,8 +453,132 @@ class ObservabilityHub:
             self.registry.gauge(
                 "broker_in_flight", help="Delivered but unacked messages"
             ).set(broker.in_flight_count())
+            journal = broker.journal_info()
+            self.registry.gauge(
+                "broker_journal_backlog",
+                help="Journalled messages a replay would restore",
+            ).set(journal["backlog"])
+            self.registry.counter(
+                "broker_journal_records_total",
+                help="Records appended to the broker journal",
+            ).set(journal.get("appended_records", 0))
 
         self.registry.add_collector(collect)
+
+        def health() -> dict[str, Any]:
+            return {
+                "status": "ok",
+                "queues": {
+                    name: broker.queue_depth(name)
+                    for name in broker.queue_names()
+                },
+                "in_flight": broker.in_flight_count(),
+                "journal": broker.journal_info(),
+            }
+
+        self.register_health("broker", health)
+
+    def watch_manager(self, manager) -> None:
+        """Engine-queue depth and pump liveness for the AgentManager."""
+        if not self._once("manager", manager):
+            return
+        from repro.core.dispatch import ENGINE_QUEUE
+
+        def engine_queue_depth() -> int | None:
+            try:
+                return manager.broker.queue_depth(ENGINE_QUEUE)
+            except Exception:  # noqa: BLE001 - queue may not exist yet
+                return None
+
+        def collect() -> None:
+            depth = engine_queue_depth()
+            if depth is not None:
+                self.registry.gauge(
+                    "manager_engine_queue_depth",
+                    help="Agent messages waiting for the manager's pump",
+                ).set(depth)
+            self.registry.counter(
+                "manager_dispatches_total", help="Task inputs dispatched"
+            ).set(manager.dispatch_count)
+            self.registry.counter(
+                "manager_results_total", help="Task results applied"
+            ).set(manager.result_count)
+
+        self.registry.add_collector(collect)
+
+        def health() -> dict[str, Any]:
+            last_pump = manager.last_pump
+            return {
+                "status": "ok",
+                "dispatches": manager.dispatch_count,
+                "results": manager.result_count,
+                "engine_queue_depth": engine_queue_depth(),
+                "last_pump_age_s": (
+                    None if last_pump is None else time.time() - last_pump
+                ),
+            }
+
+        self.register_health("manager", health)
+
+    def watch_agent(self, agent, broker: "MessageBroker | None" = None) -> None:
+        """Per-agent queue depth and last-poll-age gauges + health."""
+        if not self._once("agent", agent):
+            return
+        self._agents.append((agent, broker))
+        name = agent.spec.name
+
+        def collect() -> None:
+            if broker is not None:
+                try:
+                    self.registry.gauge(
+                        "agent_queue_depth",
+                        help="Messages waiting per agent queue",
+                        agent=name,
+                    ).set(broker.queue_depth(agent.spec.queue))
+                except Exception:  # noqa: BLE001 - queue may not exist yet
+                    pass
+            last_poll = getattr(agent, "last_poll", None)
+            if last_poll is not None:
+                self.registry.gauge(
+                    "agent_last_poll_age_seconds",
+                    help="Seconds since the agent last polled its queue",
+                    agent=name,
+                ).set(time.time() - last_poll)
+            self.registry.counter(
+                "agent_errors_total",
+                help="Errors recorded by the agent",
+                agent=name,
+            ).set(len(agent.errors))
+
+        self.registry.add_collector(collect)
+        self.register_health("agents", self._agents_health)
+
+    def watch_email(self, email) -> None:
+        """Mailbox-depth gauges for the simulated email transport."""
+        if not self._once("email", email):
+            return
+
+        def collect() -> None:
+            self.registry.counter(
+                "email_sent_total", help="Emails delivered"
+            ).set(email.sent_count)
+            for address, depth in email.depths().items():
+                self.registry.gauge(
+                    "agent_mailbox_depth",
+                    help="Unread emails per recipient address",
+                    address=address,
+                ).set(depth)
+
+        self.registry.add_collector(collect)
+
+        def health() -> dict[str, Any]:
+            return {
+                "status": "ok",
+                "sent": email.sent_count,
+                "unread_total": email.unread_count(),
+            }
+
+        self.register_health("email", health)
 
 
 def install_observability(
@@ -255,21 +587,45 @@ def install_observability(
     broker: "MessageBroker | None" = None,
     manager=None,
     agents: Iterable[Any] = (),
+    email=None,
     hub: ObservabilityHub | None = None,
+    audit: bool = True,
 ) -> ObservabilityHub:
     """Attach observability to a running system (any subset of tiers).
 
     * ``expdb`` — the web container gets per-request root spans and the
-      latency histogram, plus the ``/workflow/metrics`` servlet;
-    * ``engine`` — event-stream subscription and check-count mirror;
-    * ``broker`` — delivery timing and trace stitching;
+      latency histogram, plus the ``/workflow/metrics``,
+      ``/workflow/audit`` and ``/workflow/health`` servlets;
+    * ``engine`` — event-stream subscription, check-count mirror and
+      (unless ``audit=False``) the durable ``WFAudit`` provenance store
+      on the engine's database; discovered from the container context
+      when omitted;
+    * ``broker`` — delivery timing, trace stitching, queue-depth and
+      journal-backlog gauges;
     * ``manager`` / ``agents`` — trace propagation through dispatches,
-      pump application spans and agent turnaround histograms.
+      pump application spans, agent turnaround histograms, queue-depth
+      and last-poll-age gauges;
+    * ``email`` — mailbox-depth gauges for the human-in-the-loop path.
 
-    Returns the hub (created fresh unless one is passed in).
+    Idempotent per system: a second installation on the same ``expdb``
+    reuses the hub already in its container context (unless an explicit
+    ``hub`` overrides it), and every ``watch_*`` no-ops for an object
+    this hub already wired.
+
+    Returns the hub (created fresh unless one was passed or found).
     """
+    if hub is None and expdb is not None:
+        existing = expdb.container.context.get("obs")
+        if isinstance(existing, ObservabilityHub):
+            hub = existing
     hub = hub or ObservabilityHub()
+    if engine is None and expdb is not None:
+        engine = expdb.container.context.get("workflow_bean")
+    if engine is not None and audit:
+        hub.install_audit(engine)
     if expdb is not None:
+        from repro.weblims.auditservlet import AuditServlet
+        from repro.weblims.healthservlet import HealthServlet
         from repro.weblims.metricsservlet import MetricsServlet
 
         expdb.container.context["obs"] = hub
@@ -279,14 +635,23 @@ def install_observability(
         if workflow_filter is not None:
             hub.watch_filter(workflow_filter)
         descriptor = expdb.container.descriptor
-        if "MetricsServlet" not in descriptor.servlet_names():
+        names = descriptor.servlet_names()
+        if "MetricsServlet" not in names:
             descriptor.add_servlet(MetricsServlet(hub), "/workflow/metrics")
+        if "AuditServlet" not in names:
+            descriptor.add_servlet(AuditServlet(hub), "/workflow/audit")
+        if "HealthServlet" not in names:
+            descriptor.add_servlet(HealthServlet(hub), "/workflow/health")
     if engine is not None:
         hub.watch_engine(engine)
     if broker is not None:
         hub.watch_broker(broker)
     if manager is not None:
         manager.obs = hub
+        hub.watch_manager(manager)
     for agent in agents:
         agent.obs = hub
+        hub.watch_agent(agent, broker)
+    if email is not None:
+        hub.watch_email(email)
     return hub

@@ -1,0 +1,236 @@
+"""Structured JSON logging, correlated with traces.
+
+The reproduction's tiers used to narrate themselves through ad-hoc
+channels — bare counters, event payloads, the occasional print in an
+example script.  This module gives every tier one structured channel:
+
+* each :class:`LogRecord` is a flat, JSON-serialisable dict — timestamp,
+  level, logger name, message, free-form fields;
+* records are **trace-correlated**: when a span is open on the emitting
+  thread, its trace and span ids are stamped onto the record, so a log
+  line, the span tree and the audit rows of one request all share one
+  trace id;
+* records are **level-filtered** at emission (``set_level``) and again
+  at query time (``records(level=...)``);
+* the buffer is a **ring** (like the tracer's span archive), so a
+  long-running server cannot leak — ``dropped`` counts the discards;
+* the stream is **subscribable**: callbacks see every record the level
+  filter admits, which is how the metrics registry counts records per
+  level and how a tail-follower would stream them.
+
+The :class:`AuditStore <repro.obs.audit.AuditStore>` writes through this
+log, so the durable audit trail and the ephemeral log stay in step.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Numeric severities, logging-module compatible ordering.
+LEVELS: dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+}
+
+
+def level_number(level: str) -> int:
+    """Numeric severity of ``level`` (raises ``KeyError`` on unknown)."""
+    return LEVELS[level]
+
+
+@dataclass
+class LogRecord:
+    """One structured log line."""
+
+    ts: float
+    level: str
+    logger: str
+    message: str
+    sequence: int
+    trace_id: str | None = None
+    span_id: str | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-friendly representation (fields inlined last)."""
+        record: dict[str, Any] = {
+            "ts": self.ts,
+            "level": self.level,
+            "logger": self.logger,
+            "message": self.message,
+            "sequence": self.sequence,
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+        record.update(self.fields)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"), default=str)
+
+
+class StructuredLog:
+    """Ring-buffered, level-filtered, trace-correlated log stream."""
+
+    def __init__(
+        self,
+        tracer=None,
+        capacity: int = 10_000,
+        level: str = "debug",
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self.tracer = tracer
+        self.capacity = capacity
+        self.threshold = LEVELS[level]
+        self.dropped = 0
+        self.emitted = 0
+        #: records suppressed by the level filter (not buffered at all).
+        self.suppressed = 0
+        self._records: list[LogRecord] = []
+        self._subscribers: list[Callable[[LogRecord], None]] = []
+        self._next_sequence = 1
+        self._lock = threading.Lock()
+
+    # -- emission -----------------------------------------------------------
+
+    def set_level(self, level: str) -> None:
+        """Change the emission threshold (``debug``..``error``)."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self.threshold = LEVELS[level]
+
+    def log(
+        self, level: str, logger: str, message: str, **fields: Any
+    ) -> LogRecord | None:
+        """Emit one record; returns ``None`` when the level filter or an
+        unknown level suppresses it.  Never raises — logging must not
+        take the instrumented tier down."""
+        severity = LEVELS.get(level)
+        if severity is None:
+            return None
+        if severity < self.threshold:
+            with self._lock:
+                self.suppressed += 1
+            return None
+        trace_id = span_id = None
+        if self.tracer is not None:
+            try:
+                current = self.tracer.current_span()
+            except Exception:  # noqa: BLE001 - correlation is best-effort
+                current = None
+            if current is not None:
+                trace_id = current.trace_id
+                span_id = current.span_id
+        with self._lock:
+            record = LogRecord(
+                ts=time.time(),
+                level=level,
+                logger=logger,
+                message=message,
+                sequence=self._next_sequence,
+                trace_id=trace_id,
+                span_id=span_id,
+                fields=fields,
+            )
+            self._next_sequence += 1
+            self.emitted += 1
+            self._records.append(record)
+            overflow = len(self._records) - self.capacity
+            if overflow > 0:
+                del self._records[:overflow]
+                self.dropped += overflow
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            try:
+                subscriber(record)
+            except Exception:  # noqa: BLE001 - a bad subscriber is not fatal
+                pass
+        return record
+
+    def logger(self, name: str) -> "BoundLogger":
+        """A named logger bound to this stream."""
+        return BoundLogger(self, name)
+
+    # -- streaming ----------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[LogRecord], None]) -> None:
+        """Invoke ``callback`` for every future admitted record."""
+        with self._lock:
+            if callback not in self._subscribers:
+                self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[LogRecord], None]) -> None:
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+    # -- queries ------------------------------------------------------------
+
+    def records(
+        self,
+        level: str | None = None,
+        logger: str | None = None,
+        trace_id: str | None = None,
+        limit: int | None = None,
+    ) -> list[LogRecord]:
+        """Buffered records, oldest first, optionally filtered.
+
+        ``level`` is a *minimum* severity; ``limit`` keeps the newest N
+        after filtering.
+        """
+        minimum = LEVELS[level] if level is not None else 0
+        with self._lock:
+            records = list(self._records)
+        selected = [
+            record
+            for record in records
+            if LEVELS[record.level] >= minimum
+            and (logger is None or record.logger == logger)
+            and (trace_id is None or record.trace_id == trace_id)
+        ]
+        if limit is not None:
+            selected = selected[-limit:]
+        return selected
+
+    def tail(self, n: int = 20) -> list[LogRecord]:
+        """The newest ``n`` records, oldest first."""
+        with self._lock:
+            return list(self._records[-n:])
+
+    def render(self, **filters: Any) -> str:
+        """The buffer as JSON lines (one record per line)."""
+        return "\n".join(r.to_json() for r in self.records(**filters))
+
+    def clear(self) -> None:
+        """Drop buffered records; counters and sequencing continue."""
+        with self._lock:
+            self._records.clear()
+
+
+class BoundLogger:
+    """A named view over a :class:`StructuredLog`."""
+
+    def __init__(self, stream: StructuredLog, name: str) -> None:
+        self.stream = stream
+        self.name = name
+
+    def debug(self, message: str, **fields: Any) -> LogRecord | None:
+        return self.stream.log("debug", self.name, message, **fields)
+
+    def info(self, message: str, **fields: Any) -> LogRecord | None:
+        return self.stream.log("info", self.name, message, **fields)
+
+    def warning(self, message: str, **fields: Any) -> LogRecord | None:
+        return self.stream.log("warning", self.name, message, **fields)
+
+    def error(self, message: str, **fields: Any) -> LogRecord | None:
+        return self.stream.log("error", self.name, message, **fields)

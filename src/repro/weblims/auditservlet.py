@@ -1,0 +1,119 @@
+"""The provenance-timeline servlet (``GET /workflow/audit``).
+
+Serves the durable ``WFAudit`` trail as JSON: every task and
+task-instance state transition, authorization decision, restart, agent
+dispatch/ack and filter-mode decision the system has committed, in the
+order they were written.  Filterable by workflow, experiment, task,
+actor, kind, trace id and time range, and paginated — the query surface
+of :meth:`repro.obs.audit.AuditStore.query`.
+
+Registered by ``repro.obs.install_observability`` under the exact
+pattern ``/workflow/audit``; the deployment descriptor's
+most-specific-match rule lets it coexist with the WorkflowServlet's
+``/workflow/*`` prefix mapping.  The servlet is registered even when no
+engine (and hence no audit store) is wired — it answers 503 until
+:meth:`ObservabilityHub.install_audit` runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Servlet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hub import ObservabilityHub
+    from repro.weblims.container import WebContainer
+
+#: ``?name=`` query parameters decoded as integers.
+_INT_PARAMS = ("workflow_id", "experiment_id", "wftask_id")
+#: ``?name=`` query parameters passed through as strings.
+_TEXT_PARAMS = ("actor", "kind", "task", "trace_id")
+#: ``?name=`` query parameters decoded as epoch-second floats.
+_TIME_PARAMS = ("since", "until")
+
+#: Page-size ceiling; a caller who wants everything pages through it.
+MAX_LIMIT = 1000
+
+
+class AuditServlet(Servlet):
+    """JSON view over the durable audit/provenance trail."""
+
+    name = "AuditServlet"
+
+    def __init__(self, hub: "ObservabilityHub") -> None:
+        self.hub = hub
+
+    def do_get(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        audit = self.hub.audit
+        if audit is None:
+            return HttpResponse.error(
+                503, "audit store not installed (no engine wired)"
+            )
+        try:
+            filters = self._decode_filters(request)
+        except ValueError as error:
+            return HttpResponse.error(400, str(error))
+        total, records = audit.query(**filters)
+        payload: dict[str, Any] = {
+            "total": total,
+            "offset": filters["offset"],
+            "limit": filters["limit"],
+            "records": records,
+        }
+        return HttpResponse(
+            status=200,
+            body=json.dumps(payload, default=str),
+            content_type="application/json",
+        )
+
+    def _decode_filters(self, request: HttpRequest) -> dict[str, Any]:
+        filters: dict[str, Any] = {}
+        for name in _INT_PARAMS:
+            raw = request.param(name)
+            if raw is not None and raw != "":
+                try:
+                    filters[name] = int(raw)
+                except ValueError:
+                    raise ValueError(f"parameter {name!r} must be an integer")
+        for name in _TEXT_PARAMS:
+            raw = request.param(name)
+            if raw is not None and raw != "":
+                filters[name] = raw
+        for name in _TIME_PARAMS:
+            raw = request.param(name)
+            if raw is not None and raw != "":
+                try:
+                    filters[name] = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"parameter {name!r} must be epoch seconds"
+                    )
+        filters["limit"] = _bounded_int(request, "limit", 100, 1, MAX_LIMIT)
+        filters["offset"] = _bounded_int(request, "offset", 0, 0, None)
+        return filters
+
+
+def _bounded_int(
+    request: HttpRequest,
+    name: str,
+    default: int,
+    minimum: int,
+    maximum: int | None,
+) -> int:
+    raw = request.param(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"parameter {name!r} must be an integer")
+    if value < minimum:
+        raise ValueError(f"parameter {name!r} must be >= {minimum}")
+    if maximum is not None and value > maximum:
+        raise ValueError(f"parameter {name!r} must be <= {maximum}")
+    return value

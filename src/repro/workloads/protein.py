@@ -392,5 +392,6 @@ def build_protein_lab(
             broker=broker,
             manager=manager,
             agents=lab.agents,
+            email=email,
         )
     return lab

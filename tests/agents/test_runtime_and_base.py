@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.agents import AgentManager, TemplateAgent
+from repro.agents import TemplateAgent
 from repro.agents.base import AgentResult
 from repro.agents.runtime import run_until_quiescent
 from repro.core.dispatch import ENGINE_QUEUE, KIND_ABORT, KIND_DISPATCH

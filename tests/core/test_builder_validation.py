@@ -104,7 +104,7 @@ class TestStructuralValidation:
         assert pattern is not None
 
     def test_hand_built_pattern_without_final_auth_rejected(self):
-        from repro.core.spec import TaskDef, TransitionDef, WorkflowPattern
+        from repro.core.spec import TaskDef, WorkflowPattern
 
         pattern = WorkflowPattern("manual")
         pattern.add_task(TaskDef("only", experiment_type="A"))

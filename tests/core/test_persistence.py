@@ -16,7 +16,6 @@ from repro.core.persistence import (
 )
 from repro.core.spec import AgentSpec
 from repro.errors import SpecificationError, UnknownAgentError
-from repro.minidb.predicates import EQ
 from repro.weblims.schema_setup import (
     add_experiment_type,
     add_sample_type,

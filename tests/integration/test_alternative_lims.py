@@ -28,7 +28,7 @@ from repro.core.persistence import save_pattern
 from repro.minidb.schema import Column
 from repro.minidb.types import ColumnType
 from repro.weblims import build_expdb
-from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.http import HttpResponse
 from repro.weblims.servlet import Filter, Servlet
 from repro.weblims.schema_setup import add_experiment_type
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.minidb import EQ, Column, ColumnType, Database, TableSchema
+from repro.minidb import Column, ColumnType, Database, TableSchema
 from repro.minidb.schema import fk
 
 

@@ -148,6 +148,101 @@ class TestInstall:
         app = build_expdb()
         hub = install_observability(expdb=app)
         install_observability(expdb=app, hub=hub)
-        assert app.container.descriptor.servlet_names().count(
-            "MetricsServlet"
-        ) == 1
+        for name in ("MetricsServlet", "AuditServlet", "HealthServlet"):
+            assert app.container.descriptor.servlet_names().count(name) == 1
+
+    def test_reinstall_reuses_the_context_hub(self):
+        app = build_expdb()
+        first = install_observability(expdb=app)
+        second = install_observability(expdb=app)
+        assert second is first
+        assert app.container.context["obs"] is first
+
+    def test_reinstall_does_not_double_subscribe_the_event_stream(self):
+        from repro.core.engine import WorkflowBean
+
+        app = build_expdb()
+        engine = WorkflowBean(app.db)
+        hub = install_observability(expdb=app, engine=engine)
+        install_observability(expdb=app, engine=engine, hub=hub)
+        engine.events.emit("task.state", task="a", state="active")
+        snapshot = hub.registry.snapshot()
+        [series] = snapshot["engine_events_total"]["series"]
+        assert series["value"] == 1
+        # Exactly one audit row too — the audit subscriber is also guarded.
+        assert hub.audit.count() == 1
+
+    def test_reinstall_does_not_duplicate_collectors(self):
+        app = build_expdb()
+        hub = install_observability(expdb=app)
+        collectors_after_first = len(hub.registry._collectors)
+        install_observability(expdb=app)
+        assert len(hub.registry._collectors) == collectors_after_first
+
+    def test_watch_broker_is_idempotent(self):
+        hub = ObservabilityHub()
+        broker = MessageBroker()
+        hub.watch_broker(broker)
+        before = len(hub.registry._collectors)
+        hub.watch_broker(broker)
+        assert len(hub.registry._collectors) == before
+        assert broker.observer is hub.broker_observer
+
+
+class TestHealth:
+    def test_empty_hub_reports_ok_with_no_components(self):
+        report = ObservabilityHub().health_report()
+        assert report["status"] == "ok"
+        assert report["components"] == {}
+
+    def test_provider_exception_degrades_not_crashes(self):
+        hub = ObservabilityHub()
+
+        def broken():
+            raise RuntimeError("probe failed")
+
+        hub.register_health("flaky", broken)
+        report = hub.health_report()
+        assert report["status"] == "degraded"
+        assert report["components"]["flaky"]["status"] == "error"
+        assert "probe failed" in report["components"]["flaky"]["error"]
+
+    def test_broker_component_reports_queue_depths_and_journal(self):
+        hub = ObservabilityHub()
+        broker = MessageBroker()
+        hub.watch_broker(broker)
+        broker.declare_queue("q")
+        broker.send("q", "body")
+        info = hub.health_report()["components"]["broker"]
+        assert info["queues"] == {"q": 1}
+        assert info["in_flight"] == 0
+        assert info["journal"]["enabled"] is False
+
+    def test_database_component_reports_wal_status(self):
+        app = build_expdb()
+        hub = install_observability(expdb=app)
+        info = hub.health_report()["components"]["database"]
+        assert info["wal"] == {"enabled": False}
+        assert info["tables"] > 0
+
+
+class TestLogMetrics:
+    def test_log_records_counted_by_level(self):
+        hub = ObservabilityHub()
+        hub.log.logger("engine").info("one")
+        hub.log.logger("engine").error("two")
+        snapshot = hub.registry.snapshot()
+        by_level = {
+            series["labels"]["level"]: series["value"]
+            for series in snapshot["log_records_total"]["series"]
+        }
+        assert by_level == {"info": 1, "error": 1}
+
+    def test_dropped_counters_exposed_as_metrics(self):
+        hub = ObservabilityHub()
+        hub.log.capacity = 1
+        hub.log.logger("x").info("a")
+        hub.log.logger("x").info("b")
+        text = hub.registry.render()
+        assert "log_records_dropped_total 1" in text
+        assert "trace_spans_dropped_total 0" in text

@@ -1,0 +1,188 @@
+"""Unit tests for the structured logging layer (repro.obs.log)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.log import LEVELS, LogRecord, StructuredLog, level_number
+from repro.obs.trace import Tracer
+
+
+class TestLevels:
+    def test_ordering(self):
+        assert (
+            LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+        )
+
+    def test_level_number(self):
+        assert level_number("warning") == LEVELS["warning"]
+
+
+class TestEmission:
+    def test_records_are_buffered_in_order(self):
+        log = StructuredLog()
+        log.log("info", "engine", "first")
+        log.log("info", "engine", "second")
+        messages = [r.message for r in log.records()]
+        assert messages == ["first", "second"]
+
+    def test_sequence_is_monotonic(self):
+        log = StructuredLog()
+        first = log.log("info", "a", "x")
+        second = log.log("info", "b", "y")
+        assert second.sequence == first.sequence + 1
+
+    def test_fields_are_kept(self):
+        log = StructuredLog()
+        record = log.log("info", "engine", "started", workflow_id=7)
+        assert record.fields == {"workflow_id": 7}
+        assert record.to_dict()["workflow_id"] == 7
+
+    def test_level_filter_suppresses_below_threshold(self):
+        log = StructuredLog(level="warning")
+        assert log.log("debug", "engine", "noise") is None
+        assert log.log("warning", "engine", "real") is not None
+        assert log.suppressed == 1
+        assert len(log.records()) == 1
+
+    def test_set_level(self):
+        log = StructuredLog()
+        log.set_level("error")
+        assert log.log("info", "x", "dropped") is None
+        log.set_level("debug")
+        assert log.log("info", "x", "kept") is not None
+
+    def test_unknown_level_never_raises(self):
+        log = StructuredLog()
+        assert log.log("verbose", "x", "?") is None
+
+    def test_ring_buffer_drops_oldest(self):
+        log = StructuredLog(capacity=3)
+        for i in range(5):
+            log.log("info", "x", f"m{i}")
+        assert [r.message for r in log.records()] == ["m2", "m3", "m4"]
+        assert log.dropped == 2
+        assert log.emitted == 5
+
+
+class TestTraceCorrelation:
+    def test_active_span_is_stamped(self):
+        tracer = Tracer()
+        log = StructuredLog(tracer=tracer)
+        with tracer.span("request") as span:
+            record = log.log("info", "engine", "inside")
+        outside = log.log("info", "engine", "outside")
+        assert record.trace_id == span.trace_id
+        assert record.span_id == span.span_id
+        assert outside.trace_id is None
+
+    def test_records_filterable_by_trace(self):
+        tracer = Tracer()
+        log = StructuredLog(tracer=tracer)
+        with tracer.span("a") as span:
+            log.log("info", "x", "in-trace")
+        log.log("info", "x", "no-trace")
+        selected = log.records(trace_id=span.trace_id)
+        assert [r.message for r in selected] == ["in-trace"]
+
+
+class TestSubscribers:
+    def test_subscribers_see_admitted_records(self):
+        log = StructuredLog(level="info")
+        seen = []
+        log.subscribe(seen.append)
+        log.log("debug", "x", "hidden")
+        log.log("info", "x", "shown")
+        assert [r.message for r in seen] == ["shown"]
+
+    def test_subscriber_exceptions_are_swallowed(self):
+        log = StructuredLog()
+
+        def bad(record):
+            raise RuntimeError("boom")
+
+        log.subscribe(bad)
+        assert log.log("info", "x", "survives") is not None
+
+    def test_unsubscribe(self):
+        log = StructuredLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.unsubscribe(seen.append)
+        log.log("info", "x", "quiet")
+        assert seen == []
+
+
+class TestQueries:
+    def test_minimum_level_filter(self):
+        log = StructuredLog()
+        log.log("debug", "x", "d")
+        log.log("warning", "x", "w")
+        log.log("error", "x", "e")
+        assert [r.message for r in log.records(level="warning")] == ["w", "e"]
+
+    def test_logger_filter_and_limit(self):
+        log = StructuredLog()
+        for i in range(4):
+            log.log("info", "engine" if i % 2 else "broker", f"m{i}")
+        engine = log.records(logger="engine", limit=1)
+        assert [r.message for r in engine] == ["m3"]
+
+    def test_tail(self):
+        log = StructuredLog()
+        for i in range(5):
+            log.log("info", "x", f"m{i}")
+        assert [r.message for r in log.tail(2)] == ["m3", "m4"]
+
+    def test_render_is_json_lines(self):
+        log = StructuredLog()
+        log.log("info", "x", "one", n=1)
+        log.log("info", "x", "two", n=2)
+        lines = log.render().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [p["message"] for p in parsed] == ["one", "two"]
+        assert parsed[0]["n"] == 1
+
+    def test_clear_keeps_counters(self):
+        log = StructuredLog()
+        log.log("info", "x", "m")
+        log.clear()
+        assert log.records() == []
+        assert log.emitted == 1
+        assert log.log("info", "x", "m2").sequence == 2
+
+
+class TestBoundLogger:
+    def test_methods_map_to_levels(self):
+        log = StructuredLog()
+        engine = log.logger("engine")
+        engine.debug("d")
+        engine.info("i")
+        engine.warning("w")
+        engine.error("e")
+        assert [r.level for r in log.records()] == [
+            "debug",
+            "info",
+            "warning",
+            "error",
+        ]
+        assert {r.logger for r in log.records()} == {"engine"}
+
+
+class TestLogRecord:
+    def test_to_dict_omits_absent_trace(self):
+        record = LogRecord(
+            ts=1.0, level="info", logger="x", message="m", sequence=1
+        )
+        assert "trace_id" not in record.to_dict()
+
+    def test_to_json_handles_unserialisable_fields(self):
+        record = LogRecord(
+            ts=1.0,
+            level="info",
+            logger="x",
+            message="m",
+            sequence=1,
+            fields={"obj": object()},
+        )
+        assert "obj" in json.loads(record.to_json())

@@ -47,6 +47,7 @@ class TestRequestCost:
             "database",
             "messaging",
             "web_cpu",
+            "audit",
             "total",
         }
 
