@@ -1,0 +1,39 @@
+"""Static analysis for Exp-WF (DESIGN.md §9).
+
+Two prongs:
+
+* :mod:`repro.analysis.wfcheck` — the workflow-pattern soundness
+  verifier (multi-diagnostic, non-throwing; ``validate_pattern`` is a
+  thin raising wrapper over it);
+* :mod:`repro.analysis.codelint` — the codebase invariant linter
+  (state-machine discipline, lock discipline, bare excepts, mutable
+  defaults, dead code).
+
+Run both from the command line via ``python -m repro.analysis``.
+"""
+
+from repro.analysis.codelint import lint_paths
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Report,
+    Severity,
+    merge_reports,
+)
+from repro.analysis.wfcheck import (
+    MAX_GUARDS,
+    check_pattern,
+    check_patterns,
+    check_registry,
+)
+
+__all__ = [
+    "Diagnostic",
+    "MAX_GUARDS",
+    "Report",
+    "Severity",
+    "check_pattern",
+    "check_patterns",
+    "check_registry",
+    "lint_paths",
+    "merge_reports",
+]

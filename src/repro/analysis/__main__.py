@@ -1,0 +1,185 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Subcommands::
+
+    python -m repro.analysis wfcheck protein         # built-in lab
+    python -m repro.analysis wfcheck some.module     # scan a module
+    python -m repro.analysis codelint src            # invariant linter
+
+``wfcheck`` accepts either the name of a built-in workload (``protein``,
+``synthetic``) or a dotted module path; the module is imported and
+scanned for module-level :class:`WorkflowPattern` objects, dicts of
+patterns, and zero-argument ``*_patterns()`` factories.  Both
+subcommands support ``--json`` and exit non-zero when any
+error-severity diagnostic was produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from typing import Any, Mapping
+
+from repro.analysis.codelint import lint_paths
+from repro.analysis.diagnostics import Report
+from repro.analysis.wfcheck import check_registry
+from repro.core.spec import WorkflowPattern
+
+
+def _builtin_protein() -> tuple[Mapping[str, WorkflowPattern], Any]:
+    """The Fig. 1 protein lab: registry + database for type checks."""
+    from repro.core.datamodel import install_workflow_datamodel
+    from repro.core.persistence import pattern_registry
+    from repro.weblims import build_expdb
+    from repro.workloads.protein import (
+        build_protein_patterns,
+        install_protein_schema,
+    )
+
+    app = build_expdb()
+    install_workflow_datamodel(app.db)
+    install_protein_schema(app)
+    build_protein_patterns(app)
+    return pattern_registry(app.db), app.db
+
+
+def _builtin_synthetic() -> tuple[Mapping[str, WorkflowPattern], Any]:
+    """Pattern-only synthetic shapes (no database)."""
+    from repro.workloads.generator import synthetic_patterns
+
+    patterns = synthetic_patterns()
+    return {pattern.name: pattern for pattern in patterns}, None
+
+
+_BUILTIN_TARGETS = {
+    "protein": _builtin_protein,
+    "synthetic": _builtin_synthetic,
+}
+
+
+def _scan_module(
+    target: str,
+) -> tuple[Mapping[str, WorkflowPattern], Any]:
+    module = importlib.import_module(target)
+    registry: dict[str, WorkflowPattern] = {}
+    for name in dir(module):
+        if name.startswith("_"):
+            continue
+        value = getattr(module, name)
+        if isinstance(value, WorkflowPattern):
+            registry[value.name] = value
+        elif isinstance(value, dict) and all(
+            isinstance(item, WorkflowPattern) for item in value.values()
+        ) and value:
+            for item in value.values():
+                registry[item.name] = item
+        elif callable(value) and name.endswith("_patterns"):
+            try:
+                produced = value()
+            except TypeError:
+                continue  # needs arguments — not a zero-arg factory
+            if isinstance(produced, WorkflowPattern):
+                registry[produced.name] = produced
+            elif isinstance(produced, (list, tuple)):
+                for item in produced:
+                    if isinstance(item, WorkflowPattern):
+                        registry[item.name] = item
+            elif isinstance(produced, dict):
+                for item in produced.values():
+                    if isinstance(item, WorkflowPattern):
+                        registry[item.name] = item
+    return registry, None
+
+
+def resolve_target(
+    target: str,
+) -> tuple[Mapping[str, WorkflowPattern], Any]:
+    """Resolve a ``wfcheck`` target to (registry, optional db)."""
+    builtin = _BUILTIN_TARGETS.get(target)
+    if builtin is not None:
+        return builtin()
+    return _scan_module(target)
+
+
+def run_wfcheck(target: str, as_json: bool) -> int:
+    try:
+        registry, db = resolve_target(target)
+    except ImportError as exc:
+        print(f"wfcheck: cannot import {target!r}: {exc}", file=sys.stderr)
+        return 2
+    if not registry:
+        print(f"wfcheck: no workflow patterns found in {target!r}",
+              file=sys.stderr)
+        return 2
+    reports = check_registry(registry, db=db)
+    errors = 0
+    if as_json:
+        payload = {
+            name: {
+                "diagnostics": report.to_dicts(),
+                "stats": report.stats,
+            }
+            for name, report in reports.items()
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        errors = sum(len(report.errors()) for report in reports.values())
+    else:
+        for name, report in reports.items():
+            print(f"== pattern {name!r} ==")
+            print(report.render_text())
+            errors += len(report.errors())
+    return 1 if errors else 0
+
+
+def run_codelint(paths: list[str], as_json: bool) -> int:
+    report = lint_paths(paths)
+    if as_json:
+        print(
+            json.dumps(
+                {"diagnostics": report.to_dicts(), "stats": report.stats},
+                indent=2,
+                default=str,
+            )
+        )
+    else:
+        print(report.render_text())
+    return 1 if report.errors() else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for Exp-WF workflow patterns and "
+        "the repro codebase.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    wf = sub.add_parser(
+        "wfcheck", help="verify workflow patterns (soundness diagnostics)"
+    )
+    wf.add_argument(
+        "target",
+        help="built-in lab name (protein, synthetic) or a dotted module "
+        "path to scan for WorkflowPattern objects",
+    )
+    wf.add_argument("--json", action="store_true", dest="as_json")
+    cl = sub.add_parser(
+        "codelint", help="lint the codebase for repo invariants"
+    )
+    cl.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    cl.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "wfcheck":
+        return run_wfcheck(args.target, args.as_json)
+    return run_codelint(args.paths or ["src"], args.as_json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Structured diagnostics shared by the workflow verifier and codelint.
+
+A :class:`Diagnostic` is one finding: a stable code (``WF0xx`` for
+workflow-specification findings, ``CL0xx`` for codebase-invariant
+findings), a severity, a human-readable message, an optional location
+(pattern/task/transition for workflow findings, file/line for code
+findings) and an optional fix hint.
+
+A :class:`Report` is an ordered collection of diagnostics with the small
+amount of logic every consumer needs: severity filtering, exit-code
+semantics (errors fail, warnings do not) and rendering as plain text or
+JSON-ready dicts.  Analyzers *never* raise on findings — raising is the
+business of the :mod:`repro.core.validation` compat wrapper alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make ``validate_pattern`` raise and the CLI exit
+    non-zero; ``WARNING`` findings flag likely specification smells that
+    remain executable; ``INFO`` findings are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+#: Rank for sorting (errors first) without relying on enum order.
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    pattern: str | None = None
+    task: str | None = None
+    transition: str | None = None  # "source -> target" rendering
+    file: str | None = None
+    line: int | None = None
+    hint: str | None = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def location(self) -> str:
+        """Human-readable location prefix (may be empty)."""
+        if self.file is not None:
+            return f"{self.file}:{self.line}" if self.line else self.file
+        parts = []
+        if self.pattern is not None:
+            parts.append(f"pattern {self.pattern!r}")
+        if self.task is not None:
+            parts.append(f"task {self.task!r}")
+        if self.transition is not None:
+            parts.append(f"transition {self.transition}")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict with ``None`` fields dropped."""
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        for key in ("pattern", "task", "transition", "file", "line", "hint"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+    def render(self) -> str:
+        location = self.location()
+        prefix = f"{location}: " if location else ""
+        text = f"{prefix}{self.severity.value} {self.code}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Report:
+    """An ordered collection of diagnostics."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Free-form analyzer statistics (e.g. marking-exploration counters).
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        **location: Any,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(code, severity, message, **location)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "Report") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        for key, value in other.stats.items():
+            if isinstance(value, (int, float)) and key in self.stats:
+                self.stats[key] = self.stats[key] + value
+            else:
+                self.stats[key] = value
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the report carries no error-severity findings."""
+        return not self.errors()
+
+    def first_error(self) -> Diagnostic | None:
+        for diagnostic in self.diagnostics:
+            if diagnostic.is_error:
+                return diagnostic
+        return None
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics ordered by severity (stable within a severity)."""
+        return sorted(
+            self.diagnostics, key=lambda d: _SEVERITY_RANK[d.severity]
+        )
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [d.to_dict() for d in self.diagnostics]
+
+    def render_text(self) -> str:
+        if not self.diagnostics:
+            return "no findings"
+        lines = [d.render() for d in self.diagnostics]
+        counts = ", ".join(
+            f"{len(group)} {label}"
+            for label, group in (
+                ("error(s)", self.errors()),
+                ("warning(s)", self.warnings()),
+                (
+                    "info",
+                    [
+                        d
+                        for d in self.diagnostics
+                        if d.severity is Severity.INFO
+                    ],
+                ),
+            )
+            if group
+        )
+        lines.append(counts)
+        return "\n".join(lines)
+
+
+def merge_reports(reports: Iterable[Report]) -> Report:
+    """Fold several reports into one (used by registry-wide checks)."""
+    merged = Report()
+    for report in reports:
+        merged.extend(report)
+    return merged

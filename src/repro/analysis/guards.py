@@ -1,0 +1,362 @@
+"""Decision support over transition conditions (satisfiability lite).
+
+The verifier needs three judgements about the little boolean language of
+:mod:`repro.core.conditions`:
+
+* is a single condition **contradictory** (never true — its transition is
+  dead) or **tautological** (always true — sibling branches starve)?
+* are two conditions **complements** of each other (``colonies >= 20``
+  vs. ``colonies < 20``) — the signature of an intentional exclusive
+  branch that rejoins downstream?
+* is a joint truth **assignment** over several guards feasible at all
+  (``x > 1`` and ``x < 0`` can never both hold for the same reading)?
+
+All three reduce to interval reasoning over *atoms*: comparisons of one
+dotted name against a numeric literal.  Anything richer (arithmetic,
+string equality, bare boolean lookups) is treated as a free boolean —
+the analysis stays sound for the judgements above because free atoms
+never rule an assignment out; it merely becomes less precise.
+
+This module walks the private ``_Node`` AST of ``core.conditions``
+directly; both live in this repository and evolve together.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.conditions import (
+    Condition,
+    _BoolOp,
+    _Comparison,
+    _Literal,
+    _Lookup,
+    _Node,
+    _Not,
+)
+
+#: Enumeration cap: conditions with more distinct atoms than this are not
+#: analysed (the verifier reports the truncation; see WF023).
+MAX_ATOMS = 10
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+#: One interval: (lo, lo_strict, hi, hi_strict); strict == open endpoint.
+_Interval = tuple[float, bool, float, bool]
+
+_FULL: _Interval = (-math.inf, True, math.inf, True)
+
+
+def _interval_empty(interval: _Interval) -> bool:
+    lo, lo_strict, hi, hi_strict = interval
+    if lo > hi:
+        return True
+    return lo == hi and (lo_strict or hi_strict)
+
+
+def _interval_intersect(a: _Interval, b: _Interval) -> _Interval:
+    alo, alos, ahi, ahis = a
+    blo, blos, bhi, bhis = b
+    if alo > blo or (alo == blo and alos):
+        lo, los = alo, alos
+    else:
+        lo, los = blo, blos
+    if ahi < bhi or (ahi == bhi and ahis):
+        hi, his = ahi, ahis
+    else:
+        hi, his = bhi, bhis
+    return (lo, los, hi, his)
+
+
+@dataclass(frozen=True)
+class IntervalSet:
+    """A union of disjoint intervals over the reals."""
+
+    intervals: tuple[_Interval, ...]
+
+    @classmethod
+    def full(cls) -> "IntervalSet":
+        return cls((_FULL,))
+
+    @classmethod
+    def from_comparison(cls, operator: str, value: float) -> "IntervalSet":
+        if operator == "<":
+            return cls(((-math.inf, True, value, True),))
+        if operator == "<=":
+            return cls(((-math.inf, True, value, False),))
+        if operator == ">":
+            return cls(((value, True, math.inf, True),))
+        if operator == ">=":
+            return cls(((value, False, math.inf, True),))
+        if operator == "==":
+            return cls(((value, False, value, False),))
+        if operator == "!=":
+            return cls(
+                (
+                    (-math.inf, True, value, True),
+                    (value, True, math.inf, True),
+                )
+            )
+        raise ValueError(f"unknown comparison operator {operator!r}")
+
+    def normalized(self) -> "IntervalSet":
+        kept = [i for i in self.intervals if not _interval_empty(i)]
+        kept.sort()
+        return IntervalSet(tuple(kept))
+
+    @property
+    def empty(self) -> bool:
+        return not self.normalized().intervals
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        pieces = [
+            _interval_intersect(a, b)
+            for a in self.intervals
+            for b in other.intervals
+        ]
+        return IntervalSet(tuple(pieces)).normalized()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self.normalized().intervals == other.normalized().intervals
+
+    def __hash__(self) -> int:
+        return hash(self.normalized().intervals)
+
+
+_COMPLEMENT_OP = {
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+    "==": "!=",
+    "!=": "==",
+}
+
+_FLIPPED_OP = {
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+    "==": "==",
+    "!=": "!=",
+}
+
+
+# ---------------------------------------------------------------------------
+# Atoms and formulas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A boolean leaf of a condition formula.
+
+    ``path``/``true_set`` are populated only for interval-analysable
+    atoms (``name op number``); free atoms carry just their key.
+    """
+
+    key: str
+    path: str | None = None
+    true_set: IntervalSet | None = None
+
+    @property
+    def false_set(self) -> IntervalSet | None:
+        if self.true_set is None or self.path is None:
+            return None
+        # Complement within the reals: rebuild from the stored key is
+        # fragile, so complement structurally by subtracting from FULL.
+        pieces: list[_Interval] = []
+        boundary = -math.inf
+        boundary_open = True
+        for lo, lo_strict, hi, hi_strict in sorted(self.true_set.intervals):
+            pieces.append((boundary, boundary_open, lo, not lo_strict))
+            boundary, boundary_open = hi, not hi_strict
+        pieces.append((boundary, boundary_open, math.inf, True))
+        return IntervalSet(tuple(pieces)).normalized()
+
+
+#: Formula nodes: ("const", bool) | ("atom", key) | ("not", f)
+#: | ("and", (f, ...)) | ("or", (f, ...))
+Formula = tuple
+
+
+def _numeric(node: _Node) -> float | None:
+    if isinstance(node, _Literal) and not isinstance(node.value, bool):
+        if isinstance(node.value, (int, float)):
+            return float(node.value)
+    return None
+
+
+def _atom_for_comparison(node: _Comparison) -> Atom:
+    left_path = (
+        ".".join(node.left.path) if isinstance(node.left, _Lookup) else None
+    )
+    right_path = (
+        ".".join(node.right.path) if isinstance(node.right, _Lookup) else None
+    )
+    left_num = _numeric(node.left)
+    right_num = _numeric(node.right)
+    if left_path is not None and right_num is not None:
+        operator, path, value = node.operator, left_path, right_num
+    elif right_path is not None and left_num is not None:
+        operator, path, value = _FLIPPED_OP[node.operator], right_path, left_num
+    else:
+        return Atom(key=node.unparse())
+    canonical = f"{path} {operator} {value!r}"
+    return Atom(
+        key=canonical,
+        path=path,
+        true_set=IntervalSet.from_comparison(operator, value),
+    )
+
+
+class ConditionAnalysis:
+    """A condition lifted into a boolean formula over atoms."""
+
+    def __init__(self, condition: Condition) -> None:
+        self.condition = condition
+        self.atoms: dict[str, Atom] = {}
+        self.formula: Formula = self._lift(condition._ast)
+
+    # -- formula construction ------------------------------------------
+
+    def _register(self, atom: Atom) -> Formula:
+        self.atoms.setdefault(atom.key, atom)
+        return ("atom", atom.key)
+
+    def _lift(self, node: _Node) -> Formula:
+        if isinstance(node, _Literal):
+            if isinstance(node.value, bool):
+                return ("const", node.value)
+            return self._register(Atom(key=node.unparse()))
+        if isinstance(node, _Comparison):
+            return self._register(_atom_for_comparison(node))
+        if isinstance(node, _Not):
+            return ("not", self._lift(node.operand))
+        if isinstance(node, _BoolOp):
+            return (
+                node.operator,
+                tuple(self._lift(op) for op in node.operands),
+            )
+        # Bare lookups and arithmetic in boolean position: free atoms.
+        return self._register(Atom(key=node.unparse()))
+
+    # -- evaluation ----------------------------------------------------
+
+    def _evaluate(self, formula: Formula, assignment: dict[str, bool]) -> bool:
+        kind = formula[0]
+        if kind == "const":
+            return formula[1]
+        if kind == "atom":
+            return assignment[formula[1]]
+        if kind == "not":
+            return not self._evaluate(formula[1], assignment)
+        if kind == "and":
+            return all(self._evaluate(f, assignment) for f in formula[1])
+        return any(self._evaluate(f, assignment) for f in formula[1])
+
+    def _assignments(self):
+        keys = sorted(self.atoms)
+        for mask in range(1 << len(keys)):
+            yield {
+                key: bool(mask >> index & 1)
+                for index, key in enumerate(keys)
+            }
+
+    def _feasible(self, assignment: dict[str, bool]) -> bool:
+        return assignment_feasible(
+            (self.atoms[key], value) for key, value in assignment.items()
+        )
+
+    # -- public judgements ---------------------------------------------
+
+    def satisfiable(self) -> bool | None:
+        """Can the condition ever be true?  ``None`` when too large."""
+        if len(self.atoms) > MAX_ATOMS:
+            return None
+        return any(
+            self._evaluate(self.formula, assignment)
+            for assignment in self._assignments()
+            if self._feasible(assignment)
+        )
+
+    def tautological(self) -> bool | None:
+        """Is the condition true under every feasible assignment?"""
+        if len(self.atoms) > MAX_ATOMS:
+            return None
+        return all(
+            self._evaluate(self.formula, assignment)
+            for assignment in self._assignments()
+            if self._feasible(assignment)
+        )
+
+    def single_interval(self) -> Atom | None:
+        """The sole interval atom when the formula is exactly one atom
+        (or its negation — returned with true/false sets swapped)."""
+        formula = self.formula
+        negated = False
+        while formula[0] == "not":
+            negated = not negated
+            formula = formula[1]
+        if formula[0] != "atom":
+            return None
+        atom = self.atoms[formula[1]]
+        if atom.true_set is None or atom.path is None:
+            return None
+        if not negated:
+            return atom
+        false_set = atom.false_set
+        assert false_set is not None
+        return Atom(
+            key=f"not ({atom.key})", path=atom.path, true_set=false_set
+        )
+
+
+def assignment_feasible(
+    valued_atoms: Any,
+) -> bool:
+    """Whether a truth assignment over interval atoms is consistent.
+
+    ``valued_atoms`` yields ``(Atom, bool)`` pairs; atoms sharing a
+    ``path`` constrain the same quantity, so their chosen interval sets
+    must intersect.  Free atoms impose nothing.
+    """
+    by_path: dict[str, IntervalSet] = {}
+    for atom, value in valued_atoms:
+        if atom.path is None or atom.true_set is None:
+            continue
+        chosen = atom.true_set if value else atom.false_set
+        assert chosen is not None
+        current = by_path.get(atom.path, IntervalSet.full())
+        current = current.intersect(chosen)
+        if current.empty:
+            return False
+        by_path[atom.path] = current
+    return True
+
+
+def analyse(condition: Condition) -> ConditionAnalysis:
+    return ConditionAnalysis(condition)
+
+
+def complementary(a: Condition, b: Condition) -> bool:
+    """Whether ``a`` and ``b`` are provable complements (a ≡ ¬b).
+
+    Only the single-comparison case is proven (``x >= c`` vs ``x < c``)
+    — exactly the shape of intentional exclusive branches.  Anything
+    more complex conservatively returns False.
+    """
+    atom_a = ConditionAnalysis(a).single_interval()
+    atom_b = ConditionAnalysis(b).single_interval()
+    if atom_a is None or atom_b is None:
+        return False
+    if atom_a.path != atom_b.path:
+        return False
+    false_a = atom_a.false_set
+    return false_a is not None and false_a == atom_b.true_set

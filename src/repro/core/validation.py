@@ -1,7 +1,15 @@
-"""Static validation of workflow patterns.
+"""Static validation of workflow patterns (compat wrapper).
 
-``validate_pattern`` checks everything that can be checked before a
-single instance runs:
+The analyses themselves live in :mod:`repro.analysis.wfcheck`, which
+emits *all* findings as structured diagnostics instead of raising on the
+first one.  This module preserves the historical contract every caller
+and test relies on: ``validate_pattern`` raises
+:class:`SpecificationError` carrying the message of the **first**
+error-severity diagnostic — and the verifier emits the legacy checks
+first, in their historical order, with byte-identical messages, so
+pre-existing callers cannot tell the difference.
+
+What the legacy checks cover (all error severity):
 
 * structural sanity — at least one initial and one final task, every
   task reachable from some initial task;
@@ -17,19 +25,22 @@ single instance runs:
   contain itself);
 * final tasks must require authorization — §4.2: "In order to control
   workflow termination, the final task of a workflow now requires
-  authorization to be performed."  ``validate_pattern`` *enforces* this
-  by flagging unauthorized final tasks (the builder sets the flag
-  automatically; hand-built patterns must do it themselves).
+  authorization to be performed."
+
+On top of those, the verifier's join-soundness analysis can reject
+patterns whose joins can *never* fire with all inputs (an AND-join over
+mutually exclusive guards, diagnostic WF020) — a class of dead
+specification the old validator silently accepted.  Warnings and infos
+never raise; run ``python -m repro.analysis wfcheck`` to see them.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from repro.core.spec import WorkflowPattern
 from repro.errors import SpecificationError
 from repro.minidb.engine import Database
-from repro.minidb.predicates import AND, EQ
 
 
 def validate_pattern(
@@ -38,200 +49,11 @@ def validate_pattern(
     registry: Mapping[str, WorkflowPattern] | None = None,
 ) -> None:
     """Raise :class:`SpecificationError` on the first violation found."""
-    if not pattern.tasks:
-        raise SpecificationError(f"pattern {pattern.name!r} has no tasks")
+    # Imported lazily: repro.analysis depends on repro.core, and this
+    # module is imported during core package initialisation.
+    from repro.analysis.wfcheck import check_pattern
 
-    initial = pattern.initial_tasks()
-    if not initial:
-        raise SpecificationError(
-            f"pattern {pattern.name!r} has no initial task (every task has "
-            "incoming transitions)"
-        )
-    final = pattern.final_tasks()
-    if not final:
-        raise SpecificationError(
-            f"pattern {pattern.name!r} has no final task (every task has "
-            "outgoing transitions)"
-        )
-
-    _check_reachability(pattern, initial)
-    _check_unconditional_cycles(pattern)
-    _check_final_authorization(pattern, final)
-    if registry is not None:
-        _check_subworkflows(pattern, registry)
-    if db is not None:
-        _check_types(pattern, db, registry)
-
-
-def _check_reachability(pattern: WorkflowPattern, initial: Iterable[str]) -> None:
-    reached = set(initial)
-    frontier = list(initial)
-    while frontier:
-        current = frontier.pop()
-        for target in pattern.control_targets(current):
-            if target not in reached:
-                reached.add(target)
-                frontier.append(target)
-    unreachable = set(pattern.tasks) - reached
-    if unreachable:
-        raise SpecificationError(
-            f"pattern {pattern.name!r}: tasks {sorted(unreachable)} are not "
-            "reachable from any initial task"
-        )
-
-
-def _check_unconditional_cycles(pattern: WorkflowPattern) -> None:
-    """Reject cycles made purely of unconditional transitions.
-
-    Only unconditional control edges are considered; a conditional edge
-    breaks the cycle because the condition can route execution out of
-    the loop.
-    """
-    edges: dict[str, list[str]] = {name: [] for name in pattern.tasks}
-    for transition in pattern.transitions:
-        if transition.condition is None:
-            edges[transition.source].append(transition.target)
-
-    WHITE, GREY, BLACK = 0, 1, 2
-    colour = {name: WHITE for name in pattern.tasks}
-
-    def visit(node: str, stack: list[str]) -> None:
-        colour[node] = GREY
-        stack.append(node)
-        for neighbour in edges[node]:
-            if colour[neighbour] == GREY:
-                start = stack.index(neighbour)
-                cycle = stack[start:] + [neighbour]
-                raise SpecificationError(
-                    f"pattern {pattern.name!r}: unconditional cycle "
-                    f"{' -> '.join(cycle)}; loops must contain a "
-                    "conditional transition"
-                )
-            if colour[neighbour] == WHITE:
-                visit(neighbour, stack)
-        stack.pop()
-        colour[node] = BLACK
-
-    for name in pattern.tasks:
-        if colour[name] == WHITE:
-            visit(name, [])
-
-
-def _check_final_authorization(
-    pattern: WorkflowPattern, final: Iterable[str]
-) -> None:
-    unauthorized = [
-        name for name in final if not pattern.task(name).requires_authorization
-    ]
-    if unauthorized:
-        raise SpecificationError(
-            f"pattern {pattern.name!r}: final tasks {sorted(unauthorized)} "
-            "must require authorization to control workflow termination"
-        )
-
-
-def _check_subworkflows(
-    pattern: WorkflowPattern,
-    registry: Mapping[str, WorkflowPattern],
-    seen: tuple[str, ...] = (),
-) -> None:
-    seen = seen + (pattern.name,)
-    for task in pattern.tasks.values():
-        if not task.is_subworkflow:
-            continue
-        child_name = task.subworkflow
-        if child_name in seen:
-            raise SpecificationError(
-                f"sub-workflow cycle: {' -> '.join(seen + (child_name,))}"
-            )
-        child = registry.get(child_name)
-        if child is None:
-            raise SpecificationError(
-                f"pattern {pattern.name!r}: task {task.name!r} references "
-                f"unknown sub-workflow {child_name!r}"
-            )
-        _check_subworkflows(child, registry, seen)
-
-
-def _check_types(
-    pattern: WorkflowPattern,
-    db: Database,
-    registry: Mapping[str, WorkflowPattern] | None,
-) -> None:
-    for task in pattern.tasks.values():
-        if task.is_subworkflow:
-            continue
-        known = db.select_one(
-            "ExperimentType", EQ("type_name", task.experiment_type)
-        )
-        if known is None:
-            raise SpecificationError(
-                f"pattern {pattern.name!r}: task {task.name!r} references "
-                f"unregistered experiment type {task.experiment_type!r}"
-            )
-    for transition in pattern.transitions:
-        if not transition.is_data:
-            continue
-        source_task = pattern.task(transition.source)
-        target_task = pattern.task(transition.target)
-        source_type = _boundary_type(source_task, registry, output=True)
-        target_type = _boundary_type(target_task, registry, output=False)
-        if source_type is not None:
-            _require_io(
-                db, pattern, source_type, transition.sample_type, "output"
-            )
-        if target_type is not None:
-            _require_io(
-                db, pattern, target_type, transition.sample_type, "input"
-            )
-
-
-def _boundary_type(
-    task,
-    registry: Mapping[str, WorkflowPattern] | None,
-    output: bool,
-) -> str | None:
-    """Experiment type at a data-transition endpoint.
-
-    For sub-workflow tasks the data flows through the child's final (for
-    outputs) or initial (for inputs) task; resolving that requires the
-    registry, and multi-task boundaries are skipped (checked when the
-    child pattern itself is validated).
-    """
-    if not task.is_subworkflow:
-        return task.experiment_type
-    if registry is None:
-        return None
-    child = registry.get(task.subworkflow)
-    if child is None:
-        return None
-    boundary = child.final_tasks() if output else child.initial_tasks()
-    if len(boundary) != 1:
-        return None
-    boundary_task = child.task(boundary[0])
-    if boundary_task.is_subworkflow:
-        return None
-    return boundary_task.experiment_type
-
-
-def _require_io(
-    db: Database,
-    pattern: WorkflowPattern,
-    experiment_type: str,
-    sample_type: str,
-    direction: str,
-) -> None:
-    row = db.select_one(
-        "ExperimentTypeIO",
-        AND(
-            EQ("experiment_type", experiment_type),
-            EQ("sample_type", sample_type),
-            EQ("direction", direction),
-        ),
-    )
-    if row is None:
-        raise SpecificationError(
-            f"pattern {pattern.name!r}: experiment type {experiment_type!r} "
-            f"does not declare {sample_type!r} as an {direction} "
-            "(ExperimentTypeIO)"
-        )
+    report = check_pattern(pattern, db=db, registry=registry)
+    first = report.first_error()
+    if first is not None:
+        raise SpecificationError(first.message)

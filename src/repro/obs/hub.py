@@ -626,6 +626,7 @@ def install_observability(
     if expdb is not None:
         from repro.weblims.auditservlet import AuditServlet
         from repro.weblims.healthservlet import HealthServlet
+        from repro.weblims.lintservlet import LintServlet
         from repro.weblims.metricsservlet import MetricsServlet
 
         expdb.container.context["obs"] = hub
@@ -642,6 +643,8 @@ def install_observability(
             descriptor.add_servlet(AuditServlet(hub), "/workflow/audit")
         if "HealthServlet" not in names:
             descriptor.add_servlet(HealthServlet(hub), "/workflow/health")
+        if "LintServlet" not in names:
+            descriptor.add_servlet(LintServlet(expdb.db), "/workflow/lint")
     if engine is not None:
         hub.watch_engine(engine)
     if broker is not None:

@@ -1,0 +1,99 @@
+"""The workflow lint servlet (``GET /workflow/lint``).
+
+Runs the :mod:`repro.analysis` verifier over every pattern registered in
+the database and returns the diagnostics as JSON — the same payload
+``python -m repro.analysis wfcheck`` produces per pattern, so operators
+and CI see identical findings whichever door they use.
+
+Registered by ``repro.obs.install_observability`` under the exact
+pattern ``/workflow/lint`` (most-specific-match beats the
+WorkflowServlet's ``/workflow/*`` prefix mapping, as with the metrics
+and health endpoints).
+
+Query parameters:
+
+* ``?pattern=<name>`` — narrow the report to one registered pattern
+  (404 when unknown);
+* ``?severity=error`` — drop diagnostics below the given severity.
+
+Status is 200 when no error-severity diagnostics exist, 409 otherwise —
+a registered-but-unsound pattern is an operator problem, not a server
+failure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Servlet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.minidb.engine import Database
+    from repro.weblims.container import WebContainer
+
+_SEVERITY_ORDER = {"error": 0, "warning": 1, "info": 2}
+
+
+class LintServlet(Servlet):
+    """JSON workflow-soundness diagnostics for registered patterns."""
+
+    name = "LintServlet"
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+
+    def do_get(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        from repro.analysis import check_pattern, check_registry
+        from repro.core.persistence import pattern_registry
+
+        registry = pattern_registry(self.db)
+        only = request.param("pattern")
+        if only and only not in registry:
+            return HttpResponse.error(
+                404, f"no registered pattern named {only!r}"
+            )
+        floor = request.param("severity")
+        if floor and floor not in _SEVERITY_ORDER:
+            return HttpResponse.error(
+                400, f"unknown severity {floor!r} (error|warning|info)"
+            )
+        if only:
+            # Narrow the *reported* set only; sub-workflow references
+            # must still resolve against the full registry.
+            reports = {
+                only: check_pattern(
+                    registry[only], db=self.db, registry=registry
+                )
+            }
+        else:
+            reports = check_registry(registry, db=self.db)
+        patterns: dict[str, Any] = {}
+        errors = 0
+        for name, report in reports.items():
+            diagnostics = report.to_dicts()
+            if floor:
+                ceiling = _SEVERITY_ORDER[floor]
+                diagnostics = [
+                    d
+                    for d in diagnostics
+                    if _SEVERITY_ORDER[d["severity"]] <= ceiling
+                ]
+            patterns[name] = {
+                "diagnostics": diagnostics,
+                "stats": report.stats,
+            }
+            errors += len(report.errors())
+        body = {
+            "patterns": patterns,
+            "errors": errors,
+            "ok": errors == 0,
+        }
+        return HttpResponse(
+            status=200 if errors == 0 else 409,
+            body=json.dumps(body, indent=2, default=str),
+            content_type="application/json",
+        )

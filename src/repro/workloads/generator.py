@@ -152,6 +152,86 @@ class SyntheticLab:
         return self.app.db.get("Workflow", workflow_id)["status"]
 
 
+# ---------------------------------------------------------------------------
+# Pattern-only factories (no database, no agents)
+# ---------------------------------------------------------------------------
+#
+# The static-analysis benchmarks need *specifications* at scales (5000
+# tasks) where building a full lab — one child table per experiment type
+# — would dwarf the thing being measured.  These factories produce bare
+# ``WorkflowPattern`` objects; type-level checks are skipped because no
+# database is supplied.
+
+
+def synthetic_chain_pattern(
+    length: int, default_instances: int = 1
+) -> WorkflowPattern:
+    """A linear ``t0 → t1 → … → t(length-1)`` pipeline."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    builder = PatternBuilder(f"synthetic-chain-{length}")
+    for index in range(length):
+        builder.task(
+            f"t{index}",
+            experiment_type=f"Stage{index}",
+            default_instances=default_instances,
+        )
+    for index in range(length - 1):
+        builder.flow(f"t{index}", f"t{index + 1}")
+    return builder.build()
+
+
+def synthetic_fanout_pattern(width: int) -> WorkflowPattern:
+    """One source, ``width`` parallel middles, one joining sink."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    builder = PatternBuilder(f"synthetic-fanout-{width}")
+    builder.task("source", experiment_type="Stage0")
+    builder.task("sink", experiment_type="Stage2")
+    for index in range(width):
+        builder.task(f"mid{index}", experiment_type="Stage1")
+        builder.flow("source", f"mid{index}")
+        builder.flow(f"mid{index}", "sink")
+    return builder.build()
+
+
+def synthetic_branchy_pattern(diamonds: int) -> WorkflowPattern:
+    """``diamonds`` chained branch-and-rejoin blocks with complementary
+    guards — the shape that exercises the verifier's guard-assignment
+    exploration (two guards per diamond)."""
+    if diamonds < 1:
+        raise ValueError("diamonds must be >= 1")
+    builder = PatternBuilder(f"synthetic-branchy-{diamonds}")
+    builder.task("s0", experiment_type="Stage0")
+    for index in range(diamonds):
+        threshold = 0.5
+        builder.task(f"hi{index}", experiment_type="StageHi")
+        builder.task(f"lo{index}", experiment_type="StageLo")
+        builder.task(f"s{index + 1}", experiment_type="Stage0")
+        builder.flow(
+            f"s{index}",
+            f"hi{index}",
+            condition=f"experiment.reading >= {threshold}",
+        )
+        builder.flow(
+            f"s{index}",
+            f"lo{index}",
+            condition=f"experiment.reading < {threshold}",
+        )
+        builder.flow(f"hi{index}", f"s{index + 1}")
+        builder.flow(f"lo{index}", f"s{index + 1}")
+    return builder.build()
+
+
+def synthetic_patterns() -> list[WorkflowPattern]:
+    """The default pattern set ``wfcheck synthetic`` analyses."""
+    return [
+        synthetic_chain_pattern(10),
+        synthetic_fanout_pattern(8),
+        synthetic_branchy_pattern(3),
+    ]
+
+
 def build_synthetic_lab(
     stages: int = 4,
     seed: int = 11,

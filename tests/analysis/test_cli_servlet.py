@@ -1,0 +1,151 @@
+"""The two analysis front doors: the CLI and ``GET /workflow/lint``.
+
+The acceptance bar is parity — the servlet must return the same
+diagnostics for a pattern that ``check_registry`` (and therefore the
+CLI) produces.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+class TestCliWfcheck:
+    def test_protein_builtin_is_clean(self, capsys):
+        assert main(["wfcheck", "protein"]) == 0
+        out = capsys.readouterr().out
+        assert "protein_creation" in out
+        assert "protein_production" in out
+
+    def test_synthetic_builtin_is_clean(self, capsys):
+        assert main(["wfcheck", "synthetic"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic-chain-10" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        assert main(["wfcheck", "protein", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"protein_creation", "protein_production"}
+        for entry in payload.values():
+            assert entry["diagnostics"] == [
+                d for d in entry["diagnostics"] if d["severity"] != "error"
+            ]
+            assert "stats" in entry
+
+    def test_module_scan_finds_patterns(self, capsys):
+        assert main(["wfcheck", "repro.workloads.generator"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic-branchy-3" in out
+
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["wfcheck", "no.such.module"]) == 2
+
+
+class TestCliCodelint:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("def f(x):\n    return x\n")
+        assert main(["codelint", str(clean)]) == 0
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        dirty = tmp_path / "bad.py"
+        dirty.write_text(
+            textwrap.dedent(
+                """
+                try:
+                    work()
+                except:
+                    pass
+                """
+            )
+        )
+        assert main(["codelint", str(dirty)]) == 1
+        assert "CL001" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        dirty = tmp_path / "bad.py"
+        dirty.write_text("def f(items=[]):\n    return items\n")
+        assert main(["codelint", str(dirty), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"][0]["code"] == "CL002"
+
+    def test_repo_src_tree_exits_0(self, capsys):
+        assert main(["codelint", "src"]) == 0
+
+
+class TestLintServlet:
+    @pytest.fixture(scope="class")
+    def lab(self):
+        from repro.workloads.protein import build_protein_lab
+
+        return build_protein_lab()
+
+    def get(self, lab, **params):
+        from repro.weblims.http import HttpRequest
+
+        return lab.app.container.handle(
+            HttpRequest("GET", "/workflow/lint", params=dict(params))
+        )
+
+    def test_endpoint_registered_and_clean(self, lab):
+        response = self.get(lab)
+        assert response.status == 200
+        body = json.loads(response.body)
+        assert body["ok"] is True
+        assert body["errors"] == 0
+        assert set(body["patterns"]) == {
+            "protein_creation",
+            "protein_production",
+        }
+
+    def test_servlet_matches_cli_diagnostics(self, lab):
+        from repro.analysis import check_registry
+        from repro.core.persistence import pattern_registry
+
+        body = json.loads(self.get(lab).body)
+        reports = check_registry(
+            pattern_registry(lab.app.db), db=lab.app.db
+        )
+        for name, report in reports.items():
+            assert body["patterns"][name]["diagnostics"] == report.to_dicts()
+            assert body["patterns"][name]["stats"] == report.stats
+
+    def test_pattern_filter(self, lab):
+        response = self.get(lab, pattern="protein_creation")
+        # Sub-workflow references must resolve against the *full*
+        # registry even when the report is narrowed to one pattern.
+        assert response.status == 200
+        body = json.loads(response.body)
+        assert list(body["patterns"]) == ["protein_creation"]
+        assert body["ok"] is True
+
+    def test_unknown_pattern_404(self, lab):
+        assert self.get(lab, pattern="nope").status == 404
+
+    def test_severity_floor(self, lab):
+        response = self.get(lab, severity="error")
+        body = json.loads(response.body)
+        for entry in body["patterns"].values():
+            assert entry["diagnostics"] == []
+
+    def test_unknown_severity_400(self, lab):
+        assert self.get(lab, severity="loud").status == 400
+
+    def test_registration_is_idempotent(self, lab):
+        from repro.obs import install_observability
+
+        install_observability(
+            expdb=lab.app,
+            engine=lab.engine,
+            broker=lab.broker,
+            manager=lab.manager,
+            agents=lab.agents,
+            email=lab.email,
+        )
+        names = lab.app.container.descriptor.servlet_names()
+        assert names.count("LintServlet") == 1

@@ -1,0 +1,137 @@
+"""Interval-based guard reasoning used by the soundness verifier."""
+
+from __future__ import annotations
+
+from repro.analysis.guards import (
+    ConditionAnalysis,
+    IntervalSet,
+    assignment_feasible,
+    complementary,
+)
+from repro.core.conditions import Condition
+
+
+def analysis(text):
+    return ConditionAnalysis(Condition(text))
+
+
+class TestIntervalSet:
+    def test_from_comparison_and_intersection(self):
+        gt = IntervalSet.from_comparison(">", 1.0)
+        lt = IntervalSet.from_comparison("<", 0.0)
+        assert gt.intersect(lt).empty
+
+    def test_overlapping_ranges_are_nonempty(self):
+        ge = IntervalSet.from_comparison(">=", 0.5)
+        lt = IntervalSet.from_comparison("<", 2.0)
+        assert not ge.intersect(lt).empty
+
+    def test_boundary_strictness(self):
+        ge = IntervalSet.from_comparison(">=", 1.0)
+        le = IntervalSet.from_comparison("<=", 1.0)
+        gt = IntervalSet.from_comparison(">", 1.0)
+        # >= 1 and <= 1 leaves exactly {1}; > 1 and <= 1 leaves nothing.
+        assert not ge.intersect(le).empty
+        assert gt.intersect(le).empty
+
+    def test_equality_and_disequality(self):
+        eq = IntervalSet.from_comparison("==", 3.0)
+        ne = IntervalSet.from_comparison("!=", 3.0)
+        assert eq.intersect(ne).empty
+        assert not eq.intersect(IntervalSet.from_comparison(">=", 3.0)).empty
+
+
+class TestConditionAnalysis:
+    def test_contradiction_is_unsatisfiable(self):
+        contra = analysis(
+            "experiment.reading > 1 and experiment.reading < 0"
+        )
+        assert contra.satisfiable() is False
+        assert contra.tautological() is False
+
+    def test_tautology(self):
+        tauto = analysis(
+            "experiment.reading >= 1 or experiment.reading < 1"
+        )
+        assert tauto.tautological() is True
+        assert tauto.satisfiable() is True
+
+    def test_ordinary_guard_is_neither(self):
+        plain = analysis("experiment.reading >= 0.5")
+        assert plain.satisfiable() is True
+        assert plain.tautological() is False
+
+    def test_distinct_fields_never_conflict(self):
+        mixed = analysis("experiment.a > 1 and experiment.b < 0")
+        assert mixed.satisfiable() is True
+
+    def test_negation_swaps_the_interval(self):
+        negated = analysis("not experiment.reading >= 0.5")
+        atom = negated.single_interval()
+        assert atom is not None
+        true_set = atom.true_set
+        assert true_set is not None
+        assert atom.path.endswith("reading")
+        # "not >= 0.5" admits values below 0.5 …
+        assert not true_set.intersect(
+            IntervalSet.from_comparison("<", 0.5)
+        ).empty
+        # … and nothing at or above it.
+        assert true_set.intersect(
+            IntervalSet.from_comparison(">=", 0.5)
+        ).empty
+
+    def test_flipped_operand_order(self):
+        """``0.5 <= experiment.reading`` means ``reading >= 0.5``."""
+        flipped = analysis(
+            "0.5 <= experiment.reading and experiment.reading < 0.4"
+        )
+        assert flipped.satisfiable() is False
+
+
+class TestComplementary:
+    def test_threshold_split_is_complementary(self):
+        assert complementary(
+            Condition("experiment.reading >= 0.5"),
+            Condition("experiment.reading < 0.5"),
+        )
+
+    def test_order_is_irrelevant(self):
+        assert complementary(
+            Condition("experiment.colonies < 20"),
+            Condition("experiment.colonies >= 20"),
+        )
+
+    def test_gap_is_not_complementary(self):
+        assert not complementary(
+            Condition("experiment.reading > 1"),
+            Condition("experiment.reading < 0"),
+        )
+
+    def test_different_fields_are_not_complementary(self):
+        assert not complementary(
+            Condition("experiment.a >= 0.5"),
+            Condition("experiment.b < 0.5"),
+        )
+
+
+def interval_atom(text):
+    atom = analysis(text).single_interval()
+    assert atom is not None
+    return atom
+
+
+class TestAssignmentFeasibility:
+    def test_same_source_conflicting_guards_infeasible(self):
+        high = interval_atom("experiment.reading > 1")
+        low = interval_atom("experiment.reading < 0")
+        assert not assignment_feasible([(high, True), (low, True)])
+        assert assignment_feasible([(high, True), (low, False)])
+
+    def test_complement_pair_exactly_one_true(self):
+        hi = interval_atom("experiment.reading >= 0.5")
+        lo = interval_atom("experiment.reading < 0.5")
+        assert not assignment_feasible([(hi, True), (lo, True)])
+        assert not assignment_feasible([(hi, False), (lo, False)])
+        assert assignment_feasible([(hi, True), (lo, False)])
+        assert assignment_feasible([(hi, False), (lo, True)])

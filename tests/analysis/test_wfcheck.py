@@ -1,0 +1,342 @@
+"""Workflow verifier: soundness diagnostics over crafted patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, check_pattern, check_registry
+from repro.core.spec import TaskDef, TransitionDef, WorkflowPattern
+from repro.core.validation import validate_pattern
+from repro.errors import SpecificationError
+
+
+def codes(report, severity=None):
+    return [
+        d.code
+        for d in report
+        if severity is None or d.severity is severity
+    ]
+
+
+def make_pattern(name, tasks, transitions):
+    """Hand-build a pattern (bypasses the builder's auto-validation)."""
+    pattern = WorkflowPattern(name)
+    for task in tasks:
+        pattern.add_task(task)
+    for transition in transitions:
+        pattern.add_transition(transition)
+    return pattern
+
+
+def deadlocking_and_join():
+    """Two branch guards that can never both hold — and are *not*
+    complements, so the join is not an intentional exclusive choice."""
+    return make_pattern(
+        "deadjoin",
+        [
+            TaskDef("start", experiment_type="A"),
+            TaskDef("left", experiment_type="B"),
+            TaskDef("right", experiment_type="C"),
+            TaskDef("join", experiment_type="D", requires_authorization=True),
+        ],
+        [
+            TransitionDef("start", "left", condition="experiment.reading > 1"),
+            TransitionDef("start", "right", condition="experiment.reading < 0"),
+            TransitionDef("left", "join"),
+            TransitionDef("right", "join"),
+        ],
+    )
+
+
+class TestJoinSoundness:
+    def test_deadlocking_and_join_is_an_error(self):
+        report = check_pattern(deadlocking_and_join())
+        assert "WF020" in codes(report, Severity.ERROR)
+        assert not report.ok
+
+    def test_deadlocking_and_join_raises_through_validate_pattern(self):
+        with pytest.raises(SpecificationError, match="join task 'join'"):
+            validate_pattern(deadlocking_and_join())
+
+    def test_complementary_rejoin_is_clean(self):
+        """The Fig. 1 branch-and-rejoin shape: complements are an
+        intentional exclusive choice, not a deadlock."""
+        pattern = make_pattern(
+            "rejoin",
+            [
+                TaskDef("start", experiment_type="A"),
+                TaskDef("hi", experiment_type="B"),
+                TaskDef("lo", experiment_type="C"),
+                TaskDef("sink", experiment_type="D", requires_authorization=True),
+            ],
+            [
+                TransitionDef(
+                    "start", "hi", condition="experiment.reading >= 0.5"
+                ),
+                TransitionDef(
+                    "start", "lo", condition="experiment.reading < 0.5"
+                ),
+                TransitionDef("hi", "sink"),
+                TransitionDef("lo", "sink"),
+            ],
+        )
+        report = check_pattern(pattern)
+        assert report.ok
+        assert "WF020" not in codes(report)
+        # Exactly one branch fires per assignment, so the sink always
+        # completes: no WF022 either.
+        assert "WF022" not in codes(report)
+
+    def test_unconditional_join_is_clean(self):
+        pattern = make_pattern(
+            "parjoin",
+            [
+                TaskDef("a", experiment_type="A"),
+                TaskDef("b", experiment_type="B"),
+                TaskDef("join", experiment_type="C", requires_authorization=True),
+            ],
+            [
+                TransitionDef("a", "join"),
+                TransitionDef("b", "join"),
+            ],
+        )
+        assert check_pattern(pattern).ok
+
+
+class TestConditionDiagnostics:
+    def contradiction(self):
+        return make_pattern(
+            "contra",
+            [
+                TaskDef("s", experiment_type="A"),
+                TaskDef("x", experiment_type="B", requires_authorization=True),
+                TaskDef("end", experiment_type="C", requires_authorization=True),
+            ],
+            [
+                TransitionDef(
+                    "s",
+                    "x",
+                    condition="experiment.reading > 1 and experiment.reading < 0",
+                ),
+                TransitionDef("s", "end"),
+            ],
+        )
+
+    def test_contradictory_guard_flags_dead_transition(self):
+        report = check_pattern(self.contradiction())
+        dead = [d for d in report if d.code == "WF030"]
+        assert len(dead) == 1
+        assert dead[0].severity is Severity.WARNING
+        assert dead[0].transition == "s -> x"
+        # Contradictions are warnings, never raise.
+        validate_pattern(self.contradiction())
+
+    def test_contradictory_guard_kills_downstream_task(self):
+        report = check_pattern(self.contradiction())
+        never = [d for d in report if d.code == "WF024"]
+        assert [d.task for d in never] == ["x"]
+
+    def test_tautological_guard_warns(self):
+        pattern = make_pattern(
+            "tauto",
+            [
+                TaskDef("s", experiment_type="A"),
+                TaskDef("t", experiment_type="B", requires_authorization=True),
+            ],
+            [
+                TransitionDef(
+                    "s",
+                    "t",
+                    condition=(
+                        "experiment.reading >= 1 or experiment.reading < 1"
+                    ),
+                ),
+            ],
+        )
+        report = check_pattern(pattern)
+        assert "WF031" in codes(report, Severity.WARNING)
+
+    def test_unknown_name_root_is_info(self):
+        pattern = make_pattern(
+            "names",
+            [
+                TaskDef("s", experiment_type="A"),
+                TaskDef("t", experiment_type="B", requires_authorization=True),
+            ],
+            [TransitionDef("s", "t", condition="bogus.field == 1")],
+        )
+        report = check_pattern(pattern)
+        info = [d for d in report if d.code == "WF033"]
+        assert len(info) == 1
+        assert info[0].severity is Severity.INFO
+        assert report.ok
+
+    def test_effectively_unconditional_cycle_warns(self):
+        pattern = make_pattern(
+            "spin",
+            [
+                TaskDef("start", experiment_type="S"),
+                TaskDef("a", experiment_type="A"),
+                TaskDef("b", experiment_type="B"),
+                TaskDef("end", experiment_type="E", requires_authorization=True),
+            ],
+            [
+                TransitionDef("start", "a"),
+                TransitionDef("a", "b"),
+                TransitionDef(
+                    "b",
+                    "a",
+                    condition="experiment.x >= 1 or experiment.x < 1",
+                ),
+                TransitionDef("b", "end"),
+            ],
+        )
+        report = check_pattern(pattern)
+        assert "WF032" in codes(report, Severity.WARNING)
+        # The legacy unconditional-cycle *error* must not fire: the
+        # cycle does carry a (vacuous) condition.
+        assert "WF005" not in codes(report)
+
+
+class TestMarkingExploration:
+    def test_sole_final_behind_guard_warns_never_completes(self):
+        pattern = make_pattern(
+            "gatedend",
+            [
+                TaskDef("s", experiment_type="A"),
+                TaskDef("end", experiment_type="B", requires_authorization=True),
+            ],
+            [
+                TransitionDef(
+                    "s", "end", condition="experiment.reading >= 2"
+                ),
+            ],
+        )
+        report = check_pattern(pattern)
+        assert "WF022" in codes(report, Severity.WARNING)
+        assert report.ok
+
+    def test_orphan_loop_tail_warns(self):
+        """A task whose only exit is a back-edge can complete without
+        ever contributing to workflow termination."""
+        pattern = make_pattern(
+            "orphan",
+            [
+                TaskDef("start", experiment_type="S"),
+                TaskDef("loop1", experiment_type="A"),
+                TaskDef("loop2", experiment_type="B"),
+                TaskDef("end", experiment_type="E", requires_authorization=True),
+            ],
+            [
+                TransitionDef("start", "loop1"),
+                TransitionDef("loop1", "loop2"),
+                TransitionDef(
+                    "loop2", "loop1", condition="experiment.retry >= 1"
+                ),
+                TransitionDef("start", "end"),
+            ],
+        )
+        report = check_pattern(pattern)
+        orphans = sorted(d.task for d in report if d.code == "WF021")
+        assert orphans == ["loop1", "loop2"]
+
+    def test_guard_explosion_is_bounded(self):
+        from repro.analysis import MAX_GUARDS
+
+        tasks = [TaskDef("s", experiment_type="S")]
+        transitions = []
+        for index in range(MAX_GUARDS + 1):
+            tasks.append(
+                TaskDef(
+                    f"t{index}",
+                    experiment_type="T",
+                    requires_authorization=True,
+                )
+            )
+            transitions.append(
+                TransitionDef(
+                    "s", f"t{index}", condition=f"experiment.v{index} == 1"
+                )
+            )
+        report = check_pattern(make_pattern("wide", tasks, transitions))
+        assert "WF023" in codes(report, Severity.INFO)
+        assert report.stats["assignments_explored"] == 0
+
+    def test_stats_record_exploration(self):
+        report = check_pattern(deadlocking_and_join())
+        # Four raw assignments, one pruned (both guards true is
+        # infeasible for the same reading).
+        assert report.stats["guards"] == 2
+        assert report.stats["assignments_explored"] == 3
+        assert report.stats["states_visited"] == 3 * 4
+
+
+class TestInstanceAndAuthorizationLint:
+    def test_huge_default_instances_warns(self):
+        pattern = make_pattern(
+            "many",
+            [
+                TaskDef(
+                    "s",
+                    experiment_type="A",
+                    default_instances=101,
+                    requires_authorization=True,
+                )
+            ],
+            [],
+        )
+        report = check_pattern(pattern)
+        assert "WF040" in codes(report, Severity.WARNING)
+
+    def test_non_final_authorization_is_info(self):
+        pattern = make_pattern(
+            "gates",
+            [
+                TaskDef(
+                    "s", experiment_type="A", requires_authorization=True
+                ),
+                TaskDef(
+                    "t", experiment_type="B", requires_authorization=True
+                ),
+            ],
+            [TransitionDef("s", "t")],
+        )
+        report = check_pattern(pattern)
+        gates = [d for d in report if d.code == "WF050"]
+        assert [d.task for d in gates] == ["s"]
+        assert report.ok
+
+
+class TestProteinWorkflow:
+    @pytest.fixture(scope="class")
+    def protein_registry(self):
+        from repro.core.datamodel import install_workflow_datamodel
+        from repro.core.persistence import pattern_registry
+        from repro.weblims import build_expdb
+        from repro.workloads.protein import (
+            build_protein_patterns,
+            install_protein_schema,
+        )
+
+        app = build_expdb()
+        install_workflow_datamodel(app.db)
+        install_protein_schema(app)
+        build_protein_patterns(app)
+        return pattern_registry(app.db), app.db
+
+    def test_protein_patterns_report_zero_errors(self, protein_registry):
+        registry, db = protein_registry
+        reports = check_registry(registry, db=db)
+        assert set(reports) == {"protein_creation", "protein_production"}
+        for report in reports.values():
+            assert report.ok
+            assert not report.errors()
+
+    def test_protein_branch_join_is_recognized_as_exclusive(
+        self, protein_registry
+    ):
+        registry, db = protein_registry
+        report = check_registry(registry, db=db)["protein_creation"]
+        assert "WF020" not in codes(report)
+        assert report.stats["guards"] == 2
+        assert report.stats["assignments_explored"] == 2

@@ -1,0 +1,71 @@
+"""``transition_catalog()`` must stay exhaustive against the machines.
+
+The catalog is what documentation and the audit verifier consume; the
+``StateMachine`` tables are what the engine executes.  These tests pin
+them together in both directions, so adding a transition to one without
+the other fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import (
+    basic_machine,
+    instance_machine,
+    task_machine,
+    transition_catalog,
+)
+
+MACHINES = {
+    "basic-model": basic_machine,
+    "task-model": task_machine,
+    "task-instance-model": instance_machine,
+}
+
+
+def machine_triples(factory):
+    machine = factory()
+    return {
+        (state.value, event.value, machine.table[(state, event)].value)
+        for (state, event) in machine.table
+    }
+
+
+def test_catalog_covers_exactly_the_machines():
+    catalog = transition_catalog()
+    assert set(catalog) == set(MACHINES)
+    for name, factory in MACHINES.items():
+        assert set(catalog[name]) == machine_triples(factory), name
+
+
+def test_catalog_has_no_duplicate_triples():
+    for name, triples in transition_catalog().items():
+        assert len(triples) == len(set(triples)), name
+
+
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_every_catalog_transition_is_applicable(name):
+    """Each catalogued triple replays on a live machine."""
+    factory = MACHINES[name]
+    for state, event, target in transition_catalog()[name]:
+        machine = factory()
+        machine.state = state  # test drives the table directly
+        assert machine.can_apply(event), (state, event)
+        assert machine.apply(event) == target
+
+
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_legal_events_match_catalog(name):
+    """``legal_events`` in each reachable state equals the catalog's
+    outgoing-event set for that state."""
+    catalog = transition_catalog()[name]
+    states = {state for state, _, _ in catalog} | {
+        target for _, _, target in catalog
+    }
+    factory = MACHINES[name]
+    for state in states:
+        machine = factory()
+        machine.state = state
+        expected = {event for s, event, _ in catalog if s == state}
+        assert set(machine.legal_events()) == expected, state
