@@ -1,0 +1,111 @@
+"""Resilience overhead — the fault-free tax of the repro.resilience layer.
+
+The resilience machinery (fault-injection hooks, retry-policy lookups,
+lease bookkeeping, breaker checks) rides on every hot path: WAL appends,
+message publish/deliver/ack, agent dispatch.  This bench runs the
+fault-free protein workflow twice per round — once with no fault plan
+(hooks short-circuit) and once with an *armed* plan whose rules never
+match (every hook pays full rule matching) — and asserts the armed run
+costs less than 5 % extra.  A fault-free run must also leave the
+resilience machinery untouched: no redeliveries, no dead letters, no
+lease expiries, every breaker closed.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.resilience import FaultPlan
+from repro.workloads.protein import build_protein_lab
+
+ROUNDS = 7
+OVERHEAD_BUDGET = 0.05
+
+
+def armed_plan() -> FaultPlan:
+    """A plan matching no injection point: pure instrumentation cost."""
+    return FaultPlan(seed=11).rule("bench.never.*", "crash", times=None)
+
+
+def timed_run(fault_plan: FaultPlan | None):
+    lab = build_protein_lab(colonies=25, fault_plan=fault_plan)
+    start = time.perf_counter()
+    workflow = lab.engine.start_workflow("protein_creation")
+    status = lab.run_to_completion(workflow["workflow_id"])
+    elapsed = time.perf_counter() - start
+    assert status == "completed"
+    return lab, elapsed
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """Interleaved rounds so machine noise hits both conditions alike."""
+    baseline: list[float] = []
+    armed: list[float] = []
+    labs = {}
+    for __ in range(ROUNDS):
+        lab_baseline, seconds = timed_run(None)
+        baseline.append(seconds)
+        lab_armed, seconds = timed_run(armed_plan())
+        armed.append(seconds)
+        labs = {"baseline": lab_baseline, "armed": lab_armed}
+    return baseline, armed, labs
+
+
+def test_fault_free_overhead_under_budget(
+    measurements, report, emit_bench, benchmark
+):
+    baseline, armed, labs = measurements
+    # Best-of-N is the stable estimator for in-process wall clock.
+    overhead = min(armed) / min(baseline) - 1.0
+
+    def ms(values: list[float]) -> str:
+        return f"{min(values) * 1000:.2f} / {statistics.median(values) * 1000:.2f}"
+
+    report(
+        "Resilience layer: fault-free overhead (protein run, 25 colonies)",
+        ["condition", "min / median (ms)", "rounds"],
+        [
+            ["no fault plan", ms(baseline), ROUNDS],
+            ["armed, never-matching plan", ms(armed), ROUNDS],
+            ["overhead", f"{overhead * 100:+.2f} %", f"budget {OVERHEAD_BUDGET:.0%}"],
+        ],
+    )
+
+    # A fault-free run must not trip any of the recovery machinery.
+    for lab in labs.values():
+        assert lab.broker.stats.redeliveries == 0
+        assert lab.broker.stats.rejections == 0
+        assert lab.broker.stats.dead_lettered == 0
+        assert lab.broker.dlq_depth() == 0
+        assert lab.manager.redispatches == 0
+        assert lab.manager.lease_aborts == 0
+        assert lab.manager.dispatch_failures == 0
+        for snapshot in lab.manager.breaker_snapshots().values():
+            assert snapshot["state"] == "closed"
+
+    emit_bench(
+        "resilience",
+        {
+            "rounds": ROUNDS,
+            "baseline_s": {
+                "min": min(baseline),
+                "median": statistics.median(baseline),
+            },
+            "armed_s": {"min": min(armed), "median": statistics.median(armed)},
+            "fault_free_overhead": overhead,
+            "overhead_budget": OVERHEAD_BUDGET,
+            "messages_sent": labs["armed"].broker.stats.sends,
+            "redeliveries": labs["armed"].broker.stats.redeliveries,
+            "dead_lettered": labs["armed"].broker.stats.dead_lettered,
+        },
+    )
+    assert overhead < OVERHEAD_BUDGET
+
+    result = benchmark.pedantic(
+        lambda: timed_run(armed_plan())[1], rounds=3, iterations=1
+    )
+    assert result > 0.0

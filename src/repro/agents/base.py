@@ -38,6 +38,7 @@ from repro.errors import AgentError
 from repro.messaging.broker import MessageBroker
 from repro.messaging.client import Connection
 from repro.messaging.message import Message
+from repro.resilience.faults import FaultPlan, fire
 from repro.xmlbridge import RelationalDocument
 
 
@@ -68,6 +69,8 @@ class TemplateAgent:
         #: When present, message handling runs under a span joined to
         #: the dispatching trace, and replies carry that context onward.
         self.obs = None
+        #: Optional fault plan (points ``agent.step`` / ``agent.ack``).
+        self.faults: FaultPlan | None = None
         self.connection = Connection(broker)
         self.consumer = self.connection.create_consumer(spec.queue)
         self.producer = self.connection.create_producer(ENGINE_QUEUE)
@@ -86,15 +89,34 @@ class TemplateAgent:
     # ------------------------------------------------------------------
 
     def step(self, timeout: float = 0.0) -> bool:
-        """Handle one message; returns whether one was handled."""
+        """Handle one message; returns whether one was handled.
+
+        Fault points: ``agent.step`` crashes before the message is
+        handled (the agent died mid-delivery; closing its consumer
+        requeues the message), ``agent.ack`` crashes after handling but
+        before acknowledgement (the classic at-least-once duplicate —
+        the work happened, the broker redelivers anyway).
+        """
         self.last_poll = time.time()
         message = self.consumer.receive(timeout=timeout)
         if message is None:
             return False
+        fire(
+            self.faults,
+            "agent.step",
+            agent=self.spec.name,
+            kind=message.headers.get("kind"),
+        )
         try:
             self._handle_traced(message)
         except AgentError as error:
             self._record_failure(message, error)
+        fire(
+            self.faults,
+            "agent.ack",
+            agent=self.spec.name,
+            kind=message.headers.get("kind"),
+        )
         self.consumer.ack(message)
         self.handled_count += 1
         return True

@@ -31,11 +31,22 @@ from repro.core.dispatch import (
     KIND_STARTED,
 )
 from repro.core.persistence import agents_for_type
-from repro.errors import AgentFormatError, DispatchError, ReproError
+from repro.core.states import InstanceState
+from repro.errors import (
+    AgentFormatError,
+    DispatchError,
+    FaultInjected,
+    MessagingError,
+    ReproError,
+)
 from repro.messaging.broker import MessageBroker
 from repro.messaging.client import Connection, Producer
 from repro.minidb.engine import Database
 from repro.minidb.predicates import EQ
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.faults import FaultPlan, fire
+from repro.resilience.leases import Lease, LeaseTable
 from repro.xmlbridge import RelationalDocument
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,6 +62,11 @@ class AgentManager:
         db: Database,
         broker: MessageBroker,
         email: "EmailTransport | None" = None,
+        clock: Clock | None = None,
+        lease_ttl_s: float = 300.0,
+        max_redispatches: int = 1,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         self.db = db
         self.broker = broker
@@ -60,12 +76,28 @@ class AgentManager:
         #: When present, outbound messages carry the active trace
         #: context and inbound application is timed under a span.
         self.obs = None
+        self.clock: Clock = clock or SystemClock()
+        #: Liveness contracts for dispatched instances (see
+        #: :mod:`repro.resilience.leases`); swept by :meth:`sweep_leases`.
+        self.leases = LeaseTable(
+            clock=self.clock, ttl_s=lease_ttl_s, max_redispatches=max_redispatches
+        )
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Optional fault-injection plan (point ``manager.ack``).
+        self.faults: FaultPlan | None = None
         self._connection = Connection(broker)
         self._consumer = self._connection.create_consumer(ENGINE_QUEUE)
         self._producers: dict[str, Producer] = {}
         self._round_robin: dict[str, int] = {}
         self.dispatch_count = 0
         self.result_count = 0
+        self.messages_rejected = 0
+        self.dispatch_failures = 0
+        self.breaker_short_circuits = 0
+        self.redispatches = 0
+        self.lease_aborts = 0
         #: Wall-clock time of the last :meth:`pump` call (health probe).
         self.last_pump: float | None = None
 
@@ -96,23 +128,59 @@ class AgentManager:
         experiment: dict[str, Any],
         available_inputs: list[dict[str, Any]],
     ) -> None:
-        """Extract the task input as XML and send it to the agent."""
+        """Extract the task input as XML and send it to the agent.
+
+        The send runs behind the queue's circuit breaker, and every
+        dispatch — even one the breaker or a fault swallowed — grants a
+        liveness lease, so :meth:`sweep_leases` eventually retries or
+        aborts the instance instead of letting it hang.  Dispatch
+        failures therefore never propagate into the engine's workflow
+        evaluation.
+        """
+        queue = agent["queue"]
+        breaker = self._breaker_for(queue)
+        if not breaker.allow():
+            self.breaker_short_circuits += 1
+            self._dispatch_event(
+                "dispatch.skipped", agent, workflow, task_name, experiment,
+                reason=f"circuit breaker for {queue!r} is {breaker.state}",
+            )
+            self._grant_lease(agent, workflow, task_name, experiment)
+            return
         document = self.build_task_input(
             workflow, task_name, experiment, available_inputs
         )
-        self._producer_for(agent["queue"]).send(
-            document.to_xml(),
-            headers=self._trace_headers(
-                {
-                    "kind": KIND_DISPATCH,
-                    "experiment_id": experiment["experiment_id"],
-                    "workflow_id": workflow["workflow_id"],
-                    "task": task_name,
-                    "experiment_type": experiment["type_name"],
-                    "agent": agent["name"],
-                }
-            ),
-        )
+        try:
+            fire(
+                self.faults,
+                "agent.dispatch",
+                queue=queue,
+                agent=agent["name"],
+                task=task_name,
+            )
+            self._producer_for(queue).send(
+                document.to_xml(),
+                headers=self._trace_headers(
+                    {
+                        "kind": KIND_DISPATCH,
+                        "experiment_id": experiment["experiment_id"],
+                        "workflow_id": workflow["workflow_id"],
+                        "task": task_name,
+                        "experiment_type": experiment["type_name"],
+                        "agent": agent["name"],
+                    }
+                ),
+            )
+        except (FaultInjected, MessagingError) as error:
+            breaker.record_failure()
+            self.dispatch_failures += 1
+            self._dispatch_event(
+                "dispatch.failed", agent, workflow, task_name, experiment,
+                reason=str(error),
+            )
+            self._grant_lease(agent, workflow, task_name, experiment)
+            return
+        breaker.record_success()
         self.dispatch_count += 1
         if self.obs is not None:
             self.obs.audit_record(
@@ -124,6 +192,71 @@ class AgentManager:
                 queue=agent["queue"],
                 experiment_type=experiment["type_name"],
             )
+        self._grant_lease(agent, workflow, task_name, experiment)
+
+    def _grant_lease(
+        self,
+        agent: dict,
+        workflow: dict[str, Any],
+        task_name: str,
+        experiment: dict[str, Any],
+    ) -> Lease:
+        return self.leases.grant(
+            experiment["experiment_id"],
+            workflow_id=workflow["workflow_id"],
+            task=task_name,
+            agent=agent["name"],
+            queue=agent["queue"],
+        )
+
+    def _dispatch_event(
+        self,
+        name: str,
+        agent: dict,
+        workflow: dict[str, Any],
+        task_name: str,
+        experiment: dict[str, Any],
+        reason: str,
+    ) -> None:
+        if self.engine is not None:
+            self.engine.events.emit(
+                name,
+                agent=agent["name"],
+                queue=agent["queue"],
+                workflow_id=workflow["workflow_id"],
+                experiment_id=experiment["experiment_id"],
+                task=task_name,
+                reason=reason,
+            )
+        if self.obs is not None:
+            self.obs.audit_record(
+                name,
+                actor=agent["name"],
+                workflow_id=workflow["workflow_id"],
+                experiment_id=experiment["experiment_id"],
+                task=task_name,
+                queue=agent["queue"],
+                reason=reason,
+            )
+
+    def _breaker_for(self, queue: str) -> CircuitBreaker:
+        breaker = self._breakers.get(queue)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name=f"dispatch.{queue}",
+                failure_threshold=self.breaker_threshold,
+                reset_timeout_s=self.breaker_reset_s,
+                clock=self.clock,
+            )
+            self._breakers[queue] = breaker
+        return breaker
+
+    def breaker_snapshots(self) -> dict[str, dict[str, Any]]:
+        """Per-queue breaker state for health reports and gauges."""
+        return {
+            queue: breaker.snapshot()
+            for queue, breaker in sorted(self._breakers.items())
+        }
 
     def build_task_input(
         self,
@@ -210,8 +343,10 @@ class AgentManager:
         """Apply queued agent messages through the engine.
 
         Returns the number of messages processed.  Malformed messages
-        are acknowledged and recorded as events — a poison message must
-        not wedge the whole queue.
+        are *rejected*, not acknowledged: the broker redelivers them
+        with backoff and, once the queue's delivery cap is hit,
+        quarantines them in the dead-letter queue — a poison message can
+        neither wedge the queue nor silently vanish.
         """
         if self.engine is None:
             raise DispatchError("AgentManager has no engine attached")
@@ -223,19 +358,138 @@ class AgentManager:
                 break
             try:
                 self._apply_traced(message)
+            except FaultInjected:
+                # An injected crash is a simulated process death, not a
+                # poison message — let it take the pump down.
+                raise
             except (ReproError, KeyError, ValueError) as error:
                 # Any library-level failure while applying a message —
                 # bad XML, workflow-state conflicts, schema mismatches in
                 # reported values — rejects that one message; the pump
                 # itself must never die on poison input.
+                self.messages_rejected += 1
                 self.engine.events.emit(
                     "message.rejected",
                     message_kind=message.headers.get("kind"),
+                    message_id=message.message_id,
+                    delivery_count=message.delivery_count,
                     error=str(error),
                 )
+                will_retry = self._consumer.reject(message, reason=str(error))
+                if not will_retry and self.obs is not None:
+                    self.obs.audit_record(
+                        "message.dead_letter",
+                        message_kind=message.headers.get("kind"),
+                        message_id=message.message_id,
+                        delivery_count=message.delivery_count,
+                        reason=str(error),
+                    )
+                processed += 1
+                continue
+            # Simulated manager death between applying a message and
+            # acknowledging it: the broker redelivers on restart, which
+            # is exactly the at-least-once duplicate the engine's stale
+            # checks have to absorb.
+            fire(self.faults, "manager.ack", kind=message.headers.get("kind"))
             self._consumer.ack(message)
             processed += 1
         return processed
+
+    # ------------------------------------------------------------------
+    # Lease sweep (liveness)
+    # ------------------------------------------------------------------
+
+    def sweep_leases(self, now: float | None = None) -> dict[str, int]:
+        """Expire overdue leases; redispatch within budget, else abort.
+
+        An expired lease on an instance that is no longer live (decided
+        by a late result, restart, or cancellation) is just stale
+        bookkeeping and is released quietly.  A live instance whose
+        agent went silent is re-dispatched — round-robin naturally
+        routes around the dead agent — until the redispatch budget is
+        spent, after which the instance is aborted through the Fig. 4
+        machine so the workflow fails cleanly instead of hanging.
+        """
+        if self.engine is None:
+            raise DispatchError("AgentManager has no engine attached")
+        counts = {"redispatched": 0, "aborted": 0, "released": 0}
+        for lease in self.leases.expired(now):
+            experiment = self.db.get("Experiment", lease.experiment_id)
+            live = (
+                experiment is not None
+                and experiment.get("wf_current")
+                and experiment.get("wf_state")
+                in (InstanceState.DELEGATED.value, InstanceState.ACTIVE.value)
+            )
+            if not live:
+                self.leases.release(lease.experiment_id)
+                counts["released"] += 1
+                continue
+            self.leases.expiries += 1
+            if self.obs is not None:
+                self.obs.audit_record(
+                    "lease.expired",
+                    actor=lease.agent,
+                    workflow_id=lease.workflow_id,
+                    experiment_id=lease.experiment_id,
+                    task=lease.task,
+                    redispatches=lease.redispatches,
+                )
+            redispatched = (
+                lease.redispatches < self.leases.max_redispatches
+                and self._redispatch_expired(lease, experiment)
+            )
+            if redispatched:
+                counts["redispatched"] += 1
+            else:
+                self.leases.release(lease.experiment_id)
+                self.engine.abort_instance(lease.experiment_id)
+                self.lease_aborts += 1
+                self.engine.events.emit(
+                    "lease.abort",
+                    experiment_id=lease.experiment_id,
+                    workflow_id=lease.workflow_id,
+                    task=lease.task,
+                    agent=lease.agent,
+                    redispatches=lease.redispatches,
+                )
+                counts["aborted"] += 1
+        return counts
+
+    def _redispatch_expired(
+        self, lease: Lease, experiment: dict[str, Any]
+    ) -> bool:
+        """Hand an expired instance to a (possibly different) agent."""
+        assert self.engine is not None
+        workflow = self.db.get("Workflow", experiment["workflow_id"])
+        task_name = lease.task
+        if workflow is None or task_name is None:
+            return False
+        agent = self.choose_agent(experiment["type_name"])
+        if agent is None:
+            return False
+        self.leases.note_redispatch(lease.experiment_id)
+        self.redispatches += 1
+        if agent["agent_id"] != experiment["agent_id"]:
+            self.db.update(
+                "Experiment",
+                EQ("experiment_id", experiment["experiment_id"]),
+                {"agent_id": agent["agent_id"]},
+            )
+            experiment = self.db.get("Experiment", experiment["experiment_id"])
+        self.engine.events.emit(
+            "lease.redispatch",
+            experiment_id=experiment["experiment_id"],
+            workflow_id=workflow["workflow_id"],
+            task=task_name,
+            agent=agent["name"],
+            previous_agent=lease.agent,
+        )
+        inputs = self.engine.collect_available_inputs(
+            workflow["workflow_id"], task_name
+        )
+        self.dispatch_instance(agent, workflow, task_name, experiment, inputs)
+        return True
 
     def _apply_traced(self, message) -> None:
         """Apply one message, under a span joined to its origin trace."""
@@ -273,7 +527,9 @@ class AgentManager:
         assert self.engine is not None
         kind = message.headers.get("kind")
         if kind == KIND_STARTED:
-            self.engine.instance_started(int(message.headers["experiment_id"]))
+            experiment_id = int(message.headers["experiment_id"])
+            self.engine.instance_started(experiment_id)
+            self.leases.renew(experiment_id)
         elif kind == KIND_RESULT:
             result = parse_result_xml(message.body)
             self.engine.complete_instance(
@@ -283,6 +539,7 @@ class AgentManager:
                 chosen_input_ids=result.chosen_input_ids,
                 result_values=result.result_values or None,
             )
+            self.leases.release(result.experiment_id)
             self.result_count += 1
         elif kind == KIND_AUTH_RESPONSE:
             self.engine.respond_authorization(

@@ -25,7 +25,12 @@ Layout mirrors the paper's §4 (model) and §5 (manager):
 from repro.core.builder import PatternBuilder
 from repro.core.conditions import Condition
 from repro.core.engine import WorkflowBean
-from repro.core.filter import WorkflowFilter, WorkflowServlet, install_workflow_support
+from repro.core.filter import (
+    DegradationPolicy,
+    WorkflowFilter,
+    WorkflowServlet,
+    install_workflow_support,
+)
 from repro.core.spec import AgentSpec, TaskDef, TransitionDef, WorkflowPattern
 from repro.core.states import (
     BASIC_MODEL,
@@ -40,6 +45,7 @@ __all__ = [
     "PatternBuilder",
     "Condition",
     "WorkflowBean",
+    "DegradationPolicy",
     "WorkflowFilter",
     "WorkflowServlet",
     "install_workflow_support",

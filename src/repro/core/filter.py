@@ -33,12 +33,18 @@ from __future__ import annotations
 import json
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.datamodel import WORKFLOW_TABLES, install_workflow_datamodel
 from repro.core.dispatch import Dispatcher
 from repro.core.engine import WorkflowBean
-from repro.errors import BadRequestError, WorkflowError
+from repro.errors import (
+    BadRequestError,
+    DatabaseError,
+    FaultInjected,
+    MessagingError,
+    WorkflowError,
+)
 from repro.weblims.app import ExpDB
 from repro.weblims.http import HttpRequest, HttpResponse
 from repro.weblims.servlet import Filter, FilterChain, Servlet
@@ -46,6 +52,10 @@ from repro.weblims.userservlet import UserRequestServlet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.weblims.container import WebContainer
+
+#: Failures of the workflow machinery itself (engine storage, broker,
+#: injected crashes) — the LIMS must degrade, not 500, on these.
+_DEGRADE_ERRORS = (DatabaseError, MessagingError, FaultInjected)
 
 def _span(hub, name: str, **attributes: Any):
     """A tracer span when observability is installed, else a no-op."""
@@ -78,6 +88,7 @@ class FilterStats:
     denied: int = 0
     processed: int = 0
     postprocessed: int = 0
+    degraded: int = 0
 
     def reset(self) -> None:
         self.passed_through = 0
@@ -85,6 +96,31 @@ class FilterStats:
         self.denied = 0
         self.processed = 0
         self.postprocessed = 0
+        self.degraded = 0
+
+
+@dataclass
+class DegradationPolicy:
+    """What the filter does when the workflow machinery is unavailable.
+
+    ``reject`` answers workflow-relevant requests with 503 and a
+    ``Retry-After`` header — nothing reaches the LIMS that the workflow
+    manager could not vet.  ``passthrough`` instead forwards them to the
+    bare LIMS unvalidated (the paper's non-intrusive stance taken to its
+    limit: Exp-DB keeps working exactly as if Exp-WF were never
+    installed).  Mode (b) requests have no original destination, so they
+    are always rejected while degraded.
+    """
+
+    mode: str = "reject"
+    retry_after_s: int = 5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("reject", "passthrough"):
+            raise ValueError(
+                f"degradation mode must be 'reject' or 'passthrough', "
+                f"got {self.mode!r}"
+            )
 
 
 class WorkflowFilter(Filter):
@@ -93,11 +129,19 @@ class WorkflowFilter(Filter):
     name = "WorkflowFilter"
 
     def __init__(
-        self, engine: WorkflowBean, workflow_servlet: "WorkflowServlet"
+        self,
+        engine: WorkflowBean,
+        workflow_servlet: "WorkflowServlet",
+        degradation: DegradationPolicy | None = None,
     ) -> None:
         self.engine = engine
         self.workflow_servlet = workflow_servlet
         self.stats = FilterStats()
+        self.degradation = degradation or DegradationPolicy()
+        #: Optional readiness probe returning ``(ready, reason)``; wired
+        #: by ``install_observability`` to the engine/broker health
+        #: checks.  ``None`` means "assume ready".
+        self.readiness: Callable[[], tuple[bool, str]] | None = None
         #: Container injected at install time (needed to service mode-b
         #: requests through the WorkflowServlet).
         self.container: "WebContainer | None" = None
@@ -108,6 +152,9 @@ class WorkflowFilter(Filter):
         hub = self._obs()
         # Mode (b): explicit workflow actions bypass the original target.
         if request.param("workflow_action") is not None:
+            ready, cause = self._ready()
+            if not ready:
+                return self._degrade(hub, request, cause, chain=None)
             self.stats.processed += 1
             with _span(
                 hub,
@@ -120,7 +167,12 @@ class WorkflowFilter(Filter):
                     action=request.param("workflow_action"),
                     path=request.path,
                 )
-                return self.workflow_servlet.service(request, self.container)
+                try:
+                    return self.workflow_servlet.service(
+                        request, self.container
+                    )
+                except _DEGRADE_ERRORS as error:
+                    return self._degrade(hub, request, str(error), chain=None)
 
         action = request.param("action", "list")
         table = request.param("table")
@@ -131,13 +183,20 @@ class WorkflowFilter(Filter):
             self.stats.passed_through += 1
             return chain.proceed(request)
 
+        ready, cause = self._ready()
+        if not ready:
+            return self._degrade(hub, request, cause, chain=chain)
+
         # Mode (a): preprocess — validate before the original servlet.
         self.stats.preprocessed += 1
         with _span(hub, "filter.preprocess", table=table, action=action):
-            payload = self._payload_for_validation(request, action, table)
-            allowed, reason = self.engine.validate_user_action(
-                table, action, payload
-            )
+            try:
+                payload = self._payload_for_validation(request, action, table)
+                allowed, reason = self.engine.validate_user_action(
+                    table, action, payload
+                )
+            except _DEGRADE_ERRORS as error:
+                return self._degrade(hub, request, str(error), chain=chain)
         if not allowed:
             self.stats.denied += 1
             self.engine.events.emit(
@@ -161,13 +220,71 @@ class WorkflowFilter(Filter):
         # Mode (c): postprocess successful changes only.
         if response.ok:
             self.stats.postprocessed += 1
-            with _span(hub, "filter.postprocess", table=table, action=action):
-                events = self.engine.on_data_change(table, response.attributes)
+            try:
+                with _span(hub, "filter.postprocess", table=table, action=action):
+                    events = self.engine.on_data_change(
+                        table, response.attributes
+                    )
+            except _DEGRADE_ERRORS as error:
+                # The user's write already succeeded — never mask it
+                # with an error now.  Note the gap and move on; the
+                # engine re-evaluates on the next data change.
+                self.stats.degraded += 1
+                self._audit(
+                    hub,
+                    mode="degraded",
+                    phase="postprocess",
+                    table=table,
+                    action=action,
+                    reason=str(error),
+                    path=request.path,
+                )
+                response.append_notice(
+                    "workflow manager unavailable; workflow state will be "
+                    "updated when it recovers"
+                )
+                return response
             for event in events:
                 render = _NOTICE_KINDS.get(event.kind)
                 if render is not None:
                     response.append_notice(render(event))
             response.attributes["workflow_events"] = events
+        return response
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+
+    def _ready(self) -> tuple[bool, str]:
+        """Consult the readiness probe; a probe crash means *not* ready."""
+        if self.readiness is None:
+            return True, ""
+        try:
+            return self.readiness()
+        except _DEGRADE_ERRORS as error:
+            return False, f"readiness probe failed: {error}"
+
+    def _degrade(
+        self, hub, request: HttpRequest, reason: str, chain: FilterChain | None
+    ) -> HttpResponse:
+        """Answer a workflow-relevant request while the machinery is down.
+
+        ``chain=None`` marks a mode-(b) request, which has no original
+        destination and is always rejected.
+        """
+        self.stats.degraded += 1
+        self.engine.events.emit(
+            "request.degraded", path=request.path, reason=reason
+        )
+        self._audit(
+            hub, mode="degraded", path=request.path, reason=reason
+        )
+        if self.degradation.mode == "passthrough" and chain is not None:
+            return chain.proceed(request)
+        response = HttpResponse.error(
+            503, f"workflow support unavailable: {reason}"
+        )
+        response.headers["Retry-After"] = str(self.degradation.retry_after_s)
         return response
 
     # ------------------------------------------------------------------
@@ -612,6 +729,7 @@ def install_workflow_support(
     expdb: ExpDB,
     dispatcher: Dispatcher | None = None,
     install_datamodel: bool = True,
+    degradation: DegradationPolicy | None = None,
 ) -> WorkflowBean:
     """Attach Exp-WF to a running Exp-DB — the paper's integration step.
 
@@ -625,7 +743,7 @@ def install_workflow_support(
         install_workflow_datamodel(expdb.db)
     engine = WorkflowBean(expdb.db, dispatcher=dispatcher)
     servlet = WorkflowServlet(engine)
-    filter_ = WorkflowFilter(engine, servlet)
+    filter_ = WorkflowFilter(engine, servlet, degradation=degradation)
     filter_.container = expdb.container
 
     for name, source in WORKFLOW_TEMPLATES.items():

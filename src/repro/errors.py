@@ -129,6 +129,14 @@ class JournalError(MessagingError):
     """The broker journal is corrupt or unreadable."""
 
 
+class DeadLetterError(MessagingError):
+    """A dead-letter operation referenced an unknown quarantined message."""
+
+    def __init__(self, message_id: int) -> None:
+        super().__init__(f"no dead-lettered message with id {message_id}")
+        self.message_id = message_id
+
+
 # ---------------------------------------------------------------------------
 # xmlbridge — relational <-> XML translation
 # ---------------------------------------------------------------------------
@@ -190,6 +198,42 @@ class DispatchError(WorkflowError):
 
 class InstanceError(WorkflowError):
     """Invalid operation on a workflow or task instance."""
+
+
+# ---------------------------------------------------------------------------
+# resilience — fault injection and recovery machinery
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Root of all resilience-layer errors."""
+
+
+class FaultInjected(ResilienceError):
+    """A deterministic fault plan fired a ``crash`` action.
+
+    Raised *by design* at an injection point to simulate the process
+    dying there; chaos tests catch it, "restart" the affected component
+    from its durable state, and assert that recovery holds.
+    """
+
+    def __init__(self, point: str, note: str = "") -> None:
+        detail = f" ({note})" if note else ""
+        super().__init__(f"injected crash at {point!r}{detail}")
+        self.point = point
+        self.note = note
+
+
+class CircuitOpenError(ResilienceError):
+    """An operation was refused because its circuit breaker is open."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"circuit breaker {name!r} is open")
+        self.breaker_name = name
+
+
+class LeaseExpiredError(ResilienceError):
+    """An agent tried to act on an instance whose lease already expired."""
 
 
 # ---------------------------------------------------------------------------

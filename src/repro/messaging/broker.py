@@ -13,19 +13,38 @@ Delivery contract (matching what the paper relies on from OpenJMS):
   the consumer (or replaying the journal after a crash) returns in-flight
   messages to the front of their queue for redelivery;
 * acknowledging journals the ack, after which the message is gone for
-  good.
+  good;
+* *rejecting* (``Consumer.reject``) consults the queue's
+  :class:`~repro.resilience.retry.RetryPolicy`: the message is requeued
+  with an exponential-backoff ``not_before`` schedule until its delivery
+  count hits the cap, after which it is dead-lettered — quarantined in
+  the broker's DLQ, inspectable and requeueable, never silently dropped.
+
+Fault points (see :mod:`repro.resilience.faults`): ``broker.publish``,
+``broker.deliver``, ``broker.ack`` — each with ``queue`` (and ``kind``
+header, when present) as match context.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import threading
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import AcknowledgeError, UnknownQueueError
+from repro.errors import AcknowledgeError, DeadLetterError, UnknownQueueError
 from repro.messaging.journal import BrokerJournal
 from repro.messaging.message import Message
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.faults import FaultPlan, fire, mangle
+from repro.resilience.retry import RetryPolicy
+
+#: How long a blocking receive waits per wakeup when the only queued
+#: messages are backoff-scheduled: short enough that an injected clock
+#: advanced by another thread is noticed promptly, long enough not to
+#: busy-spin on a real clock.
+_SCHEDULE_POLL_S = 0.05
 
 
 @dataclass
@@ -37,6 +56,9 @@ class BrokerStats:
     deliveries: int = 0
     redeliveries: int = 0
     acks: int = 0
+    rejections: int = 0
+    dead_lettered: int = 0
+    dlq_requeued: int = 0
     per_queue_sends: dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -45,24 +67,42 @@ class BrokerStats:
         self.deliveries = 0
         self.redeliveries = 0
         self.acks = 0
+        self.rejections = 0
+        self.dead_lettered = 0
+        self.dlq_requeued = 0
         self.per_queue_sends.clear()
 
 
 class MessageBroker:
     """A point-to-point message broker with optional durability."""
 
-    def __init__(self, journal_path: str | os.PathLike[str] | None = None) -> None:
+    def __init__(
+        self,
+        journal_path: str | os.PathLike[str] | None = None,
+        clock: Clock | None = None,
+        default_retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._queues: dict[str, deque[Message]] = {}
         self._in_flight: dict[int, Message] = {}
+        #: Quarantined poison messages: id → (message, reason).
+        self._dead: dict[int, tuple[Message, str]] = {}
+        self._retry_policies: dict[str, RetryPolicy] = {}
         self._next_id = 1
+        self.clock: Clock = clock or SystemClock()
+        self.default_retry_policy = default_retry_policy or RetryPolicy()
+        #: Jitter RNG — fixed seed so a broker's redelivery schedule is
+        #: reproducible run to run (chaos tests rely on this).
+        self._rng = random.Random(17)
         self.stats = BrokerStats()
         #: Optional observability hook with ``on_send(message,
         #: persistent)`` / ``on_deliver(message)`` — called under the
         #: broker lock, so observers must never call back into the
         #: broker (see ``repro.obs``).
         self.observer = None
+        #: Optional fault-injection plan shared with the journal.
+        self.faults: FaultPlan | None = None
         self._journal: BrokerJournal | None = None
         if journal_path is not None:
             self._journal = BrokerJournal(journal_path)
@@ -73,14 +113,23 @@ class MessageBroker:
         """Whether sends are journalled to disk."""
         return self._journal is not None
 
+    def attach_faults(self, plan: FaultPlan | None) -> None:
+        """Install (or clear) a fault plan on the broker and its journal."""
+        with self._lock:
+            self.faults = plan
+            if self._journal is not None:
+                self._journal.faults = plan
+
     def _recover(self) -> None:
         assert self._journal is not None
-        queues, outstanding, next_id = self._journal.replay()
-        for name in queues:
+        snapshot = self._journal.replay()
+        for name in snapshot.queues:
             self._queues.setdefault(name, deque())
-        for message in outstanding:
+        for message in snapshot.outstanding:
             self._queues.setdefault(message.queue, deque()).append(message)
-        self._next_id = next_id
+        for message, reason in snapshot.dead:
+            self._dead[message.message_id] = (message, reason)
+        self._next_id = snapshot.next_id
 
     # ------------------------------------------------------------------
     # Queue management
@@ -94,6 +143,16 @@ class MessageBroker:
             self._queues[name] = deque()
             if self._journal is not None:
                 self._journal.append({"type": "declare", "queue": name})
+
+    def set_retry_policy(self, queue: str, policy: RetryPolicy) -> None:
+        """Override the redelivery policy for one queue."""
+        with self._lock:
+            self._retry_policies[queue] = policy
+
+    def retry_policy(self, queue: str) -> RetryPolicy:
+        """The policy :meth:`reject` applies for ``queue``."""
+        with self._lock:
+            return self._retry_policies.get(queue, self.default_retry_policy)
 
     def queue_names(self) -> list[str]:
         """All declared queues."""
@@ -142,26 +201,55 @@ class MessageBroker:
     # ------------------------------------------------------------------
 
     def send(self, queue: str, body: str, headers: dict | None = None) -> Message:
-        """Enqueue a message; durable before return when persistent."""
+        """Enqueue a message; durable before return when persistent.
+
+        Fault point ``broker.publish``: ``crash`` dies before anything
+        is journalled or enqueued, ``drop`` silently loses the message
+        (the producer still believes it sent), ``duplicate`` enqueues a
+        second copy under its own id, ``corrupt`` mangles the body.
+        """
         with self._available:
             target = self._queue(queue)
+            header_map = dict(headers or {})
+            action = fire(
+                self.faults,
+                "broker.publish",
+                queue=queue,
+                kind=header_map.get("kind"),
+            )
+            body_to_send = mangle(body) if action == "corrupt" else body
+            copies = 2 if action == "duplicate" else 1
             message = Message(
                 queue=queue,
-                body=body,
-                headers=dict(headers or {}),
+                body=body_to_send,
+                headers=header_map,
                 message_id=self._next_id,
             )
             self._next_id += 1
-            if self._journal is not None:
-                self._journal.append({"type": "send", "message": message.to_wire()})
-                self.stats.persistent_sends += 1
-            target.append(message)
-            self.stats.sends += 1
-            self.stats.per_queue_sends[queue] = (
-                self.stats.per_queue_sends.get(queue, 0) + 1
-            )
-            if self.observer is not None:
-                self.observer.on_send(message, self._journal is not None)
+            if action == "drop":
+                return message
+            for copy_index in range(copies):
+                enqueued = message
+                if copy_index > 0:
+                    enqueued = Message(
+                        queue=queue,
+                        body=body_to_send,
+                        headers=dict(header_map),
+                        message_id=self._next_id,
+                    )
+                    self._next_id += 1
+                if self._journal is not None:
+                    self._journal.append(
+                        {"type": "send", "message": enqueued.to_wire()}
+                    )
+                    self.stats.persistent_sends += 1
+                target.append(enqueued)
+                self.stats.sends += 1
+                self.stats.per_queue_sends[queue] = (
+                    self.stats.per_queue_sends.get(queue, 0) + 1
+                )
+                if self.observer is not None:
+                    self.observer.on_send(enqueued, self._journal is not None)
             self._available.notify_all()
             return message
 
@@ -169,31 +257,81 @@ class MessageBroker:
     # Consumer side
     # ------------------------------------------------------------------
 
+    def _pop_ready(self, target: deque[Message], now: float) -> Message | None:
+        """Remove and return the first message whose backoff has elapsed."""
+        for index, message in enumerate(target):
+            if message.not_before <= now:
+                del target[index]
+                return message
+        return None
+
+    def _next_ready_delay(
+        self, target: deque[Message], now: float
+    ) -> float | None:
+        """Seconds until the earliest scheduled message becomes visible."""
+        if not target:
+            return None
+        return max(0.0, min(m.not_before for m in target) - now)
+
     def receive(self, queue: str, timeout: float | None = 0.0) -> Message | None:
-        """Take the next message off ``queue``.
+        """Take the next deliverable message off ``queue``.
 
         ``timeout=0`` polls without blocking; ``timeout=None`` blocks until
         a message arrives; a positive timeout blocks up to that many
-        seconds.  Returns ``None`` when nothing arrived in time.  The
-        message stays in flight until :meth:`ack` or :meth:`requeue`.
+        seconds *total* — the deadline is computed once, so spurious
+        condition wakeups no longer restart the full wait.  Returns
+        ``None`` when nothing became deliverable in time.  Messages whose
+        ``not_before`` schedule has not elapsed are invisible.  The
+        returned message stays in flight until :meth:`ack`,
+        :meth:`requeue`, or :meth:`reject`.
+
+        Fault point ``broker.deliver``: ``crash`` dies with the message
+        still safely queued, ``drop`` discards the would-be delivery
+        (lost datagram), ``corrupt`` mangles the body on the way out.
         """
-        deadline: float | None
-        if timeout in (None, 0.0) or timeout == 0:
-            deadline = None
-        else:
-            deadline = timeout
+        poll = timeout is not None and timeout <= 0
+        deadline: float | None = None
+        if timeout is not None and timeout > 0:
+            deadline = self.clock.monotonic() + timeout
         with self._available:
             target = self._queue(queue)
-            if not target and timeout == 0.0:
-                return None
-            while not target:
-                if timeout == 0.0:
+            while True:
+                now = self.clock.monotonic()
+                message = self._pop_ready(target, now)
+                if message is not None:
+                    action = fire(
+                        self.faults,
+                        "broker.deliver",
+                        queue=queue,
+                        kind=message.headers.get("kind"),
+                    )
+                    if action == "drop":
+                        if not poll:
+                            continue
+                        return None
+                    if action == "corrupt":
+                        message.body = mangle(message.body)
+                    break
+                if poll:
                     return None
-                if not self._available.wait(timeout=deadline):
-                    return None
-                target = self._queue(queue)
-            message = target.popleft()
+                wait_s: float | None = None
+                if deadline is not None:
+                    wait_s = deadline - now
+                    if wait_s <= 0:
+                        return None
+                hold = self._next_ready_delay(target, now)
+                if hold is not None:
+                    # Everything queued is backoff-scheduled: wake early
+                    # enough to notice the schedule (or an injected
+                    # clock) moving.
+                    cap = min(hold, _SCHEDULE_POLL_S)
+                    wait_s = cap if wait_s is None else min(wait_s, cap)
+                self._available.wait(timeout=wait_s)
             message.delivery_count += 1
+            if self._journal is not None:
+                self._journal.append(
+                    {"type": "deliver", "message_id": message.message_id}
+                )
             self._in_flight[message.message_id] = message
             self.stats.deliveries += 1
             if message.redelivered:
@@ -203,12 +341,23 @@ class MessageBroker:
             return message
 
     def ack(self, message: Message) -> None:
-        """Acknowledge a delivered message, removing it permanently."""
+        """Acknowledge a delivered message, removing it permanently.
+
+        Fault point ``broker.ack``: ``crash`` dies *before* the ack is
+        recorded, so the message is still in flight and a journal replay
+        (or consumer close) redelivers it — at-least-once semantics.
+        """
         with self._lock:
             if message.message_id not in self._in_flight:
                 raise AcknowledgeError(
                     f"message {message.message_id} is not in flight"
                 )
+            fire(
+                self.faults,
+                "broker.ack",
+                queue=message.queue,
+                kind=message.headers.get("kind"),
+            )
             del self._in_flight[message.message_id]
             if self._journal is not None:
                 self._journal.append(
@@ -219,6 +368,92 @@ class MessageBroker:
                     }
                 )
             self.stats.acks += 1
+
+    def reject(self, message: Message, reason: str = "") -> bool:
+        """Negative-acknowledge a delivered message.
+
+        Applies the queue's :class:`RetryPolicy`: under the delivery cap
+        the message is requeued with a backoff ``not_before`` schedule
+        and ``True`` is returned (it will come back); at the cap it is
+        dead-lettered and ``False`` is returned.  Either way it leaves
+        the in-flight set — a rejected message is never lost.
+        """
+        with self._available:
+            if message.message_id not in self._in_flight:
+                raise AcknowledgeError(
+                    f"message {message.message_id} is not in flight"
+                )
+            del self._in_flight[message.message_id]
+            self.stats.rejections += 1
+            policy = self._retry_policies.get(
+                message.queue, self.default_retry_policy
+            )
+            if policy.exhausted(message.delivery_count):
+                self._dead[message.message_id] = (message, reason)
+                self.stats.dead_lettered += 1
+                if self._journal is not None:
+                    self._journal.append(
+                        {
+                            "type": "dead_letter",
+                            "message_id": message.message_id,
+                            "reason": reason,
+                        }
+                    )
+                return False
+            delay = policy.backoff(message.delivery_count, self._rng)
+            message.not_before = self.clock.monotonic() + delay
+            self._queue(message.queue).append(message)
+            self._available.notify_all()
+            return True
+
+    # ------------------------------------------------------------------
+    # Dead-letter queue
+    # ------------------------------------------------------------------
+
+    def dlq_depth(self) -> int:
+        """Messages currently quarantined."""
+        with self._lock:
+            return len(self._dead)
+
+    def dead_letters(self) -> list[dict[str, object]]:
+        """Inspectable snapshot of the quarantine, oldest first."""
+        with self._lock:
+            entries = [self._dead[mid] for mid in sorted(self._dead)]
+        return [
+            {
+                "message_id": message.message_id,
+                "queue": message.queue,
+                "reason": reason,
+                "delivery_count": message.delivery_count,
+                "headers": dict(message.headers),
+                "body_bytes": len(message.body),
+            }
+            for message, reason in entries
+        ]
+
+    def requeue_dead(self, message_id: int) -> Message:
+        """Return a quarantined message to its queue for a fresh attempt.
+
+        Resets the delivery count (the operator presumably fixed the
+        underlying problem) and makes it immediately deliverable.
+        """
+        with self._available:
+            entry = self._dead.pop(message_id, None)
+            if entry is None:
+                raise DeadLetterError(message_id)
+            message = entry[0]
+            message.delivery_count = 0
+            message.not_before = 0.0
+            self.stats.dlq_requeued += 1
+            if self._journal is not None:
+                self._journal.append(
+                    {"type": "dlq_requeue", "message_id": message_id}
+                )
+            self._queue(message.queue).append(message)
+            self._available.notify_all()
+            return message
+
+    # ------------------------------------------------------------------
 
     def requeue(self, message: Message) -> None:
         """Return an in-flight message to the front of its queue."""

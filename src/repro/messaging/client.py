@@ -99,6 +99,22 @@ class Consumer:
         self._broker.ack(message)
         del self._unacked[message.message_id]
 
+    def reject(self, message: Message, reason: str = "") -> bool:
+        """Negative-acknowledge a message this consumer received.
+
+        The broker requeues it with backoff or dead-letters it at the
+        delivery cap (see ``MessageBroker.reject``); returns ``True``
+        when the message will be redelivered, ``False`` when it was
+        quarantined.
+        """
+        if message.message_id not in self._unacked:
+            raise AcknowledgeError(
+                f"message {message.message_id} was not received by this consumer"
+            )
+        will_retry = self._broker.reject(message, reason)
+        del self._unacked[message.message_id]
+        return will_retry
+
     def drain(self) -> list[Message]:
         """Receive-and-ack everything currently queued (convenience)."""
         messages = []

@@ -4,24 +4,46 @@ Same JSON-lines discipline as the minidb WAL: every record is flushed and
 fsync'd before the operation that produced it returns.  Replay rebuilds
 the set of *outstanding* messages: everything sent but not acknowledged —
 including messages that were in flight to a consumer when the broker
-died — reappears in its queue in send order.
+died — reappears in its queue in send order, carrying the delivery count
+it had accumulated (so the redelivered flag survives a broker crash), and
+the dead-letter quarantine is restored alongside the live queues.
 
 Record shapes::
 
     {"type": "declare", "queue": "agent.robot-1"}
     {"type": "send", "message": {...}}
+    {"type": "deliver", "message_id": 17}
     {"type": "ack", "queue": "agent.robot-1", "message_id": 17}
+    {"type": "dead_letter", "message_id": 17, "reason": "..."}
+    {"type": "dlq_requeue", "message_id": 17}
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import JournalError
 from repro.messaging.message import Message
+from repro.resilience.faults import fire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.faults import FaultPlan
+
+
+@dataclass
+class JournalSnapshot:
+    """What a replay restores: queues, live messages, quarantine, ids."""
+
+    queues: list[str] = field(default_factory=list)
+    #: Unacknowledged, not dead-lettered messages in send order.
+    outstanding: list[Message] = field(default_factory=list)
+    #: ``(message, reason)`` pairs quarantined before the crash.
+    dead: list[tuple[Message, str]] = field(default_factory=list)
+    next_id: int = 1
 
 
 class BrokerJournal:
@@ -33,12 +55,34 @@ class BrokerJournal:
         self._handle = None
         #: Records durably appended through this handle's lifetime.
         self.appended_records = 0
+        #: Optional fault-injection plan (``repro.resilience.faults``).
+        self.faults: "FaultPlan | None" = None
 
     def append(self, record: dict[str, Any]) -> None:
-        """Durably append one record."""
+        """Durably append one record.
+
+        Fault point ``journal.append`` (context: ``record_type``):
+        ``crash`` dies before anything is written, ``corrupt`` leaves a
+        torn half-line and then dies (the classic mid-fsync power cut),
+        ``drop`` silently skips the write (a lying disk).
+        """
+        action = fire(
+            self.faults, "journal.append", record_type=record.get("type")
+        )
+        if action == "drop":
+            return
         if self._handle is None:
             self._handle = self.path.open("a", encoding="utf-8")
-        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        line = json.dumps(record, separators=(",", ":"))
+        if action == "corrupt":
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise JournalError(
+                f"injected torn write at {self.path} "
+                f"(record type {record.get('type')!r})"
+            )
+        self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self.appended_records += 1
@@ -50,17 +94,22 @@ class BrokerJournal:
         except OSError:
             return 0
 
-    def replay(self) -> tuple[list[str], list[Message], int]:
-        """Rebuild state: (declared queues, outstanding messages, next id).
+    def replay(self) -> JournalSnapshot:
+        """Rebuild broker state from the journal.
 
-        A torn final line is discarded (the send never completed); any
-        other corruption raises :class:`JournalError`.
+        A torn final line is discarded (the operation never completed);
+        any other corruption raises :class:`JournalError`.  Delivery
+        records accumulate onto their message so a replayed message
+        keeps its true ``delivery_count``; dead-letter records move the
+        message into the quarantine (and ``dlq_requeue`` moves it back,
+        with the count reset exactly as the live operation does).
         """
-        queues: list[str] = []
+        fire(self.faults, "journal.replay")
+        snapshot = JournalSnapshot()
         outstanding: dict[int, Message] = {}
-        next_id = 1
+        dead: dict[int, tuple[Message, str]] = {}
         if not self.path.exists():
-            return queues, [], next_id
+            return snapshot
         with self.path.open("r", encoding="utf-8") as handle:
             lines = handle.readlines()
         for line_number, line in enumerate(lines):
@@ -77,21 +126,39 @@ class BrokerJournal:
                 ) from None
             kind = record.get("type")
             if kind == "declare":
-                if record["queue"] not in queues:
-                    queues.append(record["queue"])
+                if record["queue"] not in snapshot.queues:
+                    snapshot.queues.append(record["queue"])
             elif kind == "send":
                 message = Message.from_wire(record["message"])
                 outstanding[message.message_id] = message
-                next_id = max(next_id, message.message_id + 1)
+                snapshot.next_id = max(snapshot.next_id, message.message_id + 1)
+            elif kind == "deliver":
+                message = outstanding.get(record["message_id"])
+                if message is not None:
+                    message.delivery_count += 1
             elif kind == "ack":
                 outstanding.pop(record["message_id"], None)
+            elif kind == "dead_letter":
+                message = outstanding.pop(record["message_id"], None)
+                if message is not None:
+                    dead[message.message_id] = (
+                        message,
+                        str(record.get("reason", "")),
+                    )
+            elif kind == "dlq_requeue":
+                entry = dead.pop(record["message_id"], None)
+                if entry is not None:
+                    message = entry[0]
+                    message.delivery_count = 0
+                    outstanding[message.message_id] = message
             else:
                 raise JournalError(
                     f"unknown journal record type {kind!r} at "
                     f"{self.path}:{line_number + 1}"
                 )
-        ordered = [outstanding[mid] for mid in sorted(outstanding)]
-        return queues, ordered, next_id
+        snapshot.outstanding = [outstanding[mid] for mid in sorted(outstanding)]
+        snapshot.dead = [dead[mid] for mid in sorted(dead)]
+        return snapshot
 
     def close(self) -> None:
         """Release the file handle (reopened lazily on next append)."""

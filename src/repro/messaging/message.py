@@ -27,6 +27,11 @@ class Message:
     headers: dict[str, Any] = field(default_factory=dict)
     message_id: int = 0
     delivery_count: int = 0
+    #: Monotonic instant before which the broker must not redeliver the
+    #: message (retry backoff schedule); 0 = immediately deliverable.
+    #: Runtime-only: replay recomputes it as "now" — after a crash the
+    #: backoff clock restarts rather than carrying a stale deadline.
+    not_before: float = 0.0
 
     @property
     def redelivered(self) -> bool:
@@ -44,10 +49,16 @@ class Message:
 
     @staticmethod
     def from_wire(record: dict[str, Any]) -> "Message":
-        """Rebuild a message from :meth:`to_wire` output."""
+        """Rebuild a message from :meth:`to_wire` output.
+
+        ``delivery_count`` is not part of the wire dict — the journal
+        tracks deliveries as separate records so a replayed message
+        reflects every delivery that actually happened.
+        """
         return Message(
             queue=record["queue"],
             body=record["body"],
             headers=dict(record["headers"]),
             message_id=record["message_id"],
+            delivery_count=int(record.get("delivery_count", 0)),
         )

@@ -63,6 +63,16 @@ class Database:
             self._wal = WriteAheadLog(wal_path)
             self._recover()
 
+    def attach_faults(self, plan) -> None:
+        """Install (or clear) a fault plan on the database's WAL.
+
+        ``plan`` is a :class:`repro.resilience.faults.FaultPlan` (typed
+        loosely to keep minidb free of upward imports).  A no-op on a
+        non-durable database — there is no WAL to inject into.
+        """
+        if self._wal is not None:
+            self._wal.faults = plan
+
     # ------------------------------------------------------------------
     # DDL
     # ------------------------------------------------------------------

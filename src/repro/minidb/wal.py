@@ -25,7 +25,13 @@ import os
 from pathlib import Path
 from typing import Any, Iterator
 
+from typing import TYPE_CHECKING
+
 from repro.errors import RecoveryError
+from repro.resilience.faults import fire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.faults import FaultPlan
 
 
 class WriteAheadLog:
@@ -37,6 +43,8 @@ class WriteAheadLog:
         self._handle = None
         #: Records durably appended through this handle's lifetime.
         self.appended = 0
+        #: Optional fault-injection plan (``repro.resilience.faults``).
+        self.faults: "FaultPlan | None" = None
 
     # -- replay -------------------------------------------------------------
 
@@ -69,11 +77,35 @@ class WriteAheadLog:
     # -- append -------------------------------------------------------------
 
     def append(self, record: dict[str, Any]) -> None:
-        """Durably append one record."""
+        """Durably append one record.
+
+        Fault point ``wal.append`` (context: ``record_type``): ``crash``
+        dies before anything hits the file — the transaction never
+        committed; ``corrupt`` leaves a torn half-line and then dies,
+        exactly the state a power cut mid-``write`` produces (replay
+        discards it when final, refuses the log otherwise).  Fault point
+        ``wal.fsync``: ``crash`` dies after the write but before the
+        fsync returned — the record may or may not survive; replay
+        treats whatever is on disk as the truth.
+        """
+        action = fire(self.faults, "wal.append", record_type=record.get("type"))
+        if action == "drop":
+            # A lying disk: the caller believes the record is durable.
+            return
         if self._handle is None:
             self._handle = self.path.open("a", encoding="utf-8")
-        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        line = json.dumps(record, separators=(",", ":"))
+        if action == "corrupt":
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise RecoveryError(
+                f"injected torn write at {self.path} "
+                f"(record type {record.get('type')!r})"
+            )
+        self._handle.write(line + "\n")
         self._handle.flush()
+        fire(self.faults, "wal.fsync", record_type=record.get("type"))
         os.fsync(self._handle.fileno())
         self.appended += 1
 

@@ -37,7 +37,7 @@ from repro.obs.audit import (
     install_audit_schema,
     verify_timeline,
 )
-from repro.obs.hub import ObservabilityHub, install_observability
+from repro.obs.hub import ObservabilityHub, hub_readiness, install_observability
 from repro.obs.log import (
     LEVELS,
     BoundLogger,
@@ -69,6 +69,7 @@ __all__ = [
     "Tracer",
     "decode_record",
     "install_audit_schema",
+    "hub_readiness",
     "install_observability",
     "verify_timeline",
 ]

@@ -364,6 +364,7 @@ class ObservabilityHub:
                 ("denied", stats.denied),
                 ("processed", stats.processed),
                 ("postprocessed", stats.postprocessed),
+                ("degraded", stats.degraded),
             ):
                 self.registry.counter(
                     "workflow_filter_requests_total",
@@ -438,6 +439,22 @@ class ObservabilityHub:
             self.registry.counter(
                 "broker_acks_total", help="Acknowledgements"
             ).set(stats.acks)
+            self.registry.counter(
+                "broker_rejections_total",
+                help="Messages negatively acknowledged by consumers",
+            ).set(stats.rejections)
+            self.registry.counter(
+                "broker_dead_lettered_total",
+                help="Messages quarantined after exhausting their retries",
+            ).set(stats.dead_lettered)
+            self.registry.counter(
+                "broker_dlq_requeued_total",
+                help="Quarantined messages returned to their queue",
+            ).set(stats.dlq_requeued)
+            self.registry.gauge(
+                "broker_dlq_depth",
+                help="Messages currently in the dead-letter quarantine",
+            ).set(broker.dlq_depth())
             for queue, count in stats.per_queue_sends.items():
                 self.registry.counter(
                     "broker_queue_sends_total",
@@ -473,6 +490,7 @@ class ObservabilityHub:
                     for name in broker.queue_names()
                 },
                 "in_flight": broker.in_flight_count(),
+                "dlq_depth": broker.dlq_depth(),
                 "journal": broker.journal_info(),
             }
 
@@ -503,19 +521,71 @@ class ObservabilityHub:
             self.registry.counter(
                 "manager_results_total", help="Task results applied"
             ).set(manager.result_count)
+            self.registry.counter(
+                "messages_rejected_total",
+                help="Inbound agent messages the pump rejected as poison",
+            ).set(manager.messages_rejected)
+            self.registry.counter(
+                "manager_dispatch_failures_total",
+                help="Dispatch sends that failed (broker/fault errors)",
+            ).set(manager.dispatch_failures)
+            self.registry.counter(
+                "manager_breaker_short_circuits_total",
+                help="Dispatches skipped because a circuit breaker was open",
+            ).set(manager.breaker_short_circuits)
+            self.registry.counter(
+                "manager_redispatches_total",
+                help="Instances re-dispatched after a lease expired",
+            ).set(manager.redispatches)
+            self.registry.counter(
+                "manager_lease_aborts_total",
+                help="Instances aborted after exhausting the lease budget",
+            ).set(manager.lease_aborts)
+            self.registry.counter(
+                "manager_lease_expiries_total",
+                help="Lease deadlines missed by silent agents",
+            ).set(manager.leases.expiries)
+            self.registry.gauge(
+                "manager_active_leases",
+                help="Dispatched instances holding a liveness lease",
+            ).set(manager.leases.active_count())
+            from repro.resilience.breaker import STATE_CODES
+
+            for queue, snap in manager.breaker_snapshots().items():
+                self.registry.gauge(
+                    "manager_breaker_state",
+                    help="Dispatch circuit-breaker state "
+                    "(0=closed, 1=half-open, 2=open)",
+                    queue=queue,
+                ).set(STATE_CODES.get(snap["state"], 0))
 
         self.registry.add_collector(collect)
 
         def health() -> dict[str, Any]:
             last_pump = manager.last_pump
+            lease_rows = manager.leases.snapshot()
+            breakers = manager.breaker_snapshots()
+            status = "ok"
+            if any(snap["state"] == "open" for snap in breakers.values()):
+                status = "degraded"
             return {
-                "status": "ok",
+                "status": status,
                 "dispatches": manager.dispatch_count,
                 "results": manager.result_count,
+                "messages_rejected": manager.messages_rejected,
                 "engine_queue_depth": engine_queue_depth(),
                 "last_pump_age_s": (
                     None if last_pump is None else time.time() - last_pump
                 ),
+                "leases": {
+                    "active": len(lease_rows),
+                    "expired": sum(1 for row in lease_rows if row["expired"]),
+                    "expiries_total": manager.leases.expiries,
+                    "redispatches_total": manager.redispatches,
+                    "aborts_total": manager.lease_aborts,
+                    "rows": lease_rows,
+                },
+                "breakers": breakers,
             }
 
         self.register_health("manager", health)
@@ -581,6 +651,31 @@ class ObservabilityHub:
         self.register_health("email", health)
 
 
+#: Components whose health gates the WorkflowFilter's readiness.
+READINESS_COMPONENTS = ("database", "engine", "broker", "manager")
+
+
+def hub_readiness(
+    hub: ObservabilityHub,
+    components: tuple[str, ...] = READINESS_COMPONENTS,
+) -> tuple[bool, str]:
+    """Readiness verdict for the filter's graceful-degradation probe.
+
+    Ready iff every *present* core component reports ``ok`` — a tier
+    that was never watched does not count against readiness (a
+    filter-only deployment has no broker to be unhealthy).
+    """
+    report = hub.health_report()
+    bad = []
+    for name in components:
+        info = report["components"].get(name)
+        if info is not None and info.get("status", "ok") != "ok":
+            bad.append(f"{name}={info.get('status')}")
+    if bad:
+        return False, f"unhealthy components: {', '.join(bad)}"
+    return True, ""
+
+
 def install_observability(
     expdb: "ExpDB | None" = None,
     engine: "WorkflowBean | None" = None,
@@ -621,10 +716,13 @@ def install_observability(
     hub = hub or ObservabilityHub()
     if engine is None and expdb is not None:
         engine = expdb.container.context.get("workflow_bean")
+    if broker is None and manager is not None:
+        broker = manager.broker
     if engine is not None and audit:
         hub.install_audit(engine)
     if expdb is not None:
         from repro.weblims.auditservlet import AuditServlet
+        from repro.weblims.dlqservlet import DeadLetterServlet
         from repro.weblims.healthservlet import HealthServlet
         from repro.weblims.lintservlet import LintServlet
         from repro.weblims.metricsservlet import MetricsServlet
@@ -635,6 +733,8 @@ def install_observability(
         workflow_filter = expdb.container.context.get("workflow_filter")
         if workflow_filter is not None:
             hub.watch_filter(workflow_filter)
+            if workflow_filter.readiness is None:
+                workflow_filter.readiness = lambda: hub_readiness(hub)
         descriptor = expdb.container.descriptor
         names = descriptor.servlet_names()
         if "MetricsServlet" not in names:
@@ -645,6 +745,10 @@ def install_observability(
             descriptor.add_servlet(HealthServlet(hub), "/workflow/health")
         if "LintServlet" not in names:
             descriptor.add_servlet(LintServlet(expdb.db), "/workflow/lint")
+        if broker is not None and "DeadLetterServlet" not in names:
+            descriptor.add_servlet(
+                DeadLetterServlet(broker, hub), "/workflow/dlq"
+            )
     if engine is not None:
         hub.watch_engine(engine)
     if broker is not None:

@@ -1,0 +1,42 @@
+"""repro.resilience — fault injection, retries, breakers, and leases.
+
+Everything here exists to make the reproduction *fail well*: the fault
+plan makes failures deterministic and injectable at named points, the
+retry policy and dead-letter queue keep poison messages from looping or
+vanishing, the circuit breaker keeps a dead agent from dragging down
+dispatch, and the lease table turns silent agent death into a clean
+Fig. 4 abort instead of a hung workflow.  Time is always taken from an
+injectable :class:`~repro.resilience.clock.Clock`, so every backoff,
+cooldown, and lease deadline is testable without wall-clock sleeps.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_CODES,
+    CircuitBreaker,
+)
+from repro.resilience.clock import Clock, ManualClock, SystemClock
+from repro.resilience.faults import FaultPlan, FaultRule, fire, mangle
+from repro.resilience.leases import Lease, LeaseTable
+from repro.resilience.retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "NO_RETRY",
+    "OPEN",
+    "STATE_CODES",
+    "CircuitBreaker",
+    "Clock",
+    "FaultPlan",
+    "FaultRule",
+    "Lease",
+    "LeaseTable",
+    "ManualClock",
+    "RetryPolicy",
+    "SystemClock",
+    "fire",
+    "mangle",
+]

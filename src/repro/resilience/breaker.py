@@ -1,0 +1,129 @@
+"""Circuit breaker around agent dispatch.
+
+A wedged or dead agent queue must not drag every workflow evaluation
+through a failing send path.  The breaker is the classic three-state
+machine:
+
+* **closed** — operations flow; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: :meth:`allow` answers ``False`` (callers skip the
+  operation and degrade) until ``reset_timeout_s`` elapses on the
+  injected clock;
+* **half-open** — after the cooldown, a limited number of probe
+  operations are let through; one success closes the breaker, one
+  failure re-opens it with a fresh cooldown.
+
+All transitions go through one lock so concurrent dispatchers observe a
+consistent state; the snapshot feeds ``/workflow/health`` and the
+``manager_breaker_state`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.resilience.clock import Clock, SystemClock
+
+#: The three breaker states (exported for assertions and gauges).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding used by the metrics mirror.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; probe again after a cooldown."""
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Clock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self.clock: Clock = clock or SystemClock()
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        self._trips = 0
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt the protected operation.
+
+        Transitions open → half-open when the cooldown has elapsed; in
+        half-open, admits at most ``half_open_probes`` concurrent
+        probes.
+        """
+        with self._lock:
+            if self._state == OPEN:
+                elapsed = self.clock.monotonic() - (self._opened_at or 0.0)
+                if elapsed < self.reset_timeout_s:
+                    return False
+                self._state = HALF_OPEN
+                self._probes_in_flight = 0
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight >= self.half_open_probes:
+                    return False
+                self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        """The protected operation succeeded: close and reset."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        """The protected operation failed: count, maybe trip."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self.clock.monotonic()
+                self._probes_in_flight = 0
+                self._trips += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, with the open→half-open cooldown applied."""
+        with self._lock:
+            if (
+                self._state == OPEN
+                and self.clock.monotonic() - (self._opened_at or 0.0)
+                >= self.reset_timeout_s
+            ):
+                return HALF_OPEN
+            return self._state
+
+    def snapshot(self) -> dict[str, Any]:
+        """Health-report view of the breaker."""
+        state = self.state
+        with self._lock:
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self._trips,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+            }

@@ -1,0 +1,79 @@
+"""Injectable time source for the resilience layer.
+
+Retry backoff, lease deadlines and circuit-breaker cooldowns must all be
+testable without wall-clock sleeps (the chaos suite runs thousands of
+"seconds" of failure scenarios in milliseconds).  Every component that
+reasons about time therefore takes a :class:`Clock`; production code
+uses :class:`SystemClock`, tests use :class:`ManualClock` and advance it
+explicitly.
+
+Two time bases, mirroring the stdlib: ``now()`` is wall-clock (for
+records shown to humans — lease grant times, dead-letter timestamps),
+``monotonic()`` is for measuring intervals and scheduling deadlines.
+``ManualClock`` drives both off one counter so a test's timeline stays
+coherent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What the resilience components need from a time source."""
+
+    def now(self) -> float:
+        """Wall-clock seconds since the epoch."""
+        ...  # pragma: no cover - protocol
+
+    def monotonic(self) -> float:
+        """Monotonic seconds, for deadlines and intervals."""
+        ...  # pragma: no cover - protocol
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        ...  # pragma: no cover - protocol
+
+
+class SystemClock:
+    """The real time source (stdlib ``time``)."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock:
+    """A clock tests advance by hand — no wall time ever passes.
+
+    ``sleep`` advances the clock instead of blocking, so injected
+    ``delay`` faults and backoff waits are visible as jumps on the
+    simulated timeline rather than real latency.
+    """
+
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by {seconds}")
+        self._now += seconds
+        return self._now

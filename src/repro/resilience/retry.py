@@ -1,0 +1,71 @@
+"""Per-queue redelivery policy: exponential backoff, jitter, delivery cap.
+
+When a consumer *rejects* a message (``Consumer.reject``), the broker
+consults the queue's :class:`RetryPolicy`:
+
+* while ``delivery_count`` is under :attr:`RetryPolicy.max_deliveries`,
+  the message is requeued with a ``not_before`` schedule computed by
+  :meth:`RetryPolicy.backoff` — it becomes invisible to ``receive``
+  until the backoff elapses, so a poison message cannot hot-loop the
+  consumer;
+* at the cap, the message is dead-lettered instead of redelivered —
+  quarantined, never silently dropped.
+
+Backoff is exponential with full-jitter damping: ``base * multiplier **
+(delivery_count - 1)``, clamped to ``max_delay_s``, then scaled by a
+uniform draw in ``[1 - jitter, 1 + jitter]`` from the *caller's* RNG —
+the policy itself is a frozen value object, so one policy can serve many
+queues while every broker stays deterministic under its own seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a queue treats rejected (not merely unacked) messages."""
+
+    #: Total deliveries allowed before dead-lettering (first + retries).
+    max_deliveries: int = 5
+    #: Backoff before the second delivery, in seconds.
+    base_delay_s: float = 0.05
+    #: Exponential growth factor per additional delivery.
+    multiplier: float = 2.0
+    #: Ceiling on a single backoff interval.
+    max_delay_s: float = 30.0
+    #: Jitter fraction (0 disables; 0.2 = +-20%).
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_deliveries < 1:
+            raise ValueError("max_deliveries must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def exhausted(self, delivery_count: int) -> bool:
+        """Whether a message with ``delivery_count`` deliveries is spent."""
+        return delivery_count >= self.max_deliveries
+
+    def backoff(self, delivery_count: int, rng: random.Random) -> float:
+        """Seconds to hold the message back before redelivery.
+
+        ``delivery_count`` is the number of deliveries already made
+        (>= 1 when a rejection can happen).
+        """
+        exponent = max(0, delivery_count - 1)
+        raw = self.base_delay_s * (self.multiplier**exponent)
+        raw = min(raw, self.max_delay_s)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+#: A policy that never redelivers: first rejection goes straight to the
+#: dead-letter queue.  Useful for queues whose consumers are known to be
+#: deterministic (a poison message will poison every retry too).
+NO_RETRY = RetryPolicy(max_deliveries=1, base_delay_s=0.0, jitter=0.0)

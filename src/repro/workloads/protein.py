@@ -42,6 +42,7 @@ from repro.messaging import MessageBroker
 from repro.minidb.schema import Column
 from repro.obs import ObservabilityHub, install_observability
 from repro.minidb.types import ColumnType
+from repro.resilience import Clock, FaultPlan, RetryPolicy
 from repro.weblims import ExpDB, build_expdb
 from repro.weblims.schema_setup import (
     add_experiment_type,
@@ -112,6 +113,17 @@ class ProteinLab:
     technician: HumanTechnicianAgent | None = None
     #: Unified tracing + metrics across every tier (repro.obs).
     obs: ObservabilityHub | None = None
+    #: Fault plan attached across WAL, broker, manager and agents.
+    faults: FaultPlan | None = None
+
+    def attach_faults(self, plan: FaultPlan | None) -> None:
+        """(Re)attach a fault plan to every injection point in the lab."""
+        self.faults = plan
+        self.app.db.attach_faults(plan)
+        self.broker.attach_faults(plan)
+        self.manager.faults = plan
+        for agent in self.agents:
+            agent.faults = plan
 
     def run_messages(self) -> int:
         """Drive the asynchronous system to quiescence."""
@@ -358,6 +370,11 @@ def build_protein_lab(
     wal_path: str | None = None,
     journal_path: str | None = None,
     observability: bool = True,
+    clock: Clock | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    lease_ttl_s: float = 300.0,
+    max_redispatches: int = 1,
 ) -> ProteinLab:
     """Assemble the complete protein lab.
 
@@ -367,11 +384,29 @@ def build_protein_lab(
     retries and multi-instance behaviour.  ``observability`` installs
     the ``repro.obs`` hub across every tier (``lab.obs``), including
     the ``/workflow/metrics`` exposition endpoint.
+
+    The resilience knobs feed chaos testing: ``clock`` (typically a
+    ``ManualClock``) drives broker backoff and agent leases without
+    wall-clock sleeps; ``fault_plan`` is attached across WAL, broker,
+    manager and agents; ``retry_policy`` overrides the broker-wide
+    delivery policy; ``lease_ttl_s``/``max_redispatches`` configure
+    the liveness sweep.
     """
     app = build_expdb(wal_path=wal_path)
-    broker = MessageBroker(journal_path=journal_path)
+    broker = MessageBroker(
+        journal_path=journal_path,
+        clock=clock,
+        default_retry_policy=retry_policy,
+    )
     email = EmailTransport()
-    manager = AgentManager(app.db, broker, email=email)
+    manager = AgentManager(
+        app.db,
+        broker,
+        email=email,
+        clock=clock,
+        lease_ttl_s=lease_ttl_s,
+        max_redispatches=max_redispatches,
+    )
     engine = install_workflow_support(app, dispatcher=manager)
     manager.attach_engine(engine)
     lab = ProteinLab(
@@ -385,6 +420,8 @@ def build_protein_lab(
     seed_stock_samples(app)
     build_protein_patterns(app)
     build_protein_agents(lab, seed=seed, failure_rate=failure_rate, colonies=colonies)
+    if fault_plan is not None:
+        lab.attach_faults(fault_plan)
     if observability:
         lab.obs = install_observability(
             expdb=app,

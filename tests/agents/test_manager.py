@@ -10,6 +10,7 @@ from repro.core.dispatch import ENGINE_QUEUE, KIND_DISPATCH, KIND_RESULT
 from repro.core.spec import AgentSpec
 from repro.errors import DispatchError
 from repro.messaging import Connection
+from repro.resilience import NO_RETRY
 from repro.xmlbridge import RelationalDocument
 
 
@@ -95,6 +96,7 @@ class TestInboundPump:
             orphan.pump()
 
     def test_poison_message_recorded_not_fatal(self, msg_lab):
+        msg_lab.broker.set_retry_policy(ENGINE_QUEUE, NO_RETRY)
         producer = Connection(msg_lab.broker).create_producer(ENGINE_QUEUE)
         producer.send("<garbage", headers={"kind": KIND_RESULT})
         producer.send("", headers={"kind": "mystery.kind"})
@@ -102,8 +104,15 @@ class TestInboundPump:
         assert processed == 2
         rejected = msg_lab.engine.events.of_kind("message.rejected")
         assert len(rejected) == 2
-        # The queue is drained; nothing is stuck.
+        assert {event["delivery_count"] for event in rejected} == {1}
+        assert all(event["message_id"] for event in rejected)
+        assert msg_lab.manager.messages_rejected == 2
+        # The queue is drained; nothing is stuck — and nothing dropped:
+        # both poison messages sit in the dead-letter quarantine.
         assert msg_lab.broker.queue_depth(ENGINE_QUEUE) == 0
+        assert msg_lab.broker.dlq_depth() == 2
+        reasons = [entry["reason"] for entry in msg_lab.broker.dead_letters()]
+        assert len(reasons) == 2 and all(reasons)
 
     def test_result_with_unknown_result_column_rejected_not_fatal(self, msg_lab):
         """An agent reporting values for a nonexistent column is a
@@ -118,6 +127,7 @@ class TestInboundPump:
             ),
             "A",
         )
+        msg_lab.broker.set_retry_policy(ENGINE_QUEUE, NO_RETRY)
         msg_lab.define(PatternBuilder("p").task("a", experiment_type="A"))
         workflow = msg_lab.engine.start_workflow("p")
         for request in msg_lab.engine.pending_authorizations():
@@ -126,6 +136,8 @@ class TestInboundPump:
         rejected = msg_lab.engine.events.of_kind("message.rejected")
         assert rejected and "no_such_column" in rejected[-1]["error"]
         assert msg_lab.broker.queue_depth(ENGINE_QUEUE) == 0
+        # Quarantined for inspection, not silently dropped.
+        assert msg_lab.broker.dlq_depth() == 1
         # The failed result rolled back atomically: no orphan samples.
         view = msg_lab.engine.workflow_view(workflow["workflow_id"])
         assert view.tasks["a"].instances[0].state == "active"

@@ -1,0 +1,87 @@
+"""Crash between deliver and ack: journal replay redelivers exactly once.
+
+Also pins the ``receive`` timeout contract: a positive timeout is an
+absolute deadline computed once, not a window that restarts on every
+condition-variable wakeup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.messaging import MessageBroker
+from repro.resilience import FaultPlan, RetryPolicy
+
+
+class TestCrashBetweenDeliverAndAck:
+    def test_redelivered_exactly_once_after_restart(self, tmp_path):
+        journal = tmp_path / "broker.journal"
+        broker = MessageBroker(journal)
+        broker.declare_queue("q")
+        broker.send("q", "in-flight", headers={"kind": "task.result"})
+        broker.attach_faults(FaultPlan().rule("broker.ack", "crash", times=1))
+
+        message = broker.receive("q")
+        assert message is not None and not message.redelivered
+        with pytest.raises(FaultInjected):
+            broker.ack(message)  # the process dies before the ack lands
+        broker.close()
+
+        reopened = MessageBroker(journal)
+        redelivered = reopened.receive("q")
+        assert redelivered is not None
+        assert redelivered.body == "in-flight"
+        assert redelivered.redelivered is True
+        assert redelivered.delivery_count == 2
+        assert reopened.stats.redeliveries == 1
+        assert reopened.receive("q") is None  # exactly once
+
+        reopened.ack(redelivered)
+        reopened.close()
+        final = MessageBroker(journal)
+        assert final.receive("q") is None
+        assert final.stats.redeliveries == 0
+
+    def test_delivery_count_accumulates_across_restarts(self, tmp_path):
+        journal = tmp_path / "broker.journal"
+        broker = MessageBroker(journal)
+        broker.declare_queue("q")
+        broker.send("q", "x")
+        broker.receive("q")  # never acked
+        broker.close()
+        second = MessageBroker(journal)
+        second.receive("q")  # never acked either
+        second.close()
+        third = MessageBroker(journal)
+        message = third.receive("q")
+        assert message.delivery_count == 3
+
+
+class TestReceiveDeadline:
+    def test_positive_timeout_is_a_total_deadline(self):
+        broker = MessageBroker()
+        broker.declare_queue("q")
+        start = time.monotonic()
+        assert broker.receive("q", timeout=0.2) is None
+        elapsed = time.monotonic() - start
+        assert 0.2 <= elapsed < 1.0
+
+    def test_scheduled_messages_do_not_extend_the_deadline(self):
+        """A backoff-held message triggers periodic wakeups; each wakeup
+        must not restart the timeout window."""
+        broker = MessageBroker(
+            default_retry_policy=RetryPolicy(
+                max_deliveries=5, base_delay_s=30.0, multiplier=1.0,
+                max_delay_s=30.0, jitter=0.0,
+            )
+        )
+        broker.declare_queue("q")
+        broker.send("q", "held-back")
+        broker.reject(broker.receive("q"), reason="later")  # 30s backoff
+        start = time.monotonic()
+        assert broker.receive("q", timeout=0.25) is None
+        elapsed = time.monotonic() - start
+        assert 0.25 <= elapsed < 1.0

@@ -1,0 +1,234 @@
+"""Chaos suite: seeded fault plans through full protein-workflow runs.
+
+Five distinct failure modes — WAL write crash, broker crash mid-flight,
+agent silence past its lease, a poison message, and a duplicated
+delivery — each driven by a deterministic :class:`FaultPlan` against the
+complete lab (web LIMS + engine + persistent messaging + agents).  Every
+scenario must end in a *clean* completion or a *clean* failure: the
+audit timeline obeys the Fig. 4 machines (``verify_timeline``), and a
+poison message is always accounted for in the dead-letter queue, never
+dropped.  No scenario sleeps on the wall clock — time is a
+:class:`ManualClock` the tests advance by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dispatch import ENGINE_QUEUE, KIND_RESULT
+from repro.errors import FaultInjected
+from repro.obs import verify_timeline
+from repro.resilience import FaultPlan, ManualClock, RetryPolicy
+from repro.workloads.protein import build_protein_lab
+
+#: Deterministic redelivery: two tries, flat five-second backoff.
+TWO_TRIES = RetryPolicy(
+    max_deliveries=2, base_delay_s=5.0, multiplier=1.0, max_delay_s=5.0, jitter=0.0
+)
+
+
+def chaos_lab(tmp_path=None, **kwargs):
+    clock = ManualClock()
+    lab = build_protein_lab(
+        colonies=25,
+        clock=clock,
+        wal_path=str(tmp_path / "chaos.wal") if tmp_path is not None else None,
+        **kwargs,
+    )
+    return lab, clock
+
+
+def clean_timeline(lab, workflow_id) -> None:
+    records = lab.obs.audit.timeline(workflow_id)
+    assert records, "audit trail must not be empty"
+    assert verify_timeline(records) == []
+
+
+class TestWalCrash:
+    def test_wal_write_crash_degrades_then_recovers(self, tmp_path):
+        """Seed 1: the WAL dies under a workflow start; the request is
+        answered 503-with-Retry-After, and the retry completes fully."""
+        lab, __ = chaos_lab(tmp_path, seed=1)
+        # Every append dies: the first casualty is a best-effort audit
+        # write (absorbed by design), the next is engine state — fatal.
+        plan = FaultPlan(seed=1).rule("wal.append", "crash", times=None)
+        lab.attach_faults(plan)
+
+        denied = lab.app.post(
+            "/user", workflow_action="start", pattern="protein_creation"
+        )
+        assert denied.status == 503
+        assert denied.headers["Retry-After"] == "5"
+        assert "wal.append" in plan.fired_points()
+
+        lab.attach_faults(None)  # the disk comes back
+        retried = lab.app.post(
+            "/user", workflow_action="start", pattern="protein_creation"
+        )
+        assert retried.status == 200
+        workflow_id = retried.attributes["workflow_id"]
+        assert lab.run_to_completion(workflow_id) == "completed"
+        clean_timeline(lab, workflow_id)
+
+
+class TestBrokerCrashMidFlight:
+    def test_unacked_message_redelivered_and_absorbed(self):
+        """Seed 2: the manager dies between applying a result and acking
+        it; after the restart the broker redelivers, and the engine's
+        stale checks absorb the duplicate."""
+        lab, __ = chaos_lab(seed=2)
+        plan = FaultPlan(seed=2).rule(
+            "manager.ack", "crash", times=1, where={"kind": KIND_RESULT}
+        )
+        lab.attach_faults(plan)
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+
+        with pytest.raises(FaultInjected):
+            lab.run_messages()
+        assert lab.broker.in_flight_count() >= 1
+
+        # "Restart": the dead consumer's messages return to their queues.
+        lab.attach_faults(None)
+        assert lab.broker.requeue_all_in_flight() >= 1
+        assert lab.run_to_completion(workflow_id) == "completed"
+        assert lab.broker.stats.redeliveries >= 1
+        stale = lab.engine.events.of_kind("message.stale")
+        assert any(e["message_kind"] == "task.result" for e in stale)
+        assert lab.broker.dlq_depth() == 0
+        clean_timeline(lab, workflow_id)
+
+
+class TestAgentSilence:
+    def test_lease_expiry_redispatches_the_silent_agent(self):
+        """Seed 3: a dispatch to the digestion robot vanishes; the lease
+        sweep notices the silence and re-dispatches."""
+        lab, clock = chaos_lab(seed=3, lease_ttl_s=120.0)
+        plan = FaultPlan(seed=3).rule(
+            "broker.publish", "drop", times=1, where={"queue": "agent.digest-bot"}
+        )
+        lab.attach_faults(plan)
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+
+        lab.run_messages()
+        # Digestion never started; everything else is quiescent.
+        view = lab.engine.workflow_view(workflow_id)
+        assert view.tasks["digestion"].completed_instances == 0
+        assert plan.fired_points() == ["broker.publish"]
+
+        clock.advance(121.0)
+        counts = lab.manager.sweep_leases()
+        assert counts["redispatched"] == 1
+        assert lab.manager.redispatches == 1
+        assert lab.run_to_completion(workflow_id) == "completed"
+        clean_timeline(lab, workflow_id)
+
+    def test_silence_past_budget_fails_cleanly(self):
+        """Seed 4: every dispatch to the robot vanishes; once the
+        redispatch budget is spent the instance aborts through the
+        Fig. 4 machine — the workflow fails instead of hanging."""
+        lab, clock = chaos_lab(seed=4, lease_ttl_s=120.0, max_redispatches=1)
+        plan = FaultPlan(seed=4).rule(
+            "broker.publish", "drop", times=None,
+            where={"queue": "agent.digest-bot"},
+        )
+        lab.attach_faults(plan)
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+
+        lab.run_messages()
+        clock.advance(121.0)
+        assert lab.manager.sweep_leases()["redispatched"] == 1
+        lab.run_messages()
+        clock.advance(121.0)
+        assert lab.manager.sweep_leases()["aborted"] == 1
+        assert lab.manager.lease_aborts == 1
+
+        status = lab.run_to_completion(workflow_id)
+        assert status != "running"  # failed cleanly, no hang
+        view = lab.engine.workflow_view(workflow_id)
+        assert view.tasks["digestion"].state == "aborted"
+        clean_timeline(lab, workflow_id)
+
+
+class TestPoisonMessage:
+    def test_corrupted_result_quarantined_never_dropped(self):
+        """Seed 5: a result message is corrupted in transit; redelivery
+        with backoff retries it, the delivery cap quarantines it, and
+        the operator's cancel fails the workflow cleanly."""
+        lab, clock = chaos_lab(seed=5, retry_policy=TWO_TRIES)
+        plan = FaultPlan(seed=5).rule(
+            "broker.publish", "corrupt", times=1,
+            where={"queue": ENGINE_QUEUE, "kind": KIND_RESULT},
+        )
+        lab.attach_faults(plan)
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+
+        for __ in range(10):
+            lab.run_messages()
+            if lab.broker.dlq_depth():
+                break
+            clock.advance(5.0)  # let the rejection backoff elapse
+        assert lab.broker.dlq_depth() == 1
+        assert lab.manager.messages_rejected == 2  # both delivery attempts
+        (entry,) = lab.broker.dead_letters()
+        assert entry["queue"] == ENGINE_QUEUE
+        assert entry["headers"]["kind"] == KIND_RESULT
+        assert entry["delivery_count"] == 2
+
+        # The lost result leaves its instance undecided; fail over to a
+        # clean operator cancel rather than hanging forever.
+        lab.engine.cancel_workflow(workflow_id, by="operator")
+        assert lab.app.db.get("Workflow", workflow_id)["status"] == "aborted"
+        assert lab.broker.dlq_depth() == 1  # still accounted for
+        dead_letters = [
+            record
+            for record in lab.obs.audit.query(kind="message.dead_letter")[1]
+        ]
+        assert dead_letters
+        clean_timeline(lab, workflow_id)
+
+
+class TestDuplicateDelivery:
+    def test_duplicated_result_absorbed_exactly_once(self):
+        """Seed 6: a result message is duplicated on publish; the engine
+        applies one copy and records the other as stale — state changes
+        exactly once and nothing is dead-lettered."""
+        lab, __ = chaos_lab(seed=6)
+        plan = FaultPlan(seed=6).rule(
+            "broker.publish", "duplicate", times=1,
+            where={"queue": ENGINE_QUEUE, "kind": KIND_RESULT},
+        )
+        lab.attach_faults(plan)
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+
+        assert lab.run_to_completion(workflow_id) == "completed"
+        stale = lab.engine.events.of_kind("message.stale")
+        assert any(e["message_kind"] == "task.result" for e in stale)
+        assert lab.broker.dlq_depth() == 0
+        assert lab.manager.messages_rejected == 0
+        clean_timeline(lab, workflow_id)
+
+
+class TestDeterminism:
+    def test_same_plan_same_outcome(self):
+        """The same seed and plan replay the same faults and reach the
+        same final state — what makes chaos results debuggable."""
+
+        def run() -> tuple[list[str], dict[str, str]]:
+            lab, clock = chaos_lab(seed=7, retry_policy=TWO_TRIES)
+            plan = FaultPlan(seed=7).rule(
+                "broker.deliver", "drop", times=None, probability=0.2,
+                where={"queue": ENGINE_QUEUE},
+            )
+            lab.attach_faults(plan)
+            workflow = lab.engine.start_workflow("protein_creation")
+            lab.run_to_completion(workflow["workflow_id"])
+            view = lab.engine.workflow_view(workflow["workflow_id"])
+            states = {name: task.state for name, task in view.tasks.items()}
+            return plan.fired_points(), states
+
+        assert run() == run()

@@ -1,0 +1,170 @@
+"""Graceful degradation: the filter when the workflow machinery is down."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DegradationPolicy,
+    PatternBuilder,
+    install_workflow_support,
+)
+from repro.core.persistence import save_pattern
+from repro.errors import DatabaseError, MessagingError
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.obs import ObservabilityHub, hub_readiness
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import add_experiment_type
+
+
+def wire(degradation: DegradationPolicy | None = None):
+    app = build_expdb()
+    engine = install_workflow_support(app, degradation=degradation)
+    add_experiment_type(app.db, "A", [Column("reading", ColumnType.REAL)])
+    pattern = (
+        PatternBuilder("flow")
+        .task("a", experiment_type="A")
+        .task("b", experiment_type="A")
+        .flow("a", "b")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    return app, engine, app.container.context["workflow_filter"]
+
+
+class TestPolicy:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="degradation mode"):
+            DegradationPolicy(mode="explode")
+
+    def test_defaults(self):
+        policy = DegradationPolicy()
+        assert policy.mode == "reject"
+        assert policy.retry_after_s == 5
+
+
+class TestRejectMode:
+    def test_no_probe_means_ready(self):
+        app, __, filter_ = wire()
+        assert filter_.readiness is None
+        response = app.post("/user", action="insert", table="A", v_reading="1")
+        assert response.status == 200
+        assert filter_.stats.degraded == 0
+
+    def test_workflow_relevant_write_rejected_with_retry_after(self):
+        app, engine, filter_ = wire()
+        filter_.readiness = lambda: (False, "broker unreachable")
+        response = app.post("/user", action="insert", table="A", v_reading="1")
+        assert response.status == 503
+        assert response.headers["Retry-After"] == "5"
+        assert "broker unreachable" in response.body
+        assert app.db.count("A") == 0  # nothing reached the LIMS
+        assert filter_.stats.degraded == 1
+        degraded = engine.events.of_kind("request.degraded")
+        assert degraded and "broker unreachable" in degraded[-1]["reason"]
+
+    def test_irrelevant_requests_still_pass_through(self):
+        app, __, filter_ = wire()
+        filter_.readiness = lambda: (False, "down")
+        response = app.get("/user", action="list")
+        assert response.status == 200
+        assert filter_.stats.passed_through == 1
+        assert filter_.stats.degraded == 0
+
+    def test_mode_b_rejected_while_degraded(self):
+        app, __, filter_ = wire()
+        filter_.readiness = lambda: (False, "engine wedged")
+        response = app.post("/user", workflow_action="start", pattern="flow")
+        assert response.status == 503
+        assert filter_.stats.processed == 0
+
+    def test_probe_crash_counts_as_not_ready(self):
+        app, __, filter_ = wire()
+
+        def bad_probe():
+            raise DatabaseError("health query failed")
+
+        filter_.readiness = bad_probe
+        response = app.post("/user", action="insert", table="A", v_reading="1")
+        assert response.status == 503
+        assert "health query failed" in response.body
+
+    def test_retry_after_configurable(self):
+        app, __, filter_ = wire(DegradationPolicy(retry_after_s=42))
+        filter_.readiness = lambda: (False, "down")
+        response = app.post("/user", action="insert", table="A", v_reading="1")
+        assert response.headers["Retry-After"] == "42"
+
+    def test_mode_b_servlet_failure_degrades_not_500(self, monkeypatch):
+        app, __, filter_ = wire()
+
+        def boom(request, container):
+            raise MessagingError("broker send failed")
+
+        monkeypatch.setattr(filter_.workflow_servlet, "service", boom)
+        response = app.post("/user", workflow_action="start", pattern="flow")
+        assert response.status == 503
+        assert filter_.stats.degraded == 1
+
+
+class TestPassthroughMode:
+    def test_relevant_write_forwarded_to_bare_lims(self):
+        app, __, filter_ = wire(DegradationPolicy(mode="passthrough"))
+        filter_.readiness = lambda: (False, "down")
+        response = app.post("/user", action="insert", table="A", v_reading="1")
+        assert response.status == 200
+        assert app.db.count("A") == 1  # Exp-DB worked as if Exp-WF were gone
+        assert filter_.stats.degraded == 1
+        assert filter_.stats.preprocessed == 0  # no validation happened
+
+    def test_mode_b_still_rejected(self):
+        """A workflow action has no original destination to fall back to."""
+        app, __, filter_ = wire(DegradationPolicy(mode="passthrough"))
+        filter_.readiness = lambda: (False, "down")
+        response = app.post("/user", workflow_action="start", pattern="flow")
+        assert response.status == 503
+
+
+class TestPostprocessDegradation:
+    def test_successful_write_never_masked(self, monkeypatch):
+        """Mode (c) failure appends a notice; the 200 stands."""
+        app, engine, filter_ = wire()
+
+        def boom(table, attributes):
+            raise MessagingError("broker gone mid-postprocess")
+
+        monkeypatch.setattr(engine, "on_data_change", boom)
+        response = app.post("/user", action="insert", table="A", v_reading="1")
+        assert response.status == 200
+        assert app.db.count("A") == 1
+        assert filter_.stats.degraded == 1
+        notices = response.attributes.get("workflow_notices", [])
+        assert any("workflow manager unavailable" in n for n in notices)
+
+
+class TestHubReadiness:
+    def hub_with(self, statuses: dict[str, str]) -> ObservabilityHub:
+        hub = ObservabilityHub()
+        for component, status in statuses.items():
+            hub.register_health(component, lambda status=status: {"status": status})
+        return hub
+
+    def test_ready_when_all_ok(self):
+        hub = self.hub_with({"database": "ok", "engine": "ok", "broker": "ok"})
+        assert hub_readiness(hub) == (True, "")
+
+    def test_absent_components_do_not_count(self):
+        """A filter-only deployment has no broker to be unhealthy."""
+        hub = self.hub_with({"database": "ok"})
+        assert hub_readiness(hub) == (True, "")
+
+    def test_unhealthy_component_blocks_readiness(self):
+        hub = self.hub_with({"database": "ok", "broker": "degraded"})
+        ready, reason = hub_readiness(hub)
+        assert not ready
+        assert "broker=degraded" in reason
+
+    def test_non_core_components_ignored(self):
+        hub = self.hub_with({"email": "down", "database": "ok"})
+        assert hub_readiness(hub)[0] is True

@@ -1,0 +1,209 @@
+"""Rejection, backoff redelivery, dead-lettering and DLQ operations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DeadLetterError
+from repro.messaging import MessageBroker
+from repro.resilience import ManualClock, NO_RETRY, RetryPolicy
+from repro.weblims.dlqservlet import DeadLetterServlet
+from repro.weblims.http import HttpRequest
+
+#: Deterministic backoff for schedule assertions.
+FLAT = RetryPolicy(
+    max_deliveries=3, base_delay_s=10.0, multiplier=1.0, max_delay_s=10.0, jitter=0.0
+)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def broker(clock):
+    broker = MessageBroker(clock=clock, default_retry_policy=FLAT)
+    broker.declare_queue("q")
+    return broker
+
+
+class TestRejectBackoff:
+    def test_rejected_message_is_invisible_until_backoff_elapses(
+        self, broker, clock
+    ):
+        broker.send("q", "wobbly")
+        message = broker.receive("q")
+        assert broker.reject(message, reason="transient") is True
+        assert broker.queue_depth("q") == 1
+        assert broker.receive("q") is None  # backoff holds it back
+        clock.advance(10.0)
+        redelivered = broker.receive("q")
+        assert redelivered is not None
+        assert redelivered.redelivered
+        assert redelivered.delivery_count == 2
+        assert broker.stats.redeliveries == 1
+
+    def test_per_queue_policy_overrides_default(self, broker):
+        broker.set_retry_policy("q", NO_RETRY)
+        assert broker.retry_policy("q") is NO_RETRY
+        broker.send("q", "poison")
+        message = broker.receive("q")
+        assert broker.reject(message, reason="bad xml") is False
+        assert broker.dlq_depth() == 1
+        assert broker.queue_depth("q") == 0
+
+    def test_exhaustion_dead_letters_never_drops(self, broker, clock):
+        broker.send("q", "poison")
+        for expected_count in (1, 2, 3):
+            message = broker.receive("q")
+            assert message is not None
+            assert message.delivery_count == expected_count
+            will_retry = broker.reject(message, reason=f"try {expected_count}")
+            clock.advance(10.0)
+        assert will_retry is False
+        assert broker.queue_depth("q") == 0
+        assert broker.dlq_depth() == 1
+        assert broker.stats.rejections == 3
+        assert broker.stats.dead_lettered == 1
+        entry = broker.dead_letters()[0]
+        assert entry["queue"] == "q"
+        assert entry["reason"] == "try 3"
+        assert entry["delivery_count"] == 3
+
+    def test_reject_requires_in_flight(self, broker):
+        message = broker.send("q", "x")
+        from repro.errors import AcknowledgeError
+
+        with pytest.raises(AcknowledgeError):
+            broker.reject(message)
+
+
+class TestRequeueDead:
+    def quarantine(self, broker) -> int:
+        broker.set_retry_policy("q", NO_RETRY)
+        broker.send("q", "poison", headers={"kind": "result"})
+        message = broker.receive("q")
+        broker.reject(message, reason="parse error")
+        return message.message_id
+
+    def test_requeue_resets_delivery_state(self, broker):
+        message_id = self.quarantine(broker)
+        requeued = broker.requeue_dead(message_id)
+        assert requeued.message_id == message_id
+        assert requeued.delivery_count == 0
+        assert broker.dlq_depth() == 0
+        fresh = broker.receive("q")
+        assert fresh is not None
+        assert not fresh.redelivered
+        assert broker.stats.dlq_requeued == 1
+
+    def test_unknown_id_raises(self, broker):
+        with pytest.raises(DeadLetterError):
+            broker.requeue_dead(999)
+
+
+class TestDlqDurability:
+    def test_dead_letters_survive_restart(self, tmp_path):
+        journal = tmp_path / "broker.journal"
+        broker = MessageBroker(journal)
+        broker.declare_queue("q")
+        broker.set_retry_policy("q", NO_RETRY)
+        broker.send("q", "poison")
+        message = broker.receive("q")
+        broker.reject(message, reason="bad payload")
+        broker.close()
+
+        reopened = MessageBroker(journal)
+        assert reopened.queue_depth("q") == 0
+        assert reopened.dlq_depth() == 1
+        entry = reopened.dead_letters()[0]
+        assert entry["reason"] == "bad payload"
+        assert entry["message_id"] == message.message_id
+
+    def test_requeue_survives_restart(self, tmp_path):
+        journal = tmp_path / "broker.journal"
+        broker = MessageBroker(journal)
+        broker.declare_queue("q")
+        broker.set_retry_policy("q", NO_RETRY)
+        broker.send("q", "poison")
+        broker.reject(broker.receive("q"), reason="oops")
+        broker.requeue_dead(broker.dead_letters()[0]["message_id"])
+        broker.close()
+
+        reopened = MessageBroker(journal)
+        assert reopened.dlq_depth() == 0
+        assert reopened.queue_depth("q") == 1
+        assert reopened.receive("q").body == "poison"
+
+
+class TestDeadLetterServlet:
+    def quarantined_broker(self) -> MessageBroker:
+        broker = MessageBroker(default_retry_policy=NO_RETRY)
+        broker.declare_queue("q")
+        broker.send("q", "poison", headers={"kind": "task.result"})
+        broker.reject(broker.receive("q"), reason="parse error")
+        return broker
+
+    def test_get_lists_quarantine(self):
+        broker = self.quarantined_broker()
+        servlet = DeadLetterServlet(broker)
+        response = servlet.do_get(
+            HttpRequest("GET", "/workflow/dlq"), container=None
+        )
+        assert response.status == 200
+        data = json.loads(response.body)
+        assert data["depth"] == 1
+        assert data["dead_lettered_total"] == 1
+        assert data["messages"][0]["reason"] == "parse error"
+        assert data["messages"][0]["headers"]["kind"] == "task.result"
+
+    def test_post_requeues(self):
+        broker = self.quarantined_broker()
+        servlet = DeadLetterServlet(broker)
+        message_id = broker.dead_letters()[0]["message_id"]
+        response = servlet.do_post(
+            HttpRequest(
+                "POST",
+                "/workflow/dlq",
+                params={
+                    "dlq_action": "requeue",
+                    "message_id": str(message_id),
+                },
+            ),
+            container=None,
+        )
+        assert response.status == 200
+        data = json.loads(response.body)
+        assert data["requeued"] == message_id
+        assert data["depth"] == 0
+        assert broker.queue_depth("q") == 1
+
+    def test_post_validates_action_and_id(self):
+        broker = self.quarantined_broker()
+        servlet = DeadLetterServlet(broker)
+        bad_action = servlet.do_post(
+            HttpRequest("POST", "/workflow/dlq", params={"dlq_action": "drop"}),
+            container=None,
+        )
+        assert bad_action.status == 400
+        bad_id = servlet.do_post(
+            HttpRequest(
+                "POST",
+                "/workflow/dlq",
+                params={"dlq_action": "requeue", "message_id": "nope"},
+            ),
+            container=None,
+        )
+        assert bad_id.status == 400
+        missing = servlet.do_post(
+            HttpRequest(
+                "POST",
+                "/workflow/dlq",
+                params={"dlq_action": "requeue", "message_id": "424242"},
+            ),
+            container=None,
+        )
+        assert missing.status == 404

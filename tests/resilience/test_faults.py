@@ -1,0 +1,134 @@
+"""The fault-injection substrate: rules, matching, seeding, actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.resilience import FaultPlan, FaultRule, ManualClock, fire, mangle
+
+
+class TestFaultRule:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule("broker.publish", "explode")
+
+    def test_point_is_a_glob(self):
+        rule = FaultRule("broker.*", "drop")
+        assert rule.matches("broker.publish", {})
+        assert rule.matches("broker.ack", {})
+        assert not rule.matches("wal.append", {})
+
+    def test_where_filters_on_context_equality(self):
+        rule = FaultRule("broker.publish", "drop", where={"queue": "q1"})
+        assert rule.matches("broker.publish", {"queue": "q1"})
+        assert not rule.matches("broker.publish", {"queue": "q2"})
+        assert not rule.matches("broker.publish", {})
+
+
+class TestFaultPlan:
+    def test_first_match_wins(self):
+        plan = (
+            FaultPlan()
+            .rule("broker.*", "drop")
+            .rule("broker.publish", "crash")
+        )
+        assert plan.fire("broker.publish").action == "drop"
+
+    def test_times_budget(self):
+        plan = FaultPlan().rule("p", "drop", times=2)
+        assert plan.fire("p") is not None
+        assert plan.fire("p") is not None
+        assert plan.fire("p") is None
+        assert plan.rules[0].exhausted
+
+    def test_after_skips_initial_matches(self):
+        plan = FaultPlan().rule("p", "drop", after=2, times=1)
+        assert plan.fire("p") is None
+        assert plan.fire("p") is None
+        assert plan.fire("p") is not None
+        assert plan.fire("p") is None  # times spent
+
+    def test_unlimited_times(self):
+        plan = FaultPlan().rule("p", "drop", times=None)
+        for __ in range(10):
+            assert plan.fire("p") is not None
+
+    def test_probability_is_seeded_and_reproducible(self):
+        def firings(seed: int) -> list[bool]:
+            plan = FaultPlan(seed=seed).rule(
+                "p", "drop", times=None, probability=0.5
+            )
+            return [plan.fire("p") is not None for __ in range(50)]
+
+        first = firings(42)
+        assert first == firings(42)
+        assert True in first and False in first
+        assert first != firings(43)
+
+    def test_history_records_applied_faults(self):
+        plan = FaultPlan().rule("p", "drop", where={"queue": "q"})
+        plan.fire("p", queue="q")
+        assert plan.history == [("p", "drop", {"queue": "q"})]
+        assert plan.fired_points() == ["p"]
+
+
+class TestFireHelper:
+    def test_none_plan_is_a_noop(self):
+        assert fire(None, "anything") is None
+
+    def test_crash_raises_fault_injected(self):
+        plan = FaultPlan().rule("p", "crash", note="simulated death")
+        with pytest.raises(FaultInjected) as excinfo:
+            fire(plan, "p")
+        assert excinfo.value.point == "p"
+        assert "simulated death" in str(excinfo.value)
+
+    def test_delay_advances_the_plan_clock(self):
+        clock = ManualClock()
+        plan = FaultPlan(clock=clock).rule("p", "delay", delay_s=2.5)
+        before = clock.monotonic()
+        assert fire(plan, "p") is None  # execution continues
+        assert clock.monotonic() == before + 2.5
+
+    def test_caller_actions_returned_verbatim(self):
+        plan = (
+            FaultPlan()
+            .rule("a", "drop")
+            .rule("b", "duplicate")
+            .rule("c", "corrupt")
+        )
+        assert fire(plan, "a") == "drop"
+        assert fire(plan, "b") == "duplicate"
+        assert fire(plan, "c") == "corrupt"
+
+    def test_no_matching_rule_returns_none(self):
+        plan = FaultPlan().rule("other", "drop")
+        assert fire(plan, "p") is None
+
+
+class TestMangle:
+    def test_deterministic(self):
+        assert mangle("<result>ok</result>") == mangle("<result>ok</result>")
+
+    def test_output_is_poison_for_xml_and_json(self):
+        corrupted = mangle('{"fine": true}')
+        assert "\x00" in corrupted
+        assert corrupted.endswith("<corrupted/>")
+
+    def test_truncates_at_midpoint(self):
+        body = "x" * 100
+        assert mangle(body).startswith("x" * 50)
+        assert "x" * 51 not in mangle(body)
+
+
+class TestManualClock:
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = ManualClock(start=10.0)
+        clock.sleep(5.0)
+        assert clock.now() == 15.0
+        assert clock.monotonic() == 15.0
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)

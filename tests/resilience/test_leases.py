@@ -1,0 +1,210 @@
+"""Agent liveness leases: grant/renew/expiry, sweep, dispatch breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AgentManager
+from repro.core import InstanceState, PatternBuilder, install_workflow_support
+from repro.core.dispatch import ENGINE_QUEUE, KIND_STARTED
+from repro.core.persistence import authorize_agent, register_agent, save_pattern
+from repro.core.spec import AgentSpec
+from repro.messaging import MessageBroker
+from repro.minidb.schema import Column
+from repro.minidb.types import ColumnType
+from repro.resilience import FaultPlan, LeaseTable, ManualClock
+from repro.weblims import build_expdb
+from repro.weblims.schema_setup import add_experiment_type
+
+
+class TestLeaseTable:
+    def test_grant_renew_release(self):
+        clock = ManualClock()
+        table = LeaseTable(clock=clock, ttl_s=60.0)
+        lease = table.grant(1, workflow_id=9, task="a", agent="bot")
+        assert lease.remaining(clock.monotonic()) == 60.0
+        clock.advance(50.0)
+        renewed = table.renew(1)
+        assert renewed is not None and renewed.renewals == 1
+        assert renewed.remaining(clock.monotonic()) == 60.0
+        assert table.active_count() == 1
+        released = table.release(1)
+        assert released is lease
+        assert table.active_count() == 0
+        assert table.renew(1) is None
+        assert table.release(1) is None
+
+    def test_expired_sorted_oldest_first(self):
+        clock = ManualClock()
+        table = LeaseTable(clock=clock, ttl_s=10.0)
+        table.grant(1)
+        clock.advance(5.0)
+        table.grant(2)
+        clock.advance(10.0)  # both overdue, lease 1 first
+        assert [lease.experiment_id for lease in table.expired()] == [1, 2]
+        assert table.expired(now=clock.monotonic() - 6.0) == []
+
+    def test_regrant_preserves_redispatch_budget(self):
+        table = LeaseTable(clock=ManualClock(), ttl_s=10.0)
+        table.grant(1, agent="first-bot")
+        assert table.note_redispatch(1) == 1
+        regranted = table.grant(1, agent="other-bot")
+        assert regranted.redispatches == 1
+        assert table.note_redispatch(404) == 0
+
+    def test_snapshot_reports_expiry(self):
+        clock = ManualClock()
+        table = LeaseTable(clock=clock, ttl_s=10.0)
+        table.grant(1, task="a", agent="bot", queue="agent.bot")
+        clock.advance(11.0)
+        (row,) = table.snapshot()
+        assert row["expired"] is True
+        assert row["task"] == "a"
+        assert row["remaining_s"] == -1.0
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            LeaseTable(ttl_s=0)
+
+
+@pytest.fixture
+def lease_lab():
+    """A single-task lab whose only agent never answers."""
+    clock = ManualClock()
+    app = build_expdb()
+    broker = MessageBroker(clock=clock)
+    manager = AgentManager(
+        app.db,
+        broker,
+        clock=clock,
+        lease_ttl_s=60.0,
+        max_redispatches=1,
+        breaker_threshold=2,
+        breaker_reset_s=30.0,
+    )
+    engine = install_workflow_support(app, dispatcher=manager)
+    manager.attach_engine(engine)
+    add_experiment_type(app.db, "A", [Column("reading", ColumnType.REAL)])
+    add_experiment_type(app.db, "B", [])
+    spec = AgentSpec("silent-bot", "robot")
+    register_agent(app.db, spec)
+    authorize_agent(app.db, "silent-bot", "A")
+    pattern = (
+        PatternBuilder("solo")
+        .task("a", experiment_type="A")
+        .task("b", experiment_type="B")
+        .flow("a", "b")
+        .build(db=app.db)
+    )
+    save_pattern(app.db, pattern)
+    return app, engine, manager, broker, clock
+
+
+class TestSweep:
+    def start(self, engine):
+        workflow = engine.start_workflow("solo")
+        view = engine.workflow_view(workflow["workflow_id"])
+        return workflow["workflow_id"], view.tasks["a"].instances[0].experiment_id
+
+    def test_dispatch_grants_a_lease(self, lease_lab):
+        __, engine, manager, ___, ____ = lease_lab
+        ___, experiment_id = self.start(engine)
+        lease = manager.leases.get(experiment_id)
+        assert lease is not None
+        assert lease.agent == "silent-bot"
+        assert lease.queue == "agent.silent-bot"
+        assert manager.dispatch_count == 1
+
+    def test_fresh_lease_not_swept(self, lease_lab):
+        __, engine, manager, ___, ____ = lease_lab
+        self.start(engine)
+        assert manager.sweep_leases() == {
+            "redispatched": 0,
+            "aborted": 0,
+            "released": 0,
+        }
+
+    def test_expiry_redispatches_within_budget(self, lease_lab):
+        __, engine, manager, broker, clock = lease_lab
+        ___, experiment_id = self.start(engine)
+        clock.advance(61.0)
+        counts = manager.sweep_leases()
+        assert counts["redispatched"] == 1
+        assert manager.redispatches == 1
+        assert manager.leases.expiries == 1
+        # A second dispatch went out and a fresh lease covers it.
+        assert manager.dispatch_count == 2
+        assert broker.queue_depth("agent.silent-bot") == 2
+        lease = manager.leases.get(experiment_id)
+        assert lease is not None and lease.redispatches == 1
+        assert engine.events.of_kind("lease.redispatch")
+
+    def test_budget_spent_aborts_cleanly(self, lease_lab):
+        app, engine, manager, __, clock = lease_lab
+        workflow_id, experiment_id = self.start(engine)
+        clock.advance(61.0)
+        manager.sweep_leases()  # redispatch
+        clock.advance(61.0)
+        counts = manager.sweep_leases()  # budget spent: abort
+        assert counts["aborted"] == 1
+        assert manager.lease_aborts == 1
+        assert manager.leases.get(experiment_id) is None
+        experiment = app.db.get("Experiment", experiment_id)
+        assert experiment["wf_state"] == InstanceState.ABORTED.value
+        # The Fig. 4 machinery fails the workflow instead of hanging it.
+        assert app.db.get("Workflow", workflow_id)["status"] == "aborted"
+        assert engine.events.of_kind("lease.abort")
+
+    def test_started_message_renews_the_lease(self, lease_lab):
+        __, engine, manager, broker, clock = lease_lab
+        ___, experiment_id = self.start(engine)
+        clock.advance(50.0)
+        broker.send(
+            ENGINE_QUEUE,
+            "",
+            headers={"kind": KIND_STARTED, "experiment_id": experiment_id},
+        )
+        manager.pump()
+        lease = manager.leases.get(experiment_id)
+        assert lease is not None and lease.renewals == 1
+        clock.advance(50.0)  # past the original deadline, not the renewed
+        assert manager.sweep_leases()["redispatched"] == 0
+
+    def test_stale_lease_released_quietly(self, lease_lab):
+        __, engine, manager, ___, clock = lease_lab
+        ____, experiment_id = self.start(engine)
+        # Decided another way (a human raced the robot in the web UI).
+        engine.complete_instance(experiment_id, success=True)
+        clock.advance(61.0)
+        counts = manager.sweep_leases()
+        assert counts == {"redispatched": 0, "aborted": 0, "released": 1}
+        assert manager.leases.expiries == 0
+        assert manager.leases.get(experiment_id) is None
+
+
+class TestDispatchBreaker:
+    def test_failures_trip_then_short_circuit(self, lease_lab):
+        __, engine, manager, ___, ____ = lease_lab
+        manager.faults = FaultPlan().rule("agent.dispatch", "crash", times=None)
+        for ___ in range(3):
+            engine.start_workflow("solo")
+        # Threshold 2: two recorded failures, the third short-circuits.
+        assert manager.dispatch_failures == 2
+        assert manager.breaker_short_circuits == 1
+        snapshot = manager.breaker_snapshots()["agent.silent-bot"]
+        assert snapshot["state"] == "open"
+        assert engine.events.of_kind("dispatch.failed")
+        assert engine.events.of_kind("dispatch.skipped")
+        # Every instance still holds a lease: the sweep will recover them.
+        assert manager.leases.active_count() == 3
+
+    def test_breaker_probe_recovers_after_cooldown(self, lease_lab):
+        __, engine, manager, ___, clock = lease_lab
+        manager.faults = FaultPlan().rule("agent.dispatch", "crash", times=2)
+        engine.start_workflow("solo")
+        engine.start_workflow("solo")
+        assert manager.breaker_snapshots()["agent.silent-bot"]["state"] == "open"
+        clock.advance(31.0)  # past breaker_reset_s; faults exhausted
+        engine.start_workflow("solo")
+        assert manager.dispatch_count == 1
+        assert manager.breaker_snapshots()["agent.silent-bot"]["state"] == "closed"

@@ -1,0 +1,144 @@
+"""Retry policies and the dispatch circuit breaker (no wall-clock)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    NO_RETRY,
+    OPEN,
+    STATE_CODES,
+    CircuitBreaker,
+    ManualClock,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_deliveries=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_exhausted_at_cap(self):
+        policy = RetryPolicy(max_deliveries=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=2.0, max_delay_s=100.0, jitter=0.0
+        )
+        rng = random.Random(0)
+        assert policy.backoff(1, rng) == 1.0
+        assert policy.backoff(2, rng) == 2.0
+        assert policy.backoff(3, rng) == 4.0
+
+    def test_backoff_clamped_to_max(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, max_delay_s=5.0, jitter=0.0
+        )
+        assert policy.backoff(4, random.Random(0)) == 5.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=1.0, max_delay_s=10.0, jitter=0.2
+        )
+        rng = random.Random(7)
+        samples = [policy.backoff(1, rng) for __ in range(200)]
+        assert all(0.8 <= sample <= 1.2 for sample in samples)
+        assert len(set(samples)) > 1
+
+    def test_no_retry_dead_letters_immediately(self):
+        assert NO_RETRY.exhausted(1)
+
+    def test_frozen_value_object(self):
+        with pytest.raises(AttributeError):
+            RetryPolicy().max_deliveries = 2  # type: ignore[misc]
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs) -> tuple[CircuitBreaker, ManualClock]:
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=kwargs.pop("failure_threshold", 3),
+            reset_timeout_s=kwargs.pop("reset_timeout_s", 30.0),
+            clock=clock,
+            **kwargs,
+        )
+        return breaker, clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, __ = self.make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, __ = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, __ = self.make(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_admits_a_half_open_probe(self):
+        breaker, clock = self.make(failure_threshold=1, reset_timeout_s=30.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(29.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe at a time
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(failure_threshold=1)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make(failure_threshold=1)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(29.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_snapshot_and_state_codes(self):
+        breaker, __ = self.make(failure_threshold=1)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == OPEN
+        assert snapshot["trips"] == 1
+        assert snapshot["consecutive_failures"] == 1
+        assert STATE_CODES[snapshot["state"]] == 2
+        assert sorted(STATE_CODES.values()) == [0, 1, 2]
