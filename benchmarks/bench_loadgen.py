@@ -1,0 +1,378 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the hot-path throughput layer.
+
+Two experiments, both reported to ``BENCH_perf.json``:
+
+``insert_throughput``
+    N concurrent committers insert rows through a WAL-backed database
+    under each sync policy.  ``group`` must clear >= 3x the ``always``
+    throughput — the whole point of sharing fsync barriers — and the
+    per-policy fsync counts make the mechanism visible.
+
+``closed_loop``
+    >= 8 concurrent clients drive start_workflow-shaped requests through
+    the full filter -> engine -> broker -> agent path of the protein lab
+    (a background pump plays the agent pool).  Run twice — caches
+    bypassed (*before*) and enabled (*after*) — reporting throughput,
+    request p50/p95/p99, and the ``repro.obs`` histograms for db-commit
+    and queue-wait latency.
+
+``--small`` shrinks both experiments for CI smoke use; results land in
+a per-mode section so small runs never clobber full-run numbers.
+``--check`` compares the fresh run against the committed baseline for
+the same mode and exits 1 on a >20 % throughput regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.minidb import Column, ColumnType, Database, TableSchema
+from repro.workloads.protein import build_protein_lab
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_perf.json"
+REGRESSION_TOLERANCE = 0.8  # --check fails below 80 % of baseline
+
+MODES = {
+    # (insert threads, inserts/thread, clients, requests/client)
+    "small": (24, 25, 8, 2),
+    "full": (24, 200, 10, 6),
+}
+
+
+def percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: insert-transaction throughput per sync policy
+# ----------------------------------------------------------------------
+
+
+def load_row_schema() -> TableSchema:
+    return TableSchema(
+        name="LoadRow",
+        columns=[
+            Column("row_id", ColumnType.INTEGER, nullable=False),
+            Column("payload", ColumnType.TEXT, nullable=False),
+        ],
+        primary_key=("row_id",),
+        autoincrement="row_id",
+    )
+
+
+def run_insert_load(
+    sync_policy: str, threads: int, inserts_per_thread: int
+) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        db = Database(
+            Path(tmp) / "bench.wal",
+            sync_policy=sync_policy,
+            # The straggler window trades sub-millisecond commit latency
+            # for batch depth: long enough for every concurrent
+            # committer to join the leader's barrier, short enough that
+            # the fsync still dominates the cycle on a slow disk.
+            group_window_s=0.0005 if sync_policy == "group" else 0.0,
+        )
+        db.create_table(load_row_schema())
+        barrier = threading.Barrier(threads + 1)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for i in range(inserts_per_thread):
+                db.insert("LoadRow", {"payload": f"w{worker_id}-{i}"})
+
+        pool = [
+            threading.Thread(target=worker, args=(n,)) for n in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        info = db.wal_info()
+        db.close()
+    total = threads * inserts_per_thread
+    return {
+        "sync_policy": sync_policy,
+        "threads": threads,
+        "inserts": total,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_per_s": round(total / elapsed, 1),
+        "fsyncs": info["fsyncs"],
+        "appended_records": info["appended_records"],
+    }
+
+
+def bench_insert_throughput(
+    threads: int, inserts_per_thread: int, trials: int = 3
+) -> dict:
+    results = {}
+    for policy in ("always", "group", "off"):
+        # Best of N damps scheduler noise; each trial is a fresh WAL.
+        runs = [
+            run_insert_load(policy, threads, inserts_per_thread)
+            for __ in range(trials)
+        ]
+        results[policy] = max(runs, key=lambda r: r["throughput_per_s"])
+    always = results["always"]["throughput_per_s"]
+    group = results["group"]["throughput_per_s"]
+    results["group_vs_always_speedup"] = round(group / always, 2)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Experiment 2: closed-loop start_workflow load through the full stack
+# ----------------------------------------------------------------------
+
+
+def run_closed_loop(
+    clients: int, requests_per_client: int, caches_enabled: bool
+) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        lab = build_protein_lab(
+            wal_path=str(Path(tmp) / "lab.wal"),
+            journal_path=str(Path(tmp) / "broker.journal"),
+            sync_policy="group",
+        )
+        db = lab.app.db
+        if not caches_enabled:
+            db.plan_cache_enabled = False
+            lab.engine.specs.enabled = False
+
+        latencies_ms: list[float] = []
+        failures = 0
+        collect = threading.Lock()
+        stop = threading.Event()
+        barrier = threading.Barrier(clients + 1)
+
+        def pump() -> None:
+            # Plays the agent pool: drain dispatches while clients load.
+            while not stop.is_set():
+                try:
+                    moved = lab.run_messages()
+                except Exception:
+                    moved = 0
+                if moved == 0:
+                    time.sleep(0.001)
+
+        def client(client_id: int) -> None:
+            nonlocal failures
+            barrier.wait()
+            local: list[float] = []
+            bad = 0
+            for __ in range(requests_per_client):
+                t0 = time.perf_counter()
+                response = lab.app.post(
+                    "/user",
+                    workflow_action="start",
+                    pattern="protein_creation",
+                )
+                local.append((time.perf_counter() - t0) * 1000.0)
+                if not response.ok:
+                    bad += 1
+            with collect:
+                latencies_ms.extend(local)
+                failures += bad
+
+        pump_thread = threading.Thread(target=pump, daemon=True)
+        pump_thread.start()
+        pool = [
+            threading.Thread(target=client, args=(n,)) for n in range(clients)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stop.set()
+        pump_thread.join()
+        lab.run_messages()  # settle outstanding dispatches
+
+        registry = lab.obs.registry
+        observed = {
+            name: {
+                f"p{int(q * 100)}": round(
+                    registry.family_quantile(name, q), 3
+                )
+                for q in (0.5, 0.95, 0.99)
+            }
+            for name in ("db_commit_latency_ms", "broker_receive_wait_ms")
+        }
+        total = clients * requests_per_client
+        result = {
+            "caches_enabled": caches_enabled,
+            "clients": clients,
+            "requests": total,
+            "failures": failures,
+            "elapsed_s": round(elapsed, 4),
+            "throughput_per_s": round(total / elapsed, 1),
+            "latency_ms": {
+                "p50": round(percentile(latencies_ms, 0.50), 3),
+                "p95": round(percentile(latencies_ms, 0.95), 3),
+                "p99": round(percentile(latencies_ms, 0.99), 3),
+            },
+            "observed": observed,
+            "plan_cache": {
+                "hits": db.stats.plan_cache_hits,
+                "misses": db.stats.plan_cache_misses,
+            },
+            "spec_cache": lab.engine.specs.info(),
+        }
+        db.close()
+        lab.broker.close()
+    return result
+
+
+def bench_closed_loop(clients: int, requests_per_client: int) -> dict:
+    before = run_closed_loop(clients, requests_per_client, False)
+    after = run_closed_loop(clients, requests_per_client, True)
+    return {
+        "before": before,
+        "after": after,
+        "p95_reduction_ms": round(
+            before["latency_ms"]["p95"] - after["latency_ms"]["p95"], 3
+        ),
+        "throughput_gain": round(
+            after["throughput_per_s"] / max(before["throughput_per_s"], 0.1),
+            3,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison and reporting
+# ----------------------------------------------------------------------
+
+
+def check_regression(baseline: dict | None, fresh: dict, mode: str) -> list[str]:
+    """Headline throughput must stay within tolerance of the baseline."""
+    if not baseline or mode not in baseline:
+        print(f"[check] no committed baseline for mode {mode!r}; skipping")
+        return []
+    problems = []
+    old = baseline[mode]
+    pairs = [
+        (
+            "insert group throughput",
+            old["insert_throughput"]["group"]["throughput_per_s"],
+            fresh["insert_throughput"]["group"]["throughput_per_s"],
+        ),
+        (
+            "closed-loop throughput (caches on)",
+            old["closed_loop"]["after"]["throughput_per_s"],
+            fresh["closed_loop"]["after"]["throughput_per_s"],
+        ),
+    ]
+    for label, before, now in pairs:
+        floor = before * REGRESSION_TOLERANCE
+        status = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"[check] {label}: baseline {before:.1f}/s, "
+            f"now {now:.1f}/s (floor {floor:.1f}/s) — {status}"
+        )
+        if now < floor:
+            problems.append(label)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--small", action="store_true", help="CI smoke sizing"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on >20%% throughput regression vs the committed baseline",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="result file"
+    )
+    args = parser.parse_args(argv)
+
+    mode = "small" if args.small else "full"
+    threads, inserts, clients, requests_per_client = MODES[mode]
+
+    existing: dict = {}
+    if args.output.exists():
+        try:
+            existing = json.loads(args.output.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+
+    print(f"== insert throughput ({threads} committers, {mode} mode) ==")
+    insert_results = bench_insert_throughput(threads, inserts)
+    for policy in ("always", "group", "off"):
+        row = insert_results[policy]
+        print(
+            f"  {policy:>6}: {row['throughput_per_s']:>9.1f} inserts/s "
+            f"({row['fsyncs']} fsyncs / {row['appended_records']} appends)"
+        )
+    speedup = insert_results["group_vs_always_speedup"]
+    print(f"  group vs always: {speedup:.2f}x")
+
+    print(f"== closed loop ({clients} clients, start_workflow) ==")
+    loop_results = bench_closed_loop(clients, requests_per_client)
+    for label in ("before", "after"):
+        row = loop_results[label]
+        tag = "caches on " if row["caches_enabled"] else "caches off"
+        print(
+            f"  {tag}: {row['throughput_per_s']:>7.1f} req/s, "
+            f"p50 {row['latency_ms']['p50']:.1f} ms, "
+            f"p95 {row['latency_ms']['p95']:.1f} ms, "
+            f"p99 {row['latency_ms']['p99']:.1f} ms"
+        )
+    print(
+        f"  p95 reduction: {loop_results['p95_reduction_ms']:.1f} ms, "
+        f"throughput gain: {loop_results['throughput_gain']:.2f}x"
+    )
+
+    fresh = {
+        "insert_throughput": insert_results,
+        "closed_loop": loop_results,
+        "config": {
+            "insert_threads": threads,
+            "inserts_per_thread": inserts,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+        },
+    }
+
+    failed = check_regression(existing, fresh, mode) if args.check else []
+
+    existing[mode] = fresh
+    args.output.write_text(
+        json.dumps(existing, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    if speedup < 3.0:
+        # The 3x criterion is asserted on full runs; small CI runs are
+        # too short to hold the scheduler still and gate on the
+        # baseline comparison instead.
+        print(f"group commit speedup {speedup:.2f}x is below 3x")
+        if mode == "full":
+            return 1
+    if failed:
+        print(f"FAIL: throughput regressed >20% on: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,7 @@ from repro.core.datamodel import EXPERIMENT_EXTENSION_COLUMNS
 from repro.core.dispatch import Dispatcher, NullDispatcher
 from repro.core.events import EventLog
 from repro.core.instance import WorkflowView, load_workflow_view
-from repro.core.persistence import agents_for_type, load_pattern
+from repro.core.persistence import PatternStore, agents_for_type
 from repro.core.spec import TaskDef, WorkflowPattern
 from repro.core.states import (
     Event,
@@ -105,11 +105,13 @@ class WorkflowBean:
         self.db = db
         self.dispatcher: Dispatcher = dispatcher or NullDispatcher()
         self.events = events or EventLog()
-        self._pattern_cache: dict[int, WorkflowPattern] = {}
-        # WFPTask rows are write-once definition data; caching them keeps
-        # the engine's hot loops from re-reading immutable rows (the
-        # paper's WorkflowBean keeps pattern definitions in memory too).
-        self._wfp_task_cache: dict[int, dict[str, Any]] = {}
+        #: Write-through-invalidated cache of specification data:
+        #: pattern rows, compiled patterns, WFPTask rows, and the
+        #: experiment/sample type-table mappings.  Subscribed to the
+        #: database's write listeners, so editing a pattern is visible
+        #: to the very next ``start_workflow``.  Set
+        #: ``specs.enabled = False`` to audit the cache-bypass path.
+        self.specs = PatternStore(db)
         #: Number of check_workflow evaluations (feeds the cost model).
         self.check_count = 0
         self._lock = threading.RLock()
@@ -131,9 +133,7 @@ class WorkflowBean:
         The run-through begins immediately: initial tasks are evaluated
         for eligibility and activated (or parked behind authorization).
         """
-        pattern_row = self.db.select_one(
-            "WorkflowPattern", EQ("name", pattern_name)
-        )
+        pattern_row = self.specs.pattern_row(pattern_name)
         if pattern_row is None:
             raise SpecificationError(f"no stored pattern named {pattern_name!r}")
         parent_workflow_id, parent_wftask_id = _parent or (None, None)
@@ -149,11 +149,7 @@ class WorkflowBean:
                     "parent_wftask_id": parent_wftask_id,
                 },
             )
-            for task_row in self.db.select(
-                "WFPTask",
-                EQ("pattern_id", pattern_row["pattern_id"]),
-                order_by="wfp_task_id",
-            ):
+            for task_row in self.specs.task_rows(pattern_row["pattern_id"]):
                 self.db.insert(
                     "WFTask",
                     {
@@ -1305,14 +1301,9 @@ class WorkflowBean:
     # ------------------------------------------------------------------
 
     def _pattern(self, pattern_id: int) -> WorkflowPattern:
-        cached = self._pattern_cache.get(pattern_id)
-        if cached is not None:
-            return cached
-        row = self.db.get("WorkflowPattern", pattern_id)
-        if row is None:
+        pattern = self.specs.pattern_by_id(pattern_id)
+        if pattern is None:
             raise SpecificationError(f"no pattern with id {pattern_id}")
-        pattern = load_pattern(self.db, row["name"])
-        self._pattern_cache[pattern_id] = pattern
         return pattern
 
     def _task_rows(self, workflow_id: int) -> list[dict[str, Any]]:
@@ -1321,13 +1312,10 @@ class WorkflowBean:
         )
 
     def _wfp_task(self, wfp_task_id: int) -> dict[str, Any]:
-        cached = self._wfp_task_cache.get(wfp_task_id)
-        if cached is None:
-            cached = self.db.get("WFPTask", wfp_task_id)
-            if cached is None:
-                raise SpecificationError(f"no WFPTask with id {wfp_task_id}")
-            self._wfp_task_cache[wfp_task_id] = cached
-        return cached
+        row = self.specs.wfp_task(wfp_task_id)
+        if row is None:
+            raise SpecificationError(f"no WFPTask with id {wfp_task_id}")
+        return row
 
     def _task_name(self, task_row: dict[str, Any]) -> str:
         return self._wfp_task(task_row["wfp_task_id"])["name"]
@@ -1425,18 +1413,10 @@ class WorkflowBean:
     def _type_table(self, experiment_type: str | None) -> str | None:
         if experiment_type is None:
             return None
-        row = self.db.select_one(
-            "ExperimentType", EQ("type_name", experiment_type)
-        )
-        if row is None or not self.db.has_table(row["table_name"]):
-            return None
-        return row["table_name"]
+        return self.specs.type_table(experiment_type)
 
     def _sample_type_table(self, sample_type: str) -> str | None:
-        row = self.db.select_one("SampleType", EQ("type_name", sample_type))
-        if row is None or not self.db.has_table(row["table_name"]):
-            return None
-        return row["table_name"]
+        return self.specs.sample_type_table(sample_type)
 
     def _merged_experiment(self, experiment_id: int) -> dict[str, Any] | None:
         experiment = self.db.get("Experiment", experiment_id)

@@ -8,9 +8,18 @@ Agents live in ``Agent`` with their experiment-type authorizations in
 
 Sub-workflow patterns must be saved before the patterns that embed them,
 so their ``pattern_id`` can be referenced.
+
+:class:`PatternStore` sits on top of these tables as the engine's
+write-through-invalidated specification cache: starting a workflow
+instance stops re-scanning the pattern tables on every request, while a
+mutation of any pattern table immediately drops the affected entries (it
+subscribes to the database's write-listener feed), so the next start
+observes the new definition.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.core.spec import AgentSpec, TaskDef, TransitionDef, WorkflowPattern
 from repro.errors import SpecificationError, UnknownAgentError
@@ -155,6 +164,179 @@ def pattern_registry(db: Database) -> dict[str, WorkflowPattern]:
     for row in db.select("WorkflowPattern", order_by="pattern_id"):
         registry[row["name"]] = _load_pattern_row(db, row)
     return registry
+
+
+# ---------------------------------------------------------------------------
+# Specification cache
+# ---------------------------------------------------------------------------
+
+#: Tables whose writes drop the pattern side of a :class:`PatternStore`.
+_PATTERN_TABLES = ("WorkflowPattern", "WFPTask", "WFPTransition")
+
+
+class PatternStore:
+    """Cached access to workflow specification data.
+
+    The workflow engine resolves the same specification rows on every
+    request: the ``WorkflowPattern`` row and ``WFPTask`` list when
+    starting an instance, compiled :class:`WorkflowPattern` objects and
+    individual task rows inside every ``check_workflow`` pass, and the
+    ``ExperimentType`` / ``SampleType`` table mappings when creating
+    instances.  All of that is definition data that changes only when
+    someone edits a pattern — so it is cached here and invalidated
+    through the database's write-listener feed: any write to a pattern
+    table drops the pattern caches, writes to the type tables drop the
+    type-mapping caches.  Spurious invalidation (e.g. a write that a
+    rollback undoes) merely costs a re-read.
+
+    ``enabled=False`` (or flipping :attr:`enabled` later) bypasses the
+    cache entirely — every call goes to the database — which gives tests
+    and benchmarks an audited cache-off path with identical semantics.
+    Negative lookups are never cached, so a miss cannot mask data that
+    appears later.  Returned rows are copies; mutating them does not
+    corrupt the cache.
+    """
+
+    def __init__(self, db: Database, enabled: bool = True) -> None:
+        self.db = db
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._pattern_rows: dict[str, dict[str, Any]] = {}
+        self._patterns_by_id: dict[int, WorkflowPattern] = {}
+        self._task_rows: dict[int, list[dict[str, Any]]] = {}
+        self._tasks_by_id: dict[int, dict[str, Any]] = {}
+        self._type_tables: dict[str, str] = {}
+        self._sample_type_tables: dict[str, str] = {}
+        db.add_write_listener(self._on_write)
+
+    # -- invalidation -------------------------------------------------------
+
+    def _on_write(self, table: str) -> None:
+        if table in _PATTERN_TABLES:
+            self._pattern_rows.clear()
+            self._patterns_by_id.clear()
+            self._task_rows.clear()
+            self._tasks_by_id.clear()
+        elif table == "ExperimentType":
+            self._type_tables.clear()
+        elif table == "SampleType":
+            self._sample_type_tables.clear()
+
+    def invalidate(self) -> None:
+        """Drop everything (DDL changes, test isolation)."""
+        self._pattern_rows.clear()
+        self._patterns_by_id.clear()
+        self._task_rows.clear()
+        self._tasks_by_id.clear()
+        self._type_tables.clear()
+        self._sample_type_tables.clear()
+
+    def info(self) -> dict[str, int | bool]:
+        """Cache effectiveness counters (for health/bench reporting)."""
+        return {
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    # -- pattern lookups ----------------------------------------------------
+
+    def pattern_row(self, name: str) -> dict[str, Any] | None:
+        """The ``WorkflowPattern`` row for ``name`` (or ``None``)."""
+        if self.enabled:
+            cached = self._pattern_rows.get(name)
+            if cached is not None:
+                self.hits += 1
+                return dict(cached)
+            self.misses += 1
+        row = self.db.select_one("WorkflowPattern", EQ("name", name))
+        if self.enabled and row is not None:
+            self._pattern_rows[name] = dict(row)
+        return row
+
+    def pattern_by_id(self, pattern_id: int) -> WorkflowPattern | None:
+        """The compiled pattern for ``pattern_id`` (or ``None``)."""
+        if self.enabled:
+            cached = self._patterns_by_id.get(pattern_id)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        row = self.db.get("WorkflowPattern", pattern_id)
+        if row is None:
+            return None
+        pattern = _load_pattern_row(self.db, row)
+        if self.enabled:
+            self._patterns_by_id[pattern_id] = pattern
+        return pattern
+
+    def task_rows(self, pattern_id: int) -> list[dict[str, Any]]:
+        """The pattern's ``WFPTask`` rows, ordered by ``wfp_task_id``."""
+        if self.enabled:
+            cached = self._task_rows.get(pattern_id)
+            if cached is not None:
+                self.hits += 1
+                return [dict(row) for row in cached]
+            self.misses += 1
+        rows = self.db.select(
+            "WFPTask", EQ("pattern_id", pattern_id), order_by="wfp_task_id"
+        )
+        if self.enabled:
+            self._task_rows[pattern_id] = [dict(row) for row in rows]
+        return rows
+
+    def wfp_task(self, wfp_task_id: int) -> dict[str, Any] | None:
+        """One ``WFPTask`` row by id (or ``None``)."""
+        if self.enabled:
+            cached = self._tasks_by_id.get(wfp_task_id)
+            if cached is not None:
+                self.hits += 1
+                return dict(cached)
+            self.misses += 1
+        row = self.db.get("WFPTask", wfp_task_id)
+        if self.enabled and row is not None:
+            self._tasks_by_id[wfp_task_id] = dict(row)
+        return row
+
+    # -- type-table lookups -------------------------------------------------
+
+    def type_table(self, experiment_type: str) -> str | None:
+        """The storage table for ``experiment_type`` (or ``None``).
+
+        Only positive resolutions (row present *and* table exists) are
+        cached, so registering a type or creating its table later is
+        picked up without an explicit invalidation.
+        """
+        if self.enabled:
+            cached = self._type_tables.get(experiment_type)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        row = self.db.select_one(
+            "ExperimentType", EQ("type_name", experiment_type)
+        )
+        if row is None or not self.db.has_table(row["table_name"]):
+            return None
+        if self.enabled:
+            self._type_tables[experiment_type] = row["table_name"]
+        return row["table_name"]
+
+    def sample_type_table(self, sample_type: str) -> str | None:
+        """The storage table for ``sample_type`` (or ``None``)."""
+        if self.enabled:
+            cached = self._sample_type_tables.get(sample_type)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        row = self.db.select_one("SampleType", EQ("type_name", sample_type))
+        if row is None or not self.db.has_table(row["table_name"]):
+            return None
+        if self.enabled:
+            self._sample_type_tables[sample_type] = row["table_name"]
+        return row["table_name"]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,120 @@
+"""Group commit: one fsync covering many concurrent committers.
+
+Both durable logs in the system — the minidb write-ahead log and the
+broker journal — follow the same discipline: append a JSON line, flush,
+fsync, return.  The fsync dominates (two orders of magnitude over the
+buffered write), and under concurrency it is pure waste to pay it once
+per committer when a single barrier makes *every* record written so far
+durable at once.
+
+:class:`GroupCommitter` implements the classic leader-election scheme:
+
+* each writer, after its buffered write lands in the OS page cache,
+  calls :meth:`note_write` and receives a monotonically increasing
+  sequence number;
+* to become durable it calls :meth:`wait_durable` with that sequence.
+  If the fsync frontier already covers it, it returns immediately.
+  Otherwise one waiter elects itself *leader*, optionally sleeps a
+  short commit window to let more writers pile in, issues a single
+  fsync on behalf of everyone written so far, advances the frontier and
+  wakes the followers.  Followers just wait on the condition.
+
+The committer never touches the file itself — the caller supplies the
+``do_sync`` callable, which keeps fault-injection points (``wal.fsync``)
+where they always were: in the committing thread, before the fsync.
+A leader whose ``do_sync`` raises hands leadership back and wakes the
+other waiters so one of them can retry; the exception propagates to the
+leader's caller (the transaction that observed the failure).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+#: The durability disciplines shared by the WAL and the broker journal:
+#: ``always`` fsyncs inline per record, ``group`` defers to a shared
+#: barrier, ``off`` only flushes (benchmarks / throwaway state).
+SYNC_POLICIES = ("always", "group", "off")
+
+
+def validate_sync_policy(sync_policy: str) -> str:
+    """Return ``sync_policy`` or raise ``ValueError`` for unknown names."""
+    if sync_policy not in SYNC_POLICIES:
+        raise ValueError(
+            f"unknown sync_policy {sync_policy!r}; "
+            f"expected one of {SYNC_POLICIES}"
+        )
+    return sync_policy
+
+
+class GroupCommitter:
+    """Leader-elected fsync batching shared by the WAL and the journal."""
+
+    def __init__(self, window_s: float = 0.0) -> None:
+        #: How long a leader waits for stragglers before syncing.  Zero
+        #: still batches: whatever was written while the previous fsync
+        #: ran is covered by the next one.
+        self.window_s = window_s
+        self._cond = threading.Condition()
+        self._written = 0  # highest sequence handed out
+        self._synced = 0  # highest sequence known durable
+        self._leader_active = False
+        #: fsync barriers actually issued.
+        self.syncs = 0
+        #: Writes made durable across all barriers (>= syncs; the ratio
+        #: is the batching factor the benchmark reports).
+        self.writes_covered = 0
+
+    def note_write(self) -> int:
+        """Register one buffered write; returns its durability sequence."""
+        with self._cond:
+            self._written += 1
+            return self._written
+
+    def pending(self) -> int:
+        """Writes not yet covered by a barrier (0 when all durable)."""
+        with self._cond:
+            return self._written - self._synced
+
+    def latest(self) -> int:
+        """The highest sequence handed out so far."""
+        with self._cond:
+            return self._written
+
+    def wait_durable(self, seq: int, do_sync: Callable[[], None]) -> None:
+        """Block until ``seq`` is durable, fsyncing as elected leader.
+
+        ``do_sync`` runs in exactly one thread per barrier and must make
+        every buffered write issued so far durable (flush + fsync).
+        """
+        while True:
+            with self._cond:
+                if self._synced >= seq:
+                    return
+                if self._leader_active:
+                    # A barrier is in flight; it may or may not cover us.
+                    self._cond.wait(timeout=1.0)
+                    continue
+                self._leader_active = True
+                target = self._written
+            if self.window_s > 0.0:
+                time.sleep(self.window_s)
+                with self._cond:
+                    target = self._written  # stragglers joined the batch
+            try:
+                do_sync()
+            except BaseException:
+                with self._cond:
+                    self._leader_active = False
+                    self._cond.notify_all()
+                raise
+            with self._cond:
+                covered = target - self._synced
+                if covered > 0:
+                    self._synced = target
+                    self.syncs += 1
+                    self.writes_covered += covered
+                self._leader_active = False
+                self._cond.notify_all()

@@ -1,14 +1,23 @@
 """The message broker: queues, delivery, acknowledgement, redelivery.
 
 The broker is the process-wide hub; producers and consumers talk to it
-through :mod:`repro.messaging.client`.  All state transitions happen under
-one lock, with a condition variable to support blocking receives from
-agent threads.
+through :mod:`repro.messaging.client`.  Shared *registry* state — the
+queue directory, the in-flight set, the dead-letter quarantine, id
+allocation, stats, and journal appends — lives under one registry lock.
+Each queue then owns its own message deque and condition variable, so a
+blocked consumer only ever waits (and is only ever woken) on its own
+queue: send on queue B never wakes a consumer parked on queue A, and a
+single ``notify`` hands one message to one waiter instead of stampeding
+every consumer in the process.  The two levels are never held together —
+an operation settles registry bookkeeping first, releases the lock, and
+only then touches a queue.
 
 Delivery contract (matching what the paper relies on from OpenJMS):
 
 * ``send`` journals the message before returning — a crash after ``send``
-  never loses it;
+  never loses it; under ``sync_policy="group"`` the fsync barrier is
+  shared with other in-flight operations, but the message still becomes
+  *visible* to consumers only after it is durable;
 * a message handed to a consumer stays *in flight* until acked; closing
   the consumer (or replaying the journal after a crash) returns in-flight
   messages to the front of their queue for redelivery;
@@ -30,6 +39,7 @@ from __future__ import annotations
 import os
 import random
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -73,6 +83,21 @@ class BrokerStats:
         self.per_queue_sends.clear()
 
 
+class _QueueState:
+    """One queue's private world: messages, condition, wakeup count."""
+
+    __slots__ = ("name", "messages", "cond", "wakeups")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.messages: deque[Message] = deque()
+        self.cond = threading.Condition()
+        #: Times a blocked receive on this queue was *notified* awake
+        #: (schedule-poll timeouts do not count).  The no-thundering-herd
+        #: regression test pins this to zero for idle queues.
+        self.wakeups = 0
+
+
 class MessageBroker:
     """A point-to-point message broker with optional durability."""
 
@@ -81,10 +106,11 @@ class MessageBroker:
         journal_path: str | os.PathLike[str] | None = None,
         clock: Clock | None = None,
         default_retry_policy: RetryPolicy | None = None,
+        sync_policy: str = "always",
+        group_window_s: float = 0.0,
     ) -> None:
         self._lock = threading.Lock()
-        self._available = threading.Condition(self._lock)
-        self._queues: dict[str, deque[Message]] = {}
+        self._queues: dict[str, _QueueState] = {}
         self._in_flight: dict[int, Message] = {}
         #: Quarantined poison messages: id → (message, reason).
         self._dead: dict[int, tuple[Message, str]] = {}
@@ -97,15 +123,20 @@ class MessageBroker:
         self._rng = random.Random(17)
         self.stats = BrokerStats()
         #: Optional observability hook with ``on_send(message,
-        #: persistent)`` / ``on_deliver(message)`` — called under the
-        #: broker lock, so observers must never call back into the
-        #: broker (see ``repro.obs``).
+        #: persistent)`` / ``on_deliver(message)`` (and optionally
+        #: ``on_receive_wait(queue, waited_ms)``) — called under the
+        #: broker registry lock, so observers must never call back into
+        #: the broker (see ``repro.obs``).
         self.observer = None
         #: Optional fault-injection plan shared with the journal.
         self.faults: FaultPlan | None = None
         self._journal: BrokerJournal | None = None
         if journal_path is not None:
-            self._journal = BrokerJournal(journal_path)
+            self._journal = BrokerJournal(
+                journal_path,
+                sync_policy=sync_policy,
+                group_window_s=group_window_s,
+            )
             self._recover()
 
     @property
@@ -124,9 +155,12 @@ class MessageBroker:
         assert self._journal is not None
         snapshot = self._journal.replay()
         for name in snapshot.queues:
-            self._queues.setdefault(name, deque())
+            self._queues.setdefault(name, _QueueState(name))
         for message in snapshot.outstanding:
-            self._queues.setdefault(message.queue, deque()).append(message)
+            state = self._queues.setdefault(
+                message.queue, _QueueState(message.queue)
+            )
+            state.messages.append(message)
         for message, reason in snapshot.dead:
             self._dead[message.message_id] = (message, reason)
         self._next_id = snapshot.next_id
@@ -137,12 +171,14 @@ class MessageBroker:
 
     def declare_queue(self, name: str) -> None:
         """Create a queue if it does not already exist (idempotent)."""
+        seq = None
         with self._lock:
             if name in self._queues:
                 return
-            self._queues[name] = deque()
+            self._queues[name] = _QueueState(name)
             if self._journal is not None:
-                self._journal.append({"type": "declare", "queue": name})
+                seq = self._journal.append({"type": "declare", "queue": name})
+        self._journal_sync(seq)
 
     def set_retry_policy(self, queue: str, policy: RetryPolicy) -> None:
         """Override the redelivery policy for one queue."""
@@ -161,8 +197,15 @@ class MessageBroker:
 
     def queue_depth(self, name: str) -> int:
         """Messages waiting (not in flight) on ``name``."""
-        with self._lock:
-            return len(self._queue(name))
+        return len(self._state(name).messages)
+
+    def queue_wakeups(self, name: str) -> int:
+        """Times a blocked receive on ``name`` was notified awake.
+
+        With per-queue conditions this only moves when *this* queue has
+        traffic — an idle consumer never pays for a busy neighbour.
+        """
+        return self._state(name).wakeups
 
     def in_flight_count(self) -> int:
         """Messages delivered but not yet acknowledged, broker-wide."""
@@ -179,22 +222,35 @@ class MessageBroker:
         with self._lock:
             if self._journal is None:
                 return {"enabled": False, "backlog": 0}
-            backlog = sum(len(q) for q in self._queues.values()) + len(
-                self._in_flight
-            )
+            backlog = sum(
+                len(state.messages) for state in self._queues.values()
+            ) + len(self._in_flight)
             return {
                 "enabled": True,
                 "path": str(self._journal.path),
                 "appended_records": self._journal.appended_records,
                 "size_bytes": self._journal.size_bytes(),
                 "backlog": backlog,
+                "sync_policy": self._journal.sync_policy,
+                "fsyncs": self._journal.fsyncs,
+                "group_syncs": self._journal.group.syncs,
+                "group_writes_covered": self._journal.group.writes_covered,
             }
 
-    def _queue(self, name: str) -> deque[Message]:
+    def _state(self, name: str) -> _QueueState:
+        with self._lock:
+            return self._state_locked(name)
+
+    def _state_locked(self, name: str) -> _QueueState:
         try:
             return self._queues[name]
         except KeyError:
             raise UnknownQueueError(name) from None
+
+    def _journal_sync(self, seq: int | None) -> None:
+        """Wait out the group-commit barrier for one journal append."""
+        if self._journal is not None:
+            self._journal.sync(seq)
 
     # ------------------------------------------------------------------
     # Producer side
@@ -203,13 +259,18 @@ class MessageBroker:
     def send(self, queue: str, body: str, headers: dict | None = None) -> Message:
         """Enqueue a message; durable before return when persistent.
 
+        The message is journalled (and, in group mode, fsync'd) *before*
+        it is appended to the queue — a consumer can never observe a
+        message that a crash could still lose.
+
         Fault point ``broker.publish``: ``crash`` dies before anything
         is journalled or enqueued, ``drop`` silently loses the message
         (the producer still believes it sent), ``duplicate`` enqueues a
         second copy under its own id, ``corrupt`` mangles the body.
         """
-        with self._available:
-            target = self._queue(queue)
+        seq = None
+        with self._lock:
+            state = self._state_locked(queue)
             header_map = dict(headers or {})
             action = fire(
                 self.faults,
@@ -228,36 +289,44 @@ class MessageBroker:
             self._next_id += 1
             if action == "drop":
                 return message
-            for copy_index in range(copies):
-                enqueued = message
-                if copy_index > 0:
-                    enqueued = Message(
+            enqueued_messages = [message]
+            for __ in range(1, copies):
+                enqueued_messages.append(
+                    Message(
                         queue=queue,
                         body=body_to_send,
                         headers=dict(header_map),
                         message_id=self._next_id,
                     )
-                    self._next_id += 1
+                )
+                self._next_id += 1
+            for enqueued in enqueued_messages:
                 if self._journal is not None:
-                    self._journal.append(
+                    seq = self._journal.append(
                         {"type": "send", "message": enqueued.to_wire()}
                     )
                     self.stats.persistent_sends += 1
-                target.append(enqueued)
                 self.stats.sends += 1
                 self.stats.per_queue_sends[queue] = (
                     self.stats.per_queue_sends.get(queue, 0) + 1
                 )
                 if self.observer is not None:
                     self.observer.on_send(enqueued, self._journal is not None)
-            self._available.notify_all()
-            return message
+        # Durability first (one barrier covers every copy), visibility
+        # second — and only this queue's waiters are woken.
+        self._journal_sync(seq)
+        with state.cond:
+            for enqueued in enqueued_messages:
+                state.messages.append(enqueued)
+                state.cond.notify()
+        return message
 
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
 
-    def _pop_ready(self, target: deque[Message], now: float) -> Message | None:
+    @staticmethod
+    def _pop_ready(target: deque[Message], now: float) -> Message | None:
         """Remove and return the first message whose backoff has elapsed."""
         for index, message in enumerate(target):
             if message.not_before <= now:
@@ -265,8 +334,9 @@ class MessageBroker:
                 return message
         return None
 
+    @staticmethod
     def _next_ready_delay(
-        self, target: deque[Message], now: float
+        target: deque[Message], now: float
     ) -> float | None:
         """Seconds until the earliest scheduled message becomes visible."""
         if not target:
@@ -285,6 +355,9 @@ class MessageBroker:
         returned message stays in flight until :meth:`ack`,
         :meth:`requeue`, or :meth:`reject`.
 
+        The wait happens entirely on the queue's own condition variable:
+        traffic on other queues neither wakes nor delays this consumer.
+
         Fault point ``broker.deliver``: ``crash`` dies with the message
         still safely queued, ``drop`` discards the would-be delivery
         (lost datagram), ``corrupt`` mangles the body on the way out.
@@ -293,11 +366,12 @@ class MessageBroker:
         deadline: float | None = None
         if timeout is not None and timeout > 0:
             deadline = self.clock.monotonic() + timeout
-        with self._available:
-            target = self._queue(queue)
+        state = self._state(queue)
+        wait_t0 = time.perf_counter()
+        with state.cond:
             while True:
                 now = self.clock.monotonic()
-                message = self._pop_ready(target, now)
+                message = self._pop_ready(state.messages, now)
                 if message is not None:
                     action = fire(
                         self.faults,
@@ -319,26 +393,35 @@ class MessageBroker:
                     wait_s = deadline - now
                     if wait_s <= 0:
                         return None
-                hold = self._next_ready_delay(target, now)
+                hold = self._next_ready_delay(state.messages, now)
                 if hold is not None:
                     # Everything queued is backoff-scheduled: wake early
                     # enough to notice the schedule (or an injected
                     # clock) moving.
                     cap = min(hold, _SCHEDULE_POLL_S)
                     wait_s = cap if wait_s is None else min(wait_s, cap)
-                self._available.wait(timeout=wait_s)
+                if state.cond.wait(timeout=wait_s):
+                    state.wakeups += 1
+        waited_ms = (time.perf_counter() - wait_t0) * 1000.0
+        seq = None
+        with self._lock:
             message.delivery_count += 1
             if self._journal is not None:
-                self._journal.append(
+                seq = self._journal.append(
                     {"type": "deliver", "message_id": message.message_id}
                 )
             self._in_flight[message.message_id] = message
             self.stats.deliveries += 1
             if message.redelivered:
                 self.stats.redeliveries += 1
-            if self.observer is not None:
-                self.observer.on_deliver(message)
-            return message
+            observer = self.observer
+            if observer is not None:
+                observer.on_deliver(message)
+                on_wait = getattr(observer, "on_receive_wait", None)
+                if on_wait is not None:
+                    on_wait(queue, waited_ms)
+        self._journal_sync(seq)
+        return message
 
     def ack(self, message: Message) -> None:
         """Acknowledge a delivered message, removing it permanently.
@@ -347,6 +430,7 @@ class MessageBroker:
         recorded, so the message is still in flight and a journal replay
         (or consumer close) redelivers it — at-least-once semantics.
         """
+        seq = None
         with self._lock:
             if message.message_id not in self._in_flight:
                 raise AcknowledgeError(
@@ -360,7 +444,7 @@ class MessageBroker:
             )
             del self._in_flight[message.message_id]
             if self._journal is not None:
-                self._journal.append(
+                seq = self._journal.append(
                     {
                         "type": "ack",
                         "queue": message.queue,
@@ -368,6 +452,7 @@ class MessageBroker:
                     }
                 )
             self.stats.acks += 1
+        self._journal_sync(seq)
 
     def reject(self, message: Message, reason: str = "") -> bool:
         """Negative-acknowledge a delivered message.
@@ -378,7 +463,9 @@ class MessageBroker:
         dead-lettered and ``False`` is returned.  Either way it leaves
         the in-flight set — a rejected message is never lost.
         """
-        with self._available:
+        seq = None
+        state: _QueueState | None = None
+        with self._lock:
             if message.message_id not in self._in_flight:
                 raise AcknowledgeError(
                     f"message {message.message_id} is not in flight"
@@ -392,19 +479,24 @@ class MessageBroker:
                 self._dead[message.message_id] = (message, reason)
                 self.stats.dead_lettered += 1
                 if self._journal is not None:
-                    self._journal.append(
+                    seq = self._journal.append(
                         {
                             "type": "dead_letter",
                             "message_id": message.message_id,
                             "reason": reason,
                         }
                     )
-                return False
-            delay = policy.backoff(message.delivery_count, self._rng)
-            message.not_before = self.clock.monotonic() + delay
-            self._queue(message.queue).append(message)
-            self._available.notify_all()
-            return True
+            else:
+                delay = policy.backoff(message.delivery_count, self._rng)
+                message.not_before = self.clock.monotonic() + delay
+                state = self._state_locked(message.queue)
+        self._journal_sync(seq)
+        if state is None:
+            return False
+        with state.cond:
+            state.messages.append(message)
+            state.cond.notify()
+        return True
 
     # ------------------------------------------------------------------
     # Dead-letter queue
@@ -437,7 +529,8 @@ class MessageBroker:
         Resets the delivery count (the operator presumably fixed the
         underlying problem) and makes it immediately deliverable.
         """
-        with self._available:
+        seq = None
+        with self._lock:
             entry = self._dead.pop(message_id, None)
             if entry is None:
                 raise DeadLetterError(message_id)
@@ -446,38 +539,54 @@ class MessageBroker:
             message.not_before = 0.0
             self.stats.dlq_requeued += 1
             if self._journal is not None:
-                self._journal.append(
+                seq = self._journal.append(
                     {"type": "dlq_requeue", "message_id": message_id}
                 )
-            self._queue(message.queue).append(message)
-            self._available.notify_all()
-            return message
+            state = self._state_locked(message.queue)
+        self._journal_sync(seq)
+        with state.cond:
+            state.messages.append(message)
+            state.cond.notify()
+        return message
 
     # ------------------------------------------------------------------
 
     def requeue(self, message: Message) -> None:
         """Return an in-flight message to the front of its queue."""
-        with self._available:
+        with self._lock:
             if message.message_id not in self._in_flight:
                 raise AcknowledgeError(
                     f"message {message.message_id} is not in flight"
                 )
             del self._in_flight[message.message_id]
-            self._queue(message.queue).appendleft(message)
-            self._available.notify_all()
+            state = self._state_locked(message.queue)
+        with state.cond:
+            state.messages.appendleft(message)
+            state.cond.notify()
 
     def requeue_all_in_flight(self) -> int:
         """Return every in-flight message to its queue (consumer crash)."""
-        with self._available:
-            messages = sorted(self._in_flight.values(), key=lambda m: m.message_id)
+        with self._lock:
+            messages = sorted(
+                self._in_flight.values(), key=lambda m: m.message_id
+            )
             self._in_flight.clear()
-            for message in reversed(messages):
-                self._queue(message.queue).appendleft(message)
-            if messages:
-                self._available.notify_all()
-            return len(messages)
+            states = {
+                message.queue: self._state_locked(message.queue)
+                for message in messages
+            }
+        by_queue: dict[str, list[Message]] = {}
+        for message in messages:
+            by_queue.setdefault(message.queue, []).append(message)
+        for name, queue_messages in by_queue.items():
+            state = states[name]
+            with state.cond:
+                for message in reversed(queue_messages):
+                    state.messages.appendleft(message)
+                state.cond.notify_all()
+        return len(messages)
 
     def close(self) -> None:
-        """Release the journal handle."""
+        """Flush pending journal appends and release the handle."""
         if self._journal is not None:
             self._journal.close()

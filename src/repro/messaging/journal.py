@@ -1,7 +1,12 @@
 """Durable journal for the message broker.
 
-Same JSON-lines discipline as the minidb WAL: every record is flushed and
-fsync'd before the operation that produced it returns.  Replay rebuilds
+Same JSON-lines discipline as the minidb WAL, including the sync-policy
+knob: under ``always`` every record is flushed and fsync'd before the
+operation that produced it returns; under ``group`` appends only buffer
+and concurrent operations share one fsync barrier through
+:class:`repro.durable.GroupCommitter` (the broker syncs after releasing
+its registry lock, so senders on different threads batch); ``off`` never
+fsyncs.  Replay rebuilds
 the set of *outstanding* messages: everything sent but not acknowledged —
 including messages that were in flight to a consumer when the broker
 died — reappears in its queue in send order, carrying the delivery count
@@ -22,10 +27,12 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.durable import GroupCommitter, validate_sync_policy
 from repro.errors import JournalError
 from repro.messaging.message import Message
 from repro.resilience.faults import fire
@@ -49,43 +56,93 @@ class JournalSnapshot:
 class BrokerJournal:
     """Append-only journal with crash-tolerant replay."""
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        sync_policy: str = "always",
+        group_window_s: float = 0.0,
+    ) -> None:
+        validate_sync_policy(sync_policy)
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.sync_policy = sync_policy
         self._handle = None
-        #: Records durably appended through this handle's lifetime.
+        #: Serialises buffered writes across broker threads.
+        self._write_lock = threading.Lock()
+        #: Shared fsync barrier for ``sync_policy="group"``.
+        self.group = GroupCommitter(window_s=group_window_s)
+        #: Records appended (buffered) through this handle's lifetime.
         self.appended_records = 0
+        #: fsync barriers issued through this handle's lifetime.
+        self.fsyncs = 0
         #: Optional fault-injection plan (``repro.resilience.faults``).
         self.faults: "FaultPlan | None" = None
 
-    def append(self, record: dict[str, Any]) -> None:
-        """Durably append one record.
+    def append(self, record: dict[str, Any]) -> int | None:
+        """Append one record; durable per the sync policy.
+
+        Under ``always`` the record is flushed and fsync'd before the
+        call returns; under ``group`` it is only buffered, and the
+        returned sequence number must be handed to :meth:`sync` to wait
+        for (and share) the durability barrier.  Returns ``None`` except
+        in ``group`` mode.
 
         Fault point ``journal.append`` (context: ``record_type``):
         ``crash`` dies before anything is written, ``corrupt`` leaves a
         torn half-line and then dies (the classic mid-fsync power cut),
         ``drop`` silently skips the write (a lying disk).
         """
-        action = fire(
-            self.faults, "journal.append", record_type=record.get("type")
-        )
-        if action == "drop":
-            return
-        if self._handle is None:
-            self._handle = self.path.open("a", encoding="utf-8")
-        line = json.dumps(record, separators=(",", ":"))
-        if action == "corrupt":
-            self._handle.write(line[: max(1, len(line) // 2)])
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            raise JournalError(
-                f"injected torn write at {self.path} "
-                f"(record type {record.get('type')!r})"
+        with self._write_lock:
+            action = fire(
+                self.faults, "journal.append", record_type=record.get("type")
             )
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self.appended_records += 1
+            if action == "drop":
+                return None
+            if self._handle is None:
+                self._handle = self.path.open("a", encoding="utf-8")
+            line = json.dumps(record, separators=(",", ":"))
+            if action == "corrupt":
+                self._handle.write(line[: max(1, len(line) // 2)])
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                raise JournalError(
+                    f"injected torn write at {self.path} "
+                    f"(record type {record.get('type')!r})"
+                )
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.appended_records += 1
+            if self.sync_policy == "group":
+                return self.group.note_write()
+        if self.sync_policy == "always":
+            os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+        return None
+
+    def sync(self, seq: int | None) -> None:
+        """Make the append that returned ``seq`` durable (group policy).
+
+        A no-op for ``always`` (already durable), ``off`` (never
+        durable), and ``seq=None``.  Many threads may call this
+        concurrently; one of them fsyncs on behalf of all.
+        """
+        if self.sync_policy != "group" or seq is None:
+            return
+        self.group.wait_durable(seq, self._sync_barrier)
+
+    def _sync_barrier(self) -> None:
+        """One fsync covering every buffered append (leader only)."""
+        handle = self._handle
+        if handle is not None:
+            os.fsync(handle.fileno())
+        self.fsyncs += 1
+
+    def flush_pending(self) -> None:
+        """Drain any un-synced group-mode appends (close)."""
+        if self.sync_policy != "group":
+            return
+        if self.group.pending() > 0:
+            self.group.wait_durable(self.group.latest(), self._sync_barrier)
 
     def size_bytes(self) -> int:
         """Current on-disk size of the journal (0 when it does not exist)."""
@@ -161,7 +218,16 @@ class BrokerJournal:
         return snapshot
 
     def close(self) -> None:
-        """Release the file handle (reopened lazily on next append)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Release the file handle (reopened lazily on next append).
+
+        In ``group`` mode any still-buffered appends are fsync'd first —
+        a clean close never loses acknowledged work.
+        """
+        try:
+            if self._handle is not None:
+                self.flush_pending()
+        finally:
+            with self._write_lock:
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Any, Iterator, Sequence
+import threading
+import time
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import (
     ConstraintError,
@@ -52,15 +54,52 @@ _MISSING = object()
 
 
 class Database:
-    """An in-process relational database with optional durability."""
+    """An in-process relational database with optional durability.
 
-    def __init__(self, wal_path: str | os.PathLike[str] | None = None) -> None:
+    Thread safety: every statement (DDL, DML, reads) runs under one
+    re-entrant mutex, so autocommit statements from concurrent threads
+    are safe.  Explicit multi-statement transactions share a single
+    transaction slot and must be serialised by the caller (the workflow
+    engine holds its own bean lock around them).  Under
+    ``sync_policy="group"`` the durability wait happens *after* the
+    mutex is released, which is what lets concurrent committers share
+    one fsync instead of queueing on the lock for theirs.
+    """
+
+    def __init__(
+        self,
+        wal_path: str | os.PathLike[str] | None = None,
+        sync_policy: str = "always",
+        group_window_s: float = 0.0,
+    ) -> None:
         self._catalog = Catalog()
         self._txn = TransactionManager()
         self.stats = DatabaseStats()
+        self._mutex = threading.RLock()
+        #: Per-thread (wal sequence, start time) of a commit awaiting
+        #: its durability barrier — drained by :meth:`_sync_pending`.
+        self._pending_commit = threading.local()
+        #: Cached access-path choice per (table, predicate shape);
+        #: cleared wholesale on any DDL.
+        self._plan_cache: dict[tuple[str, tuple], tuple[str, Any]] = {}
+        #: Test/bench escape hatch: bypass (not just miss) the cache.
+        self.plan_cache_enabled = True
+        #: Callbacks ``f(table_name)`` fired after each row write —
+        #: the invalidation feed for higher-level caches.  Listeners
+        #: run under the database mutex: keep them cheap and never call
+        #: back into the database.
+        self._write_listeners: list[Callable[[str], None]] = []
+        #: Optional hook ``f(elapsed_ms)`` observing commit durability
+        #: latency (append → fsync barrier); never allowed to raise.
+        self.on_commit: Callable[[float], None] | None = None
+        self.sync_policy = sync_policy
         self._wal: WriteAheadLog | None = None
         if wal_path is not None:
-            self._wal = WriteAheadLog(wal_path)
+            self._wal = WriteAheadLog(
+                wal_path,
+                sync_policy=sync_policy,
+                group_window_s=group_window_s,
+            )
             self._recover()
 
     def attach_faults(self, plan) -> None:
@@ -79,62 +118,74 @@ class Database:
 
     def create_table(self, schema: TableSchema) -> None:
         """Create a table.  Not allowed inside a transaction."""
-        self._forbid_in_transaction("create_table")
-        self._catalog.add_table(schema)
-        self._log({"type": "create_table", "schema": schema.describe()})
+        with self._mutex:
+            self._forbid_in_transaction("create_table")
+            self._catalog.add_table(schema)
+            self._plan_cache.clear()
+            self._log({"type": "create_table", "schema": schema.describe()})
+        self._sync_pending()
 
     def drop_table(self, name: str) -> None:
         """Drop a table (fails if referenced by other tables)."""
-        self._forbid_in_transaction("drop_table")
-        self._catalog.remove_table(name)
-        self._log({"type": "drop_table", "table": name})
+        with self._mutex:
+            self._forbid_in_transaction("drop_table")
+            self._catalog.remove_table(name)
+            self._plan_cache.clear()
+            self._log({"type": "drop_table", "table": name})
+        self._sync_pending()
 
     def create_index(
         self, table: str, columns: Sequence[str], unique: bool = False
     ) -> str:
         """Create a hash index over ``columns``; returns the index name."""
-        self._forbid_in_transaction("create_index")
-        entry = self._catalog.entry(table)
-        entry.schema.validate_column_names(columns)
-        name = self._index_name(table, columns)
-        if name in entry.hash_indexes:
-            raise SchemaError(f"index {name!r} already exists")
-        index = HashIndex(tuple(columns), unique=unique)
-        index.rebuild(entry.heap.scan())
-        if unique:
-            self._verify_unique(entry, index, columns)
-        entry.hash_indexes[name] = index
-        self._log(
-            {
-                "type": "create_index",
-                "table": table,
-                "columns": list(columns),
-                "unique": unique,
-                "ordered": False,
-            }
-        )
+        with self._mutex:
+            self._forbid_in_transaction("create_index")
+            entry = self._catalog.entry(table)
+            entry.schema.validate_column_names(columns)
+            name = self._index_name(table, columns)
+            if name in entry.hash_indexes:
+                raise SchemaError(f"index {name!r} already exists")
+            index = HashIndex(tuple(columns), unique=unique)
+            index.rebuild(entry.heap.scan())
+            if unique:
+                self._verify_unique(entry, index, columns)
+            entry.hash_indexes[name] = index
+            self._plan_cache.clear()
+            self._log(
+                {
+                    "type": "create_index",
+                    "table": table,
+                    "columns": list(columns),
+                    "unique": unique,
+                    "ordered": False,
+                }
+            )
+        self._sync_pending()
         return name
 
     def create_ordered_index(self, table: str, column: str) -> str:
         """Create a sorted index on one column (enables range scans)."""
-        self._forbid_in_transaction("create_ordered_index")
-        entry = self._catalog.entry(table)
-        entry.schema.validate_column_names([column])
-        name = self._index_name(table, [column]) + "__ordered"
-        if name in entry.ordered_indexes:
-            raise SchemaError(f"index {name!r} already exists")
-        index = OrderedIndex(column)
-        index.rebuild(entry.heap.scan())
-        entry.ordered_indexes[name] = index
-        self._log(
-            {
-                "type": "create_index",
-                "table": table,
-                "columns": [column],
-                "unique": False,
-                "ordered": True,
-            }
-        )
+        with self._mutex:
+            self._forbid_in_transaction("create_ordered_index")
+            entry = self._catalog.entry(table)
+            entry.schema.validate_column_names([column])
+            name = self._index_name(table, [column]) + "__ordered"
+            if name in entry.ordered_indexes:
+                raise SchemaError(f"index {name!r} already exists")
+            index = OrderedIndex(column)
+            index.rebuild(entry.heap.scan())
+            entry.ordered_indexes[name] = index
+            self._plan_cache.clear()
+            self._log(
+                {
+                    "type": "create_index",
+                    "table": table,
+                    "columns": [column],
+                    "unique": False,
+                    "ordered": True,
+                }
+            )
+        self._sync_pending()
         return name
 
     def add_column(self, table: str, column) -> None:
@@ -146,6 +197,11 @@ class Database:
         workflow pointers — the only modification the paper makes to the
         original data model.
         """
+        with self._mutex:
+            self._add_column_locked(table, column)
+        self._sync_pending()
+
+    def _add_column_locked(self, table: str, column) -> None:
         self._forbid_in_transaction("add_column")
         entry = self._catalog.entry(table)
         schema = entry.schema
@@ -171,6 +227,7 @@ class Database:
         entry.schema = new_schema
         for __, row in entry.heap.scan():
             row[column.name] = backfill
+        self._plan_cache.clear()
         self._log(
             {
                 "type": "add_column",
@@ -235,7 +292,25 @@ class Database:
             "path": str(self._wal.path),
             "appended_records": self._wal.appended,
             "size_bytes": self._wal.size_bytes(),
+            "sync_policy": self._wal.sync_policy,
+            "fsyncs": self._wal.fsyncs,
+            "group_syncs": self._wal.group.syncs,
+            "group_writes_covered": self._wal.group.writes_covered,
         }
+
+    def add_write_listener(self, listener: Callable[[str], None]) -> None:
+        """Register ``listener(table_name)``, fired after each row write.
+
+        Fired for inserts, updates and deletes — including writes that a
+        later rollback undoes, so listeners must treat notifications as
+        "this table *may* have changed" (cache invalidation is the
+        intended use; spurious invalidation is harmless).
+        """
+        self._write_listeners.append(listener)
+
+    def _notify_write(self, table: str) -> None:
+        for listener in self._write_listeners:
+            listener(table)
 
     # ------------------------------------------------------------------
     # Transactions
@@ -243,18 +318,22 @@ class Database:
 
     def begin(self) -> None:
         """Open an explicit transaction."""
-        self._txn.begin()
+        with self._mutex:
+            self._txn.begin()
 
     def commit(self) -> None:
         """Commit the open transaction, making it durable."""
-        redo = self._txn.take_commit()
-        if redo:
-            self._log({"type": "txn", "ops": redo})
+        with self._mutex:
+            redo = self._txn.take_commit()
+            if redo:
+                self._log({"type": "txn", "ops": redo})
+        self._sync_pending()
 
     def rollback(self) -> None:
         """Abort the open transaction, undoing all of its changes."""
-        for entry in self._txn.take_rollback():
-            self._apply_undo(entry)
+        with self._mutex:
+            for entry in self._txn.take_rollback():
+                self._apply_undo(entry)
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[None]:
@@ -299,18 +378,25 @@ class Database:
 
     def insert(self, table: str, values: dict[str, Any]) -> dict[str, Any]:
         """Insert one row; returns the stored row (defaults filled in)."""
-        entry = self._catalog.entry(table)
-        with self._statement():
-            row = self._materialise_row(entry, values)
-            self._check_primary_key(entry, row)
-            self._check_parent(entry, row)
-            self._check_foreign_keys(entry, row)
-            rowid = self._store(entry, row)
-            self._txn.record(
-                UndoInsert(table, rowid),
-                {"op": "insert", "table": table, "row": self._wire_row(entry, row)},
-            )
-            self.stats.record_write(table)
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            with self._statement():
+                row = self._materialise_row(entry, values)
+                self._check_primary_key(entry, row)
+                self._check_parent(entry, row)
+                self._check_foreign_keys(entry, row)
+                rowid = self._store(entry, row)
+                self._txn.record(
+                    UndoInsert(table, rowid),
+                    {
+                        "op": "insert",
+                        "table": table,
+                        "row": self._wire_row(entry, row),
+                    },
+                )
+                self.stats.record_write(table)
+                self._notify_write(table)
+        self._sync_pending()
         return dict(row)
 
     def _materialise_row(
@@ -412,15 +498,16 @@ class Database:
         named columns (the full row by default).  The ``order_by``
         column does not need to appear in the projection.
         """
-        entry = self._catalog.entry(table)
-        if where is not None:
-            entry.schema.validate_column_names(where.columns())
-        if order_by is not None:
-            entry.schema.validate_column_names([order_by])
-        if columns is not None:
-            entry.schema.validate_column_names(columns)
-        self.stats.record_read(table)
-        rows = [dict(row) for row in self._matching_rows(entry, where)]
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            if where is not None:
+                entry.schema.validate_column_names(where.columns())
+            if order_by is not None:
+                entry.schema.validate_column_names([order_by])
+            if columns is not None:
+                entry.schema.validate_column_names(columns)
+            self.stats.record_read(table)
+            rows = [dict(row) for row in self._matching_rows(entry, where)]
         if order_by is not None:
             rows.sort(key=_order_key(order_by), reverse=descending)
         if limit is not None:
@@ -437,29 +524,32 @@ class Database:
         return rows[0] if rows else None
 
     def get(self, table: str, *key: Any) -> dict[str, Any] | None:
-        """Primary-key lookup; returns the row or ``None``."""
-        entry = self._catalog.entry(table)
-        if len(key) != len(entry.schema.primary_key):
-            raise ConstraintError(
-                f"table {table!r} has a {len(entry.schema.primary_key)}-column "
-                f"primary key, got {len(key)} values"
-            )
-        self.stats.record_read(table)
-        self.stats.record_index_lookup()
-        rowids = entry.pk_index.lookup(tuple(key))
-        if not rowids:
-            return None
-        return dict(entry.heap.get(next(iter(rowids))))
+        """Primary-key lookup; always served by the PK hash index."""
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            if len(key) != len(entry.schema.primary_key):
+                raise ConstraintError(
+                    f"table {table!r} has a "
+                    f"{len(entry.schema.primary_key)}-column "
+                    f"primary key, got {len(key)} values"
+                )
+            self.stats.record_read(table)
+            self.stats.record_index_lookup()
+            rowids = entry.pk_index.lookup(tuple(key))
+            if not rowids:
+                return None
+            return dict(entry.heap.get(next(iter(rowids))))
 
     def count(self, table: str, where: Predicate | None = None) -> int:
         """Number of rows matching ``where``."""
-        entry = self._catalog.entry(table)
-        if where is None:
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            if where is None:
+                self.stats.record_read(table)
+                return len(entry.heap)
+            entry.schema.validate_column_names(where.columns())
             self.stats.record_read(table)
-            return len(entry.heap)
-        entry.schema.validate_column_names(where.columns())
-        self.stats.record_read(table)
-        return sum(1 for __ in self._matching_rows(entry, where))
+            return sum(1 for __ in self._matching_rows(entry, where))
 
     def select_with_parent(
         self,
@@ -473,32 +563,36 @@ class Database:
         returns one merged record per child row.  Child columns win on name
         clashes.  Works recursively up a multi-level parent chain.
         """
-        entry = self._catalog.entry(table)
-        child_rows = self.select(table, where)
-        chain: list[TableEntry] = []
-        current = entry
-        while current.schema.parent is not None:
-            current = self._catalog.entry(current.schema.parent)
-            chain.append(current)
-        merged_rows = []
-        for child_row in child_rows:
-            merged: dict[str, Any] = {}
-            key = tuple(child_row[column] for column in entry.schema.primary_key)
-            for ancestor in reversed(chain):
-                self.stats.record_read(ancestor.schema.name)
-                self.stats.record_index_lookup()
-                rowids = ancestor.pk_index.lookup(key)
-                if rowids:
-                    merged.update(ancestor.heap.get(next(iter(rowids))))
-            merged.update(child_row)
-            merged_rows.append(merged)
-        return merged_rows
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            child_rows = self.select(table, where)
+            chain: list[TableEntry] = []
+            current = entry
+            while current.schema.parent is not None:
+                current = self._catalog.entry(current.schema.parent)
+                chain.append(current)
+            merged_rows = []
+            for child_row in child_rows:
+                merged: dict[str, Any] = {}
+                key = tuple(
+                    child_row[column] for column in entry.schema.primary_key
+                )
+                for ancestor in reversed(chain):
+                    self.stats.record_read(ancestor.schema.name)
+                    self.stats.record_index_lookup()
+                    rowids = ancestor.pk_index.lookup(key)
+                    if rowids:
+                        merged.update(ancestor.heap.get(next(iter(rowids))))
+                merged.update(child_row)
+                merged_rows.append(merged)
+            return merged_rows
 
     def _matching_rows(
         self, entry: TableEntry, where: Predicate | None
     ) -> Iterator[dict[str, Any]]:
         rowids = self._plan(entry, where)
         if rowids is None:
+            self.stats.record_full_scan()
             self.stats.record_scan(len(entry.heap))
             for __, row in entry.heap.scan():
                 if where is None or where.matches(row):
@@ -520,57 +614,119 @@ class Database:
     def _plan_with_info(
         self, entry: TableEntry, where: Predicate | None
     ) -> tuple[list[int] | None, dict[str, Any]]:
-        """The planner proper: candidate rowids plus the chosen path."""
+        """The planner: candidate rowids plus the chosen access path.
+
+        Split into strategy *selection* (cacheable — depends only on the
+        predicate's shape and the table's indexes) and strategy
+        *execution* (per-query — plugs the predicate's values into the
+        chosen index).
+        """
+        strategy = self._plan_strategy(entry, where)
+        return self._execute_strategy(entry, where, strategy)
+
+    def _plan_strategy(
+        self, entry: TableEntry, where: Predicate | None
+    ) -> tuple[str, Any]:
+        """The cached access-path decision for (table, predicate shape)."""
         if where is None:
-            return None, {"access": "full_scan", "columns": None}
+            return ("full_scan", None)
+        if not self.plan_cache_enabled:
+            return self._derive_strategy(entry, where)
+        key = (entry.schema.name, where.shape())
+        strategy = self._plan_cache.get(key)
+        if strategy is not None:
+            self.stats.record_plan_cache(hit=True)
+            return strategy
+        self.stats.record_plan_cache(hit=False)
+        strategy = self._derive_strategy(entry, where)
+        self._plan_cache[key] = strategy
+        return strategy
+
+    def _derive_strategy(
+        self, entry: TableEntry, where: Predicate
+    ) -> tuple[str, Any]:
+        """Choose an access path from scratch (cache miss / bypass).
+
+        The decision depends only on the predicate's *shape*: which
+        columns are bound, and how.  The second element names the index
+        to use (``"__pk__"`` standing for the primary-key hash index),
+        so execution never searches the index dictionaries again.
+        """
         bindings = where.equality_bindings()
         if bindings:
             pk_columns = entry.schema.primary_key
             if all(column in bindings for column in pk_columns):
-                self.stats.record_index_lookup()
-                key = tuple(bindings[column] for column in pk_columns)
-                return sorted(entry.pk_index.lookup(key)), {
-                    "access": "pk_lookup",
-                    "columns": list(pk_columns),
-                }
-            for index in entry.hash_indexes.values():
+                return ("pk_lookup", "__pk__")
+            for name, index in entry.hash_indexes.items():
                 if all(column in bindings for column in index.columns):
-                    self.stats.record_index_lookup()
-                    key = tuple(bindings[column] for column in index.columns)
-                    return sorted(index.lookup(key)), {
-                        "access": "hash_index",
-                        "columns": list(index.columns),
-                    }
+                    return ("hash_index", name)
         if isinstance(where, IN):
-            index = self._hash_index_on(entry, (where.column,))
-            if index is not None:
-                self.stats.record_index_lookup()
-                rowids: set[int] = set()
-                for value in where.values:
-                    rowids.update(index.lookup((value,)))
-                return sorted(rowids), {
-                    "access": "in_index",
-                    "columns": [where.column],
-                }
+            if entry.schema.primary_key == (where.column,):
+                return ("in_index", "__pk__")
+            for name, index in entry.hash_indexes.items():
+                if index.columns == (where.column,):
+                    return ("in_index", name)
         if isinstance(where, (LT, LE, GT, GE)):
-            for ordered in entry.ordered_indexes.values():
+            for name, ordered in entry.ordered_indexes.items():
                 if ordered.column == where.column:
-                    self.stats.record_index_lookup()
-                    info = {"access": "range_scan", "columns": [where.column]}
-                    if isinstance(where, LT):
-                        return (
-                            list(ordered.range(high=where.value, include_high=False)),
-                            info,
-                        )
-                    if isinstance(where, LE):
-                        return list(ordered.range(high=where.value)), info
-                    if isinstance(where, GT):
-                        return (
-                            list(ordered.range(low=where.value, include_low=False)),
-                            info,
-                        )
-                    return list(ordered.range(low=where.value)), info
-        return None, {"access": "full_scan", "columns": None}
+                    return ("range_scan", name)
+        return ("full_scan", None)
+
+    def _execute_strategy(
+        self,
+        entry: TableEntry,
+        where: Predicate | None,
+        strategy: tuple[str, Any],
+    ) -> tuple[list[int] | None, dict[str, Any]]:
+        """Run a chosen access path against the current predicate values."""
+        access, index_name = strategy
+        if access == "full_scan":
+            return None, {"access": "full_scan", "columns": None}
+        self.stats.record_index_lookup()
+        if access == "pk_lookup":
+            pk_columns = entry.schema.primary_key
+            bindings = where.equality_bindings()
+            key = tuple(bindings[column] for column in pk_columns)
+            return sorted(entry.pk_index.lookup(key)), {
+                "access": "pk_lookup",
+                "columns": list(pk_columns),
+            }
+        if access == "hash_index":
+            index = entry.hash_indexes[index_name]
+            bindings = where.equality_bindings()
+            key = tuple(bindings[column] for column in index.columns)
+            return sorted(index.lookup(key)), {
+                "access": "hash_index",
+                "columns": list(index.columns),
+            }
+        if access == "in_index":
+            index = (
+                entry.pk_index
+                if index_name == "__pk__"
+                else entry.hash_indexes[index_name]
+            )
+            rowids: set[int] = set()
+            for value in where.values:
+                rowids.update(index.lookup((value,)))
+            return sorted(rowids), {
+                "access": "in_index",
+                "columns": [where.column],
+            }
+        ordered = entry.ordered_indexes[index_name]
+        info = {"access": "range_scan", "columns": [where.column]}
+        if isinstance(where, LT):
+            return (
+                list(ordered.range(high=where.value, include_high=False)),
+                info,
+            )
+        if isinstance(where, LE):
+            return list(ordered.range(high=where.value)), info
+        if isinstance(where, GT):
+            return (
+                list(ordered.range(low=where.value, include_low=False)),
+                info,
+            )
+        return list(ordered.range(low=where.value)), info
 
     def explain(
         self, table: str, where: Predicate | None = None
@@ -580,27 +736,19 @@ class Database:
         Returns ``access`` (``pk_lookup`` / ``hash_index`` / ``in_index``
         / ``range_scan`` / ``full_scan``), the ``columns`` the chosen
         index covers, and ``candidate_rows`` the path would touch before
-        post-filtering.
+        post-filtering.  ``update`` and ``delete`` locate their targets
+        through the same planner, so an ``explain`` of their predicate
+        describes their access path too.
         """
-        entry = self._catalog.entry(table)
-        if where is not None:
-            entry.schema.validate_column_names(where.columns())
-        rowids, info = self._plan_with_info(entry, where)
-        info["candidate_rows"] = (
-            len(entry.heap) if rowids is None else len(rowids)
-        )
-        return info
-
-    def _hash_index_on(
-        self, entry: TableEntry, columns: tuple[str, ...]
-    ) -> HashIndex | None:
-        """The PK or secondary hash index exactly covering ``columns``."""
-        if entry.schema.primary_key == columns:
-            return entry.pk_index
-        for index in entry.hash_indexes.values():
-            if index.columns == columns:
-                return index
-        return None
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            if where is not None:
+                entry.schema.validate_column_names(where.columns())
+            rowids, info = self._plan_with_info(entry, where)
+            info["candidate_rows"] = (
+                len(entry.heap) if rowids is None else len(rowids)
+            )
+            return info
 
     # ------------------------------------------------------------------
     # DML — update
@@ -618,28 +766,71 @@ class Database:
         experiment ids, and immutable keys keep the referential graph
         simple and cheap to maintain).
         """
-        entry = self._catalog.entry(table)
-        schema = entry.schema
-        schema.validate_column_names(changes)
-        if where is not None:
-            schema.validate_column_names(where.columns())
-        for column in changes:
-            if column in schema.primary_key:
-                raise ConstraintError(
-                    f"primary key column {schema.name}.{column} cannot be updated"
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            schema = entry.schema
+            schema.validate_column_names(changes)
+            if where is not None:
+                schema.validate_column_names(where.columns())
+            for column in changes:
+                if column in schema.primary_key:
+                    raise ConstraintError(
+                        f"primary key column {schema.name}.{column} "
+                        "cannot be updated"
+                    )
+            coerced = {
+                name: coerce(
+                    value, schema.column(name).type, f"{schema.name}.{name}"
                 )
-        coerced = {
-            name: coerce(value, schema.column(name).type, f"{schema.name}.{name}")
-            for name, value in changes.items()
-        }
-        for name, value in coerced.items():
-            if value is None and not schema.column(name).nullable:
-                raise NotNullError(f"column {schema.name}.{name} may not be NULL")
+                for name, value in changes.items()
+            }
+            for name, value in coerced.items():
+                if value is None and not schema.column(name).nullable:
+                    raise NotNullError(
+                        f"column {schema.name}.{name} may not be NULL"
+                    )
 
-        self.stats.record_read(table)  # locating the target rows is a read
-        targets = []
+            self.stats.record_read(table)  # locating targets is a read
+            targets = self._locate_targets(entry, where)
+
+            changed = 0
+            with self._statement():
+                for rowid in targets:
+                    old_row = dict(entry.heap.get(rowid))
+                    new_row = dict(old_row)
+                    new_row.update(coerced)
+                    if new_row == old_row:
+                        continue
+                    self._check_changed_foreign_keys(entry, old_row, new_row)
+                    self._replace(entry, rowid, old_row, new_row)
+                    self._txn.record(
+                        UndoUpdate(table, rowid, old_row),
+                        {
+                            "op": "update",
+                            "table": table,
+                            "pk": list(
+                                to_wire(new_row[c], schema.column(c).type)
+                                for c in schema.primary_key
+                            ),
+                            "row": self._wire_row(entry, new_row),
+                        },
+                    )
+                    self.stats.record_write(table)
+                    self._notify_write(table)
+                    changed += 1
+        self._sync_pending()
+        return changed
+
+    def _locate_targets(
+        self, entry: TableEntry, where: Predicate | None
+    ) -> list[int]:
+        """Rowids matching ``where`` — the planner-driven target scan
+        shared by :meth:`update` and :meth:`delete` (same index
+        selection as ``select``)."""
+        targets: list[int] = []
         rowids = self._plan(entry, where)
         if rowids is None:
+            self.stats.record_full_scan()
             self.stats.record_scan(len(entry.heap))
             for rowid, row in entry.heap.scan():
                 if where is None or where.matches(row):
@@ -649,32 +840,7 @@ class Database:
             for rowid in rowids:
                 if where is None or where.matches(entry.heap.get(rowid)):
                     targets.append(rowid)
-
-        changed = 0
-        with self._statement():
-            for rowid in targets:
-                old_row = dict(entry.heap.get(rowid))
-                new_row = dict(old_row)
-                new_row.update(coerced)
-                if new_row == old_row:
-                    continue
-                self._check_changed_foreign_keys(entry, old_row, new_row)
-                self._replace(entry, rowid, old_row, new_row)
-                self._txn.record(
-                    UndoUpdate(table, rowid, old_row),
-                    {
-                        "op": "update",
-                        "table": table,
-                        "pk": list(
-                            to_wire(new_row[c], schema.column(c).type)
-                            for c in schema.primary_key
-                        ),
-                        "row": self._wire_row(entry, new_row),
-                    },
-                )
-                self.stats.record_write(table)
-                changed += 1
-        return changed
+        return targets
 
     def _check_changed_foreign_keys(
         self,
@@ -725,28 +891,19 @@ class Database:
         Deleting a parent row cascades to inheritance children; foreign
         keys honour their declared ``on_delete`` action.
         """
-        entry = self._catalog.entry(table)
-        if where is not None:
-            entry.schema.validate_column_names(where.columns())
-        self.stats.record_read(table)
-        targets: list[int] = []
-        rowids = self._plan(entry, where)
-        if rowids is None:
-            self.stats.record_scan(len(entry.heap))
-            for rowid, row in entry.heap.scan():
-                if where is None or where.matches(row):
-                    targets.append(rowid)
-        else:
-            self.stats.record_scan(len(rowids))
-            for rowid in rowids:
-                if where is None or where.matches(entry.heap.get(rowid)):
-                    targets.append(rowid)
-        deleted = 0
-        with self._statement():
-            for rowid in targets:
-                if not entry.heap.contains(rowid):
-                    continue  # already removed by a cascade in this statement
-                deleted += self._delete_row(entry, rowid)
+        with self._mutex:
+            entry = self._catalog.entry(table)
+            if where is not None:
+                entry.schema.validate_column_names(where.columns())
+            self.stats.record_read(table)
+            targets = self._locate_targets(entry, where)
+            deleted = 0
+            with self._statement():
+                for rowid in targets:
+                    if not entry.heap.contains(rowid):
+                        continue  # already removed by a cascade
+                    deleted += self._delete_row(entry, rowid)
+        self._sync_pending()
         return deleted
 
     def _delete_row(self, entry: TableEntry, rowid: int) -> int:
@@ -800,6 +957,7 @@ class Database:
             },
         )
         self.stats.record_write(table)
+        self._notify_write(table)
         return deleted + 1
 
     def _referencing_rowids(
@@ -866,8 +1024,40 @@ class Database:
     # ------------------------------------------------------------------
 
     def _log(self, record: dict[str, Any]) -> None:
+        """Buffer one WAL record; durability is settled in _sync_pending.
+
+        The (sequence, start-time) pair is parked in a thread-local and
+        only assigned *after* the append returns, so an injected crash
+        inside ``append`` never leaves a stale pending commit behind.
+        """
         if self._wal is not None and not self._recovering:
-            self._wal.append(record)
+            t0 = time.perf_counter()
+            seq = self._wal.append(record)
+            self._pending_commit.seq = seq
+            self._pending_commit.t0 = t0
+
+    def _sync_pending(self) -> None:
+        """Wait for this thread's buffered commit to become durable.
+
+        Called *after* the engine mutex is released: under
+        ``sync_policy="group"`` that is what lets commits from many
+        threads share one fsync barrier instead of serialising their
+        own behind the lock.  Also feeds the :attr:`on_commit` latency
+        hook (append → durable, in milliseconds).
+        """
+        t0 = getattr(self._pending_commit, "t0", None)
+        if t0 is None:
+            return
+        seq = self._pending_commit.seq
+        self._pending_commit.t0 = None
+        self._pending_commit.seq = None
+        if self._wal is not None:
+            self._wal.sync(seq)
+        if self.on_commit is not None:
+            try:
+                self.on_commit((time.perf_counter() - t0) * 1000.0)
+            except Exception:
+                pass
 
     _recovering = False
 
@@ -965,6 +1155,10 @@ class Database:
         current database, so recovery time stops growing with history.
         Returns the number of records in the compacted log.
         """
+        with self._mutex:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> int:
         self._forbid_in_transaction("checkpoint")
         if self._wal is None:
             raise TransactionError("checkpoint requires a WAL-backed database")

@@ -41,6 +41,17 @@ class Predicate:
         """
         return {}
 
+    def shape(self) -> tuple:
+        """A hashable key identifying the predicate's *structure*.
+
+        Two predicates share a shape when they differ only in compared
+        values — ``EQ("project_id", 3)`` and ``EQ("project_id", 9)``
+        collapse to the same shape.  The planner's access-path choice
+        depends only on the shape (which columns are constrained, and
+        how), so the engine caches its strategy per (table, shape).
+        """
+        raise NotImplementedError
+
     # Composition sugar ----------------------------------------------------
 
     def __and__(self, other: "Predicate") -> "Predicate":
@@ -75,6 +86,9 @@ class _Comparison(Predicate):
 
     def columns(self) -> set[str]:
         return {self.column}
+
+    def shape(self) -> tuple:
+        return (type(self).__name__, self.column)
 
 
 class EQ(_Comparison):
@@ -152,6 +166,9 @@ class IN(Predicate):
     def columns(self) -> set[str]:
         return {self.column}
 
+    def shape(self) -> tuple:
+        return ("IN", self.column)
+
 
 @dataclass(frozen=True)
 class LIKE(Predicate):
@@ -171,6 +188,9 @@ class LIKE(Predicate):
 
     def columns(self) -> set[str]:
         return {self.column}
+
+    def shape(self) -> tuple:
+        return ("LIKE", self.column)
 
 
 def _like(text: str, pattern: str) -> bool:
@@ -207,6 +227,9 @@ class IS_NULL(Predicate):
     def columns(self) -> set[str]:
         return {self.column}
 
+    def shape(self) -> tuple:
+        return ("IS_NULL", self.column)
+
 
 class AND(Predicate):
     """Conjunction of two or more predicates."""
@@ -232,6 +255,9 @@ class AND(Predicate):
                 bindings.setdefault(column, value)
         return bindings
 
+    def shape(self) -> tuple:
+        return ("AND", tuple(op.shape() for op in self.operands))
+
     def __repr__(self) -> str:
         return f"AND{self.operands!r}"
 
@@ -250,6 +276,9 @@ class OR(Predicate):
     def columns(self) -> set[str]:
         return set().union(*(op.columns() for op in self.operands))
 
+    def shape(self) -> tuple:
+        return ("OR", tuple(op.shape() for op in self.operands))
+
     def __repr__(self) -> str:
         return f"OR{self.operands!r}"
 
@@ -265,6 +294,9 @@ class NOT(Predicate):
 
     def columns(self) -> set[str]:
         return self.operand.columns()
+
+    def shape(self) -> tuple:
+        return ("NOT", self.operand.shape())
 
 
 def by_key(key_columns: Sequence[str], key_values: Sequence[Any]) -> Predicate:

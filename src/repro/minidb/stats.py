@@ -10,6 +10,12 @@ counts every logical access at the statement level:
 * each ``insert`` / ``update`` / ``delete`` statement increments
   ``writes`` once per affected table.
 
+The perf layer adds planner accounting on top: ``full_scans`` counts
+statements the planner could not serve from any index (the regression
+signal for "this query should have been indexed"), and the plan-cache
+hit/miss counters expose how often the per-(table, predicate-shape)
+strategy cache saved a planning pass.
+
 Counters are kept globally and per table, and can be snapshotted so the
 benchmark harness can attribute accesses to a single request.
 """
@@ -27,6 +33,9 @@ class StatsSnapshot:
     writes: int
     rows_scanned: int
     index_lookups: int
+    full_scans: int
+    plan_cache_hits: int
+    plan_cache_misses: int
     per_table_reads: dict[str, int]
     per_table_writes: dict[str, int]
 
@@ -37,6 +46,11 @@ class StatsSnapshot:
             writes=self.writes - earlier.writes,
             rows_scanned=self.rows_scanned - earlier.rows_scanned,
             index_lookups=self.index_lookups - earlier.index_lookups,
+            full_scans=self.full_scans - earlier.full_scans,
+            plan_cache_hits=self.plan_cache_hits - earlier.plan_cache_hits,
+            plan_cache_misses=(
+                self.plan_cache_misses - earlier.plan_cache_misses
+            ),
             per_table_reads={
                 table: count - earlier.per_table_reads.get(table, 0)
                 for table, count in self.per_table_reads.items()
@@ -58,6 +72,9 @@ class DatabaseStats:
     writes: int = 0
     rows_scanned: int = 0
     index_lookups: int = 0
+    full_scans: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     per_table_reads: dict[str, int] = field(default_factory=dict)
     per_table_writes: dict[str, int] = field(default_factory=dict)
 
@@ -75,6 +92,15 @@ class DatabaseStats:
     def record_index_lookup(self) -> None:
         self.index_lookups += 1
 
+    def record_full_scan(self) -> None:
+        self.full_scans += 1
+
+    def record_plan_cache(self, hit: bool) -> None:
+        if hit:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
+
     def snapshot(self) -> StatsSnapshot:
         """Copy the current counters into an immutable snapshot."""
         return StatsSnapshot(
@@ -82,6 +108,9 @@ class DatabaseStats:
             writes=self.writes,
             rows_scanned=self.rows_scanned,
             index_lookups=self.index_lookups,
+            full_scans=self.full_scans,
+            plan_cache_hits=self.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses,
             per_table_reads=dict(self.per_table_reads),
             per_table_writes=dict(self.per_table_writes),
         )
@@ -92,5 +121,8 @@ class DatabaseStats:
         self.writes = 0
         self.rows_scanned = 0
         self.index_lookups = 0
+        self.full_scans = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self.per_table_reads.clear()
         self.per_table_writes.clear()

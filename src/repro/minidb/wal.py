@@ -1,10 +1,27 @@
 """Write-ahead log for minidb.
 
 Each committed transaction (and each DDL statement) is appended to a
-JSON-lines file, flushed and fsync'd before the commit returns.  On open,
-a Database replays the log to rebuild its state — this is also how crash
-recovery is exercised in the tests: kill the Database object, reopen the
-file, and the committed (and only the committed) state reappears.
+JSON-lines file as one record.  When the record becomes *durable* is
+governed by the sync policy:
+
+``always``
+    flush + fsync before :meth:`append` returns — the original
+    one-fsync-per-record discipline, and the default.
+``group``
+    :meth:`append` only buffers (write + flush); durability is deferred
+    to :meth:`sync`, where concurrent committers share one fsync via
+    :class:`repro.durable.GroupCommitter` (group commit).  The commit
+    still does not return to its caller until its record is durable —
+    only the *per-record* fsync is gone, not the guarantee.
+``off``
+    flush only, never fsync — for benchmarks and throwaway databases;
+    a crash may lose the tail of the log but never corrupts it.
+
+On open, a Database replays the log to rebuild its state — this is also
+how crash recovery is exercised in the tests: kill the Database object,
+reopen the file, and the committed (and only the committed) state
+reappears.  Under every policy the on-disk log is a *prefix* of the
+committed record sequence (plus at most one torn final line).
 
 Record shapes::
 
@@ -22,27 +39,45 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Iterator
 
 from typing import TYPE_CHECKING
 
+from repro.durable import SYNC_POLICIES, GroupCommitter, validate_sync_policy
 from repro.errors import RecoveryError
 from repro.resilience.faults import fire
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.faults import FaultPlan
 
+__all__ = ["SYNC_POLICIES", "WriteAheadLog"]
+
 
 class WriteAheadLog:
     """Durable JSON-lines log with atomic append semantics."""
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        sync_policy: str = "always",
+        group_window_s: float = 0.0,
+    ) -> None:
+        validate_sync_policy(sync_policy)
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.sync_policy = sync_policy
         self._handle = None
-        #: Records durably appended through this handle's lifetime.
+        #: Serialises buffered writes (appends may come from many
+        #: threads once the engine releases its mutex before syncing).
+        self._write_lock = threading.Lock()
+        #: Shared fsync barrier for ``sync_policy="group"``.
+        self.group = GroupCommitter(window_s=group_window_s)
+        #: Records appended (buffered) through this handle's lifetime.
         self.appended = 0
+        #: fsync barriers issued through this handle's lifetime.
+        self.fsyncs = 0
         #: Optional fault-injection plan (``repro.resilience.faults``).
         self.faults: "FaultPlan | None" = None
 
@@ -76,8 +111,15 @@ class WriteAheadLog:
 
     # -- append -------------------------------------------------------------
 
-    def append(self, record: dict[str, Any]) -> None:
-        """Durably append one record.
+    def append(self, record: dict[str, Any]) -> int | None:
+        """Append one record; durable per the sync policy.
+
+        Under ``always`` the record is flushed and fsync'd before the
+        call returns.  Under ``group`` the record is only buffered; the
+        returned sequence number must be handed to :meth:`sync` to wait
+        for (and share) the durability barrier.  Under ``off`` the
+        record is flushed, never fsync'd.  Returns ``None`` except in
+        ``group`` mode.
 
         Fault point ``wal.append`` (context: ``record_type``): ``crash``
         dies before anything hits the file — the transaction never
@@ -86,28 +128,63 @@ class WriteAheadLog:
         discards it when final, refuses the log otherwise).  Fault point
         ``wal.fsync``: ``crash`` dies after the write but before the
         fsync returned — the record may or may not survive; replay
-        treats whatever is on disk as the truth.
+        treats whatever is on disk as the truth.  In ``group`` mode the
+        point fires in the barrier leader, inside :meth:`sync`.
         """
-        action = fire(self.faults, "wal.append", record_type=record.get("type"))
-        if action == "drop":
-            # A lying disk: the caller believes the record is durable.
-            return
-        if self._handle is None:
-            self._handle = self.path.open("a", encoding="utf-8")
-        line = json.dumps(record, separators=(",", ":"))
-        if action == "corrupt":
-            self._handle.write(line[: max(1, len(line) // 2)])
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            raise RecoveryError(
-                f"injected torn write at {self.path} "
-                f"(record type {record.get('type')!r})"
+        with self._write_lock:
+            action = fire(
+                self.faults, "wal.append", record_type=record.get("type")
             )
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        fire(self.faults, "wal.fsync", record_type=record.get("type"))
-        os.fsync(self._handle.fileno())
-        self.appended += 1
+            if action == "drop":
+                # A lying disk: the caller believes the record is durable.
+                return None
+            if self._handle is None:
+                self._handle = self.path.open("a", encoding="utf-8")
+            line = json.dumps(record, separators=(",", ":"))
+            if action == "corrupt":
+                self._handle.write(line[: max(1, len(line) // 2)])
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                raise RecoveryError(
+                    f"injected torn write at {self.path} "
+                    f"(record type {record.get('type')!r})"
+                )
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.appended += 1
+            if self.sync_policy == "group":
+                return self.group.note_write()
+        if self.sync_policy == "always":
+            fire(self.faults, "wal.fsync", record_type=record.get("type"))
+            os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+        return None
+
+    def sync(self, seq: int | None) -> None:
+        """Make the append that returned ``seq`` durable (group policy).
+
+        A no-op for ``always`` (already durable) and ``off`` (never
+        durable), and for ``seq=None`` (nothing was buffered).  Many
+        threads may call this concurrently; one of them fsyncs for all.
+        """
+        if self.sync_policy != "group" or seq is None:
+            return
+        self.group.wait_durable(seq, self._sync_barrier)
+
+    def _sync_barrier(self) -> None:
+        """One fsync covering every buffered append (leader only)."""
+        fire(self.faults, "wal.fsync", record_type="group")
+        handle = self._handle
+        if handle is not None:
+            os.fsync(handle.fileno())
+        self.fsyncs += 1
+
+    def flush_pending(self) -> None:
+        """Drain any un-synced group-mode appends (checkpoint/close)."""
+        if self.sync_policy != "group":
+            return
+        if self.group.pending() > 0:
+            self.group.wait_durable(self.group.latest(), self._sync_barrier)
 
     def size_bytes(self) -> int:
         """Current on-disk size of the log (0 when it does not exist)."""
@@ -117,10 +194,19 @@ class WriteAheadLog:
             return 0
 
     def close(self) -> None:
-        """Release the file handle (reopened lazily on next append)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Release the file handle (reopened lazily on next append).
+
+        In ``group`` mode any still-buffered appends are fsync'd first —
+        a clean close never loses acknowledged work.
+        """
+        try:
+            if self._handle is not None:
+                self.flush_pending()
+        finally:
+            with self._write_lock:
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
 
     def truncate(self) -> None:
         """Erase the log (used after a checkpoint rewrite)."""

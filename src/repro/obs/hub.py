@@ -86,6 +86,20 @@ class _BrokerObserver:
                 kind=message.headers.get("kind"),
             )
 
+    def on_receive_wait(self, queue: str, waited_ms: float) -> None:
+        """Time a consumer spent blocked on its queue before a delivery.
+
+        Distinct from ``broker_delivery_wait_ms`` (send→deliver, the
+        message's view): this is the *consumer's* view — how long the
+        receive call sat on its queue condition, the quantity the
+        per-queue locking work is meant to shrink.
+        """
+        self.hub.registry.histogram(
+            "broker_receive_wait_ms",
+            help="Time a blocking receive waited before delivery",
+            queue=queue,
+        ).observe(waited_ms)
+
 
 class ObservabilityHub:
     """Tracer + registry + log + audit + exporter, with wiring helpers."""
@@ -288,6 +302,21 @@ class ObservabilityHub:
             self.registry.counter(
                 "db_index_lookups_total", help="Index lookups"
             ).set(stats.index_lookups)
+            self.registry.counter(
+                "db_full_scans_total",
+                help="Statements served without any index",
+            ).set(stats.full_scans)
+            self.registry.counter(
+                "db_plan_cache_hits_total", help="Plan-cache hits"
+            ).set(stats.plan_cache_hits)
+            self.registry.counter(
+                "db_plan_cache_misses_total", help="Plan-cache misses"
+            ).set(stats.plan_cache_misses)
+            wal = db.wal_info()
+            if wal.get("enabled"):
+                self.registry.counter(
+                    "db_wal_fsyncs_total", help="WAL fsync barriers"
+                ).set(wal["fsyncs"])
             for table, count in stats.per_table_reads.items():
                 self.registry.counter(
                     "db_table_reads_total",
@@ -302,6 +331,13 @@ class ObservabilityHub:
                 ).set(count)
 
         self.registry.add_collector(collect)
+
+        if getattr(db, "on_commit", None) is None:
+            commit_histogram = self.registry.histogram(
+                "db_commit_latency_ms",
+                help="Commit durability latency (WAL append to fsync)",
+            )
+            db.on_commit = commit_histogram.observe
 
         def health() -> dict[str, Any]:
             info: dict[str, Any] = {
@@ -467,6 +503,11 @@ class ObservabilityHub:
                     help="Messages waiting per queue",
                     queue=queue,
                 ).set(broker.queue_depth(queue))
+                self.registry.counter(
+                    "broker_queue_wakeups_total",
+                    help="Notified wakeups of blocked receives per queue",
+                    queue=queue,
+                ).set(broker.queue_wakeups(queue))
             self.registry.gauge(
                 "broker_in_flight", help="Delivered but unacked messages"
             ).set(broker.in_flight_count())
@@ -479,6 +520,10 @@ class ObservabilityHub:
                 "broker_journal_records_total",
                 help="Records appended to the broker journal",
             ).set(journal.get("appended_records", 0))
+            self.registry.counter(
+                "broker_journal_fsyncs_total",
+                help="fsync barriers issued by the broker journal",
+            ).set(journal.get("fsyncs", 0))
 
         self.registry.add_collector(collect)
 

@@ -77,14 +77,20 @@ class ExpDB:
 def build_expdb(
     wal_path: str | os.PathLike[str] | None = None,
     install_schema: bool = True,
+    sync_policy: str = "always",
+    group_window_s: float = 0.0,
 ) -> ExpDB:
     """Build a fresh Exp-DB application.
 
     ``wal_path`` enables durability; ``install_schema=False`` skips the
     core schema (for reopening an existing WAL, which replays its own
-    DDL).
+    DDL).  ``sync_policy``/``group_window_s`` select the WAL durability
+    discipline (see :mod:`repro.minidb.wal`) — ``"group"`` batches
+    concurrent commit fsyncs behind one barrier.
     """
-    db = Database(wal_path)
+    db = Database(
+        wal_path, sync_policy=sync_policy, group_window_s=group_window_s
+    )
     if install_schema:
         install_core_schema(db)
     bean = TableBean(db)

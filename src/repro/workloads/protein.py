@@ -375,6 +375,8 @@ def build_protein_lab(
     retry_policy: RetryPolicy | None = None,
     lease_ttl_s: float = 300.0,
     max_redispatches: int = 1,
+    sync_policy: str = "always",
+    group_window_s: float = 0.0,
 ) -> ProteinLab:
     """Assemble the complete protein lab.
 
@@ -390,13 +392,21 @@ def build_protein_lab(
     wall-clock sleeps; ``fault_plan`` is attached across WAL, broker,
     manager and agents; ``retry_policy`` overrides the broker-wide
     delivery policy; ``lease_ttl_s``/``max_redispatches`` configure
-    the liveness sweep.
+    the liveness sweep.  ``sync_policy``/``group_window_s`` select the
+    durability discipline for both the WAL and the broker journal
+    (``"group"`` shares fsync barriers between concurrent committers).
     """
-    app = build_expdb(wal_path=wal_path)
+    app = build_expdb(
+        wal_path=wal_path,
+        sync_policy=sync_policy,
+        group_window_s=group_window_s,
+    )
     broker = MessageBroker(
         journal_path=journal_path,
         clock=clock,
         default_retry_policy=retry_policy,
+        sync_policy=sync_policy,
+        group_window_s=group_window_s,
     )
     email = EmailTransport()
     manager = AgentManager(

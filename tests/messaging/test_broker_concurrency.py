@@ -1,0 +1,161 @@
+"""Per-queue broker locking: wakeup isolation, parallel queues, group journal."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.messaging import MessageBroker
+
+
+@pytest.fixture
+def broker() -> MessageBroker:
+    b = MessageBroker()
+    b.declare_queue("quiet")
+    b.declare_queue("busy")
+    return b
+
+
+class TestWakeupIsolation:
+    def test_idle_consumer_not_woken_by_other_queue_traffic(self, broker):
+        """The satellite invariant: traffic on B never wakes a waiter on A."""
+        consumed: list[int] = []
+
+        def quiet_consumer() -> None:
+            # Blocks on queue "quiet" the whole time "busy" is churning.
+            broker.receive("quiet", timeout=0.6)
+
+        def busy_consumer() -> None:
+            while len(consumed) < 20:
+                message = broker.receive("busy", timeout=0.5)
+                if message is None:
+                    return
+                consumed.append(message.message_id)
+                broker.ack(message)
+
+        quiet = threading.Thread(target=quiet_consumer)
+        busy = threading.Thread(target=busy_consumer)
+        quiet.start()
+        busy.start()
+        for i in range(20):
+            broker.send("busy", f"job-{i}")
+        quiet.join()
+        busy.join()
+
+        assert len(consumed) == 20
+        assert broker.queue_wakeups("busy") >= 1
+        assert broker.queue_wakeups("quiet") == 0
+
+    def test_notified_waiter_counts_one_wakeup(self, broker):
+        got: list[object] = []
+
+        def consumer() -> None:
+            got.append(broker.receive("quiet", timeout=1.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        # Let the consumer reach its wait before the send notifies it.
+        deadline = threading.Event()
+        deadline.wait(0.05)
+        broker.send("quiet", "hello")
+        thread.join()
+
+        assert got[0] is not None and got[0].body == "hello"
+        assert broker.queue_wakeups("quiet") == 1
+
+    def test_timeout_without_traffic_counts_zero_wakeups(self, broker):
+        assert broker.receive("quiet", timeout=0.05) is None
+        assert broker.queue_wakeups("quiet") == 0
+
+
+class TestParallelQueues:
+    def test_concurrent_producers_and_consumers_across_queues(self):
+        broker = MessageBroker()
+        queues = [f"q{i}" for i in range(4)]
+        for name in queues:
+            broker.declare_queue(name)
+        per_queue = 25
+        received: dict[str, list[str]] = {name: [] for name in queues}
+
+        def producer(name: str) -> None:
+            for i in range(per_queue):
+                broker.send(name, f"{name}-{i}")
+
+        def consumer(name: str) -> None:
+            while len(received[name]) < per_queue:
+                message = broker.receive(name, timeout=2.0)
+                if message is None:
+                    return
+                received[name].append(message.body)
+                broker.ack(message)
+
+        pool = [
+            threading.Thread(target=fn, args=(name,))
+            for name in queues
+            for fn in (producer, consumer)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        for name in queues:
+            # Per-queue FIFO order survives cross-queue concurrency.
+            assert received[name] == [f"{name}-{i}" for i in range(per_queue)]
+        assert broker.in_flight_count() == 0
+
+
+class TestGroupModeJournal:
+    def test_group_policy_batches_fsyncs_and_recovers(self, tmp_path):
+        journal = tmp_path / "broker.journal"
+        broker = MessageBroker(
+            journal, sync_policy="group", group_window_s=0.002
+        )
+        broker.declare_queue("work")
+        senders = 6
+        per_sender = 20
+        barrier = threading.Barrier(senders)
+
+        def sender(n: int) -> None:
+            barrier.wait()
+            for i in range(per_sender):
+                broker.send("work", f"s{n}-{i}")
+
+        pool = [
+            threading.Thread(target=sender, args=(n,)) for n in range(senders)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        info = broker.journal_info()
+        assert info["sync_policy"] == "group"
+        assert info["appended_records"] == senders * per_sender + 1
+        assert info["fsyncs"] < info["appended_records"]
+        broker.close()
+
+        reopened = MessageBroker(journal)
+        assert reopened.queue_depth("work") == senders * per_sender
+        bodies = set()
+        while (message := reopened.receive("work")) is not None:
+            bodies.add(message.body)
+            reopened.ack(message)
+        assert len(bodies) == senders * per_sender
+        reopened.close()
+
+    def test_ack_before_crash_stays_acked_under_group(self, tmp_path):
+        journal = tmp_path / "broker.journal"
+        broker = MessageBroker(journal, sync_policy="group")
+        broker.declare_queue("work")
+        broker.send("work", "done")
+        broker.send("work", "pending")
+        first = broker.receive("work")
+        broker.ack(first)
+        broker.close()
+
+        reopened = MessageBroker(journal)
+        assert reopened.queue_depth("work") == 1
+        assert reopened.receive("work").body == "pending"
+        reopened.close()

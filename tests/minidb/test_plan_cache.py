@@ -1,0 +1,152 @@
+"""Plan caching and access-path regressions (get/select_one/update/delete)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minidb import (
+    AND,
+    EQ,
+    GT,
+    IN,
+    Column,
+    ColumnType,
+    Database,
+    TableSchema,
+)
+
+
+def sample_schema() -> TableSchema:
+    return TableSchema(
+        name="Sample",
+        columns=[
+            Column("sample_id", ColumnType.INTEGER, nullable=False),
+            Column("barcode", ColumnType.TEXT, nullable=False),
+            Column("rack", ColumnType.TEXT),
+            Column("volume", ColumnType.REAL),
+        ],
+        primary_key=("sample_id",),
+        autoincrement="sample_id",
+    )
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(sample_schema())
+    for i in range(20):
+        database.insert(
+            "Sample",
+            {"barcode": f"BC{i:03d}", "rack": f"R{i % 4}", "volume": 1.0 * i},
+        )
+    return database
+
+
+class TestPlanCache:
+    def test_repeated_shape_hits_cache(self, db):
+        db.stats.reset()
+        db.select("Sample", EQ("sample_id", 3))
+        db.select("Sample", EQ("sample_id", 9))  # same shape, new value
+        assert db.stats.plan_cache_misses == 1
+        assert db.stats.plan_cache_hits == 1
+
+    def test_distinct_shapes_get_distinct_entries(self, db):
+        db.stats.reset()
+        db.select("Sample", EQ("sample_id", 1))
+        db.select("Sample", EQ("rack", "R1"))
+        db.select("Sample", AND(EQ("rack", "R1"), GT("volume", 2.0)))
+        assert db.stats.plan_cache_misses == 3
+        assert db.stats.plan_cache_hits == 0
+
+    def test_ddl_invalidates_cached_plan(self, db):
+        # With no index on barcode the cached plan is a full scan …
+        assert db.explain("Sample", EQ("barcode", "BC005"))["access"] == (
+            "full_scan"
+        )
+        db.create_index("Sample", ["barcode"])
+        # … and creating the index must drop that entry, not serve it.
+        assert db.explain("Sample", EQ("barcode", "BC005"))["access"] == (
+            "hash_index"
+        )
+        db.stats.reset()
+        rows = db.select("Sample", EQ("barcode", "BC005"))
+        assert [r["barcode"] for r in rows] == ["BC005"]
+        assert db.stats.full_scans == 0
+        assert db.stats.index_lookups == 1
+
+    def test_disabled_cache_still_plans_correctly(self, db):
+        db.plan_cache_enabled = False
+        db.stats.reset()
+        db.select("Sample", EQ("sample_id", 3))
+        db.select("Sample", EQ("sample_id", 9))
+        assert db.stats.plan_cache_hits == 0
+        assert db.stats.plan_cache_misses == 0
+        assert db.stats.index_lookups == 2
+        assert db.stats.full_scans == 0
+
+
+class TestPrimaryKeyPathRegression:
+    """get()/select_one() on a primary key must never full-scan."""
+
+    def test_get_uses_pk_lookup(self, db):
+        db.stats.reset()
+        row = db.get("Sample", 7)
+        assert row is not None and row["sample_id"] == 7
+        assert db.stats.full_scans == 0
+        assert db.stats.index_lookups == 1
+
+    def test_get_miss_still_avoids_scan(self, db):
+        db.stats.reset()
+        assert db.get("Sample", 999) is None
+        assert db.stats.full_scans == 0
+
+    def test_select_one_on_pk_uses_pk_lookup(self, db):
+        assert db.explain("Sample", EQ("sample_id", 7))["access"] == (
+            "pk_lookup"
+        )
+        db.stats.reset()
+        row = db.select_one("Sample", EQ("sample_id", 7))
+        assert row is not None and row["barcode"] == "BC006"
+        assert db.stats.full_scans == 0
+        assert db.stats.index_lookups == 1
+
+    def test_in_on_pk_avoids_scan(self, db):
+        db.stats.reset()
+        rows = db.select("Sample", IN("sample_id", [2, 4, 6]))
+        assert len(rows) == 3
+        assert db.stats.full_scans == 0
+
+
+class TestWriteSidePlanning:
+    """update/delete go through the same planner as select."""
+
+    def test_update_uses_index_when_available(self, db):
+        db.create_index("Sample", ["rack"])
+        assert db.explain("Sample", EQ("rack", "R2"))["access"] == (
+            "hash_index"
+        )
+        db.stats.reset()
+        changed = db.update("Sample", EQ("rack", "R2"), {"volume": 99.0})
+        assert changed == 5
+        assert db.stats.full_scans == 0
+        assert db.stats.index_lookups == 1
+
+    def test_update_on_pk_predicate_avoids_scan(self, db):
+        db.stats.reset()
+        assert db.update("Sample", EQ("sample_id", 3), {"rack": "RX"}) == 1
+        assert db.stats.full_scans == 0
+        assert db.get("Sample", 3)["rack"] == "RX"
+
+    def test_delete_uses_index_when_available(self, db):
+        db.create_index("Sample", ["barcode"])
+        db.stats.reset()
+        assert db.delete("Sample", EQ("barcode", "BC010")) == 1
+        assert db.stats.full_scans == 0
+        assert db.stats.index_lookups == 1
+
+    def test_unindexed_write_predicate_counts_a_full_scan(self, db):
+        db.stats.reset()
+        db.update("Sample", EQ("rack", "R0"), {"volume": 0.0})
+        assert db.stats.full_scans == 1
+        db.delete("Sample", GT("volume", 1e9))
+        assert db.stats.full_scans == 2
