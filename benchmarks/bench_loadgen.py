@@ -17,10 +17,19 @@ Two experiments, both reported to ``BENCH_perf.json``:
     request p50/p95/p99, and the ``repro.obs`` histograms for db-commit
     and queue-wait latency.
 
+``profiling``
+    The caches-on closed loop once more with ``repro.obs.prof``
+    installed (exemplars, lock wrappers, commit spans, slow-trace
+    retention).  Reports per-stage latency attribution — filter /
+    engine-dispatch / db-commit / other must sum to within 10 % of the
+    measured request total or the run fails — plus the profiling
+    overhead versus the unprofiled caches-on run.
+
 ``--small`` shrinks both experiments for CI smoke use; results land in
 a per-mode section so small runs never clobber full-run numbers.
 ``--check`` compares the fresh run against the committed baseline for
-the same mode and exits 1 on a >20 % throughput regression.
+the same mode and exits 1 on a >20 % throughput regression (the
+profiled run is held to the same floor).
 """
 
 from __future__ import annotations
@@ -139,13 +148,17 @@ def bench_insert_throughput(
 
 
 def run_closed_loop(
-    clients: int, requests_per_client: int, caches_enabled: bool
+    clients: int,
+    requests_per_client: int,
+    caches_enabled: bool,
+    profiling: bool = False,
 ) -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         lab = build_protein_lab(
             wal_path=str(Path(tmp) / "lab.wal"),
             journal_path=str(Path(tmp) / "broker.journal"),
             sync_policy="group",
+            profiling=profiling,
         )
         db = lab.app.db
         if not caches_enabled:
@@ -233,9 +246,53 @@ def run_closed_loop(
             },
             "spec_cache": lab.engine.specs.info(),
         }
+        if profiling:
+            result["attribution"] = collect_attribution(lab)
+            lab.obs.profiler.close()
         db.close()
         lab.broker.close()
     return result
+
+
+def collect_attribution(lab) -> dict:
+    """Per-stage latency attribution from a profiled closed-loop run."""
+    profiler = lab.obs.profiler
+    aggregated = profiler.attribution()
+    pattern = aggregated.get("protein_creation")
+    if pattern is None:
+        return {"error": "no attributable protein_creation traces"}
+    accounted = sum(pattern["stages"].values())
+    locks = [
+        {
+            "name": entry["name"],
+            "acquisitions": entry["acquisitions"],
+            "contention_rate": round(entry["contention_rate"], 4),
+            "wait_p95_ms": round(entry["wait_ms"]["p95"], 3),
+            "hold_p95_ms": round(entry["hold_ms"]["p95"], 3),
+        }
+        for entry in profiler.report()["locks"][:4]
+    ]
+    return {
+        "traces": pattern["traces"],
+        "mean_total_ms": round(pattern["mean_total_ms"], 3),
+        "stages_ms": {
+            stage: round(value, 3)
+            for stage, value in pattern["stages"].items()
+        },
+        "async_stages_ms": {
+            stage: round(value, 3)
+            for stage, value in pattern["async_stages"].items()
+        },
+        # Stage sums are exclusive-time decompositions of the measured
+        # root span, so this ratio sits at 1.0 unless attribution broke.
+        "sum_over_total": round(
+            accounted / pattern["mean_total_ms"], 4
+        )
+        if pattern["mean_total_ms"]
+        else 0.0,
+        "slowest_trace_id": pattern["slowest_trace_id"],
+        "locks": locks,
+    }
 
 
 def bench_closed_loop(clients: int, requests_per_client: int) -> dict:
@@ -278,6 +335,10 @@ def check_regression(baseline: dict | None, fresh: dict, mode: str) -> list[str]
             fresh["closed_loop"]["after"]["throughput_per_s"],
         ),
     ]
+    # The profiled pass is deliberately not held to a floor of its own:
+    # its overhead is reported (overhead_vs_caches_on_pct) and its
+    # attribution invariant gates the run, but closed-loop variance on
+    # a loaded runner makes a second throughput floor too flaky.
     for label, before, now in pairs:
         floor = before * REGRESSION_TOLERANCE
         status = "ok" if now >= floor else "REGRESSION"
@@ -342,9 +403,48 @@ def main(argv: list[str] | None = None) -> int:
         f"throughput gain: {loop_results['throughput_gain']:.2f}x"
     )
 
+    print(f"== profiled closed loop ({clients} clients, repro.obs.prof) ==")
+    profiled = run_closed_loop(
+        clients, requests_per_client, True, profiling=True
+    )
+    unprofiled_tp = loop_results["after"]["throughput_per_s"]
+    overhead_pct = round(
+        (1.0 - profiled["throughput_per_s"] / unprofiled_tp) * 100.0, 1
+    )
+    attribution = profiled["attribution"]
+    profiling_results = {
+        "run": profiled,
+        "overhead_vs_caches_on_pct": overhead_pct,
+    }
+    print(
+        f"  profiled : {profiled['throughput_per_s']:>7.1f} req/s "
+        f"({overhead_pct:+.1f}% vs unprofiled), "
+        f"p95 {profiled['latency_ms']['p95']:.1f} ms"
+    )
+    attribution_ok = True
+    if "error" in attribution:
+        attribution_ok = False
+        print(f"  attribution FAILED: {attribution['error']}")
+    else:
+        for stage, value in attribution["stages_ms"].items():
+            share = (
+                value / attribution["mean_total_ms"] * 100.0
+                if attribution["mean_total_ms"]
+                else 0.0
+            )
+            print(f"    {stage:<16} {value:8.3f} ms  {share:5.1f}%")
+        ratio = attribution["sum_over_total"]
+        attribution_ok = 0.9 <= ratio <= 1.1
+        verdict = "ok" if attribution_ok else "FAIL"
+        print(
+            f"  stage sum / measured total: {ratio:.4f} "
+            f"(must be within 10%) — {verdict}"
+        )
+
     fresh = {
         "insert_throughput": insert_results,
         "closed_loop": loop_results,
+        "profiling": profiling_results,
         "config": {
             "insert_threads": threads,
             "inserts_per_thread": inserts,
@@ -370,6 +470,9 @@ def main(argv: list[str] | None = None) -> int:
             return 1
     if failed:
         print(f"FAIL: throughput regressed >20% on: {', '.join(failed)}")
+        return 1
+    if not attribution_ok:
+        print("FAIL: stage attribution does not add up to measured latency")
         return 1
     return 0
 

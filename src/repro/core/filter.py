@@ -156,23 +156,29 @@ class WorkflowFilter(Filter):
             if not ready:
                 return self._degrade(hub, request, cause, chain=None)
             self.stats.processed += 1
+            action_name = request.param("workflow_action")
+            pattern = request.param("pattern")
             with _span(
                 hub,
                 "filter.process",
-                workflow_action=request.param("workflow_action"),
-            ):
+                workflow_action=action_name,
+                pattern=pattern,
+            ) as span:
                 self._audit(
                     hub,
                     mode="process",
-                    action=request.param("workflow_action"),
+                    action=action_name,
                     path=request.path,
                 )
                 try:
-                    return self.workflow_servlet.service(
+                    response = self.workflow_servlet.service(
                         request, self.container
                     )
                 except _DEGRADE_ERRORS as error:
-                    return self._degrade(hub, request, str(error), chain=None)
+                    response = self._degrade(
+                        hub, request, str(error), chain=None
+                    )
+            return response
 
         action = request.param("action", "list")
         table = request.param("table")
@@ -386,8 +392,10 @@ class WorkflowServlet(Servlet):
         handler = getattr(self, f"_do_{action}", None)
         if handler is None:
             return HttpResponse.error(400, f"unknown workflow action {action!r}")
+        hub = container.context.get("obs") if container is not None else None
         try:
-            return handler(request, templates)
+            with _span(hub, f"engine.{action}"):
+                return handler(request, templates)
         except WorkflowError as error:
             response = HttpResponse.error(409, str(error))
             response.attributes["error"] = str(error)

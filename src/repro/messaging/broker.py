@@ -128,6 +128,11 @@ class MessageBroker:
         #: broker registry lock, so observers must never call back into
         #: the broker (see ``repro.obs``).
         self.observer = None
+        #: Optional factory ``f(queue_name) -> threading.Condition``
+        #: used for new queues' condition variables — installed by
+        #: :meth:`install_lock_profiler` so per-queue lock contention is
+        #: measurable; ``None`` keeps plain conditions.
+        self.condition_factory = None
         #: Optional fault-injection plan shared with the journal.
         self.faults: FaultPlan | None = None
         self._journal: BrokerJournal | None = None
@@ -151,15 +156,43 @@ class MessageBroker:
             if self._journal is not None:
                 self._journal.faults = plan
 
+    def _new_state(self, name: str) -> _QueueState:
+        """Build one queue's state, honouring the condition factory."""
+        state = _QueueState(name)
+        if self.condition_factory is not None:
+            state.cond = self.condition_factory(name)
+        return state
+
+    def install_lock_profiler(self, wrap, condition_factory=None) -> None:
+        """Swap broker locks for profiled drop-ins (``repro.obs.prof``).
+
+        ``wrap(name, lock)`` must return an object with the plain-Lock
+        ``acquire``/``release``/context-manager contract; it replaces
+        the registry lock.  ``condition_factory(queue_name)`` builds the
+        condition variable (over a profiled lock) for new *and* existing
+        queues.  Install at wiring time, before consumers start blocking
+        — a consumer parked on an old condition would never see a notify
+        on its replacement.
+        """
+        with self._lock:
+            self.condition_factory = condition_factory
+            if condition_factory is not None:
+                for state in self._queues.values():
+                    state.cond = condition_factory(state.name)
+        self._lock = wrap("broker.registry", self._lock)
+
     def _recover(self) -> None:
         assert self._journal is not None
         snapshot = self._journal.replay()
         for name in snapshot.queues:
-            self._queues.setdefault(name, _QueueState(name))
+            if name not in self._queues:
+                self._queues[name] = self._new_state(name)
         for message in snapshot.outstanding:
-            state = self._queues.setdefault(
-                message.queue, _QueueState(message.queue)
-            )
+            state = self._queues.get(message.queue)
+            if state is None:
+                state = self._queues[message.queue] = self._new_state(
+                    message.queue
+                )
             state.messages.append(message)
         for message, reason in snapshot.dead:
             self._dead[message.message_id] = (message, reason)
@@ -175,7 +208,7 @@ class MessageBroker:
         with self._lock:
             if name in self._queues:
                 return
-            self._queues[name] = _QueueState(name)
+            self._queues[name] = self._new_state(name)
             if self._journal is not None:
                 seq = self._journal.append({"type": "declare", "queue": name})
         self._journal_sync(seq)

@@ -112,6 +112,17 @@ class Database:
         if self._wal is not None:
             self._wal.faults = plan
 
+    def wrap_mutex(self, wrap: Callable[[str, Any], Any]) -> None:
+        """Swap the statement mutex for a profiled drop-in.
+
+        ``wrap(name, lock)`` must return an object with the same
+        ``acquire``/``release``/context-manager contract (re-entrant,
+        since the inner lock is an RLock).  Installed by the profiling
+        layer (``repro.obs.prof``) — minidb itself never imports it, the
+        wrapper comes in from above.
+        """
+        self._mutex = wrap("minidb.mutex", self._mutex)
+
     # ------------------------------------------------------------------
     # DDL
     # ------------------------------------------------------------------
@@ -294,6 +305,7 @@ class Database:
             "size_bytes": self._wal.size_bytes(),
             "sync_policy": self._wal.sync_policy,
             "fsyncs": self._wal.fsyncs,
+            "fsync_wait_ms": self._wal.fsync_wait_ms,
             "group_syncs": self._wal.group.syncs,
             "group_writes_covered": self._wal.group.writes_covered,
         }

@@ -40,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -78,6 +79,9 @@ class WriteAheadLog:
         self.appended = 0
         #: fsync barriers issued through this handle's lifetime.
         self.fsyncs = 0
+        #: Cumulative wall time spent inside fsync barriers (ms) —
+        #: the raw material for commit-stage latency attribution.
+        self.fsync_wait_ms = 0.0
         #: Optional fault-injection plan (``repro.resilience.faults``).
         self.faults: "FaultPlan | None" = None
 
@@ -156,7 +160,9 @@ class WriteAheadLog:
                 return self.group.note_write()
         if self.sync_policy == "always":
             fire(self.faults, "wal.fsync", record_type=record.get("type"))
+            t0 = time.perf_counter()
             os.fsync(self._handle.fileno())
+            self.fsync_wait_ms += (time.perf_counter() - t0) * 1000.0
             self.fsyncs += 1
         return None
 
@@ -175,8 +181,10 @@ class WriteAheadLog:
         """One fsync covering every buffered append (leader only)."""
         fire(self.faults, "wal.fsync", record_type="group")
         handle = self._handle
+        t0 = time.perf_counter()
         if handle is not None:
             os.fsync(handle.fileno())
+        self.fsync_wait_ms += (time.perf_counter() - t0) * 1000.0
         self.fsyncs += 1
 
     def flush_pending(self) -> None:

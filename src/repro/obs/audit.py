@@ -30,12 +30,12 @@ event of their own.
 from __future__ import annotations
 
 import json
-import time
 from typing import TYPE_CHECKING, Any
 
 from repro.minidb.predicates import AND, EQ, GE, LE
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.types import ColumnType
+from repro.resilience.clock import Clock, SystemClock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.minidb.engine import Database
@@ -97,11 +97,15 @@ def install_audit_schema(db: "Database") -> bool:
 class AuditStore:
     """Writes and queries the durable audit trail."""
 
-    def __init__(self, db: "Database", tracer=None, log=None) -> None:
+    def __init__(
+        self, db: "Database", tracer=None, log=None, clock: Clock | None = None
+    ) -> None:
         self.db = db
         self.tracer = tracer
         #: :class:`~repro.obs.log.BoundLogger` the writer narrates to.
         self.log = log
+        #: Injectable time source stamping the ``created`` column.
+        self.clock: Clock = clock or SystemClock()
         #: Records that failed to persist (diagnostics only).
         self.write_errors = 0
 
@@ -140,7 +144,7 @@ class AuditStore:
                 trace_id = current.trace_id
                 span_id = current.span_id
         row = {
-            "created": time.time(),
+            "created": self.clock.now(),
             "kind": kind,
             "actor": actor,
             "workflow_id": workflow_id,

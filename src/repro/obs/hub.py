@@ -31,17 +31,18 @@ hub instead of stacking a second one.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.obs.log import StructuredLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceExporter, Tracer
+from repro.resilience.clock import Clock, SystemClock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import WorkflowBean
     from repro.messaging.broker import MessageBroker
     from repro.obs.audit import AuditStore
+    from repro.obs.prof.profiler import Profiler
     from repro.weblims.app import ExpDB
 
 
@@ -57,7 +58,7 @@ class _BrokerObserver:
         self._send_times: dict[int, float] = {}
 
     def on_send(self, message, persistent: bool) -> None:
-        self._send_times[message.message_id] = time.perf_counter()
+        self._send_times[message.message_id] = self.hub.clock.monotonic()
         # Cap the pending map: a queue nobody drains must not leak.
         if len(self._send_times) > 10_000:
             oldest = min(self._send_times)
@@ -65,22 +66,39 @@ class _BrokerObserver:
 
     def on_deliver(self, message) -> None:
         sent_at = self._send_times.pop(message.message_id, None)
-        if sent_at is None:  # journal-recovered or redelivered message
+        if sent_at is None:
+            # Journal-recovered and redelivered messages have no send
+            # timestamp; count them so attribution reports can state how
+            # many deliveries went unmeasured instead of undercounting.
+            reason = (
+                "redelivered" if message.delivery_count > 1 else "recovered"
+            )
+            self.hub.registry.counter(
+                "broker_deliveries_untimed",
+                help="Deliveries with no send timestamp, by reason",
+                reason=reason,
+            ).inc()
             return
-        wait_ms = (time.perf_counter() - sent_at) * 1000.0
+        wait_ms = (self.hub.clock.monotonic() - sent_at) * 1000.0
         registry = self.hub.registry
+        trace_id, parent_id = self.hub.tracer.extract(message.headers)
         registry.histogram(
             "broker_delivery_wait_ms",
             help="Time between send and delivery per queue",
             queue=message.queue,
-        ).observe(wait_ms)
-        trace_id, parent_id = self.hub.tracer.extract(message.headers)
+        ).observe(
+            wait_ms,
+            trace_id=trace_id if self.hub.exemplars_enabled else None,
+        )
         if trace_id is not None:
             self.hub.tracer.record(
                 "broker.deliver",
                 trace_id=trace_id,
                 parent_id=parent_id,
                 duration_ms=wait_ms,
+                # Backdate to the send instant so the span sits where the
+                # queue wait actually happened on the trace timeline.
+                start_time=self.hub.clock.now() - wait_ms / 1000.0,
                 queue=message.queue,
                 message_id=message.message_id,
                 kind=message.headers.get("kind"),
@@ -109,14 +127,24 @@ class ObservabilityHub:
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
         log: StructuredLog | None = None,
+        clock: Clock | None = None,
     ) -> None:
-        self.tracer = tracer or Tracer()
+        #: Injectable time source shared with the tracer and log this
+        #: hub creates (explicitly-passed ones keep their own clocks).
+        self.clock: Clock = clock or SystemClock()
+        self.tracer = tracer or Tracer(clock=self.clock)
         self.registry = registry or MetricsRegistry()
-        self.log = log or StructuredLog(tracer=self.tracer)
+        self.log = log or StructuredLog(tracer=self.tracer, clock=self.clock)
         self.exporter = TraceExporter(self.tracer)
         self.broker_observer = _BrokerObserver(self)
         #: Durable provenance store (set by :meth:`install_audit`).
         self.audit: "AuditStore | None" = None
+        #: Attribution/contention profiler, attached by
+        #: :func:`repro.obs.prof.install_profiling`; ``None`` (the
+        #: default) keeps every profiling hook dormant.
+        self.profiler: "Profiler | None" = None
+        #: Whether histograms fed by the hub record trace-id exemplars.
+        self.exemplars_enabled: bool = False
         #: Guards against double-wiring the same object into this hub.
         self._watched: set[tuple[str, int]] = set()
         #: Health providers by component name, registered by ``watch_*``.
@@ -200,6 +228,7 @@ class ObservabilityHub:
                 engine.db,
                 tracer=self.tracer,
                 log=self.log.logger("audit"),
+                clock=self.clock,
             )
         if self._once("audit-events", engine):
             engine.events.subscribe(self.audit.on_event)
@@ -243,14 +272,14 @@ class ObservabilityHub:
             components[name] = info
         return {
             "status": overall,
-            "generated_at": time.time(),
+            "generated_at": self.clock.now(),
             "components": components,
         }
 
     def _agents_health(self) -> dict[str, Any]:
         agents: dict[str, Any] = {}
         status = "ok"
-        now = time.time()
+        now = self.clock.now()
         for agent, broker in self._agents:
             spec = agent.spec
             last_poll = getattr(agent, "last_poll", None)
@@ -337,7 +366,30 @@ class ObservabilityHub:
                 "db_commit_latency_ms",
                 help="Commit durability latency (WAL append to fsync)",
             )
-            db.on_commit = commit_histogram.observe
+
+            def on_commit(elapsed_ms: float) -> None:
+                current = self.tracer.current_span()
+                trace_id = current.trace_id if current is not None else None
+                commit_histogram.observe(
+                    elapsed_ms,
+                    trace_id=trace_id if self.exemplars_enabled else None,
+                )
+                # Commit spans only exist under a profiler: on the bare
+                # hub a hot loop of tiny commits must not flood the ring.
+                if (
+                    self.profiler is not None
+                    and self.profiler.commit_spans
+                    and current is not None
+                ):
+                    self.tracer.record(
+                        "db.commit",
+                        trace_id=current.trace_id,
+                        parent_id=current.span_id,
+                        duration_ms=elapsed_ms,
+                        start_time=self.clock.now() - elapsed_ms / 1000.0,
+                    )
+
+            db.on_commit = on_commit
 
         def health() -> dict[str, Any]:
             info: dict[str, Any] = {
@@ -620,7 +672,7 @@ class ObservabilityHub:
                 "messages_rejected": manager.messages_rejected,
                 "engine_queue_depth": engine_queue_depth(),
                 "last_pump_age_s": (
-                    None if last_pump is None else time.time() - last_pump
+                    None if last_pump is None else self.clock.now() - last_pump
                 ),
                 "leases": {
                     "active": len(lease_rows),
@@ -658,7 +710,7 @@ class ObservabilityHub:
                     "agent_last_poll_age_seconds",
                     help="Seconds since the agent last polled its queue",
                     agent=name,
-                ).set(time.time() - last_poll)
+                ).set(self.clock.now() - last_poll)
             self.registry.counter(
                 "agent_errors_total",
                 help="Errors recorded by the agent",
@@ -771,6 +823,7 @@ def install_observability(
         from repro.weblims.healthservlet import HealthServlet
         from repro.weblims.lintservlet import LintServlet
         from repro.weblims.metricsservlet import MetricsServlet
+        from repro.weblims.profservlet import ProfileServlet
 
         expdb.container.context["obs"] = hub
         hub.watch_container(expdb.container)
@@ -790,6 +843,8 @@ def install_observability(
             descriptor.add_servlet(HealthServlet(hub), "/workflow/health")
         if "LintServlet" not in names:
             descriptor.add_servlet(LintServlet(expdb.db), "/workflow/lint")
+        if "ProfileServlet" not in names:
+            descriptor.add_servlet(ProfileServlet(hub), "/workflow/profile")
         if broker is not None and "DeadLetterServlet" not in names:
             descriptor.add_servlet(
                 DeadLetterServlet(broker, hub), "/workflow/dlq"

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.resilience.clock import Clock, SystemClock
 
 #: Numeric severities, logging-module compatible ordering.
 LEVELS: dict[str, int] = {
@@ -85,10 +86,13 @@ class StructuredLog:
         tracer=None,
         capacity: int = 10_000,
         level: str = "debug",
+        clock: Clock | None = None,
     ) -> None:
         if level not in LEVELS:
             raise ValueError(f"unknown log level {level!r}")
         self.tracer = tracer
+        #: Injectable time source stamping record timestamps.
+        self.clock: Clock = clock or SystemClock()
         self.capacity = capacity
         self.threshold = LEVELS[level]
         self.dropped = 0
@@ -132,7 +136,7 @@ class StructuredLog:
                 span_id = current.span_id
         with self._lock:
             record = LogRecord(
-                ts=time.time(),
+                ts=self.clock.now(),
                 level=level,
                 logger=logger,
                 message=message,

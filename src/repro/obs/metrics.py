@@ -80,14 +80,24 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Observations with count/sum and a bounded quantile reservoir."""
+    """Observations with count/sum and a bounded quantile reservoir.
+
+    When an observation arrives with a ``trace_id`` the histogram also
+    keeps it as an *exemplar* — a ``(value, trace_id)`` pair — retaining
+    the slowest :attr:`exemplar_limit` seen.  Exemplars are what link a
+    tail quantile back to a concrete trace: the profiling layer reads
+    them to jump from "p99 is 40 ms" to the span tree of an actual 40 ms
+    request.  Callers that never pass a trace id pay nothing.
+    """
 
     reservoir_size: int = 4096
+    exemplar_limit: int = 8
     count: int = 0
     sum: float = 0.0
     _reservoir: list[float] = field(default_factory=list)
+    _exemplars: list[tuple[float, str]] = field(default_factory=list)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         self.count += 1
         self.sum += float(value)
         self._reservoir.append(float(value))
@@ -96,10 +106,24 @@ class Histogram:
             # Drop the oldest observations: recent behaviour is what a
             # scrape should describe.
             del self._reservoir[:overflow]
+        if trace_id is not None:
+            self._exemplars.append((float(value), trace_id))
+            if len(self._exemplars) > self.exemplar_limit:
+                # Keep the slowest: exemplars exist to explain the tail.
+                self._exemplars.sort(key=lambda pair: pair[0])
+                del self._exemplars[: len(self._exemplars) - self.exemplar_limit]
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile (nearest-rank) of retained observations."""
         return _nearest_rank(self._reservoir, q)
+
+    def exemplars(self) -> list[dict[str, Any]]:
+        """Retained exemplars, slowest first."""
+        ordered = sorted(self._exemplars, key=lambda pair: -pair[0])
+        return [
+            {"value": value, "trace_id": trace_id}
+            for value, trace_id in ordered
+        ]
 
     def summary(self) -> dict[str, float]:
         """count, sum and the standard quantiles, JSON-friendly."""
@@ -178,6 +202,19 @@ class MetricsRegistry:
                 return 0.0
             return family.aggregate_quantile(q)
 
+    def family_exemplars(self, name: str) -> list[dict[str, Any]]:
+        """Exemplars across every label set of a histogram, slowest first."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family.kind != "histogram":
+                return []
+            merged: list[dict[str, Any]] = []
+            for key, child in family.children.items():
+                for exemplar in child.exemplars():
+                    merged.append({**exemplar, "labels": dict(key)})
+        merged.sort(key=lambda entry: -entry["value"])
+        return merged
+
     # ------------------------------------------------------------------
     # Collectors (pull-time bridges from external counters)
     # ------------------------------------------------------------------
@@ -249,6 +286,9 @@ class MetricsRegistry:
                     entry: dict[str, Any] = {"labels": dict(key)}
                     if family.kind == "histogram":
                         entry["summary"] = child.summary()
+                        exemplars = child.exemplars()
+                        if exemplars:
+                            entry["exemplars"] = exemplars
                     else:
                         entry["value"] = child.value
                     series.append(entry)

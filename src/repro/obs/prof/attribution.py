@@ -1,0 +1,258 @@
+"""Critical-path analysis and stage-level latency attribution.
+
+Answers the question ROADMAP items 1–3 all start from: of one
+request's end-to-end latency, how much went to which stage?  The raw
+material is the span archive the tracer already keeps; this module
+reconstructs each trace's tree (``TraceExporter.tree``), then produces
+two decompositions:
+
+**Synchronous stages** — the ``http.request`` root span covers the
+filter's synchronous work: request parsing, workflow-engine dispatch,
+and the WAL commit the dispatch waits on.  Attribution here is by
+*exclusive time* (a span's duration minus its sync children's), so the
+named stages plus an ``other`` remainder sum to the measured root
+duration by construction:
+
+====================  ===================================================
+stage                 span names
+====================  ===================================================
+``filter``            ``filter.process`` / ``filter.preprocess`` / ...
+``engine.dispatch``   ``engine.*`` opened inside the servlet
+``db.commit``         ``db.commit`` (WAL append → fsync, profiler-gated)
+``other``             root remainder: routing, servlet glue, response
+====================  ===================================================
+
+**Asynchronous pipeline stages** — after the HTTP response returns, the
+dispatched work flows broker → agent → broker → engine pump.  Those
+spans join the same trace but fall *outside* the root's interval, so
+they are reported as a separate pipeline decomposition rather than
+forced into the sync total:
+
+====================  ===================================================
+``queue.wait``        ``broker.deliver`` (send → delivery wait)
+``agent.exec``        ``agent.handle``
+``engine.apply``      ``engine.apply_message`` (pump applying a result)
+====================  ===================================================
+
+The **critical path** is the root-to-leaf chain that determines the
+trace's latest-finishing span: from the latest-ending root, repeatedly
+descend into the child whose end time is latest.  Per-pattern
+aggregation averages the per-trace attributions and keeps the slowest
+trace id of each pattern as the natural entry point for a deep dive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Span-name prefixes mapped to synchronous stages, checked in order —
+#: ``engine.apply_message`` must not land in ``engine.dispatch``.
+_SYNC_STAGES: tuple[tuple[str, str | None], ...] = (
+    ("db.commit", "db.commit"),
+    ("filter.", "filter"),
+    ("engine.apply_message", None),  # async, excluded from sync stages
+    ("engine.", "engine.dispatch"),
+)
+
+#: Exact span names mapped to asynchronous pipeline stages.
+_ASYNC_STAGES: dict[str, str] = {
+    "broker.deliver": "queue.wait",
+    "agent.handle": "agent.exec",
+    "engine.apply_message": "engine.apply",
+}
+
+#: Ordering used when rendering stage tables.
+SYNC_STAGE_ORDER = ("filter", "engine.dispatch", "db.commit", "other")
+ASYNC_STAGE_ORDER = ("queue.wait", "agent.exec", "engine.apply")
+
+
+def sync_stage(name: str) -> str | None:
+    """The synchronous stage a span name belongs to, if any."""
+    for prefix, stage in _SYNC_STAGES:
+        if name.startswith(prefix):
+            return stage
+    return None
+
+
+@dataclass
+class TraceAttribution:
+    """One trace's latency, decomposed."""
+
+    trace_id: str
+    pattern: str | None
+    total_ms: float
+    #: Synchronous stages; includes ``other`` and sums to ``total_ms``.
+    stages: dict[str, float]
+    #: Post-response pipeline stages (wall time, may overlap).
+    async_stages: dict[str, float]
+    #: ``(span name, duration_ms)`` along the critical path, root first.
+    critical_path: list[tuple[str, float]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "pattern": self.pattern,
+            "total_ms": self.total_ms,
+            "stages": dict(self.stages),
+            "async_stages": dict(self.async_stages),
+            "critical_path": [
+                {"name": name, "duration_ms": duration}
+                for name, duration in self.critical_path
+            ],
+        }
+
+
+def _span_end(node: dict[str, Any]) -> float:
+    return node["start_time"] + (node["duration_ms"] or 0.0) / 1000.0
+
+
+class CriticalPathAnalyzer:
+    """Attributes traces from a tracer/exporter pair.
+
+    Construct over an :class:`~repro.obs.trace.TraceExporter` (or a hub:
+    ``CriticalPathAnalyzer(hub.exporter)``).
+    """
+
+    def __init__(self, exporter) -> None:
+        self.exporter = exporter
+
+    # -- one trace ----------------------------------------------------------
+
+    def attribute(self, trace_id: str) -> TraceAttribution | None:
+        """Decompose one trace; ``None`` without an ``http.request`` root."""
+        forest = self.exporter.tree(trace_id)
+        root = self._find_root(forest)
+        if root is None or root["duration_ms"] is None:
+            return None
+        total_ms = root["duration_ms"]
+        stages: dict[str, float] = {s: 0.0 for s in SYNC_STAGE_ORDER}
+        self._accumulate_sync(root, stages)
+        accounted = sum(
+            v for k, v in stages.items() if k != "other"
+        )
+        stages["other"] = max(0.0, total_ms - accounted)
+        async_stages: dict[str, float] = {s: 0.0 for s in ASYNC_STAGE_ORDER}
+        pattern = self._collect_async(forest, async_stages)
+        return TraceAttribution(
+            trace_id=trace_id,
+            pattern=pattern,
+            total_ms=total_ms,
+            stages=stages,
+            async_stages=async_stages,
+            critical_path=self.critical_path(forest),
+        )
+
+    @staticmethod
+    def _find_root(forest: list[dict[str, Any]]) -> dict[str, Any] | None:
+        for node in forest:
+            if node["name"] == "http.request":
+                return node
+        return None
+
+    def _accumulate_sync(
+        self, node: dict[str, Any], stages: dict[str, float]
+    ) -> None:
+        """Add each sync descendant's *exclusive* time to its stage."""
+        for child in node["children"]:
+            stage = sync_stage(child["name"])
+            if stage is None:
+                continue
+            duration = child["duration_ms"] or 0.0
+            child_sync = sum(
+                (grand["duration_ms"] or 0.0)
+                for grand in child["children"]
+                if sync_stage(grand["name"]) is not None
+            )
+            stages[stage] = stages.get(stage, 0.0) + max(
+                0.0, duration - child_sync
+            )
+            self._accumulate_sync(child, stages)
+
+    def _collect_async(
+        self, forest: list[dict[str, Any]], async_stages: dict[str, float]
+    ) -> str | None:
+        """Sum pipeline-stage durations; returns the pattern, if seen."""
+        pattern: str | None = None
+        stack = list(forest)
+        while stack:
+            node = stack.pop()
+            stack.extend(node["children"])
+            value = node["attributes"].get("pattern")
+            if pattern is None and isinstance(value, str):
+                pattern = value
+            stage = _ASYNC_STAGES.get(node["name"])
+            if stage is not None:
+                async_stages[stage] += node["duration_ms"] or 0.0
+        return pattern
+
+    @staticmethod
+    def critical_path(
+        forest: list[dict[str, Any]],
+    ) -> list[tuple[str, float]]:
+        """Root-to-leaf chain following the latest-ending child."""
+        timed = [n for n in forest if n["duration_ms"] is not None]
+        if not timed:
+            return []
+        node = max(timed, key=_span_end)
+        path: list[tuple[str, float]] = []
+        while node is not None:
+            path.append((node["name"], node["duration_ms"] or 0.0))
+            children = [
+                c for c in node["children"] if c["duration_ms"] is not None
+            ]
+            node = max(children, key=_span_end) if children else None
+        return path
+
+    # -- many traces --------------------------------------------------------
+
+    def attribute_all(
+        self, trace_ids: Iterable[str] | None = None
+    ) -> list[TraceAttribution]:
+        """Attribution for every (given or archived) trace with a root."""
+        if trace_ids is None:
+            trace_ids = self.exporter.tracer.trace_ids()
+        results = []
+        for trace_id in trace_ids:
+            attribution = self.attribute(trace_id)
+            if attribution is not None:
+                results.append(attribution)
+        return results
+
+    def aggregate(
+        self, attributions: Iterable[TraceAttribution]
+    ) -> dict[str, Any]:
+        """Per-pattern stage means over many traces.
+
+        ``pattern=None`` traces aggregate under ``"(none)"``.  Each
+        pattern reports trace count, mean total, mean per-stage splits
+        (sync and async) and the slowest trace's id — the jump-off point
+        into the slow-trace retainer.
+        """
+        by_pattern: dict[str, list[TraceAttribution]] = {}
+        for attribution in attributions:
+            key = attribution.pattern or "(none)"
+            by_pattern.setdefault(key, []).append(attribution)
+        result: dict[str, Any] = {}
+        for pattern, group in sorted(by_pattern.items()):
+            count = len(group)
+            slowest = max(group, key=lambda a: a.total_ms)
+            result[pattern] = {
+                "traces": count,
+                "mean_total_ms": sum(a.total_ms for a in group) / count,
+                "max_total_ms": slowest.total_ms,
+                "slowest_trace_id": slowest.trace_id,
+                "stages": {
+                    stage: sum(a.stages.get(stage, 0.0) for a in group)
+                    / count
+                    for stage in SYNC_STAGE_ORDER
+                },
+                "async_stages": {
+                    stage: sum(
+                        a.async_stages.get(stage, 0.0) for a in group
+                    )
+                    / count
+                    for stage in ASYNC_STAGE_ORDER
+                },
+            }
+        return result

@@ -1,0 +1,98 @@
+"""Tail-based slow-trace retention.
+
+Histograms tell you *that* p99 is slow; exemplars give you the trace id
+of a slow request; this retainer closes the loop by keeping the **full
+span trees** of the N slowest requests per operation, captured at the
+moment they were admitted (so the tracer's ring evicting old spans
+later cannot hollow out a retained trace).
+
+Admission is tail-based: a trace is only snapshotted when it enters the
+operation's current top-N — after warmup that happens rarely, so the
+steady-state cost of ``offer`` is one lock acquisition and a float
+comparison.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class SlowTraceRetainer:
+    """Keeps the span trees of the N slowest traces per operation."""
+
+    def __init__(self, exporter, per_operation: int = 3) -> None:
+        self.exporter = exporter
+        self.per_operation = per_operation
+        self._lock = threading.Lock()
+        #: operation -> list of entries sorted slowest-first.
+        self._slowest: dict[str, list[dict[str, Any]]] = {}
+
+    def offer(
+        self, operation: str, duration_ms: float, trace_id: str | None
+    ) -> bool:
+        """Consider one finished request; returns ``True`` if retained."""
+        if trace_id is None:
+            return False
+        with self._lock:
+            entries = self._slowest.setdefault(operation, [])
+            if len(entries) >= self.per_operation and (
+                duration_ms <= entries[-1]["duration_ms"]
+            ):
+                return False
+        # Snapshot outside the lock: tree() walks the tracer ring.
+        tree = self.exporter.tree(trace_id)
+        entry = {
+            "trace_id": trace_id,
+            "duration_ms": duration_ms,
+            "tree": tree,
+        }
+        with self._lock:
+            entries = self._slowest.setdefault(operation, [])
+            entries.append(entry)
+            entries.sort(key=lambda e: -e["duration_ms"])
+            del entries[self.per_operation:]
+        return True
+
+    def operations(self) -> list[str]:
+        with self._lock:
+            return sorted(self._slowest)
+
+    def slowest(self, operation: str) -> list[dict[str, Any]]:
+        """Retained entries for one operation, slowest first."""
+        with self._lock:
+            return [dict(e) for e in self._slowest.get(operation, [])]
+
+    def tree(self, trace_id: str) -> list[dict[str, Any]] | None:
+        """The retained span tree for a trace id, if any operation kept it."""
+        with self._lock:
+            for entries in self._slowest.values():
+                for entry in entries:
+                    if entry["trace_id"] == trace_id:
+                        return entry["tree"]
+        return None
+
+    def report(self) -> dict[str, Any]:
+        """Summary without the (bulky) trees: ids and durations only."""
+        with self._lock:
+            return {
+                operation: [
+                    {
+                        "trace_id": e["trace_id"],
+                        "duration_ms": e["duration_ms"],
+                        "spans": _count_spans(e["tree"]),
+                    }
+                    for e in entries
+                ]
+                for operation, entries in sorted(self._slowest.items())
+            }
+
+
+def _count_spans(forest: list[dict[str, Any]]) -> int:
+    count = 0
+    stack = list(forest)
+    while stack:
+        node = stack.pop()
+        count += 1
+        stack.extend(node["children"])
+    return count

@@ -1,0 +1,130 @@
+"""Per-pattern latency SLOs with error-budget burn-rate tracking.
+
+An :class:`SLOPolicy` states an objective — "99% of ``protein_creation``
+starts complete within 50 ms" — over a sliding window of recent
+requests.  The tracker then reports, per policy:
+
+* the violation fraction in the window;
+* the **burn rate**: violation fraction divided by the budget
+  ``1 - objective``.  Burn rate 1.0 means the error budget is being
+  spent exactly as fast as the objective allows; above 1.0 the budget
+  is burning down and the SLO will eventually be breached — the
+  standard multi-window alerting quantity, computed here over one
+  window for simplicity;
+* remaining budget in the window (how many more violations the window
+  tolerates before burn rate exceeds 1).
+
+The tracker feeds ``GET /workflow/health`` as an ``slo`` component:
+``degraded`` when any policy's burn rate exceeds 1.  The component is
+deliberately *not* part of ``READINESS_COMPONENTS`` — a burning error
+budget is an alert for operators, not a reason for the filter to start
+refusing requests and make things worse.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One latency objective for one operation/pattern."""
+
+    operation: str
+    threshold_ms: float
+    #: Target fraction of requests under the threshold (0 < objective < 1).
+    objective: float = 0.99
+    #: Sliding window length, in requests.
+    window: int = 500
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.threshold_ms <= 0:
+            raise ValueError("threshold_ms must be positive")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+
+class SLOTracker:
+    """Sliding-window burn-rate computation over registered policies."""
+
+    def __init__(self, policies: Any = ()) -> None:
+        self._lock = threading.Lock()
+        self._policies: dict[str, SLOPolicy] = {}
+        #: operation -> deque of booleans (True = violation).
+        self._windows: dict[str, deque[bool]] = {}
+        self._observed: dict[str, int] = {}
+        for policy in policies:
+            self.add_policy(policy)
+
+    def add_policy(self, policy: SLOPolicy) -> None:
+        """Register (or replace) the policy for one operation."""
+        with self._lock:
+            self._policies[policy.operation] = policy
+            self._windows[policy.operation] = deque(maxlen=policy.window)
+            self._observed.setdefault(policy.operation, 0)
+
+    def policies(self) -> list[SLOPolicy]:
+        with self._lock:
+            return list(self._policies.values())
+
+    def observe(self, operation: str, duration_ms: float) -> None:
+        """Record one finished request; no-op without a matching policy."""
+        with self._lock:
+            policy = self._policies.get(operation)
+            if policy is None:
+                return
+            self._observed[operation] += 1
+            self._windows[operation].append(duration_ms > policy.threshold_ms)
+
+    # -- reporting ----------------------------------------------------------
+
+    def _status_locked(self, operation: str) -> dict[str, Any]:
+        policy = self._policies[operation]
+        window = self._windows[operation]
+        count = len(window)
+        violations = sum(window)
+        violation_rate = violations / count if count else 0.0
+        budget = 1.0 - policy.objective
+        burn_rate = violation_rate / budget if budget else 0.0
+        # Violations the current window could still absorb at burn <= 1.
+        allowed = int(budget * count)
+        return {
+            "operation": operation,
+            "threshold_ms": policy.threshold_ms,
+            "objective": policy.objective,
+            "window": policy.window,
+            "observed_total": self._observed[operation],
+            "window_count": count,
+            "violations": violations,
+            "violation_rate": violation_rate,
+            "burn_rate": burn_rate,
+            "budget_remaining": max(0, allowed - violations),
+            "ok": burn_rate <= 1.0,
+        }
+
+    def report(self) -> dict[str, Any]:
+        """Status per policy, keyed by operation."""
+        with self._lock:
+            return {
+                operation: self._status_locked(operation)
+                for operation in sorted(self._policies)
+            }
+
+    def health(self) -> dict[str, Any]:
+        """Health-provider view: degraded when any budget is burning."""
+        statuses = self.report()
+        burning = [
+            operation
+            for operation, status in statuses.items()
+            if not status["ok"]
+        ]
+        return {
+            "status": "degraded" if burning else "ok",
+            "burning": burning,
+            "policies": statuses,
+        }

@@ -29,10 +29,11 @@ import itertools
 import json
 import os
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+from repro.resilience.clock import Clock, SystemClock
 
 #: Header/attribute keys used for cross-boundary propagation.
 TRACE_ID_KEY = "obs.trace_id"
@@ -82,13 +83,19 @@ class Tracer:
     ring is shared under a lock.
     """
 
-    def __init__(self, capacity: int = 10_000) -> None:
+    def __init__(
+        self, capacity: int = 10_000, clock: Clock | None = None
+    ) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._ids = itertools.count(1)
         self._spans: list[Span] = []
         self.capacity = capacity
         self.dropped = 0
+        #: Injectable time source: ``now()`` stamps span start times,
+        #: ``monotonic()`` measures durations — so a ``ManualClock``
+        #: makes span durations deterministic in tests.
+        self.clock: Clock = clock or SystemClock()
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -129,18 +136,19 @@ class Tracer:
             trace_id=trace_id or f"trace-{self._new_id()}",
             span_id=self._new_id(),
             parent_id=parent_id,
-            start_time=time.time(),
+            start_time=self.clock.now(),
             attributes=attributes,
             remote_parent=remote,
         )
-        span._start_pc = time.perf_counter()  # type: ignore[attr-defined]
+        span._start_pc = self.clock.monotonic()  # type: ignore[attr-defined]
         self._stack().append(span)
         return span
 
     def end_span(self, span: Span, error: str | None = None) -> Span:
         """Close a span, compute its duration and archive it."""
+        now_pc = self.clock.monotonic()
         span.duration_ms = (
-            time.perf_counter() - getattr(span, "_start_pc", time.perf_counter())
+            now_pc - getattr(span, "_start_pc", now_pc)
         ) * 1000.0
         if error is not None:
             span.error = error
@@ -190,7 +198,7 @@ class Tracer:
             trace_id=trace_id,
             span_id=self._new_id(),
             parent_id=parent_id,
-            start_time=time.time() if start_time is None else start_time,
+            start_time=self.clock.now() if start_time is None else start_time,
             duration_ms=duration_ms,
             attributes=attributes,
             remote_parent=parent_id is not None,

@@ -182,13 +182,26 @@ class WebContainer:
             "http_request_latency_ms",
             help="Wall-clock request latency per path",
             path=request.path,
-        ).observe(span.duration_ms or 0.0)
+        ).observe(
+            span.duration_ms or 0.0,
+            trace_id=span.trace_id if hub.exemplars_enabled else None,
+        )
         hub.registry.counter(
             "http_requests_total",
             help="Requests per path and status",
             path=request.path,
             status=response.status,
         ).inc()
+        if hub.profiler is not None:
+            # Fed here rather than in the filter so the slow-trace
+            # retainer snapshots a *complete* tree: only once the root
+            # span is ended is the whole request archived.
+            hub.profiler.observe_request(
+                request.param("workflow_action") or request.path,
+                span.duration_ms or 0.0,
+                trace_id=span.trace_id,
+                pattern=request.param("pattern"),
+            )
         return response
 
     def _handle_guarded(self, request: HttpRequest) -> HttpResponse:

@@ -377,6 +377,9 @@ def build_protein_lab(
     max_redispatches: int = 1,
     sync_policy: str = "always",
     group_window_s: float = 0.0,
+    profiling: bool = False,
+    slos=(),
+    sampler: bool = False,
 ) -> ProteinLab:
     """Assemble the complete protein lab.
 
@@ -395,6 +398,13 @@ def build_protein_lab(
     the liveness sweep.  ``sync_policy``/``group_window_s`` select the
     durability discipline for both the WAL and the broker journal
     (``"group"`` shares fsync barriers between concurrent committers).
+
+    ``profiling`` (requires ``observability``) turns on the
+    ``repro.obs.prof`` layer — latency attribution, lock contention
+    profiling, exemplars, slow-trace retention and (with ``slos``,
+    an iterable of :class:`~repro.obs.prof.slo.SLOPolicy`) burn-rate
+    tracking; ``sampler`` additionally starts the collapsed-stack
+    wall-clock sampler thread.
     """
     app = build_expdb(
         wal_path=wal_path,
@@ -441,4 +451,14 @@ def build_protein_lab(
             agents=lab.agents,
             email=email,
         )
+        if profiling:
+            from repro.obs.prof import install_profiling
+
+            install_profiling(
+                lab.obs,
+                db=app.db,
+                broker=broker,
+                slos=slos,
+                sampler=sampler,
+            )
     return lab

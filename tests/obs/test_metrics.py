@@ -75,6 +75,91 @@ class TestHistogram:
         assert registry.family_quantile("missing", 0.5) == 0.0
 
 
+class TestFamilyQuantile:
+    def test_aggregates_across_many_label_sets(self):
+        registry = MetricsRegistry()
+        # 1..100 spread over four label sets: the family-wide quantiles
+        # must match a single histogram over the union.
+        for value in range(1, 101):
+            registry.histogram("latency_ms", path=f"/p{value % 4}").observe(
+                float(value)
+            )
+        assert registry.family_quantile("latency_ms", 0.5) == 50.0
+        assert registry.family_quantile("latency_ms", 0.95) == 95.0
+        assert registry.family_quantile("latency_ms", 0.99) == 99.0
+
+    def test_empty_family_and_wrong_kind_return_zero(self):
+        registry = MetricsRegistry()
+        assert registry.family_quantile("never_created", 0.5) == 0.0
+        registry.counter("a_counter").inc()
+        assert registry.family_quantile("a_counter", 0.5) == 0.0
+        # A histogram family with no observations yet.
+        registry.histogram("empty_ms", path="/a")
+        assert registry.family_quantile("empty_ms", 0.99) == 0.0
+
+    def test_aggregate_quantile_merges_disjoint_reservoirs(self):
+        registry = MetricsRegistry()
+        # /fast holds the low half, /slow the high half; neither child
+        # alone sees the true family median.
+        for value in range(1, 51):
+            registry.histogram("mixed_ms", path="/fast").observe(float(value))
+        for value in range(51, 101):
+            registry.histogram("mixed_ms", path="/slow").observe(float(value))
+        fast = registry.histogram("mixed_ms", path="/fast")
+        slow = registry.histogram("mixed_ms", path="/slow")
+        assert fast.quantile(0.99) <= 50.0
+        assert slow.quantile(0.5) >= 75.0
+        assert registry.family_quantile("mixed_ms", 0.5) == 50.0
+        assert registry.family_quantile("mixed_ms", 0.99) == 99.0
+
+    def test_aggregation_respects_reservoir_eviction(self):
+        registry = MetricsRegistry()
+        child = registry.histogram("evict_ms", path="/a")
+        child.reservoir_size = 10
+        for value in range(100):
+            child.observe(float(value))
+        # Only the newest ten observations survive in the reservoir.
+        assert registry.family_quantile("evict_ms", 0.5) >= 90.0
+
+
+class TestExemplars:
+    def test_observe_without_trace_id_records_no_exemplar(self):
+        histogram = Histogram()
+        histogram.observe(5.0)
+        assert histogram.exemplars() == []
+
+    def test_exemplars_keep_the_slowest(self):
+        histogram = Histogram(exemplar_limit=3)
+        for value in range(10):
+            histogram.observe(float(value), trace_id=f"trace-{value}")
+        kept = histogram.exemplars()
+        assert [e["value"] for e in kept] == [9.0, 8.0, 7.0]
+        assert kept[0]["trace_id"] == "trace-9"
+
+    def test_snapshot_includes_exemplars_only_when_present(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", path="/a").observe(1.0, trace_id="t-1")
+        registry.histogram("h", path="/b").observe(2.0)
+        snapshot = registry.snapshot()
+        by_path = {
+            series["labels"]["path"]: series
+            for series in snapshot["h"]["series"]
+        }
+        assert by_path["/a"]["exemplars"] == [
+            {"value": 1.0, "trace_id": "t-1"}
+        ]
+        assert "exemplars" not in by_path["/b"]
+
+    def test_family_exemplars_merge_and_label(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", path="/a").observe(1.0, trace_id="t-a")
+        registry.histogram("h", path="/b").observe(9.0, trace_id="t-b")
+        merged = registry.family_exemplars("h")
+        assert [e["trace_id"] for e in merged] == ["t-b", "t-a"]
+        assert merged[0]["labels"] == {"path": "/b"}
+        assert registry.family_exemplars("missing") == []
+
+
 class TestExposition:
     def test_render_counters_and_gauges(self):
         registry = MetricsRegistry()
