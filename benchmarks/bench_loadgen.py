@@ -25,6 +25,14 @@ Two experiments, both reported to ``BENCH_perf.json``:
     measured request total or the run fails — plus the profiling
     overhead versus the unprofiled caches-on run.
 
+``watch``
+    The caches-on closed loop with ``repro.obs.watch`` installed (the
+    residency tracker rides every engine event; the stock alert rules
+    are registered but nothing fires on a healthy run).  Reports the
+    throughput cost versus the unwatched caches-on run — must stay
+    under 2 % on full runs — and the latency of an alert-evaluation
+    pass over the live system.
+
 ``--small`` shrinks both experiments for CI smoke use; results land in
 a per-mode section so small runs never clobber full-run numbers.
 ``--check`` compares the fresh run against the committed baseline for
@@ -152,6 +160,7 @@ def run_closed_loop(
     requests_per_client: int,
     caches_enabled: bool,
     profiling: bool = False,
+    watch: bool = False,
 ) -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         lab = build_protein_lab(
@@ -159,6 +168,7 @@ def run_closed_loop(
             journal_path=str(Path(tmp) / "broker.journal"),
             sync_policy="group",
             profiling=profiling,
+            watch=watch,
         )
         db = lab.app.db
         if not caches_enabled:
@@ -249,9 +259,38 @@ def run_closed_loop(
         if profiling:
             result["attribution"] = collect_attribution(lab)
             lab.obs.profiler.close()
+        if watch:
+            result["watch"] = collect_watch(lab)
         db.close()
         lab.broker.close()
     return result
+
+
+def collect_watch(lab, passes: int = 25) -> dict:
+    """Alert-evaluation latency and accounting from a watched run.
+
+    A healthy closed loop must cause zero transitions — any firing rule
+    here is a false alarm and fails the benchmark.
+    """
+    watcher = lab.obs.watcher
+    transitions = 0
+    eval_ms: list[float] = []
+    for __ in range(passes):
+        t0 = time.perf_counter()
+        transitions += len(watcher.evaluate())
+        eval_ms.append((time.perf_counter() - t0) * 1000.0)
+    return {
+        "eval_passes": passes,
+        "eval_latency_ms": {
+            "mean": round(sum(eval_ms) / len(eval_ms), 4),
+            "p95": round(percentile(eval_ms, 0.95), 4),
+            "max": round(max(eval_ms), 4),
+        },
+        "transitions": transitions,
+        "rules": len(watcher.alerts.rules()),
+        "tracked_entities": len(watcher.residency.current()),
+        "exporter": watcher.exporter.info(),
+    }
 
 
 def collect_attribution(lab) -> dict:
@@ -441,10 +480,47 @@ def main(argv: list[str] | None = None) -> int:
             f"(must be within 10%) — {verdict}"
         )
 
+    print(f"== watched closed loop ({clients} clients, repro.obs.watch) ==")
+    watched = run_closed_loop(
+        clients, requests_per_client, True, watch=True
+    )
+    watch_overhead_pct = round(
+        (1.0 - watched["throughput_per_s"] / unprofiled_tp) * 100.0, 1
+    )
+    watch_info = watched["watch"]
+    watch_results = {
+        "run": watched,
+        "overhead_vs_caches_on_pct": watch_overhead_pct,
+    }
+    print(
+        f"  watched  : {watched['throughput_per_s']:>7.1f} req/s "
+        f"({watch_overhead_pct:+.1f}% vs unwatched), "
+        f"p95 {watched['latency_ms']['p95']:.1f} ms"
+    )
+    print(
+        f"  alert eval: mean {watch_info['eval_latency_ms']['mean']:.3f} ms, "
+        f"p95 {watch_info['eval_latency_ms']['p95']:.3f} ms over "
+        f"{watch_info['eval_passes']} passes "
+        f"({watch_info['rules']} rules, "
+        f"{watch_info['tracked_entities']} tracked entities)"
+    )
+    watch_quiet = watch_info["transitions"] == 0
+    if not watch_quiet:
+        print(
+            f"  FALSE ALARM: {watch_info['transitions']} alert "
+            "transition(s) on a healthy run"
+        )
+    # Like the profiled pass, the 2% ceiling is asserted on full runs
+    # only: small CI runs are too short for stable throughput ratios.
+    watch_cheap = watch_overhead_pct < 2.0
+    verdict = "ok" if watch_cheap else "OVER BUDGET"
+    print(f"  overhead budget <2%: {watch_overhead_pct:+.1f}% — {verdict}")
+
     fresh = {
         "insert_throughput": insert_results,
         "closed_loop": loop_results,
         "profiling": profiling_results,
+        "watch": watch_results,
         "config": {
             "insert_threads": threads,
             "inserts_per_thread": inserts,
@@ -473,6 +549,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not attribution_ok:
         print("FAIL: stage attribution does not add up to measured latency")
+        return 1
+    if not watch_quiet:
+        print("FAIL: the watch layer raised alerts on a healthy run")
+        return 1
+    if not watch_cheap and mode == "full":
+        print("FAIL: watch overhead exceeds the 2% throughput budget")
         return 1
     return 0
 

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.messaging.broker import MessageBroker
     from repro.obs.audit import AuditStore
     from repro.obs.prof.profiler import Profiler
+    from repro.obs.watch import Watcher
     from repro.weblims.app import ExpDB
 
 
@@ -143,6 +144,10 @@ class ObservabilityHub:
         #: :func:`repro.obs.prof.install_profiling`; ``None`` (the
         #: default) keeps every profiling hook dormant.
         self.profiler: "Profiler | None" = None
+        #: Flight-recorder/alerting layer, attached by
+        #: :func:`repro.obs.watch.install_watch`; ``None`` (the
+        #: default) keeps the watch layer dormant.
+        self.watcher: "Watcher | None" = None
         #: Whether histograms fed by the hub record trace-id exemplars.
         self.exemplars_enabled: bool = False
         #: Guards against double-wiring the same object into this hub.
@@ -580,16 +585,28 @@ class ObservabilityHub:
         self.registry.add_collector(collect)
 
         def health() -> dict[str, Any]:
-            return {
+            dlq_depth = broker.dlq_depth()
+            info: dict[str, Any] = {
                 "status": "ok",
                 "queues": {
                     name: broker.queue_depth(name)
                     for name in broker.queue_names()
                 },
                 "in_flight": broker.in_flight_count(),
-                "dlq_depth": broker.dlq_depth(),
+                "dlq_depth": dlq_depth,
                 "journal": broker.journal_info(),
             }
+            if dlq_depth:
+                # Quarantined messages are an operator signal, not a
+                # reason for the filter to refuse traffic: degrade the
+                # component (health goes 503, like a burning SLO) but
+                # keep readiness explicitly true.
+                info["status"] = "degraded"
+                info["ready"] = True
+                info["reason"] = (
+                    f"{dlq_depth} message(s) in the dead-letter queue"
+                )
+            return info
 
         self.register_health("broker", health)
 
@@ -760,13 +777,20 @@ def hub_readiness(
 
     Ready iff every *present* core component reports ``ok`` — a tier
     that was never watched does not count against readiness (a
-    filter-only deployment has no broker to be unhealthy).
+    filter-only deployment has no broker to be unhealthy).  A component
+    may degrade without losing readiness by reporting an explicit
+    ``ready: True`` alongside its non-ok status (the broker does this
+    for a populated DLQ): ``/workflow/health`` still answers 503, but
+    the filter keeps serving.
     """
     report = hub.health_report()
     bad = []
     for name in components:
         info = report["components"].get(name)
-        if info is not None and info.get("status", "ok") != "ok":
+        if info is None:
+            continue
+        ready = info.get("ready", info.get("status", "ok") == "ok")
+        if not ready:
             bad.append(f"{name}={info.get('status')}")
     if bad:
         return False, f"unhealthy components: {', '.join(bad)}"

@@ -202,6 +202,28 @@ class MetricsRegistry:
                 return 0.0
             return family.aggregate_quantile(q)
 
+    def family_value(self, name: str, **labels: Any) -> float:
+        """Sum of a counter/gauge family's child values.
+
+        With ``labels`` only children whose label sets contain every
+        given pair are summed; an unknown family (or a histogram —
+        pick a quantile with :meth:`family_quantile` instead) reads as
+        ``0.0``.  This is the read path alert rules with a
+        ``metric:<family>`` source evaluate against — callers wanting
+        fresh collector-fed values run :meth:`collect` first.
+        """
+        wanted = set(_label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family.kind == "histogram":
+                return 0.0
+            total = 0.0
+            for key, child in family.children.items():
+                if wanted and not wanted.issubset(set(key)):
+                    continue
+                total += child.value
+            return total
+
     def family_exemplars(self, name: str) -> list[dict[str, Any]]:
         """Exemplars across every label set of a histogram, slowest first."""
         with self._lock:

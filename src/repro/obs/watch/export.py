@@ -1,0 +1,169 @@
+"""Durable telemetry export: bounded queue, pluggable sinks, no stalls.
+
+The watch layer produces two record streams an operator wants *outside*
+the process — metrics snapshots and alert transitions — and both are
+produced on hot paths (alert evaluation runs inside request-serving
+processes; a metrics snapshot can be taken from a scrape).  The
+exporter therefore decouples production from delivery:
+
+* :meth:`TelemetryExporter.offer` appends to a bounded in-memory queue
+  and returns immediately.  When the queue is full the *oldest* record
+  is dropped and counted — backpressure never propagates to the caller,
+  a slow or dead sink can only cost completeness, never latency;
+* :meth:`TelemetryExporter.flush` drains the queue to every registered
+  sink.  A sink that raises is counted (``sink_errors``) and skipped
+  for the rest of the flush; the records still reach the other sinks.
+
+Sinks are anything with ``emit(record)``.  :class:`JsonLinesSink`
+appends one JSON object per line to a file (the durable half of the
+tentpole); :class:`MemorySink` keeps records in a list (tests, CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Protocol
+
+from repro.resilience.clock import Clock, SystemClock
+
+
+class TelemetrySink(Protocol):
+    """Destination for exported telemetry records."""
+
+    def emit(self, record: dict[str, Any]) -> None:  # pragma: no cover
+        ...
+
+
+class MemorySink:
+    """Keeps every emitted record in memory — tests and the CLI."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == kind]
+
+
+class JsonLinesSink:
+    """Appends one JSON object per line to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.written = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self.written += 1
+
+
+class BrokenSink:
+    """A sink that always raises — exercising the error accounting."""
+
+    def __init__(self, message: str = "sink is down") -> None:
+        self.message = message
+
+    def emit(self, record: dict[str, Any]) -> None:
+        raise RuntimeError(self.message)
+
+
+class TelemetryExporter:
+    """Bounded-queue fan-out of telemetry records to sinks."""
+
+    def __init__(
+        self, clock: Clock | None = None, capacity: int = 1024
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.clock: Clock = clock or SystemClock()
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._queue: deque[dict[str, Any]] = deque()
+        self._sinks: list[TelemetrySink] = []
+        #: Records evicted because the queue was full.
+        self.dropped = 0
+        #: Records handed to at least one sink.
+        self.exported = 0
+        #: ``emit`` calls that raised (per sink, per record).
+        self.sink_errors = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def add_sink(self, sink: TelemetrySink) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Producing (hot path: must never block or raise)
+    # ------------------------------------------------------------------
+
+    def offer(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Enqueue one record; drops the oldest when the queue is full.
+
+        Returns the enqueued record (stamped with ``ts`` and ``kind``)
+        so callers can reuse it — e.g. the alert engine mirrors it into
+        its transition history.
+        """
+        record = {"ts": self.clock.now(), "kind": kind, **fields}
+        with self._lock:
+            if len(self._queue) >= self.capacity:
+                self._queue.popleft()
+                self.dropped += 1
+            self._queue.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Draining (the slow side; errors are counted, never raised)
+    # ------------------------------------------------------------------
+
+    def flush(self, limit: int | None = None) -> int:
+        """Drain up to ``limit`` records (all, when ``None``) to sinks.
+
+        Returns how many records were drained.  A sink that raises is
+        skipped for the remainder of this flush; its failures land in
+        ``sink_errors`` and the records are *not* requeued — the queue
+        bounds memory, not delivery guarantees.
+        """
+        with self._lock:
+            count = len(self._queue) if limit is None else min(limit, len(self._queue))
+            batch = [self._queue.popleft() for __ in range(count)]
+            sinks = list(self._sinks)
+            self.exported += len(batch) if sinks else 0
+        if not batch or not sinks:
+            return len(batch)
+        broken: set[int] = set()
+        for record in batch:
+            for index, sink in enumerate(sinks):
+                if index in broken:
+                    continue
+                try:
+                    sink.emit(record)
+                except Exception:  # noqa: BLE001 - a dead sink must not
+                    broken.add(index)  # stall or crash the exporter
+                    with self._lock:
+                        self.sink_errors += 1
+        return len(batch)
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def info(self) -> dict[str, Any]:
+        """Counters for the health component and the CLI."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "pending": len(self._queue),
+                "sinks": len(self._sinks),
+                "exported": self.exported,
+                "dropped": self.dropped,
+                "sink_errors": self.sink_errors,
+            }

@@ -1,0 +1,320 @@
+"""State-residency tracking and stuck-instance detection.
+
+Exp-WF workflows run for days with humans and robots in the loop, so
+"how long has this instance sat in Fig. 4 state ``active``" is the
+primary operational question.  The tracker subscribes to the engine's
+event stream and, for every task (``task.state``) and task instance
+(``instance.state``), measures wall time spent in each state:
+
+* on every transition the elapsed residency is recorded into a
+  ``state_residency_seconds{pattern,kind,state}`` histogram *and* into
+  per-``(pattern, kind, state)`` baseline aggregates (count/mean/max);
+* entities reaching a terminal state are forgotten; everything else is
+  the *current* population :meth:`StateResidencyTracker.scan` inspects.
+
+:meth:`scan` flags entities whose current-state residency exceeds a
+configurable multiple of the pattern baseline (:class:`StuckPolicy`).
+Time comes from the injected :class:`~repro.resilience.clock.Clock`, so
+the chaos suite drives detection with a ``ManualClock`` and never
+sleeps.  Baselines built under a ``ManualClock`` are mostly zeros —
+that is what :attr:`StuckPolicy.floor_s` (never flag below this) and
+:attr:`StuckPolicy.fallback_s` (absolute threshold until the baseline
+is credible) are for.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.resilience.clock import Clock, SystemClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+#: Task states out of which nothing transitions (Fig. 4 task machine).
+TERMINAL_TASK_STATES = frozenset({"completed", "aborted", "unreachable"})
+#: Instance states out of which nothing transitions.
+TERMINAL_INSTANCE_STATES = frozenset({"completed", "aborted"})
+
+#: Label used when an entity's workflow pattern is unknown (the
+#: workflow started before the tracker attached).
+UNKNOWN_PATTERN = "unknown"
+
+
+@dataclass(frozen=True)
+class StuckPolicy:
+    """When does a current-state residency count as *stuck*?
+
+    An entity is flagged when its residency ``r`` satisfies both
+    ``r >= floor_s`` and:
+
+    * baseline credible (``samples >= min_samples``):
+      ``r > max(multiple * baseline_mean, floor_s)``;
+    * otherwise: ``r > fallback_s`` (absolute threshold).
+    """
+
+    #: Flag when residency exceeds this multiple of the baseline mean.
+    multiple: float = 3.0
+    #: Baseline samples required before the multiple applies.
+    min_samples: int = 3
+    #: Never flag residencies below this (guards near-zero baselines).
+    floor_s: float = 1.0
+    #: Absolute threshold while the baseline is not yet credible.
+    fallback_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.multiple <= 0:
+            raise ValueError("multiple must be positive")
+        if self.fallback_s <= 0:
+            raise ValueError("fallback_s must be positive")
+        if self.floor_s < 0:
+            raise ValueError("floor_s must be >= 0")
+
+
+@dataclass
+class _Baseline:
+    """Online count/mean/max of completed residencies for one key."""
+
+    count: int = 0
+    mean: float = 0.0
+    max: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.mean += (value - self.mean) / self.count
+        if value > self.max:
+            self.max = value
+
+
+class StateResidencyTracker:
+    """Wall time per Fig. 4 state, with a stuck-entity scanner.
+
+    Subscribe :meth:`on_event` to ``engine.events``; the callback runs
+    synchronously inside ``EventLog.emit`` and must stay cheap and
+    never raise.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        registry: "MetricsRegistry | None" = None,
+        max_entities: int = 50_000,
+    ) -> None:
+        self.clock: Clock = clock or SystemClock()
+        self.registry = registry
+        self.max_entities = max_entities
+        self._lock = threading.Lock()
+        #: workflow_id -> pattern name (from ``workflow.started``).
+        self._patterns: dict[int, str] = {}
+        #: wftask_id -> task name (learned from ``task.state`` rows).
+        self._task_names: dict[int, str] = {}
+        #: (kind, entity id) -> live entity record.
+        self._current: dict[tuple[str, int], dict[str, Any]] = {}
+        #: (pattern, kind, state) -> completed-residency aggregate.
+        self._baselines: dict[tuple[str, str, str], _Baseline] = {}
+        #: Entities evicted because ``max_entities`` was reached.
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # Event feed
+    # ------------------------------------------------------------------
+
+    def on_event(self, event) -> None:
+        """EventLog subscriber; never raises."""
+        try:
+            self._apply(event.kind, event.payload)
+        except Exception:  # noqa: BLE001 - observability is best-effort
+            pass
+
+    def _apply(self, kind: str, payload: dict[str, Any]) -> None:
+        if kind == "workflow.started":
+            workflow_id = payload.get("workflow_id")
+            pattern = payload.get("pattern")
+            if isinstance(workflow_id, int) and isinstance(pattern, str):
+                with self._lock:
+                    self._remember_pattern(workflow_id, pattern)
+            return
+        if kind == "task.state":
+            entity_id = payload.get("wftask_id")
+            entity_kind = "task"
+            task = payload.get("task")
+            if isinstance(entity_id, int) and isinstance(task, str):
+                with self._lock:
+                    self._task_names[entity_id] = task
+                    self._cap(self._task_names)
+        elif kind == "instance.state":
+            entity_id = payload.get("experiment_id")
+            entity_kind = "instance"
+        else:
+            return
+        state = payload.get("state")
+        workflow_id = payload.get("workflow_id")
+        if not isinstance(entity_id, int) or not isinstance(state, str):
+            return
+        now = self.clock.now()
+        with self._lock:
+            self._transition(
+                entity_kind, entity_id, state, workflow_id, payload, now
+            )
+
+    def _transition(
+        self,
+        kind: str,
+        entity_id: int,
+        state: str,
+        workflow_id: Any,
+        payload: dict[str, Any],
+        now: float,
+    ) -> None:
+        key = (kind, entity_id)
+        entry = self._current.get(key)
+        pattern = UNKNOWN_PATTERN
+        if isinstance(workflow_id, int):
+            pattern = self._patterns.get(workflow_id, UNKNOWN_PATTERN)
+        if entry is not None:
+            elapsed = max(0.0, now - entry["entered_at"])
+            self._record_residency(pattern, kind, entry["state"], elapsed)
+        terminal = (
+            TERMINAL_TASK_STATES if kind == "task" else TERMINAL_INSTANCE_STATES
+        )
+        if state in terminal:
+            self._current.pop(key, None)
+            return
+        task = payload.get("task")
+        if not isinstance(task, str):
+            wftask_id = payload.get("wftask_id")
+            task = (
+                self._task_names.get(wftask_id)
+                if isinstance(wftask_id, int)
+                else None
+            )
+        if entry is None and len(self._current) >= self.max_entities:
+            self._current.pop(next(iter(self._current)))
+            self.evicted += 1
+        self._current[key] = {
+            "kind": kind,
+            "entity_id": entity_id,
+            "workflow_id": workflow_id if isinstance(workflow_id, int) else None,
+            "pattern": pattern,
+            "task": task,
+            "state": state,
+            "entered_at": now,
+        }
+
+    def _remember_pattern(self, workflow_id: int, pattern: str) -> None:
+        self._patterns[workflow_id] = pattern
+        self._cap(self._patterns)
+
+    def _cap(self, mapping: dict[int, str]) -> None:
+        while len(mapping) > self.max_entities:
+            mapping.pop(next(iter(mapping)))
+
+    def _record_residency(
+        self, pattern: str, kind: str, state: str, elapsed: float
+    ) -> None:
+        baseline = self._baselines.get((pattern, kind, state))
+        if baseline is None:
+            baseline = self._baselines[(pattern, kind, state)] = _Baseline()
+        baseline.add(elapsed)
+        if self.registry is not None:
+            self.registry.histogram(
+                "state_residency_seconds",
+                help="Wall time spent per Fig. 4 state before leaving it",
+                pattern=pattern,
+                kind=kind,
+                state=state,
+            ).observe(elapsed)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def current(self) -> list[dict[str, Any]]:
+        """Live (non-terminal) entities with their running residency."""
+        now = self.clock.now()
+        with self._lock:
+            return [
+                {**entry, "residency_s": max(0.0, now - entry["entered_at"])}
+                for entry in self._current.values()
+            ]
+
+    def baselines(self) -> dict[str, dict[str, Any]]:
+        """Completed-residency aggregates, keyed ``pattern/kind/state``."""
+        with self._lock:
+            return {
+                f"{pattern}/{kind}/{state}": {
+                    "count": baseline.count,
+                    "mean_s": baseline.mean,
+                    "max_s": baseline.max,
+                }
+                for (pattern, kind, state), baseline in sorted(
+                    self._baselines.items()
+                )
+            }
+
+    def scan(
+        self, policy: StuckPolicy | None = None, now: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Entities stuck in their current state per ``policy``.
+
+        Returns one dict per flagged entity, longest-stuck first, with
+        the baseline and threshold that condemned it — the payload the
+        alert engine and the flight recorder both surface.
+        """
+        policy = policy or StuckPolicy()
+        now = self.clock.now() if now is None else now
+        flagged: list[dict[str, Any]] = []
+        with self._lock:
+            entries = list(self._current.values())
+            baselines = dict(self._baselines)
+        for entry in entries:
+            residency = max(0.0, now - entry["entered_at"])
+            if residency < policy.floor_s:
+                continue
+            baseline = baselines.get(
+                (entry["pattern"], entry["kind"], entry["state"])
+            )
+            if baseline is not None and baseline.count >= policy.min_samples:
+                threshold = max(policy.multiple * baseline.mean, policy.floor_s)
+                reason = (
+                    f"residency {residency:.1f}s > "
+                    f"{policy.multiple:g}x baseline mean {baseline.mean:.1f}s"
+                )
+                samples, mean = baseline.count, baseline.mean
+            else:
+                threshold = policy.fallback_s
+                reason = (
+                    f"residency {residency:.1f}s > fallback "
+                    f"{policy.fallback_s:.1f}s (baseline not credible)"
+                )
+                samples = baseline.count if baseline is not None else 0
+                mean = baseline.mean if baseline is not None else 0.0
+            if residency > threshold:
+                flagged.append(
+                    {
+                        "kind": entry["kind"],
+                        "entity_id": entry["entity_id"],
+                        "workflow_id": entry["workflow_id"],
+                        "pattern": entry["pattern"],
+                        "task": entry["task"],
+                        "state": entry["state"],
+                        "residency_s": residency,
+                        "baseline_mean_s": mean,
+                        "baseline_samples": samples,
+                        "threshold_s": threshold,
+                        "reason": reason,
+                    }
+                )
+        flagged.sort(key=lambda item: -item["residency_s"])
+        return flagged
+
+    def report(self) -> dict[str, Any]:
+        """JSON-friendly summary for the servlet and CLI."""
+        return {
+            "tracked": len(self._current),
+            "evicted": self.evicted,
+            "baselines": self.baselines(),
+            "current": self.current(),
+        }

@@ -1,0 +1,95 @@
+"""The alerting servlet (``GET /workflow/alerts``).
+
+Serves the :class:`repro.obs.watch.alerts.AlertEngine` report: every
+rule with its current lifecycle status (inactive / pending / firing /
+resolved), last evaluated value, and the recent transition history.
+Registered by ``repro.obs.watch.install_watch``; until then the
+endpoint answers ``{"enabled": false}``.
+
+Views:
+
+* ``GET /workflow/alerts`` — the full JSON report;
+* ``?evaluate=1`` — run one evaluation pass first (pull-style
+  deployments with no background evaluator);
+* ``?format=text`` — a terse per-rule table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Servlet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hub import ObservabilityHub
+    from repro.weblims.container import WebContainer
+
+
+class AlertServlet(Servlet):
+    """JSON/text exposure of the alert engine."""
+
+    name = "AlertServlet"
+
+    def __init__(self, hub: "ObservabilityHub") -> None:
+        self.hub = hub
+
+    def do_get(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        watcher = self.hub.watcher
+        if watcher is None:
+            return HttpResponse(
+                status=200,
+                body=json.dumps(
+                    {
+                        "enabled": False,
+                        "hint": "call repro.obs.watch.install_watch",
+                    }
+                ),
+                content_type="application/json",
+            )
+        if request.param("evaluate") in ("1", "true", "yes"):
+            watcher.evaluate()
+        report = watcher.alerts.report()
+        report["enabled"] = True
+        report["exporter"] = watcher.exporter.info()
+        if request.param("format") == "text":
+            return HttpResponse(
+                status=200,
+                body=_render_text(report),
+                content_type="text/plain",
+            )
+        return HttpResponse(
+            status=200,
+            body=json.dumps(report, default=str),
+            content_type="application/json",
+        )
+
+
+def _render_text(report: dict) -> str:
+    lines = ["== alert rules =="]
+    for rule in report["rules"]:
+        value = rule["value"]
+        shown = f"{value:g}" if isinstance(value, (int, float)) else "-"
+        lines.append(
+            f"  {rule['name']:<20} {rule['status']:<9} "
+            f"value={shown:<8} {rule['comparison']}{rule['threshold']:g} "
+            f"for={rule['for_s']:g}s [{rule['severity']}]"
+        )
+    if report["history"]:
+        lines.append("== recent transitions ==")
+        for entry in report["history"][-20:]:
+            lines.append(
+                f"  {entry['at']:.3f} {entry['rule']}: "
+                f"{entry['from']} -> {entry['to']} "
+                f"(value {entry['value']:g})"
+            )
+    exporter = report["exporter"]
+    lines.append(
+        f"== exporter: {exporter['pending']} pending, "
+        f"{exporter['exported']} exported, {exporter['dropped']} dropped, "
+        f"{exporter['sink_errors']} sink errors =="
+    )
+    return "\n".join(lines)

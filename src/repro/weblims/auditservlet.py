@@ -58,6 +58,23 @@ class AuditServlet(Servlet):
             filters = self._decode_filters(request)
         except ValueError as error:
             return HttpResponse.error(400, str(error))
+        workflow_id = filters.get("workflow_id")
+        if workflow_id is not None and not self._workflow_exists(workflow_id):
+            # A timeline query for a workflow that never existed must be
+            # distinguishable from a workflow with no audit rows yet:
+            # structured 404, not an indistinguishable empty 200.
+            return HttpResponse(
+                status=404,
+                body=json.dumps(
+                    {
+                        "error": "workflow_not_found",
+                        "workflow_id": workflow_id,
+                        "total": 0,
+                        "records": [],
+                    }
+                ),
+                content_type="application/json",
+            )
         total, records = audit.query(**filters)
         payload: dict[str, Any] = {
             "total": total,
@@ -70,6 +87,14 @@ class AuditServlet(Servlet):
             body=json.dumps(payload, default=str),
             content_type="application/json",
         )
+
+    def _workflow_exists(self, workflow_id: int) -> bool:
+        audit = self.hub.audit
+        if audit is None or not audit.db.has_table("Workflow"):
+            # Without a workflow table there is nothing to validate
+            # against; fall through to the plain (possibly empty) query.
+            return True
+        return audit.db.get("Workflow", workflow_id) is not None
 
     def _decode_filters(self, request: HttpRequest) -> dict[str, Any]:
         filters: dict[str, Any] = {}

@@ -1,0 +1,168 @@
+"""The instance-inspection servlet (``GET /workflow/instances``).
+
+The operator's view onto in-flight workflow instances, backed by the
+:class:`repro.obs.watch.recorder.FlightRecorder` and the state-residency
+tracker.  Registered by ``repro.obs.watch.install_watch``; until then
+the endpoint answers ``{"enabled": false}`` (the profiling servlet's
+opt-in contract).
+
+Views:
+
+* ``GET /workflow/instances`` — workflow listing (``?status=running``
+  filters; ``limit``/``offset`` paginate) with per-workflow stuck
+  flags;
+* ``GET /workflow/instances/<id>`` — one workflow's summary header;
+* ``GET /workflow/instances/<id>/timeline`` — the full flight-recorder
+  timeline (audit + spans + leases + DLQ merged); ``?format=text``
+  renders the CLI printout.
+
+An unknown workflow id answers a structured 404 JSON payload
+(``{"error": "workflow_not_found", ...}``) — the same contract the
+audit servlet applies to timeline queries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.weblims.http import HttpRequest, HttpResponse
+from repro.weblims.servlet import Servlet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hub import ObservabilityHub
+    from repro.weblims.container import WebContainer
+
+#: Listing page-size ceiling.
+MAX_LIMIT = 500
+
+
+def _json(payload: dict[str, Any], status: int = 200) -> HttpResponse:
+    return HttpResponse(
+        status=status,
+        body=json.dumps(payload, default=str),
+        content_type="application/json",
+    )
+
+
+def not_found_payload(workflow_id: int) -> dict[str, Any]:
+    """The structured not-found body shared with the audit servlet."""
+    return {
+        "error": "workflow_not_found",
+        "workflow_id": workflow_id,
+        "found": False,
+    }
+
+
+class InstancesServlet(Servlet):
+    """JSON views over live workflow instances and their timelines."""
+
+    name = "InstancesServlet"
+
+    def __init__(self, hub: "ObservabilityHub") -> None:
+        self.hub = hub
+
+    def do_get(
+        self, request: HttpRequest, container: "WebContainer"
+    ) -> HttpResponse:
+        watcher = self.hub.watcher
+        if watcher is None:
+            return _json(
+                {
+                    "enabled": False,
+                    "hint": "call repro.obs.watch.install_watch",
+                }
+            )
+        tail = request.path.removeprefix("/workflow/instances").strip("/")
+        if not tail:
+            return self._listing(request, watcher)
+        parts = tail.split("/")
+        try:
+            workflow_id = int(parts[0])
+        except ValueError:
+            return HttpResponse.error(
+                400, f"workflow id must be an integer, got {parts[0]!r}"
+            )
+        if len(parts) == 1:
+            summary = watcher.recorder.summary(workflow_id)
+            if not summary["found"]:
+                return _json(not_found_payload(workflow_id), status=404)
+            return _json(summary)
+        if len(parts) == 2 and parts[1] == "timeline":
+            timeline = watcher.recorder.timeline(workflow_id)
+            if not timeline["found"]:
+                return _json(not_found_payload(workflow_id), status=404)
+            if request.param("format") == "text":
+                return HttpResponse(
+                    status=200,
+                    body=watcher.recorder.render_text(workflow_id),
+                    content_type="text/plain",
+                )
+            return _json(timeline)
+        return HttpResponse.error(404, f"no such view {request.path!r}")
+
+    def _listing(self, request: HttpRequest, watcher) -> HttpResponse:
+        from repro.minidb.predicates import EQ
+
+        db = watcher.recorder.db
+        status = request.param("status")
+        try:
+            limit = _int_param(request, "limit", 100, 1, MAX_LIMIT)
+            offset = _int_param(request, "offset", 0, 0, None)
+        except ValueError as error:
+            return HttpResponse.error(400, str(error))
+        predicate = EQ("status", status) if status else None
+        rows = db.select("Workflow", predicate, order_by="workflow_id")
+        total = len(rows)
+        page = rows[offset:offset + limit]
+        stuck = watcher.stuck()
+        stuck_by_workflow: dict[int, int] = {}
+        for entry in stuck:
+            wid = entry.get("workflow_id")
+            if isinstance(wid, int):
+                stuck_by_workflow[wid] = stuck_by_workflow.get(wid, 0) + 1
+        patterns = {
+            row["pattern_id"]: row["name"]
+            for row in db.select("WorkflowPattern")
+        }
+        return _json(
+            {
+                "total": total,
+                "offset": offset,
+                "limit": limit,
+                "stuck_total": len(stuck),
+                "instances": [
+                    {
+                        "workflow_id": row["workflow_id"],
+                        "pattern": patterns.get(row["pattern_id"]),
+                        "status": row["status"],
+                        "created": row["created"],
+                        "stuck_entities": stuck_by_workflow.get(
+                            row["workflow_id"], 0
+                        ),
+                    }
+                    for row in page
+                ],
+            }
+        )
+
+
+def _int_param(
+    request: HttpRequest,
+    name: str,
+    default: int,
+    minimum: int,
+    maximum: int | None,
+) -> int:
+    raw = request.param(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"parameter {name!r} must be an integer")
+    if value < minimum:
+        raise ValueError(f"parameter {name!r} must be >= {minimum}")
+    if maximum is not None and value > maximum:
+        raise ValueError(f"parameter {name!r} must be <= {maximum}")
+    return value

@@ -380,6 +380,10 @@ def build_protein_lab(
     profiling: bool = False,
     slos=(),
     sampler: bool = False,
+    watch: bool = False,
+    watch_rules=(),
+    stuck_policy=None,
+    telemetry_path: str | None = None,
 ) -> ProteinLab:
     """Assemble the complete protein lab.
 
@@ -405,6 +409,13 @@ def build_protein_lab(
     an iterable of :class:`~repro.obs.prof.slo.SLOPolicy`) burn-rate
     tracking; ``sampler`` additionally starts the collapsed-stack
     wall-clock sampler thread.
+
+    ``watch`` (requires ``observability``) installs the
+    ``repro.obs.watch`` layer — state-residency tracking with
+    stuck-instance detection (tuned by ``stuck_policy``), the alert
+    engine (stock rules plus ``watch_rules``), the per-instance flight
+    recorder and, when ``telemetry_path`` is given, a JSON-lines
+    telemetry sink for alert transitions and metrics snapshots.
     """
     app = build_expdb(
         wal_path=wal_path,
@@ -460,5 +471,19 @@ def build_protein_lab(
                 broker=broker,
                 slos=slos,
                 sampler=sampler,
+            )
+        if watch:
+            from repro.obs.watch import install_watch
+
+            install_watch(
+                lab.obs,
+                expdb=app,
+                engine=engine,
+                broker=broker,
+                manager=manager,
+                rules=watch_rules,
+                stuck_policy=stuck_policy,
+                telemetry_path=telemetry_path,
+                clock=clock,
             )
     return lab

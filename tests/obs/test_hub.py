@@ -225,6 +225,72 @@ class TestHealth:
         assert info["wal"] == {"enabled": False}
         assert info["tables"] > 0
 
+    def test_overall_status_is_the_worst_component(self):
+        hub = ObservabilityHub()
+        hub.register_health("fine", lambda: {"status": "ok"})
+        hub.register_health("limping", lambda: {"status": "degraded"})
+
+        def broken():
+            raise RuntimeError("probe failed")
+
+        hub.register_health("dead", broken)
+        report = hub.health_report()
+        assert report["status"] == "degraded"
+        assert report["components"]["fine"]["status"] == "ok"
+        assert report["components"]["limping"]["status"] == "degraded"
+        assert report["components"]["dead"]["status"] == "error"
+
+    def _broker_with_dead_letter(self):
+        from repro.resilience import RetryPolicy
+
+        broker = MessageBroker()
+        broker.declare_queue("q")
+        broker.set_retry_policy("q", RetryPolicy(max_deliveries=1))
+        broker.send("q", "poison")
+        message = broker.receive("q")
+        broker.reject(message, reason="cannot parse")
+        assert broker.dlq_depth() == 1
+        return broker
+
+    def test_dlq_depth_degrades_the_broker_component(self):
+        hub = ObservabilityHub()
+        broker = self._broker_with_dead_letter()
+        hub.watch_broker(broker)
+        info = hub.health_report()["components"]["broker"]
+        assert info["status"] == "degraded"
+        assert info["dlq_depth"] == 1
+        assert info["ready"] is True
+        assert "dead-letter" in info["reason"]
+
+    def test_dlq_degradation_does_not_cost_readiness(self):
+        from repro.obs import hub_readiness
+
+        hub = ObservabilityHub()
+        broker = self._broker_with_dead_letter()
+        hub.watch_broker(broker)
+        ready, reason = hub_readiness(hub)
+        assert ready is True
+        assert reason == ""
+
+    def test_plain_degraded_readiness_component_blocks_readiness(self):
+        from repro.obs import hub_readiness
+
+        hub = ObservabilityHub()
+        hub.register_health("engine", lambda: {"status": "degraded"})
+        ready, reason = hub_readiness(hub)
+        assert ready is False
+        assert "engine=degraded" in reason
+
+    def test_non_readiness_component_never_blocks_readiness(self):
+        from repro.obs import hub_readiness
+
+        hub = ObservabilityHub()
+        hub.register_health("alerts", lambda: {"status": "degraded"})
+        report = hub.health_report()
+        assert report["status"] == "degraded"
+        ready, __ = hub_readiness(hub)
+        assert ready is True
+
 
 class TestLogMetrics:
     def test_log_records_counted_by_level(self):

@@ -1,0 +1,131 @@
+"""Acceptance test for the watch layer: the full alert lifecycle under
+chaos, entirely ManualClock-driven — zero wall-clock sleeps.
+
+The scenario is the chaos suite's agent-silence case (seed 3): the
+dispatch to the digestion robot is dropped, the instance sits in
+``delegated`` long past its pattern baseline, and the watch layer must
+drive the ``stuck-instances`` alert pending → firing (audited and
+exported), then resolve it once the lease sweep redelivers and the
+workflow completes.
+"""
+
+from __future__ import annotations
+
+from repro.obs import verify_timeline
+from repro.obs.watch import MemorySink, StuckPolicy
+from repro.resilience import FaultPlan, ManualClock
+from repro.workloads.protein import build_protein_lab
+
+
+def watch_lab(tmp_path=None, seed=3, lease_ttl_s=120.0, fault_plan=None):
+    clock = ManualClock()
+    lab = build_protein_lab(
+        colonies=25,
+        seed=seed,
+        clock=clock,
+        wal_path=str(tmp_path / "watch.wal") if tmp_path is not None else None,
+        lease_ttl_s=lease_ttl_s,
+        fault_plan=fault_plan,
+        watch=True,
+        stuck_policy=StuckPolicy(
+            multiple=3.0, min_samples=3, floor_s=1.0, fallback_s=60.0
+        ),
+    )
+    return lab, clock
+
+
+class TestAlertLifecycleUnderChaos:
+    def test_agent_silence_drives_pending_firing_resolved(self, tmp_path):
+        plan = FaultPlan(seed=3).rule(
+            "broker.publish", "drop", times=1,
+            where={"queue": "agent.digest-bot"},
+        )
+        lab, clock = watch_lab(tmp_path, fault_plan=plan)
+        watcher = lab.obs.watcher
+        assert watcher is not None
+        sink = MemorySink()
+        watcher.exporter.add_sink(sink)
+
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+        lab.run_messages()
+        assert plan.fired_points() == ["broker.publish"]
+
+        # Nothing is stuck yet and no rule has tripped.
+        assert watcher.evaluate() == []
+        assert watcher.alerts.counts().get("firing", 0) == 0
+
+        # 90 s of silence: past the 60 s fallback, short of the 120 s
+        # lease TTL — stuck-instances goes pending, held by for_s=30.
+        clock.advance(90.0)
+        transitions = watcher.evaluate()
+        stuck = {
+            (t["from"], t["to"])
+            for t in transitions
+            if t["rule"] == "stuck-instances"
+        }
+        assert stuck == {("inactive", "pending")}
+        flagged = watcher.stuck()
+        assert {entry["workflow_id"] for entry in flagged} == {workflow_id}
+        assert any(entry["state"] == "delegated" for entry in flagged)
+
+        # 40 s more: the hold elapsed (and the lease expired) — firing.
+        clock.advance(40.0)
+        transitions = watcher.evaluate()
+        by_rule = {(t["rule"], t["to"]) for t in transitions}
+        assert ("stuck-instances", "firing") in by_rule
+        assert ("expired-leases", "firing") in by_rule
+        assert lab.obs.health_report()["components"]["alerts"][
+            "status"
+        ] == "degraded"
+
+        # The firing transition is durable: audited and exported.
+        total, records = lab.obs.audit.query(kind="alert.transition")
+        assert total >= 2
+        assert any(r["state"] == "firing" for r in records)
+        watcher.exporter.flush()
+        exported = sink.of_kind("alert.transition")
+        assert {(r["rule"], r["to"]) for r in exported} >= {
+            ("stuck-instances", "pending"),
+            ("stuck-instances", "firing"),
+        }
+
+        # Recovery: the sweep redelivers, the workflow completes, and
+        # one more evaluation pass resolves every firing alert.
+        assert lab.manager.sweep_leases()["redispatched"] == 1
+        assert lab.run_to_completion(workflow_id) == "completed"
+        transitions = watcher.evaluate()
+        resolved = {
+            t["rule"] for t in transitions if t["to"] == "resolved"
+        }
+        assert {"stuck-instances", "expired-leases"} <= resolved
+        assert watcher.alerts.counts().get("firing", 0) == 0
+        assert lab.obs.health_report()["components"]["alerts"][
+            "status"
+        ] == "ok"
+        assert watcher.stuck() == []
+
+        # The flight recorder shows the whole story on one timeline,
+        # and the audit trail still satisfies the Fig. 4 machines.
+        timeline = watcher.recorder.timeline(workflow_id)
+        assert timeline["found"] is True
+        kinds = [e["kind"] for e in timeline["events"]]
+        assert "lease.expired" in kinds
+        records = lab.obs.audit.timeline(workflow_id)
+        assert records and verify_timeline(records) == []
+
+    def test_watch_layer_stays_quiet_on_a_clean_run(self, tmp_path):
+        """No faults: a healthy run must produce zero transitions and
+        leave the alerts component ok — no false alarms."""
+        lab, clock = watch_lab(tmp_path)
+        watcher = lab.obs.watcher
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+        assert lab.run_to_completion(workflow_id) == "completed"
+        clock.advance(300.0)  # idle time after completion is not "stuck"
+        assert watcher.evaluate() == []
+        assert watcher.stuck() == []
+        assert watcher.alerts.report()["history"] == []
+        assert lab.obs.health_report()["components"]["alerts"][
+            "status"
+        ] == "ok"

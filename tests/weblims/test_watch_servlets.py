@@ -1,0 +1,194 @@
+"""HTTP views of the watch layer: ``/workflow/instances``,
+``/workflow/alerts`` and the audit servlet's structured 404 contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.watch import AlertRule, StuckPolicy
+from repro.resilience import FaultPlan, ManualClock
+from repro.weblims.http import HttpRequest
+from repro.workloads.protein import build_protein_lab
+
+
+@pytest.fixture
+def watch_lab():
+    clock = ManualClock()
+    lab = build_protein_lab(
+        clock=clock,
+        watch=True,
+        stuck_policy=StuckPolicy(
+            multiple=3.0, min_samples=3, floor_s=1.0, fallback_s=60.0
+        ),
+    )
+    return lab, clock
+
+
+def get_json(app, path, **params):
+    response = app.get(path, **params)
+    return response, json.loads(response.body)
+
+
+class TestInstancesServlet:
+    def test_listing_pages_and_counts_stuck(self, watch_lab):
+        lab, clock = watch_lab
+        first = lab.engine.start_workflow("protein_creation")
+        second = lab.engine.start_workflow("protein_creation")
+        response, payload = get_json(lab.app, "/workflow/instances")
+        assert response.status == 200
+        assert payload["total"] == 2
+        listed = {row["workflow_id"] for row in payload["instances"]}
+        assert listed == {first["workflow_id"], second["workflow_id"]}
+        assert all(
+            row["pattern"] == "protein_creation"
+            for row in payload["instances"]
+        )
+        __, page = get_json(lab.app, "/workflow/instances", limit="1")
+        assert page["total"] == 2
+        assert len(page["instances"]) == 1
+
+    def test_status_filter(self, watch_lab):
+        lab, __ = watch_lab
+        workflow = lab.engine.start_workflow("protein_creation")
+        lab.run_to_completion(workflow["workflow_id"])
+        __, running = get_json(
+            lab.app, "/workflow/instances", status="running"
+        )
+        assert running["total"] == 0
+        # The run may spawn a child workflow; all of them completed.
+        __, completed = get_json(
+            lab.app, "/workflow/instances", status="completed"
+        )
+        assert completed["total"] >= 1
+        assert {r["status"] for r in completed["instances"]} == {"completed"}
+
+    def test_stuck_entities_surface_in_the_listing(self, watch_lab):
+        lab, clock = watch_lab
+        plan = FaultPlan(seed=3).rule(
+            "broker.publish", "drop", times=1,
+            where={"queue": "agent.digest-bot"},
+        )
+        lab.attach_faults(plan)
+        workflow = lab.engine.start_workflow("protein_creation")
+        lab.run_messages()
+        clock.advance(90.0)
+        __, payload = get_json(lab.app, "/workflow/instances")
+        assert payload["stuck_total"] >= 1
+        row = next(
+            r
+            for r in payload["instances"]
+            if r["workflow_id"] == workflow["workflow_id"]
+        )
+        assert row["stuck_entities"] >= 1
+
+    def test_summary_and_timeline_views(self, watch_lab):
+        lab, __ = watch_lab
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+        lab.run_to_completion(workflow_id)
+        __, summary = get_json(lab.app, f"/workflow/instances/{workflow_id}")
+        assert summary["found"] is True
+        assert summary["status"] == "completed"
+        assert summary["audit_records"] > 0
+        __, timeline = get_json(
+            lab.app, f"/workflow/instances/{workflow_id}/timeline"
+        )
+        assert timeline["found"] is True
+        assert timeline["events"]
+        text = lab.app.get(
+            f"/workflow/instances/{workflow_id}/timeline", format="text"
+        )
+        assert text.content_type == "text/plain"
+        assert f"workflow {workflow_id}" in text.body
+
+    def test_unknown_workflow_is_a_structured_404(self, watch_lab):
+        lab, __ = watch_lab
+        response, payload = get_json(lab.app, "/workflow/instances/424242")
+        assert response.status == 404
+        assert payload["error"] == "workflow_not_found"
+        assert payload["workflow_id"] == 424242
+        response, payload = get_json(
+            lab.app, "/workflow/instances/424242/timeline"
+        )
+        assert response.status == 404
+        assert payload["error"] == "workflow_not_found"
+
+    def test_malformed_id_is_a_400(self, watch_lab):
+        lab, __ = watch_lab
+        response = lab.app.get("/workflow/instances/not-a-number")
+        assert response.status == 400
+
+    def test_disabled_without_watcher(self):
+        from repro.obs import ObservabilityHub
+        from repro.weblims.instancesservlet import InstancesServlet
+
+        servlet = InstancesServlet(ObservabilityHub())
+        response = servlet.do_get(
+            HttpRequest(method="GET", path="/workflow/instances"), None
+        )
+        assert json.loads(response.body)["enabled"] is False
+
+
+class TestAlertServlet:
+    def test_report_lists_rules_and_evaluates_on_demand(self, watch_lab):
+        lab, __ = watch_lab
+        lab.obs.watcher.alerts.add_source("always", lambda: 10.0)
+        lab.obs.watcher.alerts.add_rule(
+            AlertRule(name="always-on", source="always", threshold=5)
+        )
+        __, payload = get_json(lab.app, "/workflow/alerts")
+        names = {rule["name"] for rule in payload["rules"]}
+        assert {"always-on", "stuck-instances", "dlq-depth"} <= names
+        assert payload["firing"] == []  # not evaluated yet
+        __, payload = get_json(lab.app, "/workflow/alerts", evaluate="1")
+        assert payload["firing"] == ["always-on"]
+        assert payload["history"][-1]["to"] == "firing"
+        assert payload["exporter"]["capacity"] > 0
+
+    def test_text_rendering(self, watch_lab):
+        lab, __ = watch_lab
+        response = lab.app.get("/workflow/alerts", format="text")
+        assert response.content_type == "text/plain"
+        assert "alert rules" in response.body
+        assert "stuck-instances" in response.body
+
+    def test_disabled_without_watcher(self):
+        from repro.obs import ObservabilityHub
+        from repro.weblims.alertservlet import AlertServlet
+
+        servlet = AlertServlet(ObservabilityHub())
+        response = servlet.do_get(
+            HttpRequest(method="GET", path="/workflow/alerts"), None
+        )
+        assert json.loads(response.body)["enabled"] is False
+
+
+class TestAuditTimelineNotFound:
+    """Satellite: unknown-workflow audit queries answer 404, not an
+    empty 200."""
+
+    def test_unknown_workflow_id_is_404(self, watch_lab):
+        lab, __ = watch_lab
+        response = lab.app.get("/workflow/audit", workflow_id="424242")
+        assert response.status == 404
+        payload = json.loads(response.body)
+        assert payload["error"] == "workflow_not_found"
+        assert payload["records"] == []
+
+    def test_known_workflow_id_still_pages_records(self, watch_lab):
+        lab, __ = watch_lab
+        workflow = lab.engine.start_workflow("protein_creation")
+        response = lab.app.get(
+            "/workflow/audit", workflow_id=str(workflow["workflow_id"])
+        )
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["total"] > 0
+
+    def test_unfiltered_queries_are_unaffected(self, watch_lab):
+        lab, __ = watch_lab
+        response = lab.app.get("/workflow/audit")
+        assert response.status == 200
