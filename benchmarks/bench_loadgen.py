@@ -35,6 +35,9 @@ Two experiments, both reported to ``BENCH_perf.json``:
 
 ``--small`` shrinks both experiments for CI smoke use; results land in
 a per-mode section so small runs never clobber full-run numbers.
+``--witness`` attaches the runtime lock-order witness to the profiled
+pass and fails the run if any observed acquisition order diverges from
+the static lock graph ``repro.analysis.concurrency`` predicts.
 ``--check`` compares the fresh run against the committed baseline for
 the same mode and exits 1 on a >20 % throughput regression (the
 profiled run is held to the same floor).
@@ -161,6 +164,7 @@ def run_closed_loop(
     caches_enabled: bool,
     profiling: bool = False,
     watch: bool = False,
+    witness: bool = False,
 ) -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         lab = build_protein_lab(
@@ -169,6 +173,7 @@ def run_closed_loop(
             sync_policy="group",
             profiling=profiling,
             watch=watch,
+            witness=witness,
         )
         db = lab.app.db
         if not caches_enabled:
@@ -258,6 +263,10 @@ def run_closed_loop(
         }
         if profiling:
             result["attribution"] = collect_attribution(lab)
+            if witness and lab.obs.profiler.witness is not None:
+                result["lock_order"] = (
+                    lab.obs.profiler.witness.check().to_dict()
+                )
             lab.obs.profiler.close()
         if watch:
             result["watch"] = collect_watch(lab)
@@ -401,6 +410,12 @@ def main(argv: list[str] | None = None) -> int:
         help="fail on >20%% throughput regression vs the committed baseline",
     )
     parser.add_argument(
+        "--witness",
+        action="store_true",
+        help="attach the runtime lock-order witness to the profiled "
+        "pass and fail on any divergence from conlint's static graph",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="result file"
     )
     args = parser.parse_args(argv)
@@ -444,7 +459,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"== profiled closed loop ({clients} clients, repro.obs.prof) ==")
     profiled = run_closed_loop(
-        clients, requests_per_client, True, profiling=True
+        clients, requests_per_client, True, profiling=True,
+        witness=args.witness,
     )
     unprofiled_tp = loop_results["after"]["throughput_per_s"]
     overhead_pct = round(
@@ -479,6 +495,25 @@ def main(argv: list[str] | None = None) -> int:
             f"  stage sum / measured total: {ratio:.4f} "
             f"(must be within 10%) — {verdict}"
         )
+    witness_ok = True
+    if args.witness:
+        lock_order = profiled.get("lock_order")
+        if lock_order is None:
+            witness_ok = False
+            print("  lock-order witness: NOT INSTALLED")
+        else:
+            witness_ok = lock_order["ok"]
+            verdict = "ok" if witness_ok else "DIVERGENCE"
+            print(
+                f"  lock-order witness: {lock_order['acquisitions']} "
+                f"acquisitions, {len(lock_order['observed_pairs'])} "
+                f"nesting pair(s) — {verdict}"
+            )
+            for divergence in lock_order["divergences"]:
+                print(
+                    f"    [{divergence['kind']}] {divergence['held']} "
+                    f"-> {divergence['acquired']}: {divergence['detail']}"
+                )
 
     print(f"== watched closed loop ({clients} clients, repro.obs.watch) ==")
     watched = run_closed_loop(
@@ -549,6 +584,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not attribution_ok:
         print("FAIL: stage attribution does not add up to measured latency")
+        return 1
+    if not witness_ok:
+        print("FAIL: observed lock order diverges from the static graph")
         return 1
     if not watch_quiet:
         print("FAIL: the watch layer raised alerts on a healthy run")

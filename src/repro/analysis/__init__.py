@@ -1,18 +1,30 @@
-"""Static analysis for Exp-WF (DESIGN.md §9).
+"""Static analysis for Exp-WF (DESIGN.md §9 and §14).
 
-Two prongs:
+Three prongs:
 
 * :mod:`repro.analysis.wfcheck` — the workflow-pattern soundness
   verifier (multi-diagnostic, non-throwing; ``validate_pattern`` is a
   thin raising wrapper over it);
 * :mod:`repro.analysis.codelint` — the codebase invariant linter
   (state-machine discipline, lock discipline, bare excepts, mutable
-  defaults, dead code).
+  defaults, dead code);
+* :mod:`repro.analysis.concurrency` — the whole-program concurrency
+  analyzer ("conlint"): interprocedural lock-acquisition graph with
+  cycle/never-nested checks, blocking-calls-under-lock and unguarded
+  shared-state lints, plus the static lock order the runtime
+  :class:`~repro.obs.prof.witness.LockOrderWitness` asserts against.
 
-Run both from the command line via ``python -m repro.analysis``.
+Run them from the command line via ``python -m repro.analysis``.
 """
 
 from repro.analysis.codelint import lint_paths
+from repro.analysis.concurrency import (
+    ConcurrencyAnalysis,
+    StaticOrder,
+    analyze_paths,
+    lint_concurrency,
+    static_lock_order,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     Report,
@@ -27,13 +39,18 @@ from repro.analysis.wfcheck import (
 )
 
 __all__ = [
+    "ConcurrencyAnalysis",
     "Diagnostic",
     "MAX_GUARDS",
     "Report",
     "Severity",
+    "StaticOrder",
+    "analyze_paths",
     "check_pattern",
     "check_patterns",
     "check_registry",
+    "lint_concurrency",
     "lint_paths",
     "merge_reports",
+    "static_lock_order",
 ]

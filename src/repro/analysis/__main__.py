@@ -5,13 +5,17 @@ Subcommands::
     python -m repro.analysis wfcheck protein         # built-in lab
     python -m repro.analysis wfcheck some.module     # scan a module
     python -m repro.analysis codelint src            # invariant linter
+    python -m repro.analysis conlint src/repro       # concurrency lints
 
 ``wfcheck`` accepts either the name of a built-in workload (``protein``,
 ``synthetic``) or a dotted module path; the module is imported and
 scanned for module-level :class:`WorkflowPattern` objects, dicts of
-patterns, and zero-argument ``*_patterns()`` factories.  Both
-subcommands support ``--json`` and exit non-zero when any
-error-severity diagnostic was produced.
+patterns, and zero-argument ``*_patterns()`` factories.  Every
+subcommand supports ``--json``, exits non-zero when any error-severity
+diagnostic survives filtering, and honours ``--select``/``--ignore``
+diagnostic-code prefixes (ruff-style: ``--select CC`` keeps only
+concurrency findings, ``--ignore CC005`` gates a new code out while the
+tree is being brought clean) so CI can adopt new codes incrementally.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import sys
 from typing import Any, Mapping
 
 from repro.analysis.codelint import lint_paths
+from repro.analysis.concurrency import lint_concurrency
 from repro.analysis.diagnostics import Report
 from repro.analysis.wfcheck import check_registry
 from repro.core.spec import WorkflowPattern
@@ -103,7 +108,12 @@ def resolve_target(
     return _scan_module(target)
 
 
-def run_wfcheck(target: str, as_json: bool) -> int:
+def run_wfcheck(
+    target: str,
+    as_json: bool,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> int:
     try:
         registry, db = resolve_target(target)
     except ImportError as exc:
@@ -113,7 +123,10 @@ def run_wfcheck(target: str, as_json: bool) -> int:
         print(f"wfcheck: no workflow patterns found in {target!r}",
               file=sys.stderr)
         return 2
-    reports = check_registry(registry, db=db)
+    reports = {
+        name: report.filtered(select, ignore)
+        for name, report in check_registry(registry, db=db).items()
+    }
     errors = 0
     if as_json:
         payload = {
@@ -133,8 +146,8 @@ def run_wfcheck(target: str, as_json: bool) -> int:
     return 1 if errors else 0
 
 
-def run_codelint(paths: list[str], as_json: bool) -> int:
-    report = lint_paths(paths)
+def _emit(report: Report, as_json: bool) -> int:
+    """Shared tail of the path-based linters: print, then exit code."""
     if as_json:
         print(
             json.dumps(
@@ -146,6 +159,50 @@ def run_codelint(paths: list[str], as_json: bool) -> int:
     else:
         print(report.render_text())
     return 1 if report.errors() else 0
+
+
+def run_codelint(
+    paths: list[str],
+    as_json: bool,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> int:
+    return _emit(lint_paths(paths).filtered(select, ignore), as_json)
+
+
+def run_conlint(
+    paths: list[str],
+    as_json: bool,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> int:
+    return _emit(lint_concurrency(paths).filtered(select, ignore), as_json)
+
+
+def _add_filter_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--json", action="store_true", dest="as_json")
+    sub.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="only report diagnostics whose code starts with CODE "
+        "(repeatable; comma-separated values accepted)",
+    )
+    sub.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="drop diagnostics whose code starts with CODE "
+        "(repeatable; wins over --select)",
+    )
+
+
+def _split_codes(values: list[str] | None) -> list[str] | None:
+    if values is None:
+        return None
+    return [code for value in values for code in value.split(",") if code]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,22 +220,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="built-in lab name (protein, synthetic) or a dotted module "
         "path to scan for WorkflowPattern objects",
     )
-    wf.add_argument("--json", action="store_true", dest="as_json")
+    _add_filter_args(wf)
     cl = sub.add_parser(
         "codelint", help="lint the codebase for repo invariants"
     )
     cl.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
     )
-    cl.add_argument("--json", action="store_true", dest="as_json")
+    _add_filter_args(cl)
+    cc = sub.add_parser(
+        "conlint",
+        help="whole-program concurrency analysis (lock order, blocking "
+        "calls under locks, unguarded shared state)",
+    )
+    cc.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories (default: src/repro)",
+    )
+    _add_filter_args(cc)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
     if args.command == "wfcheck":
-        return run_wfcheck(args.target, args.as_json)
-    return run_codelint(args.paths or ["src"], args.as_json)
+        return run_wfcheck(args.target, args.as_json, select, ignore)
+    if args.command == "conlint":
+        return run_conlint(
+            args.paths or ["src/repro"], args.as_json, select, ignore
+        )
+    return run_codelint(args.paths or ["src"], args.as_json, select, ignore)
 
 
 if __name__ == "__main__":

@@ -146,6 +146,41 @@ class Report:
             self.diagnostics, key=lambda d: _SEVERITY_RANK[d.severity]
         )
 
+    def filtered(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> "Report":
+        """A new report keeping only matching diagnostic codes.
+
+        ``select`` and ``ignore`` are code prefixes (``CC``, ``CC00``,
+        ``CC003``), matched case-insensitively the way ruff matches
+        ``--select``: a diagnostic survives when it matches at least
+        one selected prefix (all, if ``select`` is empty/None) and no
+        ignored one.  ``ignore`` wins over ``select``.  Stats carry
+        over unchanged plus a ``filtered_out`` count, so exit-code
+        semantics (:attr:`ok`) reflect only what survived.
+        """
+        selected = [s.strip().upper() for s in (select or []) if s.strip()]
+        ignored = [i.strip().upper() for i in (ignore or []) if i.strip()]
+
+        def keep(diagnostic: Diagnostic) -> bool:
+            code = diagnostic.code.upper()
+            if ignored and any(code.startswith(i) for i in ignored):
+                return False
+            if selected:
+                return any(code.startswith(s) for s in selected)
+            return True
+
+        report = Report(
+            diagnostics=[d for d in self.diagnostics if keep(d)],
+            stats=dict(self.stats),
+        )
+        dropped = len(self.diagnostics) - len(report.diagnostics)
+        if dropped:
+            report.stats["filtered_out"] = dropped
+        return report
+
     def to_dicts(self) -> list[dict[str, Any]]:
         return [d.to_dict() for d in self.diagnostics]
 

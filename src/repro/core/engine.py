@@ -45,6 +45,14 @@ Design decisions, mapped to the paper:
   and at least one completed.
 """
 
+# conlint: module-allow=CC003 -- the bean lock is deliberately held
+# across durable database writes: one re-entrant lock serialises all
+# engine methods (the paper's servlet-bean concurrency model), so the
+# commit fsync runs under it.  This is the known cost of the current
+# thread-per-request model; the async event-driven hot path (ROADMAP
+# item 3) replaces the bean lock entirely, and this module-allow is the
+# inventory of exactly the sites that rewrite must make awaitable.
+
 from __future__ import annotations
 
 import functools

@@ -30,8 +30,10 @@ leader's caller (the transaction that observed the failure).
 from __future__ import annotations
 
 import threading
-import time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.clock import Clock
 
 #: The durability disciplines shared by the WAL and the broker journal:
 #: ``always`` fsyncs inline per record, ``group`` defers to a shared
@@ -52,11 +54,22 @@ def validate_sync_policy(sync_policy: str) -> str:
 class GroupCommitter:
     """Leader-elected fsync batching shared by the WAL and the journal."""
 
-    def __init__(self, window_s: float = 0.0) -> None:
+    def __init__(
+        self, window_s: float = 0.0, clock: "Clock | None" = None
+    ) -> None:
         #: How long a leader waits for stragglers before syncing.  Zero
         #: still batches: whatever was written while the previous fsync
         #: ran is covered by the next one.
         self.window_s = window_s
+        #: The straggler-window sleep goes through an injectable clock
+        #: so the chaos suite can drive a non-zero window without wall
+        #: time.  Default is the real wall clock (lazy import keeps
+        #: this module importable before ``repro.resilience``).
+        if clock is None:
+            from repro.resilience.clock import SystemClock
+
+            clock = SystemClock()
+        self.clock = clock
         self._cond = threading.Condition()
         self._written = 0  # highest sequence handed out
         self._synced = 0  # highest sequence known durable
@@ -83,11 +96,17 @@ class GroupCommitter:
         with self._cond:
             return self._written
 
-    def wait_durable(self, seq: int, do_sync: Callable[[], None]) -> None:
+    def wait_durable(  # conlint: blocking -- do_sync is an fsync barrier
+        self, seq: int, do_sync: Callable[[], None]
+    ) -> None:
         """Block until ``seq`` is durable, fsyncing as elected leader.
 
         ``do_sync`` runs in exactly one thread per barrier and must make
         every buffered write issued so far durable (flush + fsync).
+        Callers must not hold any lock here: the leader blocks in the
+        fsync, followers block on the condition (the ``conlint:
+        blocking`` annotation above teaches the static analyzer this,
+        since ``do_sync`` itself is an uninspectable callable).
         """
         while True:
             with self._cond:
@@ -100,7 +119,7 @@ class GroupCommitter:
                 self._leader_active = True
                 target = self._written
             if self.window_s > 0.0:
-                time.sleep(self.window_s)
+                self.clock.sleep(self.window_s)
                 with self._cond:
                     target = self._written  # stragglers joined the batch
             try:

@@ -34,6 +34,12 @@ Fault points (see :mod:`repro.resilience.faults`): ``broker.publish``,
 header, when present) as match context.
 """
 
+# conlint: never-nested
+# (The registry lock and the per-queue conditions declared in this
+# module must never be held together — the invariant described above,
+# now machine-checked: any interprocedural path nesting them is a CC002
+# error, and the runtime LockOrderWitness cross-checks it under chaos.)
+
 from __future__ import annotations
 
 import os
@@ -141,6 +147,7 @@ class MessageBroker:
                 journal_path,
                 sync_policy=sync_policy,
                 group_window_s=group_window_s,
+                clock=self.clock,
             )
             self._recover()
 

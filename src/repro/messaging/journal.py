@@ -38,7 +38,12 @@ from repro.messaging.message import Message
 from repro.resilience.faults import fire
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.clock import Clock
     from repro.resilience.faults import FaultPlan
+
+#: Sequence returned by ``always``-mode appends: the record is buffered
+#: and its fsync is owed to :meth:`BrokerJournal.sync`.
+_ALWAYS_SEQ = -1
 
 
 @dataclass
@@ -61,6 +66,7 @@ class BrokerJournal:
         path: str | os.PathLike[str],
         sync_policy: str = "always",
         group_window_s: float = 0.0,
+        clock: "Clock | None" = None,
     ) -> None:
         validate_sync_policy(sync_policy)
         self.path = Path(path)
@@ -70,7 +76,11 @@ class BrokerJournal:
         #: Serialises buffered writes across broker threads.
         self._write_lock = threading.Lock()
         #: Shared fsync barrier for ``sync_policy="group"``.
-        self.group = GroupCommitter(window_s=group_window_s)
+        self.group = GroupCommitter(window_s=group_window_s, clock=clock)
+        #: ``always``-mode appends buffered but not yet fsync'd (the
+        #: fsync is deferred to :meth:`sync` so it never runs under the
+        #: broker's registry lock; :meth:`close` drains it).
+        self._always_pending = 0
         #: Records appended (buffered) through this handle's lifetime.
         self.appended_records = 0
         #: fsync barriers issued through this handle's lifetime.
@@ -79,13 +89,16 @@ class BrokerJournal:
         self.faults: "FaultPlan | None" = None
 
     def append(self, record: dict[str, Any]) -> int | None:
-        """Append one record; durable per the sync policy.
+        """Append one record; buffered now, durable per the sync policy.
 
-        Under ``always`` the record is flushed and fsync'd before the
-        call returns; under ``group`` it is only buffered, and the
-        returned sequence number must be handed to :meth:`sync` to wait
-        for (and share) the durability barrier.  Returns ``None`` except
-        in ``group`` mode.
+        Under ``always`` and ``group`` the record is written and flushed
+        here, and the returned sequence number must be handed to
+        :meth:`sync`, which performs (``always``) or waits for
+        (``group``) the fsync — the broker always syncs *after*
+        releasing its registry lock, so no fsync ever runs under it.
+        The operation that produced the record still does not return to
+        its caller until the record is on disk.  Returns ``None`` under
+        ``off``.
 
         Fault point ``journal.append`` (context: ``record_type``):
         ``crash`` dies before anything is written, ``corrupt`` leaves a
@@ -104,6 +117,9 @@ class BrokerJournal:
             if action == "corrupt":
                 self._handle.write(line[: max(1, len(line) // 2)])
                 self._handle.flush()
+                # conlint: allow=CC003 -- torn-write injection must hit
+                # the disk before the simulated death, or replay would
+                # never see the half-line this fault exists to produce.
                 os.fsync(self._handle.fileno())
                 raise JournalError(
                     f"injected torn write at {self.path} "
@@ -114,21 +130,38 @@ class BrokerJournal:
             self.appended_records += 1
             if self.sync_policy == "group":
                 return self.group.note_write()
-        if self.sync_policy == "always":
-            os.fsync(self._handle.fileno())
-            self.fsyncs += 1
+            if self.sync_policy == "always":
+                self._always_pending += 1
+                return _ALWAYS_SEQ
         return None
 
     def sync(self, seq: int | None) -> None:
-        """Make the append that returned ``seq`` durable (group policy).
+        """Make the append that returned ``seq`` durable.
 
-        A no-op for ``always`` (already durable), ``off`` (never
-        durable), and ``seq=None``.  Many threads may call this
-        concurrently; one of them fsyncs on behalf of all.
+        Under ``always`` this performs the record's own fsync (deferred
+        out of :meth:`append` so the broker can release its registry
+        lock first); under ``group`` it waits on — or leads — the
+        shared barrier.  A no-op for ``off`` and for ``seq=None``.
+        Many threads may call this concurrently; in group mode one of
+        them fsyncs on behalf of all.
         """
-        if self.sync_policy != "group" or seq is None:
+        if seq is None:
             return
-        self.group.wait_durable(seq, self._sync_barrier)
+        if self.sync_policy == "always":
+            self._always_fsync()
+            return
+        if self.sync_policy == "group":
+            self.group.wait_durable(seq, self._sync_barrier)
+
+    def _always_fsync(self) -> None:
+        """One per-record fsync (``always`` policy), outside all locks."""
+        with self._write_lock:
+            handle = self._handle
+            self._always_pending = 0
+        if handle is None:
+            return
+        os.fsync(handle.fileno())
+        self.fsyncs += 1
 
     def _sync_barrier(self) -> None:
         """One fsync covering every buffered append (leader only)."""
@@ -138,7 +171,11 @@ class BrokerJournal:
         self.fsyncs += 1
 
     def flush_pending(self) -> None:
-        """Drain any un-synced group-mode appends (close)."""
+        """Drain any un-synced appends (close)."""
+        if self.sync_policy == "always":
+            if self._always_pending:
+                self._always_fsync()
+            return
         if self.sync_policy != "group":
             return
         if self.group.pending() > 0:
@@ -220,8 +257,9 @@ class BrokerJournal:
     def close(self) -> None:
         """Release the file handle (reopened lazily on next append).
 
-        In ``group`` mode any still-buffered appends are fsync'd first —
-        a clean close never loses acknowledged work.
+        Any still-buffered appends (a group-mode batch, or an
+        ``always``-mode record whose deferred fsync was never claimed)
+        are fsync'd first — a clean close never loses acknowledged work.
         """
         try:
             if self._handle is not None:

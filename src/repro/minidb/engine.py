@@ -71,6 +71,7 @@ class Database:
         wal_path: str | os.PathLike[str] | None = None,
         sync_policy: str = "always",
         group_window_s: float = 0.0,
+        clock: Any = None,
     ) -> None:
         self._catalog = Catalog()
         self._txn = TransactionManager()
@@ -99,6 +100,7 @@ class Database:
                 wal_path,
                 sync_policy=sync_policy,
                 group_window_s=group_window_s,
+                clock=clock,
             )
             self._recover()
 
@@ -1168,6 +1170,10 @@ class Database:
         Returns the number of records in the compacted log.
         """
         with self._mutex:
+            # conlint: allow=CC003 -- a checkpoint is deliberately
+            # stop-the-world: the row snapshot and the atomic WAL swap
+            # must not interleave with concurrent appends.  Incremental
+            # checkpointing (ROADMAP item 2) lifts this.
             return self._checkpoint_locked()
 
     def _checkpoint_locked(self) -> int:

@@ -51,9 +51,15 @@ from repro.errors import RecoveryError
 from repro.resilience.faults import fire
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.clock import Clock
     from repro.resilience.faults import FaultPlan
 
 __all__ = ["SYNC_POLICIES", "WriteAheadLog"]
+
+#: Sequence returned by ``always``-mode appends: the record is buffered
+#: and its fsync is owed to :meth:`WriteAheadLog.sync` (any non-``None``
+#: value triggers it; the sentinel just reads distinctly in traces).
+_ALWAYS_SEQ = -1
 
 
 class WriteAheadLog:
@@ -64,6 +70,7 @@ class WriteAheadLog:
         path: str | os.PathLike[str],
         sync_policy: str = "always",
         group_window_s: float = 0.0,
+        clock: "Clock | None" = None,
     ) -> None:
         validate_sync_policy(sync_policy)
         self.path = Path(path)
@@ -74,7 +81,11 @@ class WriteAheadLog:
         #: threads once the engine releases its mutex before syncing).
         self._write_lock = threading.Lock()
         #: Shared fsync barrier for ``sync_policy="group"``.
-        self.group = GroupCommitter(window_s=group_window_s)
+        self.group = GroupCommitter(window_s=group_window_s, clock=clock)
+        #: ``always``-mode appends buffered but not yet fsync'd (the
+        #: fsync is deferred to :meth:`sync` so it never runs under the
+        #: engine's statement mutex; :meth:`close` drains it).
+        self._always_pending = 0
         #: Records appended (buffered) through this handle's lifetime.
         self.appended = 0
         #: fsync barriers issued through this handle's lifetime.
@@ -116,14 +127,18 @@ class WriteAheadLog:
     # -- append -------------------------------------------------------------
 
     def append(self, record: dict[str, Any]) -> int | None:
-        """Append one record; durable per the sync policy.
+        """Append one record; buffered now, durable per the sync policy.
 
-        Under ``always`` the record is flushed and fsync'd before the
-        call returns.  Under ``group`` the record is only buffered; the
-        returned sequence number must be handed to :meth:`sync` to wait
-        for (and share) the durability barrier.  Under ``off`` the
-        record is flushed, never fsync'd.  Returns ``None`` except in
-        ``group`` mode.
+        Under ``always`` and ``group`` the record is written and flushed
+        here, and the returned sequence number must be handed to
+        :meth:`sync`, which performs (``always``) or waits for
+        (``group``) the fsync.  Deferring the ``always``-mode fsync to
+        :meth:`sync` keeps the blocking syscall out of the engine's
+        statement mutex — every engine/broker commit path releases its
+        lock and then syncs, so the per-record durability guarantee is
+        unchanged (the commit still does not return to its caller until
+        its record is on disk).  Under ``off`` the record is flushed,
+        never fsync'd, and ``None`` is returned.
 
         Fault point ``wal.append`` (context: ``record_type``): ``crash``
         dies before anything hits the file — the transaction never
@@ -148,6 +163,9 @@ class WriteAheadLog:
             if action == "corrupt":
                 self._handle.write(line[: max(1, len(line) // 2)])
                 self._handle.flush()
+                # conlint: allow=CC003 -- torn-write injection must hit
+                # the disk before the simulated death, or replay would
+                # never see the half-line this fault exists to produce.
                 os.fsync(self._handle.fileno())
                 raise RecoveryError(
                     f"injected torn write at {self.path} "
@@ -158,24 +176,46 @@ class WriteAheadLog:
             self.appended += 1
             if self.sync_policy == "group":
                 return self.group.note_write()
+            if self.sync_policy == "always":
+                self._always_pending += 1
         if self.sync_policy == "always":
+            # The fault still fires in the appending thread, with the
+            # record type in context, exactly where the fsync used to
+            # run — a "crash" here leaves the record buffered but not
+            # yet fsync'd, the same torn state as before the deferral.
             fire(self.faults, "wal.fsync", record_type=record.get("type"))
-            t0 = time.perf_counter()
-            os.fsync(self._handle.fileno())
-            self.fsync_wait_ms += (time.perf_counter() - t0) * 1000.0
-            self.fsyncs += 1
+            return _ALWAYS_SEQ
         return None
 
     def sync(self, seq: int | None) -> None:
-        """Make the append that returned ``seq`` durable (group policy).
+        """Make the append that returned ``seq`` durable.
 
-        A no-op for ``always`` (already durable) and ``off`` (never
-        durable), and for ``seq=None`` (nothing was buffered).  Many
-        threads may call this concurrently; one of them fsyncs for all.
+        Under ``always`` this performs the record's own fsync (deferred
+        out of :meth:`append` so callers can release their locks first);
+        under ``group`` it waits on — or leads — the shared barrier.  A
+        no-op for ``off`` (never durable) and for ``seq=None`` (nothing
+        was buffered).  Many threads may call this concurrently; in
+        group mode one of them fsyncs for all.
         """
-        if self.sync_policy != "group" or seq is None:
+        if seq is None:
             return
-        self.group.wait_durable(seq, self._sync_barrier)
+        if self.sync_policy == "always":
+            self._always_fsync()
+            return
+        if self.sync_policy == "group":
+            self.group.wait_durable(seq, self._sync_barrier)
+
+    def _always_fsync(self) -> None:
+        """One per-record fsync (``always`` policy), outside all locks."""
+        with self._write_lock:
+            handle = self._handle
+            self._always_pending = 0
+        if handle is None:
+            return
+        t0 = time.perf_counter()
+        os.fsync(handle.fileno())
+        self.fsync_wait_ms += (time.perf_counter() - t0) * 1000.0
+        self.fsyncs += 1
 
     def _sync_barrier(self) -> None:
         """One fsync covering every buffered append (leader only)."""
@@ -188,7 +228,11 @@ class WriteAheadLog:
         self.fsyncs += 1
 
     def flush_pending(self) -> None:
-        """Drain any un-synced group-mode appends (checkpoint/close)."""
+        """Drain any un-synced appends (checkpoint/close)."""
+        if self.sync_policy == "always":
+            if self._always_pending:
+                self._always_fsync()
+            return
         if self.sync_policy != "group":
             return
         if self.group.pending() > 0:
@@ -204,8 +248,9 @@ class WriteAheadLog:
     def close(self) -> None:
         """Release the file handle (reopened lazily on next append).
 
-        In ``group`` mode any still-buffered appends are fsync'd first —
-        a clean close never loses acknowledged work.
+        Any still-buffered appends (a group-mode batch, or an
+        ``always``-mode record whose deferred fsync was never claimed)
+        are fsync'd first — a clean close never loses acknowledged work.
         """
         try:
             if self._handle is not None:

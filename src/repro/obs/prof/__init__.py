@@ -11,6 +11,8 @@ the rest of the system carries no profiling cost beyond a handful of
 * :mod:`~repro.obs.prof.sampler` — collapsed-stack wall-clock sampler;
 * :mod:`~repro.obs.prof.retain` — tail-based slow-trace retention;
 * :mod:`~repro.obs.prof.slo` — latency SLOs and error-budget burn rate;
+* :mod:`~repro.obs.prof.witness` — runtime lock-order witness asserting
+  observed acquisition orders against the static conlint graph;
 * :mod:`~repro.obs.prof.profiler` — the facade tying them together.
 
 ``python -m repro.obs.prof report`` runs a self-contained workload and
@@ -23,8 +25,10 @@ from repro.obs.prof.profiler import Profiler, install_profiling
 from repro.obs.prof.retain import SlowTraceRetainer
 from repro.obs.prof.sampler import StackSampler
 from repro.obs.prof.slo import SLOPolicy, SLOTracker
+from repro.obs.prof.witness import LockOrderWitness
 
 __all__ = [
+    "LockOrderWitness",
     "CriticalPathAnalyzer",
     "TraceAttribution",
     "LockProfiler",

@@ -51,6 +51,9 @@ def _holder_site() -> str:
             label = _SITE_LABELS.get(code)
             if label is None:
                 name = code.co_filename.rsplit("/", 1)[-1]
+                # conlint: allow=CC005 -- single-key dict store of an
+                # idempotent value: GIL-atomic, and a racing duplicate
+                # computation is harmless (same label either way).
                 label = _SITE_LABELS[code] = f"{name}:{code.co_name}"
             return label
         frame = frame.f_back
@@ -66,10 +69,22 @@ class ProfiledLock:
     itself: only the owning thread touches them).
     """
 
-    def __init__(self, name: str, inner: Any, clock: Clock) -> None:
+    def __init__(
+        self,
+        name: str,
+        inner: Any,
+        clock: Clock,
+        witness: Any = None,
+    ) -> None:
         self.name = name
         self.inner = inner
         self.clock = clock
+        #: Optional :class:`repro.obs.prof.witness.LockOrderWitness`
+        #: (typed loosely to avoid the import on the hot path): told
+        #: about outermost acquisitions/final releases only, so the
+        #: orders it records match the static analyzer's model, where a
+        #: re-entrant hold is not a second acquisition.
+        self.witness = witness
         self.acquisitions = 0
         self.contended = 0
         self.wait_hist = Histogram(reservoir_size=1024)
@@ -111,6 +126,8 @@ class ProfiledLock:
         if waited_ms > 0.0:
             self.contended += 1
             self.wait_hist.observe(waited_ms)
+        if self.witness is not None:
+            self.witness.on_acquire(self.name)
         return True
 
     def release(self) -> None:
@@ -122,6 +139,8 @@ class ProfiledLock:
         self.hold_hist.observe(held_ms)
         site = self._site
         self.holders[site] = self.holders.get(site, 0.0) + held_ms
+        if self.witness is not None:
+            self.witness.on_release(self.name)
         self._owner = None
         self._depth = 0
         self.inner.release()
@@ -177,13 +196,17 @@ class LockProfiler:
     remembering it for :meth:`report`.
     """
 
-    def __init__(self, clock: Clock | None = None) -> None:
+    def __init__(
+        self, clock: Clock | None = None, witness: Any = None
+    ) -> None:
         self.clock: Clock = clock or SystemClock()
+        #: Optional lock-order witness shared by every wrapped lock.
+        self.witness = witness
         self._lock = threading.Lock()
         self._profiled: list[ProfiledLock] = []
 
     def wrap(self, name: str, inner: Any) -> ProfiledLock:
-        profiled = ProfiledLock(name, inner, self.clock)
+        profiled = ProfiledLock(name, inner, self.clock, self.witness)
         with self._lock:
             self._profiled.append(profiled)
         return profiled

@@ -42,6 +42,7 @@ from repro.obs.prof.slo import SLOPolicy, SLOTracker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.hub import ObservabilityHub
+    from repro.obs.prof.witness import LockOrderWitness
 
 
 class Profiler:
@@ -55,9 +56,13 @@ class Profiler:
         retainer: SlowTraceRetainer | None = None,
         slo_tracker: SLOTracker | None = None,
         commit_spans: bool = True,
+        witness: "LockOrderWitness | None" = None,
     ) -> None:
         self.hub = hub
         self.lock_profiler = lock_profiler
+        #: Optional runtime lock-order witness (shared with the
+        #: profiled locks); its verdict joins :meth:`report`.
+        self.witness = witness
         self.sampler = sampler
         self.retainer = retainer or SlowTraceRetainer(hub.exporter)
         self.slo_tracker = slo_tracker or SLOTracker()
@@ -118,6 +123,8 @@ class Profiler:
         }
         if self.sampler is not None:
             report["sampler"] = self.sampler.report()
+        if self.witness is not None:
+            report["lock_order"] = self.witness.check().to_dict()
         untimed = registry.snapshot().get("broker_deliveries_untimed")
         if untimed is not None:
             report["untimed_deliveries"] = {
@@ -204,6 +211,11 @@ class Profiler:
             )
             for hot in sampler["hottest"][:5]:
                 lines.append(f"  {hot['count']:6d} {hot['stack']}")
+        if self.witness is not None:
+            lines.append("== lock-order witness ==")
+            lines.append("  " + self.witness.check().render_text().replace(
+                "\n", "\n  "
+            ))
         return "\n".join(lines)
 
     def close(self) -> None:
@@ -221,6 +233,7 @@ def install_profiling(
     sample_interval_s: float = 0.01,
     commit_spans: bool = True,
     profile_locks: bool = True,
+    witness: "LockOrderWitness | bool | None" = None,
 ) -> Profiler:
     """Turn profiling on for a wired system (idempotent per hub).
 
@@ -228,15 +241,28 @@ def install_profiling(
       wrappers (skipped with ``profile_locks=False``);
     * ``slos`` — :class:`SLOPolicy` objects to track; registers an
       ``slo`` health component (never part of readiness gating);
-    * ``sampler=True`` — start the collapsed-stack wall-clock sampler.
+    * ``sampler=True`` — start the collapsed-stack wall-clock sampler;
+    * ``witness`` — a :class:`~repro.obs.prof.witness.LockOrderWitness`
+      (or ``True`` for a fresh one against the installed tree's static
+      graph): every profiled lock reports its acquisition order to it,
+      and the witness verdict joins :meth:`Profiler.report` under
+      ``lock_order``.  Requires ``profile_locks``.
 
     Returns the (new or already-installed) :class:`Profiler`.
     """
     if hub.profiler is not None:
         return hub.profiler
+    lock_witness: "LockOrderWitness | None" = None
+    if witness:
+        from repro.obs.prof.witness import LockOrderWitness
+
+        lock_witness = (
+            witness if isinstance(witness, LockOrderWitness)
+            else LockOrderWitness()
+        )
     lock_profiler: LockProfiler | None = None
     if profile_locks and (db is not None or broker is not None):
-        lock_profiler = LockProfiler(clock=hub.clock)
+        lock_profiler = LockProfiler(clock=hub.clock, witness=lock_witness)
         if broker is not None:
             broker.install_lock_profiler(
                 lock_profiler.wrap, lock_profiler.condition_factory()
@@ -257,6 +283,7 @@ def install_profiling(
         retainer=SlowTraceRetainer(hub.exporter),
         slo_tracker=tracker,
         commit_spans=commit_spans,
+        witness=lock_witness,
     )
     hub.profiler = profiler
     hub.exemplars_enabled = True

@@ -1,0 +1,281 @@
+"""Runtime lock-order witness: observed acquisitions vs. the static graph.
+
+The static analyzer (:mod:`repro.analysis.concurrency`) proves things
+about the lock graph it can *resolve*; its blind spots are locks that
+travel through untyped parameters or dynamic dispatch.  The witness
+closes the loop from the other side: hooked into every
+:class:`~repro.obs.prof.locks.ProfiledLock` the profiling layer
+installs, it records which locks each thread actually held while
+acquiring another, and :meth:`check` asserts the observed orders
+against the statically predicted ones.  Divergence means one of the
+two models is wrong — either the code acquired locks in an order the
+analyzer failed to see (an analyzer bug or an un-annotated seam), or
+in an order it proved must not happen (a latent deadlock).  The chaos
+suite and a ``bench_loadgen --small`` pass run with the witness
+installed, so observed orders are exercised under fault injection and
+real concurrency, and must come back divergence-free.
+
+Witnessed locks are the ones the profiling seams name:
+``broker.registry``, ``broker.queue.<name>`` (normalised to
+``broker.queue.*`` — the static graph has one node per *class* of
+per-queue condition, the runtime has one per queue) and
+``minidb.mutex``.  Locks outside that namespace are tracked for
+mutual-inversion detection but not judged against the static graph.
+
+Only *outermost* acquisitions and *final* releases are reported by
+``ProfiledLock``, so a re-entrant RLock hold never registers as a
+nested acquisition — matching the static model, which ignores
+self-edges for the same reason.
+
+The witness's own bookkeeping lock is a leaf: it is taken only inside
+``on_acquire``/``on_release`` and never while acquiring any witnessed
+lock, so installing the witness cannot itself change the lock order it
+observes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.concurrency import StaticOrder, static_lock_order
+
+__all__ = ["Divergence", "LockOrderWitness", "normalize_lock_name"]
+
+
+def normalize_lock_name(name: str) -> str:
+    """Collapse per-instance lock names onto their static node."""
+    if name.startswith("broker.queue."):
+        return "broker.queue.*"
+    return name
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One contradiction between observed and static lock order."""
+
+    #: ``never-nested`` | ``inverted`` | ``unpredicted`` | ``mutual``.
+    kind: str
+    held: str
+    acquired: str
+    detail: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "kind": self.kind,
+            "held": self.held,
+            "acquired": self.acquired,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class _PairEvidence:
+    """First sighting of one (held, acquired) normalised pair."""
+
+    held_instance: str
+    acquired_instance: str
+    thread: str
+    count: int = 1
+
+
+@dataclass
+class WitnessReport:
+    """JSON-friendly outcome of a witness run."""
+
+    observed_pairs: list[dict[str, Any]] = field(default_factory=list)
+    acquisitions: int = 0
+    max_depth: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "acquisitions": self.acquisitions,
+            "max_held_depth": self.max_depth,
+            "observed_pairs": self.observed_pairs,
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"lock-order witness: {self.acquisitions} outermost "
+            f"acquisitions, max held depth {self.max_depth}, "
+            f"{len(self.observed_pairs)} distinct nesting pair(s)"
+        ]
+        for pair in self.observed_pairs:
+            lines.append(
+                f"  observed {pair['held']} -> {pair['acquired']} "
+                f"x{pair['count']} (e.g. {pair['held_instance']} -> "
+                f"{pair['acquired_instance']} on {pair['thread']})"
+            )
+        if self.ok:
+            lines.append("  no divergence from the static lock graph")
+        for divergence in self.divergences:
+            lines.append(
+                f"  DIVERGENCE [{divergence.kind}] "
+                f"{divergence.held} -> {divergence.acquired}: "
+                f"{divergence.detail}"
+            )
+        return "\n".join(lines)
+
+
+class LockOrderWitness:
+    """Records per-thread acquisition orders; judges them in `check`."""
+
+    def __init__(self, order: StaticOrder | None = None) -> None:
+        #: The static prediction to assert against.  Computed from the
+        #: installed tree when not supplied (tests pass a hand-built
+        #: one to exercise specific divergence kinds).
+        self.order = order if order is not None else static_lock_order()
+        self._known = {
+            name
+            for edge in self.order.edges
+            for name in edge
+        }
+        for group in self.order.groups:
+            self._known |= group
+        #: Names the profiling seams assign are always witnessable,
+        #: even when the static graph predicts no nesting among them.
+        self._known |= {"broker.registry", "broker.queue.*", "minidb.mutex"}
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._pairs: dict[tuple[str, str], _PairEvidence] = {}
+        self._acquisitions = 0
+        self._max_depth = 0
+
+    # -- ProfiledLock hook points (hot path: keep them tiny) ---------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def on_acquire(self, name: str) -> None:
+        """Called after an outermost acquisition of ``name``."""
+        stack = self._stack()
+        acquired_norm = normalize_lock_name(name)
+        if stack:
+            thread = threading.current_thread().name
+            with self._lock:
+                for held in stack:
+                    key = (normalize_lock_name(held), acquired_norm)
+                    evidence = self._pairs.get(key)
+                    if evidence is None:
+                        self._pairs[key] = _PairEvidence(
+                            held_instance=held,
+                            acquired_instance=name,
+                            thread=thread,
+                        )
+                    else:
+                        evidence.count += 1
+        stack.append(name)
+        with self._lock:
+            self._acquisitions += 1
+            if len(stack) > self._max_depth:
+                self._max_depth = len(stack)
+
+    def on_release(self, name: str) -> None:
+        """Called before the final release of ``name``."""
+        stack = self._stack()
+        # Locks are overwhelmingly released LIFO, but nothing enforces
+        # it — remove the most recent matching hold wherever it sits.
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] == name:
+                del stack[position]
+                return
+
+    # -- judgement ---------------------------------------------------------
+
+    def check(self) -> WitnessReport:
+        """Assert every observed order against the static prediction."""
+        with self._lock:
+            pairs = dict(self._pairs)
+            acquisitions = self._acquisitions
+            max_depth = self._max_depth
+        report = WitnessReport(
+            acquisitions=acquisitions, max_depth=max_depth
+        )
+        for (held, acquired), evidence in sorted(pairs.items()):
+            report.observed_pairs.append(
+                {
+                    "held": held,
+                    "acquired": acquired,
+                    "count": evidence.count,
+                    "held_instance": evidence.held_instance,
+                    "acquired_instance": evidence.acquired_instance,
+                    "thread": evidence.thread,
+                }
+            )
+            if (acquired, held) in pairs and acquired != held:
+                report.divergences.append(
+                    Divergence(
+                        "mutual",
+                        held,
+                        acquired,
+                        "both orders observed at runtime — a deadlock "
+                        "waiting for the right interleaving",
+                    )
+                )
+            in_group = any(
+                held in group and acquired in group
+                for group in self.order.groups
+            )
+            if in_group:
+                report.divergences.append(
+                    Divergence(
+                        "never-nested",
+                        held,
+                        acquired,
+                        "these locks are declared never-nested "
+                        f"(observed {evidence.held_instance} held while "
+                        f"acquiring {evidence.acquired_instance} on "
+                        f"{evidence.thread})",
+                    )
+                )
+                continue
+            if held not in self._known or acquired not in self._known:
+                continue  # not witnessable against the static graph
+            if (held, acquired) in self.order.edges:
+                continue  # predicted, all good
+            if (acquired, held) in self.order.edges:
+                report.divergences.append(
+                    Divergence(
+                        "inverted",
+                        held,
+                        acquired,
+                        "the static graph orders these the other way "
+                        "around — one of the two sides is a latent "
+                        "deadlock",
+                    )
+                )
+            else:
+                report.divergences.append(
+                    Divergence(
+                        "unpredicted",
+                        held,
+                        acquired,
+                        "the static analyzer saw no path nesting these "
+                        "locks — un-annotated seam or analyzer gap",
+                    )
+                )
+        # De-duplicate mutual divergences (reported once per direction).
+        seen: set[tuple[str, ...]] = set()
+        unique: list[Divergence] = []
+        for divergence in report.divergences:
+            key = (
+                divergence.kind,
+                *sorted((divergence.held, divergence.acquired)),
+            )
+            if divergence.kind == "mutual" and key in seen:
+                continue
+            seen.add(key)
+            unique.append(divergence)
+        report.divergences = unique
+        return report

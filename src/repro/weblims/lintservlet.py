@@ -14,16 +14,24 @@ Query parameters:
 
 * ``?pattern=<name>`` — narrow the report to one registered pattern
   (404 when unknown);
-* ``?severity=error`` — drop diagnostics below the given severity.
+* ``?severity=error`` — drop diagnostics below the given severity;
+* ``?select=CC,WF001`` / ``?ignore=CC005`` — comma-separated
+  diagnostic-code prefixes, the same filter the CLI's
+  ``--select``/``--ignore`` applies (ignore wins over select);
+* ``?codebase=1`` — additionally run codelint and conlint over the
+  installed source tree and merge their findings into the payload
+  under ``codebase`` (these are static source findings: slower, and
+  only meaningful when the server runs from a source checkout).
 
-Status is 200 when no error-severity diagnostics exist, 409 otherwise —
-a registered-but-unsound pattern is an operator problem, not a server
-failure.
+Status is 200 when no error-severity diagnostics survive filtering,
+409 otherwise — a registered-but-unsound pattern is an operator
+problem, not a server failure.
 """
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.weblims.http import HttpRequest, HttpResponse
@@ -34,6 +42,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.weblims.container import WebContainer
 
 _SEVERITY_ORDER = {"error": 0, "warning": 1, "info": 2}
+
+
+def _codes(request: HttpRequest, name: str) -> list[str] | None:
+    raw = request.param(name)
+    if not raw:
+        return None
+    return [code for code in raw.split(",") if code.strip()]
 
 
 class LintServlet(Servlet):
@@ -61,6 +76,8 @@ class LintServlet(Servlet):
             return HttpResponse.error(
                 400, f"unknown severity {floor!r} (error|warning|info)"
             )
+        select = _codes(request, "select")
+        ignore = _codes(request, "ignore")
         if only:
             # Narrow the *reported* set only; sub-workflow references
             # must still resolve against the full registry.
@@ -74,6 +91,7 @@ class LintServlet(Servlet):
         patterns: dict[str, Any] = {}
         errors = 0
         for name, report in reports.items():
+            report = report.filtered(select, ignore)
             diagnostics = report.to_dicts()
             if floor:
                 ceiling = _SEVERITY_ORDER[floor]
@@ -87,13 +105,39 @@ class LintServlet(Servlet):
                 "stats": report.stats,
             }
             errors += len(report.errors())
-        body = {
-            "patterns": patterns,
-            "errors": errors,
-            "ok": errors == 0,
-        }
+        body: dict[str, Any] = {"patterns": patterns}
+        if request.param("codebase"):
+            codebase = self._codebase_reports(select, ignore)
+            body["codebase"] = codebase
+            errors += sum(
+                section["errors"] for section in codebase.values()
+            )
+        body["errors"] = errors
+        body["ok"] = errors == 0
         return HttpResponse(
             status=200 if errors == 0 else 409,
             body=json.dumps(body, indent=2, default=str),
             content_type="application/json",
         )
+
+    @staticmethod
+    def _codebase_reports(
+        select: list[str] | None, ignore: list[str] | None
+    ) -> dict[str, Any]:
+        """codelint + conlint over the installed source tree."""
+        import repro
+        from repro.analysis import lint_concurrency, lint_paths
+
+        root = Path(repro.__file__).resolve().parent
+        sections: dict[str, Any] = {}
+        for name, report in (
+            ("codelint", lint_paths([root], root=root.parent)),
+            ("conlint", lint_concurrency([root], root=root.parent)),
+        ):
+            report = report.filtered(select, ignore)
+            sections[name] = {
+                "diagnostics": report.to_dicts(),
+                "stats": report.stats,
+                "errors": len(report.errors()),
+            }
+        return sections

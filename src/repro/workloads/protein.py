@@ -380,6 +380,7 @@ def build_protein_lab(
     profiling: bool = False,
     slos=(),
     sampler: bool = False,
+    witness: bool = False,
     watch: bool = False,
     watch_rules=(),
     stuck_policy=None,
@@ -408,7 +409,10 @@ def build_protein_lab(
     profiling, exemplars, slow-trace retention and (with ``slos``,
     an iterable of :class:`~repro.obs.prof.slo.SLOPolicy`) burn-rate
     tracking; ``sampler`` additionally starts the collapsed-stack
-    wall-clock sampler thread.
+    wall-clock sampler thread; ``witness`` attaches a
+    :class:`~repro.obs.prof.witness.LockOrderWitness` to the profiled
+    locks, asserting observed acquisition order against conlint's
+    static lock graph (``lab.obs.profiler.witness.check()``).
 
     ``watch`` (requires ``observability``) installs the
     ``repro.obs.watch`` layer — state-residency tracking with
@@ -471,6 +475,7 @@ def build_protein_lab(
                 broker=broker,
                 slos=slos,
                 sampler=sampler,
+                witness=witness,
             )
         if watch:
             from repro.obs.watch import install_watch

@@ -78,6 +78,103 @@ class TestCliCodelint:
         assert main(["codelint", "src"]) == 0
 
 
+class TestCliConlint:
+    DIRTY = """
+        import threading
+        import time
+
+        class Poller:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def wait_a_bit(self):
+                with self._lock:
+                    time.sleep(0.1)
+    """
+
+    def write(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(textwrap.dedent(self.DIRTY))
+        return str(target)
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        assert main(["conlint", self.write(tmp_path)]) == 1
+        assert "CC003" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["conlint", self.write(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"][0]["code"] == "CC003"
+        assert payload["stats"]["locks"] == 1
+
+    def test_repo_src_tree_exits_0(self, capsys):
+        assert main(["conlint", "src/repro"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestCodeFilters:
+    """--select/--ignore: ruff-style prefixes, ignore wins, all three
+    subcommands honour them."""
+
+    def test_ignore_gates_a_code_out(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            textwrap.dedent(TestCliConlint.DIRTY)
+        )
+        assert main(["conlint", str(target), "--ignore", "CC003"]) == 0
+
+    def test_select_keeps_only_matching_codes(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "def f(items=[]):\n"
+            "    return items\n"
+            "def g():\n"
+            "    return 1\n"
+            "    print('never')\n"
+        )
+        assert main(
+            ["codelint", str(target), "--select", "CL005", "--json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["code"] for d in payload["diagnostics"]] == ["CL005"]
+        assert payload["stats"]["filtered_out"] == 1
+
+    def test_ignore_wins_over_select(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(items=[]):\n    return items\n")
+        assert main(
+            [
+                "codelint", str(target),
+                "--select", "CL", "--ignore", "CL002",
+            ]
+        ) == 0
+
+    def test_comma_separated_and_repeated_values(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "def f(items=[]):\n"
+            "    return items\n"
+            "def g():\n"
+            "    return 1\n"
+            "    print('never')\n"
+        )
+        assert main(
+            ["codelint", str(target), "--ignore", "CL002,CL005"]
+        ) == 0
+        assert main(
+            [
+                "codelint", str(target),
+                "--ignore", "CL002", "--ignore", "CL005",
+            ]
+        ) == 0
+
+    def test_wfcheck_honours_select(self, capsys):
+        assert main(["wfcheck", "protein", "--select", "CC", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for entry in payload.values():
+            assert entry["diagnostics"] == []
+
+
 class TestLintServlet:
     @pytest.fixture(scope="class")
     def lab(self):
@@ -135,6 +232,28 @@ class TestLintServlet:
 
     def test_unknown_severity_400(self, lab):
         assert self.get(lab, severity="loud").status == 400
+
+    def test_select_and_ignore_mirror_the_cli(self, lab):
+        # select=CC drops every WF diagnostic from every pattern.
+        body = json.loads(self.get(lab, select="CC").body)
+        for entry in body["patterns"].values():
+            assert entry["diagnostics"] == []
+        # ignore is accepted and keeps the response well-formed.
+        assert self.get(lab, ignore="WF,CL").status == 200
+
+    def test_codebase_section_merges_conlint_findings(self, lab):
+        response = self.get(lab, codebase="1")
+        assert response.status == 200
+        body = json.loads(response.body)
+        assert set(body["codebase"]) == {"codelint", "conlint"}
+        conlint = body["codebase"]["conlint"]
+        assert conlint["errors"] == 0
+        assert conlint["diagnostics"] == []
+        assert conlint["stats"]["locks"] >= 10
+        assert body["ok"] is True
+
+    def test_codebase_section_absent_by_default(self, lab):
+        assert "codebase" not in json.loads(self.get(lab).body)
 
     def test_registration_is_idempotent(self, lab):
         from repro.obs import install_observability

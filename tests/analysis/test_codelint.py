@@ -168,6 +168,68 @@ class TestLockDiscipline:
         )
         assert report.ok
 
+    def test_rlock_in_init_counts_as_a_lock(self, lint):
+        """``threading.RLock`` establishes lock discipline exactly like
+        ``Lock`` — an unguarded public write is still CL004."""
+        report = lint(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._count = 0
+
+                def increment(self):
+                    self._count += 1
+            """
+        )
+        assert codes(report) == ["CL004"]
+
+    def test_lock_aliased_to_local_is_not_recognized(self, lint):
+        """Pinned current behaviour: the guard check matches only
+        ``with self._lock:`` literally, so a write under an *aliased*
+        lock is (falsely) flagged.  conlint resolves aliases; when
+        CL004 is generalized this pin is the one to flip."""
+        report = lint(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def increment(self):
+                    lock = self._lock
+                    with lock:
+                        self._count += 1
+            """
+        )
+        assert codes(report) == ["CL004"]
+
+    def test_any_synchronized_spelling_exempts(self, lint):
+        """Both ``synchronized`` and ``_synchronized`` decorator names
+        exempt a method, regardless of where they are defined."""
+        report = lint(
+            """
+            import threading
+
+            def synchronized(method):
+                return method
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                @synchronized
+                def increment(self):
+                    self._count += 1
+            """
+        )
+        assert report.ok
+
     def test_condition_language_class_is_not_a_lock(self, lint):
         """A bare ``Condition(...)`` call is the workflow condition
         class, not ``threading.Condition`` — no lock discipline applies."""

@@ -1,0 +1,450 @@
+"""Whole-program concurrency analyzer: every CC code, every directive.
+
+Each class seeds a tiny module that must trip exactly one CC code, plus
+its clean counterpart — the regression pins both the detection and the
+absence of false positives on the disciplined version.  The final class
+gates the real tree: ``src/repro`` must stay at zero CC findings, which
+is the acceptance criterion CI enforces.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_concurrency
+from repro.analysis.concurrency import analyze_paths, static_lock_order
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture()
+def conlint(tmp_path):
+    def run(source, filename="m.py"):
+        target = tmp_path / filename
+        target.write_text(textwrap.dedent(source))
+        return lint_concurrency([target], root=tmp_path)
+
+    return run
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestLockOrderCycles:
+    """CC001: a cycle in the interprocedural lock-acquisition graph."""
+
+    CYCLE = """
+        import threading
+
+        class A:
+            def __init__(self, b: "B"):
+                self._lock = threading.Lock()
+                self.b = b
+
+            def forward(self):
+                with self._lock:
+                    self.b.poke()
+
+            def poke(self):
+                with self._lock:
+                    pass
+
+        class B:
+            def __init__(self, a: A):
+                self._lock = threading.Lock()
+                self.a = a
+
+            def forward(self):
+                with self._lock:
+                    self.a.poke()
+
+            def poke(self):
+                with self._lock:
+                    pass
+    """
+
+    def test_two_lock_cycle_flagged(self, conlint):
+        report = conlint(self.CYCLE)
+        assert codes(report) == ["CC001"]
+        [finding] = report
+        assert "A._lock" in finding.message
+        assert "B._lock" in finding.message
+
+    def test_one_direction_is_a_hierarchy_not_a_cycle(self, conlint):
+        # A -> B alone (no back edge) is a legal lock hierarchy.
+        report = conlint(
+            """
+            import threading
+
+            class A:
+                def __init__(self, b: "B"):
+                    self._lock = threading.Lock()
+                    self.b = b
+
+                def forward(self):
+                    with self._lock:
+                        self.b.poke()
+
+            class B:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poke(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        assert report.ok
+        assert report.stats["edges"] == 1
+
+    def test_reentrant_self_edge_is_not_a_cycle(self, conlint):
+        report = conlint(
+            """
+            import threading
+
+            class R:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        assert report.ok
+
+
+class TestNeverNested:
+    """CC002: nesting inside a module annotated never-nested."""
+
+    def test_nested_acquisition_flagged(self, conlint):
+        report = conlint(
+            """
+            # conlint: never-nested
+            import threading
+
+            class Broker:
+                def __init__(self):
+                    self._registry = threading.Lock()
+                    self._queue = threading.Lock()
+
+                def deliver(self):
+                    with self._registry:
+                        with self._queue:
+                            pass
+            """
+        )
+        assert codes(report) == ["CC002"]
+
+    def test_sequential_acquisition_allowed(self, conlint):
+        report = conlint(
+            """
+            # conlint: never-nested
+            import threading
+
+            class Broker:
+                def __init__(self):
+                    self._registry = threading.Lock()
+                    self._queue = threading.Lock()
+
+                def deliver(self):
+                    with self._registry:
+                        pass
+                    with self._queue:
+                        pass
+            """
+        )
+        assert report.ok
+
+
+class TestBlockingUnderLock:
+    """CC003: blocking primitives while a lock is held."""
+
+    def test_sleep_under_lock_flagged(self, conlint):
+        report = conlint(
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_a_bit(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """
+        )
+        assert codes(report) == ["CC003"]
+        assert "time.sleep" in report.diagnostics[0].message
+
+    def test_fsync_reached_through_a_call_chain_flagged(self, conlint):
+        report = conlint(
+            """
+            import os
+            import threading
+
+            class Wal:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fd = 3
+
+                def _flush(self):
+                    os.fsync(self._fd)
+
+                def append(self):
+                    with self._lock:
+                        self._flush()
+            """
+        )
+        assert codes(report) == ["CC003"]
+
+    def test_sleep_outside_the_lock_allowed(self, conlint):
+        report = conlint(
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_a_bit(self):
+                    with self._lock:
+                        pass
+                    time.sleep(0.1)
+            """
+        )
+        assert report.ok
+
+    def test_blocking_directive_propagates_to_locked_callers(self, conlint):
+        # ``# conlint: blocking`` marks a *primitive*: callers holding
+        # a lock across it are findings, the function itself is not.
+        report = conlint(
+            """
+            import threading
+            import time
+
+            def pace():  # conlint: blocking -- sleeps by design
+                time.sleep(0.1)
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_a_bit(self):
+                    with self._lock:
+                        pace()
+            """
+        )
+        assert codes(report) == ["CC003"]
+
+
+class TestConditionWait:
+    """CC004: unbounded Condition.wait."""
+
+    def test_wait_without_timeout_flagged(self, conlint):
+        report = conlint(
+            """
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+
+                def take(self):
+                    with self._cond:
+                        self._cond.wait()
+            """
+        )
+        assert codes(report) == ["CC004"]
+
+    def test_wait_with_timeout_allowed(self, conlint):
+        report = conlint(
+            """
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+
+                def take(self):
+                    with self._cond:
+                        self._cond.wait(timeout=0.5)
+            """
+        )
+        assert report.ok
+
+
+class TestSharedState:
+    """CC005: unguarded shared mutable state in a threading module."""
+
+    def test_module_global_written_by_thread_target_flagged(self, conlint):
+        report = conlint(
+            """
+            import threading
+
+            COUNTS = {}
+
+            def worker():
+                COUNTS["x"] = 1
+
+            def start():
+                threading.Thread(target=worker).start()
+            """
+        )
+        assert codes(report) == ["CC005"]
+
+    def test_guarded_write_allowed(self, conlint):
+        report = conlint(
+            """
+            import threading
+
+            COUNTS = {}
+            _LOCK = threading.Lock()
+
+            def worker():
+                with _LOCK:
+                    COUNTS["x"] = 1
+
+            def start():
+                threading.Thread(target=worker).start()
+            """
+        )
+        assert report.ok
+
+
+class TestDirectives:
+    """Annotation syntax: justified allows suppress, sloppy ones don't."""
+
+    def test_allow_with_reason_suppresses(self, conlint):
+        report = conlint(
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_a_bit(self):
+                    with self._lock:
+                        time.sleep(0.1)  # conlint: allow=CC003 -- pacing
+            """
+        )
+        assert report.ok
+
+    def test_allow_without_reason_is_cc000(self, conlint):
+        report = conlint(
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_a_bit(self):
+                    with self._lock:
+                        time.sleep(0.1)  # conlint: allow=CC003
+            """
+        )
+        # The malformed directive is itself a finding AND does not
+        # suppress — otherwise a typo would silence the analyzer.
+        assert sorted(codes(report)) == ["CC000", "CC003"]
+
+    def test_standalone_comment_anchors_to_next_statement(self, conlint):
+        report = conlint(
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_a_bit(self):
+                    with self._lock:
+                        # conlint: allow=CC003 -- deliberate pacing
+                        time.sleep(0.1)
+            """
+        )
+        assert report.ok
+
+    def test_module_allow_covers_the_whole_module(self, conlint):
+        report = conlint(
+            """
+            # conlint: module-allow=CC003 -- legacy sync module
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def one(self):
+                    with self._lock:
+                        time.sleep(0.1)
+
+                def two(self):
+                    with self._lock:
+                        time.sleep(0.2)
+            """
+        )
+        assert report.ok
+
+    def test_directive_examples_in_docstrings_are_inert(self, conlint):
+        report = conlint(
+            '''
+            def helper():
+                """Use ``# conlint: allow=CC003`` to annotate, like:
+
+                    time.sleep(1)  # conlint: allow=CC003
+                """
+                return 1
+            '''
+        )
+        assert report.ok
+
+
+class TestStaticOrderProjection:
+    def test_runtime_names_and_groups(self):
+        order = static_lock_order([SRC_REPRO])
+        # The broker registry/per-queue pair is declared never-nested.
+        assert {"broker.registry", "broker.queue.*"} in order.groups
+        # Witnessable locks never nest statically: the fsync deferral
+        # work pulled every blocking hold out from under them.
+        assert order.edges == set()
+
+
+class TestTreeStaysClean:
+    """The acceptance gate: zero CC findings on the real tree."""
+
+    def test_src_repro_has_no_findings(self):
+        report = lint_concurrency([SRC_REPRO], root=SRC_REPRO.parent)
+        assert codes(report) == []
+        assert report.stats["files"] > 50
+        assert report.stats["locks"] >= 10
+
+    def test_analysis_resolves_the_known_lock_hierarchy(self):
+        analysis = analyze_paths([SRC_REPRO], root=SRC_REPRO.parent)
+
+        def tail(name):  # "repro.minidb.wal.WriteAheadLog._write_lock"
+            return ".".join(name.rsplit(".", 2)[-2:])
+
+        edges = {(tail(held), tail(acq)) for held, acq in analysis.edges}
+        # The bean lock sits above the database mutex, which sits above
+        # the WAL write lock — the documented hierarchy of DESIGN §14.
+        assert ("WorkflowBean._lock", "Database._mutex") in edges
+        assert ("Database._mutex", "WriteAheadLog._write_lock") in edges

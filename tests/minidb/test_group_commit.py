@@ -174,3 +174,46 @@ class TestGroupCommitChaos:
         assert survivors[:4] == ["p0", "p1", "p2", "p3"]
         assert len(survivors) in (4, 5)
         reopened.close()
+
+
+class TestInjectableClock:
+    """The straggler-window sleep goes through the injectable clock —
+    the one hot-path sleep the chaos suite previously could not
+    control."""
+
+    def test_manual_clock_absorbs_the_straggler_window(self):
+        from repro.durable import GroupCommitter
+        from repro.resilience import ManualClock
+
+        clock = ManualClock()
+        committer = GroupCommitter(window_s=5.0, clock=clock)
+        seq = committer.note_write()
+        before = clock.now()
+        committer.wait_durable(seq, do_sync=lambda: None)
+        # The leader "slept" the full window on the simulated timeline,
+        # no wall time passed, and the write is covered.
+        assert clock.now() == before + 5.0
+        assert committer.pending() == 0
+        assert committer.syncs == 1
+
+    def test_database_threads_clock_to_the_wal(self, wal_path):
+        from repro.resilience import ManualClock
+
+        clock = ManualClock()
+        db = Database(
+            wal_path,
+            sync_policy="group",
+            group_window_s=2.0,
+            clock=clock,
+        )
+        db.create_table(person_schema())
+        before = clock.now()
+        db.insert("Person", {"name": "p0"})
+        assert clock.now() == before + 2.0  # window served by the clock
+        db.close()
+
+    def test_default_clock_is_wall_clock(self):
+        from repro.durable import GroupCommitter
+        from repro.resilience.clock import SystemClock
+
+        assert isinstance(GroupCommitter().clock, SystemClock)

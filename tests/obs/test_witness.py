@@ -1,0 +1,195 @@
+"""Runtime lock-order witness: every divergence kind, plus the seams.
+
+The unit tests hand the witness a synthetic :class:`StaticOrder` so each
+divergence kind (mutual, never-nested, inverted, unpredicted) can be
+provoked deterministically; the integration tests hook it into real
+:class:`ProfiledLock` wrappers and a full protein-lab run.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import StaticOrder
+from repro.obs.prof import LockProfiler, ProfiledLock
+from repro.obs.prof.witness import LockOrderWitness, normalize_lock_name
+from repro.resilience.clock import ManualClock
+
+
+def make_witness(
+    edges=frozenset(), groups=()
+) -> LockOrderWitness:
+    return LockOrderWitness(
+        order=StaticOrder(edges=set(edges), groups=[set(g) for g in groups])
+    )
+
+
+def nest(witness: LockOrderWitness, *names: str) -> None:
+    """Acquire ``names`` in order, then release them LIFO."""
+    for name in names:
+        witness.on_acquire(name)
+    for name in reversed(names):
+        witness.on_release(name)
+
+
+class TestNormalization:
+    def test_per_queue_names_collapse(self):
+        assert normalize_lock_name("broker.queue.engine") == "broker.queue.*"
+        assert normalize_lock_name("broker.queue.agent.7") == "broker.queue.*"
+
+    def test_other_names_pass_through(self):
+        assert normalize_lock_name("minidb.mutex") == "minidb.mutex"
+        assert normalize_lock_name("broker.registry") == "broker.registry"
+
+
+class TestVerdicts:
+    def test_predicted_order_is_clean(self):
+        witness = make_witness(edges={("minidb.mutex", "broker.registry")})
+        nest(witness, "minidb.mutex", "broker.registry")
+        report = witness.check()
+        assert report.ok
+        assert report.acquisitions == 2
+        assert report.max_depth == 2
+        [pair] = report.observed_pairs
+        assert (pair["held"], pair["acquired"]) == (
+            "minidb.mutex", "broker.registry"
+        )
+
+    def test_inverted_order_diverges(self):
+        witness = make_witness(edges={("minidb.mutex", "broker.registry")})
+        nest(witness, "broker.registry", "minidb.mutex")
+        [divergence] = witness.check().divergences
+        assert divergence.kind == "inverted"
+
+    def test_both_orders_is_a_mutual_divergence(self):
+        witness = make_witness(edges={("minidb.mutex", "broker.registry")})
+        nest(witness, "minidb.mutex", "broker.registry")
+        nest(witness, "broker.registry", "minidb.mutex")
+        kinds = sorted(d.kind for d in witness.check().divergences)
+        # Reported once, not once per direction; the inversion of the
+        # static edge is also called out.
+        assert kinds == ["inverted", "mutual"]
+
+    def test_never_nested_group_diverges(self):
+        witness = make_witness(groups=[{"broker.registry", "broker.queue.*"}])
+        nest(witness, "broker.registry", "broker.queue.colonies")
+        [divergence] = witness.check().divergences
+        assert divergence.kind == "never-nested"
+        assert "broker.queue.colonies" in divergence.detail
+
+    def test_two_queue_conditions_normalize_into_the_group(self):
+        # Two *different* per-queue locks collapse onto the same static
+        # node — nesting them is still a never-nested violation.
+        witness = make_witness(groups=[{"broker.registry", "broker.queue.*"}])
+        nest(witness, "broker.queue.a", "broker.queue.b")
+        [divergence] = witness.check().divergences
+        assert divergence.kind == "never-nested"
+
+    def test_unpredicted_pair_of_known_locks_diverges(self):
+        witness = make_witness(edges={("minidb.mutex", "broker.registry")})
+        nest(witness, "minidb.mutex", "broker.queue.x")
+        [divergence] = witness.check().divergences
+        assert divergence.kind == "unpredicted"
+
+    def test_unknown_locks_are_recorded_but_not_judged(self):
+        witness = make_witness(edges={("minidb.mutex", "broker.registry")})
+        nest(witness, "custom.a", "custom.b")
+        report = witness.check()
+        assert report.ok
+        assert len(report.observed_pairs) == 1
+
+    def test_unknown_mutual_inversion_is_still_a_divergence(self):
+        # Locks outside the witnessed namespace carry no static
+        # prediction, but observing both orders is wrong regardless.
+        witness = make_witness()
+        nest(witness, "custom.a", "custom.b")
+        nest(witness, "custom.b", "custom.a")
+        [divergence] = witness.check().divergences
+        assert divergence.kind == "mutual"
+
+    def test_per_thread_stacks_do_not_cross(self):
+        witness = make_witness(edges={("minidb.mutex", "broker.registry")})
+        witness.on_acquire("minidb.mutex")
+
+        def other():
+            nest(witness, "broker.registry")
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        witness.on_release("minidb.mutex")
+        report = witness.check()
+        assert report.observed_pairs == []
+        assert report.acquisitions == 2
+
+
+class TestProfiledLockHook:
+    def test_nested_profiled_locks_report_the_pair(self):
+        witness = make_witness(edges={("outer", "inner")})
+        clock = ManualClock()
+        outer = ProfiledLock("outer", threading.Lock(), clock, witness)
+        inner = ProfiledLock("inner", threading.Lock(), clock, witness)
+        with outer, inner:
+            pass
+        report = witness.check()
+        assert report.ok
+        [pair] = report.observed_pairs
+        assert (pair["held"], pair["acquired"]) == ("outer", "inner")
+
+    def test_reentrant_hold_is_one_outermost_acquisition(self):
+        witness = make_witness()
+        clock = ManualClock()
+        lock = ProfiledLock("re", threading.RLock(), clock, witness)
+        with lock:
+            with lock:
+                pass
+        report = witness.check()
+        assert report.acquisitions == 1
+        assert report.observed_pairs == []
+
+    def test_lock_profiler_threads_witness_through_wrap(self):
+        witness = make_witness()
+        profiler = LockProfiler(witness=witness)
+        lock = profiler.wrap("wrapped", threading.Lock())
+        with lock:
+            pass
+        assert witness.check().acquisitions == 1
+
+
+class TestDefaultOrder:
+    def test_default_order_comes_from_the_installed_tree(self):
+        witness = LockOrderWitness()
+        # The broker pair is never-nested in the installed tree, so
+        # nesting them must diverge with no hand-built order at all.
+        nest(witness, "broker.registry", "broker.queue.engine")
+        kinds = [d.kind for d in witness.check().divergences]
+        assert kinds == ["never-nested"]
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def lab(self):
+        from repro.workloads.protein import build_protein_lab
+
+        lab = build_protein_lab(profiling=True, witness=True)
+        for __ in range(3):
+            response = lab.app.post(
+                "/user", workflow_action="start", pattern="protein_creation"
+            )
+            assert response.ok
+            lab.run_messages()
+        return lab
+
+    def test_live_lab_matches_the_static_graph(self, lab):
+        report = lab.obs.profiler.witness.check()
+        assert report.ok, report.render_text()
+        assert report.acquisitions > 0
+
+    def test_witness_verdict_joins_the_profile_report(self, lab):
+        profile = lab.obs.profiler.report()
+        assert profile["lock_order"]["ok"] is True
+        assert profile["lock_order"]["acquisitions"] > 0
+        text = lab.obs.profiler.render_text()
+        assert "lock-order witness" in text
