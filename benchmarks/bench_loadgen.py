@@ -566,7 +566,9 @@ def main(argv: list[str] | None = None) -> int:
 
     failed = check_regression(existing, fresh, mode) if args.check else []
 
-    existing[mode] = fresh
+    # Merge, don't replace: other benchmarks (bench_recovery) keep their
+    # own keys inside the same per-mode section.
+    existing.setdefault(mode, {}).update(fresh)
     args.output.write_text(
         json.dumps(existing, indent=2) + "\n", encoding="utf-8"
     )

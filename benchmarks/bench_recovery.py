@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Recovery-time flatness under the segmented WAL (durability v2).
+
+The v2 recovery path replays the newest checkpoint snapshot plus the
+post-watermark tail — *not* the full history.  This benchmark proves the
+resulting claim and gates on it:
+
+``flatness``
+    Build two stores with identical live state (~a few hundred rows)
+    and the same automatic :class:`CheckpointPolicy`, one with baseline
+    update churn and one with ``HISTORY_MULTIPLIER``x the churn.  Cold
+    reopen both (best of N trials).  Recovery time for the deep-history
+    store must stay within ``FLATNESS_CEILING`` (2x) of the shallow one,
+    and the number of records it replays must stay bounded by
+    ``checkpoint + checkpoint_every + slack`` — history depth must not
+    leak into restart time.
+
+``control``
+    The same deep churn with checkpointing disabled: recovery replays
+    every record ever written.  Reported (not gated) to make visible
+    what the checkpoints are buying.
+
+``--small`` shrinks the sizing for CI smoke use; results land in a
+per-mode section of ``BENCH_perf.json`` so small runs never clobber
+full-run numbers.  ``--check`` additionally compares the fresh
+deep-history recovery time against the committed baseline for the same
+mode and fails on a >3x blow-up (timing is machine-relative, so the
+cross-run tolerance is deliberately looser than the in-run 2x gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.minidb import (
+    EQ,
+    CheckpointPolicy,
+    Column,
+    ColumnType,
+    Database,
+    TableSchema,
+)
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_perf.json"
+
+#: Deep-history recovery must stay within this factor of shallow-history
+#: recovery — the headline gate of the benchmark.
+FLATNESS_CEILING = 2.0
+#: ``--check`` tolerance versus the committed baseline (cross-machine
+#: timing, so much looser than the in-run flatness gate).
+BASELINE_BLOWUP = 3.0
+#: Ratios are meaningless at sub-millisecond absolute times; the
+#: denominator is floored here so scheduler noise cannot fail the gate.
+NOISE_FLOOR_MS = 1.0
+
+MODES = {
+    # (live rows, baseline churn, history multiplier,
+    #  checkpoint every N records, reopen trials)
+    "small": (100, 300, 25, 150, 3),
+    "full": (200, 1000, 100, 500, 5),
+}
+
+
+def sample_schema() -> TableSchema:
+    return TableSchema(
+        name="Sample",
+        columns=[
+            Column("sample_id", ColumnType.INTEGER, nullable=False),
+            Column("assay", ColumnType.TEXT, nullable=False),
+            Column("revision", ColumnType.INTEGER, nullable=False),
+        ],
+        primary_key=("sample_id",),
+        autoincrement="sample_id",
+    )
+
+
+def build_history(
+    path: Path,
+    live_rows: int,
+    churn_updates: int,
+    checkpoint_every: int | None,
+) -> dict:
+    """Create ``live_rows`` rows, then revise them ``churn_updates``
+    times under the automatic checkpoint policy (or none at all)."""
+    policy = (
+        CheckpointPolicy(every_records=checkpoint_every)
+        if checkpoint_every is not None
+        else None
+    )
+    db = Database(path, sync_policy="off", checkpoint_policy=policy)
+    db.create_table(sample_schema())
+    ids = [
+        db.insert("Sample", {"assay": f"assay-{i}", "revision": 0})[
+            "sample_id"
+        ]
+        for i in range(live_rows)
+    ]
+    for turn in range(churn_updates):
+        target = ids[turn % len(ids)]
+        db.update("Sample", EQ("sample_id", target), {"revision": turn + 1})
+    info = db.wal_info()
+    built = {
+        "appended_records": info["appended_records"],
+        "checkpoints": info["checkpoints"],
+        "segments": info["segments"],
+        "size_bytes": info["size_bytes"],
+    }
+    db.close()
+    return built
+
+
+def measure_recovery(path: Path, trials: int) -> dict:
+    """Cold-reopen ``trials`` times; keep the best run (noise damping)
+    and sanity-check every run recovers the same shape."""
+    best: dict | None = None
+    for __ in range(trials):
+        db = Database(path)
+        recovery = dict(db.wal_info()["last_recovery"])
+        rows = db.count("Sample")
+        db.close()
+        recovery["live_rows"] = rows
+        if best is None or recovery["elapsed_ms"] < best["elapsed_ms"]:
+            best = recovery
+    assert best is not None
+    best["elapsed_ms"] = round(best["elapsed_ms"], 3)
+    return best
+
+
+def run_flatness(
+    live_rows: int,
+    base_churn: int,
+    multiplier: int,
+    checkpoint_every: int,
+    trials: int,
+) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        results: dict = {"config": {
+            "live_rows": live_rows,
+            "baseline_churn": base_churn,
+            "history_multiplier": multiplier,
+            "checkpoint_every": checkpoint_every,
+            "reopen_trials": trials,
+        }}
+        for label, churn, every in (
+            ("shallow", base_churn, checkpoint_every),
+            ("deep", base_churn * multiplier, checkpoint_every),
+            ("control_no_checkpoint", base_churn * multiplier, None),
+        ):
+            path = root / f"{label}.wal"
+            built = build_history(path, live_rows, churn, every)
+            recovery = measure_recovery(path, trials)
+            results[label] = {"built": built, "recovery": recovery}
+        shallow = results["shallow"]["recovery"]["elapsed_ms"]
+        deep = results["deep"]["recovery"]["elapsed_ms"]
+        control = results["control_no_checkpoint"]["recovery"]["elapsed_ms"]
+        results["flatness_ratio"] = round(
+            deep / max(shallow, NOISE_FLOOR_MS), 3
+        )
+        results["control_vs_deep_ratio"] = round(
+            control / max(deep, NOISE_FLOOR_MS), 3
+        )
+    return results
+
+
+def gate(results: dict) -> list[str]:
+    """The invariants the run must satisfy — empty list means pass."""
+    problems = []
+    ratio = results["flatness_ratio"]
+    if ratio > FLATNESS_CEILING:
+        problems.append(
+            f"recovery not flat: {results['config']['history_multiplier']}x "
+            f"history costs {ratio:.2f}x recovery time "
+            f"(ceiling {FLATNESS_CEILING}x)"
+        )
+    # Structural bound — independent of wall-clock noise: a deep-history
+    # reopen replays the checkpoint snapshot (live rows + schema) plus a
+    # tail that the policy keeps under checkpoint_every, with slack for
+    # the records racing the final checkpoint install.
+    deep = results["deep"]["recovery"]
+    bound = (
+        results["config"]["live_rows"]
+        + results["config"]["checkpoint_every"]
+        + 64
+    )
+    if deep["records"] > bound:
+        problems.append(
+            f"deep-history recovery replayed {deep['records']} records "
+            f"(bound {bound}): compaction is not keeping the tail short"
+        )
+    if deep["checkpoint_records"] == 0:
+        problems.append(
+            "deep-history recovery never loaded a checkpoint snapshot"
+        )
+    if deep["live_rows"] != results["config"]["live_rows"]:
+        problems.append(
+            f"deep-history recovery produced {deep['live_rows']} rows, "
+            f"expected {results['config']['live_rows']}"
+        )
+    return problems
+
+
+def check_baseline(baseline: dict | None, fresh: dict, mode: str) -> list[str]:
+    if not baseline or mode not in baseline:
+        print(f"[check] no committed baseline for mode {mode!r}; skipping")
+        return []
+    old = baseline[mode].get("recovery")
+    if not old:
+        print(f"[check] mode {mode!r} baseline predates bench_recovery; skipping")
+        return []
+    before = old["deep"]["recovery"]["elapsed_ms"]
+    now = fresh["deep"]["recovery"]["elapsed_ms"]
+    ceiling = max(before, NOISE_FLOOR_MS) * BASELINE_BLOWUP
+    status = "ok" if now <= ceiling else "REGRESSION"
+    print(
+        f"[check] deep-history recovery: baseline {before:.1f} ms, "
+        f"now {now:.1f} ms (ceiling {ceiling:.1f} ms) — {status}"
+    )
+    if now > ceiling:
+        return ["deep-history recovery time"]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--small", action="store_true", help="CI smoke sizing"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also fail on a >3x recovery-time blow-up vs the committed "
+        "baseline for this mode",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="result file"
+    )
+    args = parser.parse_args(argv)
+
+    mode = "small" if args.small else "full"
+    live_rows, base_churn, multiplier, checkpoint_every, trials = MODES[mode]
+
+    existing: dict = {}
+    if args.output.exists():
+        try:
+            existing = json.loads(args.output.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+
+    print(
+        f"== recovery flatness ({live_rows} live rows, "
+        f"{multiplier}x history, {mode} mode) =="
+    )
+    results = run_flatness(
+        live_rows, base_churn, multiplier, checkpoint_every, trials
+    )
+    for label in ("shallow", "deep", "control_no_checkpoint"):
+        row = results[label]
+        recovery = row["recovery"]
+        print(
+            f"  {label:>21}: {recovery['elapsed_ms']:>8.2f} ms recovery "
+            f"({recovery['checkpoint_records']} checkpoint + "
+            f"{recovery['tail_records']} tail records; "
+            f"{row['built']['appended_records']} appended, "
+            f"{row['built']['checkpoints']} checkpoints)"
+        )
+    print(
+        f"  deep vs shallow: {results['flatness_ratio']:.2f}x "
+        f"(ceiling {FLATNESS_CEILING}x); "
+        f"no-checkpoint control: "
+        f"{results['control_vs_deep_ratio']:.2f}x the deep recovery"
+    )
+
+    problems = gate(results)
+    if args.check:
+        problems += check_baseline(existing, results, mode)
+
+    section = existing.setdefault(mode, {})
+    section["recovery"] = results
+    args.output.write_text(
+        json.dumps(existing, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

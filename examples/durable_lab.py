@@ -119,10 +119,10 @@ def main() -> None:
         assert view.status == "completed"
         assert len(readouts) == 1  # nothing lost, nothing duplicated
 
-        size_before = wal_path.stat().st_size
+        size_before = app.db.wal_info()["size_bytes"]
         records = app.db.checkpoint()
         print(f"== checkpoint: WAL {size_before} -> "
-              f"{wal_path.stat().st_size} bytes ({records} records) ==")
+              f"{app.db.wal_info()['size_bytes']} bytes ({records} records) ==")
         crash(app, broker)
 
         app, broker, manager, engine, robot = boot(

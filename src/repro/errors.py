@@ -67,8 +67,52 @@ class TransactionError(DatabaseError):
     """Illegal transaction usage (nested begin, commit without begin, ...)."""
 
 
-class RecoveryError(DatabaseError):
+class LogCorruptionDetail:
+    """Structured diagnostics shared by durable-log corruption errors.
+
+    A segmented log that refuses to replay says exactly *where* and
+    *why*: the file, the segment id, the byte offset of the offending
+    record, the checksum it expected vs. the one it computed, and a
+    short machine-readable ``reason`` (``checksum`` / ``framing`` /
+    ``sequence`` / ``decode`` / ``manifest`` / ``legacy``).  All fields
+    are optional so plain one-argument raises keep working.
+    """
+
+    def _attach_detail(
+        self,
+        *,
+        path: str | None = None,
+        segment: int | None = None,
+        offset: int | None = None,
+        expected_crc: str | None = None,
+        actual_crc: str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        self.path = path
+        self.segment = segment
+        self.offset = offset
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+        self.reason = reason
+
+    def detail(self) -> dict:
+        """The structured fields as a JSON-friendly dict."""
+        return {
+            "path": self.path,
+            "segment": self.segment,
+            "offset": self.offset,
+            "expected_crc": self.expected_crc,
+            "actual_crc": self.actual_crc,
+            "reason": self.reason,
+        }
+
+
+class RecoveryError(DatabaseError, LogCorruptionDetail):
     """The write-ahead log could not be replayed."""
+
+    def __init__(self, message: str, **detail) -> None:
+        super().__init__(message)
+        self._attach_detail(**detail)
 
 
 # ---------------------------------------------------------------------------
@@ -125,8 +169,12 @@ class AcknowledgeError(MessagingError):
     """A consumer acknowledged a message it does not hold."""
 
 
-class JournalError(MessagingError):
+class JournalError(MessagingError, LogCorruptionDetail):
     """The broker journal is corrupt or unreadable."""
+
+    def __init__(self, message: str, **detail) -> None:
+        super().__init__(message)
+        self._attach_detail(**detail)
 
 
 class DeadLetterError(MessagingError):

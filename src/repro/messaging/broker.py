@@ -50,6 +50,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import AcknowledgeError, DeadLetterError, UnknownQueueError
+from repro.messaging.journal import DEFAULT_COMPACT_EVERY as _DEFAULT_COMPACT
 from repro.messaging.journal import BrokerJournal
 from repro.messaging.message import Message
 from repro.resilience.clock import Clock, SystemClock
@@ -114,6 +115,9 @@ class MessageBroker:
         default_retry_policy: RetryPolicy | None = None,
         sync_policy: str = "always",
         group_window_s: float = 0.0,
+        journal_segment_bytes: int | None = None,
+        journal_compact_every: int | None = _DEFAULT_COMPACT,
+        journal_salvage: bool = False,
     ) -> None:
         self._lock = threading.Lock()
         self._queues: dict[str, _QueueState] = {}
@@ -143,11 +147,17 @@ class MessageBroker:
         self.faults: FaultPlan | None = None
         self._journal: BrokerJournal | None = None
         if journal_path is not None:
+            journal_kwargs: dict = {}
+            if journal_segment_bytes is not None:
+                journal_kwargs["segment_max_bytes"] = journal_segment_bytes
             self._journal = BrokerJournal(
                 journal_path,
                 sync_policy=sync_policy,
                 group_window_s=group_window_s,
                 clock=self.clock,
+                compact_every=journal_compact_every,
+                salvage=journal_salvage,
+                **journal_kwargs,
             )
             self._recover()
 
@@ -265,7 +275,7 @@ class MessageBroker:
             backlog = sum(
                 len(state.messages) for state in self._queues.values()
             ) + len(self._in_flight)
-            return {
+            info: dict[str, object] = {
                 "enabled": True,
                 "path": str(self._journal.path),
                 "appended_records": self._journal.appended_records,
@@ -276,6 +286,22 @@ class MessageBroker:
                 "group_syncs": self._journal.group.syncs,
                 "group_writes_covered": self._journal.group.writes_covered,
             }
+            info.update(self._journal.info())
+            return info
+
+    def compact_journal(self) -> bool:
+        """Force a journal compaction now (operator/tooling entry).
+
+        The automatic trigger (:meth:`BrokerJournal.maybe_compact`)
+        fires on the record threshold; this forces the same rotation +
+        snapshot + GC immediately.  Returns ``False`` on a
+        non-persistent broker, ``True`` after a completed compaction.
+        Runs outside the registry lock, like the automatic trigger.
+        """
+        if self._journal is None:
+            return False
+        self._journal.compact()
+        return True
 
     def _state(self, name: str) -> _QueueState:
         with self._lock:
@@ -288,9 +314,15 @@ class MessageBroker:
             raise UnknownQueueError(name) from None
 
     def _journal_sync(self, seq: int | None) -> None:
-        """Wait out the group-commit barrier for one journal append."""
+        """Wait out the group-commit barrier for one journal append.
+
+        Also the compaction trigger: we are past the durability barrier
+        and outside the registry lock, so a due compaction (rotation +
+        mirror snapshot + segment GC) delays no broker operation.
+        """
         if self._journal is not None:
             self._journal.sync(seq)
+            self._journal.maybe_compact()
 
     # ------------------------------------------------------------------
     # Producer side

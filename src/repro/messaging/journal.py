@@ -1,17 +1,28 @@
-"""Durable journal for the message broker.
+"""Durable journal for the message broker (segmented — durability v2).
 
-Same JSON-lines discipline as the minidb WAL, including the sync-policy
+Same checksummed segment/manifest discipline as the minidb WAL — both
+compose :class:`repro.seglog.SegmentedLog` — including the sync-policy
 knob: under ``always`` every record is flushed and fsync'd before the
 operation that produced it returns; under ``group`` appends only buffer
 and concurrent operations share one fsync barrier through
 :class:`repro.durable.GroupCommitter` (the broker syncs after releasing
 its registry lock, so senders on different threads batch); ``off`` never
-fsyncs.  Replay rebuilds
-the set of *outstanding* messages: everything sent but not acknowledged —
-including messages that were in flight to a consumer when the broker
-died — reappears in its queue in send order, carrying the delivery count
-it had accumulated (so the redelivered flag survives a broker crash), and
-the dead-letter quarantine is restored alongside the live queues.
+fsyncs.  Replay rebuilds the set of *outstanding* messages: everything
+sent but not acknowledged — including messages that were in flight to a
+consumer when the broker died — reappears in its queue in send order,
+carrying the delivery count it had accumulated (so the redelivered flag
+survives a broker crash), and the dead-letter quarantine is restored
+alongside the live queues.
+
+Compaction (the journal's checkpoint): the journal maintains an
+in-memory *mirror* of what a replay of the on-disk records would
+restore, updated on every append under the same write lock.  When the
+tail since the last compaction exceeds ``compact_every`` records,
+:meth:`maybe_compact` rotates to a fresh segment, snapshots the mirror
+as of that cut, and installs it as a checkpoint — fully-acked messages
+vanish from disk, so exactly-once-armed redelivery survives with
+*bounded* storage however long the broker runs.  The broker triggers
+this from ``_journal_sync``, outside its registry lock.
 
 Record shapes::
 
@@ -21,11 +32,15 @@ Record shapes::
     {"type": "ack", "queue": "agent.robot-1", "message_id": 17}
     {"type": "dead_letter", "message_id": 17, "reason": "..."}
     {"type": "dlq_requeue", "message_id": 17}
+
+A compaction snapshot re-expresses the mirror in the same vocabulary
+(``declare`` + ``send`` per live message, with the accumulated
+``delivery_count`` embedded in the wire dict, plus ``send`` +
+``dead_letter`` per quarantined one), so replay needs no special cases.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 from dataclasses import dataclass, field
@@ -36,6 +51,7 @@ from repro.durable import GroupCommitter, validate_sync_policy
 from repro.errors import JournalError
 from repro.messaging.message import Message
 from repro.resilience.faults import fire
+from repro.seglog import DEFAULT_SEGMENT_BYTES, SegmentedLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.clock import Clock
@@ -44,6 +60,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Sequence returned by ``always``-mode appends: the record is buffered
 #: and its fsync is owed to :meth:`BrokerJournal.sync`.
 _ALWAYS_SEQ = -1
+
+#: Default compaction threshold: tail records since the last compaction.
+DEFAULT_COMPACT_EVERY = 1024
 
 
 @dataclass
@@ -59,7 +78,7 @@ class JournalSnapshot:
 
 
 class BrokerJournal:
-    """Append-only journal with crash-tolerant replay."""
+    """Append-only segmented journal with crash-tolerant replay."""
 
     def __init__(
         self,
@@ -67,13 +86,26 @@ class BrokerJournal:
         sync_policy: str = "always",
         group_window_s: float = 0.0,
         clock: "Clock | None" = None,
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        segment_max_records: int | None = None,
+        compact_every: int | None = DEFAULT_COMPACT_EVERY,
+        salvage: bool = False,
     ) -> None:
         validate_sync_policy(sync_policy)
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         self.sync_policy = sync_policy
-        self._handle = None
-        #: Serialises buffered writes across broker threads.
+        #: Segment/manifest/checkpoint machinery shared with the WAL.
+        self.seg = SegmentedLog(
+            self.path,
+            error_cls=JournalError,
+            prefix="journal",
+            segment_max_bytes=segment_max_bytes,
+            segment_max_records=segment_max_records,
+            salvage=salvage,
+        )
+        #: Serialises buffered writes *and* their mirror updates across
+        #: broker threads — and lets compaction cut a consistent
+        #: (rotation watermark, mirror state) pair.
         self._write_lock = threading.Lock()
         #: Shared fsync barrier for ``sync_policy="group"``.
         self.group = GroupCommitter(window_s=group_window_s, clock=clock)
@@ -85,8 +117,35 @@ class BrokerJournal:
         self.appended_records = 0
         #: fsync barriers issued through this handle's lifetime.
         self.fsyncs = 0
-        #: Optional fault-injection plan (``repro.resilience.faults``).
-        self.faults: "FaultPlan | None" = None
+        #: Compaction trigger (tail records); ``None`` disables.
+        self.compact_every = compact_every
+        #: Compactions completed through this journal's lifetime.
+        self.compactions = 0
+        #: Serialises compactions against each other.
+        self._compact_lock = threading.Lock()
+        # -- the replay mirror (see module docstring) -------------------
+        self._mirror_queues: list[str] = []
+        self._mirror_outstanding: dict[int, dict[str, Any]] = {}
+        self._mirror_dead: dict[int, tuple[dict[str, Any], str]] = {}
+        self._mirror_next_id = 1
+        #: The mirror matches the on-disk history only once a full
+        #: :meth:`replay` has run (or the journal started fresh);
+        #: compaction is gated on this so it can never snapshot a
+        #: partial view of a history it has not read.
+        self._mirror_ready = not self.seg.segments and self.seg.checkpoint is None
+
+    @property
+    def faults(self) -> "FaultPlan | None":
+        """Optional fault-injection plan (``repro.resilience.faults``)."""
+        return self.seg.faults
+
+    @faults.setter
+    def faults(self, plan: "FaultPlan | None") -> None:
+        self.seg.faults = plan
+
+    def tail_path(self) -> Path | None:
+        """The active segment file (tests poke torn/corrupt bytes here)."""
+        return self.seg.tail_path()
 
     def append(self, record: dict[str, Any]) -> int | None:
         """Append one record; buffered now, durable per the sync policy.
@@ -102,8 +161,9 @@ class BrokerJournal:
 
         Fault point ``journal.append`` (context: ``record_type``):
         ``crash`` dies before anything is written, ``corrupt`` leaves a
-        torn half-line and then dies (the classic mid-fsync power cut),
-        ``drop`` silently skips the write (a lying disk).
+        torn half-frame and then dies (the classic mid-fsync power cut),
+        ``drop`` silently skips the write (a lying disk — the mirror is
+        *not* updated, it tracks what is actually on disk).
         """
         with self._write_lock:
             action = fire(
@@ -111,22 +171,14 @@ class BrokerJournal:
             )
             if action == "drop":
                 return None
-            if self._handle is None:
-                self._handle = self.path.open("a", encoding="utf-8")
-            line = json.dumps(record, separators=(",", ":"))
             if action == "corrupt":
-                self._handle.write(line[: max(1, len(line) // 2)])
-                self._handle.flush()
-                # conlint: allow=CC003 -- torn-write injection must hit
-                # the disk before the simulated death, or replay would
-                # never see the half-line this fault exists to produce.
-                os.fsync(self._handle.fileno())
+                self.seg.write_torn(record)
                 raise JournalError(
                     f"injected torn write at {self.path} "
                     f"(record type {record.get('type')!r})"
                 )
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            self.seg.write_frame(record)
+            self._mirror_apply(record)
             self.appended_records += 1
             if self.sync_policy == "group":
                 return self.group.note_write()
@@ -155,19 +207,17 @@ class BrokerJournal:
 
     def _always_fsync(self) -> None:
         """One per-record fsync (``always`` policy), outside all locks."""
-        with self._write_lock:
-            handle = self._handle
-            self._always_pending = 0
-        if handle is None:
-            return
-        os.fsync(handle.fileno())
+        self._always_pending = 0
+        self.seg.fsync_active()
         self.fsyncs += 1
 
     def _sync_barrier(self) -> None:
-        """One fsync covering every buffered append (leader only)."""
-        handle = self._handle
-        if handle is not None:
-            os.fsync(handle.fileno())
+        """One fsync covering every buffered append (leader only).
+
+        Safe across a rotation: the retiring segment was fsync'd before
+        the handle switched (see :mod:`repro.seglog`).
+        """
+        self.seg.fsync_active()
         self.fsyncs += 1
 
     def flush_pending(self) -> None:
@@ -183,89 +233,190 @@ class BrokerJournal:
 
     def size_bytes(self) -> int:
         """Current on-disk size of the journal (0 when it does not exist)."""
+        return self.seg.size_bytes()
+
+    def info(self) -> dict[str, Any]:
+        """Segment-level layout and counters, plus compaction state."""
+        info = self.seg.info()
+        info["compactions"] = self.compactions
+        info["compact_every"] = self.compact_every
+        return info
+
+    # -- the replay mirror ---------------------------------------------------
+
+    def _mirror_reset(self) -> None:
+        self._mirror_queues = []
+        self._mirror_outstanding = {}
+        self._mirror_dead = {}
+        self._mirror_next_id = 1
+
+    def _mirror_apply(self, record: dict[str, Any]) -> None:
+        """Fold one journal record into the replay mirror.
+
+        Mirrors exactly the semantics of :meth:`replay`, operating on
+        wire dicts (the accumulated ``delivery_count`` is stored *in*
+        the wire dict so a compaction snapshot carries it for free).
+        """
+        kind = record.get("type")
+        if kind == "declare":
+            if record["queue"] not in self._mirror_queues:
+                self._mirror_queues.append(record["queue"])
+        elif kind == "send":
+            wire = dict(record["message"])
+            message_id = int(wire["message_id"])
+            self._mirror_outstanding[message_id] = wire
+            self._mirror_next_id = max(self._mirror_next_id, message_id + 1)
+        elif kind == "deliver":
+            wire = self._mirror_outstanding.get(record["message_id"])
+            if wire is not None:
+                wire["delivery_count"] = int(wire.get("delivery_count", 0)) + 1
+        elif kind == "ack":
+            self._mirror_outstanding.pop(record["message_id"], None)
+        elif kind == "dead_letter":
+            wire = self._mirror_outstanding.pop(record["message_id"], None)
+            if wire is not None:
+                self._mirror_dead[int(wire["message_id"])] = (
+                    wire,
+                    str(record.get("reason", "")),
+                )
+        elif kind == "dlq_requeue":
+            entry = self._mirror_dead.pop(record["message_id"], None)
+            if entry is not None:
+                wire = entry[0]
+                wire["delivery_count"] = 0
+                self._mirror_outstanding[int(wire["message_id"])] = wire
+        else:
+            raise JournalError(f"unknown journal record type {kind!r}")
+
+    def _mirror_records(self) -> list[dict[str, Any]]:
+        """The mirror re-expressed as replayable journal records."""
+        records: list[dict[str, Any]] = [
+            {"type": "declare", "queue": name} for name in self._mirror_queues
+        ]
+        for message_id in sorted(self._mirror_outstanding):
+            records.append(
+                {
+                    "type": "send",
+                    "message": dict(self._mirror_outstanding[message_id]),
+                }
+            )
+        for message_id in sorted(self._mirror_dead):
+            wire, reason = self._mirror_dead[message_id]
+            records.append({"type": "send", "message": dict(wire)})
+            records.append(
+                {
+                    "type": "dead_letter",
+                    "message_id": message_id,
+                    "reason": reason,
+                }
+            )
+        return records
+
+    # -- compaction ----------------------------------------------------------
+
+    def maybe_compact(self) -> bool:
+        """Compact when the tail has outgrown ``compact_every`` records.
+
+        Called by the broker after every durability barrier, outside its
+        registry lock.  Skips silently when below threshold, when the
+        mirror is not ready, or when another compaction is in flight.
+        """
+        if self.compact_every is None or not self._mirror_ready:
+            return False
+        if self.seg.records_since_checkpoint < self.compact_every:
+            return False
+        if not self._compact_lock.acquire(blocking=False):
+            return False
         try:
-            return self.path.stat().st_size
-        except OSError:
-            return 0
+            self.compact()
+        finally:
+            self._compact_lock.release()
+        return True
+
+    def compact(self) -> int:
+        """Snapshot the mirror behind a rotation cut; GC acked history.
+
+        Fault points ``journal.compact`` (before the snapshot file is
+        written), ``journal.compact.swap`` (before the manifest
+        publishes it) and ``journal.compact.gc`` (before pre-watermark
+        segments are unlinked): a crash at any of them recovers to
+        exactly the old or the new organisation of the same outstanding
+        set — no acked message resurrects, no live message is lost.
+        Returns the number of records in the snapshot.
+        """
+        if not self._mirror_ready:
+            raise JournalError(
+                "cannot compact before a full replay has built the mirror"
+            )
+        with self._write_lock:
+            # The cut: everything at or below `watermark` is exactly
+            # what the mirror describes, because appends (which update
+            # both) are excluded while we hold the write lock.
+            watermark = self.seg.rotate()
+            records = self._mirror_records()
+        count = self.seg.install_checkpoint(
+            records,
+            watermark,
+            write_point="journal.compact",
+            swap_point="journal.compact.swap",
+            gc_point="journal.compact.gc",
+        )
+        self.compactions += 1
+        return count
+
+    # -- replay ---------------------------------------------------------------
 
     def replay(self) -> JournalSnapshot:
-        """Rebuild broker state from the journal.
+        """Rebuild broker state from checkpoint + tail.
 
-        A torn final line is discarded (the operation never completed);
-        any other corruption raises :class:`JournalError`.  Delivery
-        records accumulate onto their message so a replayed message
-        keeps its true ``delivery_count``; dead-letter records move the
-        message into the quarantine (and ``dlq_requeue`` moves it back,
-        with the count reset exactly as the live operation does).
+        Streams record-by-record (O(1) memory in the history length
+        beyond the live set).  A torn final frame is discarded (the
+        operation never completed); any other corruption raises
+        :class:`JournalError` with structured diagnostics — or, with
+        ``salvage=True``, quarantines the corrupt suffix and restores
+        the longest intact prefix.  Delivery records accumulate onto
+        their message so a replayed message keeps its true
+        ``delivery_count``; dead-letter records move the message into
+        the quarantine (and ``dlq_requeue`` moves it back, with the
+        count reset exactly as the live operation does).  Also (re)builds
+        the compaction mirror.
         """
         fire(self.faults, "journal.replay")
-        snapshot = JournalSnapshot()
-        outstanding: dict[int, Message] = {}
-        dead: dict[int, tuple[Message, str]] = {}
-        if not self.path.exists():
-            return snapshot
-        with self.path.open("r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for line_number, line in enumerate(lines):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = json.loads(stripped)
-            except json.JSONDecodeError:
-                if line_number == len(lines) - 1:
-                    break
-                raise JournalError(
-                    f"corrupt journal record at {self.path}:{line_number + 1}"
-                ) from None
-            kind = record.get("type")
-            if kind == "declare":
-                if record["queue"] not in snapshot.queues:
-                    snapshot.queues.append(record["queue"])
-            elif kind == "send":
-                message = Message.from_wire(record["message"])
-                outstanding[message.message_id] = message
-                snapshot.next_id = max(snapshot.next_id, message.message_id + 1)
-            elif kind == "deliver":
-                message = outstanding.get(record["message_id"])
-                if message is not None:
-                    message.delivery_count += 1
-            elif kind == "ack":
-                outstanding.pop(record["message_id"], None)
-            elif kind == "dead_letter":
-                message = outstanding.pop(record["message_id"], None)
-                if message is not None:
-                    dead[message.message_id] = (
-                        message,
-                        str(record.get("reason", "")),
+        with self._write_lock:
+            self._mirror_reset()
+            for record in self.seg.replay():
+                if not isinstance(record, dict) or "type" not in record:
+                    raise JournalError(
+                        f"malformed journal record in {self.path} "
+                        "(not a typed dict)"
                     )
-            elif kind == "dlq_requeue":
-                entry = dead.pop(record["message_id"], None)
-                if entry is not None:
-                    message = entry[0]
-                    message.delivery_count = 0
-                    outstanding[message.message_id] = message
-            else:
-                raise JournalError(
-                    f"unknown journal record type {kind!r} at "
-                    f"{self.path}:{line_number + 1}"
+                self._mirror_apply(record)
+            self._mirror_ready = True
+            snapshot = JournalSnapshot()
+            snapshot.queues = list(self._mirror_queues)
+            snapshot.outstanding = [
+                Message.from_wire(self._mirror_outstanding[message_id])
+                for message_id in sorted(self._mirror_outstanding)
+            ]
+            snapshot.dead = [
+                (Message.from_wire(wire), reason)
+                for wire, reason in (
+                    self._mirror_dead[message_id]
+                    for message_id in sorted(self._mirror_dead)
                 )
-        snapshot.outstanding = [outstanding[mid] for mid in sorted(outstanding)]
-        snapshot.dead = [dead[mid] for mid in sorted(dead)]
+            ]
+            snapshot.next_id = self._mirror_next_id
         return snapshot
 
     def close(self) -> None:
-        """Release the file handle (reopened lazily on next append).
+        """Release file handles (reopened lazily on next append).
 
         Any still-buffered appends (a group-mode batch, or an
         ``always``-mode record whose deferred fsync was never claimed)
         are fsync'd first — a clean close never loses acknowledged work.
         """
         try:
-            if self._handle is not None:
+            if self.seg.handle is not None:
                 self.flush_pending()
         finally:
-            with self._write_lock:
-                if self._handle is not None:
-                    self._handle.close()
-                    self._handle = None
+            self.seg.close()

@@ -51,9 +51,11 @@ class Message:
     def from_wire(record: dict[str, Any]) -> "Message":
         """Rebuild a message from :meth:`to_wire` output.
 
-        ``delivery_count`` is not part of the wire dict — the journal
-        tracks deliveries as separate records so a replayed message
-        reflects every delivery that actually happened.
+        ``delivery_count`` is not part of a live send's wire dict — the
+        journal tracks deliveries as separate records so a replayed
+        message reflects every delivery that actually happened — but a
+        compaction snapshot embeds the accumulated count so it survives
+        the acked history being garbage-collected.
         """
         return Message(
             queue=record["queue"],

@@ -8,14 +8,15 @@ actually rely on, implemented from scratch:
 * table inheritance (experiment-type child tables share the parent key),
 * predicate-based queries with hash and ordered secondary indexes,
 * transactions with rollback,
-* a JSON-lines write-ahead log and crash recovery,
+* a segmented, checksummed write-ahead log with online checkpoints
+  and crash recovery,
 * per-operation read/write statistics (the quantity the paper's
   performance evaluation is expressed in).
 
 The public entry point is :class:`~repro.minidb.engine.Database`.
 """
 
-from repro.minidb.engine import Database
+from repro.minidb.engine import CheckpointPolicy, Database
 from repro.minidb.predicates import (
     AND,
     EQ,
@@ -36,6 +37,7 @@ from repro.minidb.stats import DatabaseStats
 from repro.minidb.types import ColumnType
 
 __all__ = [
+    "CheckpointPolicy",
     "Database",
     "DatabaseStats",
     "Column",

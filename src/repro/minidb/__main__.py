@@ -1,0 +1,132 @@
+"""Command-line front end: ``python -m repro.minidb``.
+
+Operational tooling for a minidb WAL directory::
+
+    python -m repro.minidb checkpoint lims.wal        # online checkpoint
+    python -m repro.minidb info lims.wal              # layout + counters
+    python -m repro.minidb verify lims.wal            # recovery dry run
+    python -m repro.minidb verify lims.wal --salvage  # quarantine + keep
+
+``checkpoint`` opens the database (replaying checkpoint + tail), takes
+an online checkpoint, records the action in the ``WFAudit`` table when
+the audit schema is installed (kind ``db.checkpoint``, the same row the
+``/workflow/checkpoint`` servlet produces), and prints the resulting
+layout — including ``db_checkpoint_total``, mirroring the metric name
+scraped from ``/workflow/metrics``.
+
+``verify`` is a recovery dry run: it replays the log and reports the
+recovery accounting (elapsed, records, torn tails).  On corruption it
+prints the structured diagnostic (segment, offset, expected/actual
+checksum) and exits 2; with ``--salvage`` the corrupt suffix is
+quarantined instead and the committed prefix is kept.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.errors import RecoveryError, TransactionError
+from repro.minidb.engine import Database
+
+
+def _dump(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
+def _audit_checkpoint(db: Database, by: str | None, records: int) -> bool:
+    """Write the WFAudit row if the audit schema is installed."""
+    from repro.obs.audit import AUDIT_TABLE
+
+    if not db.has_table(AUDIT_TABLE):
+        return False
+    db.insert(
+        AUDIT_TABLE,
+        {
+            "created": time.time(),
+            "kind": "db.checkpoint",
+            "actor": by,
+            "event": "cli",
+            "detail": json.dumps({"records": records}),
+        },
+    )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.minidb")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="take an online checkpoint and compact the WAL"
+    )
+    checkpoint.add_argument("path", help="WAL base path (e.g. lims.wal)")
+    checkpoint.add_argument(
+        "--by", default=None, help="operator name for the audit trail"
+    )
+
+    info = sub.add_parser("info", help="print the WAL layout and counters")
+    info.add_argument("path")
+
+    verify = sub.add_parser(
+        "verify", help="recovery dry run; non-zero exit on corruption"
+    )
+    verify.add_argument("path")
+    verify.add_argument(
+        "--salvage", action="store_true",
+        help="quarantine a corrupt suffix and keep the committed prefix",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "checkpoint":
+        db = Database(args.path)
+        try:
+            records = db.checkpoint(reason="cli")
+        except TransactionError as error:
+            print(f"checkpoint refused: {error}", file=sys.stderr)
+            db.close()
+            return 1
+        audited = _audit_checkpoint(db, args.by, records)
+        _dump(
+            {
+                "checkpointed": True,
+                "records": records,
+                "db_checkpoint_total": db.checkpoints,
+                "audited": audited,
+                "wal": db.wal_info(),
+            }
+        )
+        db.close()
+        return 0
+
+    if args.command == "info":
+        db = Database(args.path)
+        _dump({"tables": db.tables(), "wal": db.wal_info()})
+        db.close()
+        return 0
+
+    # verify
+    try:
+        db = Database(args.path, salvage=args.salvage)
+    except RecoveryError as error:
+        _dump({"ok": False, "error": str(error), "diagnostic": error.detail()})
+        return 2
+    wal = db.wal_info()
+    _dump(
+        {
+            "ok": True,
+            "recovery": wal.get("last_recovery"),
+            "torn_tails": wal.get("torn_tails"),
+            "salvaged": wal.get("salvaged"),
+            "segments": wal.get("segments"),
+        }
+    )
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,8 +49,56 @@ from repro.minidb.transactions import (
 )
 from repro.minidb.types import coerce, from_wire, to_wire
 from repro.minidb.wal import WriteAheadLog
+from repro.seglog import DEFAULT_SEGMENT_BYTES
 
 _MISSING = object()
+
+#: Rows per ``txn`` record in a checkpoint snapshot — keeps individual
+#: checkpoint frames bounded without changing the replayed state.
+_CHECKPOINT_BATCH_ROWS = 500
+
+
+class CheckpointPolicy:
+    """When the engine should checkpoint on its own.
+
+    ``every_records`` triggers once that many records have accumulated
+    in the WAL tail since the last checkpoint; ``interval_s`` triggers
+    on elapsed time through an injectable clock (so the chaos suite can
+    drive time-based checkpoints without wall time).  Either may be
+    ``None``; a policy with both ``None`` never triggers.  The engine
+    consults the policy after each commit's durability barrier — outside
+    the statement mutex, so an automatic checkpoint delays no writer.
+    """
+
+    def __init__(
+        self,
+        every_records: int | None = None,
+        interval_s: float | None = None,
+        clock: Any = None,
+    ) -> None:
+        self.every_records = every_records
+        self.interval_s = interval_s
+        if clock is None:
+            from repro.resilience.clock import SystemClock
+
+            clock = SystemClock()
+        self.clock = clock
+        self._last_at = self.clock.now()
+
+    def due(self, records_since_checkpoint: int) -> bool:
+        """Whether a checkpoint should run now."""
+        if (
+            self.every_records is not None
+            and records_since_checkpoint >= self.every_records
+        ):
+            return True
+        if self.interval_s is not None:
+            return self.clock.now() - self._last_at >= self.interval_s
+        return False
+
+    def note_checkpoint(self) -> None:
+        """Restart the interval timer (called after any checkpoint)."""
+        self._last_at = self.clock.now()
 
 
 class Database:
@@ -72,6 +120,10 @@ class Database:
         sync_policy: str = "always",
         group_window_s: float = 0.0,
         clock: Any = None,
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        segment_max_records: int | None = None,
+        salvage: bool = False,
+        checkpoint_policy: CheckpointPolicy | None = None,
     ) -> None:
         self._catalog = Catalog()
         self._txn = TransactionManager()
@@ -93,6 +145,20 @@ class Database:
         #: Optional hook ``f(elapsed_ms)`` observing commit durability
         #: latency (append → fsync barrier); never allowed to raise.
         self.on_commit: Callable[[float], None] | None = None
+        #: Optional hook ``f(detail)`` fired after each completed
+        #: checkpoint with ``{"reason", "records", "watermark",
+        #: "elapsed_ms"}``; never allowed to raise (observability wires
+        #: audit records and metrics through it).
+        self.on_checkpoint: Callable[[dict[str, Any]], None] | None = None
+        #: Automatic checkpointing policy (``None`` = manual only).
+        self.checkpoint_policy = checkpoint_policy
+        #: Checkpoints completed through this Database's lifetime.
+        self.checkpoints = 0
+        #: What the last :meth:`_recover` replayed (timings + shape).
+        self.last_recovery: dict[str, Any] = {}
+        #: Serialises checkpoints against each other (writers are *not*
+        #: blocked: the mutex is only held for the brief state capture).
+        self._ckpt_lock = threading.Lock()
         self.sync_policy = sync_policy
         self._wal: WriteAheadLog | None = None
         if wal_path is not None:
@@ -101,6 +167,9 @@ class Database:
                 sync_policy=sync_policy,
                 group_window_s=group_window_s,
                 clock=clock,
+                segment_max_bytes=segment_max_bytes,
+                segment_max_records=segment_max_records,
+                salvage=salvage,
             )
             self._recover()
 
@@ -300,7 +369,7 @@ class Database:
         """
         if self._wal is None:
             return {"enabled": False}
-        return {
+        info: dict[str, object] = {
             "enabled": True,
             "path": str(self._wal.path),
             "appended_records": self._wal.appended,
@@ -311,6 +380,10 @@ class Database:
             "group_syncs": self._wal.group.syncs,
             "group_writes_covered": self._wal.group.writes_covered,
         }
+        info.update(self._wal.info())
+        info["checkpoints"] = self.checkpoints
+        info["last_recovery"] = dict(self.last_recovery)
+        return info
 
     def add_write_listener(self, listener: Callable[[str], None]) -> None:
         """Register ``listener(table_name)``, fired after each row write.
@@ -1072,15 +1145,40 @@ class Database:
                 self.on_commit((time.perf_counter() - t0) * 1000.0)
             except Exception:
                 pass
+        self._maybe_auto_checkpoint()
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Run a policy-triggered checkpoint after a commit is durable.
+
+        Runs outside the statement mutex (we are past the durability
+        barrier) and skips silently when another checkpoint is already
+        in flight — the next commit will re-evaluate the policy.
+        """
+        policy = self.checkpoint_policy
+        if policy is None or self._wal is None or self._recovering:
+            return
+        if not policy.due(self._wal.seg.records_since_checkpoint):
+            return
+        if not self._ckpt_lock.acquire(blocking=False):
+            return
+        try:
+            self._checkpoint_online("policy")
+        except TransactionError:
+            pass  # a transaction is open on this thread; retry later
+        finally:
+            self._ckpt_lock.release()
 
     _recovering = False
 
     def _recover(self) -> None:
-        """Replay the WAL to rebuild state after (re)opening the database."""
+        """Replay checkpoint + tail to rebuild state after (re)opening."""
         assert self._wal is not None
         self._recovering = True
+        t0 = time.perf_counter()
+        replayed = 0
         try:
             for record in self._wal.replay():
+                replayed += 1
                 kind = record["type"]
                 if kind == "create_table":
                     self._catalog.add_table(
@@ -1123,6 +1221,12 @@ class Database:
                     raise RecoveryError(f"unknown WAL record type {kind!r}")
         finally:
             self._recovering = False
+        replay_shape = dict(self._wal.seg.last_replay)
+        self.last_recovery = {
+            "elapsed_ms": (time.perf_counter() - t0) * 1000.0,
+            "records": replayed,
+            **replay_shape,
+        }
         self.stats.reset()
 
     def _replay_op(self, op: dict[str, Any]) -> None:
@@ -1160,75 +1264,125 @@ class Database:
         else:
             raise RecoveryError(f"unknown WAL op {op['op']!r}")
 
-    def checkpoint(self) -> int:
-        """Compact the WAL into a snapshot of the current state.
+    def checkpoint(self, reason: str = "manual") -> int:
+        """Online checkpoint: snapshot state, compact the WAL behind it.
 
-        The log is atomically replaced by: the DDL for every table and
-        index, the autoincrement positions, and one transaction holding
-        every live row.  Replaying the new log reproduces exactly the
-        current database, so recovery time stops growing with history.
-        Returns the number of records in the compacted log.
+        Unlike the original stop-the-world rewrite (ROADMAP item 2),
+        writers are paused only for the brief in-memory capture: the
+        statement mutex is held while the WAL rotates to a fresh segment
+        and the live rows are copied, then released — serialisation,
+        the checkpoint-file fsync, the atomic manifest swap and the
+        compaction of pre-watermark segments all run while appends
+        continue into the new segment.  Recovery afterwards replays the
+        checkpoint plus only the post-watermark tail, so recovery time
+        stops growing with history.  Returns the number of records in
+        the checkpoint snapshot.
         """
-        with self._mutex:
-            # conlint: allow=CC003 -- a checkpoint is deliberately
-            # stop-the-world: the row snapshot and the atomic WAL swap
-            # must not interleave with concurrent appends.  Incremental
-            # checkpointing (ROADMAP item 2) lifts this.
-            return self._checkpoint_locked()
-
-    def _checkpoint_locked(self) -> int:
-        self._forbid_in_transaction("checkpoint")
         if self._wal is None:
             raise TransactionError("checkpoint requires a WAL-backed database")
-        records: list[dict[str, Any]] = []
+        with self._ckpt_lock:
+            return self._checkpoint_online(reason)
+
+    def _checkpoint_online(self, reason: str) -> int:
+        """The checkpoint body; caller holds ``_ckpt_lock``."""
+        assert self._wal is not None
+        t0 = time.perf_counter()
+        with self._mutex:
+            self._forbid_in_transaction("checkpoint")
+            watermark = self._wal.rotate()
+            captured = self._capture_state_locked()
+        count = self._wal.install_checkpoint(
+            self._snapshot_records(captured), watermark
+        )
+        self.checkpoints += 1
+        if self.checkpoint_policy is not None:
+            self.checkpoint_policy.note_checkpoint()
+        if self.on_checkpoint is not None:
+            try:
+                self.on_checkpoint(
+                    {
+                        "reason": reason,
+                        "records": count,
+                        "watermark": watermark,
+                        "elapsed_ms": (time.perf_counter() - t0) * 1000.0,
+                    }
+                )
+            except Exception:
+                pass
+        return count
+
+    def _capture_state_locked(self) -> list[dict[str, Any]]:
+        """Copy the catalog + all rows (cheap dict copies, under mutex)."""
+        captured: list[dict[str, Any]] = []
         for name in self._catalog.table_names():
             entry = self._catalog.entry(name)
-            records.append(
-                {"type": "create_table", "schema": entry.schema.describe()}
+            captured.append(
+                {
+                    "name": name,
+                    "schema": entry.schema.describe(),
+                    "hash_indexes": [
+                        (list(index.columns), index.unique)
+                        for index in entry.hash_indexes.values()
+                    ],
+                    "ordered_indexes": [
+                        ordered.column
+                        for ordered in entry.ordered_indexes.values()
+                    ],
+                    "autoincrement_next": (
+                        entry.autoincrement_next
+                        if entry.schema.autoincrement is not None
+                        else None
+                    ),
+                    "rows": [
+                        self._wire_row(entry, row)
+                        for __, row in entry.heap.scan()
+                    ],
+                }
             )
-            for index in entry.hash_indexes.values():
-                records.append(
-                    {
-                        "type": "create_index",
-                        "table": name,
-                        "columns": list(index.columns),
-                        "unique": index.unique,
-                        "ordered": False,
-                    }
-                )
-            for ordered in entry.ordered_indexes.values():
-                records.append(
-                    {
-                        "type": "create_index",
-                        "table": name,
-                        "columns": [ordered.column],
-                        "unique": False,
-                        "ordered": True,
-                    }
-                )
-            if entry.schema.autoincrement is not None:
-                records.append(
-                    {
-                        "type": "autoincrement",
-                        "table": name,
-                        "next": entry.autoincrement_next,
-                    }
-                )
-        ops: list[dict[str, Any]] = []
-        for name in self._catalog.table_names():
-            entry = self._catalog.entry(name)
-            for __, row in entry.heap.scan():
-                ops.append(
-                    {
-                        "op": "insert",
-                        "table": name,
-                        "row": self._wire_row(entry, row),
-                    }
-                )
-        if ops:
-            records.append({"type": "txn", "ops": ops})
-        self._wal.rewrite(records)
-        return len(records)
+        return captured
+
+    def _snapshot_records(
+        self, captured: list[dict[str, Any]]
+    ) -> Iterator[dict[str, Any]]:
+        """Stream the captured state as replayable WAL records.
+
+        Rows are batched into ``txn`` records of bounded size; replaying
+        the sequence reproduces exactly the captured database.
+        """
+        for table in captured:
+            yield {"type": "create_table", "schema": table["schema"]}
+            for columns, unique in table["hash_indexes"]:
+                yield {
+                    "type": "create_index",
+                    "table": table["name"],
+                    "columns": columns,
+                    "unique": unique,
+                    "ordered": False,
+                }
+            for column in table["ordered_indexes"]:
+                yield {
+                    "type": "create_index",
+                    "table": table["name"],
+                    "columns": [column],
+                    "unique": False,
+                    "ordered": True,
+                }
+            if table["autoincrement_next"] is not None:
+                yield {
+                    "type": "autoincrement",
+                    "table": table["name"],
+                    "next": table["autoincrement_next"],
+                }
+        for table in captured:
+            rows = table["rows"]
+            for start in range(0, len(rows), _CHECKPOINT_BATCH_ROWS):
+                yield {
+                    "type": "txn",
+                    "ops": [
+                        {"op": "insert", "table": table["name"], "row": row}
+                        for row in rows[start : start + _CHECKPOINT_BATCH_ROWS]
+                    ],
+                }
 
     def close(self) -> None:
         """Flush and release the WAL file handle."""

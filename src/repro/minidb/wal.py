@@ -1,11 +1,13 @@
-"""Write-ahead log for minidb.
+"""Write-ahead log for minidb (segmented, checksummed — durability v2).
 
-Each committed transaction (and each DDL statement) is appended to a
-JSON-lines file as one record.  When the record becomes *durable* is
-governed by the sync policy:
+Each committed transaction (and each DDL statement) is appended as one
+checksummed frame to the active segment of a
+:class:`repro.seglog.SegmentedLog`; see that module for the on-disk
+layout (manifest + numbered segments + checkpoint side files).  When the
+record becomes *durable* is governed by the sync policy:
 
 ``always``
-    flush + fsync before :meth:`append` returns — the original
+    flush + fsync before the commit returns — the original
     one-fsync-per-record discipline, and the default.
 ``group``
     :meth:`append` only buffers (write + flush); durability is deferred
@@ -17,11 +19,12 @@ governed by the sync policy:
     flush only, never fsync — for benchmarks and throwaway databases;
     a crash may lose the tail of the log but never corrupts it.
 
-On open, a Database replays the log to rebuild its state — this is also
-how crash recovery is exercised in the tests: kill the Database object,
-reopen the file, and the committed (and only the committed) state
-reappears.  Under every policy the on-disk log is a *prefix* of the
-committed record sequence (plus at most one torn final line).
+On open, a Database replays checkpoint + tail to rebuild its state —
+this is also how crash recovery is exercised in the tests: kill the
+Database object, reopen the path, and the committed (and only the
+committed) state reappears.  Under every policy the on-disk log is a
+*prefix* of the committed record sequence (plus at most one torn final
+line, which replay truncates away).
 
 Record shapes::
 
@@ -31,15 +34,17 @@ Record shapes::
      "unique": false, "ordered": false}
     {"type": "txn", "ops": [{"op": "insert"|"update"|"delete", ...}, ...]}
 
-A torn trailing line (simulated crash mid-append) is tolerated and
-discarded; corruption anywhere else raises :class:`RecoveryError`.
+A torn trailing frame (simulated crash mid-append) is tolerated and
+discarded; a checksum mismatch or framing break anywhere else raises
+:class:`RecoveryError` with structured diagnostics (segment, offset,
+expected/actual CRC) — or, with ``salvage=True``, quarantines the
+corrupt suffix and recovers the committed prefix.  A v1 single-file
+JSON-lines log found at the base path is adopted into segment 1 on open.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import threading
 import time
 from pathlib import Path
 from typing import Any, Iterator
@@ -49,6 +54,7 @@ from typing import TYPE_CHECKING
 from repro.durable import SYNC_POLICIES, GroupCommitter, validate_sync_policy
 from repro.errors import RecoveryError
 from repro.resilience.faults import fire
+from repro.seglog import DEFAULT_SEGMENT_BYTES, SegmentedLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.clock import Clock
@@ -63,7 +69,7 @@ _ALWAYS_SEQ = -1
 
 
 class WriteAheadLog:
-    """Durable JSON-lines log with atomic append semantics."""
+    """Durable segmented log with atomic append semantics."""
 
     def __init__(
         self,
@@ -71,15 +77,24 @@ class WriteAheadLog:
         sync_policy: str = "always",
         group_window_s: float = 0.0,
         clock: "Clock | None" = None,
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        segment_max_records: int | None = None,
+        salvage: bool = False,
     ) -> None:
         validate_sync_policy(sync_policy)
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         self.sync_policy = sync_policy
-        self._handle = None
-        #: Serialises buffered writes (appends may come from many
-        #: threads once the engine releases its mutex before syncing).
-        self._write_lock = threading.Lock()
+        #: The segment/manifest/checkpoint machinery (shared with the
+        #: broker journal).  Also serves as the write serialiser: every
+        #: append runs under its state lock.
+        self.seg = SegmentedLog(
+            self.path,
+            error_cls=RecoveryError,
+            prefix="wal",
+            segment_max_bytes=segment_max_bytes,
+            segment_max_records=segment_max_records,
+            salvage=salvage,
+        )
         #: Shared fsync barrier for ``sync_policy="group"``.
         self.group = GroupCommitter(window_s=group_window_s, clock=clock)
         #: ``always``-mode appends buffered but not yet fsync'd (the
@@ -93,34 +108,32 @@ class WriteAheadLog:
         #: Cumulative wall time spent inside fsync barriers (ms) —
         #: the raw material for commit-stage latency attribution.
         self.fsync_wait_ms = 0.0
-        #: Optional fault-injection plan (``repro.resilience.faults``).
-        self.faults: "FaultPlan | None" = None
+
+    @property
+    def faults(self) -> "FaultPlan | None":
+        """Optional fault-injection plan (``repro.resilience.faults``)."""
+        return self.seg.faults
+
+    @faults.setter
+    def faults(self, plan: "FaultPlan | None") -> None:
+        self.seg.faults = plan
+
+    def tail_path(self) -> Path | None:
+        """The active segment file (tests poke torn/corrupt bytes here)."""
+        return self.seg.tail_path()
 
     # -- replay -------------------------------------------------------------
 
     def replay(self) -> Iterator[dict[str, Any]]:
-        """Yield every intact record currently in the log."""
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for line_number, line in enumerate(lines):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = json.loads(stripped)
-            except json.JSONDecodeError:
-                if line_number == len(lines) - 1:
-                    # Torn final write from a crash: ignore, the
-                    # transaction never committed.
-                    return
-                raise RecoveryError(
-                    f"corrupt WAL record at {self.path}:{line_number + 1}"
-                ) from None
+        """Yield every intact record: checkpoint frames, then the tail.
+
+        Streams frame-by-frame — O(1) memory however long the history
+        (pinned by ``tests/minidb/test_segmented_wal.py``).
+        """
+        for record in self.seg.replay():
             if not isinstance(record, dict) or "type" not in record:
                 raise RecoveryError(
-                    f"malformed WAL record at {self.path}:{line_number + 1}"
+                    f"malformed WAL record in {self.path} (not a typed dict)"
                 )
             yield record
 
@@ -142,43 +155,34 @@ class WriteAheadLog:
 
         Fault point ``wal.append`` (context: ``record_type``): ``crash``
         dies before anything hits the file — the transaction never
-        committed; ``corrupt`` leaves a torn half-line and then dies,
+        committed; ``corrupt`` leaves a torn half-frame and then dies,
         exactly the state a power cut mid-``write`` produces (replay
         discards it when final, refuses the log otherwise).  Fault point
         ``wal.fsync``: ``crash`` dies after the write but before the
         fsync returned — the record may or may not survive; replay
         treats whatever is on disk as the truth.  In ``group`` mode the
         point fires in the barrier leader, inside :meth:`sync`.
+        Rotation (fault point ``wal.rotate``) happens inside the append
+        when the active segment crosses its threshold.
         """
-        with self._write_lock:
-            action = fire(
-                self.faults, "wal.append", record_type=record.get("type")
+        action = fire(
+            self.faults, "wal.append", record_type=record.get("type")
+        )
+        if action == "drop":
+            # A lying disk: the caller believes the record is durable.
+            return None
+        if action == "corrupt":
+            self.seg.write_torn(record)
+            raise RecoveryError(
+                f"injected torn write at {self.path} "
+                f"(record type {record.get('type')!r})"
             )
-            if action == "drop":
-                # A lying disk: the caller believes the record is durable.
-                return None
-            if self._handle is None:
-                self._handle = self.path.open("a", encoding="utf-8")
-            line = json.dumps(record, separators=(",", ":"))
-            if action == "corrupt":
-                self._handle.write(line[: max(1, len(line) // 2)])
-                self._handle.flush()
-                # conlint: allow=CC003 -- torn-write injection must hit
-                # the disk before the simulated death, or replay would
-                # never see the half-line this fault exists to produce.
-                os.fsync(self._handle.fileno())
-                raise RecoveryError(
-                    f"injected torn write at {self.path} "
-                    f"(record type {record.get('type')!r})"
-                )
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            self.appended += 1
-            if self.sync_policy == "group":
-                return self.group.note_write()
-            if self.sync_policy == "always":
-                self._always_pending += 1
+        self.seg.write_frame(record)
+        self.appended += 1
+        if self.sync_policy == "group":
+            return self.group.note_write()
         if self.sync_policy == "always":
+            self._always_pending += 1
             # The fault still fires in the appending thread, with the
             # record type in context, exactly where the fsync used to
             # run — a "crash" here leaves the record buffered but not
@@ -207,23 +211,22 @@ class WriteAheadLog:
 
     def _always_fsync(self) -> None:
         """One per-record fsync (``always`` policy), outside all locks."""
-        with self._write_lock:
-            handle = self._handle
-            self._always_pending = 0
-        if handle is None:
-            return
+        self._always_pending = 0
         t0 = time.perf_counter()
-        os.fsync(handle.fileno())
+        self.seg.fsync_active()
         self.fsync_wait_ms += (time.perf_counter() - t0) * 1000.0
         self.fsyncs += 1
 
     def _sync_barrier(self) -> None:
-        """One fsync covering every buffered append (leader only)."""
+        """One fsync covering every buffered append (leader only).
+
+        Safe across a rotation: the retiring segment was fsync'd before
+        the handle switched, so fsyncing whatever handle is active now
+        covers every record written so far.
+        """
         fire(self.faults, "wal.fsync", record_type="group")
-        handle = self._handle
         t0 = time.perf_counter()
-        if handle is not None:
-            os.fsync(handle.fileno())
+        self.seg.fsync_active()
         self.fsync_wait_ms += (time.perf_counter() - t0) * 1000.0
         self.fsyncs += 1
 
@@ -238,48 +241,50 @@ class WriteAheadLog:
         if self.group.pending() > 0:
             self.group.wait_durable(self.group.latest(), self._sync_barrier)
 
+    # -- rotation / checkpoint ----------------------------------------------
+
+    def rotate(self) -> int:
+        """Seal the active segment; returns the checkpoint watermark."""
+        return self.seg.rotate()
+
+    def install_checkpoint(
+        self, records: Iterator[dict[str, Any]] | list, watermark: int
+    ) -> int:
+        """Publish ``records`` as the checkpoint at ``watermark``.
+
+        Segments at or below the watermark are compacted away; recovery
+        becomes checkpoint + tail replay.  Fault points:
+        ``checkpoint.write`` (before the side file is written),
+        ``checkpoint.swap`` (after the side file is durable, before the
+        manifest publishes it), ``wal.compact`` (before old segments are
+        unlinked) — a crash at any of them recovers to exactly the old
+        or the new organisation of the same committed state.
+        """
+        return self.seg.install_checkpoint(
+            records,
+            watermark,
+            write_point="checkpoint.write",
+            swap_point="checkpoint.swap",
+            gc_point="wal.compact",
+        )
+
     def size_bytes(self) -> int:
         """Current on-disk size of the log (0 when it does not exist)."""
-        try:
-            return self.path.stat().st_size
-        except OSError:
-            return 0
+        return self.seg.size_bytes()
+
+    def info(self) -> dict[str, Any]:
+        """Segment-level layout and counters (manifest, rotation, GC)."""
+        return self.seg.info()
 
     def close(self) -> None:
-        """Release the file handle (reopened lazily on next append).
+        """Release file handles (reopened lazily on next append).
 
         Any still-buffered appends (a group-mode batch, or an
         ``always``-mode record whose deferred fsync was never claimed)
         are fsync'd first — a clean close never loses acknowledged work.
         """
         try:
-            if self._handle is not None:
+            if self.seg.handle is not None:
                 self.flush_pending()
         finally:
-            with self._write_lock:
-                if self._handle is not None:
-                    self._handle.close()
-                    self._handle = None
-
-    def truncate(self) -> None:
-        """Erase the log (used after a checkpoint rewrite)."""
-        self.close()
-        if self.path.exists():
-            self.path.unlink()
-
-    def rewrite(self, records: Iterator[dict[str, Any]] | list) -> None:
-        """Atomically replace the log with a fresh record sequence.
-
-        Used by checkpointing: the new log is written to a side file,
-        fsync'd, then swapped in with ``os.replace`` so a crash during
-        the rewrite leaves either the old or the new log intact — never
-        a torn mixture.
-        """
-        self.close()
-        side_path = self.path.with_suffix(self.path.suffix + ".ckpt")
-        with side_path.open("w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(side_path, self.path)
+            self.seg.close()

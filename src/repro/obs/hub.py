@@ -351,6 +351,22 @@ class ObservabilityHub:
                 self.registry.counter(
                     "db_wal_fsyncs_total", help="WAL fsync barriers"
                 ).set(wal["fsyncs"])
+                self.registry.counter(
+                    "db_checkpoint_total", help="Online checkpoints taken"
+                ).set(wal.get("checkpoints", 0))
+                self.registry.counter(
+                    "db_wal_rotations_total", help="WAL segment rotations"
+                ).set(wal.get("rotations", 0))
+                self.registry.gauge(
+                    "db_wal_segments", help="Live WAL segment files"
+                ).set(wal.get("segments", 0))
+                self.registry.gauge(
+                    "db_wal_size_bytes", help="On-disk WAL size"
+                ).set(wal.get("size_bytes", 0))
+                self.registry.gauge(
+                    "db_wal_records_since_checkpoint",
+                    help="Tail records a crash would replay",
+                ).set(wal.get("records_since_checkpoint", 0))
             for table, count in stats.per_table_reads.items():
                 self.registry.counter(
                     "db_table_reads_total",
@@ -395,6 +411,22 @@ class ObservabilityHub:
                     )
 
             db.on_commit = on_commit
+
+        if getattr(db, "on_checkpoint", None) is None:
+
+            def on_checkpoint(info: dict[str, Any]) -> None:
+                # Fires for every checkpoint — operator POST, CLI, and
+                # the engine's automatic policy alike — so the audit
+                # trail is the one complete record of compactions.
+                self.audit_record(
+                    "db.checkpoint",
+                    event=info.get("reason"),
+                    records=info.get("records"),
+                    watermark=info.get("watermark"),
+                    elapsed_ms=info.get("elapsed_ms"),
+                )
+
+            db.on_checkpoint = on_checkpoint
 
         def health() -> dict[str, Any]:
             info: dict[str, Any] = {
@@ -843,6 +875,7 @@ def install_observability(
         hub.install_audit(engine)
     if expdb is not None:
         from repro.weblims.auditservlet import AuditServlet
+        from repro.weblims.checkpointservlet import CheckpointServlet
         from repro.weblims.dlqservlet import DeadLetterServlet
         from repro.weblims.healthservlet import HealthServlet
         from repro.weblims.lintservlet import LintServlet
@@ -869,6 +902,10 @@ def install_observability(
             descriptor.add_servlet(LintServlet(expdb.db), "/workflow/lint")
         if "ProfileServlet" not in names:
             descriptor.add_servlet(ProfileServlet(hub), "/workflow/profile")
+        if "CheckpointServlet" not in names:
+            descriptor.add_servlet(
+                CheckpointServlet(expdb.db, hub), "/workflow/checkpoint"
+            )
         if broker is not None and "DeadLetterServlet" not in names:
             descriptor.add_servlet(
                 DeadLetterServlet(broker, hub), "/workflow/dlq"

@@ -22,6 +22,11 @@ from repro.resilience.faults import FaultPlan, FaultRule, fire, mangle
 from repro.resilience.leases import Lease, LeaseTable
 from repro.resilience.retry import NO_RETRY, RetryPolicy
 
+# NOTE: the crash-point torture harness lives in
+# ``repro.resilience.torture`` and is imported directly (not re-exported
+# here) — it depends on minidb and messaging, which themselves import
+# this package for clocks and fault points.
+
 __all__ = [
     "CLOSED",
     "HALF_OPEN",

@@ -1,0 +1,76 @@
+"""Command-line front end: ``python -m repro.resilience``.
+
+Subcommands::
+
+    python -m repro.resilience torture               # full crash sweep
+    python -m repro.resilience torture --stride 3    # strided truncation
+
+``torture`` runs the durability crash-point and truncation sweeps of
+:mod:`repro.resilience.torture` in a scratch directory, prints a JSON
+report, and exits non-zero when any scenario's recovery violated the
+committed-prefix invariants — the CI gate for durability v2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.resilience.torture import run_torture
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.resilience")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    torture = sub.add_parser(
+        "torture", help="crash-point and truncation sweep of the WAL/journal"
+    )
+    torture.add_argument("--seed", type=int, default=7)
+    torture.add_argument(
+        "--db-ops", type=int, default=40,
+        help="operations in the database workload tape",
+    )
+    torture.add_argument(
+        "--journal-ops", type=int, default=60,
+        help="operations in the broker workload tape",
+    )
+    torture.add_argument(
+        "--stride", type=int, default=1,
+        help="byte stride for the truncation sweeps (1 = every offset)",
+    )
+    torture.add_argument(
+        "--scratch", default=None,
+        help="directory for scenario stores (default: a temp dir)",
+    )
+    torture.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the report to this path",
+    )
+
+    args = parser.parse_args(argv)
+    if args.scratch is not None:
+        root = Path(args.scratch)
+        root.mkdir(parents=True, exist_ok=True)
+        report = run_torture(
+            root, seed=args.seed, db_ops=args.db_ops,
+            journal_ops=args.journal_ops, stride=args.stride,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="torture-") as scratch:
+            report = run_torture(
+                Path(scratch), seed=args.seed, db_ops=args.db_ops,
+                journal_ops=args.journal_ops, stride=args.stride,
+            )
+    payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    print(payload)
+    if args.json_path:
+        Path(args.json_path).write_text(payload + "\n", encoding="utf-8")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

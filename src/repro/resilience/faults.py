@@ -6,21 +6,39 @@ the agent manager and the template agent — each hold an optional
 ``faults`` attribute (``None`` in production, costing one attribute read
 per operation) and call :func:`fire` at their injection points:
 
-==================  =====================================================
-point               where it sits
-==================  =====================================================
-``wal.append``      before a minidb WAL record is written
-``wal.fsync``       after the WAL record is durable, before returning
-``journal.append``  before a broker-journal record is written
-``journal.replay``  at the start of a broker-journal replay
-``broker.publish``  inside ``MessageBroker.send``, before enqueue
-``broker.deliver``  inside ``MessageBroker.receive``, before handing out
-``broker.ack``      inside ``MessageBroker.ack``, before removal
-``agent.dispatch``  inside ``AgentManager.dispatch_instance``
-``manager.ack``     inside ``AgentManager.pump``, before acknowledging
-``agent.step``      inside ``TemplateAgent.step``, before handling
-``agent.ack``       inside ``TemplateAgent.step``, before acknowledging
-==================  =====================================================
+=========================  ==============================================
+point                      where it sits
+=========================  ==============================================
+``wal.append``             before a minidb WAL record is written
+``wal.fsync``              after the WAL record is durable, before
+                           returning
+``wal.rotate``             before the active WAL segment is sealed
+``wal.manifest.swap``      after the WAL manifest tmp file is durable,
+                           before it replaces the live manifest
+``checkpoint.write``       before the checkpoint side file is written
+``checkpoint.swap``        after the side file is durable, before the
+                           manifest publishes it
+``wal.compact``            before superseded WAL segments are unlinked
+``journal.append``         before a broker-journal record is written
+``journal.replay``         at the start of a broker-journal replay
+``journal.rotate``         before the active journal segment is sealed
+``journal.manifest.swap``  like ``wal.manifest.swap``, for the journal
+``journal.compact``        before the journal compaction snapshot is
+                           written
+``journal.compact.swap``   before the manifest publishes the snapshot
+``journal.compact.gc``     before fully-acked journal segments are
+                           unlinked
+``broker.publish``         inside ``MessageBroker.send``, before enqueue
+``broker.deliver``         inside ``MessageBroker.receive``, before
+                           handing out
+``broker.ack``             inside ``MessageBroker.ack``, before removal
+``agent.dispatch``         inside ``AgentManager.dispatch_instance``
+``manager.ack``            inside ``AgentManager.pump``, before
+                           acknowledging
+``agent.step``             inside ``TemplateAgent.step``, before handling
+``agent.ack``              inside ``TemplateAgent.step``, before
+                           acknowledging
+=========================  ==============================================
 
 Actions: ``crash`` raises :class:`~repro.errors.FaultInjected` at the
 point (the caller's process "dies" there); ``delay`` advances/sleeps the

@@ -440,11 +440,13 @@ class TestTreeStaysClean:
     def test_analysis_resolves_the_known_lock_hierarchy(self):
         analysis = analyze_paths([SRC_REPRO], root=SRC_REPRO.parent)
 
-        def tail(name):  # "repro.minidb.wal.WriteAheadLog._write_lock"
+        def tail(name):  # "repro.seglog.SegmentedLog._state_lock"
             return ".".join(name.rsplit(".", 2)[-2:])
 
         edges = {(tail(held), tail(acq)) for held, acq in analysis.edges}
         # The bean lock sits above the database mutex, which sits above
-        # the WAL write lock — the documented hierarchy of DESIGN §14.
+        # the segmented-log state lock — the documented hierarchy of
+        # DESIGN §14/§15.
         assert ("WorkflowBean._lock", "Database._mutex") in edges
-        assert ("Database._mutex", "WriteAheadLog._write_lock") in edges
+        assert ("Database._mutex", "SegmentedLog._state_lock") in edges
+        assert ("BrokerJournal._write_lock", "SegmentedLog._state_lock") in edges

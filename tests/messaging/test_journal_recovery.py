@@ -13,6 +13,13 @@ def journal(tmp_path):
     return tmp_path / "broker.journal"
 
 
+def tail_segment(journal):
+    """The active (highest-numbered) segment file of a closed journal."""
+    segments = sorted(journal.parent.glob(journal.name + ".*.seg"))
+    assert segments, f"no segment files next to {journal}"
+    return segments[-1]
+
+
 class TestPersistence:
     def test_unconsumed_messages_survive_restart(self, journal):
         broker = MessageBroker(journal)
@@ -83,8 +90,8 @@ class TestPersistence:
         broker.declare_queue("q")
         broker.send("q", "whole")
         broker.close()
-        with open(journal, "a", encoding="utf-8") as handle:
-            handle.write('{"type": "send", "mess')
+        with open(tail_segment(journal), "a", encoding="utf-8") as handle:
+            handle.write('deadbeef 9 {"type": "send", "mess')
 
         reopened = MessageBroker(journal)
         assert reopened.queue_depth("q") == 1
@@ -94,13 +101,17 @@ class TestPersistence:
         broker.declare_queue("q")
         broker.send("q", "x")
         broker.close()
-        lines = journal.read_text().splitlines()
+        segment = tail_segment(journal)
+        lines = segment.read_text().splitlines()
         lines.insert(0, "not-json")
-        journal.write_text("\n".join(lines) + "\n")
-        with pytest.raises(JournalError):
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError) as excinfo:
             MessageBroker(journal)
+        assert excinfo.value.detail()["segment"] == 1
 
     def test_unknown_record_type_raises(self, journal):
+        # A v1 single-file journal is adopted on open; replay then
+        # rejects the unknown record type.
         journal.write_text('{"type": "mystery"}\n')
         with pytest.raises(JournalError):
             MessageBroker(journal)

@@ -26,6 +26,13 @@ def wal_path(tmp_path):
     return tmp_path / "test.wal"
 
 
+def tail_segment(wal_path):
+    """The active (highest-numbered) segment file of a closed log."""
+    segments = sorted(wal_path.parent.glob(wal_path.name + ".*.seg"))
+    assert segments, f"no segment files next to {wal_path}"
+    return segments[-1]
+
+
 class TestRecovery:
     def test_committed_rows_survive_reopen(self, wal_path):
         db = Database(wal_path)
@@ -113,8 +120,8 @@ class TestRecovery:
         db.create_table(person_schema())
         db.insert("Person", {"name": "whole"})
         db.close()
-        with open(wal_path, "a", encoding="utf-8") as handle:
-            handle.write('{"type": "txn", "ops": [{"op": "ins')  # torn write
+        with open(tail_segment(wal_path), "a", encoding="utf-8") as handle:
+            handle.write('deadbeef 9 {"type": "txn", "ops": [{"op": "ins')
 
         reopened = Database(wal_path)
         assert [row["name"] for row in reopened.select("Person")] == ["whole"]
@@ -124,12 +131,17 @@ class TestRecovery:
         db.create_table(person_schema())
         db.insert("Person", {"name": "a"})
         db.close()
-        lines = wal_path.read_text().splitlines()
+        segment = tail_segment(wal_path)
+        lines = segment.read_text().splitlines()
+        assert len(lines) >= 2
         lines.insert(1, "garbage{{{")
-        wal_path.write_text("\n".join(lines) + "\n")
+        segment.write_text("\n".join(lines) + "\n")
 
-        with pytest.raises(RecoveryError):
+        with pytest.raises(RecoveryError) as excinfo:
             Database(wal_path)
+        detail = excinfo.value.detail()
+        assert detail["segment"] == 1
+        assert detail["offset"] is not None
 
     def test_stats_reset_after_recovery(self, wal_path):
         db = Database(wal_path)

@@ -213,6 +213,43 @@ class TestDuplicateDelivery:
         clean_timeline(lab, workflow_id)
 
 
+class TestCheckpointUnderLoad:
+    def test_checkpoint_crash_under_load_recovers_cleanly(self, tmp_path):
+        """Seed 8: an online checkpoint dies mid-write while a workflow
+        is in flight; the live system absorbs the failure, a later
+        checkpoint succeeds under the same load, and a cold restart
+        from the compacted WAL sees the completed workflow."""
+        from repro.minidb import Database
+
+        lab, __ = chaos_lab(tmp_path, seed=8)
+        plan = FaultPlan(seed=8).rule("checkpoint.write", "crash", times=1)
+        lab.attach_faults(plan)
+        workflow = lab.engine.start_workflow("protein_creation")
+        workflow_id = workflow["workflow_id"]
+        lab.run_messages()  # mid-flight: tasks dispatched, results pending
+
+        with pytest.raises(FaultInjected):
+            lab.app.db.checkpoint()
+        assert plan.fired_points() == ["checkpoint.write"]
+
+        # The disk "comes back": the same process checkpoints under
+        # load and drives the workflow to completion.
+        lab.attach_faults(None)
+        assert lab.app.db.checkpoint() > 0
+        assert lab.run_to_completion(workflow_id) == "completed"
+        assert lab.app.db.checkpoint() > 0
+        assert lab.app.db.checkpoints == 2
+        clean_timeline(lab, workflow_id)
+
+        # Cold restart: recovery is checkpoint + tail, same state.
+        lab.app.db.close()
+        reopened = Database(tmp_path / "chaos.wal")
+        assert reopened.get("Workflow", workflow_id)["status"] == "completed"
+        recovery = reopened.wal_info()["last_recovery"]
+        assert recovery["checkpoint_records"] > 0
+        reopened.close()
+
+
 class TestDeterminism:
     def test_same_plan_same_outcome(self):
         """The same seed and plan replay the same faults and reach the
