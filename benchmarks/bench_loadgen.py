@@ -9,6 +9,15 @@ Two experiments, both reported to ``BENCH_perf.json``:
     throughput — the whole point of sharing fsync barriers — and the
     per-policy fsync counts make the mechanism visible.
 
+``snapshot_reads``
+    Read-heavy mixed load against the MVCC read path: reader threads
+    run point gets and indexed selects against a seeded table, first on
+    an idle database, then again while writer threads sustain
+    group-committed inserts.  Reads pin a committed snapshot and never
+    take the statement mutex, so read p95 under write load must stay
+    within 10 % of idle on full runs — the regression signal for any
+    change that puts readers back behind the group-commit fsync window.
+
 ``closed_loop``
     >= 8 concurrent clients drive start_workflow-shaped requests through
     the full filter -> engine -> broker -> agent path of the protein lab
@@ -53,7 +62,7 @@ import threading
 import time
 from pathlib import Path
 
-from repro.minidb import Column, ColumnType, Database, TableSchema
+from repro.minidb import EQ, Column, ColumnType, Database, TableSchema
 from repro.workloads.protein import build_protein_lab
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_perf.json"
@@ -64,6 +73,15 @@ MODES = {
     "small": (24, 25, 8, 2),
     "full": (24, 200, 10, 6),
 }
+
+SNAPSHOT_MODES = {
+    # (seed rows, reader threads, reads/reader, writer threads)
+    "small": (500, 4, 400, 4),
+    "full": (2000, 4, 4000, 8),
+}
+
+#: Full-run ceiling for read p95 under write load relative to idle.
+SNAPSHOT_P95_RATIO_LIMIT = 1.10
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -154,7 +172,143 @@ def bench_insert_throughput(
 
 
 # ----------------------------------------------------------------------
-# Experiment 2: closed-loop start_workflow load through the full stack
+# Experiment 2: snapshot reads idle vs under sustained write load
+# ----------------------------------------------------------------------
+
+
+def sample_schema() -> TableSchema:
+    return TableSchema(
+        name="Sample",
+        columns=[
+            Column("sample_id", ColumnType.INTEGER, nullable=False),
+            Column("bucket", ColumnType.INTEGER, nullable=False),
+            Column("payload", ColumnType.TEXT, nullable=False),
+        ],
+        primary_key=("sample_id",),
+        autoincrement="sample_id",
+    )
+
+
+def run_read_phase(
+    db: Database, seed_rows: int, readers: int, reads_per_reader: int
+) -> dict:
+    """Time ``readers`` threads doing point gets + indexed selects."""
+    latencies_ms: list[float] = []
+    collect = threading.Lock()
+    barrier = threading.Barrier(readers + 1)
+
+    def reader(reader_id: int) -> None:
+        barrier.wait()
+        local: list[float] = []
+        for i in range(reads_per_reader):
+            t0 = time.perf_counter()
+            if i % 4 == 3:
+                db.select("Sample", EQ("bucket", (reader_id + i) % 16))
+            else:
+                db.get("Sample", (reader_id * 7919 + i) % seed_rows + 1)
+            local.append((time.perf_counter() - t0) * 1000.0)
+        with collect:
+            latencies_ms.extend(local)
+
+    pool = [threading.Thread(target=reader, args=(n,)) for n in range(readers)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    total = readers * reads_per_reader
+    return {
+        "reads": total,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_per_s": round(total / elapsed, 1),
+        "latency_ms": {
+            "p50": round(percentile(latencies_ms, 0.50), 4),
+            "p95": round(percentile(latencies_ms, 0.95), 4),
+            "p99": round(percentile(latencies_ms, 0.99), 4),
+        },
+    }
+
+
+def bench_snapshot_reads(
+    seed_rows: int, readers: int, reads_per_reader: int, writer_threads: int
+) -> dict:
+    """Read p95 on an idle database vs under group-committed writes.
+
+    The loaded phase keeps ``writer_threads`` inserting through the
+    group-commit path for the whole read window; with the lock-free
+    snapshot read path the readers never queue behind those writers'
+    fsync barriers, so the p95 ratio stays near 1.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        db = Database(
+            Path(tmp) / "snapshot.wal",
+            sync_policy="group",
+            group_window_s=0.0005,
+        )
+        db.create_table(sample_schema())
+        db.create_index("Sample", ["bucket"])
+        with db.transaction():
+            for i in range(seed_rows):
+                db.insert(
+                    "Sample", {"bucket": i % 16, "payload": f"seed-{i}"}
+                )
+
+        idle = run_read_phase(db, seed_rows, readers, reads_per_reader)
+
+        stop = threading.Event()
+        writes = [0] * writer_threads
+
+        def writer(writer_id: int) -> None:
+            n = 0
+            while not stop.is_set():
+                db.insert(
+                    "Sample",
+                    {"bucket": n % 16, "payload": f"w{writer_id}-{n}"},
+                )
+                n += 1
+            writes[writer_id] = n
+
+        pool = [
+            threading.Thread(target=writer, args=(n,))
+            for n in range(writer_threads)
+        ]
+        for thread in pool:
+            thread.start()
+        started = time.perf_counter()
+        loaded = run_read_phase(db, seed_rows, readers, reads_per_reader)
+        stop.set()
+        for thread in pool:
+            thread.join()
+        write_elapsed = time.perf_counter() - started
+        mvcc = db.mvcc_info()
+        db.close()
+    ratio = (
+        loaded["latency_ms"]["p95"] / idle["latency_ms"]["p95"]
+        if idle["latency_ms"]["p95"]
+        else 0.0
+    )
+    return {
+        "seed_rows": seed_rows,
+        "readers": readers,
+        "writer_threads": writer_threads,
+        "idle": idle,
+        "under_write_load": loaded,
+        "read_p95_ratio": round(ratio, 3),
+        "concurrent_writes": sum(writes),
+        "write_throughput_per_s": round(sum(writes) / write_elapsed, 1),
+        "mvcc": {
+            "snapshot_reads": mvcc["snapshot_reads"],
+            "versions_published": mvcc["versions_published"],
+            "gc_pending": mvcc["gc_pending"],
+            "gc_reclaims": mvcc["gc_reclaims"],
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Experiment 3: closed-loop start_workflow load through the full stack
 # ----------------------------------------------------------------------
 
 
@@ -383,6 +537,16 @@ def check_regression(baseline: dict | None, fresh: dict, mode: str) -> list[str]
             fresh["closed_loop"]["after"]["throughput_per_s"],
         ),
     ]
+    if "snapshot_reads" in old:
+        pairs.append(
+            (
+                "snapshot read throughput (under write load)",
+                old["snapshot_reads"]["under_write_load"]["throughput_per_s"],
+                fresh["snapshot_reads"]["under_write_load"][
+                    "throughput_per_s"
+                ],
+            )
+        )
     # The profiled pass is deliberately not held to a floor of its own:
     # its overhead is reported (overhead_vs_caches_on_pct) and its
     # attribution invariant gates the run, but closed-loop variance on
@@ -440,6 +604,38 @@ def main(argv: list[str] | None = None) -> int:
         )
     speedup = insert_results["group_vs_always_speedup"]
     print(f"  group vs always: {speedup:.2f}x")
+
+    seed_rows, readers, reads_per_reader, writer_threads = SNAPSHOT_MODES[mode]
+    print(
+        f"== snapshot reads ({readers} readers vs {writer_threads} "
+        f"group-commit writers, {mode} mode) =="
+    )
+    snapshot_results = bench_snapshot_reads(
+        seed_rows, readers, reads_per_reader, writer_threads
+    )
+    for label in ("idle", "under_write_load"):
+        row = snapshot_results[label]
+        print(
+            f"  {label:>16}: {row['throughput_per_s']:>9.1f} reads/s, "
+            f"p50 {row['latency_ms']['p50']:.4f} ms, "
+            f"p95 {row['latency_ms']['p95']:.4f} ms"
+        )
+    read_ratio = snapshot_results["read_p95_ratio"]
+    print(
+        f"  read p95 loaded/idle: {read_ratio:.3f} "
+        f"(concurrent writers sustained "
+        f"{snapshot_results['write_throughput_per_s']:.1f} inserts/s)"
+    )
+    # The 10% ceiling is asserted on full runs only; small CI runs are
+    # too short for stable tail ratios and gate on the baseline
+    # comparison instead.
+    snapshot_ok = read_ratio <= SNAPSHOT_P95_RATIO_LIMIT or mode != "full"
+    if read_ratio > SNAPSHOT_P95_RATIO_LIMIT:
+        print(
+            f"  read p95 ratio {read_ratio:.3f} exceeds "
+            f"{SNAPSHOT_P95_RATIO_LIMIT:.2f} ceiling"
+            + ("" if mode == "full" else " (not gated in small mode)")
+        )
 
     print(f"== closed loop ({clients} clients, start_workflow) ==")
     loop_results = bench_closed_loop(clients, requests_per_client)
@@ -553,6 +749,7 @@ def main(argv: list[str] | None = None) -> int:
 
     fresh = {
         "insert_throughput": insert_results,
+        "snapshot_reads": snapshot_results,
         "closed_loop": loop_results,
         "profiling": profiling_results,
         "watch": watch_results,
@@ -583,6 +780,9 @@ def main(argv: list[str] | None = None) -> int:
             return 1
     if failed:
         print(f"FAIL: throughput regressed >20% on: {', '.join(failed)}")
+        return 1
+    if not snapshot_ok:
+        print("FAIL: snapshot read p95 degrades >10% under write load")
         return 1
     if not attribution_ok:
         print("FAIL: stage attribution does not add up to measured latency")

@@ -116,6 +116,7 @@ RUNTIME_LOCK_NAMES = {
     "repro.messaging.broker.MessageBroker._lock": "broker.registry",
     "repro.messaging.broker._QueueState.cond": "broker.queue.*",
     "repro.minidb.engine.Database._mutex": "minidb.mutex",
+    "repro.minidb.mvcc.SnapshotManager._lock": "minidb.version",
 }
 
 _DIRECTIVE_RE = re.compile(r"#\s*conlint:\s*(?P<body>[^#]*?)\s*$")

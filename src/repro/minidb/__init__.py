@@ -16,7 +16,7 @@ actually rely on, implemented from scratch:
 The public entry point is :class:`~repro.minidb.engine.Database`.
 """
 
-from repro.minidb.engine import CheckpointPolicy, Database
+from repro.minidb.engine import CheckpointPolicy, Database, Snapshot
 from repro.minidb.predicates import (
     AND,
     EQ,
@@ -40,6 +40,7 @@ __all__ = [
     "CheckpointPolicy",
     "Database",
     "DatabaseStats",
+    "Snapshot",
     "Column",
     "ColumnType",
     "ForeignKey",

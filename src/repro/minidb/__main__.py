@@ -104,7 +104,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "info":
         db = Database(args.path)
-        _dump({"tables": db.tables(), "wal": db.wal_info()})
+        _dump(
+            {
+                "tables": db.tables(),
+                "wal": db.wal_info(),
+                "mvcc": db.mvcc_info(),
+            }
+        )
         db.close()
         return 0
 

@@ -17,7 +17,14 @@ from repro.minidb.table import Heap
 
 @dataclass
 class TableEntry:
-    """Everything the engine keeps for one table."""
+    """Everything the engine keeps for one table.
+
+    ``schema`` is always the *latest* schema (what writers validate
+    against); ``schema_versions`` records every schema the table has had
+    as ``(first version it applies from, schema)`` pairs, so a reader
+    pinned before an ``add_column`` validates and projects against the
+    schema its snapshot was taken under.
+    """
 
     schema: TableSchema
     heap: Heap = field(default_factory=Heap)
@@ -29,6 +36,16 @@ class TableEntry:
     def __post_init__(self) -> None:
         if self.pk_index is None:
             self.pk_index = HashIndex(self.schema.primary_key, unique=True)
+        self.schema_versions: list[tuple[int, TableSchema]] = [(0, self.schema)]
+
+    def schema_at(self, version: int) -> TableSchema:
+        """The schema in effect for a reader pinned at ``version``."""
+        schema = self.schema_versions[0][1]
+        for min_version, candidate in self.schema_versions:
+            if min_version > version:
+                break
+            schema = candidate
+        return schema
 
 
 class Catalog:

@@ -2,8 +2,9 @@
 
 :class:`Database` is the single public entry point.  It glues together the
 catalog (schemas, heaps, indexes), the transaction manager (atomicity),
-the write-ahead log (durability) and the statistics collector (the
-read/write accounting the paper's evaluation is phrased in).
+the MVCC snapshot manager (read isolation), the write-ahead log
+(durability) and the statistics collector (the read/write accounting the
+paper's evaluation is phrased in).
 
 Usage::
 
@@ -16,6 +17,8 @@ Usage::
     with db.transaction():
         db.update(...)
         db.delete(...)
+    with db.snapshot() as snap:          # repeatable reads, no mutex
+        snap.select("Experiment")
 """
 
 from __future__ import annotations
@@ -37,10 +40,12 @@ from repro.errors import (
 )
 from repro.minidb.catalog import Catalog, TableEntry
 from repro.minidb.index import HashIndex, OrderedIndex
+from repro.minidb.mvcc import SnapshotManager, visible_row
 from repro.minidb.predicates import GE, GT, IN, LE, LT, Predicate
 from repro.minidb.schema import TableSchema
 from repro.minidb.stats import DatabaseStats
 from repro.minidb.transactions import (
+    Transaction,
     TransactionManager,
     UndoDelete,
     UndoEntry,
@@ -56,6 +61,20 @@ _MISSING = object()
 #: Rows per ``txn`` record in a checkpoint snapshot — keeps individual
 #: checkpoint frames bounded without changing the replayed state.
 _CHECKPOINT_BATCH_ROWS = 500
+
+
+class _ReadView:
+    """Visibility context for one read: a pinned committed version, the
+    catalog epoch it was pinned under, and (for threads participating in
+    the open transaction) the transaction whose uncommitted writes
+    overlay the snapshot."""
+
+    __slots__ = ("version", "epoch", "token")
+
+    def __init__(self, version: int, epoch: int, token: Transaction | None):
+        self.version = version
+        self.epoch = epoch
+        self.token = token
 
 
 class CheckpointPolicy:
@@ -101,17 +120,78 @@ class CheckpointPolicy:
         self._last_at = self.clock.now()
 
 
+class Snapshot:
+    """A pinned committed snapshot: every read through it resolves at
+    the same version, regardless of concurrent commits.
+
+    Obtained from :meth:`Database.snapshot`; reads run entirely outside
+    the statement mutex, so they can never wait behind a writer's
+    group-commit window.  The handle does not overlay any transaction —
+    it sees exactly the committed state at pin time.
+    """
+
+    def __init__(self, db: "Database", view: _ReadView) -> None:
+        self._db = db
+        self._view = view
+
+    @property
+    def version(self) -> int:
+        """The committed version this snapshot is pinned at."""
+        return self._view.version
+
+    def select(
+        self,
+        table: str,
+        where: Predicate | None = None,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Like :meth:`Database.select`, at the pinned version."""
+        return self._db._select_at(
+            self._view, table, where, order_by, descending, limit, columns
+        )
+
+    def select_one(
+        self, table: str, where: Predicate | None = None
+    ) -> dict[str, Any] | None:
+        """The first matching row at the pinned version, or ``None``."""
+        rows = self.select(table, where, limit=1)
+        return rows[0] if rows else None
+
+    def get(self, table: str, *key: Any) -> dict[str, Any] | None:
+        """Primary-key lookup at the pinned version."""
+        return self._db._get_at(self._view, table, key)
+
+    def count(self, table: str, where: Predicate | None = None) -> int:
+        """Number of matching rows at the pinned version."""
+        return self._db._count_at(self._view, table, where)
+
+    def explain(
+        self, table: str, where: Predicate | None = None
+    ) -> dict[str, Any]:
+        """The access path a select at the pinned version would take."""
+        return self._db._explain_at(self._view, table, where)
+
+
 class Database:
     """An in-process relational database with optional durability.
 
-    Thread safety: every statement (DDL, DML, reads) runs under one
+    Thread safety: every *write* statement (DDL, DML) runs under one
     re-entrant mutex, so autocommit statements from concurrent threads
-    are safe.  Explicit multi-statement transactions share a single
-    transaction slot and must be serialised by the caller (the workflow
-    engine holds its own bean lock around them).  Under
-    ``sync_policy="group"`` the durability wait happens *after* the
-    mutex is released, which is what lets concurrent committers share
-    one fsync instead of queueing on the lock for theirs.
+    are safe.  *Reads* (``select``/``select_one``/``get``/``count``/
+    ``explain``/``select_with_parent``) never take that mutex: they pin
+    the latest committed MVCC snapshot — O(1) under a tiny leaf lock —
+    and resolve row version chains lock-free, so a read can never block
+    behind a writer's group-commit fsync window.  Explicit
+    multi-statement transactions share a single transaction slot and
+    must be serialised by the caller (the workflow engine holds its own
+    bean lock around them); threads that join the transaction read
+    their own uncommitted writes overlaid on the pinned snapshot.
+    Under ``sync_policy="group"`` the durability wait happens *after*
+    the mutex is released, which is what lets concurrent committers
+    share one fsync instead of queueing on the lock for theirs.
     """
 
     def __init__(
@@ -127,14 +207,18 @@ class Database:
     ) -> None:
         self._catalog = Catalog()
         self._txn = TransactionManager()
+        self._mvcc = SnapshotManager(clock=clock)
         self.stats = DatabaseStats()
         self._mutex = threading.RLock()
         #: Per-thread (wal sequence, start time) of a commit awaiting
         #: its durability barrier — drained by :meth:`_sync_pending`.
         self._pending_commit = threading.local()
-        #: Cached access-path choice per (table, predicate shape);
-        #: cleared wholesale on any DDL.
-        self._plan_cache: dict[tuple[str, tuple], tuple[str, Any]] = {}
+        #: Cached access-path choice per (table, catalog epoch,
+        #: predicate shape); cleared wholesale on any DDL.  The epoch in
+        #: the key pins each plan to the index set it was derived from,
+        #: so a reader pinned before a CREATE INDEX never executes a
+        #: plan that routes through the too-new index.
+        self._plan_cache: dict[tuple[str, int, tuple], tuple[str, Any]] = {}
         #: Test/bench escape hatch: bypass (not just miss) the cache.
         self.plan_cache_enabled = True
         #: Callbacks ``f(table_name)`` fired after each row write —
@@ -157,7 +241,7 @@ class Database:
         #: What the last :meth:`_recover` replayed (timings + shape).
         self.last_recovery: dict[str, Any] = {}
         #: Serialises checkpoints against each other (writers are *not*
-        #: blocked: the mutex is only held for the brief state capture).
+        #: blocked: the mutex is only held for the brief version pin).
         self._ckpt_lock = threading.Lock()
         self.sync_policy = sync_policy
         self._wal: WriteAheadLog | None = None
@@ -184,15 +268,78 @@ class Database:
             self._wal.faults = plan
 
     def wrap_mutex(self, wrap: Callable[[str, Any], Any]) -> None:
-        """Swap the statement mutex for a profiled drop-in.
+        """Swap the engine locks for profiled drop-ins.
 
         ``wrap(name, lock)`` must return an object with the same
-        ``acquire``/``release``/context-manager contract (re-entrant,
-        since the inner lock is an RLock).  Installed by the profiling
-        layer (``repro.obs.prof``) — minidb itself never imports it, the
-        wrapper comes in from above.
+        ``acquire``/``release``/context-manager contract (re-entrant for
+        the statement mutex, whose inner lock is an RLock).  Installed
+        by the profiling layer (``repro.obs.prof``) — minidb itself
+        never imports it, the wrapper comes in from above.  The MVCC
+        version lock is wrapped alongside (as ``minidb.version``) so
+        the lock-order witness observes the mutex → version nesting.
         """
         self._mutex = wrap("minidb.mutex", self._mutex)
+        self._mvcc.wrap_lock(wrap)
+
+    # ------------------------------------------------------------------
+    # MVCC plumbing
+    # ------------------------------------------------------------------
+
+    def _pin_view(self) -> _ReadView:
+        """Pin the latest committed snapshot for one read statement.
+
+        O(1) under the version lock — never the statement mutex.  If the
+        calling thread participates in the open transaction, its
+        uncommitted writes overlay the snapshot (read-your-writes).
+        Must be released with :meth:`_unpin_view`.
+        """
+        txn = self._txn.current
+        if txn is not None and threading.get_ident() not in txn.participants:
+            txn = None
+        version, epoch = self._mvcc.pin()
+        return _ReadView(version, epoch, txn)
+
+    def _unpin_view(self, view: _ReadView) -> None:
+        self._mvcc.unpin(view.version)
+
+    def _writer_view(self) -> _ReadView:
+        """Visibility for reads inside a write statement (mutex held):
+        the latest committed state plus the statement's transaction."""
+        version, epoch = self._mvcc.read_state()
+        return _ReadView(version, epoch, self._txn.current)
+
+    def _resolve(
+        self, entry: TableEntry, rowid: int, view: _ReadView
+    ) -> dict[str, Any] | None:
+        """The row image of ``rowid`` visible at ``view``, if any."""
+        return visible_row(entry.heap.chain(rowid), view.version, view.token)
+
+    def _advance_epoch(self, records: list | None = None) -> int:
+        """Publish a new version + catalog epoch after DDL (mutex held)."""
+        self._plan_cache.clear()
+        version = self._mvcc.begin_version()
+        self._mvcc.publish(version, records, epoch=self._mvcc.epoch + 1)
+        self._mvcc.collect()
+        return version
+
+    @contextlib.contextmanager
+    def snapshot(self) -> Iterator[Snapshot]:
+        """Pin the latest committed version for repeatable reads.
+
+        Every read through the yielded :class:`Snapshot` resolves at the
+        pinned version — concurrent commits are invisible, and no read
+        ever takes the statement mutex.  The pin holds version GC back
+        for the images the snapshot can still see; release promptly.
+        """
+        version, epoch = self._mvcc.pin()
+        try:
+            yield Snapshot(self, _ReadView(version, epoch, None))
+        finally:
+            self._mvcc.unpin(version)
+
+    def mvcc_info(self) -> dict[str, Any]:
+        """MVCC accounting: current version, pins, GC backlog/reclaims."""
+        return self._mvcc.info()
 
     # ------------------------------------------------------------------
     # DDL
@@ -203,7 +350,7 @@ class Database:
         with self._mutex:
             self._forbid_in_transaction("create_table")
             self._catalog.add_table(schema)
-            self._plan_cache.clear()
+            self._advance_epoch()
             self._log({"type": "create_table", "schema": schema.describe()})
         self._sync_pending()
 
@@ -212,7 +359,7 @@ class Database:
         with self._mutex:
             self._forbid_in_transaction("drop_table")
             self._catalog.remove_table(name)
-            self._plan_cache.clear()
+            self._advance_epoch()
             self._log({"type": "drop_table", "table": name})
         self._sync_pending()
 
@@ -228,11 +375,17 @@ class Database:
             if name in entry.hash_indexes:
                 raise SchemaError(f"index {name!r} already exists")
             index = HashIndex(tuple(columns), unique=unique)
-            index.rebuild(entry.heap.scan())
+            index.rebuild(entry.heap.latest_items())
             if unique:
                 self._verify_unique(entry, index, columns)
-            entry.hash_indexes[name] = index
-            self._plan_cache.clear()
+            # Valid only from the post-DDL epoch: a reader pinned before
+            # this statement may still see superseded images the new
+            # index holds no entries for, so its plans must not route
+            # through it.  The wholesale dict swap keeps concurrent
+            # lock-free iteration over the old dict safe.
+            index.created_epoch = self._mvcc.epoch + 1
+            entry.hash_indexes = {**entry.hash_indexes, name: index}
+            self._advance_epoch()
             self._log(
                 {
                     "type": "create_index",
@@ -255,9 +408,10 @@ class Database:
             if name in entry.ordered_indexes:
                 raise SchemaError(f"index {name!r} already exists")
             index = OrderedIndex(column)
-            index.rebuild(entry.heap.scan())
-            entry.ordered_indexes[name] = index
-            self._plan_cache.clear()
+            index.rebuild(entry.heap.latest_items())
+            index.created_epoch = self._mvcc.epoch + 1
+            entry.ordered_indexes = {**entry.ordered_indexes, name: index}
+            self._advance_epoch()
             self._log(
                 {
                     "type": "create_index",
@@ -306,10 +460,24 @@ class Database:
             parent=schema.parent,
             autoincrement=schema.autoincrement,
         )
+        # The backfill is itself versioned: every row gets a new
+        # committed image at the DDL's version, while readers pinned
+        # earlier keep resolving to the old images under the old schema
+        # (schema_versions carries the cutover point).  The superseded
+        # images queue for GC with unchanged index keys, so reclamation
+        # is pure chain compaction.
+        version = self._mvcc.begin_version()
+        records = []
+        for rowid, row in entry.heap.latest_items():
+            new_row = dict(row)
+            new_row[column.name] = backfill
+            entry.heap.prepend_committed(rowid, new_row, version)
+            records.append((entry, rowid, row, new_row))
         entry.schema = new_schema
-        for __, row in entry.heap.scan():
-            row[column.name] = backfill
+        entry.schema_versions.append((version, new_schema))
         self._plan_cache.clear()
+        self._mvcc.publish(version, records, epoch=self._mvcc.epoch + 1)
+        self._mvcc.collect()
         self._log(
             {
                 "type": "add_column",
@@ -331,13 +499,17 @@ class Database:
     def _verify_unique(
         entry: TableEntry, index: HashIndex, columns: Sequence[str]
     ) -> None:
-        for __, row in entry.heap.scan():
+        seen: set[tuple] = set()
+        for __, row in entry.heap.latest_items():
             key = index.key_of(row)
-            if index.count_key(key) > 1:
+            if any(part is None for part in key):
+                continue
+            if key in seen:
                 raise ConstraintError(
                     f"cannot create unique index on {entry.schema.name!r}"
                     f"{tuple(columns)}: duplicate key {key!r}"
                 )
+            seen.add(key)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -411,16 +583,13 @@ class Database:
     def commit(self) -> None:
         """Commit the open transaction, making it durable."""
         with self._mutex:
-            redo = self._txn.take_commit()
-            if redo:
-                self._log({"type": "txn", "ops": redo})
+            self._commit_locked()
         self._sync_pending()
 
     def rollback(self) -> None:
         """Abort the open transaction, undoing all of its changes."""
         with self._mutex:
-            for entry in self._txn.take_rollback():
-                self._apply_undo(entry)
+            self._rollback_locked()
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[None]:
@@ -442,22 +611,50 @@ class Database:
         if self._txn.active:
             raise TransactionError(f"{operation} is not allowed in a transaction")
 
+    def _commit_locked(self) -> None:
+        """Publish the open transaction's writes, then log its redo.
+
+        The commit protocol: stamp every touched chain with the next
+        version number, *then* publish that number — a reader pinning
+        the new version the instant publish returns already finds every
+        chain restamped.  Deferred index reclamation rides the publish
+        into the GC queue and is collected opportunistically (with no
+        pinned readers it drains immediately, so single-threaded flows
+        keep today's exact index shapes).
+        """
+        txn = self._txn.take_commit()
+        if txn.touched:
+            version = self._mvcc.begin_version()
+            for entry, rowid in txn.touched:
+                entry.heap.commit(rowid, txn, version)
+            self._mvcc.publish(version, txn.deferred)
+            self._mvcc.collect()
+        if txn.redo:
+            self._log({"type": "txn", "ops": txn.redo})
+
+    def _rollback_locked(self) -> None:
+        for undo in self._txn.take_rollback():
+            self._apply_undo(undo)
+
     @contextlib.contextmanager
     def _statement(self) -> Iterator[None]:
-        """Run one DML statement, autocommitting if no transaction is open."""
+        """Run one DML statement, autocommitting if no transaction is open.
+
+        When an explicit transaction is open, the calling thread joins
+        it — its subsequent reads overlay the transaction's uncommitted
+        writes on their pinned snapshots.
+        """
         if self._txn.active:
+            self._txn.join(threading.get_ident())
             yield
             return
         self._txn.begin()
         try:
             yield
         except BaseException:
-            for entry in self._txn.take_rollback():
-                self._apply_undo(entry)
+            self._rollback_locked()
             raise
-        redo = self._txn.take_commit()
-        if redo:
-            self._log({"type": "txn", "ops": redo})
+        self._commit_locked()
 
     # ------------------------------------------------------------------
     # DML — insert
@@ -467,24 +664,74 @@ class Database:
         """Insert one row; returns the stored row (defaults filled in)."""
         with self._mutex:
             entry = self._catalog.entry(table)
-            with self._statement():
-                row = self._materialise_row(entry, values)
-                self._check_primary_key(entry, row)
-                self._check_parent(entry, row)
-                self._check_foreign_keys(entry, row)
-                rowid = self._store(entry, row)
-                self._txn.record(
-                    UndoInsert(table, rowid),
+            if self._txn.active:
+                with self._statement():
+                    txn = self._txn.current
+                    view = self._writer_view()
+                    row = self._materialise_row(entry, values)
+                    self._check_primary_key(entry, row, view)
+                    self._check_parent(entry, row, view)
+                    self._check_foreign_keys(entry, row, view)
+                    rowid = self._store(entry, row, txn)
+                    txn.touched.append((entry, rowid))
+                    self._txn.record(
+                        UndoInsert(table, rowid),
+                        {
+                            "op": "insert",
+                            "table": table,
+                            "row": self._wire_row(entry, row),
+                        },
+                    )
+                    self.stats.record_write(table)
+                    self._notify_write(table)
+            else:
+                row = self._insert_autocommit(entry, table, values)
+        self._sync_pending()
+        return dict(row)
+
+    def _insert_autocommit(
+        self, entry: TableEntry, table: str, values: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Insert outside a transaction without the per-statement
+        transaction machinery (the insert hot path).
+
+        A single-statement insert needs no undo log, token overlay or
+        commit restamp: once the constraint checks pass, the row is
+        stored directly stamped with the next version — invisible to
+        every reader until :meth:`SnapshotManager.publish` makes that
+        version current, which is the same stamp-then-publish protocol
+        :meth:`_commit_locked` follows, minus one chain rewrite.
+        """
+        version, epoch = self._mvcc.read_state()
+        view = _ReadView(version, epoch, None)
+        row = self._materialise_row(entry, values)
+        self._check_primary_key(entry, row, view)
+        self._check_parent(entry, row, view)
+        self._check_foreign_keys(entry, row, view)
+        rowid = self._store(entry, row, None, version=version + 1)
+        try:
+            self.stats.record_write(table)
+            self._notify_write(table)
+        except BaseException:
+            # The version was never published, but the next commit would
+            # expose the orphaned row — retract it like a rollback would.
+            self._apply_undo(UndoInsert(table, rowid))
+            raise
+        self._mvcc.publish(version + 1)
+        self._mvcc.collect()
+        self._log(
+            {
+                "type": "txn",
+                "ops": [
                     {
                         "op": "insert",
                         "table": table,
                         "row": self._wire_row(entry, row),
-                    },
-                )
-                self.stats.record_write(table)
-                self._notify_write(table)
-        self._sync_pending()
-        return dict(row)
+                    }
+                ],
+            }
+        )
+        return row
 
     def _materialise_row(
         self, entry: TableEntry, values: dict[str, Any]
@@ -514,7 +761,23 @@ class Database:
                 entry.autoincrement_next = provided + 1
         return row
 
-    def _check_primary_key(self, entry: TableEntry, row: dict[str, Any]) -> None:
+    def _pk_visible_row(
+        self, entry: TableEntry, key: tuple[Any, ...], view: _ReadView
+    ) -> dict[str, Any] | None:
+        """Resolve a primary-key lookup against a read view.
+
+        Index entries may be stale (removal is deferred to version GC),
+        so each candidate's visible image is re-checked against the key.
+        """
+        for rowid in sorted(entry.pk_index.lookup(key)):
+            row = self._resolve(entry, rowid, view)
+            if row is not None and entry.pk_index.key_of(row) == key:
+                return row
+        return None
+
+    def _check_primary_key(
+        self, entry: TableEntry, row: dict[str, Any], view: _ReadView
+    ) -> None:
         schema = entry.schema
         key = entry.pk_index.key_of(row)
         if any(part is None for part in key):
@@ -522,12 +785,19 @@ class Database:
                 f"primary key of {schema.name!r} may not contain NULL"
             )
         self.stats.record_index_lookup()
-        if entry.pk_index.contains_key(key):
+        # Fast path: no index entry at all means no duplicate under any
+        # view.  Only a present key (live duplicate, or a stale entry
+        # awaiting version GC) pays for visibility resolution.
+        if entry.pk_index.contains_key(key) and (
+            self._pk_visible_row(entry, key, view) is not None
+        ):
             raise PrimaryKeyError(
                 f"duplicate primary key {key!r} in table {schema.name!r}"
             )
 
-    def _check_parent(self, entry: TableEntry, row: dict[str, Any]) -> None:
+    def _check_parent(
+        self, entry: TableEntry, row: dict[str, Any], view: _ReadView
+    ) -> None:
         """Child tables require a matching parent row (table inheritance)."""
         schema = entry.schema
         if schema.parent is None:
@@ -536,13 +806,15 @@ class Database:
         key = tuple(row[column] for column in schema.primary_key)
         self.stats.record_read(schema.parent)
         self.stats.record_index_lookup()
-        if not parent.pk_index.contains_key(key):
+        if self._pk_visible_row(parent, key, view) is None:
             raise ForeignKeyError(
                 f"no parent row in {schema.parent!r} for child "
                 f"{schema.name!r} key {key!r}"
             )
 
-    def _check_foreign_keys(self, entry: TableEntry, row: dict[str, Any]) -> None:
+    def _check_foreign_keys(
+        self, entry: TableEntry, row: dict[str, Any], view: _ReadView
+    ) -> None:
         for foreign in entry.schema.foreign_keys:
             key = tuple(row[column] for column in foreign.columns)
             if any(part is None for part in key):
@@ -550,14 +822,20 @@ class Database:
             referenced = self._catalog.entry(foreign.ref_table)
             self.stats.record_read(foreign.ref_table)
             self.stats.record_index_lookup()
-            if not referenced.pk_index.contains_key(key):
+            if self._pk_visible_row(referenced, key, view) is None:
                 raise ForeignKeyError(
                     f"{entry.schema.name}.{foreign.columns} = {key!r} has no "
                     f"match in {foreign.ref_table!r}"
                 )
 
-    def _store(self, entry: TableEntry, row: dict[str, Any]) -> int:
-        rowid = entry.heap.insert(row)
+    def _store(
+        self,
+        entry: TableEntry,
+        row: dict[str, Any],
+        token: Transaction | None,
+        version: int = 0,
+    ) -> int:
+        rowid = entry.heap.insert(row, token=token, version=version)
         entry.pk_index.add(rowid, row)
         for index in entry.hash_indexes.values():
             index.add(rowid, row)
@@ -584,17 +862,38 @@ class Database:
         result after sorting; ``columns`` projects the result to the
         named columns (the full row by default).  The ``order_by``
         column does not need to appear in the projection.
+
+        Served entirely from a pinned MVCC snapshot — no statement
+        mutex; concurrent commits never block or tear the row set.
         """
-        with self._mutex:
-            entry = self._catalog.entry(table)
-            if where is not None:
-                entry.schema.validate_column_names(where.columns())
-            if order_by is not None:
-                entry.schema.validate_column_names([order_by])
-            if columns is not None:
-                entry.schema.validate_column_names(columns)
-            self.stats.record_read(table)
-            rows = [dict(row) for row in self._matching_rows(entry, where)]
+        view = self._pin_view()
+        try:
+            return self._select_at(
+                view, table, where, order_by, descending, limit, columns
+            )
+        finally:
+            self._unpin_view(view)
+
+    def _select_at(
+        self,
+        view: _ReadView,
+        table: str,
+        where: Predicate | None,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        entry = self._catalog.entry(table)
+        schema = entry.schema_at(view.version)
+        if where is not None:
+            schema.validate_column_names(where.columns())
+        if order_by is not None:
+            schema.validate_column_names([order_by])
+        if columns is not None:
+            schema.validate_column_names(columns)
+        self.stats.record_read(table)
+        rows = [dict(row) for __, row in self._matching_rows(entry, where, view)]
         if order_by is not None:
             rows.sort(key=_order_key(order_by), reverse=descending)
         if limit is not None:
@@ -612,31 +911,46 @@ class Database:
 
     def get(self, table: str, *key: Any) -> dict[str, Any] | None:
         """Primary-key lookup; always served by the PK hash index."""
-        with self._mutex:
-            entry = self._catalog.entry(table)
-            if len(key) != len(entry.schema.primary_key):
-                raise ConstraintError(
-                    f"table {table!r} has a "
-                    f"{len(entry.schema.primary_key)}-column "
-                    f"primary key, got {len(key)} values"
-                )
-            self.stats.record_read(table)
-            self.stats.record_index_lookup()
-            rowids = entry.pk_index.lookup(tuple(key))
-            if not rowids:
-                return None
-            return dict(entry.heap.get(next(iter(rowids))))
+        view = self._pin_view()
+        try:
+            return self._get_at(view, table, key)
+        finally:
+            self._unpin_view(view)
+
+    def _get_at(
+        self, view: _ReadView, table: str, key: tuple[Any, ...]
+    ) -> dict[str, Any] | None:
+        entry = self._catalog.entry(table)
+        if len(key) != len(entry.schema.primary_key):
+            raise ConstraintError(
+                f"table {table!r} has a "
+                f"{len(entry.schema.primary_key)}-column "
+                f"primary key, got {len(key)} values"
+            )
+        self.stats.record_read(table)
+        self.stats.record_index_lookup()
+        row = self._pk_visible_row(entry, tuple(key), view)
+        return None if row is None else dict(row)
 
     def count(self, table: str, where: Predicate | None = None) -> int:
         """Number of rows matching ``where``."""
-        with self._mutex:
-            entry = self._catalog.entry(table)
-            if where is None:
-                self.stats.record_read(table)
-                return len(entry.heap)
-            entry.schema.validate_column_names(where.columns())
-            self.stats.record_read(table)
-            return sum(1 for __ in self._matching_rows(entry, where))
+        view = self._pin_view()
+        try:
+            return self._count_at(view, table, where)
+        finally:
+            self._unpin_view(view)
+
+    def _count_at(
+        self, view: _ReadView, table: str, where: Predicate | None
+    ) -> int:
+        entry = self._catalog.entry(table)
+        self.stats.record_read(table)
+        if where is None:
+            return sum(
+                1 for __ in entry.heap.visible_items(view.version, view.token)
+            )
+        entry.schema_at(view.version).validate_column_names(where.columns())
+        return sum(1 for __ in self._matching_rows(entry, where, view))
 
     def select_with_parent(
         self,
@@ -648,11 +962,14 @@ class Database:
         Reproduces TableBean's behaviour for experiment-type tables: a read
         on ``PCR`` performs reads on both ``PCR`` and ``Experiment`` and
         returns one merged record per child row.  Child columns win on name
-        clashes.  Works recursively up a multi-level parent chain.
+        clashes.  Works recursively up a multi-level parent chain.  The
+        whole join resolves against one pinned snapshot, so child and
+        ancestor rows always come from the same version.
         """
-        with self._mutex:
+        view = self._pin_view()
+        try:
             entry = self._catalog.entry(table)
-            child_rows = self.select(table, where)
+            child_rows = self._select_at(view, table, where)
             chain: list[TableEntry] = []
             current = entry
             while current.schema.parent is not None:
@@ -667,39 +984,50 @@ class Database:
                 for ancestor in reversed(chain):
                     self.stats.record_read(ancestor.schema.name)
                     self.stats.record_index_lookup()
-                    rowids = ancestor.pk_index.lookup(key)
-                    if rowids:
-                        merged.update(ancestor.heap.get(next(iter(rowids))))
+                    row = self._pk_visible_row(ancestor, key, view)
+                    if row is not None:
+                        merged.update(row)
                 merged.update(child_row)
                 merged_rows.append(merged)
             return merged_rows
+        finally:
+            self._unpin_view(view)
 
     def _matching_rows(
-        self, entry: TableEntry, where: Predicate | None
-    ) -> Iterator[dict[str, Any]]:
-        rowids = self._plan(entry, where)
+        self, entry: TableEntry, where: Predicate | None, view: _ReadView
+    ) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield ``(rowid, row)`` for every visible row matching ``where``.
+
+        Index candidates may include rowids whose entry belongs to a
+        superseded image (removal is deferred to version GC), so every
+        candidate is resolved through the view and re-checked against
+        the predicate — a stale entry either resolves to an image that
+        still matches (then it *should* be returned) or is filtered.
+        """
+        rowids = self._plan(entry, where, view)
         if rowids is None:
             self.stats.record_full_scan()
             self.stats.record_scan(len(entry.heap))
-            for __, row in entry.heap.scan():
-                if where is None or where.matches(row):
-                    yield row
+            for rowid, chain in entry.heap.chains():
+                row = visible_row(chain, view.version, view.token)
+                if row is not None and (where is None or where.matches(row)):
+                    yield rowid, row
         else:
             self.stats.record_scan(len(rowids))
             for rowid in rowids:
-                row = entry.heap.get(rowid)
-                if where is None or where.matches(row):
-                    yield row
+                row = self._resolve(entry, rowid, view)
+                if row is not None and (where is None or where.matches(row)):
+                    yield rowid, row
 
     def _plan(
-        self, entry: TableEntry, where: Predicate | None
+        self, entry: TableEntry, where: Predicate | None, view: _ReadView
     ) -> list[int] | None:
         """Pick an access path: PK index, secondary index, range, or scan."""
-        rowids, __ = self._plan_with_info(entry, where)
+        rowids, __ = self._plan_with_info(entry, where, view)
         return rowids
 
     def _plan_with_info(
-        self, entry: TableEntry, where: Predicate | None
+        self, entry: TableEntry, where: Predicate | None, view: _ReadView
     ) -> tuple[list[int] | None, dict[str, Any]]:
         """The planner: candidate rowids plus the chosen access path.
 
@@ -708,36 +1036,39 @@ class Database:
         *execution* (per-query — plugs the predicate's values into the
         chosen index).
         """
-        strategy = self._plan_strategy(entry, where)
+        strategy = self._plan_strategy(entry, where, view)
         return self._execute_strategy(entry, where, strategy)
 
     def _plan_strategy(
-        self, entry: TableEntry, where: Predicate | None
+        self, entry: TableEntry, where: Predicate | None, view: _ReadView
     ) -> tuple[str, Any]:
-        """The cached access-path decision for (table, predicate shape)."""
+        """The cached access-path decision for (table, epoch, shape)."""
         if where is None:
             return ("full_scan", None)
         if not self.plan_cache_enabled:
-            return self._derive_strategy(entry, where)
-        key = (entry.schema.name, where.shape())
+            return self._derive_strategy(entry, where, view.epoch)
+        key = (entry.schema.name, view.epoch, where.shape())
         strategy = self._plan_cache.get(key)
         if strategy is not None:
             self.stats.record_plan_cache(hit=True)
             return strategy
         self.stats.record_plan_cache(hit=False)
-        strategy = self._derive_strategy(entry, where)
+        strategy = self._derive_strategy(entry, where, view.epoch)
         self._plan_cache[key] = strategy
         return strategy
 
     def _derive_strategy(
-        self, entry: TableEntry, where: Predicate
+        self, entry: TableEntry, where: Predicate, epoch: int
     ) -> tuple[str, Any]:
         """Choose an access path from scratch (cache miss / bypass).
 
         The decision depends only on the predicate's *shape*: which
         columns are bound, and how.  The second element names the index
         to use (``"__pk__"`` standing for the primary-key hash index),
-        so execution never searches the index dictionaries again.
+        so execution never searches the index dictionaries again.  Only
+        indexes created at or before the view's epoch are considered —
+        a newer index holds no entries for images only this snapshot
+        can still see.
         """
         bindings = where.equality_bindings()
         if bindings:
@@ -745,17 +1076,24 @@ class Database:
             if all(column in bindings for column in pk_columns):
                 return ("pk_lookup", "__pk__")
             for name, index in entry.hash_indexes.items():
-                if all(column in bindings for column in index.columns):
+                if index.created_epoch <= epoch and all(
+                    column in bindings for column in index.columns
+                ):
                     return ("hash_index", name)
         if isinstance(where, IN):
             if entry.schema.primary_key == (where.column,):
                 return ("in_index", "__pk__")
             for name, index in entry.hash_indexes.items():
-                if index.columns == (where.column,):
+                if index.created_epoch <= epoch and index.columns == (
+                    where.column,
+                ):
                     return ("in_index", name)
         if isinstance(where, (LT, LE, GT, GE)):
             for name, ordered in entry.ordered_indexes.items():
-                if ordered.column == where.column:
+                if (
+                    ordered.created_epoch <= epoch
+                    and ordered.column == where.column
+                ):
                     return ("range_scan", name)
         return ("full_scan", None)
 
@@ -827,15 +1165,23 @@ class Database:
         through the same planner, so an ``explain`` of their predicate
         describes their access path too.
         """
-        with self._mutex:
-            entry = self._catalog.entry(table)
-            if where is not None:
-                entry.schema.validate_column_names(where.columns())
-            rowids, info = self._plan_with_info(entry, where)
-            info["candidate_rows"] = (
-                len(entry.heap) if rowids is None else len(rowids)
-            )
-            return info
+        view = self._pin_view()
+        try:
+            return self._explain_at(view, table, where)
+        finally:
+            self._unpin_view(view)
+
+    def _explain_at(
+        self, view: _ReadView, table: str, where: Predicate | None
+    ) -> dict[str, Any]:
+        entry = self._catalog.entry(table)
+        if where is not None:
+            entry.schema_at(view.version).validate_column_names(where.columns())
+        rowids, info = self._plan_with_info(entry, where, view)
+        info["candidate_rows"] = (
+            len(entry.heap) if rowids is None else len(rowids)
+        )
+        return info
 
     # ------------------------------------------------------------------
     # DML — update
@@ -878,18 +1224,27 @@ class Database:
                     )
 
             self.stats.record_read(table)  # locating targets is a read
-            targets = self._locate_targets(entry, where)
+            targets = [
+                (rowid, dict(row))
+                for rowid, row in self._matching_rows(
+                    entry, where, self._writer_view()
+                )
+            ]
 
             changed = 0
             with self._statement():
-                for rowid in targets:
-                    old_row = dict(entry.heap.get(rowid))
+                txn = self._txn.current
+                for rowid, old_row in targets:
                     new_row = dict(old_row)
                     new_row.update(coerced)
                     if new_row == old_row:
                         continue
-                    self._check_changed_foreign_keys(entry, old_row, new_row)
-                    self._replace(entry, rowid, old_row, new_row)
+                    self._check_changed_foreign_keys(
+                        entry, old_row, new_row, self._writer_view()
+                    )
+                    self._replace(entry, rowid, old_row, new_row, txn)
+                    txn.touched.append((entry, rowid))
+                    txn.deferred.append((entry, rowid, old_row, new_row))
                     self._txn.record(
                         UndoUpdate(table, rowid, old_row),
                         {
@@ -908,32 +1263,12 @@ class Database:
         self._sync_pending()
         return changed
 
-    def _locate_targets(
-        self, entry: TableEntry, where: Predicate | None
-    ) -> list[int]:
-        """Rowids matching ``where`` — the planner-driven target scan
-        shared by :meth:`update` and :meth:`delete` (same index
-        selection as ``select``)."""
-        targets: list[int] = []
-        rowids = self._plan(entry, where)
-        if rowids is None:
-            self.stats.record_full_scan()
-            self.stats.record_scan(len(entry.heap))
-            for rowid, row in entry.heap.scan():
-                if where is None or where.matches(row):
-                    targets.append(rowid)
-        else:
-            self.stats.record_scan(len(rowids))
-            for rowid in rowids:
-                if where is None or where.matches(entry.heap.get(rowid)):
-                    targets.append(rowid)
-        return targets
-
     def _check_changed_foreign_keys(
         self,
         entry: TableEntry,
         old_row: dict[str, Any],
         new_row: dict[str, Any],
+        view: _ReadView,
     ) -> None:
         for foreign in entry.schema.foreign_keys:
             old_key = tuple(old_row[column] for column in foreign.columns)
@@ -943,7 +1278,7 @@ class Database:
             referenced = self._catalog.entry(foreign.ref_table)
             self.stats.record_read(foreign.ref_table)
             self.stats.record_index_lookup()
-            if not referenced.pk_index.contains_key(new_key):
+            if self._pk_visible_row(referenced, new_key, view) is None:
                 raise ForeignKeyError(
                     f"{entry.schema.name}.{foreign.columns} = {new_key!r} has "
                     f"no match in {foreign.ref_table!r}"
@@ -955,18 +1290,19 @@ class Database:
         rowid: int,
         old_row: dict[str, Any],
         new_row: dict[str, Any],
+        token: Transaction,
     ) -> None:
-        entry.pk_index.remove(rowid, old_row)
+        """Install a new uncommitted image; index entries for the old
+        image stay until version GC proves no snapshot needs them.  An
+        index gains an entry only when the image changed its key under
+        that index (the PK never does — PK updates are forbidden)."""
+        entry.heap.put(rowid, new_row, token)
         for index in entry.hash_indexes.values():
-            index.remove(rowid, old_row)
+            if index.key_of(new_row) != index.key_of(old_row):
+                index.add(rowid, new_row)
         for ordered in entry.ordered_indexes.values():
-            ordered.remove(rowid, old_row)
-        entry.heap.replace(rowid, new_row)
-        entry.pk_index.add(rowid, new_row)
-        for index in entry.hash_indexes.values():
-            index.add(rowid, new_row)
-        for ordered in entry.ordered_indexes.values():
-            ordered.add(rowid, new_row)
+            if ordered.key_of(new_row) != ordered.key_of(old_row):
+                ordered.add(rowid, new_row)
 
     # ------------------------------------------------------------------
     # DML — delete
@@ -983,19 +1319,27 @@ class Database:
             if where is not None:
                 entry.schema.validate_column_names(where.columns())
             self.stats.record_read(table)
-            targets = self._locate_targets(entry, where)
+            targets = [
+                rowid
+                for rowid, __ in self._matching_rows(
+                    entry, where, self._writer_view()
+                )
+            ]
             deleted = 0
             with self._statement():
+                view = self._writer_view()
                 for rowid in targets:
-                    if not entry.heap.contains(rowid):
+                    if self._resolve(entry, rowid, view) is None:
                         continue  # already removed by a cascade
-                    deleted += self._delete_row(entry, rowid)
+                    deleted += self._delete_row(entry, rowid, view)
         self._sync_pending()
         return deleted
 
-    def _delete_row(self, entry: TableEntry, rowid: int) -> int:
+    def _delete_row(
+        self, entry: TableEntry, rowid: int, view: _ReadView
+    ) -> int:
         table = entry.schema.name
-        row = dict(entry.heap.get(rowid))
+        row = dict(self._resolve(entry, rowid, view))
         key = entry.pk_index.key_of(row)
 
         # Inheritance children share the PK: cascade to them first.
@@ -1005,13 +1349,16 @@ class Database:
             self.stats.record_read(child_name)
             self.stats.record_index_lookup()
             for child_rowid in sorted(child.pk_index.lookup(key)):
-                deleted += self._delete_row(child, child_rowid)
+                child_row = self._resolve(child, child_rowid, view)
+                if child_row is None or child.pk_index.key_of(child_row) != key:
+                    continue
+                deleted += self._delete_row(child, child_rowid, view)
 
         # Referential actions.
         for referrer_name, foreign in self._catalog.referrers(table):
             referrer = self._catalog.entry(referrer_name)
             self.stats.record_read(referrer_name)
-            matches = self._referencing_rowids(referrer, foreign, key)
+            matches = self._referencing_rowids(referrer, foreign, key, view)
             if not matches:
                 continue
             if foreign.on_delete == "restrict":
@@ -1020,18 +1367,17 @@ class Database:
                     f"{referrer_name!r}"
                 )
             for referencing_rowid in matches:
-                if referrer.heap.contains(referencing_rowid):
-                    deleted += self._delete_row(referrer, referencing_rowid)
+                if self._resolve(referrer, referencing_rowid, view) is not None:
+                    deleted += self._delete_row(referrer, referencing_rowid, view)
 
-        if not entry.heap.contains(rowid):
+        current = self._resolve(entry, rowid, view)
+        if current is None:
             return deleted  # removed transitively by a cycle of cascades
-        row = dict(entry.heap.get(rowid))
-        entry.heap.delete(rowid)
-        entry.pk_index.remove(rowid, row)
-        for index in entry.hash_indexes.values():
-            index.remove(rowid, row)
-        for ordered in entry.ordered_indexes.values():
-            ordered.remove(rowid, row)
+        row = dict(current)
+        txn = self._txn.current
+        entry.heap.put_tombstone(rowid, txn)
+        txn.touched.append((entry, rowid))
+        txn.deferred.append((entry, rowid, row, None))
         self._txn.record(
             UndoDelete(table, rowid, row),
             {
@@ -1052,16 +1398,25 @@ class Database:
         referrer: TableEntry,
         foreign,
         key: tuple[Any, ...],
+        view: _ReadView,
     ) -> list[int]:
-        """Rowids in ``referrer`` whose FK columns equal ``key``."""
+        """Rowids in ``referrer`` whose visible FK columns equal ``key``."""
         for index in referrer.hash_indexes.values():
             if index.columns == tuple(foreign.columns):
                 self.stats.record_index_lookup()
-                return sorted(index.lookup(key))
+                matches = []
+                for rowid in sorted(index.lookup(key)):
+                    row = self._resolve(referrer, rowid, view)
+                    if row is not None and index.key_of(row) == key:
+                        matches.append(rowid)
+                return matches
         matches = []
         self.stats.record_scan(len(referrer.heap))
-        for rowid, row in referrer.heap.scan():
-            if tuple(row.get(column) for column in foreign.columns) == key:
+        for rowid, chain in referrer.heap.chains():
+            row = visible_row(chain, view.version, view.token)
+            if row is not None and (
+                tuple(row.get(column) for column in foreign.columns) == key
+            ):
                 matches.append(rowid)
         return matches
 
@@ -1070,30 +1425,40 @@ class Database:
     # ------------------------------------------------------------------
 
     def _apply_undo(self, undo: UndoEntry) -> None:
+        """Reverse one mutation by popping its chain entry.
+
+        Undo entries run newest-first, so the popped head is always the
+        image this entry installed.  Index reversal mirrors the write
+        rules: a delete made no index changes (nothing to undo); an
+        insert/update added entries for the popped image, which are
+        retracted only where no surviving image still owns them (hash
+        buckets are shared per key; ordered instances are per
+        transition).
+        """
         entry = self._catalog.entry(undo.table)
-        if isinstance(undo, UndoInsert):
-            row = entry.heap.get(undo.rowid)
-            entry.heap.delete(undo.rowid)
-            entry.pk_index.remove(undo.rowid, row)
-            for index in entry.hash_indexes.values():
-                index.remove(undo.rowid, row)
-            for ordered in entry.ordered_indexes.values():
-                ordered.remove(undo.rowid, row)
-        elif isinstance(undo, UndoUpdate):
-            current = dict(entry.heap.get(undo.rowid))
-            self._replace(entry, undo.rowid, current, dict(undo.old_row))
-        elif isinstance(undo, UndoDelete):
-            entry.heap.insert_at(undo.rowid, dict(undo.old_row))
-            entry.pk_index.add(undo.rowid, undo.old_row)
-            for index in entry.hash_indexes.values():
-                index.add(undo.rowid, undo.old_row)
-            for ordered in entry.ordered_indexes.values():
-                ordered.add(undo.rowid, undo.old_row)
-        else:  # pragma: no cover - closed union
-            raise TransactionError(f"unknown undo entry {undo!r}")
+        rowid = undo.rowid
+        popped = entry.heap.rollback_head(rowid)
+        if isinstance(undo, UndoDelete):
+            return  # popped the tombstone; the old image is live again
+        remaining = entry.heap.images(rowid)
+        for index in (entry.pk_index, *entry.hash_indexes.values()):
+            key = index.key_of(popped)
+            if not any(index.key_of(image) == key for image in remaining):
+                index.remove(rowid, popped)
+        old_row = undo.old_row if isinstance(undo, UndoUpdate) else None
+        for ordered in entry.ordered_indexes.values():
+            if old_row is None or ordered.key_of(popped) != ordered.key_of(
+                old_row
+            ):
+                ordered.remove(rowid, popped)
 
     def _wire_row(self, entry: TableEntry, row: dict[str, Any]) -> dict[str, Any]:
-        schema = entry.schema
+        return self._wire_row_with(entry.schema, row)
+
+    @staticmethod
+    def _wire_row_with(
+        schema: TableSchema, row: dict[str, Any]
+    ) -> dict[str, Any]:
         return {
             name: to_wire(value, schema.column(name).type)
             for name, value in row.items()
@@ -1171,7 +1536,14 @@ class Database:
     _recovering = False
 
     def _recover(self) -> None:
-        """Replay checkpoint + tail to rebuild state after (re)opening."""
+        """Replay checkpoint + tail to rebuild state after (re)opening.
+
+        Recovery runs before any reader exists, so replay writes flat,
+        already-committed chains (version = the current MVCC version)
+        and maintains indexes exactly — no tokens, no deferred GC.
+        Reader pins taken later are always at or above the version the
+        replayed rows carry, so everything replayed is visible.
+        """
         assert self._wal is not None
         self._recovering = True
         t0 = time.perf_counter()
@@ -1184,8 +1556,10 @@ class Database:
                     self._catalog.add_table(
                         TableSchema.from_description(record["schema"])
                     )
+                    self._advance_epoch()
                 elif kind == "drop_table":
                     self._catalog.remove_table(record["table"])
+                    self._advance_epoch()
                 elif kind == "create_index":
                     if record["ordered"]:
                         self.create_ordered_index(
@@ -1229,12 +1603,25 @@ class Database:
         }
         self.stats.reset()
 
+    def _replay_rowid(
+        self, entry: TableEntry, key: tuple[Any, ...], table: str
+    ) -> tuple[int, dict[str, Any]]:
+        """Locate the committed row carrying ``key`` during replay."""
+        for candidate in sorted(entry.pk_index.lookup(key)):
+            row = entry.heap.latest_committed(candidate)
+            if row is not None and entry.pk_index.key_of(row) == key:
+                return candidate, row
+        raise RecoveryError(
+            f"WAL references missing row {key!r} in {table!r}"
+        )
+
     def _replay_op(self, op: dict[str, Any]) -> None:
         entry = self._catalog.entry(op["table"])
         schema = entry.schema
+        version = self._mvcc.version
         if op["op"] == "insert":
             row = self._unwire_row(entry, op["row"])
-            self._store(entry, row)
+            self._store(entry, row, token=None, version=version)
             if schema.autoincrement is not None:
                 value = row.get(schema.autoincrement)
                 if value is not None and value >= entry.autoincrement_next:
@@ -1244,39 +1631,43 @@ class Database:
             from_wire(value, schema.column(column).type)
             for column, value in zip(schema.primary_key, op["pk"])
         )
-        rowids = entry.pk_index.lookup(key)
-        if not rowids:
-            raise RecoveryError(
-                f"WAL references missing row {key!r} in {op['table']!r}"
-            )
-        rowid = next(iter(rowids))
+        rowid, old_row = self._replay_rowid(entry, key, op["table"])
         if op["op"] == "update":
-            old_row = dict(entry.heap.get(rowid))
-            self._replace(entry, rowid, old_row, self._unwire_row(entry, op["row"]))
-        elif op["op"] == "delete":
-            row = dict(entry.heap.get(rowid))
-            entry.heap.delete(rowid)
-            entry.pk_index.remove(rowid, row)
+            new_row = self._unwire_row(entry, op["row"])
+            entry.pk_index.remove(rowid, old_row)
             for index in entry.hash_indexes.values():
-                index.remove(rowid, row)
+                index.remove(rowid, old_row)
             for ordered in entry.ordered_indexes.values():
-                ordered.remove(rowid, row)
+                ordered.remove(rowid, old_row)
+            entry.heap.replace_committed(rowid, new_row, version)
+            entry.pk_index.add(rowid, new_row)
+            for index in entry.hash_indexes.values():
+                index.add(rowid, new_row)
+            for ordered in entry.ordered_indexes.values():
+                ordered.add(rowid, new_row)
+        elif op["op"] == "delete":
+            entry.heap.remove(rowid)
+            entry.pk_index.remove(rowid, old_row)
+            for index in entry.hash_indexes.values():
+                index.remove(rowid, old_row)
+            for ordered in entry.ordered_indexes.values():
+                ordered.remove(rowid, old_row)
         else:
             raise RecoveryError(f"unknown WAL op {op['op']!r}")
 
     def checkpoint(self, reason: str = "manual") -> int:
         """Online checkpoint: snapshot state, compact the WAL behind it.
 
-        Unlike the original stop-the-world rewrite (ROADMAP item 2),
-        writers are paused only for the brief in-memory capture: the
-        statement mutex is held while the WAL rotates to a fresh segment
-        and the live rows are copied, then released — serialisation,
-        the checkpoint-file fsync, the atomic manifest swap and the
-        compaction of pre-watermark segments all run while appends
-        continue into the new segment.  Recovery afterwards replays the
-        checkpoint plus only the post-watermark tail, so recovery time
-        stops growing with history.  Returns the number of records in
-        the checkpoint snapshot.
+        Writers are paused only for the WAL segment rotation plus an
+        O(1) MVCC version pin and per-table metadata capture — the rows
+        themselves stream out of the pinned snapshot *after* the
+        statement mutex is released, concurrently with new commits.
+        Serialisation, the checkpoint-file fsync, the atomic manifest
+        swap and the compaction of pre-watermark segments likewise run
+        while appends continue into the new segment.  Recovery
+        afterwards replays the checkpoint plus only the post-watermark
+        tail, so recovery time stops growing with history.  Returns the
+        number of records in the checkpoint snapshot.
         """
         if self._wal is None:
             raise TransactionError("checkpoint requires a WAL-backed database")
@@ -1290,10 +1681,14 @@ class Database:
         with self._mutex:
             self._forbid_in_transaction("checkpoint")
             watermark = self._wal.rotate()
-            captured = self._capture_state_locked()
-        count = self._wal.install_checkpoint(
-            self._snapshot_records(captured), watermark
-        )
+            version, __ = self._mvcc.pin()
+            captured = self._capture_meta_locked()
+        try:
+            count = self._wal.install_checkpoint(
+                self._snapshot_records(captured, version), watermark
+            )
+        finally:
+            self._mvcc.unpin(version)
         self.checkpoints += 1
         if self.checkpoint_policy is not None:
             self.checkpoint_policy.note_checkpoint()
@@ -1311,15 +1706,23 @@ class Database:
                 pass
         return count
 
-    def _capture_state_locked(self) -> list[dict[str, Any]]:
-        """Copy the catalog + all rows (cheap dict copies, under mutex)."""
+    def _capture_meta_locked(self) -> list[dict[str, Any]]:
+        """Capture per-table metadata for a checkpoint (under mutex).
+
+        O(#tables + #indexes) — no row copies.  The rows are streamed
+        later from the pinned MVCC version; everything captured here is
+        either immutable (schemas) or only mutated under the mutex by
+        DDL, whose WAL records land after the rotation watermark and
+        replay on top of the checkpoint.
+        """
         captured: list[dict[str, Any]] = []
         for name in self._catalog.table_names():
             entry = self._catalog.entry(name)
             captured.append(
                 {
                     "name": name,
-                    "schema": entry.schema.describe(),
+                    "entry": entry,
+                    "schema": entry.schema,
                     "hash_indexes": [
                         (list(index.columns), index.unique)
                         for index in entry.hash_indexes.values()
@@ -1333,24 +1736,22 @@ class Database:
                         if entry.schema.autoincrement is not None
                         else None
                     ),
-                    "rows": [
-                        self._wire_row(entry, row)
-                        for __, row in entry.heap.scan()
-                    ],
                 }
             )
         return captured
 
     def _snapshot_records(
-        self, captured: list[dict[str, Any]]
+        self, captured: list[dict[str, Any]], version: int
     ) -> Iterator[dict[str, Any]]:
-        """Stream the captured state as replayable WAL records.
+        """Stream the pinned version as replayable WAL records.
 
-        Rows are batched into ``txn`` records of bounded size; replaying
-        the sequence reproduces exactly the captured database.
+        Rows resolve against the pinned MVCC version lock-free while
+        writers keep committing; replaying the sequence reproduces
+        exactly the state as of the pin.  Rows are batched into ``txn``
+        records of bounded size.
         """
         for table in captured:
-            yield {"type": "create_table", "schema": table["schema"]}
+            yield {"type": "create_table", "schema": table["schema"].describe()}
             for columns, unique in table["hash_indexes"]:
                 yield {
                     "type": "create_index",
@@ -1374,15 +1775,21 @@ class Database:
                     "next": table["autoincrement_next"],
                 }
         for table in captured:
-            rows = table["rows"]
-            for start in range(0, len(rows), _CHECKPOINT_BATCH_ROWS):
-                yield {
-                    "type": "txn",
-                    "ops": [
-                        {"op": "insert", "table": table["name"], "row": row}
-                        for row in rows[start : start + _CHECKPOINT_BATCH_ROWS]
-                    ],
-                }
+            schema = table["schema"]
+            batch: list[dict[str, Any]] = []
+            for __, row in table["entry"].heap.visible_items(version):
+                batch.append(
+                    {
+                        "op": "insert",
+                        "table": table["name"],
+                        "row": self._wire_row_with(schema, row),
+                    }
+                )
+                if len(batch) >= _CHECKPOINT_BATCH_ROWS:
+                    yield {"type": "txn", "ops": batch}
+                    batch = []
+            if batch:
+                yield {"type": "txn", "ops": batch}
 
     def close(self) -> None:
         """Flush and release the WAL file handle."""

@@ -11,12 +11,27 @@ Two flavours are provided:
 Index keys are tuples of column values.  ``None`` components are permitted
 (NULL-able indexed columns) but a key containing ``None`` is never returned
 by lookups, matching SQL comparison semantics.
+
+Under MVCC, indexes are *over-complete*: removal of a superseded image's
+entries is deferred to version GC, so a lookup may return rowids whose
+visible row no longer matches — the engine always re-checks the predicate
+after resolving visibility.  Readers run without the statement mutex;
+both structures therefore expose their lookups through single GIL-atomic
+copies (``set(bucket)``, ``list(pairs)``) so a concurrent writer can
+never hand a reader a half-updated view.  ``created_epoch`` stamps when
+the index became part of the catalog: the planner only routes a query
+through an index created at or before the reader's pinned epoch, so a
+snapshot taken before a ``CREATE INDEX`` never reads an index that lacks
+entries for images only that snapshot can still see.
 """
 
 from __future__ import annotations
 
 import bisect
+import operator
 from typing import Any, Iterable, Iterator
+
+_pair_key = operator.itemgetter(0)
 
 
 def _key_has_null(key: tuple[Any, ...]) -> bool:
@@ -29,6 +44,7 @@ class HashIndex:
     def __init__(self, columns: tuple[str, ...], unique: bool = False) -> None:
         self.columns = columns
         self.unique = unique
+        self.created_epoch = 0
         self._buckets: dict[tuple[Any, ...], set[int]] = {}
 
     def key_of(self, row: dict[str, Any]) -> tuple[Any, ...]:
@@ -53,7 +69,10 @@ class HashIndex:
         """Rowids whose key equals ``key`` (empty for NULL-bearing keys)."""
         if _key_has_null(key):
             return set()
-        return set(self._buckets.get(key, ()))
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return set()
+        return set(bucket)
 
     def contains_key(self, key: tuple[Any, ...]) -> bool:
         """Whether any row carries ``key`` (NULL keys never match)."""
@@ -81,33 +100,40 @@ class OrderedIndex:
     """A sorted single-column index supporting range scans.
 
     NULL values are excluded from the sort order entirely (they can never
-    satisfy a range predicate).
+    satisfy a range predicate).  Entries live in one sorted
+    ``(key, rowid)`` pair list, so a reader takes a single atomic copy
+    and bisects it — there is no moment where key and rowid columns can
+    disagree under a concurrent writer.
     """
 
     def __init__(self, column: str) -> None:
         self.column = column
-        self._keys: list[Any] = []
-        self._rowids: list[int] = []
+        self.created_epoch = 0
+        self._pairs: list[tuple[Any, int]] = []
+
+    def key_of(self, row: dict[str, Any]) -> Any:
+        """Extract this index's key value from a row."""
+        return row.get(self.column)
 
     def add(self, rowid: int, row: dict[str, Any]) -> None:
         value = row.get(self.column)
         if value is None:
             return
-        position = bisect.bisect_right(self._keys, value)
-        self._keys.insert(position, value)
-        self._rowids.insert(position, rowid)
+        position = bisect.bisect_right(self._pairs, value, key=_pair_key)
+        self._pairs.insert(position, (value, rowid))
 
     def remove(self, rowid: int, row: dict[str, Any]) -> None:
+        """Drop one ``(value, rowid)`` instance, if present."""
         value = row.get(self.column)
         if value is None:
             return
-        left = bisect.bisect_left(self._keys, value)
-        right = bisect.bisect_right(self._keys, value)
-        for position in range(left, right):
-            if self._rowids[position] == rowid:
-                del self._keys[position]
-                del self._rowids[position]
+        pairs = self._pairs
+        position = bisect.bisect_left(pairs, value, key=_pair_key)
+        while position < len(pairs) and pairs[position][0] == value:
+            if pairs[position][1] == rowid:
+                del pairs[position]
                 return
+            position += 1
 
     def range(
         self,
@@ -117,24 +143,24 @@ class OrderedIndex:
         include_high: bool = True,
     ) -> Iterator[int]:
         """Yield rowids with ``low <(=) key <(=) high`` in key order."""
+        pairs = list(self._pairs)  # one atomic snapshot; writers go on
         if low is None:
             start = 0
         elif include_low:
-            start = bisect.bisect_left(self._keys, low)
+            start = bisect.bisect_left(pairs, low, key=_pair_key)
         else:
-            start = bisect.bisect_right(self._keys, low)
+            start = bisect.bisect_right(pairs, low, key=_pair_key)
         if high is None:
-            stop = len(self._keys)
+            stop = len(pairs)
         elif include_high:
-            stop = bisect.bisect_right(self._keys, high)
+            stop = bisect.bisect_right(pairs, high, key=_pair_key)
         else:
-            stop = bisect.bisect_left(self._keys, high)
+            stop = bisect.bisect_left(pairs, high, key=_pair_key)
         for position in range(start, stop):
-            yield self._rowids[position]
+            yield pairs[position][1]
 
     def clear(self) -> None:
-        self._keys.clear()
-        self._rowids.clear()
+        self._pairs.clear()
 
     def rebuild(self, rows: Iterable[tuple[int, dict[str, Any]]]) -> None:
         self.clear()

@@ -22,6 +22,7 @@ benchmark harness can attribute accesses to a single request.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -66,7 +67,14 @@ class StatsSnapshot:
 
 @dataclass
 class DatabaseStats:
-    """Mutable counters owned by one :class:`~repro.minidb.engine.Database`."""
+    """Mutable counters owned by one :class:`~repro.minidb.engine.Database`.
+
+    Writers record under the statement mutex but MVCC snapshot reads
+    record from outside it, so the counters carry their own small lock —
+    the read-modify-write increments would otherwise lose updates under
+    concurrent readers.  The lock is a leaf: nothing is acquired under
+    it, and each critical section is a handful of integer bumps.
+    """
 
     reads: int = 0
     writes: int = 0
@@ -78,51 +86,64 @@ class DatabaseStats:
     per_table_reads: dict[str, int] = field(default_factory=dict)
     per_table_writes: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record_read(self, table: str) -> None:
-        self.reads += 1
-        self.per_table_reads[table] = self.per_table_reads.get(table, 0) + 1
+        with self._lock:
+            self.reads += 1
+            self.per_table_reads[table] = self.per_table_reads.get(table, 0) + 1
 
     def record_write(self, table: str) -> None:
-        self.writes += 1
-        self.per_table_writes[table] = self.per_table_writes.get(table, 0) + 1
+        with self._lock:
+            self.writes += 1
+            self.per_table_writes[table] = (
+                self.per_table_writes.get(table, 0) + 1
+            )
 
     def record_scan(self, row_count: int) -> None:
-        self.rows_scanned += row_count
+        with self._lock:
+            self.rows_scanned += row_count
 
     def record_index_lookup(self) -> None:
-        self.index_lookups += 1
+        with self._lock:
+            self.index_lookups += 1
 
     def record_full_scan(self) -> None:
-        self.full_scans += 1
+        with self._lock:
+            self.full_scans += 1
 
     def record_plan_cache(self, hit: bool) -> None:
-        if hit:
-            self.plan_cache_hits += 1
-        else:
-            self.plan_cache_misses += 1
+        with self._lock:
+            if hit:
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
 
     def snapshot(self) -> StatsSnapshot:
         """Copy the current counters into an immutable snapshot."""
-        return StatsSnapshot(
-            reads=self.reads,
-            writes=self.writes,
-            rows_scanned=self.rows_scanned,
-            index_lookups=self.index_lookups,
-            full_scans=self.full_scans,
-            plan_cache_hits=self.plan_cache_hits,
-            plan_cache_misses=self.plan_cache_misses,
-            per_table_reads=dict(self.per_table_reads),
-            per_table_writes=dict(self.per_table_writes),
-        )
+        with self._lock:
+            return StatsSnapshot(
+                reads=self.reads,
+                writes=self.writes,
+                rows_scanned=self.rows_scanned,
+                index_lookups=self.index_lookups,
+                full_scans=self.full_scans,
+                plan_cache_hits=self.plan_cache_hits,
+                plan_cache_misses=self.plan_cache_misses,
+                per_table_reads=dict(self.per_table_reads),
+                per_table_writes=dict(self.per_table_writes),
+            )
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.reads = 0
-        self.writes = 0
-        self.rows_scanned = 0
-        self.index_lookups = 0
-        self.full_scans = 0
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
-        self.per_table_reads.clear()
-        self.per_table_writes.clear()
+        with self._lock:
+            self.reads = 0
+            self.writes = 0
+            self.rows_scanned = 0
+            self.index_lookups = 0
+            self.full_scans = 0
+            self.plan_cache_hits = 0
+            self.plan_cache_misses = 0
+            self.per_table_reads.clear()
+            self.per_table_writes.clear()

@@ -1,68 +1,216 @@
-"""Heap storage for one minidb table.
+"""Versioned heap storage for one minidb table (MVCC row chains).
 
-Rows live in an insertion-ordered dict keyed by a monotonically increasing
-*rowid*.  The heap itself enforces nothing; typing, constraints and index
-maintenance are the engine's job.  Keeping the heap dumb makes the undo log
-trivial: every mutation is reversible given (rowid, old_row).
+Each rowid maps to an immutable *version chain*: a newest-first linked
+tuple ``(version, token, row, older)``.
+
+* Committed entries carry ``token=None`` and the version number of the
+  commit that installed them.
+* Uncommitted entries carry ``version=0`` and ``token=<the open
+  Transaction>`` — the read-your-writes overlay key.
+* ``row=None`` is a tombstone (the row is deleted as of that entry).
+
+Chains are never mutated in place: every write replaces the dict value
+with a fresh tuple, so a lock-free reader that grabbed a chain reference
+always walks a consistent structure, and replacing the value is a single
+GIL-atomic dict store.  Resolution against a pinned version lives in
+:func:`repro.minidb.mvcc.visible_row`.
+
+The heap still enforces nothing; typing, constraints and index
+maintenance are the engine's job.  ``len(heap)`` counts *live* rows —
+rows whose newest entry is not a tombstone — which the heap maintains
+incrementally so ``row_count``/``explain`` stay O(1).
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro.minidb.mvcc import visible_row
+
 
 class Heap:
-    """Insertion-ordered row storage with stable rowids."""
+    """Version-chained row storage with stable rowids."""
 
     def __init__(self) -> None:
-        self._rows: dict[int, dict[str, Any]] = {}
+        self._chains: dict[int, tuple] = {}
         self._next_rowid = 1
+        self._live = 0
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._live
 
-    def insert(self, row: dict[str, Any]) -> int:
+    # -- writes (engine mutex held) ------------------------------------
+
+    def insert(
+        self, row: dict[str, Any], token: Any = None, version: int = 0
+    ) -> int:
         """Store a new row, returning its rowid."""
         rowid = self._next_rowid
         self._next_rowid += 1
-        self._rows[rowid] = row
+        self._chains[rowid] = (version, token, row, None)
+        self._live += 1
         return rowid
 
-    def insert_at(self, rowid: int, row: dict[str, Any]) -> None:
-        """Re-insert a row at a specific rowid (undo of a delete)."""
-        if rowid in self._rows:
-            raise KeyError(f"rowid {rowid} already occupied")
-        self._rows[rowid] = row
-        if rowid >= self._next_rowid:
-            self._next_rowid = rowid + 1
+    def put(self, rowid: int, row: dict[str, Any], token: Any) -> None:
+        """Push an uncommitted new image on top of ``rowid``'s chain."""
+        self._chains[rowid] = (0, token, row, self._chains[rowid])
 
-    def get(self, rowid: int) -> dict[str, Any]:
-        """Fetch the row stored at ``rowid``."""
-        return self._rows[rowid]
+    def put_tombstone(self, rowid: int, token: Any) -> None:
+        """Push an uncommitted delete marker on top of ``rowid``'s chain."""
+        self._chains[rowid] = (0, token, None, self._chains[rowid])
+        self._live -= 1
 
-    def contains(self, rowid: int) -> bool:
-        """Whether ``rowid`` currently holds a row."""
-        return rowid in self._rows
+    def commit(self, rowid: int, token: Any, version: int) -> None:
+        """Restamp ``token``'s entries in the chain as committed at
+        ``version`` (the chain object is rebuilt, never mutated)."""
+        chain = self._chains.get(rowid)
+        if chain is None:
+            return
+        if chain[1] is token and (chain[3] is None or chain[3][1] is None):
+            # Hot paths: a fresh insert (no history) or one update over a
+            # committed image.  Uncommitted entries are contiguous at the
+            # head (concurrent statements join the one open transaction),
+            # so a committed next entry means only the head needs stamping.
+            self._chains[rowid] = (version, None, chain[2], chain[3])
+            return
+        entries = []
+        entry = chain
+        changed = False
+        while entry is not None:
+            entry_version, entry_token, row, older = entry
+            if entry_token is token:
+                entries.append((version, None, row))
+                changed = True
+            else:
+                entries.append((entry_version, entry_token, row))
+            entry = older
+        if not changed:
+            return
+        rebuilt = None
+        for entry_version, entry_token, row in reversed(entries):
+            rebuilt = (entry_version, entry_token, row, rebuilt)
+        self._chains[rowid] = rebuilt
 
-    def replace(self, rowid: int, row: dict[str, Any]) -> dict[str, Any]:
-        """Overwrite the row at ``rowid``; returns the previous row."""
-        old = self._rows[rowid]
-        self._rows[rowid] = row
-        return old
+    def rollback_head(self, rowid: int) -> dict[str, Any] | None:
+        """Pop the newest (uncommitted) entry; returns its row image."""
+        __, __, row, older = self._chains[rowid]
+        if older is None:
+            del self._chains[rowid]
+        else:
+            self._chains[rowid] = older
+        if row is None:
+            self._live += 1  # popped a tombstone: the row is live again
+        elif older is None:
+            self._live -= 1  # popped a fresh insert: the rowid is gone
+        return row
 
-    def delete(self, rowid: int) -> dict[str, Any]:
-        """Remove and return the row at ``rowid``."""
-        return self._rows.pop(rowid)
+    def compact(self, rowid: int, horizon: int) -> None:
+        """Drop chain entries no pinned reader can resolve to.
 
-    def scan(self) -> Iterator[tuple[int, dict[str, Any]]]:
-        """Iterate ``(rowid, row)`` pairs in insertion order.
-
-        The snapshot via ``list`` makes it safe to mutate while iterating —
-        the workflow engine deletes rows found by its own scans.
+        Keeps uncommitted entries, committed entries above ``horizon``,
+        and the newest committed entry at or below it (the image every
+        remaining reader lands on) — unless that image is a tombstone
+        with nothing newer, in which case the rowid itself is dead.
         """
-        return iter(list(self._rows.items()))
+        chain = self._chains.get(rowid)
+        if chain is None:
+            return
+        kept: list[tuple] = []
+        entry = chain
+        while entry is not None:
+            version, token, row, older = entry
+            if token is not None or version > horizon:
+                kept.append((version, token, row))
+            else:
+                if row is not None or kept:
+                    kept.append((version, token, row))
+                break
+            entry = older
+        if not kept:
+            del self._chains[rowid]
+            return
+        rebuilt = None
+        for version, token, row in reversed(kept):
+            rebuilt = (version, token, row, rebuilt)
+        self._chains[rowid] = rebuilt
+
+    # -- recovery writes (flat chains, no concurrent readers) ----------
+
+    def replace_committed(
+        self, rowid: int, row: dict[str, Any], version: int
+    ) -> None:
+        """Overwrite ``rowid`` with a single committed entry (replay)."""
+        self._chains[rowid] = (version, None, row, None)
+
+    def remove(self, rowid: int) -> None:
+        """Hard-drop ``rowid`` (replay of a committed delete)."""
+        del self._chains[rowid]
+        self._live -= 1
+
+    # -- reads (safe without the engine mutex) -------------------------
+
+    def chain(self, rowid: int) -> tuple | None:
+        """The version chain at ``rowid`` (``None`` if never created)."""
+        return self._chains.get(rowid)
+
+    def chains(self) -> Iterator[tuple[int, tuple]]:
+        """Iterate ``(rowid, chain)`` pairs over one atomic snapshot of
+        the chain table (safe against concurrent writers)."""
+        return iter(list(self._chains.items()))
+
+    def visible(
+        self, rowid: int, version: int, token: Any = None
+    ) -> dict[str, Any] | None:
+        """The row image visible at ``(version, token)``, if any."""
+        return visible_row(self._chains.get(rowid), version, token)
+
+    def visible_items(
+        self, version: int, token: Any = None
+    ) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate ``(rowid, row)`` for every row visible at the snapshot."""
+        for rowid, chain in list(self._chains.items()):
+            row = visible_row(chain, version, token)
+            if row is not None:
+                yield rowid, row
+
+    def latest_committed(self, rowid: int) -> dict[str, Any] | None:
+        """The newest committed image (``None`` if deleted or unknown)."""
+        entry = self._chains.get(rowid)
+        while entry is not None:
+            if entry[1] is None:
+                return entry[2]
+            entry = entry[3]
+        return None
+
+    def latest_items(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate ``(rowid, row)`` over the newest committed images —
+        the index-rebuild feed for DDL (which forbids open
+        transactions, so no token entries exist)."""
+        for rowid, chain in list(self._chains.items()):
+            row = self.latest_committed(rowid)
+            if row is not None:
+                yield rowid, row
+
+    def prepend_committed(
+        self, rowid: int, row: dict[str, Any], version: int
+    ) -> None:
+        """Push a committed image on top of ``rowid``'s chain — the
+        ``add_column`` backfill path, which rewrites every row at one
+        new version while pinned readers keep the old images."""
+        self._chains[rowid] = (version, None, row, self._chains[rowid])
+
+    def images(self, rowid: int) -> list[dict[str, Any]]:
+        """Every non-tombstone image still in ``rowid``'s chain."""
+        out = []
+        entry = self._chains.get(rowid)
+        while entry is not None:
+            if entry[2] is not None:
+                out.append(entry[2])
+            entry = entry[3]
+        return out
 
     def clear(self) -> None:
         """Drop every row (used by DROP TABLE and recovery)."""
-        self._rows.clear()
+        self._chains.clear()
         self._next_rowid = 1
+        self._live = 0

@@ -1,21 +1,30 @@
-"""Transactions for minidb: an undo log plus a redo buffer.
+"""Transactions for minidb: undo log, redo buffer, and the MVCC token.
 
-minidb runs single-threaded within one request (the web container
-serialises handler execution per worker), so the transaction machinery is
-about *atomicity*, not isolation:
+The engine serialises all *writes* under its statement mutex, so the
+transaction machinery is about atomicity and visibility, not mutual
+exclusion:
 
 * every mutation appends an **undo entry**; ``rollback`` replays the undo
   entries in reverse through the engine, restoring heap and indexes;
 * every mutation also appends a **redo operation**; ``commit`` hands the
-  redo batch to the write-ahead log as one atomic record.
+  redo batch to the write-ahead log as one atomic record;
+* the :class:`Transaction` object itself is the **MVCC token**: the
+  heap stamps every uncommitted chain entry with it, and a reader whose
+  thread has joined the transaction (``participants``) overlays those
+  entries on its pinned snapshot — read-your-writes without publishing
+  anything to other readers.
 
-Outside an explicit transaction the engine runs in autocommit mode: each
-statement forms its own single-operation transaction.
+At commit the engine walks ``touched`` to restamp the token entries with
+the new version number, then hands ``deferred`` (the superseded images
+whose index entries must eventually go) to the snapshot manager's GC
+queue.  Outside an explicit transaction the engine runs in autocommit
+mode: each statement forms its own single-operation transaction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import TransactionError
@@ -50,12 +59,32 @@ class UndoDelete:
 UndoEntry = UndoInsert | UndoUpdate | UndoDelete
 
 
-@dataclass
 class Transaction:
-    """One open transaction's undo entries and redo operations."""
+    """One open transaction's undo entries, redo operations and MVCC
+    bookkeeping.  Identity (``is``) is what makes it a token — never
+    compared by value, and never recycled (a reader holding a stale
+    chain reference must not match a token from an earlier life).
 
-    undo: list[UndoEntry] = field(default_factory=list)
-    redo: list[dict[str, Any]] = field(default_factory=list)
+    A plain ``__slots__`` class rather than a dataclass: autocommit
+    allocates one per statement, so construction is on the write hot
+    path.
+    """
+
+    __slots__ = ("undo", "redo", "participants", "touched", "deferred")
+
+    def __init__(self) -> None:
+        self.undo: list[UndoEntry] = []
+        self.redo: list[dict[str, Any]] = []
+        #: Thread idents whose reads overlay this transaction's writes.
+        self.participants: set[int] = set()
+        #: ``(table entry, rowid)`` of every chain holding entries
+        #: stamped with this token — restamped to the commit version at
+        #: publish.
+        self.touched: list = []
+        #: Deferred index reclamation: ``(entry, rowid, old_row,
+        #: next_row)`` per superseded image; queued to version GC at
+        #: commit, discarded on rollback.
+        self.deferred: list = []
 
 
 class TransactionManager:
@@ -69,11 +98,23 @@ class TransactionManager:
         """Whether an explicit transaction is open."""
         return self._current is not None
 
-    def begin(self) -> None:
-        """Open an explicit transaction."""
+    @property
+    def current(self) -> Transaction | None:
+        """The open transaction (the MVCC token), if any."""
+        return self._current
+
+    def begin(self) -> Transaction:
+        """Open an explicit transaction; the opening thread joins it."""
         if self._current is not None:
             raise TransactionError("transaction already in progress")
         self._current = Transaction()
+        self._current.participants.add(threading.get_ident())
+        return self._current
+
+    def join(self, ident: int) -> None:
+        """Let thread ``ident`` read the open transaction's writes."""
+        if self._current is not None:
+            self._current.participants.add(ident)
 
     def record(self, undo: UndoEntry, redo: dict[str, Any]) -> None:
         """Log one mutation into the open transaction.
@@ -86,13 +127,13 @@ class TransactionManager:
         self._current.undo.append(undo)
         self._current.redo.append(redo)
 
-    def take_commit(self) -> list[dict[str, Any]]:
-        """Close the transaction, returning its redo batch for the WAL."""
+    def take_commit(self) -> Transaction:
+        """Close the transaction, returning it for publish + WAL append."""
         if self._current is None:
             raise TransactionError("commit without begin")
-        redo = self._current.redo
+        txn = self._current
         self._current = None
-        return redo
+        return txn
 
     def take_rollback(self) -> list[UndoEntry]:
         """Close the transaction, returning undo entries in reverse order."""

@@ -346,6 +346,37 @@ class ObservabilityHub:
             self.registry.counter(
                 "db_plan_cache_misses_total", help="Plan-cache misses"
             ).set(stats.plan_cache_misses)
+            mvcc_info = getattr(db, "mvcc_info", None)
+            if mvcc_info is not None:
+                mvcc = mvcc_info()
+                self.registry.counter(
+                    "db_snapshot_reads_total",
+                    help="Reads served from pinned MVCC snapshots",
+                ).set(mvcc["snapshot_reads"])
+                self.registry.counter(
+                    "db_snapshot_versions_total",
+                    help="Committed versions published",
+                ).set(mvcc["versions_published"])
+                self.registry.gauge(
+                    "db_snapshot_versions",
+                    help="Committed versions still reachable by a pin",
+                ).set(mvcc["live_versions"])
+                self.registry.gauge(
+                    "db_snapshot_pins",
+                    help="Currently pinned snapshot readers",
+                ).set(mvcc["pinned_snapshots"])
+                self.registry.gauge(
+                    "db_snapshot_oldest_pin_age_s",
+                    help="Age of the oldest pinned snapshot (0 when none)",
+                ).set(mvcc["oldest_pin_age_s"] or 0.0)
+                self.registry.gauge(
+                    "db_mvcc_gc_pending",
+                    help="Superseded images awaiting version GC",
+                ).set(mvcc["gc_pending"])
+                self.registry.counter(
+                    "db_mvcc_gc_reclaims_total",
+                    help="Superseded images reclaimed by version GC",
+                ).set(mvcc["gc_reclaims"])
             wal = db.wal_info()
             if wal.get("enabled"):
                 self.registry.counter(
@@ -436,6 +467,8 @@ class ObservabilityHub:
                 "writes": db.stats.writes,
             }
             info["wal"] = db.wal_info()
+            if getattr(db, "mvcc_info", None) is not None:
+                info["mvcc"] = db.mvcc_info()
             return info
 
         self.register_health("database", health)

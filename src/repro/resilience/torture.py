@@ -205,6 +205,12 @@ def _quiet_close(store: Any) -> None:
         pass  # a crashed store may refuse a clean close; that is fine
 
 
+def _snapshot_rows(snap) -> list[str]:
+    return sorted(
+        json.dumps(row, sort_keys=True) for row in snap.select("T")
+    )
+
+
 def _run_db_crash(
     base: Path,
     point: str,
@@ -212,9 +218,18 @@ def _run_db_crash(
     seed: int,
     ops: list[tuple],
     violations: list[TortureViolation],
+    pinned: bool = False,
 ) -> bool:
     """One crash scenario; returns ``False`` once the point stops
-    firing at this occurrence index (the sweep for it is complete)."""
+    firing at this occurrence index (the sweep for it is complete).
+
+    With ``pinned=True``, a reader pins an MVCC snapshot right after the
+    seed prefix and holds it across the rest of the tape — including
+    any checkpoints, which then stream under the pin with a version-GC
+    backlog building behind it.  The pinned view must still read
+    exactly its pin-time rows at the moment of the crash, and recovery
+    must land on a committed prefix as usual.
+    """
     base.mkdir(parents=True, exist_ok=True)
     wal_path = base / "db.wal"
     db = Database(
@@ -225,9 +240,18 @@ def _run_db_crash(
     plan = FaultPlan(seed=seed).rule(point, "crash", times=1, after=occurrence)
     db.attach_faults(plan)
     shadow = Database()
+    scenario = "db.crash.pinned" if pinned else "db.crash"
+    pin_at = 4  # after ("create",) + the three seed inserts
+    snap_ctx = None
+    snap = None
+    pinned_rows: list[str] = []
     crashed_at: tuple | None = None
     try:
-        for op in ops:
+        for index, op in enumerate(ops):
+            if pinned and index == pin_at:
+                snap_ctx = db.snapshot()
+                snap = snap_ctx.__enter__()
+                pinned_rows = _snapshot_rows(snap)
             crashed_at = op
             _apply_db_op(db, op)
             _apply_db_op_shadow(shadow, op)
@@ -237,12 +261,26 @@ def _run_db_crash(
         if crashed_at is not None:
             _apply_db_op_shadow(shadow, crashed_at)
         fp_after = database_fingerprint(shadow)
+        if snap is not None and _snapshot_rows(snap) != pinned_rows:
+            violations.append(
+                TortureViolation(
+                    scenario=scenario,
+                    point=point,
+                    occurrence=occurrence,
+                    message=(
+                        "pinned snapshot drifted from its pin-time rows "
+                        f"(op {crashed_at!r})"
+                    ),
+                )
+            )
+        if snap_ctx is not None:
+            snap_ctx.__exit__(None, None, None)
         recovered = Database(wal_path)
         fp = database_fingerprint(recovered)
         if fp not in (fp_before, fp_after):
             violations.append(
                 TortureViolation(
-                    scenario="db.crash",
+                    scenario=scenario,
                     point=point,
                     occurrence=occurrence,
                     message=(
@@ -254,12 +292,14 @@ def _run_db_crash(
         _quiet_close(recovered)
         _quiet_close(db)
         return True
+    if snap_ctx is not None:
+        snap_ctx.__exit__(None, None, None)
     _quiet_close(db)
     return False  # the plan never fired: no such occurrence
 
 
 def torture_database(
-    root: Path, seed: int = 7, n_ops: int = 40
+    root: Path, seed: int = 7, n_ops: int = 40, pinned: bool = False
 ) -> tuple[int, list[TortureViolation]]:
     """Crash at every occurrence of every WAL fault point; verify each
     recovery.  Returns (scenarios run, violations)."""
@@ -268,9 +308,11 @@ def torture_database(
     scenarios = 0
     for point in DB_POINTS:
         for occurrence in range(MAX_OCCURRENCES):
-            base = root / "db" / point / str(occurrence)
+            base = root / ("db-pinned" if pinned else "db") / point / str(
+                occurrence
+            )
             if not _run_db_crash(
-                base, point, occurrence, seed, ops, violations
+                base, point, occurrence, seed, ops, violations, pinned=pinned
             ):
                 break
             scenarios += 1
@@ -578,6 +620,11 @@ def run_torture(
     report = TortureReport(seed=seed)
     count, violations = torture_database(root, seed=seed, n_ops=db_ops)
     report.scenarios["db.crash"] = count
+    report.violations += violations
+    count, violations = torture_database(
+        root, seed=seed, n_ops=db_ops, pinned=True
+    )
+    report.scenarios["db.crash.pinned"] = count
     report.violations += violations
     count, violations = torture_journal(root, seed=seed, n_ops=journal_ops)
     report.scenarios["journal.crash"] = count

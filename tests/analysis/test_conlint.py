@@ -423,9 +423,11 @@ class TestStaticOrderProjection:
         order = static_lock_order([SRC_REPRO])
         # The broker registry/per-queue pair is declared never-nested.
         assert {"broker.registry", "broker.queue.*"} in order.groups
-        # Witnessable locks never nest statically: the fsync deferral
-        # work pulled every blocking hold out from under them.
-        assert order.edges == set()
+        # The only witnessed nesting is the statement mutex over the
+        # MVCC version lock (commit publishing a new version).  The
+        # version lock is a leaf: nothing is acquired under it, and the
+        # fsync deferral work keeps blocking holds out from under both.
+        assert order.edges == {("minidb.mutex", "minidb.version")}
 
 
 class TestTreeStaysClean:
@@ -449,4 +451,5 @@ class TestTreeStaysClean:
         # DESIGN §14/§15.
         assert ("WorkflowBean._lock", "Database._mutex") in edges
         assert ("Database._mutex", "SegmentedLog._state_lock") in edges
+        assert ("Database._mutex", "SnapshotManager._lock") in edges
         assert ("BrokerJournal._write_lock", "SegmentedLog._state_lock") in edges

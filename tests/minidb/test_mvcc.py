@@ -1,0 +1,370 @@
+"""MVCC snapshot isolation: pinned reads, overlays, epochs, version GC.
+
+The lock-free read path's contract: a pinned snapshot always reads the
+committed state as of its pin — repeatable under concurrent commits,
+never torn mid-transaction — while threads inside a transaction read
+their own uncommitted writes overlaid on the snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.minidb import EQ, GT, Column, ColumnType, Database, TableSchema
+
+
+class TestSnapshotRepeatability:
+    def test_snapshot_does_not_see_later_commits(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 1})
+        with people_db.snapshot() as snap:
+            people_db.insert("Person", {"name": "b", "age": 2})
+            people_db.update("Person", EQ("name", "a"), {"age": 99})
+            people_db.delete("Person", EQ("name", "a"))
+            assert snap.count("Person") == 1
+            assert snap.select("Person")[0] == {
+                "person_id": 1,
+                "name": "a",
+                "age": 1,
+                "email": None,
+                "active": True,
+            }
+            assert snap.get("Person", 1)["age"] == 1
+            assert snap.select_one("Person", EQ("name", "b")) is None
+        # Outside the snapshot the latest state is back.
+        assert people_db.count("Person") == 1
+        assert people_db.select_one("Person")["name"] == "b"
+
+    def test_two_snapshots_pin_different_versions(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        with people_db.snapshot() as old:
+            people_db.insert("Person", {"name": "b"})
+            with people_db.snapshot() as new:
+                assert old.count("Person") == 1
+                assert new.count("Person") == 2
+                assert new.version > old.version
+
+    def test_snapshot_survives_delete_of_everything(self, people_db):
+        for name in ("a", "b", "c"):
+            people_db.insert("Person", {"name": name})
+        with people_db.snapshot() as snap:
+            people_db.delete("Person", None)
+            assert people_db.count("Person") == 0
+            assert snap.count("Person") == 3
+            assert {row["name"] for row in snap.select("Person")} == {
+                "a",
+                "b",
+                "c",
+            }
+
+    def test_snapshot_explain_matches_select(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        with people_db.snapshot() as snap:
+            info = snap.explain("Person", EQ("person_id", 1))
+            assert info["access"] == "pk_lookup"
+
+
+class TestTransactionOverlay:
+    def test_transaction_reads_its_own_writes(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 1})
+        with people_db.transaction():
+            people_db.insert("Person", {"name": "b"})
+            people_db.update("Person", EQ("name", "a"), {"age": 50})
+            assert people_db.count("Person") == 2
+            assert people_db.get("Person", 1)["age"] == 50
+            people_db.delete("Person", EQ("name", "b"))
+            assert people_db.count("Person") == 1
+        assert people_db.get("Person", 1)["age"] == 50
+
+    def test_other_threads_do_not_see_uncommitted_writes(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 1})
+        people_db.begin()
+        people_db.update("Person", EQ("name", "a"), {"age": 99})
+        seen: dict[str, int] = {}
+
+        def outsider() -> None:
+            seen["age"] = people_db.get("Person", 1)["age"]
+            seen["count"] = people_db.count("Person")
+
+        thread = threading.Thread(target=outsider)
+        thread.start()
+        thread.join()
+        # The outsider never joined the transaction: it reads committed
+        # state only.
+        assert seen == {"age": 1, "count": 1}
+        people_db.commit()
+        assert people_db.get("Person", 1)["age"] == 99
+
+    def test_rollback_discards_overlay_and_images(self, people_db):
+        people_db.create_index("Person", ["name"])
+        people_db.insert("Person", {"name": "a", "age": 1})
+        people_db.begin()
+        people_db.update("Person", EQ("name", "a"), {"name": "b"})
+        people_db.update("Person", EQ("name", "b"), {"name": "a"})
+        people_db.rollback()
+        assert [r["name"] for r in people_db.select("Person")] == ["a"]
+        assert len(people_db.select("Person", EQ("name", "a"))) == 1
+        assert people_db.select("Person", EQ("name", "b")) == []
+
+    def test_snapshot_handle_ignores_open_transaction(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.begin()
+        people_db.insert("Person", {"name": "b"})
+        with people_db.snapshot() as snap:
+            # Explicit snapshots are committed-state views even for the
+            # transaction's own thread.
+            assert snap.count("Person") == 1
+        people_db.rollback()
+
+
+class TestVersionGC:
+    def test_unpinned_updates_reclaim_immediately(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 1})
+        for age in range(2, 8):
+            people_db.update("Person", EQ("name", "a"), {"age": age})
+        info = people_db.mvcc_info()
+        assert info["gc_pending"] == 0
+        assert info["gc_reclaims"] == 6
+        assert info["pinned_snapshots"] == 0
+        # The chain is fully compacted: one committed image remains.
+        entry = people_db._catalog.entry("Person")
+        assert len(entry.heap.images(1)) == 1
+        assert entry.heap.chain(1)[3] is None  # no older entry
+
+    def test_pin_holds_gc_back_until_release(self, people_db):
+        people_db.insert("Person", {"name": "a", "age": 1})
+        with people_db.snapshot() as snap:
+            people_db.update("Person", EQ("name", "a"), {"age": 2})
+            people_db.update("Person", EQ("name", "a"), {"age": 3})
+            assert people_db.mvcc_info()["gc_pending"] > 0
+            assert snap.get("Person", 1)["age"] == 1
+        # The next commit collects everything behind the released pin.
+        people_db.update("Person", EQ("name", "a"), {"age": 4})
+        info = people_db.mvcc_info()
+        assert info["gc_pending"] == 0
+
+    def test_stale_index_entries_are_invisible_then_reclaimed(self, people_db):
+        people_db.create_index("Person", ["name"])
+        people_db.insert("Person", {"name": "a"})
+        with people_db.snapshot() as snap:
+            people_db.update("Person", EQ("name", "a"), {"name": "b"})
+            # GC is held back: the "a" index entry still exists but the
+            # latest-state read re-checks visibility and finds nothing.
+            assert people_db.select("Person", EQ("name", "a")) == []
+            assert len(people_db.select("Person", EQ("name", "b"))) == 1
+            assert snap.select("Person", EQ("name", "a"))[0]["name"] == "a"
+        people_db.insert("Person", {"name": "c"})
+        entry = people_db._catalog.entry("Person")
+        index = entry.hash_indexes["Person__name"]
+        assert index.lookup(("a",)) == set()
+        assert index.lookup(("b",)) == {1}
+
+    def test_duplicate_key_cycle_keeps_ordered_index_exact(self, people_db):
+        people_db.create_ordered_index("Person", "age")
+        people_db.insert("Person", {"name": "a", "age": 5})
+        people_db.update("Person", EQ("name", "a"), {"age": 7})
+        people_db.update("Person", EQ("name", "a"), {"age": 5})
+        entry = people_db._catalog.entry("Person")
+        ordered = entry.ordered_indexes["Person__age__ordered"]
+        assert ordered._pairs == [(5, 1)]
+        assert [r["age"] for r in people_db.select("Person", GT("age", 0))] == [
+            5
+        ]
+
+    def test_mvcc_info_shape(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        with people_db.snapshot():
+            info = people_db.mvcc_info()
+        assert info["pinned_snapshots"] == 1
+        assert info["snapshot_reads"] >= 1
+        assert info["versions_published"] >= 1
+        assert info["oldest_pin_version"] is not None
+        assert info["oldest_pin_age_s"] >= 0.0
+        assert people_db.mvcc_info()["pinned_snapshots"] == 0
+
+
+class TestEpochsAndDDL:
+    def test_create_index_is_invisible_to_pinned_snapshot(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        with people_db.snapshot() as snap:
+            people_db.create_index("Person", ["name"])
+            people_db.update("Person", EQ("name", "a"), {"name": "z"})
+            # The pinned plan must not route through the new index (it
+            # holds no entry for the image only this snapshot sees).
+            assert snap.explain("Person", EQ("name", "a"))["access"] == (
+                "full_scan"
+            )
+            assert snap.select("Person", EQ("name", "a"))[0]["name"] == "a"
+        assert people_db.explain("Person", EQ("name", "z"))["access"] == (
+            "hash_index"
+        )
+
+    def test_plan_cache_is_epoch_keyed(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        people_db.select("Person", EQ("name", "a"))  # prime: full scan
+        people_db.create_index("Person", ["name"])
+        # Post-DDL the same shape re-plans against the new epoch.
+        assert people_db.explain("Person", EQ("name", "a"))["access"] == (
+            "hash_index"
+        )
+
+    def test_add_column_preserves_pinned_schema(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        with people_db.snapshot() as snap:
+            people_db.add_column(
+                "Person",
+                Column("lab", ColumnType.TEXT, default="main"),
+            )
+            assert "lab" not in snap.select("Person")[0]
+            assert snap.count("Person") == 1
+        assert people_db.select("Person")[0]["lab"] == "main"
+
+
+class TestConcurrentReaders:
+    def test_readers_always_see_whole_transactions(self, db):
+        """Two-row invariant under concurrent transactional updates:
+        readers pin snapshots and must never observe a half-applied
+        transaction (the sum must stay constant)."""
+        db.create_table(
+            TableSchema(
+                name="Account",
+                columns=[
+                    Column("account_id", ColumnType.INTEGER, nullable=False),
+                    Column("balance", ColumnType.INTEGER, nullable=False),
+                ],
+                primary_key=("account_id",),
+            )
+        )
+        db.insert("Account", {"account_id": 1, "balance": 500})
+        db.insert("Account", {"account_id": 2, "balance": 500})
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                with db.snapshot() as snap:
+                    rows = snap.select("Account")
+                total = sum(row["balance"] for row in rows)
+                if len(rows) != 2 or total != 1000:
+                    torn.append((len(rows), total))
+                    return
+
+        readers = [threading.Thread(target=reader) for __ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for i in range(300):
+                amount = (i % 9) - 4
+                with db.transaction():
+                    a = db.get("Account", 1)["balance"]
+                    b = db.get("Account", 2)["balance"]
+                    db.update(
+                        "Account",
+                        EQ("account_id", 1),
+                        {"balance": a - amount},
+                    )
+                    db.update(
+                        "Account",
+                        EQ("account_id", 2),
+                        {"balance": b + amount},
+                    )
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert torn == []
+        # GC is commit-driven: pins held during the run may have left a
+        # backlog, which the next commit (no pins remaining) drains.
+        db.update("Account", EQ("account_id", 1), {"balance": 500})
+        db.update("Account", EQ("account_id", 2), {"balance": 500})
+        assert db.mvcc_info()["gc_pending"] == 0
+
+    def test_concurrent_point_reads_during_inserts(self, people_db):
+        people_db.insert("Person", {"name": "seed", "age": 0})
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                row = people_db.get("Person", 1)
+                if row is None or row["name"] != "seed":
+                    failures.append(repr(row))
+                    return
+
+        readers = [threading.Thread(target=reader) for __ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            for i in range(200):
+                people_db.insert("Person", {"name": f"w{i}"})
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert failures == []
+        assert people_db.count("Person") == 201
+
+
+class TestStatsOnSnapshotPath:
+    def test_snapshot_reads_count_like_direct_reads(self, people_db):
+        people_db.insert("Person", {"name": "a"})
+        base = people_db.stats.snapshot()
+        people_db.select("Person", EQ("name", "a"))
+        with people_db.snapshot() as snap:
+            snap.select("Person", EQ("name", "a"))
+        delta = people_db.stats.snapshot().delta(base)
+        # Both paths record one read and one full scan (no index on
+        # name) — the snapshot path is not exempt from accounting.
+        assert delta.reads == 2
+        assert delta.full_scans == 2
+        assert delta.per_table_reads == {"Person": 2}
+
+    def test_snapshot_path_hits_the_plan_cache(self, people_db):
+        people_db.create_index("Person", ["name"])
+        people_db.insert("Person", {"name": "a"})
+        base = people_db.stats.snapshot()
+        people_db.select("Person", EQ("name", "a"))
+        with people_db.snapshot() as snap:
+            snap.select("Person", EQ("name", "a"))
+            snap.select("Person", EQ("name", "x"))
+        delta = people_db.stats.snapshot().delta(base)
+        assert delta.plan_cache_misses == 1
+        assert delta.plan_cache_hits == 2
+
+    def test_checkpoint_under_pin_preserves_both_views(self, tmp_path):
+        db = Database(tmp_path / "pin.wal")
+        db.create_table(
+            TableSchema(
+                name="T",
+                columns=[
+                    Column("id", ColumnType.INTEGER, nullable=False),
+                    Column("value", ColumnType.TEXT),
+                ],
+                primary_key=("id",),
+                autoincrement="id",
+            )
+        )
+        for i in range(10):
+            db.insert("T", {"value": f"v{i}"})
+        with db.snapshot() as snap:
+            db.update("T", EQ("id", 1), {"value": "post-pin"})
+            # The checkpoint streams the *latest* committed version
+            # while the older pin stays readable.
+            db.checkpoint()
+            assert snap.get("T", 1)["value"] == "v0"
+            assert db.get("T", 1)["value"] == "post-pin"
+        db.close()
+        recovered = Database(tmp_path / "pin.wal")
+        assert recovered.get("T", 1)["value"] == "post-pin"
+        assert recovered.count("T") == 10
+        recovered.close()
+
+
+class TestSnapshotErrors:
+    def test_snapshot_validates_unknown_columns(self, people_db):
+        from repro.errors import SchemaError
+
+        with people_db.snapshot() as snap:
+            with pytest.raises(SchemaError):
+                snap.select("Person", EQ("nope", 1))

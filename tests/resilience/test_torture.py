@@ -31,6 +31,18 @@ class TestCrashSweeps:
         assert fired_dirs == set(DB_POINTS)
         assert scenarios >= len(DB_POINTS)
 
+    def test_pinned_reader_sweep_covers_every_point_cleanly(self, tmp_path):
+        """Crashes with an MVCC snapshot pinned across checkpoints and a
+        GC backlog: the pinned view must never drift and recovery must
+        still land on a committed prefix."""
+        scenarios, violations = torture_database(
+            tmp_path, seed=7, n_ops=18, pinned=True
+        )
+        assert violations == []
+        fired_dirs = {p.name for p in (tmp_path / "db-pinned").iterdir()}
+        assert fired_dirs == set(DB_POINTS)
+        assert scenarios >= len(DB_POINTS)
+
     def test_journal_sweep_covers_every_point_cleanly(self, tmp_path):
         scenarios, violations = torture_journal(tmp_path, seed=7, n_ops=40)
         assert violations == []
@@ -102,10 +114,12 @@ class TestReport:
         assert payload["ok"] is True
         assert set(payload["scenarios"]) == {
             "db.crash",
+            "db.crash.pinned",
             "journal.crash",
             "db.truncate",
             "journal.truncate",
         }
+        assert payload["scenarios"]["db.crash.pinned"] > 0
         assert payload["total_scenarios"] == sum(
             payload["scenarios"].values()
         )
